@@ -1,0 +1,111 @@
+//===- bench/ablation_hb_repr.cpp - HB representation ablation ----------------===//
+//
+// The paper represents happens-before "rather directly as a graph
+// structure" and blames repeated traversals for much of its overhead,
+// naming vector clocks as future work (Sec. 5.2.1). This ablation
+// measures CHC query throughput under both representations on
+// web-execution-shaped DAGs (long parse/dispatch chains with cross
+// edges), at several sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/HbGraph.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace wr;
+
+namespace {
+
+/// Builds a web-like DAG: a main chain (parsing), periodic side chains
+/// (dispatches, timers) that fork off and rejoin, and a fraction of
+/// fully concurrent operations (user events).
+void buildWebDag(HbGraph &G, size_t N, Rng &R) {
+  Operation Meta;
+  OpId ChainTail = G.addOperation(Meta);
+  std::vector<OpId> All = {ChainTail};
+  while (G.numOperations() < N) {
+    double P = R.nextDouble();
+    if (P < 0.6) {
+      // Extend the main chain (parse ops).
+      OpId Next = G.addOperation(Meta);
+      G.addEdge(ChainTail, Next, HbRule::R1a_ParseOrder);
+      ChainTail = Next;
+      All.push_back(Next);
+    } else if (P < 0.9) {
+      // A dispatch: begin anchored to some creator, few handlers, end.
+      OpId From = All[static_cast<size_t>(R.nextBelow(All.size()))];
+      OpId Prev = G.addOperation(Meta);
+      G.addEdge(From, Prev, HbRule::R8_TargetCreated);
+      All.push_back(Prev);
+      for (int H = 0; H < 3 && G.numOperations() < N; ++H) {
+        OpId Handler = G.addOperation(Meta);
+        G.addEdge(Prev, Handler, HbRule::RA_DispatchChain);
+        Prev = Handler;
+        All.push_back(Handler);
+      }
+    } else {
+      // Fully concurrent op (user event).
+      All.push_back(G.addOperation(Meta));
+    }
+  }
+}
+
+void BM_ChcQueries(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  bool UseVC = State.range(1) != 0;
+  Rng R(99);
+  HbGraph G;
+  buildWebDag(G, N, R);
+  G.setUseVectorClocks(UseVC);
+  // Pre-generate query pairs like a detector would issue: mostly recent
+  // op vs random older op.
+  Rng QR(7);
+  std::vector<std::pair<OpId, OpId>> Queries;
+  for (int I = 0; I < 4096; ++I) {
+    OpId B = static_cast<OpId>(QR.nextInRange(
+        static_cast<int64_t>(N / 2), static_cast<int64_t>(N)));
+    OpId A = static_cast<OpId>(QR.nextInRange(1, static_cast<int64_t>(B)));
+    Queries.emplace_back(A, B);
+  }
+  // Pre-warm so lazy index construction is not billed to the queries
+  // (BM_HbConstruction measures that separately).
+  benchmark::DoNotOptimize(
+      G.happensBefore(1, static_cast<OpId>(G.numOperations())));
+  size_t Index = 0;
+  size_t Positive = 0;
+  for (auto _ : State) {
+    const auto &[A, B] = Queries[Index++ & 4095];
+    Positive += G.happensBefore(A, B);
+    benchmark::DoNotOptimize(Positive);
+  }
+  State.SetLabel(UseVC ? "vector-clock" : "graph-dfs-memo");
+  State.counters["chains"] =
+      static_cast<double>(UseVC ? G.numChains() : 0);
+}
+BENCHMARK(BM_ChcQueries)
+    ->ArgsProduct({{1000, 10000, 30000}, {0, 1}});
+
+/// Construction cost: building the index as operations stream in.
+void BM_HbConstruction(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  bool UseVC = State.range(1) != 0;
+  for (auto _ : State) {
+    Rng R(99);
+    HbGraph G;
+    buildWebDag(G, N, R);
+    G.setUseVectorClocks(UseVC);
+    // Touch one query so lazy structures materialize.
+    benchmark::DoNotOptimize(
+        G.happensBefore(1, static_cast<OpId>(N - 1)));
+  }
+  State.SetLabel(UseVC ? "vector-clock" : "graph-dfs-memo");
+}
+BENCHMARK(BM_HbConstruction)
+    ->ArgsProduct({{1000, 10000}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+//===- bench/perf_overhead.cpp - Instrumentation overhead ---------------------===//
+//
+// Paper Sec. 6 "Performance": WebRacer handled pages with tens of
+// thousands of operations in under a minute, but heavy JavaScript paid a
+// ~500x slowdown vs JIT execution because only the interpreter was
+// instrumented. Our substrate has no JIT, so the comparable measurements
+// are (a) the interpreter running SunSpider-style kernels with
+// instrumentation hooks on vs off, and (b) end-to-end page-load
+// throughput in operations/second.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/RaceDetector.h"
+#include "js/Interpreter.h"
+#include "js/Parser.h"
+#include "js/StdLib.h"
+#include "sites/Corpus.h"
+#include "sites/CorpusRunner.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace wr;
+
+namespace {
+
+const char *kernelSource(int Kernel) {
+  switch (Kernel) {
+  case 0: // controlflow-recursive (fib).
+    return "function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }"
+           "var result = fib(16);";
+  case 1: // math-partial-sums.
+    return "var s = 0;"
+           "for (var i = 1; i <= 5000; i++) {"
+           "  s += 1 / (i * i) + Math.sqrt(i) - Math.floor(Math.sqrt(i));"
+           "}"
+           "var result = s;";
+  case 2: // string-base64-ish: repeated string building.
+    return "var s = '';"
+           "for (var i = 0; i < 400; i++) { s += 'ab'; }"
+           "var n = 0;"
+           "for (var j = 0; j < s.length; j += 7) { n += s.charCodeAt(j); }"
+           "var result = n;";
+  default: // access-nsieve-ish: array sieve.
+    return "var limit = 3000;"
+           "var sieve = Array(limit);"
+           "var count = 0;"
+           "for (var i = 2; i < limit; i++) {"
+           "  if (!sieve[i]) {"
+           "    count++;"
+           "    for (var k = i + i; k < limit; k += i) sieve[k] = true;"
+           "  }"
+           "}"
+           "var result = count;";
+  }
+}
+
+/// Hooks that drive a real race detector (the instrumented
+/// configuration). Alternating operation ids make the detector exercise
+/// its CHC path the way a page with two concurrent scripts would.
+class DetectorHooks final : public js::JsHooks {
+public:
+  DetectorHooks() : Detector(Hb) {
+    OpId A = Hb.addOperation(Operation());
+    OpId B = Hb.addOperation(Operation());
+    Hb.addEdge(A, B, HbRule::RProgram);
+    Ops[0] = A;
+    Ops[1] = B;
+  }
+
+  void onVarRead(js::Env *Scope, const std::string &Name,
+                 AccessOrigin Origin) override {
+    record(AccessKind::Read, JSVarLoc{Scope->containerId(), Name}, Origin);
+  }
+  void onVarWrite(js::Env *Scope, const std::string &Name,
+                  AccessOrigin Origin) override {
+    record(AccessKind::Write, JSVarLoc{Scope->containerId(), Name},
+           Origin);
+  }
+  void onPropRead(js::Object *Obj, const std::string &Name,
+                  AccessOrigin Origin) override {
+    record(AccessKind::Read, JSVarLoc{Obj->containerId(), Name}, Origin);
+  }
+  void onPropWrite(js::Object *Obj, const std::string &Name,
+                   AccessOrigin Origin) override {
+    record(AccessKind::Write, JSVarLoc{Obj->containerId(), Name}, Origin);
+  }
+
+private:
+  void record(AccessKind Kind, Location Loc, AccessOrigin Origin) {
+    Access A;
+    A.Kind = Kind;
+    A.Origin = Origin;
+    A.Op = Ops[Toggle ^= 1];
+    A.Loc = std::move(Loc);
+    Detector.onMemoryAccess(A);
+  }
+
+  HbGraph Hb;
+  detect::RaceDetector Detector;
+  OpId Ops[2];
+  unsigned Toggle = 0;
+};
+
+void runKernel(int Kernel, bool Instrumented) {
+  js::Heap Heap;
+  js::Env *Global = Heap.allocEnv(nullptr);
+  js::Interpreter Interp(Heap, Global);
+  js::installStdLib(Interp, 1);
+  DetectorHooks Hooks;
+  if (Instrumented)
+    Interp.setHooks(&Hooks);
+  js::ParseResult R = js::Parser::parseProgram(kernelSource(Kernel));
+  js::Completion C = Interp.runProgram(*R.Ast);
+  benchmark::DoNotOptimize(C.V);
+}
+
+void BM_Kernel(benchmark::State &State) {
+  int Kernel = static_cast<int>(State.range(0));
+  bool Instrumented = State.range(1) != 0;
+  for (auto _ : State)
+    runKernel(Kernel, Instrumented);
+  State.SetLabel(Instrumented ? "instrumented" : "bare");
+}
+BENCHMARK(BM_Kernel)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+/// End-to-end page throughput: operations per second through the full
+/// pipeline (parse + execute + detect + explore).
+void BM_PageLoadOpsPerSecond(benchmark::State &State) {
+  sites::SiteSpec Spec;
+  Spec.Name = "PerfSite";
+  Spec.Patterns = {
+      {sites::PatternKind::VariableNoiseBenign, 50},
+      {sites::PatternKind::HoverMenuNoiseBenign, 30},
+      {sites::PatternKind::GomezMonitorHarmful, 10},
+      {sites::PatternKind::HtmlPollingBenign, 20},
+  };
+  sites::GeneratedSite Site = sites::buildSite(Spec);
+  webracer::SessionOptions Opts;
+  uint64_t TotalOps = 0;
+  for (auto _ : State) {
+    sites::SiteRunStats Stats = sites::runSite(Site, Opts, 42);
+    TotalOps += Stats.Operations;
+    benchmark::DoNotOptimize(Stats.Raw.total());
+  }
+  State.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(TotalOps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PageLoadOpsPerSecond)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

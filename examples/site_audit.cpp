@@ -1,0 +1,102 @@
+//===- examples/site_audit.cpp - Audit a site the way the paper did -----------===//
+//
+// The paper's evaluation workflow as a program: load a full-featured page
+// (several scripts, frames, images, XHR, delayed loading), let automatic
+// exploration interact with it, and print a triaged report - raw counts,
+// filtered counts, and per-race details with the responsible operations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "webracer/WebRacer.h"
+
+#include <cstdio>
+
+using namespace wr;
+
+int main() {
+  webracer::SessionOptions Opts;
+  Opts.RecordTrace = false;
+  webracer::Session S(Opts);
+  auto &Net = S.network();
+
+  // A "company home page" exercising most platform features.
+  Net.addResource(
+      "acme.com/index.html",
+      "<head><title>ACME</title></head>"
+      "<body>"
+      // Search box that a hint script will clobber (Fig. 2 pattern).
+      "<input type=\"text\" id=\"search\" />"
+      // Navigation with a javascript: link depending on a late div.
+      "<script>"
+      "function openPanel() {"
+      "  document.getElementById('panel').style.display = 'block';"
+      "}"
+      "</script>"
+      "<a id=\"nav\" href=\"javascript:openPanel()\">Products</a>"
+      // Hero image monitored Gomez-style below.
+      "<img id=\"hero\" src=\"acme.com/hero.png\" />"
+      // Third-party-style widget in a frame.
+      "<iframe id=\"widget\" src=\"acme.com/widget.html\"></iframe>"
+      // Delayed functionality: menu + analytics arrive async.
+      "<script src=\"acme.com/menu.js\" async=\"true\"></script>"
+      "<script src=\"acme.com/hints.js\" async=\"true\"></script>"
+      // Gomez-style monitor.
+      "<script>"
+      "var seen = {};"
+      "var polls = 0;"
+      "var iv = setInterval(function() {"
+      "  polls++;"
+      "  var imgs = document.images;"
+      "  for (var i = 0; i < imgs.length; i++) {"
+      "    if (!seen[imgs[i].id]) {"
+      "      seen[imgs[i].id] = true;"
+      "      imgs[i].onload = function() {};"
+      "    }"
+      "  }"
+      "  if (polls > 8) clearInterval(iv);"
+      "}, 10);"
+      "</script>"
+      // XHR for personalization.
+      "<script>"
+      "var user = 'anonymous';"
+      "var xhr = new XMLHttpRequest();"
+      "xhr.open('GET', 'acme.com/user.json');"
+      "xhr.onreadystatechange = function() {"
+      "  if (xhr.readyState == 4) user = xhr.responseText;"
+      "};"
+      "xhr.send();"
+      "</script>"
+      // The late panel the nav link needs.
+      "<div id=\"panel\" style=\"display:none\">catalog</div>"
+      "</body>",
+      10);
+  Net.addResourceWithJitter("acme.com/hero.png", "PNG", 500, 4000);
+  Net.addResourceWithJitter("acme.com/widget.html",
+                  "<p>partner widget</p><script>widgetReady = 1;</script>",
+                  1000, 6000);
+  Net.addResourceWithJitter("acme.com/menu.js",
+                  "document.getElementById('nav').onmouseover ="
+                  "  function() { window.menuShown = true; };",
+                  500, 5000);
+  Net.addResourceWithJitter("acme.com/hints.js",
+                  "document.getElementById('search').value ="
+                  "  'What are you looking for?';",
+                  500, 5000);
+  Net.addResource("acme.com/user.json", "\"jdoe\"", 2000);
+
+  webracer::SessionResult R = S.run("acme.com/index.html");
+
+  std::printf("== audit of acme.com ==\n");
+  std::printf("operations: %zu, hb edges: %zu, explored events: %zu, "
+              "crashes: %zu\n\n",
+              R.Operations, R.HbEdges, R.Explore.EventsDispatched,
+              R.Crashes.size());
+  std::printf("raw:      %s\n", detect::summaryLine(R.RawRaces).c_str());
+  std::printf("filtered: %s\n\n",
+              detect::summaryLine(R.FilteredRaces).c_str());
+  std::printf("-- filtered reports (what a developer triages) --\n");
+  std::printf("%s",
+              detect::describeRaces(R.FilteredRaces,
+                                    S.browser().hb()).c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+//===- detect/Filters.cpp - Race report post-processing filters -------------===//
+
+#include "detect/Filters.h"
+
+using namespace wr;
+using namespace wr::detect;
+
+bool wr::detect::involvesFormField(const Race &R) {
+  auto FormOrigin = [](AccessOrigin O) {
+    return O == AccessOrigin::FormFieldRead ||
+           O == AccessOrigin::FormFieldWrite ||
+           O == AccessOrigin::UserInput;
+  };
+  return FormOrigin(R.First.Origin) || FormOrigin(R.Second.Origin);
+}
+
+std::vector<Race>
+wr::detect::filterFormRaces(const std::vector<Race> &Races) {
+  std::vector<Race> Kept;
+  for (const Race &R : Races) {
+    if (R.Kind != RaceKind::Variable) {
+      Kept.push_back(R);
+      continue;
+    }
+    if (!involvesFormField(R))
+      continue;
+    // Refinement: a write preceded by a read of the same field in the
+    // same operation usually checks that the user has not modified the
+    // field, making the race harmless.
+    if (R.WriteHadPriorReadInOp)
+      continue;
+    Kept.push_back(R);
+  }
+  return Kept;
+}
+
+std::vector<Race>
+wr::detect::filterSingleDispatch(const std::vector<Race> &Races,
+                                 const DispatchCountFn &Counts) {
+  std::vector<Race> Kept;
+  for (const Race &R : Races) {
+    if (R.Kind != RaceKind::EventDispatch) {
+      Kept.push_back(R);
+      continue;
+    }
+    const auto *Loc = std::get_if<EventHandlerLoc>(&R.Loc);
+    if (!Loc)
+      continue;
+    if (Counts && Counts(*Loc) > 1)
+      continue; // Multi-dispatch events: missing one is less serious.
+    Kept.push_back(R);
+  }
+  return Kept;
+}
+
+std::vector<Race>
+wr::detect::applyPaperFilters(const std::vector<Race> &Races,
+                              const DispatchCountFn &Counts) {
+  return filterSingleDispatch(filterFormRaces(Races), Counts);
+}

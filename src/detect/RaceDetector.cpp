@@ -1,0 +1,130 @@
+//===- detect/RaceDetector.cpp - The WebRacer race detector -----------------===//
+
+#include "detect/RaceDetector.h"
+
+using namespace wr;
+using namespace wr::detect;
+
+const char *wr::detect::toString(RaceKind Kind) {
+  switch (Kind) {
+  case RaceKind::Variable:
+    return "variable";
+  case RaceKind::Html:
+    return "html";
+  case RaceKind::Function:
+    return "function";
+  case RaceKind::EventDispatch:
+    return "event-dispatch";
+  }
+  return "unknown";
+}
+
+size_t RaceDetector::countByKind(RaceKind Kind) const {
+  size_t N = 0;
+  for (const Race &R : Races)
+    if (R.Kind == Kind)
+      ++N;
+  return N;
+}
+
+bool RaceDetector::canHappenConcurrently(OpId A, OpId B) {
+  ++ChcQueries;
+  return Hb.canHappenConcurrently(A, B);
+}
+
+RaceKind RaceDetector::classify(const Access &First, const Access &Second,
+                                const Location &Loc) {
+  if (std::holds_alternative<EventHandlerLoc>(Loc))
+    return RaceKind::EventDispatch;
+  if (std::holds_alternative<HtmlElemLoc>(Loc))
+    return RaceKind::Html;
+  // A variable race where the write side is a hoisted function
+  // declaration (or the read resolves a call target racing with one) is a
+  // *function race* (Sec. 2.4).
+  if (First.Origin == AccessOrigin::FunctionDecl ||
+      Second.Origin == AccessOrigin::FunctionDecl)
+    return RaceKind::Function;
+  return RaceKind::Variable;
+}
+
+void RaceDetector::report(const Slot &Prior, const Access &Current) {
+  if (Opts.OnePerLocation) {
+    if (ReportedLocations.count(Current.Loc))
+      return;
+    ReportedLocations.insert(Current.Loc);
+  }
+  Race R;
+  R.Loc = Current.Loc;
+  R.First = Prior.A;
+  R.Second = Current;
+  R.Kind = classify(Prior.A, Current, Current.Loc);
+  // The Sec. 5.3 refinement looks at whichever side is a write: if the
+  // writing operation read the location before writing, the write is
+  // probably guarded ("has the user modified the field?").
+  if (Prior.A.Kind == AccessKind::Write && Prior.HadPriorRead)
+    R.WriteHadPriorReadInOp = true;
+  if (Current.Kind == AccessKind::Write) {
+    auto It = ReadsByOp.find(Current.Op);
+    if (It != ReadsByOp.end() && It->second.count(Current.Loc) != 0)
+      R.WriteHadPriorReadInOp = true;
+  }
+  Races.push_back(std::move(R));
+}
+
+void RaceDetector::onMemoryAccess(const Access &A) {
+  if (Opts.HistoryMode == DetectorOptions::Mode::FullHistory) {
+    // Check against every recorded access (read-write and write-write).
+    auto &Accesses = History[A.Loc];
+    for (const Slot &Prior : Accesses) {
+      if (Prior.Op == A.Op)
+        continue;
+      bool OneIsWrite = Prior.A.Kind == AccessKind::Write ||
+                        A.Kind == AccessKind::Write;
+      if (!OneIsWrite)
+        continue;
+      if (canHappenConcurrently(Prior.Op, A.Op)) {
+        report(Prior, A);
+        if (Opts.OnePerLocation)
+          break;
+      }
+    }
+    Slot S{A.Op, A, false};
+    if (A.Kind == AccessKind::Write) {
+      auto It = ReadsByOp.find(A.Op);
+      S.HadPriorRead =
+          It != ReadsByOp.end() && It->second.count(A.Loc) != 0;
+    }
+    Accesses.push_back(std::move(S));
+    if (A.Kind == AccessKind::Read)
+      ReadsByOp[A.Op].insert(A.Loc);
+    return;
+  }
+
+  // The paper's single-slot algorithm (Sec. 5.1).
+  if (A.Kind == AccessKind::Read) {
+    auto W = LastWrite.find(A.Loc);
+    if (W != LastWrite.end() && W->second.Op != A.Op &&
+        canHappenConcurrently(W->second.Op, A.Op))
+      report(W->second, A);
+    LastRead[A.Loc] = {A.Op, A, false};
+    ReadsByOp[A.Op].insert(A.Loc);
+    return;
+  }
+
+  // Write: race against the last write and the last read.
+  auto W = LastWrite.find(A.Loc);
+  if (W != LastWrite.end() && W->second.Op != A.Op &&
+      canHappenConcurrently(W->second.Op, A.Op)) {
+    report(W->second, A);
+  } else {
+    auto R = LastRead.find(A.Loc);
+    if (R != LastRead.end() && R->second.Op != A.Op &&
+        canHappenConcurrently(R->second.Op, A.Op))
+      report(R->second, A);
+  }
+  Slot S{A.Op, A, false};
+  auto Reads = ReadsByOp.find(A.Op);
+  S.HadPriorRead =
+      Reads != ReadsByOp.end() && Reads->second.count(A.Loc) != 0;
+  LastWrite[A.Loc] = std::move(S);
+}

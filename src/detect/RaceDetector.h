@@ -1,0 +1,117 @@
+//===- detect/RaceDetector.h - The WebRacer race detector -------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic race detector of the paper's Section 5.1: per logical
+/// location, LastRead and LastWrite slots hold the identifier of the most
+/// recent reading/writing operation; an access races with the stored
+/// operation when Can-Happen-Concurrently (CHC) holds, i.e., neither is
+/// ⊥ and the operations are unordered in happens-before.
+///
+/// Two modes:
+///  * SingleSlot - the paper's constant-space-per-location algorithm,
+///    including its known miss (Sec. 5.1 "Limitation": the sequence
+///    3·1·2 with 1 -> 2 hides the 2-3 race).
+///  * FullHistory - keeps every access per location (a FastTrack-style
+///    upper bound); `bench/ablation_detectors` measures what SingleSlot
+///    misses and what FullHistory costs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_DETECT_RACEDETECTOR_H
+#define WEBRACER_DETECT_RACEDETECTOR_H
+
+#include "hb/HbGraph.h"
+#include "instr/Instrumentation.h"
+#include "mem/Location.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace wr::detect {
+
+/// The four race types of the paper's Section 2.
+enum class RaceKind : uint8_t { Variable, Html, Function, EventDispatch };
+
+const char *toString(RaceKind Kind);
+
+/// One reported race.
+struct Race {
+  RaceKind Kind = RaceKind::Variable;
+  Location Loc;
+  Access First;  ///< The access stored in LastRead/LastWrite.
+  Access Second; ///< The access that triggered the report.
+  /// True when the racing write's operation read the location before
+  /// writing it (the form-filter refinement of Sec. 5.3: such reads often
+  /// guard against clobbering user input, making the race harmless).
+  bool WriteHadPriorReadInOp = false;
+};
+
+/// Detector configuration.
+struct DetectorOptions {
+  enum class Mode : uint8_t { SingleSlot, FullHistory };
+  Mode HistoryMode = Mode::SingleSlot;
+  /// Report at most one race per location per run (paper footnote 13).
+  bool OnePerLocation = true;
+};
+
+/// The dynamic race detector; attach to a Browser as an instrumentation
+/// sink.
+class RaceDetector final : public InstrumentationSink {
+public:
+  RaceDetector(const HbGraph &Hb, DetectorOptions Opts = DetectorOptions())
+      : Hb(Hb), Opts(Opts) {}
+
+  const std::vector<Race> &races() const { return Races; }
+
+  /// Races of one kind.
+  size_t countByKind(RaceKind Kind) const;
+
+  /// Number of CHC queries issued (overhead accounting).
+  uint64_t chcQueries() const { return ChcQueries; }
+
+  /// Number of distinct locations tracked.
+  size_t trackedLocations() const {
+    return LastWrite.size() + LastRead.size();
+  }
+
+  void onMemoryAccess(const Access &A) override;
+
+private:
+  struct Slot {
+    OpId Op = InvalidOpId;
+    Access A;
+    /// For writes: had the writing op read this location first?
+    bool HadPriorRead = false;
+  };
+
+  bool canHappenConcurrently(OpId A, OpId B);
+  void report(const Slot &Prior, const Access &Current);
+  static RaceKind classify(const Access &First, const Access &Second,
+                           const Location &Loc);
+
+  const HbGraph &Hb;
+  DetectorOptions Opts;
+
+  std::unordered_map<Location, Slot, LocationHash> LastRead;
+  std::unordered_map<Location, Slot, LocationHash> LastWrite;
+  // FullHistory mode keeps every access.
+  std::unordered_map<Location, std::vector<Slot>, LocationHash> History;
+
+  std::unordered_set<Location, LocationHash> ReportedLocations;
+  // Locations read per operation (form-filter refinement metadata).
+  std::unordered_map<OpId, std::unordered_set<Location, LocationHash>>
+      ReadsByOp;
+
+  std::vector<Race> Races;
+  uint64_t ChcQueries = 0;
+};
+
+} // namespace wr::detect
+
+#endif // WEBRACER_DETECT_RACEDETECTOR_H

@@ -1,0 +1,71 @@
+//===- detect/Report.cpp - Race report rendering ------------------------------===//
+
+#include "detect/Report.h"
+
+#include "support/Format.h"
+
+using namespace wr;
+using namespace wr::detect;
+
+size_t &RaceTally::operator[](RaceKind Kind) {
+  switch (Kind) {
+  case RaceKind::Variable:
+    return Variable;
+  case RaceKind::Html:
+    return Html;
+  case RaceKind::Function:
+    return Function;
+  case RaceKind::EventDispatch:
+    return EventDispatch;
+  }
+  return Variable;
+}
+
+size_t RaceTally::operator[](RaceKind Kind) const {
+  return const_cast<RaceTally *>(this)->operator[](Kind);
+}
+
+RaceTally wr::detect::tally(const std::vector<Race> &Races) {
+  RaceTally T;
+  for (const Race &R : Races)
+    ++T[R.Kind];
+  return T;
+}
+
+std::string wr::detect::describeRace(const Race &R, const HbGraph &Hb) {
+  std::string Out;
+  Out += strFormat("%s race on %s\n", toString(R.Kind),
+                   wr::toString(R.Loc).c_str());
+  auto DescribeAccess = [&](const char *Tag, const Access &A) {
+    const Operation &Op = Hb.operation(A.Op);
+    Out += strFormat("  %s: %s by op %u [%s %s]%s%s\n", Tag,
+                     wr::toString(A.Kind), A.Op, wr::toString(Op.Kind),
+                     Op.Label.c_str(),
+                     A.Detail.empty() ? "" : " - ",
+                     A.Detail.c_str());
+  };
+  DescribeAccess("first ", R.First);
+  DescribeAccess("second", R.Second);
+  if (R.WriteHadPriorReadInOp)
+    Out += "  note: writing operation read the location first (likely a "
+           "guard)\n";
+  return Out;
+}
+
+std::string wr::detect::describeRaces(const std::vector<Race> &Races,
+                                      const HbGraph &Hb) {
+  std::string Out;
+  for (size_t I = 0; I < Races.size(); ++I) {
+    Out += strFormat("[%zu] ", I);
+    Out += describeRace(Races[I], Hb);
+  }
+  return Out;
+}
+
+std::string wr::detect::summaryLine(const std::vector<Race> &Races) {
+  RaceTally T = tally(Races);
+  return strFormat("html=%zu function=%zu variable=%zu event-dispatch=%zu "
+                   "total=%zu",
+                   T.Html, T.Function, T.Variable, T.EventDispatch,
+                   T.total());
+}

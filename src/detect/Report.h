@@ -1,0 +1,51 @@
+//===- detect/Report.h - Race report rendering ------------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders race reports: per-race explanations (which operations, which
+/// location, which accesses) and per-kind summary tables like the paper's
+/// Tables 1 and 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_DETECT_REPORT_H
+#define WEBRACER_DETECT_REPORT_H
+
+#include "detect/RaceDetector.h"
+#include "hb/HbGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace wr::detect {
+
+/// Counts by race kind.
+struct RaceTally {
+  size_t Variable = 0;
+  size_t Html = 0;
+  size_t Function = 0;
+  size_t EventDispatch = 0;
+
+  size_t total() const { return Variable + Html + Function + EventDispatch; }
+  size_t &operator[](RaceKind Kind);
+  size_t operator[](RaceKind Kind) const;
+};
+
+/// Tallies \p Races by kind.
+RaceTally tally(const std::vector<Race> &Races);
+
+/// Renders one race with its accesses and operations.
+std::string describeRace(const Race &R, const HbGraph &Hb);
+
+/// Renders all races, one block each.
+std::string describeRaces(const std::vector<Race> &Races, const HbGraph &Hb);
+
+/// Renders a one-line summary ("html=2 function=0 variable=5 ...").
+std::string summaryLine(const std::vector<Race> &Races);
+
+} // namespace wr::detect
+
+#endif // WEBRACER_DETECT_REPORT_H

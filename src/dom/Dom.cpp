@@ -1,0 +1,227 @@
+//===- dom/Dom.cpp - DOM tree ----------------------------------------------===//
+
+#include "dom/Dom.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace wr;
+
+Node::~Node() = default;
+
+int Node::indexOf(const Node *Child) const {
+  for (size_t I = 0; I < Children.size(); ++I)
+    if (Children[I] == Child)
+      return static_cast<int>(I);
+  return -1;
+}
+
+bool Element::hasAttribute(std::string_view Name) const {
+  std::string Lower = toLower(Name);
+  for (const Attribute &A : Attrs)
+    if (A.Name == Lower)
+      return true;
+  return false;
+}
+
+std::string Element::getAttribute(std::string_view Name) const {
+  std::string Lower = toLower(Name);
+  for (const Attribute &A : Attrs)
+    if (A.Name == Lower)
+      return A.Value;
+  return std::string();
+}
+
+void Element::setAttribute(std::string_view Name, std::string_view Value) {
+  std::string Lower = toLower(Name);
+  for (Attribute &A : Attrs) {
+    if (A.Name == Lower) {
+      A.Value = std::string(Value);
+      return;
+    }
+  }
+  Attrs.push_back({std::move(Lower), std::string(Value)});
+}
+
+void Element::removeAttribute(std::string_view Name) {
+  std::string Lower = toLower(Name);
+  Attrs.erase(std::remove_if(Attrs.begin(), Attrs.end(),
+                             [&](const Attribute &A) {
+                               return A.Name == Lower;
+                             }),
+              Attrs.end());
+}
+
+bool Element::isVoidTag() const {
+  static const char *const VoidTags[] = {
+      "area", "base", "br",    "col",   "embed",  "hr",    "img",
+      "input", "link", "meta", "param", "source", "track", "wbr"};
+  for (const char *T : VoidTags)
+    if (Tag == T)
+      return true;
+  return false;
+}
+
+Document::Document(DocumentId Doc, uint32_t &NextNodeIdRef)
+    : Node(NodeKind::Document, NextNodeIdRef++, nullptr), DocId(Doc),
+      NextNodeId(NextNodeIdRef) {
+  Owner = this; // A document is its own owner.
+  // Synthesize the html/head/body skeleton so scripts can always reach
+  // document.body even on fragments.
+  Root = createElement("html");
+  Head = createElement("head");
+  Body = createElement("body");
+  InDoc = true;
+  std::vector<Element *> Ignored;
+  Children.push_back(Root);
+  Root->Parent = this;
+  setInDocumentRecursive(Root, true, Ignored);
+  Root->Children.push_back(Head);
+  Head->Parent = Root;
+  setInDocumentRecursive(Head, true, Ignored);
+  Root->Children.push_back(Body);
+  Body->Parent = Root;
+  setInDocumentRecursive(Body, true, Ignored);
+}
+
+Document::~Document() = default;
+
+Element *Document::createElement(std::string_view Tag) {
+  auto *E = new Element(NextNodeId++, this, toLower(Tag));
+  OwnedNodes.emplace_back(E);
+  return E;
+}
+
+Text *Document::createTextNode(std::string_view Data) {
+  auto *T = new Text(NextNodeId++, this, std::string(Data));
+  OwnedNodes.emplace_back(T);
+  return T;
+}
+
+Element *Document::getElementById(std::string_view Id) const {
+  if (Id.empty())
+    return nullptr;
+  std::vector<Element *> All = allElements();
+  for (Element *E : All)
+    if (E->getAttribute("id") == Id)
+      return E;
+  return nullptr;
+}
+
+std::vector<Element *>
+Document::getElementsByTagName(std::string_view Tag) const {
+  std::string Lower = toLower(Tag);
+  std::vector<Element *> Result;
+  for (Element *E : allElements())
+    if (Lower == "*" || E->tagName() == Lower)
+      Result.push_back(E);
+  return Result;
+}
+
+std::vector<Element *>
+Document::getElementsByName(std::string_view Name) const {
+  std::vector<Element *> Result;
+  for (Element *E : allElements())
+    if (E->getAttribute("name") == Name)
+      Result.push_back(E);
+  return Result;
+}
+
+std::vector<Element *> Document::allElements() const {
+  std::vector<Element *> Result;
+  collectElements(this, Result);
+  return Result;
+}
+
+void Document::collectElements(const Node *N,
+                               std::vector<Element *> &Out) const {
+  for (Node *Child : N->children()) {
+    if (auto *E = dyn_cast<Element>(Child))
+      Out.push_back(E);
+    collectElements(Child, Out);
+  }
+}
+
+void Document::setInDocumentRecursive(Node *N, bool In,
+                                      std::vector<Element *> &Affected) {
+  if (N->InDoc != In) {
+    N->InDoc = In;
+    if (auto *E = dyn_cast<Element>(N))
+      Affected.push_back(E);
+  }
+  for (Node *Child : N->Children)
+    setInDocumentRecursive(Child, In, Affected);
+}
+
+bool Document::isAncestorOrSelf(const Node *MaybeAncestor,
+                                const Node *N) const {
+  for (const Node *Walk = N; Walk; Walk = Walk->parent())
+    if (Walk == MaybeAncestor)
+      return true;
+  return false;
+}
+
+MutationResult Document::insertBefore(Node *Parent, Node *Child, Node *Ref) {
+  MutationResult Result;
+  if (!Parent || !Child) {
+    Result.Ok = false;
+    Result.Error = "null node in insertBefore";
+    return Result;
+  }
+  if (isAncestorOrSelf(Child, Parent)) {
+    Result.Ok = false;
+    Result.Error = "cannot insert a node under itself";
+    return Result;
+  }
+  // Detach from the old parent first (moving an element, Sec. 7 notes this
+  // is debatable as a race; we follow the paper and treat the re-insertion
+  // as a write).
+  if (Node *OldParent = Child->Parent) {
+    auto &Siblings = OldParent->Children;
+    Siblings.erase(std::remove(Siblings.begin(), Siblings.end(), Child),
+                   Siblings.end());
+    Child->Parent = nullptr;
+  }
+  auto &Kids = Parent->Children;
+  if (Ref) {
+    auto It = std::find(Kids.begin(), Kids.end(), Ref);
+    if (It == Kids.end()) {
+      Result.Ok = false;
+      Result.Error = "reference node is not a child";
+      return Result;
+    }
+    Kids.insert(It, Child);
+  } else {
+    Kids.push_back(Child);
+  }
+  Child->Parent = Parent;
+  setInDocumentRecursive(Child, Parent->InDoc, Result.AffectedElements);
+  // Even when the subtree was already attached (a move), report the moved
+  // element itself so the caller can model the write.
+  if (Result.AffectedElements.empty())
+    if (auto *E = dyn_cast<Element>(Child))
+      Result.AffectedElements.push_back(E);
+  return Result;
+}
+
+MutationResult Document::appendChild(Node *Parent, Node *Child) {
+  return insertBefore(Parent, Child, nullptr);
+}
+
+MutationResult Document::removeChild(Node *Parent, Node *Child) {
+  MutationResult Result;
+  if (!Parent || !Child || Child->Parent != Parent) {
+    Result.Ok = false;
+    Result.Error = "node is not a child of parent";
+    return Result;
+  }
+  auto &Kids = Parent->Children;
+  Kids.erase(std::remove(Kids.begin(), Kids.end(), Child), Kids.end());
+  Child->Parent = nullptr;
+  setInDocumentRecursive(Child, false, Result.AffectedElements);
+  if (Result.AffectedElements.empty())
+    if (auto *E = dyn_cast<Element>(Child))
+      Result.AffectedElements.push_back(E);
+  return Result;
+}

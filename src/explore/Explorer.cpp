@@ -1,0 +1,101 @@
+//===- explore/Explorer.cpp - Automatic exploration ---------------------------===//
+
+#include "explore/Explorer.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace wr;
+using namespace wr::explore;
+using rt::TargetKey;
+
+const std::vector<std::string> &Explorer::autoEventTypes() {
+  // The exact list from Sec. 5.2.2.
+  static const std::vector<std::string> Types = {
+      "mouseover", "mousemove", "mouseout", "mouseup", "mousedown",
+      "keydown",   "keyup",     "keypress", "change",  "input",
+      "focus",     "blur"};
+  return Types;
+}
+
+void Explorer::dispatchHandlerEvents(ExploreStats &Stats) {
+  // Deterministic order: tree order per window, event types in the fixed
+  // list order. We also honor click handlers registered on non-link
+  // elements (the paper's harmful function races hung off hover/click
+  // handlers).
+  std::vector<std::string> Types = autoEventTypes();
+  Types.push_back("click");
+  auto IsRepeatable = [](const std::string &T) {
+    return startsWith(T, "mouse") || startsWith(T, "key") || T == "click";
+  };
+  for (const auto &W : B.windows()) {
+    std::vector<Element *> Elements = W->document().allElements();
+    for (Element *E : Elements) {
+      for (const std::string &Type : Types) {
+        if (Stats.EventsDispatched >= Opts.MaxEvents)
+          return;
+        if (!B.hasRegisteredHandler(TargetKey{E->id(), 0}, Type))
+          continue;
+        int Repeats =
+            IsRepeatable(Type) ? std::max(1, Opts.MultiDispatchRepeats) : 1;
+        for (int I = 0; I < Repeats; ++I)
+          B.userEvent(E, Type);
+        ++Stats.EventsDispatched;
+      }
+    }
+  }
+}
+
+void Explorer::clickJavascriptLinks(ExploreStats &Stats) {
+  for (const auto &W : B.windows()) {
+    for (Element *E : W->document().getElementsByTagName("a")) {
+      if (Stats.EventsDispatched >= Opts.MaxEvents)
+        return;
+      if (!startsWithIgnoreCase(E->getAttribute("href"), "javascript:"))
+        continue;
+      B.userClick(E);
+      ++Stats.LinksClicked;
+      ++Stats.EventsDispatched;
+    }
+  }
+}
+
+void Explorer::typeIntoTextBoxes(ExploreStats &Stats) {
+  for (const auto &W : B.windows()) {
+    std::vector<Element *> Boxes = W->document().getElementsByTagName(
+        "input");
+    std::vector<Element *> Areas = W->document().getElementsByTagName(
+        "textarea");
+    Boxes.insert(Boxes.end(), Areas.begin(), Areas.end());
+    for (Element *E : Boxes) {
+      if (Stats.EventsDispatched >= Opts.MaxEvents)
+        return;
+      if (E->tagName() == "input") {
+        std::string Type = toLower(E->getAttribute("type"));
+        if (!Type.empty() && Type != "text" && Type != "search" &&
+            Type != "email" && Type != "password")
+          continue;
+      }
+      B.userType(E, Opts.TypedText);
+      ++Stats.BoxesTyped;
+      ++Stats.EventsDispatched;
+    }
+  }
+}
+
+ExploreStats Explorer::run() {
+  ExploreStats Stats;
+  // Let the page finish loading first: all automatic dispatch happens
+  // after the window load event (Sec. 5.2.2).
+  B.runToQuiescence();
+  if (Opts.DispatchHandlerEvents)
+    dispatchHandlerEvents(Stats);
+  if (Opts.ClickJavascriptLinks)
+    clickJavascriptLinks(Stats);
+  if (Opts.TypeIntoTextBoxes)
+    typeIntoTextBoxes(Stats);
+  // Exploration can schedule timers and network work.
+  B.runToQuiescence();
+  return Stats;
+}

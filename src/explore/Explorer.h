@@ -1,0 +1,78 @@
+//===- explore/Explorer.h - Automatic exploration ---------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Automatic exploration (paper Sec. 5.2.2): after the window load event,
+/// systematically dispatch user-style events for which the page
+/// registered handlers, click links with javascript: protocols, and
+/// simulate typing into every text box. This exposes races whose second
+/// access only happens under user interaction (the harmful function races
+/// of Sec. 6.3 were all found this way).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_EXPLORE_EXPLORER_H
+#define WEBRACER_EXPLORE_EXPLORER_H
+
+#include "runtime/Browser.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wr::explore {
+
+/// Exploration knobs.
+struct ExploreOptions {
+  /// Dispatch the paper's auto-event list on elements with handlers.
+  bool DispatchHandlerEvents = true;
+  /// Click every <a href="javascript:..."> link.
+  bool ClickJavascriptLinks = true;
+  /// Simulate typing into all text boxes and textareas.
+  bool TypeIntoTextBoxes = true;
+  /// Text typed into boxes.
+  std::string TypedText = "webracer";
+  /// Cap on generated events (defense against enormous pages).
+  size_t MaxEvents = 4096;
+  /// How many times to dispatch inherently repeatable events (mouse,
+  /// key, click). Real interaction fires these repeatedly; dispatching
+  /// them more than once lets the single-dispatch filter (Sec. 5.3) tell
+  /// them apart from one-shot events like load.
+  int MultiDispatchRepeats = 2;
+};
+
+/// Exploration statistics.
+struct ExploreStats {
+  size_t EventsDispatched = 0;
+  size_t LinksClicked = 0;
+  size_t BoxesTyped = 0;
+};
+
+/// Drives automatic exploration over a loaded browser.
+class Explorer {
+public:
+  Explorer(rt::Browser &B, ExploreOptions Opts = ExploreOptions())
+      : B(B), Opts(Opts) {}
+
+  /// The auto-dispatched event types (paper Sec. 5.2.2 list).
+  static const std::vector<std::string> &autoEventTypes();
+
+  /// Runs the page to quiescence, performs exploration, and runs to
+  /// quiescence again (exploration may schedule timers/XHRs).
+  ExploreStats run();
+
+private:
+  void dispatchHandlerEvents(ExploreStats &Stats);
+  void clickJavascriptLinks(ExploreStats &Stats);
+  void typeIntoTextBoxes(ExploreStats &Stats);
+
+  rt::Browser &B;
+  ExploreOptions Opts;
+};
+
+} // namespace wr::explore
+
+#endif // WEBRACER_EXPLORE_EXPLORER_H

@@ -1,0 +1,189 @@
+//===- hb/HbGraph.h - The happens-before relation ---------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The happens-before relation of the paper's Section 3.3, represented as a
+/// DAG over operations with rule-tagged edges.
+///
+/// Two reachability strategies are provided:
+///
+///  * DfsMemo: the paper's implementation strategy - "the race detector
+///    represents the happens-before relation rather directly as a graph
+///    structure" with repeated traversals (Sec. 5.2.1). We add a memo table,
+///    which is sound because the builder only ever adds edges *to the most
+///    recently created operation*: once both endpoints of a query exist, no
+///    later edge can create a new path between them (every edge goes from a
+///    lower OpId to a higher OpId, so a new path through a fresh operation
+///    would have to descend back below it).
+///
+///  * VectorClock: the chain-decomposition vector-clock representation the
+///    paper names as future work (and which the follow-up EventRacer system
+///    adopted). Operations are greedily packed into chains; each operation
+///    carries a clock of per-chain watermarks; reachability is an O(1)
+///    clock lookup.
+///
+/// `bench/ablation_hb_repr` compares the two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_HB_HBGRAPH_H
+#define WEBRACER_HB_HBGRAPH_H
+
+#include "hb/Operation.h"
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace wr {
+
+/// Which paper rule justified an edge; kept on every edge for debugging and
+/// for explaining race reports.
+enum class HbRule : uint8_t {
+  R1a_ParseOrder,       ///< parse(E1) -> parse(E2), syntactic order.
+  R1b_InlineScript,     ///< exe(inline E1) -> parse(E2).
+  R1c_SyncScriptLoad,   ///< ld(sync E1) -> parse(E2).
+  R2_CreateBeforeExe,   ///< create(E) -> exe(E).
+  R3_ExeBeforeLoad,     ///< exe(E) -> ld(E).
+  R4_CreateBeforeDefer, ///< create(E) -> exe(deferred S).
+  R5_DeferOrder,        ///< ld(E1) -> exe(E2) for consecutive defers.
+  R6_FrameCreate,       ///< create(iframe) -> create(nested element).
+  R7_FrameLoad,         ///< ld(nested window) -> ld(iframe).
+  R8_TargetCreated,     ///< create(T) -> disp_i(e, T).
+  R9_DispatchOrder,     ///< disp_j(e,T) -> disp_i(e,T), j < i.
+  R10_AjaxSend,         ///< send() -> disp_0(readystatechange, xhr).
+  R11_DclBeforeLoad,    ///< dcl(D) -> ld(W).
+  R12_ParseBeforeDcl,   ///< parse(E) -> dcl(D).
+  R13_InlineBeforeDcl,  ///< exe(static inline E) -> dcl(D).
+  R14_ScriptLoadBeforeDcl, ///< ld(sync/defer E) -> dcl(D).
+  R15_ElemLoadBeforeWindowLoad, ///< ld(E) -> ld(W).
+  R16_SetTimeout,       ///< caller -> cb(B).
+  R17_SetInterval,      ///< caller -> cb_0; cb_i -> cb_{i+1}.
+  RA_DispatchChain,     ///< begin -> h1 -> ... -> hn -> end within one
+                        ///< dispatch (Appendix A phase ordering).
+  RA_InlineSplit,       ///< A[0:k) -> B -> A[k+1:) for inline dispatch.
+  RProgram,             ///< Generic program-order edge (bootstrap chains).
+};
+
+/// Renders a rule tag.
+const char *toString(HbRule Rule);
+
+/// The happens-before DAG. Operations are created through `addOperation`
+/// and edges through `addEdge`; the builder contract is that every edge
+/// points from a lower OpId to a higher OpId (asserted), i.e., edges are
+/// only added while the target operation is being created.
+class HbGraph {
+public:
+  HbGraph();
+
+  /// Creates a new operation and returns its id. Ids are dense and start
+  /// at 1 (0 is the ⊥ sentinel).
+  OpId addOperation(Operation Op);
+
+  /// Adds the edge From -> To justified by \p Rule. Requires From < To and
+  /// both valid. Duplicate edges are ignored.
+  void addEdge(OpId From, OpId To, HbRule Rule);
+
+  /// Number of operations created so far.
+  size_t numOperations() const { return Ops.size(); }
+
+  /// Number of (deduplicated) edges.
+  size_t numEdges() const { return EdgeCount; }
+
+  /// Operation metadata. \p Op must be valid.
+  const Operation &operation(OpId Op) const {
+    assert(Op != InvalidOpId && Op <= Ops.size() && "invalid OpId");
+    return Ops[Op - 1];
+  }
+
+  /// Mutable access (the runtime patches trigger info as it learns it).
+  Operation &operation(OpId Op) {
+    assert(Op != InvalidOpId && Op <= Ops.size() && "invalid OpId");
+    return Ops[Op - 1];
+  }
+
+  /// Direct successors of \p Op.
+  const std::vector<OpId> &successors(OpId Op) const {
+    assert(Op != InvalidOpId && Op <= Ops.size() && "invalid OpId");
+    return Succ[Op - 1];
+  }
+
+  /// Direct predecessors of \p Op.
+  const std::vector<OpId> &predecessors(OpId Op) const {
+    assert(Op != InvalidOpId && Op <= Ops.size() && "invalid OpId");
+    return Pred[Op - 1];
+  }
+
+  /// True iff A happens-before B in the transitive closure (A != B).
+  /// Dispatches to the configured strategy.
+  bool happensBefore(OpId A, OpId B) const {
+    return UseVectorClocks ? reachesVectorClock(A, B) : reachesDfs(A, B);
+  }
+
+  /// Can-Happen-Concurrently (Sec. 5.1): both valid and unordered.
+  bool canHappenConcurrently(OpId A, OpId B) const {
+    if (A == InvalidOpId || B == InvalidOpId || A == B)
+      return false;
+    return !happensBefore(A, B) && !happensBefore(B, A);
+  }
+
+  /// Memoized-DFS reachability (the paper's graph strategy).
+  bool reachesDfs(OpId A, OpId B) const;
+
+  /// Chain-decomposition vector-clock reachability.
+  bool reachesVectorClock(OpId A, OpId B) const;
+
+  /// Selects the strategy used by happensBefore().
+  void setUseVectorClocks(bool Use) { UseVectorClocks = Use; }
+  bool usesVectorClocks() const { return UseVectorClocks; }
+
+  /// Number of chains the vector-clock index currently uses.
+  size_t numChains() const { return ChainTails.size(); }
+
+  /// Returns the rule that justifies a direct edge From -> To, if any.
+  /// Useful for explaining why two accesses are ordered.
+  bool findDirectEdgeRule(OpId From, OpId To, HbRule &RuleOut) const;
+
+  /// Returns one A -> ... -> B path (operation ids, inclusive) if A
+  /// happens-before B, else an empty vector. For report explanations.
+  std::vector<OpId> explainPath(OpId A, OpId B) const;
+
+  /// Total DFS node visits performed so far (for the representation
+  /// ablation bench).
+  uint64_t dfsVisitCount() const { return DfsVisits; }
+
+private:
+  struct ClockEntry {
+    uint32_t Chain = 0;
+    uint32_t Pos = 0; ///< 1-based position within the chain.
+  };
+
+  void buildClock(OpId Op);
+
+  std::vector<Operation> Ops;
+  std::vector<std::vector<OpId>> Succ;
+  std::vector<std::vector<OpId>> Pred;
+  std::vector<std::vector<std::pair<OpId, HbRule>>> InEdgeRules;
+  size_t EdgeCount = 0;
+
+  // DFS memo: key = (A << 32 | B), value = reachable.
+  mutable std::unordered_map<uint64_t, bool> ReachMemo;
+  mutable std::vector<uint32_t> VisitEpoch;
+  mutable uint32_t CurrentEpoch = 0;
+  mutable uint64_t DfsVisits = 0;
+
+  // Vector clocks: per-op chain assignment and clock (per-chain watermark).
+  std::vector<ClockEntry> Where;
+  std::vector<std::vector<uint32_t>> Clocks;
+  std::vector<OpId> ChainTails; ///< Last op of each chain.
+
+  bool UseVectorClocks = false;
+};
+
+} // namespace wr
+
+#endif // WEBRACER_HB_HBGRAPH_H

@@ -1,0 +1,31 @@
+//===- hb/Operation.cpp - Atomic operations of a web execution ------------===//
+
+#include "hb/Operation.h"
+
+using namespace wr;
+
+const char *wr::toString(OperationKind Kind) {
+  switch (Kind) {
+  case OperationKind::Bootstrap:
+    return "bootstrap";
+  case OperationKind::ParseElement:
+    return "parse";
+  case OperationKind::ExecuteScript:
+    return "exe";
+  case OperationKind::TimeoutCallback:
+    return "cb";
+  case OperationKind::IntervalCallback:
+    return "cbi";
+  case OperationKind::EventHandler:
+    return "handler";
+  case OperationKind::DispatchBegin:
+    return "dispatch-begin";
+  case OperationKind::DispatchEnd:
+    return "dispatch-end";
+  case OperationKind::ScriptSlice:
+    return "slice";
+  case OperationKind::UserAction:
+    return "user";
+  }
+  return "unknown";
+}

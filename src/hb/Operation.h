@@ -1,0 +1,85 @@
+//===- hb/Operation.h - Atomic operations of a web execution ----*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operations per the paper's Section 3.2. A web page execution consists of
+/// atomic operations: parsing an HTML element, executing a script, running a
+/// timer callback, or executing an event handler. Each operation gets a
+/// unique OpId; the happens-before relation is a binary relation on OpIds.
+///
+/// Two auxiliary operation kinds materialize the paper's *sets* of
+/// operations: every event dispatch is bracketed by DispatchBegin /
+/// DispatchEnd anchor operations that perform no memory accesses. A rule of
+/// the form `X -> disp_i(e,T)` becomes an edge X -> begin-anchor; a rule
+/// `disp_i(e,T) -> Y` becomes end-anchor -> Y. Handler operations are
+/// chained begin -> h1 -> ... -> hn -> end, which also realizes the
+/// Appendix A phase-ordering rule (handlers of one dispatch execute in a
+/// fixed phase/target order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_HB_OPERATION_H
+#define WEBRACER_HB_OPERATION_H
+
+#include "mem/Location.h"
+
+#include <cstdint>
+#include <string>
+
+namespace wr {
+
+/// Identifier of an operation. 0 is the ⊥ sentinel used by the detector's
+/// LastRead/LastWrite maps before any access occurred.
+using OpId = uint32_t;
+
+inline constexpr OpId InvalidOpId = 0;
+
+/// The kinds of atomic operations (Sec. 3.2), plus dispatch anchors and
+/// script slices (Appendix A inline-dispatch splitting).
+enum class OperationKind : uint8_t {
+  Bootstrap,        ///< Pseudo-operation that starts a page load.
+  ParseElement,     ///< parse(E): parsing one static HTML element.
+  ExecuteScript,    ///< exe(E): running the code of a script element.
+  TimeoutCallback,  ///< cb(E): a setTimeout callback.
+  IntervalCallback, ///< cbi(E): the i-th setInterval callback.
+  EventHandler,     ///< One handler execution within a dispatch.
+  DispatchBegin,    ///< Anchor before the handlers of one event dispatch.
+  DispatchEnd,      ///< Anchor after the handlers of one event dispatch.
+  ScriptSlice,      ///< A[i:j) slice of an operation interrupted by an
+                    ///< inline event dispatch (Appendix A).
+  UserAction,       ///< Anchor for a simulated user action.
+};
+
+/// What caused this operation to be schedulable; used by the replay-based
+/// harmfulness classifier to perturb schedules.
+enum class TriggerKind : uint8_t {
+  None,    ///< Synchronous (parser-driven, or nested in another op).
+  Network, ///< A network resource completion.
+  Timer,   ///< A setTimeout/setInterval expiry.
+  User,    ///< A (simulated) user action.
+};
+
+/// Metadata about one operation. The happens-before relation itself lives
+/// in HbGraph; this is the per-operation record used for reports and
+/// classification.
+struct Operation {
+  OperationKind Kind = OperationKind::Bootstrap;
+  DocumentId Doc = 0;      ///< Owning document (0 if none).
+  NodeId Subject = InvalidNodeId; ///< The element parsed / script run /
+                                  ///< dispatch target, when applicable.
+  std::string EventType;   ///< For dispatch anchors and handlers.
+  int32_t DispatchIndex = -1; ///< i of disp_i, when applicable.
+  std::string Label;       ///< Human-readable description.
+  TriggerKind Trigger = TriggerKind::None;
+  std::string TriggerKey;  ///< URL / timer id / user action id.
+};
+
+/// Renders an operation kind name.
+const char *toString(OperationKind Kind);
+
+} // namespace wr
+
+#endif // WEBRACER_HB_OPERATION_H

@@ -1,0 +1,178 @@
+//===- html/HtmlParser.cpp - Incremental HTML tree builder ------------------===//
+
+#include "html/HtmlParser.h"
+
+#include "support/StringUtils.h"
+
+using namespace wr;
+using namespace wr::html;
+
+ScriptKind wr::html::classifyScript(const Element *Script) {
+  bool External = Script->hasAttribute("src") &&
+                  !Script->getAttribute("src").empty();
+  if (!External)
+    return ScriptKind::Inline;
+  auto IsTruthy = [&](const char *Name) {
+    if (!Script->hasAttribute(Name))
+      return false;
+    std::string V = toLower(Script->getAttribute(Name));
+    return V != "false" && V != "0" && V != "off";
+  };
+  // A script cannot be both async and defer; async wins (HTML5).
+  if (IsTruthy("async"))
+    return ScriptKind::AsyncExternal;
+  if (IsTruthy("defer"))
+    return ScriptKind::DeferredExternal;
+  return ScriptKind::SyncExternal;
+}
+
+HtmlParser::HtmlParser(Document &Doc, std::string Source, Node *Root,
+                       bool MarkStatic)
+    : Doc(Doc), Tok(std::move(Source)), Root(Root ? Root : Doc.body()),
+      MarkStatic(MarkStatic) {}
+
+Node *HtmlParser::insertionPoint() {
+  return OpenStack.empty() ? Root : OpenStack.back();
+}
+
+ParseStep HtmlParser::pump() {
+  ParseStep Step;
+  if (Done) {
+    Step.StepKind = ParseStep::Kind::Finished;
+    return Step;
+  }
+  for (;;) {
+    HtmlToken T = Tok.next();
+    switch (T.TokKind) {
+    case HtmlToken::Kind::Eof:
+      Done = true;
+      if (PendingScript) {
+        // Unterminated script: complete it with what we have.
+        Step.StepKind = ParseStep::Kind::ScriptComplete;
+        Step.Elem = PendingScript;
+        Step.Text = PendingScriptText;
+        if (!PendingScriptText.empty()) {
+          Text *Body = Doc.createTextNode(PendingScriptText);
+          Body->setStatic(MarkStatic);
+          Doc.appendChild(PendingScript, Body);
+        }
+        PendingScriptText.clear();
+        PendingScript = nullptr;
+        return Step;
+      }
+      Step.StepKind = ParseStep::Kind::Finished;
+      return Step;
+
+    case HtmlToken::Kind::Comment:
+    case HtmlToken::Kind::Doctype:
+      continue;
+
+    case HtmlToken::Kind::Text: {
+      if (PendingScript) {
+        PendingScriptText += T.Text;
+        continue;
+      }
+      std::string_view Trimmed = trim(T.Text);
+      if (Trimmed.empty())
+        continue;
+      Text *TextNode = Doc.createTextNode(T.Text);
+      TextNode->setStatic(MarkStatic);
+      Doc.appendChild(insertionPoint(), TextNode);
+      Step.StepKind = ParseStep::Kind::TextAdded;
+      Step.Text = std::string(Trimmed);
+      return Step;
+    }
+
+    case HtmlToken::Kind::StartTag: {
+      // html/head/body map onto the synthesized skeleton. head/body are
+      // reported as ElementOpened so the loader sees their attributes
+      // (e.g. <body onload=...>), but they are already inserted.
+      if (T.Name == "html" || T.Name == "head" || T.Name == "body") {
+        Element *Skeleton = T.Name == "html"   ? Doc.documentElement()
+                            : T.Name == "head" ? Doc.head()
+                                               : Doc.body();
+        for (const auto &[Name, ValueStr] : T.Attrs)
+          Skeleton->setAttribute(Name, ValueStr);
+        if (T.Name == "head" || T.Name == "body") {
+          OpenStack.clear();
+          OpenStack.push_back(Skeleton);
+          Step.StepKind = ParseStep::Kind::ElementOpened;
+          Step.Elem = Skeleton;
+          return Step;
+        }
+        continue;
+      }
+      Element *E = Doc.createElement(T.Name);
+      E->setStatic(MarkStatic);
+      for (const auto &[Name, ValueStr] : T.Attrs)
+        E->setAttribute(Name, ValueStr);
+      Doc.appendChild(insertionPoint(), E);
+      bool IsVoid = E->isVoidTag() || T.SelfClosing;
+      if (!IsVoid)
+        OpenStack.push_back(E);
+      if (T.Name == "script" && !IsVoid) {
+        PendingScript = E;
+        PendingScriptText.clear();
+      }
+      Step.StepKind = ParseStep::Kind::ElementOpened;
+      Step.Elem = E;
+      return Step;
+    }
+
+    case HtmlToken::Kind::EndTag: {
+      if (T.Name == "html" || T.Name == "head" || T.Name == "body") {
+        if (T.Name == "head") {
+          OpenStack.clear();
+          OpenStack.push_back(Doc.body());
+        } else {
+          OpenStack.clear();
+        }
+        continue;
+      }
+      // Pop to the matching open element (forgiving recovery).
+      Element *Closed = nullptr;
+      for (size_t I = OpenStack.size(); I > 0; --I) {
+        if (OpenStack[I - 1]->tagName() == T.Name) {
+          Closed = OpenStack[I - 1];
+          OpenStack.resize(I - 1);
+          break;
+        }
+      }
+      if (!Closed)
+        continue; // Stray end tag.
+      if (Closed == PendingScript) {
+        Step.StepKind = ParseStep::Kind::ScriptComplete;
+        Step.Elem = PendingScript;
+        Step.Text = PendingScriptText;
+        // Keep the source as a child Text node so the element is
+        // self-describing (innerHTML, dynamic re-execution).
+        if (!PendingScriptText.empty()) {
+          Text *Body = Doc.createTextNode(PendingScriptText);
+          Body->setStatic(MarkStatic);
+          Doc.appendChild(PendingScript, Body);
+        }
+        PendingScriptText.clear();
+        PendingScript = nullptr;
+        return Step;
+      }
+      Step.StepKind = ParseStep::Kind::ElementClosed;
+      Step.Elem = Closed;
+      return Step;
+    }
+    }
+  }
+}
+
+std::vector<Element *> HtmlParser::parseFragment(Document &Doc, Node *Root,
+                                                 std::string Source) {
+  HtmlParser P(Doc, std::move(Source), Root, /*MarkStatic=*/false);
+  std::vector<Element *> Opened;
+  for (;;) {
+    ParseStep Step = P.pump();
+    if (Step.StepKind == ParseStep::Kind::Finished)
+      break;
+    if (Step.StepKind == ParseStep::Kind::ElementOpened)
+      Opened.push_back(Step.Elem);
+  }
+  return Opened;
+}

@@ -1,0 +1,99 @@
+//===- html/HtmlParser.h - Incremental HTML tree builder --------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An *incremental* HTML parser: the page loader pumps it one step at a
+/// time, interleaving parsing with script execution exactly as browsers do
+/// during page load (the root cause of the partial-page-rendering races in
+/// the paper's Sec. 2.1). Each ElementOpened step corresponds to one
+/// parse(E) operation; elements are inserted at their opening tag, so the
+/// paper's "E1 precedes E2" syntactic order equals step order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_HTML_HTMLPARSER_H
+#define WEBRACER_HTML_HTMLPARSER_H
+
+#include "dom/Dom.h"
+#include "html/Tokenizer.h"
+
+#include <string>
+#include <vector>
+
+namespace wr::html {
+
+/// The script flavors of Sec. 3.1. Asynchronous/deferred scripts must be
+/// external; a script with a body and a src keeps the src (browser
+/// behavior).
+enum class ScriptKind : uint8_t {
+  Inline,
+  SyncExternal,
+  AsyncExternal,
+  DeferredExternal,
+};
+
+/// Classifies a <script> element from its attributes.
+ScriptKind classifyScript(const Element *Script);
+
+/// One parser pump result.
+struct ParseStep {
+  enum class Kind : uint8_t {
+    /// A new element was created and inserted (its opening tag was
+    /// consumed). This is the parse(E) operation.
+    ElementOpened,
+    /// A <script> element completed (its content, if inline, is in Text).
+    /// The loader must now execute or schedule it per its ScriptKind.
+    ScriptComplete,
+    /// An element's end tag was consumed.
+    ElementClosed,
+    /// Text content was appended (no operation of its own).
+    TextAdded,
+    /// Input exhausted.
+    Finished,
+  };
+
+  Kind StepKind = Kind::Finished;
+  Element *Elem = nullptr;
+  std::string Text; ///< Inline script source for ScriptComplete.
+};
+
+/// Streaming tree builder over one document (or fragment).
+class HtmlParser {
+public:
+  /// Parses \p Source into \p Doc, inserting under \p Root (defaults to
+  /// the document body). \p MarkStatic tags created elements as static
+  /// (parser-created); fragment parsing via innerHTML passes false.
+  HtmlParser(Document &Doc, std::string Source, Node *Root = nullptr,
+             bool MarkStatic = true);
+
+  /// Consumes input until it can report the next interesting step.
+  ParseStep pump();
+
+  /// True once pump() returned Finished.
+  bool finished() const { return Done; }
+
+  /// Convenience: parses a complete fragment synchronously, ignoring
+  /// scripts' execution (used by innerHTML). Returns the elements opened,
+  /// in order.
+  static std::vector<Element *> parseFragment(Document &Doc, Node *Root,
+                                              std::string Source);
+
+private:
+  Node *insertionPoint();
+
+  Document &Doc;
+  Tokenizer Tok;
+  std::vector<Element *> OpenStack;
+  Node *Root;
+  bool MarkStatic;
+  bool Done = false;
+  Element *PendingScript = nullptr; ///< Open <script> awaiting its body.
+  std::string PendingScriptText;
+};
+
+} // namespace wr::html
+
+#endif // WEBRACER_HTML_HTMLPARSER_H

@@ -1,0 +1,222 @@
+//===- html/Tokenizer.cpp - HTML tokenizer ----------------------------------===//
+
+#include "html/Tokenizer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace wr;
+using namespace wr::html;
+
+std::string HtmlToken::attr(std::string_view Name) const {
+  std::string Lower = toLower(Name);
+  for (const auto &[AttrName, AttrValue] : Attrs)
+    if (AttrName == Lower)
+      return AttrValue;
+  return std::string();
+}
+
+bool HtmlToken::hasAttr(std::string_view Name) const {
+  std::string Lower = toLower(Name);
+  for (const auto &[AttrName, AttrValue] : Attrs)
+    if (AttrName == Lower)
+      return true;
+  return false;
+}
+
+Tokenizer::Tokenizer(std::string Source) : Source(std::move(Source)) {}
+
+char Tokenizer::peek(size_t Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+void Tokenizer::advance(size_t N) { Pos = std::min(Pos + N, Source.size()); }
+
+bool Tokenizer::startsWithAt(std::string_view Prefix) const {
+  if (Pos + Prefix.size() > Source.size())
+    return false;
+  for (size_t I = 0; I < Prefix.size(); ++I) {
+    char C = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(Source[Pos + I])));
+    if (C != Prefix[I])
+      return false;
+  }
+  return true;
+}
+
+HtmlToken Tokenizer::lexRawText() {
+  // Scan for </endtag (case-insensitive).
+  std::string Close = "</" + RawTextEndTag;
+  size_t Start = Pos;
+  while (Pos < Source.size()) {
+    if (peek() == '<' && startsWithAt(Close)) {
+      // Must be followed by whitespace, '>', or '/'.
+      char After = Pos + Close.size() < Source.size()
+                       ? Source[Pos + Close.size()]
+                       : '>';
+      if (isHtmlSpace(After) || After == '>' || After == '/')
+        break;
+    }
+    advance();
+  }
+  RawTextEndTag.clear();
+  HtmlToken T;
+  T.TokKind = HtmlToken::Kind::Text;
+  T.Text = Source.substr(Start, Pos - Start);
+  return T;
+}
+
+HtmlToken Tokenizer::lexComment() {
+  advance(4); // <!--
+  size_t Start = Pos;
+  size_t End = Source.find("-->", Pos);
+  HtmlToken T;
+  T.TokKind = HtmlToken::Kind::Comment;
+  if (End == std::string::npos) {
+    T.Text = Source.substr(Start);
+    Pos = Source.size();
+  } else {
+    T.Text = Source.substr(Start, End - Start);
+    Pos = End + 3;
+  }
+  return T;
+}
+
+HtmlToken Tokenizer::lexTag() {
+  HtmlToken T;
+  advance(); // <
+  bool IsEnd = peek() == '/';
+  if (IsEnd)
+    advance();
+  T.TokKind = IsEnd ? HtmlToken::Kind::EndTag : HtmlToken::Kind::StartTag;
+
+  // Tag name.
+  size_t NameStart = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '-' ||
+         peek() == '_' || peek() == ':')
+    advance();
+  T.Name = toLower(std::string_view(Source).substr(NameStart,
+                                                   Pos - NameStart));
+
+  // Attributes.
+  for (;;) {
+    while (isHtmlSpace(peek()))
+      advance();
+    char C = peek();
+    if (C == '\0') {
+      break;
+    }
+    if (C == '>') {
+      advance();
+      break;
+    }
+    if (C == '/' && peek(1) == '>') {
+      T.SelfClosing = true;
+      advance(2);
+      break;
+    }
+    if (C == '/') {
+      advance();
+      continue;
+    }
+    // Attribute name.
+    size_t AttrStart = Pos;
+    while (peek() != '\0' && !isHtmlSpace(peek()) && peek() != '=' &&
+           peek() != '>' && peek() != '/')
+      advance();
+    std::string Name = toLower(
+        std::string_view(Source).substr(AttrStart, Pos - AttrStart));
+    if (Name.empty()) {
+      advance(); // Garbage byte; skip.
+      continue;
+    }
+    while (isHtmlSpace(peek()))
+      advance();
+    std::string ValueStr;
+    if (peek() == '=') {
+      advance();
+      while (isHtmlSpace(peek()))
+        advance();
+      char Quote = peek();
+      if (Quote == '"' || Quote == '\'') {
+        advance();
+        size_t ValueStart = Pos;
+        while (peek() != '\0' && peek() != Quote)
+          advance();
+        ValueStr = Source.substr(ValueStart, Pos - ValueStart);
+        if (peek() == Quote)
+          advance();
+      } else {
+        size_t ValueStart = Pos;
+        while (peek() != '\0' && !isHtmlSpace(peek()) && peek() != '>')
+          advance();
+        ValueStr = Source.substr(ValueStart, Pos - ValueStart);
+      }
+    }
+    T.Attrs.emplace_back(std::move(Name), std::move(ValueStr));
+  }
+
+  // Raw-text elements swallow their content verbatim.
+  if (T.TokKind == HtmlToken::Kind::StartTag && !T.SelfClosing &&
+      (T.Name == "script" || T.Name == "style"))
+    RawTextEndTag = T.Name;
+  return T;
+}
+
+HtmlToken Tokenizer::next() {
+  if (!RawTextEndTag.empty())
+    return lexRawText();
+  if (Pos >= Source.size()) {
+    HtmlToken T;
+    T.TokKind = HtmlToken::Kind::Eof;
+    return T;
+  }
+  if (peek() == '<') {
+    if (startsWithAt("<!--"))
+      return lexComment();
+    if (peek(1) == '!') {
+      // Doctype or bogus declaration: skip to '>'.
+      size_t End = Source.find('>', Pos);
+      HtmlToken T;
+      T.TokKind = HtmlToken::Kind::Doctype;
+      if (End == std::string::npos) {
+        Pos = Source.size();
+      } else {
+        T.Text = Source.substr(Pos + 2, End - Pos - 2);
+        Pos = End + 1;
+      }
+      return T;
+    }
+    if (std::isalpha(static_cast<unsigned char>(peek(1))) ||
+        (peek(1) == '/' &&
+         std::isalpha(static_cast<unsigned char>(peek(2)))))
+      return lexTag();
+    // Literal '<' in text.
+  }
+  size_t Start = Pos;
+  while (Pos < Source.size()) {
+    if (peek() == '<' &&
+        (startsWithAt("<!--") || peek(1) == '!' ||
+         std::isalpha(static_cast<unsigned char>(peek(1))) ||
+         (peek(1) == '/' &&
+          std::isalpha(static_cast<unsigned char>(peek(2))))))
+      break;
+    advance();
+  }
+  HtmlToken T;
+  T.TokKind = HtmlToken::Kind::Text;
+  T.Text = Source.substr(Start, Pos - Start);
+  return T;
+}
+
+std::vector<HtmlToken> Tokenizer::tokenizeAll(std::string Source) {
+  Tokenizer Tok(std::move(Source));
+  std::vector<HtmlToken> Tokens;
+  for (;;) {
+    Tokens.push_back(Tok.next());
+    if (Tokens.back().TokKind == HtmlToken::Kind::Eof)
+      break;
+  }
+  return Tokens;
+}

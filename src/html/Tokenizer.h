@@ -1,0 +1,76 @@
+//===- html/Tokenizer.h - HTML tokenizer ------------------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A forgiving HTML tokenizer: start/end tags with quoted, unquoted, and
+/// bare attributes, text, comments, and doctype. Raw-text elements
+/// (<script>, <style>) capture their content verbatim until the matching
+/// close tag, which is what lets inline scripts contain '<'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_HTML_TOKENIZER_H
+#define WEBRACER_HTML_TOKENIZER_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wr::html {
+
+/// One HTML token.
+struct HtmlToken {
+  enum class Kind : uint8_t {
+    StartTag,
+    EndTag,
+    Text,
+    Comment,
+    Doctype,
+    Eof,
+  };
+
+  Kind TokKind = Kind::Eof;
+  std::string Name; ///< Lowercased tag name.
+  std::vector<std::pair<std::string, std::string>> Attrs; ///< Lowercased
+                                                          ///< names.
+  std::string Text;       ///< Text/comment payload; raw text for script.
+  bool SelfClosing = false;
+
+  /// First attribute value by (lowercased) name; "" if missing.
+  std::string attr(std::string_view Name) const;
+  bool hasAttr(std::string_view Name) const;
+};
+
+/// Streaming HTML tokenizer.
+class Tokenizer {
+public:
+  explicit Tokenizer(std::string Source);
+
+  /// Returns the next token. After a <script>/<style> start tag the
+  /// tokenizer automatically switches to raw-text mode and the following
+  /// Text token carries everything up to the matching end tag.
+  HtmlToken next();
+
+  /// Tokenizes everything (testing helper).
+  static std::vector<HtmlToken> tokenizeAll(std::string Source);
+
+private:
+  char peek(size_t Ahead = 0) const;
+  void advance(size_t N = 1);
+  bool startsWithAt(std::string_view Prefix) const;
+  HtmlToken lexTag();
+  HtmlToken lexComment();
+  HtmlToken lexRawText();
+
+  std::string Source;
+  size_t Pos = 0;
+  std::string RawTextEndTag; ///< Non-empty while in raw-text mode.
+};
+
+} // namespace wr::html
+
+#endif // WEBRACER_HTML_TOKENIZER_H

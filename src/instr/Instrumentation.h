@@ -1,0 +1,139 @@
+//===- instr/Instrumentation.h - Browser instrumentation hooks --*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation interface between the simulated browser engine and
+/// analysis tools. The paper (Sec. 5.2.1) argues browsers should expose "a
+/// well-defined, standard instrumentation interface ... that analysis tools
+/// like WebRacer could be built upon"; this is ours.
+///
+/// The runtime invokes a sink at every operation boundary, happens-before
+/// edge, and logical memory access. The race detector is one sink; a trace
+/// recorder is another. The framework is detector-agnostic (Sec. 5.2: "our
+/// framework is flexible and allows us to plug in any dynamic race
+/// detector").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_INSTR_INSTRUMENTATION_H
+#define WEBRACER_INSTR_INSTRUMENTATION_H
+
+#include "hb/HbGraph.h"
+#include "mem/Location.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wr {
+
+/// Callbacks delivered by the engine while a page executes. Default
+/// implementations do nothing so sinks override only what they need.
+class InstrumentationSink {
+public:
+  virtual ~InstrumentationSink();
+
+  /// A new operation was created (it may not have started running yet).
+  virtual void onOperationCreated(OpId Op, const Operation &Meta) {
+    (void)Op;
+    (void)Meta;
+  }
+
+  /// \p Op became the currently executing operation.
+  virtual void onOperationBegin(OpId Op) { (void)Op; }
+
+  /// \p Op finished executing. \p Crashed is true if the operation was
+  /// terminated by an uncaught JS exception (the "hidden crashes" of
+  /// Sec. 2.3).
+  virtual void onOperationEnd(OpId Op, bool Crashed) {
+    (void)Op;
+    (void)Crashed;
+  }
+
+  /// A happens-before edge was added.
+  virtual void onHbEdge(OpId From, OpId To, HbRule Rule) {
+    (void)From;
+    (void)To;
+    (void)Rule;
+  }
+
+  /// A logical memory access occurred.
+  virtual void onMemoryAccess(const Access &A) { (void)A; }
+
+  /// An event was dispatched (anchor ids delimit its handler operations).
+  virtual void onEventDispatch(NodeId Target, const std::string &EventType,
+                               int32_t DispatchIndex, OpId Begin, OpId End) {
+    (void)Target;
+    (void)EventType;
+    (void)DispatchIndex;
+    (void)Begin;
+    (void)End;
+  }
+};
+
+/// Fans callbacks out to several sinks in registration order.
+class MultiSink final : public InstrumentationSink {
+public:
+  void addSink(InstrumentationSink *Sink) { Sinks.push_back(Sink); }
+  void clear() { Sinks.clear(); }
+
+  void onOperationCreated(OpId Op, const Operation &Meta) override;
+  void onOperationBegin(OpId Op) override;
+  void onOperationEnd(OpId Op, bool Crashed) override;
+  void onHbEdge(OpId From, OpId To, HbRule Rule) override;
+  void onMemoryAccess(const Access &A) override;
+  void onEventDispatch(NodeId Target, const std::string &EventType,
+                       int32_t DispatchIndex, OpId Begin, OpId End) override;
+
+private:
+  std::vector<InstrumentationSink *> Sinks;
+};
+
+/// Records the full instrumentation stream for tests and debugging.
+class TraceRecorder final : public InstrumentationSink {
+public:
+  enum class EventKind : uint8_t {
+    OpCreated,
+    OpBegin,
+    OpEnd,
+    HbEdge,
+    MemAccess,
+    Dispatch,
+  };
+
+  struct Event {
+    EventKind Kind;
+    OpId Op = InvalidOpId;
+    OpId Op2 = InvalidOpId;
+    HbRule Rule = HbRule::RProgram;
+    bool Crashed = false;
+    Access Mem;
+    std::string Text;
+  };
+
+  void onOperationCreated(OpId Op, const Operation &Meta) override;
+  void onOperationBegin(OpId Op) override;
+  void onOperationEnd(OpId Op, bool Crashed) override;
+  void onHbEdge(OpId From, OpId To, HbRule Rule) override;
+  void onMemoryAccess(const Access &A) override;
+  void onEventDispatch(NodeId Target, const std::string &EventType,
+                       int32_t DispatchIndex, OpId Begin, OpId End) override;
+
+  const std::vector<Event> &events() const { return Events; }
+
+  /// Renders the whole trace, one event per line.
+  std::string toString() const;
+
+  /// Counts events of one kind.
+  size_t count(EventKind Kind) const;
+
+private:
+  std::vector<Event> Events;
+};
+
+} // namespace wr
+
+#endif // WEBRACER_INSTR_INSTRUMENTATION_H

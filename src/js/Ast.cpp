@@ -1,0 +1,470 @@
+//===- js/Ast.cpp - MiniJS abstract syntax tree ----------------------------===//
+
+#include "js/Ast.h"
+
+#include "support/Format.h"
+
+using namespace wr;
+using namespace wr::js;
+
+AstNode::~AstNode() = default;
+
+const char *wr::js::astKindName(AstKind Kind) {
+  switch (Kind) {
+  case AstKind::NumberLit:
+    return "number";
+  case AstKind::StringLit:
+    return "string";
+  case AstKind::BoolLit:
+    return "bool";
+  case AstKind::NullLit:
+    return "null";
+  case AstKind::UndefinedLit:
+    return "undefined";
+  case AstKind::ThisExpr:
+    return "this";
+  case AstKind::Ident:
+    return "ident";
+  case AstKind::ArrayLit:
+    return "array";
+  case AstKind::ObjectLit:
+    return "object";
+  case AstKind::FunctionExpr:
+    return "function-expr";
+  case AstKind::Member:
+    return "member";
+  case AstKind::Index:
+    return "index";
+  case AstKind::Call:
+    return "call";
+  case AstKind::New:
+    return "new";
+  case AstKind::Unary:
+    return "unary";
+  case AstKind::Update:
+    return "update";
+  case AstKind::Binary:
+    return "binary";
+  case AstKind::Logical:
+    return "logical";
+  case AstKind::Conditional:
+    return "conditional";
+  case AstKind::Assign:
+    return "assign";
+  case AstKind::Sequence:
+    return "sequence";
+  case AstKind::ExprStmt:
+    return "expr-stmt";
+  case AstKind::VarDecl:
+    return "var";
+  case AstKind::FunctionDecl:
+    return "function-decl";
+  case AstKind::Block:
+    return "block";
+  case AstKind::If:
+    return "if";
+  case AstKind::While:
+    return "while";
+  case AstKind::DoWhile:
+    return "do-while";
+  case AstKind::For:
+    return "for";
+  case AstKind::ForIn:
+    return "for-in";
+  case AstKind::Return:
+    return "return";
+  case AstKind::Break:
+    return "break";
+  case AstKind::Continue:
+    return "continue";
+  case AstKind::Switch:
+    return "switch";
+  case AstKind::Throw:
+    return "throw";
+  case AstKind::Try:
+    return "try";
+  case AstKind::Empty:
+    return "empty";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Compact S-expression printer used by golden tests.
+class AstPrinter {
+public:
+  std::string print(const Program &P) {
+    Out.clear();
+    Out += "(program";
+    for (const StmtPtr &S : P.Body) {
+      Out += ' ';
+      printStmt(S.get());
+    }
+    Out += ')';
+    return Out;
+  }
+
+private:
+  void printStmt(const Stmt *S) {
+    if (!S) {
+      Out += "(null)";
+      return;
+    }
+    switch (S->kind()) {
+    case AstKind::ExprStmt:
+      printExpr(cast<ExprStmt>(S)->E.get());
+      return;
+    case AstKind::VarDecl: {
+      const auto *V = cast<VarDecl>(S);
+      Out += "(var";
+      for (const auto &D : V->Decls) {
+        Out += " (";
+        Out += D.Name;
+        if (D.Init) {
+          Out += ' ';
+          printExpr(D.Init.get());
+        }
+        Out += ')';
+      }
+      Out += ')';
+      return;
+    }
+    case AstKind::FunctionDecl: {
+      const auto *F = cast<FunctionDecl>(S);
+      printFunction("defun", F->Fn);
+      return;
+    }
+    case AstKind::Block: {
+      const auto *B = cast<Block>(S);
+      Out += "(block";
+      for (const StmtPtr &Child : B->Stmts) {
+        Out += ' ';
+        printStmt(Child.get());
+      }
+      Out += ')';
+      return;
+    }
+    case AstKind::If: {
+      const auto *I = cast<If>(S);
+      Out += "(if ";
+      printExpr(I->Cond.get());
+      Out += ' ';
+      printStmt(I->Then.get());
+      if (I->Else) {
+        Out += ' ';
+        printStmt(I->Else.get());
+      }
+      Out += ')';
+      return;
+    }
+    case AstKind::While: {
+      const auto *W = cast<While>(S);
+      Out += "(while ";
+      printExpr(W->Cond.get());
+      Out += ' ';
+      printStmt(W->Body.get());
+      Out += ')';
+      return;
+    }
+    case AstKind::DoWhile: {
+      const auto *W = cast<DoWhile>(S);
+      Out += "(do-while ";
+      printStmt(W->Body.get());
+      Out += ' ';
+      printExpr(W->Cond.get());
+      Out += ')';
+      return;
+    }
+    case AstKind::For: {
+      const auto *F = cast<For>(S);
+      Out += "(for ";
+      if (F->Init)
+        printStmt(F->Init.get());
+      else
+        Out += "()";
+      Out += ' ';
+      if (F->Cond)
+        printExpr(F->Cond.get());
+      else
+        Out += "()";
+      Out += ' ';
+      if (F->Step)
+        printExpr(F->Step.get());
+      else
+        Out += "()";
+      Out += ' ';
+      printStmt(F->Body.get());
+      Out += ')';
+      return;
+    }
+    case AstKind::ForIn: {
+      const auto *F = cast<ForIn>(S);
+      Out += strFormat("(for-in %s ", F->Var.c_str());
+      printExpr(F->Object.get());
+      Out += ' ';
+      printStmt(F->Body.get());
+      Out += ')';
+      return;
+    }
+    case AstKind::Return: {
+      const auto *R = cast<Return>(S);
+      Out += "(return";
+      if (R->Value) {
+        Out += ' ';
+        printExpr(R->Value.get());
+      }
+      Out += ')';
+      return;
+    }
+    case AstKind::Break:
+      Out += "(break)";
+      return;
+    case AstKind::Continue:
+      Out += "(continue)";
+      return;
+    case AstKind::Switch: {
+      const auto *Sw = cast<Switch>(S);
+      Out += "(switch ";
+      printExpr(Sw->Disc.get());
+      for (const auto &Clause : Sw->Cases) {
+        Out += " (case ";
+        if (Clause.Test)
+          printExpr(Clause.Test.get());
+        else
+          Out += "default";
+        for (const StmtPtr &Child : Clause.Body) {
+          Out += ' ';
+          printStmt(Child.get());
+        }
+        Out += ')';
+      }
+      Out += ')';
+      return;
+    }
+    case AstKind::Throw: {
+      Out += "(throw ";
+      printExpr(cast<Throw>(S)->Value.get());
+      Out += ')';
+      return;
+    }
+    case AstKind::Try: {
+      const auto *T = cast<Try>(S);
+      Out += "(try ";
+      printStmt(T->Body.get());
+      if (T->Catch) {
+        Out += strFormat(" (catch %s ", T->CatchVar.c_str());
+        printStmt(T->Catch.get());
+        Out += ')';
+      }
+      if (T->Finally) {
+        Out += " (finally ";
+        printStmt(T->Finally.get());
+        Out += ')';
+      }
+      Out += ')';
+      return;
+    }
+    case AstKind::Empty:
+      Out += "(empty)";
+      return;
+    default:
+      Out += "(?stmt)";
+      return;
+    }
+  }
+
+  void printFunction(const char *Tag, const FunctionLiteral &Fn) {
+    Out += '(';
+    Out += Tag;
+    Out += ' ';
+    Out += Fn.Name.empty() ? "<anon>" : Fn.Name.c_str();
+    Out += " (";
+    for (size_t I = 0; I < Fn.Params.size(); ++I) {
+      if (I != 0)
+        Out += ' ';
+      Out += Fn.Params[I];
+    }
+    Out += ") ";
+    printStmt(Fn.Body.get());
+    Out += ')';
+  }
+
+  void printExpr(const Expr *E) {
+    if (!E) {
+      Out += "(null)";
+      return;
+    }
+    switch (E->kind()) {
+    case AstKind::NumberLit: {
+      double V = cast<NumberLit>(E)->V;
+      if (V == static_cast<int64_t>(V))
+        Out += strFormat("%lld", static_cast<long long>(V));
+      else
+        Out += strFormat("%g", V);
+      return;
+    }
+    case AstKind::StringLit:
+      Out += strFormat("\"%s\"", cast<StringLit>(E)->V.c_str());
+      return;
+    case AstKind::BoolLit:
+      Out += cast<BoolLit>(E)->V ? "true" : "false";
+      return;
+    case AstKind::NullLit:
+      Out += "null";
+      return;
+    case AstKind::UndefinedLit:
+      Out += "undefined";
+      return;
+    case AstKind::ThisExpr:
+      Out += "this";
+      return;
+    case AstKind::Ident:
+      Out += cast<Ident>(E)->Name;
+      return;
+    case AstKind::ArrayLit: {
+      Out += "(array";
+      for (const ExprPtr &Elem : cast<ArrayLit>(E)->Elems) {
+        Out += ' ';
+        printExpr(Elem.get());
+      }
+      Out += ')';
+      return;
+    }
+    case AstKind::ObjectLit: {
+      Out += "(object";
+      for (const auto &Prop : cast<ObjectLit>(E)->Props) {
+        Out += strFormat(" (%s ", Prop.Key.c_str());
+        printExpr(Prop.Value.get());
+        Out += ')';
+      }
+      Out += ')';
+      return;
+    }
+    case AstKind::FunctionExpr:
+      printFunction("lambda", cast<FunctionExpr>(E)->Fn);
+      return;
+    case AstKind::Member: {
+      const auto *M = cast<Member>(E);
+      Out += "(. ";
+      printExpr(M->Base.get());
+      Out += ' ';
+      Out += M->Name;
+      Out += ')';
+      return;
+    }
+    case AstKind::Index: {
+      const auto *I = cast<Index>(E);
+      Out += "([] ";
+      printExpr(I->Base.get());
+      Out += ' ';
+      printExpr(I->Key.get());
+      Out += ')';
+      return;
+    }
+    case AstKind::Call: {
+      const auto *C = cast<Call>(E);
+      Out += "(call ";
+      printExpr(C->Callee.get());
+      for (const ExprPtr &Arg : C->Args) {
+        Out += ' ';
+        printExpr(Arg.get());
+      }
+      Out += ')';
+      return;
+    }
+    case AstKind::New: {
+      const auto *N = cast<New>(E);
+      Out += "(new ";
+      printExpr(N->Callee.get());
+      for (const ExprPtr &Arg : N->Args) {
+        Out += ' ';
+        printExpr(Arg.get());
+      }
+      Out += ')';
+      return;
+    }
+    case AstKind::Unary: {
+      const auto *U = cast<Unary>(E);
+      static const char *const Names[] = {"neg",    "plus", "not", "bitnot",
+                                          "typeof", "void", "delete"};
+      Out += strFormat("(%s ", Names[static_cast<int>(U->Op)]);
+      printExpr(U->Operand.get());
+      Out += ')';
+      return;
+    }
+    case AstKind::Update: {
+      const auto *U = cast<Update>(E);
+      Out += strFormat("(%s%s ", U->IsPrefix ? "pre" : "post",
+                       U->IsIncrement ? "++" : "--");
+      printExpr(U->Operand.get());
+      Out += ')';
+      return;
+    }
+    case AstKind::Binary: {
+      const auto *B = cast<Binary>(E);
+      static const char *const Names[] = {
+          "+",  "-",  "*",   "/",  "%",  "==", "!=", "===", "!==", "<", ">",
+          "<=", ">=", "&",   "|",  "^",  "<<", ">>", ">>>", "instanceof",
+          "in"};
+      Out += strFormat("(%s ", Names[static_cast<int>(B->Op)]);
+      printExpr(B->Lhs.get());
+      Out += ' ';
+      printExpr(B->Rhs.get());
+      Out += ')';
+      return;
+    }
+    case AstKind::Logical: {
+      const auto *L = cast<Logical>(E);
+      Out += (L->Op == LogicalOp::And) ? "(&& " : "(|| ";
+      printExpr(L->Lhs.get());
+      Out += ' ';
+      printExpr(L->Rhs.get());
+      Out += ')';
+      return;
+    }
+    case AstKind::Conditional: {
+      const auto *C = cast<Conditional>(E);
+      Out += "(?: ";
+      printExpr(C->Cond.get());
+      Out += ' ';
+      printExpr(C->Then.get());
+      Out += ' ';
+      printExpr(C->Else.get());
+      Out += ')';
+      return;
+    }
+    case AstKind::Assign: {
+      const auto *A = cast<Assign>(E);
+      static const char *const Names[] = {"=", "+=", "-=", "*=", "/=", "%="};
+      Out += strFormat("(%s ", Names[static_cast<int>(A->Op)]);
+      printExpr(A->Target.get());
+      Out += ' ';
+      printExpr(A->Value.get());
+      Out += ')';
+      return;
+    }
+    case AstKind::Sequence: {
+      Out += "(seq";
+      for (const ExprPtr &Sub : cast<Sequence>(E)->Exprs) {
+        Out += ' ';
+        printExpr(Sub.get());
+      }
+      Out += ')';
+      return;
+    }
+    default:
+      Out += "(?expr)";
+      return;
+    }
+  }
+
+  std::string Out;
+};
+
+} // namespace
+
+std::string wr::js::dumpAst(const Program &P) {
+  AstPrinter Printer;
+  return Printer.print(P);
+}

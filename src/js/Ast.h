@@ -1,0 +1,578 @@
+//===- js/Ast.h - MiniJS abstract syntax tree -------------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniJS AST. Nodes use LLVM-style kind discriminators with classof,
+/// and the tree is owned top-down through unique_ptr. The interpreter in
+/// Interpreter.cpp walks this tree directly; scripts are small enough that
+/// no lowering pass is needed, which also keeps every memory access
+/// observable for instrumentation (the property the paper relies on by
+/// instrumenting WebKit's interpreter rather than its JIT).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_JS_AST_H
+#define WEBRACER_JS_AST_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wr::js {
+
+class Expr;
+class Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Kinds for every AST node.
+enum class AstKind : uint8_t {
+  // Expressions.
+  NumberLit,
+  StringLit,
+  BoolLit,
+  NullLit,
+  UndefinedLit,
+  ThisExpr,
+  Ident,
+  ArrayLit,
+  ObjectLit,
+  FunctionExpr,
+  Member,  // a.b
+  Index,   // a[b]
+  Call,
+  New,
+  Unary,
+  Update,  // ++/--
+  Binary,
+  Logical,
+  Conditional,
+  Assign,
+  Sequence,
+
+  // Statements.
+  ExprStmt,
+  VarDecl,
+  FunctionDecl,
+  Block,
+  If,
+  While,
+  DoWhile,
+  For,
+  ForIn,
+  Return,
+  Break,
+  Continue,
+  Switch,
+  Throw,
+  Try,
+  Empty,
+};
+
+/// Common base: kind + source line for diagnostics.
+class AstNode {
+public:
+  virtual ~AstNode();
+  AstKind kind() const { return Kind; }
+  uint32_t line() const { return Line; }
+
+protected:
+  AstNode(AstKind K, uint32_t Line) : Kind(K), Line(Line) {}
+
+private:
+  AstKind Kind;
+  uint32_t Line;
+};
+
+/// Base of all expressions.
+class Expr : public AstNode {
+protected:
+  using AstNode::AstNode;
+};
+
+/// Base of all statements.
+class Stmt : public AstNode {
+protected:
+  using AstNode::AstNode;
+};
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+class NumberLit final : public Expr {
+public:
+  NumberLit(double V, uint32_t Line) : Expr(AstKind::NumberLit, Line), V(V) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::NumberLit;
+  }
+  double V;
+};
+
+class StringLit final : public Expr {
+public:
+  StringLit(std::string V, uint32_t Line)
+      : Expr(AstKind::StringLit, Line), V(std::move(V)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::StringLit;
+  }
+  std::string V;
+};
+
+class BoolLit final : public Expr {
+public:
+  BoolLit(bool V, uint32_t Line) : Expr(AstKind::BoolLit, Line), V(V) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::BoolLit;
+  }
+  bool V;
+};
+
+class NullLit final : public Expr {
+public:
+  explicit NullLit(uint32_t Line) : Expr(AstKind::NullLit, Line) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::NullLit;
+  }
+};
+
+class UndefinedLit final : public Expr {
+public:
+  explicit UndefinedLit(uint32_t Line) : Expr(AstKind::UndefinedLit, Line) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::UndefinedLit;
+  }
+};
+
+class ThisExpr final : public Expr {
+public:
+  explicit ThisExpr(uint32_t Line) : Expr(AstKind::ThisExpr, Line) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::ThisExpr;
+  }
+};
+
+class Ident final : public Expr {
+public:
+  Ident(std::string Name, uint32_t Line)
+      : Expr(AstKind::Ident, Line), Name(std::move(Name)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Ident;
+  }
+  std::string Name;
+};
+
+class ArrayLit final : public Expr {
+public:
+  ArrayLit(std::vector<ExprPtr> Elems, uint32_t Line)
+      : Expr(AstKind::ArrayLit, Line), Elems(std::move(Elems)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::ArrayLit;
+  }
+  std::vector<ExprPtr> Elems;
+};
+
+class ObjectLit final : public Expr {
+public:
+  struct Property {
+    std::string Key;
+    ExprPtr Value;
+  };
+  ObjectLit(std::vector<Property> Props, uint32_t Line)
+      : Expr(AstKind::ObjectLit, Line), Props(std::move(Props)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::ObjectLit;
+  }
+  std::vector<Property> Props;
+};
+
+class Block;
+
+/// The shared shape of function declarations and expressions.
+struct FunctionLiteral {
+  std::string Name; ///< Empty for anonymous function expressions.
+  std::vector<std::string> Params;
+  std::unique_ptr<Block> Body;
+};
+
+class FunctionExpr final : public Expr {
+public:
+  FunctionExpr(FunctionLiteral Fn, uint32_t Line)
+      : Expr(AstKind::FunctionExpr, Line), Fn(std::move(Fn)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::FunctionExpr;
+  }
+  FunctionLiteral Fn;
+};
+
+class Member final : public Expr {
+public:
+  Member(ExprPtr Base, std::string Name, uint32_t Line)
+      : Expr(AstKind::Member, Line), Base(std::move(Base)),
+        Name(std::move(Name)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Member;
+  }
+  ExprPtr Base;
+  std::string Name;
+};
+
+class Index final : public Expr {
+public:
+  Index(ExprPtr Base, ExprPtr Key, uint32_t Line)
+      : Expr(AstKind::Index, Line), Base(std::move(Base)),
+        Key(std::move(Key)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Index;
+  }
+  ExprPtr Base;
+  ExprPtr Key;
+};
+
+class Call final : public Expr {
+public:
+  Call(ExprPtr Callee, std::vector<ExprPtr> Args, uint32_t Line)
+      : Expr(AstKind::Call, Line), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  static bool classof(const AstNode *N) { return N->kind() == AstKind::Call; }
+  ExprPtr Callee;
+  std::vector<ExprPtr> Args;
+};
+
+class New final : public Expr {
+public:
+  New(ExprPtr Callee, std::vector<ExprPtr> Args, uint32_t Line)
+      : Expr(AstKind::New, Line), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  static bool classof(const AstNode *N) { return N->kind() == AstKind::New; }
+  ExprPtr Callee;
+  std::vector<ExprPtr> Args;
+};
+
+enum class UnaryOp : uint8_t { Neg, Plus, Not, BitNot, TypeOf, Void, Delete };
+
+class Unary final : public Expr {
+public:
+  Unary(UnaryOp Op, ExprPtr Operand, uint32_t Line)
+      : Expr(AstKind::Unary, Line), Op(Op), Operand(std::move(Operand)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Unary;
+  }
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+class Update final : public Expr {
+public:
+  Update(bool IsIncrement, bool IsPrefix, ExprPtr Operand, uint32_t Line)
+      : Expr(AstKind::Update, Line), IsIncrement(IsIncrement),
+        IsPrefix(IsPrefix), Operand(std::move(Operand)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Update;
+  }
+  bool IsIncrement;
+  bool IsPrefix;
+  ExprPtr Operand;
+};
+
+enum class BinaryOp : uint8_t {
+  Add, Sub, Mul, Div, Mod,
+  Eq, Ne, StrictEq, StrictNe,
+  Lt, Gt, Le, Ge,
+  BitAnd, BitOr, BitXor, Shl, Shr, UShr,
+  InstanceOf, In,
+};
+
+class Binary final : public Expr {
+public:
+  Binary(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, uint32_t Line)
+      : Expr(AstKind::Binary, Line), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Binary;
+  }
+  BinaryOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+};
+
+enum class LogicalOp : uint8_t { And, Or };
+
+class Logical final : public Expr {
+public:
+  Logical(LogicalOp Op, ExprPtr Lhs, ExprPtr Rhs, uint32_t Line)
+      : Expr(AstKind::Logical, Line), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Logical;
+  }
+  LogicalOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+};
+
+class Conditional final : public Expr {
+public:
+  Conditional(ExprPtr Cond, ExprPtr Then, ExprPtr Else, uint32_t Line)
+      : Expr(AstKind::Conditional, Line), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Conditional;
+  }
+  ExprPtr Cond;
+  ExprPtr Then;
+  ExprPtr Else;
+};
+
+enum class AssignOp : uint8_t { Assign, Add, Sub, Mul, Div, Mod };
+
+class Assign final : public Expr {
+public:
+  Assign(AssignOp Op, ExprPtr Target, ExprPtr Value, uint32_t Line)
+      : Expr(AstKind::Assign, Line), Op(Op), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Assign;
+  }
+  AssignOp Op;
+  ExprPtr Target; ///< Ident, Member, or Index.
+  ExprPtr Value;
+};
+
+class Sequence final : public Expr {
+public:
+  Sequence(std::vector<ExprPtr> Exprs, uint32_t Line)
+      : Expr(AstKind::Sequence, Line), Exprs(std::move(Exprs)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Sequence;
+  }
+  std::vector<ExprPtr> Exprs;
+};
+
+// --------------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------------
+
+class ExprStmt final : public Stmt {
+public:
+  ExprStmt(ExprPtr E, uint32_t Line)
+      : Stmt(AstKind::ExprStmt, Line), E(std::move(E)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::ExprStmt;
+  }
+  ExprPtr E;
+};
+
+class VarDecl final : public Stmt {
+public:
+  struct Declarator {
+    std::string Name;
+    ExprPtr Init; ///< May be null.
+  };
+  VarDecl(std::vector<Declarator> Decls, uint32_t Line)
+      : Stmt(AstKind::VarDecl, Line), Decls(std::move(Decls)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::VarDecl;
+  }
+  std::vector<Declarator> Decls;
+};
+
+class FunctionDecl final : public Stmt {
+public:
+  FunctionDecl(FunctionLiteral Fn, uint32_t Line)
+      : Stmt(AstKind::FunctionDecl, Line), Fn(std::move(Fn)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::FunctionDecl;
+  }
+  FunctionLiteral Fn;
+};
+
+class Block final : public Stmt {
+public:
+  Block(std::vector<StmtPtr> Stmts, uint32_t Line)
+      : Stmt(AstKind::Block, Line), Stmts(std::move(Stmts)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Block;
+  }
+  std::vector<StmtPtr> Stmts;
+};
+
+class If final : public Stmt {
+public:
+  If(ExprPtr Cond, StmtPtr Then, StmtPtr Else, uint32_t Line)
+      : Stmt(AstKind::If, Line), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  static bool classof(const AstNode *N) { return N->kind() == AstKind::If; }
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+};
+
+class While final : public Stmt {
+public:
+  While(ExprPtr Cond, StmtPtr Body, uint32_t Line)
+      : Stmt(AstKind::While, Line), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::While;
+  }
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+class DoWhile final : public Stmt {
+public:
+  DoWhile(StmtPtr Body, ExprPtr Cond, uint32_t Line)
+      : Stmt(AstKind::DoWhile, Line), Body(std::move(Body)),
+        Cond(std::move(Cond)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::DoWhile;
+  }
+  StmtPtr Body;
+  ExprPtr Cond;
+};
+
+class For final : public Stmt {
+public:
+  For(StmtPtr Init, ExprPtr Cond, ExprPtr Step, StmtPtr Body, uint32_t Line)
+      : Stmt(AstKind::For, Line), Init(std::move(Init)),
+        Cond(std::move(Cond)), Step(std::move(Step)), Body(std::move(Body)) {}
+  static bool classof(const AstNode *N) { return N->kind() == AstKind::For; }
+  StmtPtr Init; ///< VarDecl or ExprStmt; may be null.
+  ExprPtr Cond; ///< May be null (infinite loop).
+  ExprPtr Step; ///< May be null.
+  StmtPtr Body;
+};
+
+class ForIn final : public Stmt {
+public:
+  ForIn(std::string Var, bool DeclaresVar, ExprPtr Object, StmtPtr Body,
+        uint32_t Line)
+      : Stmt(AstKind::ForIn, Line), Var(std::move(Var)),
+        DeclaresVar(DeclaresVar), Object(std::move(Object)),
+        Body(std::move(Body)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::ForIn;
+  }
+  std::string Var;
+  bool DeclaresVar;
+  ExprPtr Object;
+  StmtPtr Body;
+};
+
+class Return final : public Stmt {
+public:
+  Return(ExprPtr Value, uint32_t Line)
+      : Stmt(AstKind::Return, Line), Value(std::move(Value)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Return;
+  }
+  ExprPtr Value; ///< May be null.
+};
+
+class Break final : public Stmt {
+public:
+  explicit Break(uint32_t Line) : Stmt(AstKind::Break, Line) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Break;
+  }
+};
+
+class Continue final : public Stmt {
+public:
+  explicit Continue(uint32_t Line) : Stmt(AstKind::Continue, Line) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Continue;
+  }
+};
+
+class Switch final : public Stmt {
+public:
+  struct CaseClause {
+    ExprPtr Test; ///< Null for default.
+    std::vector<StmtPtr> Body;
+  };
+  Switch(ExprPtr Disc, std::vector<CaseClause> Cases, uint32_t Line)
+      : Stmt(AstKind::Switch, Line), Disc(std::move(Disc)),
+        Cases(std::move(Cases)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Switch;
+  }
+  ExprPtr Disc;
+  std::vector<CaseClause> Cases;
+};
+
+class Throw final : public Stmt {
+public:
+  Throw(ExprPtr Value, uint32_t Line)
+      : Stmt(AstKind::Throw, Line), Value(std::move(Value)) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Throw;
+  }
+  ExprPtr Value;
+};
+
+class Try final : public Stmt {
+public:
+  Try(std::unique_ptr<Block> Body, std::string CatchVar,
+      std::unique_ptr<Block> Catch, std::unique_ptr<Block> Finally,
+      uint32_t Line)
+      : Stmt(AstKind::Try, Line), Body(std::move(Body)),
+        CatchVar(std::move(CatchVar)), Catch(std::move(Catch)),
+        Finally(std::move(Finally)) {}
+  static bool classof(const AstNode *N) { return N->kind() == AstKind::Try; }
+  std::unique_ptr<Block> Body;
+  std::string CatchVar;
+  std::unique_ptr<Block> Catch;   ///< May be null.
+  std::unique_ptr<Block> Finally; ///< May be null.
+};
+
+class Empty final : public Stmt {
+public:
+  explicit Empty(uint32_t Line) : Stmt(AstKind::Empty, Line) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == AstKind::Empty;
+  }
+};
+
+/// A parsed program: a list of top-level statements.
+struct Program {
+  std::vector<StmtPtr> Body;
+};
+
+/// isa/cast helpers mirroring LLVM's for the AST hierarchy.
+template <typename T> bool isa(const AstNode *N) { return T::classof(N); }
+
+template <typename T> T *cast(AstNode *N) {
+  assert(N && T::classof(N) && "cast to wrong AST kind");
+  return static_cast<T *>(N);
+}
+
+template <typename T> const T *cast(const AstNode *N) {
+  assert(N && T::classof(N) && "cast to wrong AST kind");
+  return static_cast<const T *>(N);
+}
+
+template <typename T> T *dyn_cast(AstNode *N) {
+  return (N && T::classof(N)) ? static_cast<T *>(N) : nullptr;
+}
+
+template <typename T> const T *dyn_cast(const AstNode *N) {
+  return (N && T::classof(N)) ? static_cast<const T *>(N) : nullptr;
+}
+
+/// Renders a kind name for diagnostics and AST-dump tests.
+const char *astKindName(AstKind Kind);
+
+/// Produces a compact S-expression-style dump of \p P, used by parser
+/// golden tests.
+std::string dumpAst(const Program &P);
+
+} // namespace wr::js
+
+#endif // WEBRACER_JS_AST_H

@@ -1,0 +1,114 @@
+//===- js/Heap.cpp - Mark/sweep GC heap for MiniJS --------------------------===//
+
+#include "js/Heap.h"
+
+#include <algorithm>
+
+using namespace wr;
+using namespace wr::js;
+
+RootProvider::~RootProvider() = default;
+
+void GcTracer::trace(GcObject *O) {
+  if (!O || O->Marked)
+    return;
+  O->Marked = true;
+  Worklist.push_back(O);
+}
+
+Heap::Heap() = default;
+Heap::~Heap() = default;
+
+template <typename T> T *Heap::track(T *Obj) {
+  Objects.emplace_back(Obj);
+  ++AllocsSinceGc;
+  ++TotalAllocs;
+  return Obj;
+}
+
+Object *Heap::allocObject() { return track(new Object(NextContainer++)); }
+
+Object *Heap::allocArray() {
+  Object *O = allocObject();
+  O->makeArray();
+  return O;
+}
+
+Object *Heap::allocFunction(const FunctionLiteral *Lit, Env *Closure) {
+  Object *O = allocObject();
+  Object::FunctionData Data;
+  Data.Lit = Lit;
+  Data.Closure = Closure;
+  Data.FunctionId = ++FunctionCounter;
+  O->setFunctionData(Data);
+  return O;
+}
+
+Object *Heap::allocHostFunction(HostFn Fn, std::string Name) {
+  Object *O = allocObject();
+  O->setHostFunction(std::move(Fn), std::move(Name));
+  return O;
+}
+
+Object *Heap::allocError(const char *Name, std::string Message) {
+  Object *O = allocObject();
+  O->setOwnProperty("name", Value(Name));
+  O->setOwnProperty("message", Value(std::move(Message)));
+  return O;
+}
+
+Env *Heap::allocEnv(Env *Parent) { return track(new Env(NextContainer++, Parent)); }
+
+void Heap::addRootProvider(RootProvider *P) { Roots.push_back(P); }
+
+void Heap::removeRootProvider(RootProvider *P) {
+  Roots.erase(std::remove(Roots.begin(), Roots.end(), P), Roots.end());
+}
+
+void Heap::traceChildren(GcObject *O, GcTracer &T) {
+  if (O->gcKind() == GcObject::Kind::Env) {
+    auto *E = static_cast<Env *>(O);
+    T.trace(E->parent());
+    for (const Object::Property &S : E->slots())
+      T.trace(S.V);
+    return;
+  }
+  auto *Obj = static_cast<Object *>(O);
+  T.trace(Obj->proto());
+  for (const Object::Property &P : Obj->properties())
+    T.trace(P.V);
+  for (const Value &Elem : Obj->elements())
+    T.trace(Elem);
+  if (Obj->isScriptFunction())
+    T.trace(Obj->functionData().Closure);
+}
+
+size_t Heap::collect() {
+  // Mark.
+  std::vector<GcObject *> Worklist;
+  GcTracer Tracer(Worklist);
+  for (RootProvider *P : Roots)
+    P->traceRoots(Tracer);
+  while (!Worklist.empty()) {
+    GcObject *O = Worklist.back();
+    Worklist.pop_back();
+    traceChildren(O, Tracer);
+  }
+  // Sweep.
+  size_t Before = Objects.size();
+  Objects.erase(std::remove_if(Objects.begin(), Objects.end(),
+                               [](const std::unique_ptr<GcObject> &O) {
+                                 return !O->Marked;
+                               }),
+                Objects.end());
+  for (const std::unique_ptr<GcObject> &O : Objects)
+    O->Marked = false;
+  AllocsSinceGc = 0;
+  ++Collections;
+  return Before - Objects.size();
+}
+
+void Heap::maybeCollect() {
+  if (AllocsSinceGc >= Threshold)
+    collect();
+}

@@ -1,0 +1,122 @@
+//===- js/Heap.h - Mark/sweep GC heap for MiniJS ----------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniJS garbage-collected heap. Objects and environments are
+/// allocated here and reclaimed by a stop-the-world mark/sweep collector.
+///
+/// Collection only runs at operation boundaries (the event loop calls
+/// maybeCollect() between tasks), so the interpreter never needs to root
+/// its evaluation temporaries. Long-lived references held by the browser
+/// (the global scope, pending timer callbacks, event listeners, DOM
+/// wrappers) are reported through RootProvider.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_JS_HEAP_H
+#define WEBRACER_JS_HEAP_H
+
+#include "js/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace wr::js {
+
+/// Marking interface handed to root providers and object tracers.
+class GcTracer {
+public:
+  explicit GcTracer(std::vector<GcObject *> &Worklist)
+      : Worklist(Worklist) {}
+
+  /// Marks a heap object (null-safe).
+  void trace(GcObject *O);
+
+  /// Marks the object inside \p V, if any.
+  void trace(const Value &V) { trace(V.objectOrNull()); }
+
+private:
+  friend class Heap;
+  std::vector<GcObject *> &Worklist;
+};
+
+/// Anything that keeps JS values alive across operations registers one of
+/// these with the heap.
+class RootProvider {
+public:
+  virtual ~RootProvider();
+  virtual void traceRoots(GcTracer &T) = 0;
+};
+
+/// The MiniJS heap.
+class Heap {
+public:
+  Heap();
+  ~Heap();
+
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  /// Allocates a plain object.
+  Object *allocObject();
+
+  /// Allocates an array object.
+  Object *allocArray();
+
+  /// Allocates a script function closing over \p Closure.
+  Object *allocFunction(const FunctionLiteral *Lit, Env *Closure);
+
+  /// Allocates a host (native) function.
+  Object *allocHostFunction(HostFn Fn, std::string Name);
+
+  /// Allocates an Error-like object {name, message}.
+  Object *allocError(const char *Name, std::string Message);
+
+  /// Allocates a scope environment. The first environment ever allocated
+  /// is the global scope and receives ContainerId 0 so race reports print
+  /// `global.x`.
+  Env *allocEnv(Env *Parent);
+
+  /// Registers/unregisters a root provider.
+  void addRootProvider(RootProvider *P);
+  void removeRootProvider(RootProvider *P);
+
+  /// Runs a full mark/sweep collection. Must only be called at operation
+  /// boundaries. Returns the number of objects reclaimed.
+  size_t collect();
+
+  /// Runs a collection if enough allocation happened since the last one.
+  void maybeCollect();
+
+  /// Number of live (allocated, unreclaimed) GC objects.
+  size_t numLive() const { return Objects.size(); }
+
+  /// Total allocations over the heap's lifetime.
+  uint64_t totalAllocated() const { return TotalAllocs; }
+
+  /// Number of collections run.
+  uint64_t numCollections() const { return Collections; }
+
+  /// Collection trigger threshold (allocations since last GC).
+  void setGcThreshold(size_t N) { Threshold = N; }
+
+private:
+  template <typename T> T *track(T *Obj);
+  static void traceChildren(GcObject *O, GcTracer &T);
+
+  std::vector<std::unique_ptr<GcObject>> Objects;
+  std::vector<RootProvider *> Roots;
+  ContainerId NextContainer = 0;
+  uint64_t FunctionCounter = 0;
+  size_t AllocsSinceGc = 0;
+  size_t Threshold = 1 << 14;
+  uint64_t TotalAllocs = 0;
+  uint64_t Collections = 0;
+};
+
+} // namespace wr::js
+
+#endif // WEBRACER_JS_HEAP_H

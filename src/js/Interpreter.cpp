@@ -1,0 +1,1528 @@
+//===- js/Interpreter.cpp - MiniJS tree-walking interpreter ----------------===//
+
+#include "js/Interpreter.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+
+using namespace wr;
+using namespace wr::js;
+
+JsHooks::~JsHooks() = default;
+
+Interpreter::Interpreter(Heap &H, Env *Global) : TheHeap(H), Global(Global) {
+  assert(Global && "interpreter needs a global scope");
+}
+
+bool Interpreter::checkBudget(Completion &Out) {
+  ++Steps;
+  if (StepBudget != 0 && Steps > StepBudget) {
+    Out = throwError("RangeError", "script step budget exceeded");
+    return false;
+  }
+  return true;
+}
+
+Completion Interpreter::throwError(const char *Name, std::string Message) {
+  return Completion::thrown(
+      Value(TheHeap.allocError(Name, std::move(Message))));
+}
+
+// ---------------------------------------------------------------------------
+// Conversions
+// ---------------------------------------------------------------------------
+
+bool Interpreter::toBoolean(const Value &V) {
+  if (V.isUndefined() || V.isNull())
+    return false;
+  if (V.isBool())
+    return V.asBool();
+  if (V.isNumber())
+    return V.asNumber() != 0 && !std::isnan(V.asNumber());
+  if (V.isString())
+    return !V.asString().empty();
+  return true;
+}
+
+double Interpreter::toNumber(const Value &V) const {
+  if (V.isNumber())
+    return V.asNumber();
+  if (V.isBool())
+    return V.asBool() ? 1.0 : 0.0;
+  if (V.isNull())
+    return 0.0;
+  if (V.isUndefined())
+    return std::nan("");
+  if (V.isString()) {
+    const std::string &S = V.asString();
+    size_t Begin = S.find_first_not_of(" \t\n\r\f\v");
+    if (Begin == std::string::npos)
+      return 0.0;
+    size_t End = S.find_last_not_of(" \t\n\r\f\v");
+    std::string Trimmed = S.substr(Begin, End - Begin + 1);
+    const char *C = Trimmed.c_str();
+    char *EndPtr = nullptr;
+    double N = (Trimmed.size() > 2 && Trimmed[0] == '0' &&
+                (Trimmed[1] == 'x' || Trimmed[1] == 'X'))
+                   ? static_cast<double>(std::strtoull(C, &EndPtr, 16))
+                   : std::strtod(C, &EndPtr);
+    if (EndPtr != C + Trimmed.size())
+      return std::nan("");
+    return N;
+  }
+  return std::nan(""); // Objects: valueOf not modeled.
+}
+
+int32_t Interpreter::toInt32(const Value &V) const {
+  double N = toNumber(V);
+  if (std::isnan(N) || std::isinf(N))
+    return 0;
+  return static_cast<int32_t>(static_cast<uint32_t>(
+      std::fmod(std::trunc(N), 4294967296.0)));
+}
+
+std::string Interpreter::toStringValue(const Value &V) const {
+  return toDisplayString(V);
+}
+
+bool Interpreter::looseEquals(const Value &A, const Value &B) const {
+  if (A.isNullish() && B.isNullish())
+    return true;
+  if (A.isNullish() || B.isNullish())
+    return false;
+  if (A.isObject() && B.isObject())
+    return A.asObject() == B.asObject();
+  if (A.isObject())
+    return looseEquals(Value(toStringValue(A)), B);
+  if (B.isObject())
+    return looseEquals(A, Value(toStringValue(B)));
+  if (A.isString() && B.isString())
+    return A.asString() == B.asString();
+  if (A.isBool() || B.isBool())
+    return toNumber(A) == toNumber(B);
+  if (A.isNumber() || B.isNumber())
+    return toNumber(A) == toNumber(B);
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Hoisting (Sec. 4.1: function declarations are writes of anonymous
+// functions to scope-entry slots, in source order)
+// ---------------------------------------------------------------------------
+
+void Interpreter::collectVarNames(const Stmt *S,
+                                  std::vector<std::string> &Names) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case AstKind::VarDecl:
+    for (const auto &D : cast<VarDecl>(S)->Decls)
+      Names.push_back(D.Name);
+    return;
+  case AstKind::Block:
+    for (const StmtPtr &Child : cast<Block>(S)->Stmts)
+      collectVarNames(Child.get(), Names);
+    return;
+  case AstKind::If: {
+    const auto *I = cast<If>(S);
+    collectVarNames(I->Then.get(), Names);
+    collectVarNames(I->Else.get(), Names);
+    return;
+  }
+  case AstKind::While:
+    collectVarNames(cast<While>(S)->Body.get(), Names);
+    return;
+  case AstKind::DoWhile:
+    collectVarNames(cast<DoWhile>(S)->Body.get(), Names);
+    return;
+  case AstKind::For: {
+    const auto *F = cast<For>(S);
+    collectVarNames(F->Init.get(), Names);
+    collectVarNames(F->Body.get(), Names);
+    return;
+  }
+  case AstKind::ForIn: {
+    const auto *F = cast<ForIn>(S);
+    if (F->DeclaresVar)
+      Names.push_back(F->Var);
+    collectVarNames(F->Body.get(), Names);
+    return;
+  }
+  case AstKind::Switch:
+    for (const auto &Clause : cast<Switch>(S)->Cases)
+      for (const StmtPtr &Child : Clause.Body)
+        collectVarNames(Child.get(), Names);
+    return;
+  case AstKind::Try: {
+    const auto *T = cast<Try>(S);
+    collectVarNames(T->Body.get(), Names);
+    collectVarNames(T->Catch.get(), Names);
+    collectVarNames(T->Finally.get(), Names);
+    return;
+  }
+  default:
+    return; // Expressions and nested functions are not scanned.
+  }
+}
+
+void Interpreter::hoistDeclarations(const std::vector<StmtPtr> &Body,
+                                    Env *Scope) {
+  // Pass 1: vars get a slot initialized to undefined (no write hook:
+  // declaring is not an access; the initializer assignment is).
+  std::vector<std::string> VarNames;
+  for (const StmtPtr &S : Body)
+    collectVarNames(S.get(), VarNames);
+  for (const std::string &Name : VarNames)
+    if (!Scope->hasOwn(Name))
+      Scope->define(Name, Value());
+
+  // Pass 2: function declarations, assigned at scope entry in source order.
+  // These ARE writes (the paper's function-race write side).
+  struct Collector {
+    Interpreter &I;
+    Env *Scope;
+    void walk(const Stmt *S) {
+      if (!S)
+        return;
+      switch (S->kind()) {
+      case AstKind::FunctionDecl: {
+        const auto *F = cast<FunctionDecl>(S);
+        Object *Fn = I.TheHeap.allocFunction(&F->Fn, Scope);
+        Fn->setFunctionName(F->Fn.Name);
+        if (I.Hooks)
+          I.Hooks->onVarWrite(Scope, F->Fn.Name, AccessOrigin::FunctionDecl);
+        Scope->define(F->Fn.Name, Value(Fn));
+        return;
+      }
+      case AstKind::Block:
+        for (const StmtPtr &Child : cast<Block>(S)->Stmts)
+          walk(Child.get());
+        return;
+      case AstKind::If: {
+        const auto *If2 = cast<If>(S);
+        walk(If2->Then.get());
+        walk(If2->Else.get());
+        return;
+      }
+      case AstKind::While:
+        walk(cast<While>(S)->Body.get());
+        return;
+      case AstKind::DoWhile:
+        walk(cast<DoWhile>(S)->Body.get());
+        return;
+      case AstKind::For:
+        walk(cast<For>(S)->Body.get());
+        return;
+      case AstKind::ForIn:
+        walk(cast<ForIn>(S)->Body.get());
+        return;
+      case AstKind::Switch:
+        for (const auto &Clause : cast<Switch>(S)->Cases)
+          for (const StmtPtr &Child : Clause.Body)
+            walk(Child.get());
+        return;
+      case AstKind::Try: {
+        const auto *T = cast<Try>(S);
+        walk(T->Body.get());
+        walk(T->Catch.get());
+        walk(T->Finally.get());
+        return;
+      }
+      default:
+        return;
+      }
+    }
+  };
+  Collector C{*this, Scope};
+  for (const StmtPtr &S : Body)
+    C.walk(S.get());
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+Completion Interpreter::runProgram(const Program &P) {
+  hoistDeclarations(P.Body, Global);
+  Value Last; // Completion value of the program (eval semantics).
+  for (const StmtPtr &S : P.Body) {
+    Completion C = evalStmt(S.get(), Global);
+    if (C.isThrow())
+      return C;
+    if (C.isAbrupt())
+      return Completion::normal(std::move(Last));
+    if (isa<ExprStmt>(S.get()))
+      Last = std::move(C.V);
+  }
+  return Completion::normal(std::move(Last));
+}
+
+Completion Interpreter::runProgramWithThis(const Program &P, Value ThisV) {
+  Value Saved = GlobalThis;
+  if (!ThisV.isNullish())
+    GlobalThis = std::move(ThisV);
+  Completion C = runProgram(P);
+  GlobalThis = Saved;
+  return C;
+}
+
+Completion Interpreter::callFunction(Value Fn, Value ThisV,
+                                     std::vector<Value> Args) {
+  Object *F = Fn.objectOrNull();
+  if (!F || !F->isCallable())
+    return throwError("TypeError",
+                      strFormat("%s is not a function",
+                                toDisplayString(Fn).c_str()));
+  if (CallDepth >= MaxCallDepth)
+    return throwError("RangeError", "maximum call stack size exceeded");
+  ++CallDepth;
+  Completion Result;
+  if (F->isHostFunction()) {
+    Result = F->hostFunction()(*this, std::move(ThisV), Args);
+    // Normalize: host functions return Normal or Throw.
+    if (Result.Kind == CompletionKind::Return)
+      Result.Kind = CompletionKind::Normal;
+  } else {
+    const FunctionLiteral *Lit = F->functionData().Lit;
+    Env *Scope = TheHeap.allocEnv(F->functionData().Closure);
+    for (size_t I = 0; I < Lit->Params.size(); ++I) {
+      Value Arg = I < Args.size() ? Args[I] : Value();
+      Scope->define(Lit->Params[I], std::move(Arg));
+    }
+    hoistDeclarations(Lit->Body->Stmts, Scope);
+    Result = Completion::normal();
+    Value SavedThis = GlobalThis;
+    if (!ThisV.isNullish())
+      GlobalThis = ThisV; // `this` inside the callee.
+    for (const StmtPtr &S : Lit->Body->Stmts) {
+      Completion C = evalStmt(S.get(), Scope);
+      if (C.Kind == CompletionKind::Return) {
+        Result = Completion::normal(std::move(C.V));
+        break;
+      }
+      if (C.isThrow()) {
+        Result = std::move(C);
+        break;
+      }
+      if (C.isAbrupt())
+        break;
+    }
+    GlobalThis = SavedThis;
+  }
+  --CallDepth;
+  return Result;
+}
+
+Completion Interpreter::construct(Value Callee, std::vector<Value> Args) {
+  Object *F = Callee.objectOrNull();
+  if (!F || !F->isCallable())
+    return throwError("TypeError",
+                      strFormat("%s is not a constructor",
+                                toDisplayString(Callee).c_str()));
+  Object *Fresh = TheHeap.allocObject();
+  if (F->isScriptFunction()) {
+    // Uninstrumented internal read of F.prototype (engine bookkeeping).
+    Value *Proto = F->findOwnProperty("prototype");
+    if (!Proto) {
+      F->setOwnProperty("prototype", Value(TheHeap.allocObject()));
+      Proto = F->findOwnProperty("prototype");
+    }
+    if (Object *P = Proto->objectOrNull())
+      Fresh->setProto(P);
+  }
+  Completion C = callFunction(Callee, Value(Fresh), std::move(Args));
+  if (C.isThrow())
+    return C;
+  if (C.V.isObject())
+    return Completion::normal(C.V);
+  return Completion::normal(Value(Fresh));
+}
+
+// ---------------------------------------------------------------------------
+// Property access
+// ---------------------------------------------------------------------------
+
+/// Parses \p Name as an array index; returns false for non-indices.
+static bool parseArrayIndex(const std::string &Name, size_t &Index) {
+  if (Name.empty() || Name.size() > 9)
+    return false;
+  size_t Result = 0;
+  for (char C : Name) {
+    if (C < '0' || C > '9')
+      return false;
+    Result = Result * 10 + static_cast<size_t>(C - '0');
+  }
+  if (Name.size() > 1 && Name[0] == '0')
+    return false;
+  Index = Result;
+  return true;
+}
+
+Completion Interpreter::getProperty(const Value &Base,
+                                    const std::string &Name,
+                                    AccessOrigin Origin) {
+  if (Base.isNullish())
+    return throwError("TypeError",
+                      strFormat("Cannot read properties of %s (reading "
+                                "'%s')",
+                                Base.isNull() ? "null" : "undefined",
+                                Name.c_str()));
+  if (Base.isString()) {
+    const std::string &S = Base.asString();
+    if (Name == "length")
+      return Completion::normal(Value(static_cast<double>(S.size())));
+    size_t Index;
+    if (parseArrayIndex(Name, Index))
+      return Completion::normal(Index < S.size()
+                                    ? Value(std::string(1, S[Index]))
+                                    : Value());
+    return Completion::normal(Value());
+  }
+  if (!Base.isObject())
+    return Completion::normal(Value()); // number/bool: no modeled props.
+
+  Object *O = Base.asObject();
+  if (const HostClass *HC = O->hostClass()) {
+    Value Out;
+    if (const_cast<HostClass *>(HC)->hostGet(*this, O, Name, Out))
+      return Completion::normal(std::move(Out));
+  }
+  if (Hooks)
+    Hooks->onPropRead(O, Name, Origin);
+  // Function objects materialize their prototype object on first use.
+  if (Name == "prototype" && O->isCallable() &&
+      !O->findOwnProperty("prototype"))
+    O->setOwnProperty("prototype", Value(TheHeap.allocObject()));
+  if (O->isArray()) {
+    if (Name == "length")
+      return Completion::normal(
+          Value(static_cast<double>(O->elements().size())));
+    size_t Index;
+    if (parseArrayIndex(Name, Index))
+      return Completion::normal(Index < O->elements().size()
+                                    ? O->elements()[Index]
+                                    : Value());
+  }
+  if (Value *V = O->findProperty(Name))
+    return Completion::normal(*V);
+  return Completion::normal(Value());
+}
+
+Completion Interpreter::setProperty(const Value &Base,
+                                    const std::string &Name, Value V,
+                                    AccessOrigin Origin) {
+  if (Base.isNullish())
+    return throwError("TypeError",
+                      strFormat("Cannot set properties of %s (setting "
+                                "'%s')",
+                                Base.isNull() ? "null" : "undefined",
+                                Name.c_str()));
+  if (!Base.isObject())
+    return Completion::normal(std::move(V)); // Silently ignored.
+
+  Object *O = Base.asObject();
+  if (const HostClass *HC = O->hostClass())
+    if (const_cast<HostClass *>(HC)->hostSet(*this, O, Name, V))
+      return Completion::normal(std::move(V));
+  if (Hooks)
+    Hooks->onPropWrite(O, Name, Origin);
+  if (O->isArray()) {
+    if (Name == "length") {
+      double N = toNumber(V);
+      if (N >= 0 && N == std::trunc(N))
+        O->elements().resize(static_cast<size_t>(N));
+      return Completion::normal(std::move(V));
+    }
+    size_t Index;
+    if (parseArrayIndex(Name, Index)) {
+      if (Index >= O->elements().size())
+        O->elements().resize(Index + 1);
+      O->elements()[Index] = V;
+      return Completion::normal(std::move(V));
+    }
+  }
+  O->setOwnProperty(Name, V);
+  return Completion::normal(std::move(V));
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+Completion Interpreter::evalStmt(const Stmt *S, Env *Scope) {
+  Completion Budget;
+  if (!checkBudget(Budget))
+    return Budget;
+  switch (S->kind()) {
+  case AstKind::Empty:
+  case AstKind::FunctionDecl: // Hoisted; nothing at execution time.
+    return Completion::normal();
+  case AstKind::ExprStmt:
+    return evalExpr(cast<ExprStmt>(S)->E.get(), Scope);
+  case AstKind::VarDecl:
+    return evalVarDecl(cast<VarDecl>(S), Scope);
+  case AstKind::Block:
+    return evalBlock(cast<Block>(S), Scope);
+  case AstKind::If:
+    return evalIf(cast<If>(S), Scope);
+  case AstKind::While:
+    return evalWhile(cast<While>(S), Scope);
+  case AstKind::DoWhile:
+    return evalDoWhile(cast<DoWhile>(S), Scope);
+  case AstKind::For:
+    return evalFor(cast<For>(S), Scope);
+  case AstKind::ForIn:
+    return evalForIn(cast<ForIn>(S), Scope);
+  case AstKind::Return: {
+    const auto *R = cast<Return>(S);
+    if (!R->Value)
+      return Completion::ret(Value());
+    Completion C = evalExpr(R->Value.get(), Scope);
+    if (C.isThrow())
+      return C;
+    return Completion::ret(std::move(C.V));
+  }
+  case AstKind::Break:
+    return Completion::brk();
+  case AstKind::Continue:
+    return Completion::cont();
+  case AstKind::Switch:
+    return evalSwitch(cast<Switch>(S), Scope);
+  case AstKind::Throw: {
+    Completion C = evalExpr(cast<Throw>(S)->Value.get(), Scope);
+    if (C.isThrow())
+      return C;
+    return Completion::thrown(std::move(C.V));
+  }
+  case AstKind::Try:
+    return evalTry(cast<Try>(S), Scope);
+  default:
+    assert(false && "expression kind reached evalStmt");
+    return Completion::normal();
+  }
+}
+
+Completion Interpreter::evalBlock(const Block *B, Env *Scope) {
+  // `var` is function-scoped: blocks share the enclosing environment.
+  for (const StmtPtr &S : B->Stmts) {
+    Completion C = evalStmt(S.get(), Scope);
+    if (C.isAbrupt())
+      return C;
+  }
+  return Completion::normal();
+}
+
+Completion Interpreter::evalVarDecl(const VarDecl *V, Env *Scope) {
+  for (const auto &D : V->Decls) {
+    if (!D.Init)
+      continue;
+    Completion C = evalExpr(D.Init.get(), Scope);
+    if (C.isThrow())
+      return C;
+    Env *Owner = Scope->resolve(D.Name);
+    if (!Owner)
+      Owner = Scope; // Hoisting guarantees a slot, but be safe.
+    if (Hooks)
+      Hooks->onVarWrite(Owner, D.Name, AccessOrigin::Plain);
+    Owner->define(D.Name, std::move(C.V));
+  }
+  return Completion::normal();
+}
+
+Completion Interpreter::evalIf(const If *I, Env *Scope) {
+  Completion C = evalExpr(I->Cond.get(), Scope);
+  if (C.isThrow())
+    return C;
+  if (toBoolean(C.V))
+    return I->Then ? evalStmt(I->Then.get(), Scope) : Completion::normal();
+  if (I->Else)
+    return evalStmt(I->Else.get(), Scope);
+  return Completion::normal();
+}
+
+Completion Interpreter::evalWhile(const While *W, Env *Scope) {
+  for (;;) {
+    Completion Budget;
+    if (!checkBudget(Budget))
+      return Budget;
+    Completion Cond = evalExpr(W->Cond.get(), Scope);
+    if (Cond.isThrow())
+      return Cond;
+    if (!toBoolean(Cond.V))
+      return Completion::normal();
+    Completion Body = evalStmt(W->Body.get(), Scope);
+    if (Body.Kind == CompletionKind::Break)
+      return Completion::normal();
+    if (Body.isThrow() || Body.Kind == CompletionKind::Return)
+      return Body;
+  }
+}
+
+Completion Interpreter::evalDoWhile(const DoWhile *W, Env *Scope) {
+  for (;;) {
+    Completion Budget;
+    if (!checkBudget(Budget))
+      return Budget;
+    Completion Body = evalStmt(W->Body.get(), Scope);
+    if (Body.Kind == CompletionKind::Break)
+      return Completion::normal();
+    if (Body.isThrow() || Body.Kind == CompletionKind::Return)
+      return Body;
+    Completion Cond = evalExpr(W->Cond.get(), Scope);
+    if (Cond.isThrow())
+      return Cond;
+    if (!toBoolean(Cond.V))
+      return Completion::normal();
+  }
+}
+
+Completion Interpreter::evalFor(const For *F, Env *Scope) {
+  if (F->Init) {
+    Completion C = evalStmt(F->Init.get(), Scope);
+    if (C.isAbrupt())
+      return C;
+  }
+  for (;;) {
+    Completion Budget;
+    if (!checkBudget(Budget))
+      return Budget;
+    if (F->Cond) {
+      Completion Cond = evalExpr(F->Cond.get(), Scope);
+      if (Cond.isThrow())
+        return Cond;
+      if (!toBoolean(Cond.V))
+        return Completion::normal();
+    }
+    Completion Body = evalStmt(F->Body.get(), Scope);
+    if (Body.Kind == CompletionKind::Break)
+      return Completion::normal();
+    if (Body.isThrow() || Body.Kind == CompletionKind::Return)
+      return Body;
+    if (F->Step) {
+      Completion Step = evalExpr(F->Step.get(), Scope);
+      if (Step.isThrow())
+        return Step;
+    }
+  }
+}
+
+Completion Interpreter::evalForIn(const ForIn *F, Env *Scope) {
+  Completion ObjC = evalExpr(F->Object.get(), Scope);
+  if (ObjC.isThrow())
+    return ObjC;
+  if (ObjC.V.isNullish())
+    return Completion::normal();
+  if (!ObjC.V.isObject())
+    return Completion::normal();
+  Object *O = ObjC.V.asObject();
+  std::vector<std::string> Keys = O->ownPropertyNames();
+  for (const std::string &Key : Keys) {
+    Env *Owner = Scope->resolve(F->Var);
+    if (!Owner)
+      Owner = F->DeclaresVar ? Scope : Global;
+    if (Hooks)
+      Hooks->onVarWrite(Owner, F->Var, AccessOrigin::Plain);
+    Owner->define(F->Var, Value(Key));
+    Completion Body = evalStmt(F->Body.get(), Scope);
+    if (Body.Kind == CompletionKind::Break)
+      return Completion::normal();
+    if (Body.isThrow() || Body.Kind == CompletionKind::Return)
+      return Body;
+  }
+  return Completion::normal();
+}
+
+Completion Interpreter::evalSwitch(const Switch *S, Env *Scope) {
+  Completion Disc = evalExpr(S->Disc.get(), Scope);
+  if (Disc.isThrow())
+    return Disc;
+  // Find the matching clause (or default).
+  size_t Match = S->Cases.size();
+  size_t DefaultIndex = S->Cases.size();
+  for (size_t I = 0; I < S->Cases.size(); ++I) {
+    const auto &Clause = S->Cases[I];
+    if (!Clause.Test) {
+      DefaultIndex = I;
+      continue;
+    }
+    Completion Test = evalExpr(Clause.Test.get(), Scope);
+    if (Test.isThrow())
+      return Test;
+    if (Disc.V.strictEquals(Test.V)) {
+      Match = I;
+      break;
+    }
+  }
+  if (Match == S->Cases.size())
+    Match = DefaultIndex;
+  for (size_t I = Match; I < S->Cases.size(); ++I) {
+    for (const StmtPtr &Child : S->Cases[I].Body) {
+      Completion C = evalStmt(Child.get(), Scope);
+      if (C.Kind == CompletionKind::Break)
+        return Completion::normal();
+      if (C.isAbrupt())
+        return C;
+    }
+  }
+  return Completion::normal();
+}
+
+Completion Interpreter::evalTry(const Try *T, Env *Scope) {
+  Completion Result = evalBlock(T->Body.get(), Scope);
+  if (Result.isThrow() && T->Catch) {
+    Env *CatchScope = TheHeap.allocEnv(Scope);
+    CatchScope->define(T->CatchVar, std::move(Result.V));
+    Result = evalBlock(T->Catch.get(), CatchScope);
+  }
+  if (T->Finally) {
+    Completion Fin = evalBlock(T->Finally.get(), Scope);
+    if (Fin.isAbrupt())
+      return Fin; // Abrupt finally overrides.
+  }
+  return Result;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Completion Interpreter::evalIdent(const Ident *I, Env *Scope,
+                                  AccessOrigin Origin) {
+  if (Env *Owner = Scope->resolve(I->Name)) {
+    if (Hooks)
+      Hooks->onVarRead(Owner, I->Name, Origin);
+    return Completion::normal(*Owner->findOwn(I->Name));
+  }
+  // Undeclared: the read still targets the global slot a later declaration
+  // would write - this collision is exactly the function race of Sec. 2.4.
+  if (Hooks)
+    Hooks->onVarRead(Global, I->Name, Origin);
+  return throwError("ReferenceError",
+                    strFormat("%s is not defined", I->Name.c_str()));
+}
+
+Completion Interpreter::evalExpr(const Expr *E, Env *Scope) {
+  Completion Budget;
+  if (!checkBudget(Budget))
+    return Budget;
+  switch (E->kind()) {
+  case AstKind::NumberLit:
+    return Completion::normal(Value(cast<NumberLit>(E)->V));
+  case AstKind::StringLit:
+    return Completion::normal(Value(cast<StringLit>(E)->V));
+  case AstKind::BoolLit:
+    return Completion::normal(Value(cast<BoolLit>(E)->V));
+  case AstKind::NullLit:
+    return Completion::normal(Value::null());
+  case AstKind::UndefinedLit:
+    return Completion::normal(Value());
+  case AstKind::ThisExpr:
+    return Completion::normal(GlobalThis);
+  case AstKind::Ident:
+    return evalIdent(cast<Ident>(E), Scope, AccessOrigin::Plain);
+  case AstKind::ArrayLit: {
+    const auto *A = cast<ArrayLit>(E);
+    Object *Arr = TheHeap.allocArray();
+    for (const ExprPtr &Elem : A->Elems) {
+      Completion C = evalExpr(Elem.get(), Scope);
+      if (C.isThrow())
+        return C;
+      Arr->elements().push_back(std::move(C.V));
+    }
+    return Completion::normal(Value(Arr));
+  }
+  case AstKind::ObjectLit: {
+    const auto *OL = cast<ObjectLit>(E);
+    Object *O = TheHeap.allocObject();
+    for (const auto &Prop : OL->Props) {
+      Completion C = evalExpr(Prop.Value.get(), Scope);
+      if (C.isThrow())
+        return C;
+      O->setOwnProperty(Prop.Key, std::move(C.V));
+    }
+    return Completion::normal(Value(O));
+  }
+  case AstKind::FunctionExpr: {
+    const auto *F = cast<FunctionExpr>(E);
+    Object *Fn = TheHeap.allocFunction(&F->Fn, Scope);
+    Fn->setFunctionName(F->Fn.Name);
+    return Completion::normal(Value(Fn));
+  }
+  case AstKind::Member: {
+    const auto *M = cast<Member>(E);
+    Completion Base = evalExpr(M->Base.get(), Scope);
+    if (Base.isThrow())
+      return Base;
+    return getProperty(Base.V, M->Name, AccessOrigin::Plain);
+  }
+  case AstKind::Index: {
+    const auto *I = cast<Index>(E);
+    Completion Base = evalExpr(I->Base.get(), Scope);
+    if (Base.isThrow())
+      return Base;
+    Completion Key = evalExpr(I->Key.get(), Scope);
+    if (Key.isThrow())
+      return Key;
+    return getProperty(Base.V, toStringValue(Key.V), AccessOrigin::Plain);
+  }
+  case AstKind::Call:
+    return evalCall(cast<Call>(E), Scope);
+  case AstKind::New:
+    return evalNew(cast<New>(E), Scope);
+  case AstKind::Unary:
+    return evalUnary(cast<Unary>(E), Scope);
+  case AstKind::Update:
+    return evalUpdate(cast<Update>(E), Scope);
+  case AstKind::Binary:
+    return evalBinary(cast<Binary>(E), Scope);
+  case AstKind::Logical: {
+    const auto *L = cast<Logical>(E);
+    Completion Lhs = evalExpr(L->Lhs.get(), Scope);
+    if (Lhs.isThrow())
+      return Lhs;
+    bool Truthy = toBoolean(Lhs.V);
+    if ((L->Op == LogicalOp::And && !Truthy) ||
+        (L->Op == LogicalOp::Or && Truthy))
+      return Lhs;
+    return evalExpr(L->Rhs.get(), Scope);
+  }
+  case AstKind::Conditional: {
+    const auto *C = cast<Conditional>(E);
+    Completion Cond = evalExpr(C->Cond.get(), Scope);
+    if (Cond.isThrow())
+      return Cond;
+    return evalExpr(toBoolean(Cond.V) ? C->Then.get() : C->Else.get(),
+                    Scope);
+  }
+  case AstKind::Assign:
+    return evalAssign(cast<Assign>(E), Scope);
+  case AstKind::Sequence: {
+    const auto *S = cast<Sequence>(E);
+    Completion Last = Completion::normal();
+    for (const ExprPtr &Sub : S->Exprs) {
+      Last = evalExpr(Sub.get(), Scope);
+      if (Last.isThrow())
+        return Last;
+    }
+    return Last;
+  }
+  default:
+    assert(false && "statement kind reached evalExpr");
+    return Completion::normal();
+  }
+}
+
+Completion Interpreter::evalCall(const Call *C, Env *Scope) {
+  // Resolve the callee reference.
+  Value ThisV;
+  Value Callee;
+  const std::string *MethodName = nullptr;
+  std::string MethodNameStorage;
+  Value BaseV;
+
+  if (const auto *M = dyn_cast<Member>(C->Callee.get())) {
+    Completion Base = evalExpr(M->Base.get(), Scope);
+    if (Base.isThrow())
+      return Base;
+    BaseV = Base.V;
+    MethodNameStorage = M->Name;
+    MethodName = &MethodNameStorage;
+  } else if (const auto *I = dyn_cast<Index>(C->Callee.get())) {
+    Completion Base = evalExpr(I->Base.get(), Scope);
+    if (Base.isThrow())
+      return Base;
+    Completion Key = evalExpr(I->Key.get(), Scope);
+    if (Key.isThrow())
+      return Key;
+    BaseV = Base.V;
+    MethodNameStorage = toStringValue(Key.V);
+    MethodName = &MethodNameStorage;
+  } else if (const auto *Id = dyn_cast<Ident>(C->Callee.get())) {
+    Completion Fn = evalIdent(Id, Scope, AccessOrigin::FunctionCall);
+    if (Fn.isThrow())
+      return Fn;
+    Callee = Fn.V;
+  } else {
+    Completion Fn = evalExpr(C->Callee.get(), Scope);
+    if (Fn.isThrow())
+      return Fn;
+    Callee = Fn.V;
+  }
+
+  // Evaluate arguments.
+  std::vector<Value> Args;
+  Args.reserve(C->Args.size());
+  for (const ExprPtr &Arg : C->Args) {
+    Completion A = evalExpr(Arg.get(), Scope);
+    if (A.isThrow())
+      return A;
+    Args.push_back(std::move(A.V));
+  }
+
+  if (MethodName) {
+    Completion Got = getProperty(BaseV, *MethodName,
+                                 AccessOrigin::FunctionCall);
+    if (Got.isThrow())
+      return Got;
+    Object *F = Got.V.objectOrNull();
+    if (F && F->isCallable())
+      return callFunction(Got.V, BaseV, std::move(Args));
+    Completion Out;
+    if (callBuiltinMethod(BaseV, *MethodName, Args, Out))
+      return Out;
+    return throwError("TypeError",
+                      strFormat("%s is not a function",
+                                MethodName->c_str()));
+  }
+
+  Object *F = Callee.objectOrNull();
+  if (!F || !F->isCallable())
+    return throwError("TypeError", "call target is not a function");
+  return callFunction(Callee, GlobalThis, std::move(Args));
+}
+
+Completion Interpreter::evalNew(const New *N, Env *Scope) {
+  Completion Callee = evalExpr(N->Callee.get(), Scope);
+  if (Callee.isThrow())
+    return Callee;
+  std::vector<Value> Args;
+  Args.reserve(N->Args.size());
+  for (const ExprPtr &Arg : N->Args) {
+    Completion A = evalExpr(Arg.get(), Scope);
+    if (A.isThrow())
+      return A;
+    Args.push_back(std::move(A.V));
+  }
+  return construct(Callee.V, std::move(Args));
+}
+
+Completion Interpreter::evalAssign(const Assign *A, Env *Scope) {
+  // Compound ops read the old value first.
+  auto Apply = [&](const Value &Old, Value New,
+                   uint32_t Line) -> Completion {
+    if (A->Op == AssignOp::Assign)
+      return Completion::normal(std::move(New));
+    static const BinaryOp Map[] = {BinaryOp::Add, BinaryOp::Add,
+                                   BinaryOp::Sub, BinaryOp::Mul,
+                                   BinaryOp::Div, BinaryOp::Mod};
+    return applyBinary(Map[static_cast<int>(A->Op)], Old, New, Line);
+  };
+
+  if (const auto *Id = dyn_cast<Ident>(A->Target.get())) {
+    Value Old;
+    if (A->Op != AssignOp::Assign) {
+      Completion OldC = evalIdent(Id, Scope, AccessOrigin::Plain);
+      if (OldC.isThrow())
+        return OldC;
+      Old = std::move(OldC.V);
+    }
+    Completion Rhs = evalExpr(A->Value.get(), Scope);
+    if (Rhs.isThrow())
+      return Rhs;
+    Completion NewV = Apply(Old, std::move(Rhs.V), A->line());
+    if (NewV.isThrow())
+      return NewV;
+    Env *Owner = Scope->resolve(Id->Name);
+    if (!Owner)
+      Owner = Global; // Implicit global creation.
+    if (Hooks)
+      Hooks->onVarWrite(Owner, Id->Name, AccessOrigin::Plain);
+    Owner->define(Id->Name, NewV.V);
+    return Completion::normal(std::move(NewV.V));
+  }
+
+  // Member / Index target.
+  Value BaseV;
+  std::string Name;
+  if (const auto *M = dyn_cast<Member>(A->Target.get())) {
+    Completion Base = evalExpr(M->Base.get(), Scope);
+    if (Base.isThrow())
+      return Base;
+    BaseV = std::move(Base.V);
+    Name = M->Name;
+  } else {
+    const auto *I = cast<Index>(A->Target.get());
+    Completion Base = evalExpr(I->Base.get(), Scope);
+    if (Base.isThrow())
+      return Base;
+    Completion Key = evalExpr(I->Key.get(), Scope);
+    if (Key.isThrow())
+      return Key;
+    BaseV = std::move(Base.V);
+    Name = toStringValue(Key.V);
+  }
+
+  Value Old;
+  if (A->Op != AssignOp::Assign) {
+    Completion OldC = getProperty(BaseV, Name, AccessOrigin::Plain);
+    if (OldC.isThrow())
+      return OldC;
+    Old = std::move(OldC.V);
+  }
+  Completion Rhs = evalExpr(A->Value.get(), Scope);
+  if (Rhs.isThrow())
+    return Rhs;
+  Completion NewV = Apply(Old, std::move(Rhs.V), A->line());
+  if (NewV.isThrow())
+    return NewV;
+  Completion SetC = setProperty(BaseV, Name, NewV.V, AccessOrigin::Plain);
+  if (SetC.isThrow())
+    return SetC;
+  return Completion::normal(std::move(NewV.V));
+}
+
+Completion Interpreter::evalUpdate(const Update *U, Env *Scope) {
+  // Read old, compute new, write back.
+  auto Finish = [&](const Value &OldV,
+                    std::function<Completion(Value)> Write) -> Completion {
+    double Old = toNumber(OldV);
+    double New = U->IsIncrement ? Old + 1 : Old - 1;
+    Completion W = Write(Value(New));
+    if (W.isThrow())
+      return W;
+    return Completion::normal(Value(U->IsPrefix ? New : Old));
+  };
+
+  if (const auto *Id = dyn_cast<Ident>(U->Operand.get())) {
+    Completion OldC = evalIdent(Id, Scope, AccessOrigin::Plain);
+    if (OldC.isThrow())
+      return OldC;
+    return Finish(OldC.V, [&](Value NewV) -> Completion {
+      Env *Owner = Scope->resolve(Id->Name);
+      if (!Owner)
+        Owner = Global;
+      if (Hooks)
+        Hooks->onVarWrite(Owner, Id->Name, AccessOrigin::Plain);
+      Owner->define(Id->Name, std::move(NewV));
+      return Completion::normal();
+    });
+  }
+
+  Value BaseV;
+  std::string Name;
+  if (const auto *M = dyn_cast<Member>(U->Operand.get())) {
+    Completion Base = evalExpr(M->Base.get(), Scope);
+    if (Base.isThrow())
+      return Base;
+    BaseV = std::move(Base.V);
+    Name = M->Name;
+  } else if (const auto *I = dyn_cast<Index>(U->Operand.get())) {
+    Completion Base = evalExpr(I->Base.get(), Scope);
+    if (Base.isThrow())
+      return Base;
+    Completion Key = evalExpr(I->Key.get(), Scope);
+    if (Key.isThrow())
+      return Key;
+    BaseV = std::move(Base.V);
+    Name = toStringValue(Key.V);
+  } else {
+    return throwError("SyntaxError", "invalid update target");
+  }
+  Completion OldC = getProperty(BaseV, Name, AccessOrigin::Plain);
+  if (OldC.isThrow())
+    return OldC;
+  return Finish(OldC.V, [&](Value NewV) -> Completion {
+    return setProperty(BaseV, Name, std::move(NewV), AccessOrigin::Plain);
+  });
+}
+
+Completion Interpreter::evalUnary(const Unary *U, Env *Scope) {
+  // typeof tolerates undeclared identifiers (but the read is still an
+  // access the detector sees).
+  if (U->Op == UnaryOp::TypeOf) {
+    if (const auto *Id = dyn_cast<Ident>(U->Operand.get())) {
+      if (Env *Owner = Scope->resolve(Id->Name)) {
+        if (Hooks)
+          Hooks->onVarRead(Owner, Id->Name, AccessOrigin::Plain);
+        return Completion::normal(Value(typeOf(*Owner->findOwn(Id->Name))));
+      }
+      if (Hooks)
+        Hooks->onVarRead(Global, Id->Name, AccessOrigin::Plain);
+      return Completion::normal(Value("undefined"));
+    }
+    Completion C = evalExpr(U->Operand.get(), Scope);
+    if (C.isThrow())
+      return C;
+    return Completion::normal(Value(typeOf(C.V)));
+  }
+
+  if (U->Op == UnaryOp::Delete) {
+    if (const auto *M = dyn_cast<Member>(U->Operand.get())) {
+      Completion Base = evalExpr(M->Base.get(), Scope);
+      if (Base.isThrow())
+        return Base;
+      if (Object *O = Base.V.objectOrNull()) {
+        if (Hooks)
+          Hooks->onPropWrite(O, M->Name, AccessOrigin::Plain);
+        return Completion::normal(Value(O->deleteOwnProperty(M->Name)));
+      }
+      return Completion::normal(Value(true));
+    }
+    if (const auto *I = dyn_cast<Index>(U->Operand.get())) {
+      Completion Base = evalExpr(I->Base.get(), Scope);
+      if (Base.isThrow())
+        return Base;
+      Completion Key = evalExpr(I->Key.get(), Scope);
+      if (Key.isThrow())
+        return Key;
+      if (Object *O = Base.V.objectOrNull()) {
+        std::string Name = toStringValue(Key.V);
+        if (Hooks)
+          Hooks->onPropWrite(O, Name, AccessOrigin::Plain);
+        return Completion::normal(Value(O->deleteOwnProperty(Name)));
+      }
+      return Completion::normal(Value(true));
+    }
+    return Completion::normal(Value(false));
+  }
+
+  Completion C = evalExpr(U->Operand.get(), Scope);
+  if (C.isThrow())
+    return C;
+  switch (U->Op) {
+  case UnaryOp::Neg:
+    return Completion::normal(Value(-toNumber(C.V)));
+  case UnaryOp::Plus:
+    return Completion::normal(Value(toNumber(C.V)));
+  case UnaryOp::Not:
+    return Completion::normal(Value(!toBoolean(C.V)));
+  case UnaryOp::BitNot:
+    return Completion::normal(Value(static_cast<double>(~toInt32(C.V))));
+  case UnaryOp::Void:
+    return Completion::normal(Value());
+  default:
+    return Completion::normal(Value());
+  }
+}
+
+Completion Interpreter::applyBinary(BinaryOp Op, const Value &L,
+                                    const Value &R, uint32_t Line) {
+  (void)Line;
+  switch (Op) {
+  case BinaryOp::Add:
+    if (L.isString() || R.isString() || L.isObject() || R.isObject())
+      return Completion::normal(
+          Value(toStringValue(L) + toStringValue(R)));
+    return Completion::normal(Value(toNumber(L) + toNumber(R)));
+  case BinaryOp::Sub:
+    return Completion::normal(Value(toNumber(L) - toNumber(R)));
+  case BinaryOp::Mul:
+    return Completion::normal(Value(toNumber(L) * toNumber(R)));
+  case BinaryOp::Div:
+    return Completion::normal(Value(toNumber(L) / toNumber(R)));
+  case BinaryOp::Mod:
+    return Completion::normal(Value(std::fmod(toNumber(L), toNumber(R))));
+  case BinaryOp::Eq:
+    return Completion::normal(Value(looseEquals(L, R)));
+  case BinaryOp::Ne:
+    return Completion::normal(Value(!looseEquals(L, R)));
+  case BinaryOp::StrictEq:
+    return Completion::normal(Value(L.strictEquals(R)));
+  case BinaryOp::StrictNe:
+    return Completion::normal(Value(!L.strictEquals(R)));
+  case BinaryOp::Lt:
+  case BinaryOp::Gt:
+  case BinaryOp::Le:
+  case BinaryOp::Ge: {
+    bool Result;
+    if (L.isString() && R.isString()) {
+      int Cmp = L.asString().compare(R.asString());
+      Result = Op == BinaryOp::Lt   ? Cmp < 0
+               : Op == BinaryOp::Gt ? Cmp > 0
+               : Op == BinaryOp::Le ? Cmp <= 0
+                                    : Cmp >= 0;
+    } else {
+      double A = toNumber(L), B = toNumber(R);
+      if (std::isnan(A) || std::isnan(B))
+        return Completion::normal(Value(false));
+      Result = Op == BinaryOp::Lt   ? A < B
+               : Op == BinaryOp::Gt ? A > B
+               : Op == BinaryOp::Le ? A <= B
+                                    : A >= B;
+    }
+    return Completion::normal(Value(Result));
+  }
+  case BinaryOp::BitAnd:
+    return Completion::normal(
+        Value(static_cast<double>(toInt32(L) & toInt32(R))));
+  case BinaryOp::BitOr:
+    return Completion::normal(
+        Value(static_cast<double>(toInt32(L) | toInt32(R))));
+  case BinaryOp::BitXor:
+    return Completion::normal(
+        Value(static_cast<double>(toInt32(L) ^ toInt32(R))));
+  case BinaryOp::Shl:
+    return Completion::normal(Value(static_cast<double>(
+        toInt32(L) << (toInt32(R) & 31))));
+  case BinaryOp::Shr:
+    return Completion::normal(Value(static_cast<double>(
+        toInt32(L) >> (toInt32(R) & 31))));
+  case BinaryOp::UShr:
+    return Completion::normal(Value(static_cast<double>(
+        static_cast<uint32_t>(toInt32(L)) >> (toInt32(R) & 31))));
+  case BinaryOp::InstanceOf: {
+    Object *F = R.objectOrNull();
+    Object *O = L.objectOrNull();
+    if (!F || !F->isCallable())
+      return throwError("TypeError",
+                        "right-hand side of instanceof is not callable");
+    if (!O)
+      return Completion::normal(Value(false));
+    Value *ProtoV = F->findOwnProperty("prototype");
+    Object *Proto = ProtoV ? ProtoV->objectOrNull() : nullptr;
+    for (Object *Walk = O->proto(); Walk; Walk = Walk->proto())
+      if (Walk == Proto)
+        return Completion::normal(Value(true));
+    return Completion::normal(Value(false));
+  }
+  case BinaryOp::In: {
+    Object *O = R.objectOrNull();
+    if (!O)
+      return throwError("TypeError",
+                        "cannot use 'in' operator on a non-object");
+    std::string Name = toStringValue(L);
+    if (Hooks)
+      Hooks->onPropRead(O, Name, AccessOrigin::Plain);
+    if (O->isArray()) {
+      size_t Index;
+      if (parseArrayIndex(Name, Index))
+        return Completion::normal(Value(Index < O->elements().size()));
+    }
+    return Completion::normal(Value(O->findProperty(Name) != nullptr));
+  }
+  }
+  return Completion::normal(Value());
+}
+
+Completion Interpreter::evalBinary(const Binary *B, Env *Scope) {
+  Completion L = evalExpr(B->Lhs.get(), Scope);
+  if (L.isThrow())
+    return L;
+  Completion R = evalExpr(B->Rhs.get(), Scope);
+  if (R.isThrow())
+    return R;
+  return applyBinary(B->Op, L.V, R.V, B->line());
+}
+
+// ---------------------------------------------------------------------------
+// Builtin methods
+// ---------------------------------------------------------------------------
+
+bool Interpreter::callBuiltinMethod(const Value &Base,
+                                    const std::string &Name,
+                                    std::vector<Value> &Args,
+                                    Completion &Out) {
+  auto Arg = [&](size_t I) { return I < Args.size() ? Args[I] : Value(); };
+
+  if (Base.isString()) {
+    const std::string &S = Base.asString();
+    if (Name == "charAt") {
+      double I = toNumber(Arg(0));
+      size_t Index = (I >= 0 && I < static_cast<double>(S.size()))
+                         ? static_cast<size_t>(I)
+                         : S.size();
+      Out = Completion::normal(Value(
+          Index < S.size() ? std::string(1, S[Index]) : std::string()));
+      return true;
+    }
+    if (Name == "charCodeAt") {
+      double I = toNumber(Arg(0));
+      if (I >= 0 && I < static_cast<double>(S.size()))
+        Out = Completion::normal(Value(static_cast<double>(
+            static_cast<unsigned char>(S[static_cast<size_t>(I)]))));
+      else
+        Out = Completion::normal(Value(std::nan("")));
+      return true;
+    }
+    if (Name == "indexOf" || Name == "lastIndexOf") {
+      std::string Needle = toStringValue(Arg(0));
+      size_t Found = Name == "indexOf" ? S.find(Needle) : S.rfind(Needle);
+      Out = Completion::normal(
+          Value(Found == std::string::npos ? -1.0
+                                           : static_cast<double>(Found)));
+      return true;
+    }
+    if (Name == "substring" || Name == "slice" || Name == "substr") {
+      double A = toNumber(Arg(0));
+      if (std::isnan(A))
+        A = 0;
+      double Len = static_cast<double>(S.size());
+      if (Name == "substr") {
+        double Start = A < 0 ? std::max(0.0, Len + A) : std::min(A, Len);
+        double Count = Args.size() > 1 ? toNumber(Arg(1)) : Len - Start;
+        Count = std::max(0.0, std::min(Count, Len - Start));
+        Out = Completion::normal(Value(S.substr(
+            static_cast<size_t>(Start), static_cast<size_t>(Count))));
+        return true;
+      }
+      double B = Args.size() > 1 ? toNumber(Arg(1)) : Len;
+      if (Name == "slice") {
+        if (A < 0)
+          A = std::max(0.0, Len + A);
+        if (B < 0)
+          B = std::max(0.0, Len + B);
+      }
+      A = std::max(0.0, std::min(A, Len));
+      B = std::max(0.0, std::min(B, Len));
+      if (Name == "substring" && A > B)
+        std::swap(A, B);
+      if (A > B)
+        B = A;
+      Out = Completion::normal(Value(S.substr(
+          static_cast<size_t>(A), static_cast<size_t>(B - A))));
+      return true;
+    }
+    if (Name == "toLowerCase" || Name == "toUpperCase") {
+      std::string R = S;
+      for (char &C : R)
+        C = static_cast<char>(
+            Name == "toLowerCase"
+                ? std::tolower(static_cast<unsigned char>(C))
+                : std::toupper(static_cast<unsigned char>(C)));
+      Out = Completion::normal(Value(std::move(R)));
+      return true;
+    }
+    if (Name == "split") {
+      Object *Arr = TheHeap.allocArray();
+      if (Args.empty() || Arg(0).isUndefined()) {
+        Arr->elements().push_back(Value(S));
+      } else {
+        std::string Sep = toStringValue(Arg(0));
+        if (Sep.empty()) {
+          for (char C : S)
+            Arr->elements().push_back(Value(std::string(1, C)));
+        } else {
+          size_t Start = 0;
+          for (;;) {
+            size_t Hit = S.find(Sep, Start);
+            if (Hit == std::string::npos) {
+              Arr->elements().push_back(Value(S.substr(Start)));
+              break;
+            }
+            Arr->elements().push_back(Value(S.substr(Start, Hit - Start)));
+            Start = Hit + Sep.size();
+          }
+        }
+      }
+      Out = Completion::normal(Value(Arr));
+      return true;
+    }
+    if (Name == "replace") {
+      std::string Find = toStringValue(Arg(0));
+      std::string Repl = toStringValue(Arg(1));
+      std::string R = S;
+      size_t Hit = R.find(Find);
+      if (Hit != std::string::npos && !Find.empty())
+        R = R.substr(0, Hit) + Repl + R.substr(Hit + Find.size());
+      Out = Completion::normal(Value(std::move(R)));
+      return true;
+    }
+    if (Name == "concat") {
+      std::string R = S;
+      for (Value &A : Args)
+        R += toStringValue(A);
+      Out = Completion::normal(Value(std::move(R)));
+      return true;
+    }
+    if (Name == "trim") {
+      size_t Begin = S.find_first_not_of(" \t\n\r\f\v");
+      if (Begin == std::string::npos) {
+        Out = Completion::normal(Value(std::string()));
+        return true;
+      }
+      size_t End = S.find_last_not_of(" \t\n\r\f\v");
+      Out = Completion::normal(Value(S.substr(Begin, End - Begin + 1)));
+      return true;
+    }
+    if (Name == "toString") {
+      Out = Completion::normal(Base);
+      return true;
+    }
+    return false;
+  }
+
+  if (Base.isNumber()) {
+    if (Name == "toFixed") {
+      int Digits = static_cast<int>(toNumber(Arg(0)));
+      if (Digits < 0 || Digits > 20)
+        Digits = 0;
+      Out = Completion::normal(
+          Value(strFormat("%.*f", Digits, Base.asNumber())));
+      return true;
+    }
+    if (Name == "toString") {
+      Out = Completion::normal(Value(numberToString(Base.asNumber())));
+      return true;
+    }
+    return false;
+  }
+
+  Object *O = Base.objectOrNull();
+  if (!O)
+    return false;
+
+  if (O->isArray()) {
+    std::vector<Value> &Elems = O->elements();
+    if (Name == "push") {
+      if (Hooks)
+        Hooks->onPropWrite(O, "length", AccessOrigin::Plain);
+      for (Value &A : Args)
+        Elems.push_back(A);
+      Out = Completion::normal(Value(static_cast<double>(Elems.size())));
+      return true;
+    }
+    if (Name == "pop") {
+      if (Hooks)
+        Hooks->onPropWrite(O, "length", AccessOrigin::Plain);
+      if (Elems.empty()) {
+        Out = Completion::normal(Value());
+        return true;
+      }
+      Value Last = Elems.back();
+      Elems.pop_back();
+      Out = Completion::normal(std::move(Last));
+      return true;
+    }
+    if (Name == "shift") {
+      if (Hooks)
+        Hooks->onPropWrite(O, "length", AccessOrigin::Plain);
+      if (Elems.empty()) {
+        Out = Completion::normal(Value());
+        return true;
+      }
+      Value First = Elems.front();
+      Elems.erase(Elems.begin());
+      Out = Completion::normal(std::move(First));
+      return true;
+    }
+    if (Name == "unshift") {
+      if (Hooks)
+        Hooks->onPropWrite(O, "length", AccessOrigin::Plain);
+      Elems.insert(Elems.begin(), Args.begin(), Args.end());
+      Out = Completion::normal(Value(static_cast<double>(Elems.size())));
+      return true;
+    }
+    if (Name == "join") {
+      std::string Sep = Args.empty() ? "," : toStringValue(Arg(0));
+      std::string R;
+      for (size_t I = 0; I < Elems.size(); ++I) {
+        if (I != 0)
+          R += Sep;
+        if (!Elems[I].isNullish())
+          R += toStringValue(Elems[I]);
+      }
+      Out = Completion::normal(Value(std::move(R)));
+      return true;
+    }
+    if (Name == "indexOf") {
+      for (size_t I = 0; I < Elems.size(); ++I) {
+        if (Elems[I].strictEquals(Arg(0))) {
+          Out = Completion::normal(Value(static_cast<double>(I)));
+          return true;
+        }
+      }
+      Out = Completion::normal(Value(-1.0));
+      return true;
+    }
+    if (Name == "slice") {
+      double Len = static_cast<double>(Elems.size());
+      double A = Args.empty() ? 0 : toNumber(Arg(0));
+      double B = Args.size() > 1 ? toNumber(Arg(1)) : Len;
+      if (A < 0)
+        A = std::max(0.0, Len + A);
+      if (B < 0)
+        B = std::max(0.0, Len + B);
+      A = std::min(A, Len);
+      B = std::min(B, Len);
+      Object *R = TheHeap.allocArray();
+      for (double I = A; I < B; ++I)
+        R->elements().push_back(Elems[static_cast<size_t>(I)]);
+      Out = Completion::normal(Value(R));
+      return true;
+    }
+    if (Name == "splice") {
+      if (Hooks)
+        Hooks->onPropWrite(O, "length", AccessOrigin::Plain);
+      double Len = static_cast<double>(Elems.size());
+      double Start = toNumber(Arg(0));
+      if (Start < 0)
+        Start = std::max(0.0, Len + Start);
+      Start = std::min(Start, Len);
+      double Count = Args.size() > 1 ? toNumber(Arg(1)) : Len - Start;
+      Count = std::max(0.0, std::min(Count, Len - Start));
+      Object *Removed = TheHeap.allocArray();
+      auto First = Elems.begin() + static_cast<ptrdiff_t>(Start);
+      auto Last = First + static_cast<ptrdiff_t>(Count);
+      Removed->elements().assign(First, Last);
+      std::vector<Value> Insert(Args.begin() + std::min<size_t>(2,
+                                                               Args.size()),
+                                Args.end());
+      Elems.erase(First, Last);
+      Elems.insert(Elems.begin() + static_cast<ptrdiff_t>(Start),
+                   Insert.begin(), Insert.end());
+      Out = Completion::normal(Value(Removed));
+      return true;
+    }
+    if (Name == "concat") {
+      Object *R = TheHeap.allocArray();
+      R->elements() = Elems;
+      for (Value &A : Args) {
+        if (Object *AO = A.objectOrNull(); AO && AO->isArray())
+          R->elements().insert(R->elements().end(), AO->elements().begin(),
+                               AO->elements().end());
+        else
+          R->elements().push_back(A);
+      }
+      Out = Completion::normal(Value(R));
+      return true;
+    }
+    if (Name == "reverse") {
+      std::reverse(Elems.begin(), Elems.end());
+      Out = Completion::normal(Base);
+      return true;
+    }
+  }
+
+  if (O->isCallable()) {
+    if (Name == "call") {
+      Value ThisV = Arg(0);
+      std::vector<Value> Rest(Args.begin() + std::min<size_t>(1,
+                                                              Args.size()),
+                              Args.end());
+      Out = callFunction(Base, std::move(ThisV), std::move(Rest));
+      return true;
+    }
+    if (Name == "apply") {
+      Value ThisV = Arg(0);
+      std::vector<Value> Rest;
+      if (Object *ArgsArr = Arg(1).objectOrNull();
+          ArgsArr && ArgsArr->isArray())
+        Rest = ArgsArr->elements();
+      Out = callFunction(Base, std::move(ThisV), std::move(Rest));
+      return true;
+    }
+  }
+
+  if (Name == "hasOwnProperty") {
+    std::string Prop = toStringValue(Arg(0));
+    if (Hooks)
+      Hooks->onPropRead(O, Prop, AccessOrigin::Plain);
+    bool Has = O->findOwnProperty(Prop) != nullptr;
+    if (!Has && O->isArray()) {
+      size_t Index;
+      Has = parseArrayIndex(Prop, Index) && Index < O->elements().size();
+    }
+    Out = Completion::normal(Value(Has));
+    return true;
+  }
+  if (Name == "toString") {
+    Out = Completion::normal(Value(toDisplayString(Base)));
+    return true;
+  }
+  return false;
+}

@@ -1,0 +1,176 @@
+//===- js/Interpreter.h - MiniJS tree-walking interpreter -------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniJS interpreter: a tree-walking evaluator with completion
+/// records (no C++ exceptions), JS var/function hoisting, closures,
+/// prototype chains, and full access instrumentation via JsHooks.
+///
+/// Every variable and property access flows through a hook, mirroring how
+/// WebRacer instruments WebKit's JavaScript interpreter (Sec. 5.2.1). The
+/// hooks can be disabled (null) to measure instrumentation overhead, which
+/// is the paper's Sec. 6 performance experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_JS_INTERPRETER_H
+#define WEBRACER_JS_INTERPRETER_H
+
+#include "js/Ast.h"
+#include "js/Heap.h"
+#include "js/Value.h"
+#include "mem/Location.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wr::js {
+
+/// Access-instrumentation callbacks. The browser runtime implements these
+/// to feed the race detector; they are the JS half of the paper's logical
+/// memory model (Sec. 4.1).
+class JsHooks {
+public:
+  virtual ~JsHooks();
+
+  /// A read of variable \p Name resolved to environment \p Scope.
+  virtual void onVarRead(Env *Scope, const std::string &Name,
+                         AccessOrigin Origin) = 0;
+
+  /// A write of variable \p Name in environment \p Scope.
+  virtual void onVarWrite(Env *Scope, const std::string &Name,
+                          AccessOrigin Origin) = 0;
+
+  /// A read of property \p Name on \p Obj.
+  virtual void onPropRead(Object *Obj, const std::string &Name,
+                          AccessOrigin Origin) = 0;
+
+  /// A write of property \p Name on \p Obj.
+  virtual void onPropWrite(Object *Obj, const std::string &Name,
+                           AccessOrigin Origin) = 0;
+};
+
+/// The MiniJS evaluator.
+class Interpreter {
+public:
+  /// \p Global is the global scope environment (ContainerId 0 when it is
+  /// the first environment allocated from \p H).
+  Interpreter(Heap &H, Env *Global);
+
+  Heap &heap() { return TheHeap; }
+  Env *globalEnv() { return Global; }
+
+  /// The value of `this` at top level (the window object, once the
+  /// runtime installs it).
+  void setGlobalThis(Value V) { GlobalThis = std::move(V); }
+  const Value &globalThis() const { return GlobalThis; }
+
+  /// Installs (or clears, with null) the instrumentation hooks.
+  void setHooks(JsHooks *H) { Hooks = H; }
+  JsHooks *hooks() const { return Hooks; }
+
+  /// Runs a program in the global scope. A Throw completion means the
+  /// script died with an uncaught exception.
+  Completion runProgram(const Program &P);
+
+  /// Runs a program in the global scope with `this` temporarily bound to
+  /// \p ThisV (used for content-attribute event handlers, where `this` is
+  /// the target element).
+  Completion runProgramWithThis(const Program &P, Value ThisV);
+
+  /// Calls a function value with explicit this and arguments. Used by the
+  /// runtime to invoke event handlers and timer callbacks.
+  Completion callFunction(Value Fn, Value ThisV, std::vector<Value> Args);
+
+  /// Constructs via `new` semantics. Used by host code.
+  Completion construct(Value Callee, std::vector<Value> Args);
+
+  // -- Services for host classes -------------------------------------------
+
+  /// Creates a Throw completion carrying an Error-like object.
+  Completion throwError(const char *Name, std::string Message);
+
+  /// Property read/write with full instrumentation and host dispatch.
+  Completion getProperty(const Value &Base, const std::string &Name,
+                         AccessOrigin Origin = AccessOrigin::Plain);
+  Completion setProperty(const Value &Base, const std::string &Name,
+                         Value V, AccessOrigin Origin = AccessOrigin::Plain);
+
+  // -- Conversions (public: host bindings need them) -------------------------
+
+  static bool toBoolean(const Value &V);
+  double toNumber(const Value &V) const;
+  int32_t toInt32(const Value &V) const;
+  std::string toStringValue(const Value &V) const;
+  bool looseEquals(const Value &A, const Value &B) const;
+
+  // -- Resource limits --------------------------------------------------------
+
+  /// Resets the per-operation step counter. The event loop calls this at
+  /// each operation boundary.
+  void resetSteps() { Steps = 0; }
+
+  /// Sets the per-operation step budget (0 = unlimited). Exceeding it
+  /// throws a RangeError, terminating the operation like a runaway-script
+  /// watchdog would.
+  void setStepBudget(uint64_t N) { StepBudget = N; }
+
+  /// Steps executed since the last reset.
+  uint64_t steps() const { return Steps; }
+
+private:
+  // Statement evaluation.
+  Completion evalStmt(const Stmt *S, Env *Scope);
+  Completion evalBlock(const Block *B, Env *Scope);
+  Completion evalVarDecl(const VarDecl *V, Env *Scope);
+  Completion evalIf(const If *I, Env *Scope);
+  Completion evalWhile(const While *W, Env *Scope);
+  Completion evalDoWhile(const DoWhile *W, Env *Scope);
+  Completion evalFor(const For *F, Env *Scope);
+  Completion evalForIn(const ForIn *F, Env *Scope);
+  Completion evalSwitch(const Switch *S, Env *Scope);
+  Completion evalTry(const Try *T, Env *Scope);
+
+  // Expression evaluation.
+  Completion evalExpr(const Expr *E, Env *Scope);
+  Completion evalIdent(const Ident *I, Env *Scope, AccessOrigin Origin);
+  Completion evalCall(const Call *C, Env *Scope);
+  Completion evalNew(const New *N, Env *Scope);
+  Completion evalAssign(const Assign *A, Env *Scope);
+  Completion evalUpdate(const Update *U, Env *Scope);
+  Completion evalUnary(const Unary *U, Env *Scope);
+  Completion evalBinary(const Binary *B, Env *Scope);
+  Completion applyBinary(BinaryOp Op, const Value &L, const Value &R,
+                         uint32_t Line);
+
+  /// Hoists var and function declarations into \p Scope (Sec. 4.1:
+  /// function declarations are writes at the beginning of the scope).
+  void hoistDeclarations(const std::vector<StmtPtr> &Body, Env *Scope);
+  void collectVarNames(const Stmt *S, std::vector<std::string> &Names);
+
+  /// Calls a builtin method (string/array/object/function helpers) when
+  /// plain property lookup cannot produce a callee. Returns true if the
+  /// method exists; the result is placed in \p Out.
+  bool callBuiltinMethod(const Value &Base, const std::string &Name,
+                         std::vector<Value> &Args, Completion &Out);
+
+  /// Bumps the step counter; returns a Throw completion when over budget.
+  bool checkBudget(Completion &Out);
+
+  Heap &TheHeap;
+  Env *Global;
+  Value GlobalThis;
+  JsHooks *Hooks = nullptr;
+  uint64_t Steps = 0;
+  uint64_t StepBudget = 50'000'000;
+  uint32_t CallDepth = 0;
+  uint32_t MaxCallDepth = 256;
+};
+
+} // namespace wr::js
+
+#endif // WEBRACER_JS_INTERPRETER_H

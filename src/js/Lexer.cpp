@@ -1,0 +1,531 @@
+//===- js/Lexer.cpp - MiniJS lexer -----------------------------------------===//
+
+#include "js/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace wr;
+using namespace wr::js;
+
+const char *wr::js::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::String:
+    return "string";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwFunction:
+    return "'function'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwDelete:
+    return "'delete'";
+  case TokenKind::KwTypeof:
+    return "'typeof'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwThis:
+    return "'this'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwUndefined:
+    return "'undefined'";
+  case TokenKind::KwSwitch:
+    return "'switch'";
+  case TokenKind::KwCase:
+    return "'case'";
+  case TokenKind::KwDefault:
+    return "'default'";
+  case TokenKind::KwTry:
+    return "'try'";
+  case TokenKind::KwCatch:
+    return "'catch'";
+  case TokenKind::KwFinally:
+    return "'finally'";
+  case TokenKind::KwThrow:
+    return "'throw'";
+  case TokenKind::KwInstanceof:
+    return "'instanceof'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::MinusAssign:
+    return "'-='";
+  case TokenKind::StarAssign:
+    return "'*='";
+  case TokenKind::SlashAssign:
+    return "'/='";
+  case TokenKind::PercentAssign:
+    return "'%='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::EqEqEq:
+    return "'==='";
+  case TokenKind::NotEqEq:
+    return "'!=='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Shl:
+    return "'<<'";
+  case TokenKind::Shr:
+    return "'>>'";
+  case TokenKind::UShr:
+    return "'>>>'";
+  }
+  return "token";
+}
+
+Lexer::Lexer(std::string_view Source) : Source(Source) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n' || C == '\f' ||
+        C == '\v') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/') && peek() != '\0')
+        advance();
+      if (peek() != '\0') {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind) {
+  Token T;
+  T.Kind = Kind;
+  T.Line = TokLine;
+  T.Column = TokColumn;
+  return T;
+}
+
+Token Lexer::errorToken(std::string Message) {
+  Token T = makeToken(TokenKind::Error);
+  T.Text = std::move(Message);
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  size_t Start = Pos;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+    Token T = makeToken(TokenKind::Number);
+    T.NumValue = static_cast<double>(
+        std::strtoull(std::string(Source.substr(Start, Pos - Start)).c_str(),
+                      nullptr, 16));
+    return T;
+  }
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    } else {
+      Pos = Save; // Not an exponent after all.
+    }
+  }
+  Token T = makeToken(TokenKind::Number);
+  T.NumValue =
+      std::strtod(std::string(Source.substr(Start, Pos - Start)).c_str(),
+                  nullptr);
+  return T;
+}
+
+Token Lexer::lexString(char Quote) {
+  std::string Decoded;
+  for (;;) {
+    char C = peek();
+    if (C == '\0' || C == '\n')
+      return errorToken("unterminated string literal");
+    advance();
+    if (C == Quote)
+      break;
+    if (C != '\\') {
+      Decoded.push_back(C);
+      continue;
+    }
+    char Esc = advance();
+    switch (Esc) {
+    case 'n':
+      Decoded.push_back('\n');
+      break;
+    case 't':
+      Decoded.push_back('\t');
+      break;
+    case 'r':
+      Decoded.push_back('\r');
+      break;
+    case 'b':
+      Decoded.push_back('\b');
+      break;
+    case 'f':
+      Decoded.push_back('\f');
+      break;
+    case 'v':
+      Decoded.push_back('\v');
+      break;
+    case '0':
+      Decoded.push_back('\0');
+      break;
+    case 'x': {
+      char Hi = advance();
+      char Lo = advance();
+      if (!std::isxdigit(static_cast<unsigned char>(Hi)) ||
+          !std::isxdigit(static_cast<unsigned char>(Lo)))
+        return errorToken("invalid \\x escape");
+      auto HexVal = [](char C) {
+        if (C >= '0' && C <= '9')
+          return C - '0';
+        return std::tolower(static_cast<unsigned char>(C)) - 'a' + 10;
+      };
+      Decoded.push_back(
+          static_cast<char>(HexVal(Hi) * 16 + HexVal(Lo)));
+      break;
+    }
+    case 'u': {
+      // Decode \uXXXX but keep only Latin-1 range; enough for test pages.
+      unsigned Code = 0;
+      for (int I = 0; I < 4; ++I) {
+        char H = advance();
+        if (!std::isxdigit(static_cast<unsigned char>(H)))
+          return errorToken("invalid \\u escape");
+        Code = Code * 16 +
+               (std::isdigit(static_cast<unsigned char>(H))
+                    ? static_cast<unsigned>(H - '0')
+                    : static_cast<unsigned>(
+                          std::tolower(static_cast<unsigned char>(H)) - 'a' +
+                          10));
+      }
+      if (Code < 0x80) {
+        Decoded.push_back(static_cast<char>(Code));
+      } else {
+        // UTF-8 encode.
+        if (Code < 0x800) {
+          Decoded.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+        } else {
+          Decoded.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Decoded.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+        }
+        Decoded.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+      }
+      break;
+    }
+    default:
+      Decoded.push_back(Esc); // \' \" \\ and unknown escapes.
+      break;
+    }
+  }
+  Token T = makeToken(TokenKind::String);
+  T.Text = std::move(Decoded);
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+         peek() == '$')
+    advance();
+  std::string Word(Source.substr(Start, Pos - Start));
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"var", TokenKind::KwVar},
+      {"function", TokenKind::KwFunction},
+      {"return", TokenKind::KwReturn},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},
+      {"for", TokenKind::KwFor},
+      {"in", TokenKind::KwIn},
+      {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"new", TokenKind::KwNew},
+      {"delete", TokenKind::KwDelete},
+      {"typeof", TokenKind::KwTypeof},
+      {"void", TokenKind::KwVoid},
+      {"this", TokenKind::KwThis},
+      {"null", TokenKind::KwNull},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"undefined", TokenKind::KwUndefined},
+      {"switch", TokenKind::KwSwitch},
+      {"case", TokenKind::KwCase},
+      {"default", TokenKind::KwDefault},
+      {"try", TokenKind::KwTry},
+      {"catch", TokenKind::KwCatch},
+      {"finally", TokenKind::KwFinally},
+      {"throw", TokenKind::KwThrow},
+      {"instanceof", TokenKind::KwInstanceof},
+  };
+  auto It = Keywords.find(Word);
+  if (It != Keywords.end())
+    return makeToken(It->second);
+  Token T = makeToken(TokenKind::Identifier);
+  T.Text = std::move(Word);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  TokLine = Line;
+  TokColumn = Column;
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::Eof);
+
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$')
+    return lexIdentifierOrKeyword();
+  if (C == '"' || C == '\'') {
+    advance();
+    return lexString(C);
+  }
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen);
+  case ')':
+    return makeToken(TokenKind::RParen);
+  case '{':
+    return makeToken(TokenKind::LBrace);
+  case '}':
+    return makeToken(TokenKind::RBrace);
+  case '[':
+    return makeToken(TokenKind::LBracket);
+  case ']':
+    return makeToken(TokenKind::RBracket);
+  case ';':
+    return makeToken(TokenKind::Semicolon);
+  case ',':
+    return makeToken(TokenKind::Comma);
+  case '.':
+    return makeToken(TokenKind::Dot);
+  case '?':
+    return makeToken(TokenKind::Question);
+  case ':':
+    return makeToken(TokenKind::Colon);
+  case '~':
+    return makeToken(TokenKind::Tilde);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus);
+    if (match('='))
+      return makeToken(TokenKind::PlusAssign);
+    return makeToken(TokenKind::Plus);
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus);
+    if (match('='))
+      return makeToken(TokenKind::MinusAssign);
+    return makeToken(TokenKind::Minus);
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarAssign);
+    return makeToken(TokenKind::Star);
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashAssign);
+    return makeToken(TokenKind::Slash);
+  case '%':
+    if (match('='))
+      return makeToken(TokenKind::PercentAssign);
+    return makeToken(TokenKind::Percent);
+  case '=':
+    if (match('=')) {
+      if (match('='))
+        return makeToken(TokenKind::EqEqEq);
+      return makeToken(TokenKind::EqEq);
+    }
+    return makeToken(TokenKind::Assign);
+  case '!':
+    if (match('=')) {
+      if (match('='))
+        return makeToken(TokenKind::NotEqEq);
+      return makeToken(TokenKind::NotEq);
+    }
+    return makeToken(TokenKind::Not);
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::LessEq);
+    if (match('<'))
+      return makeToken(TokenKind::Shl);
+    return makeToken(TokenKind::Less);
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::GreaterEq);
+    if (match('>')) {
+      if (match('>'))
+        return makeToken(TokenKind::UShr);
+      return makeToken(TokenKind::Shr);
+    }
+    return makeToken(TokenKind::Greater);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp);
+    return makeToken(TokenKind::Amp);
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe);
+    return makeToken(TokenKind::Pipe);
+  case '^':
+    return makeToken(TokenKind::Caret);
+  default:
+    break;
+  }
+  return errorToken(std::string("unexpected character '") + C + "'");
+}
+
+std::vector<Token> Lexer::tokenize(std::string_view Source) {
+  Lexer L(Source);
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(L.next());
+    TokenKind Kind = Tokens.back().Kind;
+    if (Kind == TokenKind::Eof || Kind == TokenKind::Error)
+      break;
+  }
+  return Tokens;
+}

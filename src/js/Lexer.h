@@ -1,0 +1,59 @@
+//===- js/Lexer.h - MiniJS lexer --------------------------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer for MiniJS. Handles //- and /*-comments, decimal
+/// and hex numeric literals, single- and double-quoted strings with escape
+/// sequences, and all operators in Token.h. Invalid input produces an
+/// Error token with a message rather than aborting, so the parser can
+/// report diagnostics for obfuscated real-world-style code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_JS_LEXER_H
+#define WEBRACER_JS_LEXER_H
+
+#include "js/Token.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wr::js {
+
+/// Converts MiniJS source text into tokens.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source);
+
+  /// Lexes and returns the next token.
+  Token next();
+
+  /// Lexes the entire input. The last token is always Eof (or Error).
+  static std::vector<Token> tokenize(std::string_view Source);
+
+private:
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  Token makeToken(TokenKind Kind);
+  Token errorToken(std::string Message);
+  Token lexNumber();
+  Token lexString(char Quote);
+  Token lexIdentifierOrKeyword();
+
+  std::string_view Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  uint32_t TokLine = 1;
+  uint32_t TokColumn = 1;
+};
+
+} // namespace wr::js
+
+#endif // WEBRACER_JS_LEXER_H

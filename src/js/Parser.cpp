@@ -1,0 +1,820 @@
+//===- js/Parser.cpp - MiniJS recursive-descent parser ---------------------===//
+
+#include "js/Parser.h"
+
+#include "support/Format.h"
+
+using namespace wr;
+using namespace wr::js;
+
+Parser::Parser(std::string_view Source) : Lex(Source) {
+  Current = Lex.next();
+  Next = Lex.next();
+}
+
+void Parser::bump() {
+  Current = Next;
+  if (Current.Kind != TokenKind::Eof && Current.Kind != TokenKind::Error)
+    Next = Lex.next();
+  else
+    Next = Current;
+}
+
+bool Parser::eat(TokenKind Kind) {
+  if (!at(Kind))
+    return false;
+  bump();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (eat(Kind))
+    return true;
+  error(strFormat("expected %s %s, found %s", tokenKindName(Kind), Context,
+                  tokenKindName(cur().Kind)));
+  return false;
+}
+
+void Parser::error(std::string Message) {
+  // Cap diagnostics so a badly broken script cannot flood reports.
+  if (Diags.size() < 32)
+    Diags.push_back({std::move(Message), cur().Line, cur().Column});
+}
+
+void Parser::synchronize() {
+  // Skip to a statement boundary.
+  while (!at(TokenKind::Eof) && !at(TokenKind::Error)) {
+    if (eat(TokenKind::Semicolon))
+      return;
+    if (at(TokenKind::RBrace))
+      return;
+    bump();
+  }
+}
+
+ParseResult Parser::parseProgram(std::string_view Source) {
+  Parser P(Source);
+  auto Prog = std::make_unique<Program>();
+  while (!P.at(TokenKind::Eof)) {
+    if (P.at(TokenKind::Error)) {
+      P.error(P.cur().Text);
+      break;
+    }
+    size_t DiagsBefore = P.Diags.size();
+    StmtPtr S = P.parseStatement();
+    if (S)
+      Prog->Body.push_back(std::move(S));
+    if (P.Diags.size() > DiagsBefore)
+      P.synchronize();
+  }
+  ParseResult Result;
+  Result.Diags = std::move(P.Diags);
+  if (Result.Diags.empty())
+    Result.Ast = std::move(Prog);
+  return Result;
+}
+
+// --------------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------------
+
+StmtPtr Parser::parseStatement() {
+  uint32_t Line = cur().Line;
+  switch (cur().Kind) {
+  case TokenKind::Semicolon:
+    bump();
+    return std::make_unique<Empty>(Line);
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwVar:
+    return parseVarStatement();
+  case TokenKind::KwFunction:
+    return parseFunctionDeclaration();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDoWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwBreak:
+    bump();
+    if (LoopDepth == 0)
+      error("'break' outside of a loop or switch");
+    eat(TokenKind::Semicolon);
+    return std::make_unique<Break>(Line);
+  case TokenKind::KwContinue:
+    bump();
+    if (LoopDepth == 0)
+      error("'continue' outside of a loop");
+    eat(TokenKind::Semicolon);
+    return std::make_unique<Continue>(Line);
+  case TokenKind::KwSwitch:
+    return parseSwitch();
+  case TokenKind::KwThrow:
+    return parseThrow();
+  case TokenKind::KwTry:
+    return parseTry();
+  default: {
+    ExprPtr E = parseExpression();
+    if (!E)
+      return nullptr;
+    eat(TokenKind::Semicolon);
+    return std::make_unique<ExprStmt>(std::move(E), Line);
+  }
+  }
+}
+
+StmtPtr Parser::parseVarStatement() {
+  uint32_t Line = cur().Line;
+  bump(); // var
+  std::vector<VarDecl::Declarator> Decls;
+  do {
+    if (!at(TokenKind::Identifier)) {
+      error("expected variable name after 'var'");
+      break;
+    }
+    VarDecl::Declarator D;
+    D.Name = cur().Text;
+    bump();
+    if (eat(TokenKind::Assign))
+      D.Init = parseAssignment();
+    Decls.push_back(std::move(D));
+  } while (eat(TokenKind::Comma));
+  eat(TokenKind::Semicolon);
+  return std::make_unique<VarDecl>(std::move(Decls), Line);
+}
+
+bool Parser::parseFunctionRest(FunctionLiteral &Fn, bool RequireName) {
+  if (at(TokenKind::Identifier)) {
+    Fn.Name = cur().Text;
+    bump();
+  } else if (RequireName) {
+    error("expected function name");
+    return false;
+  }
+  if (!expect(TokenKind::LParen, "after function name"))
+    return false;
+  if (!at(TokenKind::RParen)) {
+    do {
+      if (!at(TokenKind::Identifier)) {
+        error("expected parameter name");
+        return false;
+      }
+      Fn.Params.push_back(cur().Text);
+      bump();
+    } while (eat(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "after parameters"))
+    return false;
+  if (!at(TokenKind::LBrace)) {
+    error("expected '{' to begin function body");
+    return false;
+  }
+  ++FunctionDepth;
+  int SavedLoopDepth = LoopDepth;
+  LoopDepth = 0;
+  Fn.Body = parseBlock();
+  LoopDepth = SavedLoopDepth;
+  --FunctionDepth;
+  return Fn.Body != nullptr;
+}
+
+StmtPtr Parser::parseFunctionDeclaration() {
+  uint32_t Line = cur().Line;
+  bump(); // function
+  FunctionLiteral Fn;
+  if (!parseFunctionRest(Fn, /*RequireName=*/true))
+    return nullptr;
+  return std::make_unique<FunctionDecl>(std::move(Fn), Line);
+}
+
+std::unique_ptr<Block> Parser::parseBlock() {
+  uint32_t Line = cur().Line;
+  if (!expect(TokenKind::LBrace, "to begin block"))
+    return nullptr;
+  std::vector<StmtPtr> Stmts;
+  while (!at(TokenKind::RBrace) && !at(TokenKind::Eof) &&
+         !at(TokenKind::Error)) {
+    size_t DiagsBefore = Diags.size();
+    StmtPtr S = parseStatement();
+    if (S)
+      Stmts.push_back(std::move(S));
+    if (Diags.size() > DiagsBefore)
+      synchronize();
+  }
+  expect(TokenKind::RBrace, "to end block");
+  return std::make_unique<Block>(std::move(Stmts), Line);
+}
+
+StmtPtr Parser::parseIf() {
+  uint32_t Line = cur().Line;
+  bump(); // if
+  if (!expect(TokenKind::LParen, "after 'if'"))
+    return nullptr;
+  ExprPtr Cond = parseExpression();
+  expect(TokenKind::RParen, "after if condition");
+  StmtPtr Then = parseStatement();
+  StmtPtr Else;
+  if (eat(TokenKind::KwElse))
+    Else = parseStatement();
+  return std::make_unique<If>(std::move(Cond), std::move(Then),
+                              std::move(Else), Line);
+}
+
+StmtPtr Parser::parseWhile() {
+  uint32_t Line = cur().Line;
+  bump(); // while
+  if (!expect(TokenKind::LParen, "after 'while'"))
+    return nullptr;
+  ExprPtr Cond = parseExpression();
+  expect(TokenKind::RParen, "after while condition");
+  ++LoopDepth;
+  StmtPtr Body = parseStatement();
+  --LoopDepth;
+  return std::make_unique<While>(std::move(Cond), std::move(Body), Line);
+}
+
+StmtPtr Parser::parseDoWhile() {
+  uint32_t Line = cur().Line;
+  bump(); // do
+  ++LoopDepth;
+  StmtPtr Body = parseStatement();
+  --LoopDepth;
+  expect(TokenKind::KwWhile, "after do-while body");
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpression();
+  expect(TokenKind::RParen, "after do-while condition");
+  eat(TokenKind::Semicolon);
+  return std::make_unique<DoWhile>(std::move(Body), std::move(Cond), Line);
+}
+
+StmtPtr Parser::parseFor() {
+  uint32_t Line = cur().Line;
+  bump(); // for
+  if (!expect(TokenKind::LParen, "after 'for'"))
+    return nullptr;
+
+  // Disambiguate for-in from the classic three-clause for.
+  if (at(TokenKind::KwVar) && ahead().Kind == TokenKind::Identifier) {
+    // Could be `for (var x in e)` - peek requires a third token; parse the
+    // var declarator and check for `in`.
+    uint32_t VarLine = cur().Line;
+    bump(); // var
+    std::string Name = cur().Text;
+    bump(); // identifier
+    if (eat(TokenKind::KwIn)) {
+      ExprPtr Object = parseExpression();
+      expect(TokenKind::RParen, "after for-in object");
+      ++LoopDepth;
+      StmtPtr Body = parseStatement();
+      --LoopDepth;
+      return std::make_unique<ForIn>(std::move(Name), /*DeclaresVar=*/true,
+                                     std::move(Object), std::move(Body),
+                                     Line);
+    }
+    // Classic for with a var init: finish the declarator list.
+    std::vector<VarDecl::Declarator> Decls;
+    VarDecl::Declarator First;
+    First.Name = std::move(Name);
+    if (eat(TokenKind::Assign))
+      First.Init = parseAssignment();
+    Decls.push_back(std::move(First));
+    while (eat(TokenKind::Comma)) {
+      if (!at(TokenKind::Identifier)) {
+        error("expected variable name in for initializer");
+        break;
+      }
+      VarDecl::Declarator D;
+      D.Name = cur().Text;
+      bump();
+      if (eat(TokenKind::Assign))
+        D.Init = parseAssignment();
+      Decls.push_back(std::move(D));
+    }
+    expect(TokenKind::Semicolon, "after for initializer");
+    StmtPtr Init = std::make_unique<VarDecl>(std::move(Decls), VarLine);
+    ExprPtr Cond;
+    if (!at(TokenKind::Semicolon))
+      Cond = parseExpression();
+    expect(TokenKind::Semicolon, "after for condition");
+    ExprPtr Step;
+    if (!at(TokenKind::RParen))
+      Step = parseExpression();
+    expect(TokenKind::RParen, "after for clauses");
+    ++LoopDepth;
+    StmtPtr Body = parseStatement();
+    --LoopDepth;
+    return std::make_unique<For>(std::move(Init), std::move(Cond),
+                                 std::move(Step), std::move(Body), Line);
+  }
+
+  if (at(TokenKind::Identifier) && ahead().Kind == TokenKind::KwIn) {
+    std::string Name = cur().Text;
+    bump(); // identifier
+    bump(); // in
+    ExprPtr Object = parseExpression();
+    expect(TokenKind::RParen, "after for-in object");
+    ++LoopDepth;
+    StmtPtr Body = parseStatement();
+    --LoopDepth;
+    return std::make_unique<ForIn>(std::move(Name), /*DeclaresVar=*/false,
+                                   std::move(Object), std::move(Body), Line);
+  }
+
+  StmtPtr Init;
+  if (!at(TokenKind::Semicolon)) {
+    uint32_t InitLine = cur().Line;
+    ExprPtr E = parseExpression();
+    Init = std::make_unique<ExprStmt>(std::move(E), InitLine);
+  }
+  expect(TokenKind::Semicolon, "after for initializer");
+  ExprPtr Cond;
+  if (!at(TokenKind::Semicolon))
+    Cond = parseExpression();
+  expect(TokenKind::Semicolon, "after for condition");
+  ExprPtr Step;
+  if (!at(TokenKind::RParen))
+    Step = parseExpression();
+  expect(TokenKind::RParen, "after for clauses");
+  ++LoopDepth;
+  StmtPtr Body = parseStatement();
+  --LoopDepth;
+  return std::make_unique<For>(std::move(Init), std::move(Cond),
+                               std::move(Step), std::move(Body), Line);
+}
+
+StmtPtr Parser::parseReturn() {
+  uint32_t Line = cur().Line;
+  bump(); // return
+  if (FunctionDepth == 0)
+    error("'return' outside of a function");
+  ExprPtr Value;
+  if (!at(TokenKind::Semicolon) && !at(TokenKind::RBrace) &&
+      !at(TokenKind::Eof))
+    Value = parseExpression();
+  eat(TokenKind::Semicolon);
+  return std::make_unique<Return>(std::move(Value), Line);
+}
+
+StmtPtr Parser::parseSwitch() {
+  uint32_t Line = cur().Line;
+  bump(); // switch
+  expect(TokenKind::LParen, "after 'switch'");
+  ExprPtr Disc = parseExpression();
+  expect(TokenKind::RParen, "after switch discriminant");
+  expect(TokenKind::LBrace, "to begin switch body");
+  std::vector<Switch::CaseClause> Cases;
+  bool SawDefault = false;
+  ++LoopDepth; // break is legal inside switch.
+  while (!at(TokenKind::RBrace) && !at(TokenKind::Eof) &&
+         !at(TokenKind::Error)) {
+    Switch::CaseClause Clause;
+    if (eat(TokenKind::KwCase)) {
+      Clause.Test = parseExpression();
+    } else if (eat(TokenKind::KwDefault)) {
+      if (SawDefault)
+        error("multiple 'default' clauses in switch");
+      SawDefault = true;
+    } else {
+      error("expected 'case' or 'default' in switch body");
+      break;
+    }
+    expect(TokenKind::Colon, "after case label");
+    while (!at(TokenKind::KwCase) && !at(TokenKind::KwDefault) &&
+           !at(TokenKind::RBrace) && !at(TokenKind::Eof) &&
+           !at(TokenKind::Error)) {
+      StmtPtr S = parseStatement();
+      if (S)
+        Clause.Body.push_back(std::move(S));
+      else
+        break;
+    }
+    Cases.push_back(std::move(Clause));
+  }
+  --LoopDepth;
+  expect(TokenKind::RBrace, "to end switch body");
+  return std::make_unique<Switch>(std::move(Disc), std::move(Cases), Line);
+}
+
+StmtPtr Parser::parseThrow() {
+  uint32_t Line = cur().Line;
+  bump(); // throw
+  ExprPtr Value = parseExpression();
+  eat(TokenKind::Semicolon);
+  return std::make_unique<Throw>(std::move(Value), Line);
+}
+
+StmtPtr Parser::parseTry() {
+  uint32_t Line = cur().Line;
+  bump(); // try
+  std::unique_ptr<Block> Body = parseBlock();
+  std::string CatchVar;
+  std::unique_ptr<Block> Catch;
+  std::unique_ptr<Block> Finally;
+  if (eat(TokenKind::KwCatch)) {
+    expect(TokenKind::LParen, "after 'catch'");
+    if (at(TokenKind::Identifier)) {
+      CatchVar = cur().Text;
+      bump();
+    } else {
+      error("expected catch parameter name");
+    }
+    expect(TokenKind::RParen, "after catch parameter");
+    Catch = parseBlock();
+  }
+  if (eat(TokenKind::KwFinally))
+    Finally = parseBlock();
+  if (!Catch && !Finally)
+    error("'try' requires 'catch' or 'finally'");
+  return std::make_unique<Try>(std::move(Body), std::move(CatchVar),
+                               std::move(Catch), std::move(Finally), Line);
+}
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+ExprPtr Parser::parseExpression() {
+  uint32_t Line = cur().Line;
+  ExprPtr First = parseAssignment();
+  if (!First || !at(TokenKind::Comma))
+    return First;
+  std::vector<ExprPtr> Exprs;
+  Exprs.push_back(std::move(First));
+  while (eat(TokenKind::Comma)) {
+    ExprPtr E = parseAssignment();
+    if (!E)
+      break;
+    Exprs.push_back(std::move(E));
+  }
+  return std::make_unique<Sequence>(std::move(Exprs), Line);
+}
+
+static bool isAssignableTarget(const Expr *E) {
+  return isa<Ident>(E) || isa<Member>(E) || isa<Index>(E);
+}
+
+ExprPtr Parser::parseAssignment() {
+  uint32_t Line = cur().Line;
+  ExprPtr Lhs = parseConditional();
+  if (!Lhs)
+    return nullptr;
+  AssignOp Op;
+  switch (cur().Kind) {
+  case TokenKind::Assign:
+    Op = AssignOp::Assign;
+    break;
+  case TokenKind::PlusAssign:
+    Op = AssignOp::Add;
+    break;
+  case TokenKind::MinusAssign:
+    Op = AssignOp::Sub;
+    break;
+  case TokenKind::StarAssign:
+    Op = AssignOp::Mul;
+    break;
+  case TokenKind::SlashAssign:
+    Op = AssignOp::Div;
+    break;
+  case TokenKind::PercentAssign:
+    Op = AssignOp::Mod;
+    break;
+  default:
+    return Lhs;
+  }
+  if (!isAssignableTarget(Lhs.get()))
+    error("invalid assignment target");
+  bump();
+  ExprPtr Rhs = parseAssignment();
+  return std::make_unique<Assign>(Op, std::move(Lhs), std::move(Rhs), Line);
+}
+
+ExprPtr Parser::parseConditional() {
+  uint32_t Line = cur().Line;
+  ExprPtr Cond = parseBinary(0);
+  if (!Cond || !eat(TokenKind::Question))
+    return Cond;
+  ExprPtr Then = parseAssignment();
+  expect(TokenKind::Colon, "in conditional expression");
+  ExprPtr Else = parseAssignment();
+  return std::make_unique<Conditional>(std::move(Cond), std::move(Then),
+                                       std::move(Else), Line);
+}
+
+namespace {
+struct BinOpInfo {
+  int Prec; ///< Higher binds tighter; -1 = not a binary operator.
+  BinaryOp Op;
+  bool IsLogical;
+  LogicalOp LOp;
+};
+} // namespace
+
+static BinOpInfo binOpInfo(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    return {1, BinaryOp::Add, true, LogicalOp::Or};
+  case TokenKind::AmpAmp:
+    return {2, BinaryOp::Add, true, LogicalOp::And};
+  case TokenKind::Pipe:
+    return {3, BinaryOp::BitOr, false, LogicalOp::Or};
+  case TokenKind::Caret:
+    return {4, BinaryOp::BitXor, false, LogicalOp::Or};
+  case TokenKind::Amp:
+    return {5, BinaryOp::BitAnd, false, LogicalOp::Or};
+  case TokenKind::EqEq:
+    return {6, BinaryOp::Eq, false, LogicalOp::Or};
+  case TokenKind::NotEq:
+    return {6, BinaryOp::Ne, false, LogicalOp::Or};
+  case TokenKind::EqEqEq:
+    return {6, BinaryOp::StrictEq, false, LogicalOp::Or};
+  case TokenKind::NotEqEq:
+    return {6, BinaryOp::StrictNe, false, LogicalOp::Or};
+  case TokenKind::Less:
+    return {7, BinaryOp::Lt, false, LogicalOp::Or};
+  case TokenKind::Greater:
+    return {7, BinaryOp::Gt, false, LogicalOp::Or};
+  case TokenKind::LessEq:
+    return {7, BinaryOp::Le, false, LogicalOp::Or};
+  case TokenKind::GreaterEq:
+    return {7, BinaryOp::Ge, false, LogicalOp::Or};
+  case TokenKind::KwInstanceof:
+    return {7, BinaryOp::InstanceOf, false, LogicalOp::Or};
+  case TokenKind::KwIn:
+    return {7, BinaryOp::In, false, LogicalOp::Or};
+  case TokenKind::Shl:
+    return {8, BinaryOp::Shl, false, LogicalOp::Or};
+  case TokenKind::Shr:
+    return {8, BinaryOp::Shr, false, LogicalOp::Or};
+  case TokenKind::UShr:
+    return {8, BinaryOp::UShr, false, LogicalOp::Or};
+  case TokenKind::Plus:
+    return {9, BinaryOp::Add, false, LogicalOp::Or};
+  case TokenKind::Minus:
+    return {9, BinaryOp::Sub, false, LogicalOp::Or};
+  case TokenKind::Star:
+    return {10, BinaryOp::Mul, false, LogicalOp::Or};
+  case TokenKind::Slash:
+    return {10, BinaryOp::Div, false, LogicalOp::Or};
+  case TokenKind::Percent:
+    return {10, BinaryOp::Mod, false, LogicalOp::Or};
+  default:
+    return {-1, BinaryOp::Add, false, LogicalOp::Or};
+  }
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  for (;;) {
+    BinOpInfo Info = binOpInfo(cur().Kind);
+    if (Info.Prec < 0 || Info.Prec < MinPrec)
+      return Lhs;
+    uint32_t Line = cur().Line;
+    bump();
+    ExprPtr Rhs = parseBinary(Info.Prec + 1);
+    if (!Rhs)
+      return Lhs;
+    if (Info.IsLogical)
+      Lhs = std::make_unique<Logical>(Info.LOp, std::move(Lhs),
+                                      std::move(Rhs), Line);
+    else
+      Lhs = std::make_unique<Binary>(Info.Op, std::move(Lhs), std::move(Rhs),
+                                     Line);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  uint32_t Line = cur().Line;
+  switch (cur().Kind) {
+  case TokenKind::Minus:
+    bump();
+    return std::make_unique<Unary>(UnaryOp::Neg, parseUnary(), Line);
+  case TokenKind::Plus:
+    bump();
+    return std::make_unique<Unary>(UnaryOp::Plus, parseUnary(), Line);
+  case TokenKind::Not:
+    bump();
+    return std::make_unique<Unary>(UnaryOp::Not, parseUnary(), Line);
+  case TokenKind::Tilde:
+    bump();
+    return std::make_unique<Unary>(UnaryOp::BitNot, parseUnary(), Line);
+  case TokenKind::KwTypeof:
+    bump();
+    return std::make_unique<Unary>(UnaryOp::TypeOf, parseUnary(), Line);
+  case TokenKind::KwVoid:
+    bump();
+    return std::make_unique<Unary>(UnaryOp::Void, parseUnary(), Line);
+  case TokenKind::KwDelete:
+    bump();
+    return std::make_unique<Unary>(UnaryOp::Delete, parseUnary(), Line);
+  case TokenKind::PlusPlus:
+    bump();
+    return std::make_unique<Update>(/*IsIncrement=*/true, /*IsPrefix=*/true,
+                                    parseUnary(), Line);
+  case TokenKind::MinusMinus:
+    bump();
+    return std::make_unique<Update>(/*IsIncrement=*/false, /*IsPrefix=*/true,
+                                    parseUnary(), Line);
+  default:
+    return parsePostfix();
+  }
+}
+
+ExprPtr Parser::parsePostfix() {
+  uint32_t Line = cur().Line;
+  ExprPtr E;
+  if (at(TokenKind::KwNew))
+    E = parseNew();
+  else
+    E = parseCallOrMember(parsePrimary(), /*AllowCall=*/true);
+  if (!E)
+    return nullptr;
+  if (at(TokenKind::PlusPlus) || at(TokenKind::MinusMinus)) {
+    bool IsIncrement = at(TokenKind::PlusPlus);
+    if (!isAssignableTarget(E.get()))
+      error("invalid increment/decrement target");
+    bump();
+    return std::make_unique<Update>(IsIncrement, /*IsPrefix=*/false,
+                                    std::move(E), Line);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseNew() {
+  uint32_t Line = cur().Line;
+  bump(); // new
+  // `new` binds to a member expression (no calls) then optional arguments.
+  ExprPtr Callee;
+  if (at(TokenKind::KwNew))
+    Callee = parseNew();
+  else
+    Callee = parseCallOrMember(parsePrimary(), /*AllowCall=*/false);
+  if (!Callee)
+    return nullptr;
+  std::vector<ExprPtr> Args;
+  if (at(TokenKind::LParen))
+    Args = parseArguments();
+  ExprPtr Result =
+      std::make_unique<New>(std::move(Callee), std::move(Args), Line);
+  // Member/call chains may continue after `new X()`.
+  return parseCallOrMember(std::move(Result), /*AllowCall=*/true);
+}
+
+std::vector<ExprPtr> Parser::parseArguments() {
+  std::vector<ExprPtr> Args;
+  expect(TokenKind::LParen, "to begin arguments");
+  if (!at(TokenKind::RParen)) {
+    do {
+      ExprPtr Arg = parseAssignment();
+      if (!Arg)
+        break;
+      Args.push_back(std::move(Arg));
+    } while (eat(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to end arguments");
+  return Args;
+}
+
+ExprPtr Parser::parseCallOrMember(ExprPtr Base, bool AllowCall) {
+  if (!Base)
+    return nullptr;
+  for (;;) {
+    uint32_t Line = cur().Line;
+    if (eat(TokenKind::Dot)) {
+      // Allow a few keywords as property names (obj.in, obj.delete).
+      std::string Name;
+      if (at(TokenKind::Identifier))
+        Name = cur().Text;
+      else if (at(TokenKind::KwIn))
+        Name = "in";
+      else if (at(TokenKind::KwDelete))
+        Name = "delete";
+      else if (at(TokenKind::KwDefault))
+        Name = "default";
+      else {
+        error("expected property name after '.'");
+        return Base;
+      }
+      bump();
+      Base = std::make_unique<Member>(std::move(Base), std::move(Name), Line);
+      continue;
+    }
+    if (eat(TokenKind::LBracket)) {
+      ExprPtr Key = parseExpression();
+      expect(TokenKind::RBracket, "after index expression");
+      Base = std::make_unique<Index>(std::move(Base), std::move(Key), Line);
+      continue;
+    }
+    if (AllowCall && at(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args = parseArguments();
+      Base = std::make_unique<Call>(std::move(Base), std::move(Args), Line);
+      continue;
+    }
+    return Base;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  uint32_t Line = cur().Line;
+  switch (cur().Kind) {
+  case TokenKind::Number: {
+    double V = cur().NumValue;
+    bump();
+    return std::make_unique<NumberLit>(V, Line);
+  }
+  case TokenKind::String: {
+    std::string V = cur().Text;
+    bump();
+    return std::make_unique<StringLit>(std::move(V), Line);
+  }
+  case TokenKind::KwTrue:
+    bump();
+    return std::make_unique<BoolLit>(true, Line);
+  case TokenKind::KwFalse:
+    bump();
+    return std::make_unique<BoolLit>(false, Line);
+  case TokenKind::KwNull:
+    bump();
+    return std::make_unique<NullLit>(Line);
+  case TokenKind::KwUndefined:
+    bump();
+    return std::make_unique<UndefinedLit>(Line);
+  case TokenKind::KwThis:
+    bump();
+    return std::make_unique<ThisExpr>(Line);
+  case TokenKind::Identifier: {
+    std::string Name = cur().Text;
+    bump();
+    return std::make_unique<Ident>(std::move(Name), Line);
+  }
+  case TokenKind::LParen: {
+    bump();
+    ExprPtr E = parseExpression();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokenKind::LBracket: {
+    bump();
+    std::vector<ExprPtr> Elems;
+    if (!at(TokenKind::RBracket)) {
+      do {
+        if (at(TokenKind::RBracket))
+          break; // Trailing comma.
+        ExprPtr Elem = parseAssignment();
+        if (!Elem)
+          break;
+        Elems.push_back(std::move(Elem));
+      } while (eat(TokenKind::Comma));
+    }
+    expect(TokenKind::RBracket, "to close array literal");
+    return std::make_unique<ArrayLit>(std::move(Elems), Line);
+  }
+  case TokenKind::LBrace: {
+    bump();
+    std::vector<ObjectLit::Property> Props;
+    if (!at(TokenKind::RBrace)) {
+      do {
+        if (at(TokenKind::RBrace))
+          break; // Trailing comma.
+        ObjectLit::Property Prop;
+        if (at(TokenKind::Identifier) || at(TokenKind::String)) {
+          Prop.Key = cur().Text;
+          bump();
+        } else if (at(TokenKind::Number)) {
+          Prop.Key = strFormat("%g", cur().NumValue);
+          bump();
+        } else {
+          error("expected property key in object literal");
+          break;
+        }
+        expect(TokenKind::Colon, "after property key");
+        Prop.Value = parseAssignment();
+        Props.push_back(std::move(Prop));
+      } while (eat(TokenKind::Comma));
+    }
+    expect(TokenKind::RBrace, "to close object literal");
+    return std::make_unique<ObjectLit>(std::move(Props), Line);
+  }
+  case TokenKind::KwFunction: {
+    bump();
+    FunctionLiteral Fn;
+    if (!parseFunctionRest(Fn, /*RequireName=*/false))
+      return nullptr;
+    return std::make_unique<FunctionExpr>(std::move(Fn), Line);
+  }
+  case TokenKind::Error:
+    error(cur().Text);
+    return nullptr;
+  default:
+    error(strFormat("unexpected %s in expression",
+                    tokenKindName(cur().Kind)));
+    bump();
+    return nullptr;
+  }
+}

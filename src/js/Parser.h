@@ -1,0 +1,100 @@
+//===- js/Parser.h - MiniJS recursive-descent parser ------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser with precedence climbing for MiniJS. Errors
+/// are collected as diagnostics and never abort the process; the page
+/// loader treats a script that fails to parse like a browser does (the
+/// script is skipped, the rest of the page continues).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_JS_PARSER_H
+#define WEBRACER_JS_PARSER_H
+
+#include "js/Ast.h"
+#include "js/Lexer.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wr::js {
+
+/// A parse diagnostic.
+struct Diag {
+  std::string Message;
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+};
+
+/// Result of parsing a program. \c Ast is null when parsing failed.
+struct ParseResult {
+  std::unique_ptr<Program> Ast;
+  std::vector<Diag> Diags;
+
+  bool ok() const { return Ast != nullptr && Diags.empty(); }
+};
+
+/// Parses MiniJS source text into an AST.
+class Parser {
+public:
+  /// Parses a full program.
+  static ParseResult parseProgram(std::string_view Source);
+
+private:
+  explicit Parser(std::string_view Source);
+
+  // Token plumbing.
+  const Token &cur() const { return Current; }
+  const Token &ahead() const { return Next; }
+  void bump();
+  bool at(TokenKind Kind) const { return Current.Kind == Kind; }
+  bool eat(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void error(std::string Message);
+  void synchronize();
+
+  // Statements.
+  StmtPtr parseStatement();
+  StmtPtr parseVarStatement();
+  StmtPtr parseFunctionDeclaration();
+  std::unique_ptr<Block> parseBlock();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseDoWhile();
+  StmtPtr parseFor();
+  StmtPtr parseReturn();
+  StmtPtr parseSwitch();
+  StmtPtr parseThrow();
+  StmtPtr parseTry();
+
+  bool parseFunctionRest(FunctionLiteral &Fn, bool RequireName);
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpression();          // Comma sequences.
+  ExprPtr parseAssignment();
+  ExprPtr parseConditional();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parseCallOrMember(ExprPtr Base, bool AllowCall);
+  ExprPtr parseNew();
+  ExprPtr parsePrimary();
+  std::vector<ExprPtr> parseArguments();
+
+  Lexer Lex;
+  Token Current;
+  Token Next;
+  std::vector<Diag> Diags;
+  int LoopDepth = 0;
+  int FunctionDepth = 0;
+};
+
+} // namespace wr::js
+
+#endif // WEBRACER_JS_PARSER_H

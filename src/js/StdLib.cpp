@@ -1,0 +1,402 @@
+//===- js/StdLib.cpp - MiniJS standard library ------------------------------===//
+
+#include "js/StdLib.h"
+
+#include "support/Rng.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+
+using namespace wr;
+using namespace wr::js;
+
+namespace {
+
+/// Owns the deterministic RNG behind Math.random for one global scope.
+/// Kept alive by the shared_ptr captured in the host function.
+struct MathRandomState {
+  explicit MathRandomState(uint64_t Seed) : Generator(Seed) {}
+  Rng Generator;
+};
+
+Value arg(const std::vector<Value> &Args, size_t I) {
+  return I < Args.size() ? Args[I] : Value();
+}
+
+void defineFn(Interpreter &I, Env *Scope, const char *Name, HostFn Fn) {
+  Scope->define(Name, Value(I.heap().allocHostFunction(std::move(Fn), Name)));
+}
+
+void defineMethod(Interpreter &I, Object *O, const char *Name, HostFn Fn) {
+  O->setOwnProperty(Name,
+                    Value(I.heap().allocHostFunction(std::move(Fn), Name)));
+}
+
+std::string jsonStringify(Interpreter &I, const Value &V) {
+  if (V.isUndefined())
+    return "null";
+  if (V.isNull())
+    return "null";
+  if (V.isBool())
+    return V.asBool() ? "true" : "false";
+  if (V.isNumber()) {
+    double N = V.asNumber();
+    if (std::isnan(N) || std::isinf(N))
+      return "null";
+    return numberToString(N);
+  }
+  if (V.isString()) {
+    std::string Out = "\"";
+    for (char C : V.asString()) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      case '\r':
+        Out += "\\r";
+        break;
+      default:
+        Out += C;
+      }
+    }
+    return Out + "\"";
+  }
+  Object *O = V.asObject();
+  if (O->isCallable())
+    return "null";
+  if (O->isArray()) {
+    std::string Out = "[";
+    for (size_t E = 0; E < O->elements().size(); ++E) {
+      if (E)
+        Out += ",";
+      Out += jsonStringify(I, O->elements()[E]);
+    }
+    return Out + "]";
+  }
+  std::string Out = "{";
+  bool First = true;
+  for (const Object::Property &P : O->properties()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += jsonStringify(I, Value(P.Name)) + ":" + jsonStringify(I, P.V);
+  }
+  return Out + "}";
+}
+
+void jsonSkipSpace(const std::string &S, size_t &Pos) {
+  while (Pos < S.size() &&
+         (S[Pos] == ' ' || S[Pos] == '\t' || S[Pos] == '\n' ||
+          S[Pos] == '\r'))
+    ++Pos;
+}
+
+bool jsonParse(Interpreter &I, const std::string &S, size_t &Pos,
+               Value &Out) {
+  jsonSkipSpace(S, Pos);
+  if (Pos >= S.size())
+    return false;
+  char C = S[Pos];
+  if (C == 'n' && S.compare(Pos, 4, "null") == 0) {
+    Pos += 4;
+    Out = Value::null();
+    return true;
+  }
+  if (C == 't' && S.compare(Pos, 4, "true") == 0) {
+    Pos += 4;
+    Out = Value(true);
+    return true;
+  }
+  if (C == 'f' && S.compare(Pos, 5, "false") == 0) {
+    Pos += 5;
+    Out = Value(false);
+    return true;
+  }
+  if (C == '"') {
+    ++Pos;
+    std::string Str;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\' && Pos + 1 < S.size()) {
+        ++Pos;
+        switch (S[Pos]) {
+        case 'n':
+          Str += '\n';
+          break;
+        case 't':
+          Str += '\t';
+          break;
+        case 'r':
+          Str += '\r';
+          break;
+        default:
+          Str += S[Pos];
+        }
+      } else {
+        Str += S[Pos];
+      }
+      ++Pos;
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // Closing quote.
+    Out = Value(std::move(Str));
+    return true;
+  }
+  if (C == '[') {
+    ++Pos;
+    Object *Arr = I.heap().allocArray();
+    jsonSkipSpace(S, Pos);
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      Out = Value(Arr);
+      return true;
+    }
+    for (;;) {
+      Value Elem;
+      if (!jsonParse(I, S, Pos, Elem))
+        return false;
+      Arr->elements().push_back(std::move(Elem));
+      jsonSkipSpace(S, Pos);
+      if (Pos >= S.size())
+        return false;
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (S[Pos] == ']') {
+        ++Pos;
+        Out = Value(Arr);
+        return true;
+      }
+      return false;
+    }
+  }
+  if (C == '{') {
+    ++Pos;
+    Object *O = I.heap().allocObject();
+    jsonSkipSpace(S, Pos);
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      Out = Value(O);
+      return true;
+    }
+    for (;;) {
+      Value Key;
+      jsonSkipSpace(S, Pos);
+      if (!jsonParse(I, S, Pos, Key) || !Key.isString())
+        return false;
+      jsonSkipSpace(S, Pos);
+      if (Pos >= S.size() || S[Pos] != ':')
+        return false;
+      ++Pos;
+      Value Prop;
+      if (!jsonParse(I, S, Pos, Prop))
+        return false;
+      O->setOwnProperty(Key.asString(), std::move(Prop));
+      jsonSkipSpace(S, Pos);
+      if (Pos >= S.size())
+        return false;
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (S[Pos] == '}') {
+        ++Pos;
+        Out = Value(O);
+        return true;
+      }
+      return false;
+    }
+  }
+  // Number.
+  size_t Start = Pos;
+  if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+    ++Pos;
+  while (Pos < S.size() &&
+         (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+          S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+          S[Pos] == '-' || S[Pos] == '+'))
+    ++Pos;
+  if (Pos == Start)
+    return false;
+  Out = Value(std::strtod(S.substr(Start, Pos - Start).c_str(), nullptr));
+  return true;
+}
+
+} // namespace
+
+void wr::js::installStdLib(Interpreter &I, uint64_t RandomSeed) {
+  Env *G = I.globalEnv();
+  Heap &H = I.heap();
+
+  // Math.
+  Object *Math = H.allocObject();
+  defineMethod(I, Math, "floor",
+               [](Interpreter &In, Value, std::vector<Value> &A) {
+                 return Completion::normal(
+                     Value(std::floor(In.toNumber(arg(A, 0)))));
+               });
+  defineMethod(I, Math, "ceil",
+               [](Interpreter &In, Value, std::vector<Value> &A) {
+                 return Completion::normal(
+                     Value(std::ceil(In.toNumber(arg(A, 0)))));
+               });
+  defineMethod(I, Math, "round",
+               [](Interpreter &In, Value, std::vector<Value> &A) {
+                 return Completion::normal(
+                     Value(std::floor(In.toNumber(arg(A, 0)) + 0.5)));
+               });
+  defineMethod(I, Math, "abs",
+               [](Interpreter &In, Value, std::vector<Value> &A) {
+                 return Completion::normal(
+                     Value(std::fabs(In.toNumber(arg(A, 0)))));
+               });
+  defineMethod(I, Math, "sqrt",
+               [](Interpreter &In, Value, std::vector<Value> &A) {
+                 return Completion::normal(
+                     Value(std::sqrt(In.toNumber(arg(A, 0)))));
+               });
+  defineMethod(I, Math, "pow",
+               [](Interpreter &In, Value, std::vector<Value> &A) {
+                 return Completion::normal(Value(std::pow(
+                     In.toNumber(arg(A, 0)), In.toNumber(arg(A, 1)))));
+               });
+  defineMethod(I, Math, "sin",
+               [](Interpreter &In, Value, std::vector<Value> &A) {
+                 return Completion::normal(
+                     Value(std::sin(In.toNumber(arg(A, 0)))));
+               });
+  defineMethod(I, Math, "cos",
+               [](Interpreter &In, Value, std::vector<Value> &A) {
+                 return Completion::normal(
+                     Value(std::cos(In.toNumber(arg(A, 0)))));
+               });
+  defineMethod(I, Math, "max",
+               [](Interpreter &In, Value, std::vector<Value> &A) {
+                 double R = -HUGE_VAL;
+                 for (Value &V : A)
+                   R = std::max(R, In.toNumber(V));
+                 return Completion::normal(Value(R));
+               });
+  defineMethod(I, Math, "min",
+               [](Interpreter &In, Value, std::vector<Value> &A) {
+                 double R = HUGE_VAL;
+                 for (Value &V : A)
+                   R = std::min(R, In.toNumber(V));
+                 return Completion::normal(Value(R));
+               });
+  auto RandomState = std::make_shared<MathRandomState>(RandomSeed);
+  defineMethod(I, Math, "random",
+               [RandomState](Interpreter &, Value, std::vector<Value> &) {
+                 return Completion::normal(
+                     Value(RandomState->Generator.nextDouble()));
+               });
+  Math->setOwnProperty("PI", Value(3.141592653589793));
+  Math->setOwnProperty("E", Value(2.718281828459045));
+  G->define("Math", Value(Math));
+
+  // Global functions.
+  defineFn(I, G, "parseInt",
+           [](Interpreter &In, Value, std::vector<Value> &A) {
+             std::string S = In.toStringValue(arg(A, 0));
+             double RadixNum = In.toNumber(arg(A, 1));
+             int Radix = std::isnan(RadixNum) ? 10
+                                              : static_cast<int>(RadixNum);
+             if (Radix == 0)
+               Radix = 10;
+             if (Radix < 2 || Radix > 36)
+               return Completion::normal(Value(std::nan("")));
+             const char *C = S.c_str();
+             while (*C == ' ' || *C == '\t')
+               ++C;
+             char *End = nullptr;
+             long long V = std::strtoll(C, &End, Radix);
+             if (End == C)
+               return Completion::normal(Value(std::nan("")));
+             return Completion::normal(Value(static_cast<double>(V)));
+           });
+  defineFn(I, G, "parseFloat",
+           [](Interpreter &In, Value, std::vector<Value> &A) {
+             std::string S = In.toStringValue(arg(A, 0));
+             char *End = nullptr;
+             double V = std::strtod(S.c_str(), &End);
+             if (End == S.c_str())
+               return Completion::normal(Value(std::nan("")));
+             return Completion::normal(Value(V));
+           });
+  defineFn(I, G, "isNaN", [](Interpreter &In, Value, std::vector<Value> &A) {
+    return Completion::normal(Value(std::isnan(In.toNumber(arg(A, 0)))));
+  });
+  defineFn(I, G, "String",
+           [](Interpreter &In, Value, std::vector<Value> &A) {
+             return Completion::normal(
+                 Value(A.empty() ? std::string()
+                                 : In.toStringValue(arg(A, 0))));
+           });
+  defineFn(I, G, "Number",
+           [](Interpreter &In, Value, std::vector<Value> &A) {
+             return Completion::normal(
+                 Value(A.empty() ? 0.0 : In.toNumber(arg(A, 0))));
+           });
+  defineFn(I, G, "Boolean",
+           [](Interpreter &, Value, std::vector<Value> &A) {
+             return Completion::normal(
+                 Value(Interpreter::toBoolean(arg(A, 0))));
+           });
+  defineFn(I, G, "Error", [](Interpreter &In, Value, std::vector<Value> &A) {
+    return Completion::normal(Value(
+        In.heap().allocError("Error", In.toStringValue(arg(A, 0)))));
+  });
+  defineFn(I, G, "TypeError",
+           [](Interpreter &In, Value, std::vector<Value> &A) {
+             return Completion::normal(Value(In.heap().allocError(
+                 "TypeError", In.toStringValue(arg(A, 0)))));
+           });
+  defineFn(I, G, "Array", [](Interpreter &In, Value, std::vector<Value> &A) {
+    Object *Arr = In.heap().allocArray();
+    if (A.size() == 1 && A[0].isNumber()) {
+      double N = A[0].asNumber();
+      if (N >= 0 && N == std::trunc(N))
+        Arr->elements().resize(static_cast<size_t>(N));
+    } else {
+      Arr->elements() = A;
+    }
+    return Completion::normal(Value(Arr));
+  });
+  defineFn(I, G, "Object", [](Interpreter &In, Value, std::vector<Value> &) {
+    return Completion::normal(Value(In.heap().allocObject()));
+  });
+  // Minimal JSON: enough for the XHR response-handling patterns real
+  // pages use (numbers, strings, bools, null, arrays, flat-ish objects).
+  Object *Json = H.allocObject();
+  defineMethod(I, Json, "stringify",
+               [](Interpreter &In, Value, std::vector<Value> &A) {
+                 return Completion::normal(
+                     Value(jsonStringify(In, arg(A, 0))));
+               });
+  defineMethod(I, Json, "parse",
+               [](Interpreter &In, Value, std::vector<Value> &A) {
+                 std::string S = In.toStringValue(arg(A, 0));
+                 size_t Pos = 0;
+                 Value Result;
+                 if (!jsonParse(In, S, Pos, Result))
+                   return In.throwError("SyntaxError",
+                                        "JSON.parse: invalid input");
+                 return Completion::normal(std::move(Result));
+               });
+  G->define("JSON", Value(Json));
+
+  G->define("NaN", Value(std::nan("")));
+  G->define("Infinity", Value(HUGE_VAL));
+}

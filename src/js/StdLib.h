@@ -1,0 +1,31 @@
+//===- js/StdLib.h - MiniJS standard library --------------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Installs the browser-independent pieces of the JS standard library into
+/// a global scope: Math (with a deterministic, seeded Math.random),
+/// parseInt/parseFloat/isNaN, the String/Number/Boolean converters, and
+/// Error/Array/Object constructors. Browser APIs (document, window,
+/// setTimeout, ...) live in the runtime's bindings instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_JS_STDLIB_H
+#define WEBRACER_JS_STDLIB_H
+
+#include "js/Interpreter.h"
+
+#include <cstdint>
+
+namespace wr::js {
+
+/// Installs the standard library into \p I's global environment.
+/// \p RandomSeed seeds Math.random so whole-browser runs are replayable.
+void installStdLib(Interpreter &I, uint64_t RandomSeed);
+
+} // namespace wr::js
+
+#endif // WEBRACER_JS_STDLIB_H

@@ -1,0 +1,125 @@
+//===- js/Token.h - MiniJS token definitions --------------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for MiniJS, the JavaScript subset interpreted by the
+/// simulated browser. The subset covers the constructs real pages in the
+/// paper's evaluation rely on: functions/closures, objects/arrays,
+/// prototypes, hoisting, the full expression grammar, and control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_JS_TOKEN_H
+#define WEBRACER_JS_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace wr::js {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+
+  Identifier,
+  Number,
+  String,
+
+  // Keywords.
+  KwVar,
+  KwFunction,
+  KwReturn,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwIn,
+  KwBreak,
+  KwContinue,
+  KwNew,
+  KwDelete,
+  KwTypeof,
+  KwVoid,
+  KwThis,
+  KwNull,
+  KwTrue,
+  KwFalse,
+  KwUndefined,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwTry,
+  KwCatch,
+  KwFinally,
+  KwThrow,
+  KwInstanceof,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Dot,
+  Question,
+  Colon,
+
+  Assign,        // =
+  PlusAssign,    // +=
+  MinusAssign,   // -=
+  StarAssign,    // *=
+  SlashAssign,   // /=
+  PercentAssign, // %=
+
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  PlusPlus,
+  MinusMinus,
+
+  EqEq,       // ==
+  NotEq,      // !=
+  EqEqEq,     // ===
+  NotEqEq,    // !==
+  Less,
+  Greater,
+  LessEq,
+  GreaterEq,
+
+  AmpAmp,     // &&
+  PipePipe,   // ||
+  Not,        // !
+
+  Amp,        // &
+  Pipe,       // |
+  Caret,      // ^
+  Tilde,      // ~
+  Shl,        // <<
+  Shr,        // >>
+  UShr,       // >>>
+};
+
+/// One lexed token. Literals carry their decoded payload.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;    ///< Identifier spelling or decoded string literal.
+  double NumValue = 0; ///< For Number tokens.
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+/// Spelling of a token kind for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+} // namespace wr::js
+
+#endif // WEBRACER_JS_TOKEN_H

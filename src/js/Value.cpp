@@ -1,0 +1,179 @@
+//===- js/Value.cpp - MiniJS values, objects, environments -----------------===//
+
+#include "js/Value.h"
+
+#include "support/Format.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace wr;
+using namespace wr::js;
+
+GcObject::~GcObject() = default;
+HostClass::~HostClass() = default;
+
+bool Value::strictEquals(const Value &Other) const {
+  if (Data.index() != Other.Data.index())
+    return false;
+  if (isUndefined() || isNull())
+    return true;
+  if (isBool())
+    return asBool() == Other.asBool();
+  if (isNumber())
+    return asNumber() == Other.asNumber(); // NaN != NaN falls out.
+  if (isString())
+    return asString() == Other.asString();
+  return asObject() == Other.asObject();
+}
+
+Value *Object::findOwnProperty(const std::string &Name) {
+  for (Property &P : Props)
+    if (P.Name == Name)
+      return &P.V;
+  return nullptr;
+}
+
+const Value *Object::findOwnProperty(const std::string &Name) const {
+  for (const Property &P : Props)
+    if (P.Name == Name)
+      return &P.V;
+  return nullptr;
+}
+
+void Object::setOwnProperty(const std::string &Name, Value V) {
+  if (Value *Existing = findOwnProperty(Name)) {
+    *Existing = std::move(V);
+    return;
+  }
+  Props.push_back({Name, std::move(V)});
+}
+
+bool Object::deleteOwnProperty(const std::string &Name) {
+  for (size_t I = 0; I < Props.size(); ++I) {
+    if (Props[I].Name == Name) {
+      Props.erase(Props.begin() + static_cast<ptrdiff_t>(I));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Object::ownPropertyNames() const {
+  std::vector<std::string> Names;
+  for (size_t I = 0; I < Elems.size(); ++I)
+    Names.push_back(numberToString(static_cast<double>(I)));
+  for (const Property &P : Props)
+    Names.push_back(P.Name);
+  return Names;
+}
+
+Value *Object::findProperty(const std::string &Name) {
+  for (Object *Walk = this; Walk; Walk = Walk->Proto)
+    if (Value *V = Walk->findOwnProperty(Name))
+      return V;
+  return nullptr;
+}
+
+void Object::setHostFunction(HostFn F, std::string Name) {
+  Native = std::make_unique<HostFn>(std::move(F));
+  FnName = std::move(Name);
+}
+
+Value *Env::findOwn(const std::string &Name) {
+  for (Object::Property &S : Slots)
+    if (S.Name == Name)
+      return &S.V;
+  return nullptr;
+}
+
+void Env::define(const std::string &Name, Value V) {
+  if (Value *Existing = findOwn(Name)) {
+    *Existing = std::move(V);
+    return;
+  }
+  Slots.push_back({Name, std::move(V)});
+}
+
+bool Env::hasOwn(const std::string &Name) const {
+  for (const Object::Property &S : Slots)
+    if (S.Name == Name)
+      return true;
+  return false;
+}
+
+Env *Env::resolve(const std::string &Name) {
+  for (Env *Walk = this; Walk; Walk = Walk->Parent)
+    if (Walk->hasOwn(Name))
+      return Walk;
+  return nullptr;
+}
+
+std::string wr::js::numberToString(double N) {
+  if (std::isnan(N))
+    return "NaN";
+  if (std::isinf(N))
+    return N > 0 ? "Infinity" : "-Infinity";
+  if (N == 0)
+    return std::signbit(N) ? "0" : "0";
+  if (N == static_cast<double>(static_cast<int64_t>(N)) &&
+      std::fabs(N) < 9.007199254740992e15)
+    return strFormat("%lld", static_cast<long long>(N));
+  std::string S = strFormat("%.17g", N);
+  // Shorten when a lower precision round-trips.
+  for (int Precision = 1; Precision < 17; ++Precision) {
+    std::string Candidate = strFormat("%.*g", Precision, N);
+    if (std::strtod(Candidate.c_str(), nullptr) == N)
+      return Candidate;
+  }
+  return S;
+}
+
+std::string wr::js::toDisplayString(const Value &V) {
+  if (V.isUndefined())
+    return "undefined";
+  if (V.isNull())
+    return "null";
+  if (V.isBool())
+    return V.asBool() ? "true" : "false";
+  if (V.isNumber())
+    return numberToString(V.asNumber());
+  if (V.isString())
+    return V.asString();
+  Object *O = V.asObject();
+  if (O->isCallable())
+    return strFormat("function %s() { ... }", O->functionName().c_str());
+  if (O->isArray()) {
+    std::string S;
+    for (size_t I = 0; I < O->elements().size(); ++I) {
+      if (I != 0)
+        S += ',';
+      const Value &Elem = O->elements()[I];
+      if (!Elem.isNullish())
+        S += toDisplayString(Elem);
+    }
+    return S;
+  }
+  // Error-like objects display as "Name: message".
+  if (const Value *Name = O->findOwnProperty("name")) {
+    if (const Value *Message = O->findOwnProperty("message"))
+      return toDisplayString(*Name) + ": " + toDisplayString(*Message);
+  }
+  if (O->hostClass())
+    return strFormat("[object %s]", O->hostClass()->name());
+  return "[object Object]";
+}
+
+const char *wr::js::typeOf(const Value &V) {
+  if (V.isUndefined())
+    return "undefined";
+  if (V.isNull())
+    return "object";
+  if (V.isBool())
+    return "boolean";
+  if (V.isNumber())
+    return "number";
+  if (V.isString())
+    return "string";
+  return V.asObject()->isCallable() ? "function" : "object";
+}

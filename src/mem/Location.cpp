@@ -1,0 +1,104 @@
+//===- mem/Location.cpp - Logical memory locations ------------------------===//
+
+#include "mem/Location.h"
+
+#include "support/Format.h"
+
+using namespace wr;
+
+std::string wr::toString(const Location &Loc) {
+  if (const auto *Var = std::get_if<JSVarLoc>(&Loc)) {
+    if (Var->Container == 0)
+      return strFormat("var global.%s", Var->Name.c_str());
+    if (isDomContainer(Var->Container))
+      return strFormat("var node%u.%s", nodeOfContainer(Var->Container),
+                       Var->Name.c_str());
+    return strFormat("var obj%llu.%s",
+                     static_cast<unsigned long long>(Var->Container),
+                     Var->Name.c_str());
+  }
+  if (const auto *Elem = std::get_if<HtmlElemLoc>(&Loc)) {
+    switch (Elem->Kind) {
+    case ElemKeyKind::ByNode:
+      return strFormat("elem doc%u node%u", Elem->Doc, Elem->Node);
+    case ElemKeyKind::ById:
+      return strFormat("elem doc%u #%s", Elem->Doc, Elem->Key.c_str());
+    case ElemKeyKind::ByName:
+      return strFormat("elem doc%u name=%s", Elem->Doc, Elem->Key.c_str());
+    case ElemKeyKind::ByTag:
+      return strFormat("elem doc%u <%s>", Elem->Doc, Elem->Key.c_str());
+    }
+    return "elem ?";
+  }
+  const auto &Handler = std::get<EventHandlerLoc>(Loc);
+  if (Handler.Target != InvalidNodeId)
+    return strFormat("handler (node%u, %s, h%llu)", Handler.Target,
+                     Handler.EventType.c_str(),
+                     static_cast<unsigned long long>(Handler.HandlerId));
+  return strFormat("handler (obj%llu, %s, h%llu)",
+                   static_cast<unsigned long long>(Handler.TargetObject),
+                   Handler.EventType.c_str(),
+                   static_cast<unsigned long long>(Handler.HandlerId));
+}
+
+const char *wr::toString(AccessKind Kind) {
+  return Kind == AccessKind::Read ? "read" : "write";
+}
+
+const char *wr::toString(AccessOrigin Origin) {
+  switch (Origin) {
+  case AccessOrigin::Plain:
+    return "plain";
+  case AccessOrigin::FunctionDecl:
+    return "function-decl";
+  case AccessOrigin::FunctionCall:
+    return "function-call";
+  case AccessOrigin::FormFieldWrite:
+    return "form-field-write";
+  case AccessOrigin::FormFieldRead:
+    return "form-field-read";
+  case AccessOrigin::UserInput:
+    return "user-input";
+  case AccessOrigin::ElemInsert:
+    return "elem-insert";
+  case AccessOrigin::ElemRemove:
+    return "elem-remove";
+  case AccessOrigin::ElemLookup:
+    return "elem-lookup";
+  case AccessOrigin::HandlerInstall:
+    return "handler-install";
+  case AccessOrigin::HandlerRemove:
+    return "handler-remove";
+  case AccessOrigin::HandlerFire:
+    return "handler-fire";
+  }
+  return "unknown";
+}
+
+static size_t hashCombine(size_t Seed, size_t Value) {
+  return Seed ^ (Value + 0x9e3779b97f4a7c15ull + (Seed << 6) + (Seed >> 2));
+}
+
+size_t wr::LocationHash::operator()(const Location &Loc) const {
+  std::hash<std::string> HashStr;
+  std::hash<uint64_t> HashInt;
+  size_t Seed = Loc.index();
+  if (const auto *Var = std::get_if<JSVarLoc>(&Loc)) {
+    Seed = hashCombine(Seed, HashInt(Var->Container));
+    Seed = hashCombine(Seed, HashStr(Var->Name));
+    return Seed;
+  }
+  if (const auto *Elem = std::get_if<HtmlElemLoc>(&Loc)) {
+    Seed = hashCombine(Seed, HashInt(Elem->Doc));
+    Seed = hashCombine(Seed, HashInt(static_cast<uint64_t>(Elem->Kind)));
+    Seed = hashCombine(Seed, HashInt(Elem->Node));
+    Seed = hashCombine(Seed, HashStr(Elem->Key));
+    return Seed;
+  }
+  const auto &Handler = std::get<EventHandlerLoc>(Loc);
+  Seed = hashCombine(Seed, HashInt(Handler.Target));
+  Seed = hashCombine(Seed, HashInt(Handler.TargetObject));
+  Seed = hashCombine(Seed, HashStr(Handler.EventType));
+  Seed = hashCombine(Seed, HashInt(Handler.HandlerId));
+  return Seed;
+}

@@ -1,0 +1,168 @@
+//===- mem/Location.h - Logical memory locations ----------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The logical memory-access model of the paper's Section 4.
+///
+/// The web platform has no natural notion of machine-level accesses:
+/// operations touch JavaScript heap slots, browser-internal DOM structures,
+/// or both. The paper therefore defines three families of *logical*
+/// locations, reproduced here:
+///
+///  * JSVarLoc        - JavaScript variables: globals, closure-captured
+///                      locals, and object properties (Sec. 4.1).
+///  * HtmlElemLoc     - HTML elements in a document (Sec. 4.2). Insertion
+///                      and removal write the element; lookups
+///                      (getElementById & friends) read it. Lookups are
+///                      keyed by the *query* (id, name, or tag) so that a
+///                      failed lookup still produces a read of the element
+///                      it names - this is what exposes HTML races like the
+///                      paper's Fig. 3.
+///  * EventHandlerLoc - (target element, event type, handler) triples
+///                      (Sec. 4.3). Installing/removing a handler writes the
+///                      location; dispatching the event reads it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_MEM_LOCATION_H
+#define WEBRACER_MEM_LOCATION_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace wr {
+
+/// Identifies a JS scope or heap object that can own variables/properties.
+/// The runtime assigns these; 0 is reserved for "the global scope".
+using ContainerId = uint64_t;
+
+/// Host-modeled DOM node properties (value, parentNode, ...) live in a
+/// dedicated container namespace keyed by node id, stable across wrapper
+/// lifetimes: bit 62 set, low bits the node id.
+inline constexpr ContainerId DomContainerBit = 1ull << 62;
+
+/// Container id for DOM node \p N's host-modeled properties.
+constexpr ContainerId domContainerId(uint32_t N) {
+  return DomContainerBit | static_cast<ContainerId>(N);
+}
+
+/// True if \p C is a DOM-node container.
+constexpr bool isDomContainer(ContainerId C) {
+  return (C & DomContainerBit) != 0;
+}
+
+/// The node id behind a DOM-node container.
+constexpr uint32_t nodeOfContainer(ContainerId C) {
+  return static_cast<uint32_t>(C & ~DomContainerBit);
+}
+
+/// Stable identity of a DOM node, assigned by the DOM arena.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId InvalidNodeId = 0;
+
+/// Stable identity of a document (root HTML page = 1, iframes > 1).
+using DocumentId = uint32_t;
+
+/// A JavaScript variable: a (container, name) pair where the container is a
+/// scope (for variables) or an object (for properties). Per Sec. 4.1 this
+/// covers globals, closure-shared locals, and instance fields alike.
+struct JSVarLoc {
+  ContainerId Container = 0;
+  std::string Name;
+
+  bool operator==(const JSVarLoc &Other) const = default;
+};
+
+/// How an HTML-element access names the element. Direct node references
+/// (e.g. `someVar.parentNode`) use the node identity; string-based lookups
+/// use the query key so that lookups racing with element creation collide
+/// on the same logical location even when the lookup fails.
+enum class ElemKeyKind : uint8_t {
+  ByNode, ///< Concrete node identity.
+  ById,   ///< document.getElementById("...") and id-keyed insertion.
+  ByName, ///< document.getElementsByName("...") / form element name.
+  ByTag,  ///< Tag collections: getElementsByTagName, document.images, ...
+};
+
+/// An HTML element location (Sec. 4.2).
+struct HtmlElemLoc {
+  DocumentId Doc = 0;
+  ElemKeyKind Kind = ElemKeyKind::ByNode;
+  NodeId Node = InvalidNodeId; ///< Valid iff Kind == ByNode.
+  std::string Key;             ///< Valid iff Kind != ByNode.
+
+  bool operator==(const HtmlElemLoc &Other) const = default;
+};
+
+/// An event-handler location (el, e, h) per Sec. 4.3. Keeping the handler
+/// identity in the location lets accesses that manipulate disjoint handlers
+/// for the same event not interfere.
+struct EventHandlerLoc {
+  NodeId Target = InvalidNodeId; ///< 0 is allowed for window-level targets.
+  ContainerId TargetObject = 0;  ///< JS identity when Target is not a node
+                                 ///< (window, XHR objects).
+  std::string EventType;
+  uint64_t HandlerId = 0; ///< Identity of the handler function/slot. The
+                          ///< content-attribute / on-property slot uses 0 so
+                          ///< that overwrites of the same slot collide.
+
+  bool operator==(const EventHandlerLoc &Other) const = default;
+};
+
+/// A logical shared-memory location: Loc = JSVar ∪ HElem ∪ Eloc.
+using Location = std::variant<JSVarLoc, HtmlElemLoc, EventHandlerLoc>;
+
+/// Read or write, per the classic race definition.
+enum class AccessKind : uint8_t { Read, Write };
+
+/// Why the access happened; drives race classification (Sec. 2's four race
+/// types) and the report filters (Sec. 5.3).
+enum class AccessOrigin : uint8_t {
+  Plain,          ///< Ordinary variable/property access.
+  FunctionDecl,   ///< Write performed by hoisting a function declaration.
+  FunctionCall,   ///< Read performed to resolve a call target.
+  FormFieldWrite, ///< Script write to a form field's value/checked.
+  FormFieldRead,  ///< Script read of a form field's value/checked.
+  UserInput,      ///< Simulated user typing/clicking wrote a form field.
+  ElemInsert,     ///< Element inserted into a document.
+  ElemRemove,     ///< Element removed from a document.
+  ElemLookup,     ///< getElementById & friends.
+  HandlerInstall, ///< Event handler installed (attr, property, listener).
+  HandlerRemove,  ///< removeEventListener or property overwrite.
+  HandlerFire,    ///< Event dispatch read the handler location.
+};
+
+/// One instrumented memory access.
+struct Access {
+  AccessKind Kind = AccessKind::Read;
+  AccessOrigin Origin = AccessOrigin::Plain;
+  uint32_t Op = 0; ///< OpId of the performing operation (see hb/OpId.h).
+  Location Loc;
+  std::string Detail; ///< Human-readable context for reports.
+};
+
+/// Returns a stable human-readable rendering, e.g. `var global.x`,
+/// `elem #dw`, `handler (node 5, load, slot)`.
+std::string toString(const Location &Loc);
+
+/// Renders an access kind as "read"/"write".
+const char *toString(AccessKind Kind);
+
+/// Renders an access origin tag.
+const char *toString(AccessOrigin Origin);
+
+/// Hash functor so Location can key unordered maps.
+struct LocationHash {
+  size_t operator()(const Location &Loc) const;
+};
+
+} // namespace wr
+
+#endif // WEBRACER_MEM_LOCATION_H

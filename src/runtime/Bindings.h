@@ -1,0 +1,36 @@
+//===- runtime/Bindings.h - DOM/BOM host classes ----------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Host classes wiring MiniJS objects to the browser: element wrappers,
+/// document, window, XMLHttpRequest, and the style sub-object. Each class
+/// intercepts the state properties it models and instruments them with
+/// the appropriate logical locations (HtmlElemLoc for lookups/mutations,
+/// JSVar-on-DOM-node for value/parentNode/..., EventHandlerLoc for on*
+/// slots), per the paper's Section 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_RUNTIME_BINDINGS_H
+#define WEBRACER_RUNTIME_BINDINGS_H
+
+#include "js/Value.h"
+
+namespace wr::rt {
+
+class Browser;
+
+/// Host class singletons (one per binding type).
+const js::HostClass *elementHostClass();
+const js::HostClass *documentHostClass();
+const js::HostClass *windowHostClass();
+const js::HostClass *xhrHostClass();
+const js::HostClass *styleHostClass();
+const js::HostClass *textHostClass();
+
+} // namespace wr::rt
+
+#endif // WEBRACER_RUNTIME_BINDINGS_H

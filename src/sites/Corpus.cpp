@@ -1,0 +1,182 @@
+//===- sites/Corpus.cpp - The Fortune-100 corpus --------------------------------===//
+
+#include "sites/Corpus.h"
+
+using namespace wr;
+using namespace wr::sites;
+
+const std::vector<Table2Row> &wr::sites::table2Rows() {
+  // Paper Table 2, verbatim: filtered races with harmful counts.
+  static const std::vector<Table2Row> Rows = {
+      //                      html      func      var       disp
+      {"Allstate",            6, 6,     2, 0,     0, 0,     0, 0},
+      {"AmericanExpress",     41, 1,    0, 0,     0, 0,     0, 0},
+      {"BankOfAmerica",       4, 0,     1, 1,     0, 0,     0, 0},
+      {"BestBuy",             0, 0,     2, 0,     0, 0,     0, 0},
+      {"CiscoSystems",        0, 0,     1, 0,     0, 0,     0, 0},
+      {"Citigroup",           3, 0,     3, 2,     0, 0,     1, 0},
+      {"Comcast",             0, 0,     6, 1,     0, 0,     0, 0},
+      {"ConocoPhillips",      0, 0,     2, 1,     0, 0,     0, 0},
+      {"Costco",              3, 3,     0, 0,     0, 0,     0, 0},
+      {"FedEx",               1, 0,     0, 0,     0, 0,     0, 0},
+      {"Ford",                112, 0,   0, 0,     0, 0,     0, 0},
+      {"GeneralDynamics",     0, 0,     1, 0,     0, 0,     0, 0},
+      {"GeneralMotors",       0, 0,     1, 0,     0, 0,     0, 0},
+      {"HartfordFinancial",   1, 1,     0, 0,     0, 0,     0, 0},
+      {"HomeDepot",           0, 0,     1, 0,     0, 0,     0, 0},
+      {"Humana",              0, 0,     0, 0,     0, 0,     13, 13},
+      {"IBM",                 16, 0,    0, 0,     1, 1,     0, 0},
+      {"Intel",               0, 0,     3, 0,     0, 0,     0, 0},
+      {"JPMorganChase",       3, 3,     5, 0,     0, 0,     0, 0},
+      {"JohnsonControls",     1, 1,     0, 0,     1, 0,     0, 0},
+      {"Kroger",              1, 0,     0, 0,     0, 0,     0, 0},
+      {"LibertyMutual",       0, 0,     4, 0,     0, 0,     1, 0},
+      {"Lowes",               1, 0,     0, 0,     0, 0,     0, 0},
+      {"Macys",               0, 0,     0, 0,     1, 1,     0, 0},
+      {"MassMutual",          1, 0,     0, 0,     0, 0,     0, 0},
+      {"MerrillLynch",        1, 1,     0, 0,     0, 0,     0, 0},
+      {"MetLife",             0, 0,     0, 0,     0, 0,     35, 35},
+      {"MorganStanley",       1, 1,     0, 0,     0, 0,     0, 0},
+      {"Motorola",            1, 0,     0, 0,     0, 0,     1, 0},
+      {"NewsCorporation",     1, 0,     0, 0,     0, 0,     0, 0},
+      {"Safeway",             0, 0,     0, 0,     1, 1,     0, 0},
+      {"Sunoco",              11, 11,   0, 0,     0, 0,     0, 0},
+      {"Target",              2, 2,     0, 0,     1, 1,     0, 0},
+      {"UnitedHealthGroup",   0, 0,     0, 0,     0, 0,     1, 0},
+      {"UnitedTechnologies",  2, 1,     0, 0,     0, 0,     0, 0},
+      {"ValeroEnergy",        5, 1,     4, 1,     2, 0,     0, 0},
+      {"Verizon",             0, 0,     1, 1,     0, 0,     0, 0},
+      {"WalMart",             0, 0,     0, 0,     1, 1,     0, 0},
+      {"Walgreens",           0, 0,     0, 0,     0, 0,     35, 35},
+      {"WaltDisney",          1, 0,     0, 0,     0, 0,     0, 0},
+      {"WellsFargo",          0, 0,     0, 0,     0, 0,     4, 0},
+  };
+  return Rows;
+}
+
+SiteSpec wr::sites::specForRow(const Table2Row &Row, int VariableNoise,
+                               int DispatchNoise) {
+  SiteSpec Spec;
+  Spec.Name = Row.Name;
+  // HTML: harmful lookup races + one polling pattern for the benign rest.
+  if (Row.HtmlHarmful > 0)
+    Spec.Patterns.push_back(
+        {PatternKind::HtmlLookupHarmful, Row.HtmlHarmful});
+  if (Row.Html - Row.HtmlHarmful > 0)
+    Spec.Patterns.push_back(
+        {PatternKind::HtmlPollingBenign, Row.Html - Row.HtmlHarmful});
+  // Function.
+  if (Row.FunctionHarmful > 0)
+    Spec.Patterns.push_back(
+        {PatternKind::FunctionCallHarmful, Row.FunctionHarmful});
+  if (Row.Function - Row.FunctionHarmful > 0)
+    Spec.Patterns.push_back({PatternKind::FunctionCallGuarded,
+                             Row.Function - Row.FunctionHarmful});
+  // Variable (form races).
+  if (Row.VariableHarmful > 0)
+    Spec.Patterns.push_back(
+        {PatternKind::FormValueHarmful, Row.VariableHarmful});
+  if (Row.Variable - Row.VariableHarmful > 0)
+    Spec.Patterns.push_back({PatternKind::FormValueReadBenign,
+                             Row.Variable - Row.VariableHarmful});
+  // Event dispatch.
+  if (Row.DispatchHarmful > 0)
+    Spec.Patterns.push_back(
+        {PatternKind::GomezMonitorHarmful, Row.DispatchHarmful});
+  if (Row.Dispatch - Row.DispatchHarmful > 0)
+    Spec.Patterns.push_back({PatternKind::DelayedSingleBenign,
+                             Row.Dispatch - Row.DispatchHarmful});
+  // Background noise (filtered out; drives Table 1's raw counts).
+  if (VariableNoise > 0)
+    Spec.Patterns.push_back(
+        {PatternKind::VariableNoiseBenign, VariableNoise});
+  if (DispatchNoise > 0)
+    Spec.Patterns.push_back(
+        {PatternKind::HoverMenuNoiseBenign, DispatchNoise});
+  return Spec;
+}
+
+GeneratedSite wr::sites::buildSite(const SiteSpec &Spec) {
+  SiteBuilder Builder(Spec.Name);
+  Builder.html("<h1>" + Spec.Name + "</h1>");
+  for (const PatternInstance &P : Spec.Patterns)
+    emitPattern(Builder, P);
+  GeneratedSite Site;
+  Site.Name = Spec.Name;
+  Site.IndexUrl = Spec.Name + "/index.html";
+  Site.Html = Builder.body();
+  Site.Resources = Builder.resources();
+  Site.Expected = Builder.expected();
+  return Site;
+}
+
+int wr::sites::sampleNoiseCount(Rng &R) {
+  double P = R.nextDouble();
+  if (P < 0.30)
+    return static_cast<int>(R.nextInRange(0, 2));
+  if (P < 0.60)
+    return static_cast<int>(R.nextInRange(3, 8));
+  if (P < 0.85)
+    return static_cast<int>(R.nextInRange(9, 40));
+  if (P < 0.97)
+    return static_cast<int>(R.nextInRange(41, 120));
+  return static_cast<int>(R.nextInRange(121, 190));
+}
+
+std::vector<GeneratedSite>
+wr::sites::buildFortune100Corpus(uint64_t Seed) {
+  // Filler company names to reach 100 sites (plausible Fortune-100-style
+  // names; their pages carry only background noise).
+  static const char *const Fillers[] = {
+      "ExxonMobil",    "Chevron",        "GeneralElectric",
+      "ConAgra",       "Boeing",         "Caterpillar",
+      "DowChemical",   "PepsiCo",        "KraftFoods",
+      "Honeywell",     "Alcoa",          "Goodyear",
+      "UPS",           "Aetna",          "Cigna",
+      "TravelersCos",  "Prudential",     "RaytheonCo",
+      "LockheedMartin","NorthropGrumman","Deere",
+      "DuPont",        "EmersonElectric","GeneralMills",
+      "KimberlyClark", "Nike",           "ColgatePalmolive",
+      "Sysco",         "TysonFoods",     "Archer",
+      "Progressive",   "AbbottLabs",     "Merck",
+      "Pfizer",        "JohnsonJohnson", "Amgen",
+      "BristolMyers",  "EliLilly",       "UnitedParcel",
+      "Oracle",        "HewlettPackard", "Dell",
+      "Apple",         "Microsoft",      "Google",
+      "Amazon",        "TimeWarner",     "DirecTV",
+      "Qualcomm",      "TexasInstruments","AppliedMaterials",
+      "Halliburton",   "Schlumberger",   "BakerHughes",
+      "Murphy",        "Hess",           "Tesoro",
+      "PhillipsPete",  "DukeEnergy",     "Exelon"};
+
+  Rng R(Seed);
+  std::vector<GeneratedSite> Corpus;
+  std::vector<SiteSpec> Specs;
+  for (const Table2Row &Row : table2Rows())
+    Specs.push_back(
+        specForRow(Row, sampleNoiseCount(R), sampleNoiseCount(R)));
+  size_t FillerIndex = 0;
+  while (Specs.size() < 100 && FillerIndex < std::size(Fillers)) {
+    Table2Row Empty = {Fillers[FillerIndex++], 0, 0, 0, 0, 0, 0, 0, 0};
+    Specs.push_back(
+        specForRow(Empty, sampleNoiseCount(R), sampleNoiseCount(R)));
+  }
+  // Pin the Table 1 maxima: one site gets the largest variable noise
+  // (raw max 269) and one the largest event-dispatch noise (raw max 198).
+  for (SiteSpec &Spec : Specs) {
+    if (Spec.Name == std::string("Apple"))
+      for (PatternInstance &P : Spec.Patterns) {
+        if (P.Kind == PatternKind::VariableNoiseBenign)
+          P.Count = 269;
+      }
+    if (Spec.Name == std::string("Microsoft"))
+      for (PatternInstance &P : Spec.Patterns) {
+        if (P.Kind == PatternKind::HoverMenuNoiseBenign)
+          P.Count = 198;
+      }
+  }
+  Corpus.reserve(Specs.size());
+  for (const SiteSpec &Spec : Specs)
+    Corpus.push_back(buildSite(Spec));
+  return Corpus;
+}

@@ -1,0 +1,76 @@
+//===- sites/Corpus.h - The Fortune-100 corpus ------------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the synthetic Fortune-100 corpus behind the evaluation.
+/// Sites named in the paper's Table 2 get pattern mixes matching their
+/// reported filtered race counts (with harmfulness assigned per the
+/// paper's per-type discussion in Sec. 6.3); every site also gets a
+/// seeded amount of benign background noise (delayed-loading variable
+/// races and hover-menu event races) calibrated to Table 1's raw
+/// mean/median/max.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_SITES_CORPUS_H
+#define WEBRACER_SITES_CORPUS_H
+
+#include "sites/Patterns.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace wr::sites {
+
+/// A fully generated site: the page, its resources, and its ground-truth
+/// expectations.
+struct GeneratedSite {
+  std::string Name;
+  std::string IndexUrl; ///< "<name>/index.html".
+  std::string Html;
+  std::vector<SiteResource> Resources;
+  ExpectedRaces Expected;
+};
+
+/// Declarative site description.
+struct SiteSpec {
+  std::string Name;
+  std::vector<PatternInstance> Patterns;
+};
+
+/// Instantiates one site from its spec.
+GeneratedSite buildSite(const SiteSpec &Spec);
+
+/// The Table 2 rows: per-site filtered counts (harmful in parens in the
+/// paper). Used both to build the corpus and to check reproduction.
+struct Table2Row {
+  const char *Name;
+  int Html, HtmlHarmful;
+  int Function, FunctionHarmful;
+  int Variable, VariableHarmful;
+  int Dispatch, DispatchHarmful;
+};
+
+/// All 41 rows of the paper's Table 2.
+const std::vector<Table2Row> &table2Rows();
+
+/// Builds the full 100-site corpus: the Table 2 sites plus fillers, all
+/// with seeded background noise.
+std::vector<GeneratedSite> buildFortune100Corpus(uint64_t Seed);
+
+/// Builds the spec for one Table 2 row (noise counts supplied by the
+/// caller).
+SiteSpec specForRow(const Table2Row &Row, int VariableNoise,
+                    int DispatchNoise);
+
+/// Samples a background-noise count from the heavy-tailed distribution
+/// calibrated to Table 1 (mean ~22, median ~5.5).
+int sampleNoiseCount(Rng &R);
+
+} // namespace wr::sites
+
+#endif // WEBRACER_SITES_CORPUS_H

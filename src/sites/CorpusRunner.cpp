@@ -1,0 +1,91 @@
+//===- sites/CorpusRunner.cpp - Run WebRacer over a corpus ---------------------===//
+
+#include "sites/CorpusRunner.h"
+
+#include <algorithm>
+
+using namespace wr;
+using namespace wr::sites;
+using wr::detect::RaceKind;
+
+SiteRunStats wr::sites::runSite(const GeneratedSite &Site,
+                                const webracer::SessionOptions &Base,
+                                uint64_t SiteSeed) {
+  webracer::SessionOptions Opts = Base;
+  Opts.Browser.Seed = SiteSeed;
+  webracer::Session S(Opts);
+  S.network().addResource(Site.IndexUrl, Site.Html, 10);
+  for (const SiteResource &R : Site.Resources)
+    S.network().addResourceWithJitter(R.Url, R.Body, R.MinLatencyUs,
+                                      R.MaxLatencyUs);
+  webracer::SessionResult Result = S.run(Site.IndexUrl);
+
+  SiteRunStats Stats;
+  Stats.Name = Site.Name;
+  Stats.Raw = detect::tally(Result.RawRaces);
+  Stats.Filtered = detect::tally(Result.FilteredRaces);
+  Stats.Expected = Site.Expected;
+  Stats.Operations = Result.Operations;
+  Stats.HbEdges = Result.HbEdges;
+  Stats.Crashes = Result.Crashes.size();
+  Stats.FilteredRaces = std::move(Result.FilteredRaces);
+  return Stats;
+}
+
+CorpusStats wr::sites::runCorpus(const std::vector<GeneratedSite> &Corpus,
+                                 const webracer::SessionOptions &Base,
+                                 uint64_t Seed) {
+  CorpusStats Stats;
+  Rng SeedGen(Seed);
+  for (const GeneratedSite &Site : Corpus)
+    Stats.Sites.push_back(runSite(Site, Base, SeedGen.next()));
+  return Stats;
+}
+
+static CorpusStats::Distribution
+distributionOf(std::vector<size_t> Counts) {
+  CorpusStats::Distribution D;
+  if (Counts.empty())
+    return D;
+  std::sort(Counts.begin(), Counts.end());
+  double Sum = 0;
+  for (size_t C : Counts)
+    Sum += static_cast<double>(C);
+  D.Mean = Sum / static_cast<double>(Counts.size());
+  size_t N = Counts.size();
+  D.Median = (N % 2 == 1)
+                 ? static_cast<double>(Counts[N / 2])
+                 : (static_cast<double>(Counts[N / 2 - 1]) +
+                    static_cast<double>(Counts[N / 2])) /
+                       2.0;
+  D.Max = Counts.back();
+  return D;
+}
+
+CorpusStats::Distribution
+CorpusStats::rawDistribution(RaceKind Kind) const {
+  std::vector<size_t> Counts;
+  Counts.reserve(Sites.size());
+  for (const SiteRunStats &S : Sites)
+    Counts.push_back(S.Raw[Kind]);
+  return distributionOf(std::move(Counts));
+}
+
+CorpusStats::Distribution CorpusStats::rawTotalDistribution() const {
+  std::vector<size_t> Counts;
+  Counts.reserve(Sites.size());
+  for (const SiteRunStats &S : Sites)
+    Counts.push_back(S.Raw.total());
+  return distributionOf(std::move(Counts));
+}
+
+detect::RaceTally CorpusStats::filteredTotals() const {
+  detect::RaceTally T;
+  for (const SiteRunStats &S : Sites) {
+    T.Variable += S.Filtered.Variable;
+    T.Html += S.Filtered.Html;
+    T.Function += S.Filtered.Function;
+    T.EventDispatch += S.Filtered.EventDispatch;
+  }
+  return T;
+}

@@ -1,0 +1,71 @@
+//===- sites/CorpusRunner.h - Run WebRacer over a corpus --------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives a WebRacer session over every site of a corpus and aggregates
+/// the per-type race statistics the paper reports: Table 1 (raw
+/// mean/median/max per type) and Table 2 (per-site filtered counts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_SITES_CORPUSRUNNER_H
+#define WEBRACER_SITES_CORPUSRUNNER_H
+
+#include "detect/Report.h"
+#include "sites/Corpus.h"
+#include "webracer/Session.h"
+
+#include <string>
+#include <vector>
+
+namespace wr::sites {
+
+/// Results for one site.
+struct SiteRunStats {
+  std::string Name;
+  detect::RaceTally Raw;
+  detect::RaceTally Filtered;
+  ExpectedRaces Expected;
+  size_t Operations = 0;
+  size_t HbEdges = 0;
+  size_t Crashes = 0;
+  /// Filtered races kept for harmfulness analysis.
+  std::vector<detect::Race> FilteredRaces;
+};
+
+/// Aggregate over the corpus.
+struct CorpusStats {
+  std::vector<SiteRunStats> Sites;
+
+  struct Distribution {
+    double Mean = 0;
+    double Median = 0;
+    size_t Max = 0;
+  };
+
+  /// Raw-count distribution for one race kind across sites (Table 1).
+  Distribution rawDistribution(detect::RaceKind Kind) const;
+  /// Raw-count distribution for the per-site totals (Table 1 "All").
+  Distribution rawTotalDistribution() const;
+
+  /// Sum of filtered counts by kind (Table 2 totals row).
+  detect::RaceTally filteredTotals() const;
+};
+
+/// Runs one site through a session built from \p Base (a fresh browser
+/// per site, seeded per-site for independent jitter).
+SiteRunStats runSite(const GeneratedSite &Site,
+                     const webracer::SessionOptions &Base,
+                     uint64_t SiteSeed);
+
+/// Runs the whole corpus.
+CorpusStats runCorpus(const std::vector<GeneratedSite> &Corpus,
+                      const webracer::SessionOptions &Base,
+                      uint64_t Seed);
+
+} // namespace wr::sites
+
+#endif // WEBRACER_SITES_CORPUSRUNNER_H

@@ -1,0 +1,329 @@
+//===- sites/Patterns.cpp - Race-pattern templates -----------------------------===//
+
+#include "sites/Patterns.h"
+
+#include "support/Format.h"
+
+using namespace wr;
+using namespace wr::sites;
+
+const char *wr::sites::toString(PatternKind Kind) {
+  switch (Kind) {
+  case PatternKind::HtmlLookupHarmful:
+    return "html-lookup-harmful";
+  case PatternKind::HtmlPollingBenign:
+    return "html-polling-benign";
+  case PatternKind::FunctionCallHarmful:
+    return "function-call-harmful";
+  case PatternKind::FunctionCallGuarded:
+    return "function-call-guarded";
+  case PatternKind::FormValueHarmful:
+    return "form-value-harmful";
+  case PatternKind::FormValueGuarded:
+    return "form-value-guarded";
+  case PatternKind::FormValueReadBenign:
+    return "form-value-read-benign";
+  case PatternKind::GomezMonitorHarmful:
+    return "gomez-monitor-harmful";
+  case PatternKind::DelayedSingleBenign:
+    return "delayed-single-benign";
+  case PatternKind::VariableNoiseBenign:
+    return "variable-noise-benign";
+  case PatternKind::HoverMenuNoiseBenign:
+    return "hover-menu-noise-benign";
+  }
+  return "unknown";
+}
+
+ExpectedRaces &ExpectedRaces::operator+=(const ExpectedRaces &O) {
+  Html += O.Html;
+  HtmlHarmful += O.HtmlHarmful;
+  Function += O.Function;
+  FunctionHarmful += O.FunctionHarmful;
+  Variable += O.Variable;
+  VariableHarmful += O.VariableHarmful;
+  EventDispatch += O.EventDispatch;
+  EventDispatchHarmful += O.EventDispatchHarmful;
+  RawOnlyVariable += O.RawOnlyVariable;
+  RawOnlyEventDispatch += O.RawOnlyEventDispatch;
+  return *this;
+}
+
+std::string SiteBuilder::resource(const std::string &Name,
+                                  const std::string &Content,
+                                  uint64_t MinLatencyUs,
+                                  uint64_t MaxLatencyUs) {
+  std::string Url = SiteName + "/" + Name;
+  Resources.push_back({Url, Content, MinLatencyUs, MaxLatencyUs});
+  return Url;
+}
+
+namespace {
+
+// Fig. 3 (Valero): a javascript: link that dereferences a not-yet-parsed
+// div. One harmful HTML race per instance.
+void emitHtmlLookupHarmful(SiteBuilder &S) {
+  std::string Id = S.freshSuffix();
+  S.html(strFormat(
+      "<script>"
+      "function show%s() {"
+      "  var v = document.getElementById('dw%s');"
+      "  v.style.display = 'block';"
+      "}"
+      "</script>"
+      "<a id=\"send%s\" href=\"javascript:show%s()\">Send Email</a>"
+      "<p>interstitial content</p>"
+      "<div id=\"dw%s\" style=\"display:none\">email form</div>",
+      Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str()));
+  S.expected().Html += 1;
+  S.expected().HtmlHarmful += 1;
+}
+
+// The Ford addPopUp pattern (Sec. 6.3): polling for a sentinel node via
+// setTimeout, then mutating Count-1 other nodes. Count benign HTML races.
+void emitHtmlPollingBenign(SiteBuilder &S, int Count) {
+  if (Count < 1)
+    return;
+  std::string Id = S.freshSuffix();
+  int MenuNodes = Count - 1;
+  std::string Mutations;
+  std::string Divs;
+  for (int I = 0; I < MenuNodes; ++I) {
+    Mutations += strFormat(
+        "document.getElementById('menu%s_%d').style.display = 'block';",
+        Id.c_str(), I);
+    Divs += strFormat(
+        "<div id=\"menu%s_%d\" style=\"display:none\"></div>", Id.c_str(),
+        I);
+  }
+  S.html(strFormat(
+      "<script>"
+      "function addPopUp%s() {"
+      "  if (document.getElementById('last%s') != null) {"
+      "    %s"
+      "  } else { setTimeout(addPopUp%s, 250); }"
+      "}"
+      "setTimeout(addPopUp%s, 250);"
+      "</script>"
+      "%s"
+      "<div id=\"last%s\"></div>",
+      Id.c_str(), Id.c_str(), Mutations.c_str(), Id.c_str(), Id.c_str(),
+      Divs.c_str(), Id.c_str()));
+  S.expected().Html += Count;
+}
+
+// A hover handler calling a function defined by a late async script
+// (Sec. 6.3's harmful function races were attached to hover/click).
+void emitFunctionCall(SiteBuilder &S, bool Guarded) {
+  std::string Id = S.freshSuffix();
+  std::string Handler =
+      Guarded ? strFormat("if (typeof doWork%s == 'function') doWork%s();",
+                          Id.c_str(), Id.c_str())
+              : strFormat("doWork%s();", Id.c_str());
+  std::string Url = S.resource(
+      strFormat("late%s.js", Id.c_str()),
+      strFormat("function doWork%s() { window.done%s = true; }", Id.c_str(),
+                Id.c_str()));
+  S.html(strFormat(
+      "<div id=\"hot%s\" onmouseover=\"%s\">hover me</div>"
+      "<script src=\"%s\" async=\"true\"></script>",
+      Id.c_str(), Handler.c_str(), Url.c_str()));
+  S.expected().Function += 1;
+  if (!Guarded)
+    S.expected().FunctionHarmful += 1;
+}
+
+// Fig. 2 (Southwest): a script unconditionally overwriting a text box the
+// user may already have typed into. One harmful variable race.
+void emitFormValueHarmful(SiteBuilder &S) {
+  std::string Id = S.freshSuffix();
+  S.html(strFormat(
+      "<input type=\"text\" id=\"box%s\" />"
+      "<script>document.getElementById('box%s').value ="
+      " 'City of Departure';</script>",
+      Id.c_str(), Id.c_str()));
+  S.expected().Variable += 1;
+  S.expected().VariableHarmful += 1;
+}
+
+// Same, but the write is guarded by a read of the field in the same
+// operation; removed by the Sec. 5.3 refinement.
+void emitFormValueGuarded(SiteBuilder &S) {
+  std::string Id = S.freshSuffix();
+  S.html(strFormat(
+      "<input type=\"text\" id=\"box%s\" />"
+      "<script>"
+      "var f%s = document.getElementById('box%s');"
+      "if (f%s.value == '') { f%s.value = 'hint'; }"
+      "</script>",
+      Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str()));
+  S.expected().RawOnlyVariable += 1;
+}
+
+// A script that merely reads the box (analytics-style): the race survives
+// the form filter but cannot destroy input - benign.
+void emitFormValueReadBenign(SiteBuilder &S) {
+  std::string Id = S.freshSuffix();
+  S.html(strFormat(
+      "<input type=\"text\" id=\"box%s\" />"
+      "<script>window.snapshot%s ="
+      " document.getElementById('box%s').value;</script>",
+      Id.c_str(), Id.c_str(), Id.c_str()));
+  S.expected().Variable += 1;
+}
+
+// The Gomez performance monitor (Sec. 6.3): poll document.images every
+// 10ms and attach onload handlers; every monitored image is a harmful
+// single-dispatch event race.
+void emitGomezMonitor(SiteBuilder &S, int Count) {
+  if (Count < 1)
+    return;
+  std::string Id = S.freshSuffix();
+  std::string Imgs;
+  for (int I = 0; I < Count; ++I) {
+    std::string Url = S.resource(strFormat("img%s_%d.png", Id.c_str(), I),
+                                 "PNG", 200, 4000);
+    Imgs += strFormat("<img id=\"gm%s_%d\" src=\"%s\" />", Id.c_str(), I,
+                      Url.c_str());
+  }
+  S.html(strFormat(
+      "%s"
+      "<script>"
+      "var seen%s = {};"
+      "var polls%s = 0;"
+      "var iv%s = setInterval(function() {"
+      "  polls%s++;"
+      "  var imgs = document.images;"
+      "  for (var i = 0; i < imgs.length; i++) {"
+      "    var im = imgs[i];"
+      "    if (!seen%s[im.id]) {"
+      "      seen%s[im.id] = true;"
+      "      im.onload = function() { window.gomez%s = true; };"
+      "    }"
+      "  }"
+      "  if (polls%s > 12) clearInterval(iv%s);"
+      "}, 10);"
+      "</script>",
+      Imgs.c_str(), Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str(),
+      Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str()));
+  S.expected().EventDispatch += Count;
+  S.expected().EventDispatchHarmful += Count;
+}
+
+// A delayed script attaching onload to an image: single-dispatch race,
+// but the functionality is optional by design - benign.
+void emitDelayedSingleBenign(SiteBuilder &S) {
+  std::string Id = S.freshSuffix();
+  std::string ImgUrl =
+      S.resource(strFormat("pic%s.png", Id.c_str()), "PNG", 200, 4000);
+  std::string JsUrl = S.resource(
+      strFormat("attach%s.js", Id.c_str()),
+      strFormat("document.getElementById('ds%s').onload ="
+                " function() { window.dsLoaded%s = true; };",
+                Id.c_str(), Id.c_str()));
+  S.html(strFormat(
+      "<img id=\"ds%s\" src=\"%s\" />"
+      "<script src=\"%s\" async=\"true\"></script>",
+      Id.c_str(), ImgUrl.c_str(), JsUrl.c_str()));
+  S.expected().EventDispatch += 1;
+}
+
+// Two async scripts synchronizing via typeof-guarded globals: Count
+// benign variable races, all removed by the form filter (the dominant
+// source of raw variable reports, Sec. 6.2).
+void emitVariableNoise(SiteBuilder &S, int Count) {
+  if (Count < 1)
+    return;
+  std::string Id = S.freshSuffix();
+  std::string Writes;
+  std::string Reads;
+  for (int I = 0; I < Count; ++I) {
+    Writes += strFormat("cfg%s_%d = %d;", Id.c_str(), I, I);
+    Reads += strFormat(
+        "total%s += (typeof cfg%s_%d != 'undefined') ? cfg%s_%d : 0;",
+        Id.c_str(), Id.c_str(), I, Id.c_str(), I);
+  }
+  std::string WriterUrl =
+      S.resource(strFormat("cfga%s.js", Id.c_str()), Writes, 200, 5000);
+  std::string ReaderUrl = S.resource(
+      strFormat("cfgb%s.js", Id.c_str()),
+      strFormat("var total%s = 0; %s window.cfgTotal%s = total%s;",
+                Id.c_str(), Reads.c_str(), Id.c_str(), Id.c_str()),
+      200, 5000);
+  S.html(strFormat(
+      "<script src=\"%s\" async=\"true\"></script>"
+      "<script src=\"%s\" async=\"true\"></script>",
+      WriterUrl.c_str(), ReaderUrl.c_str()));
+  S.expected().RawOnlyVariable += Count;
+}
+
+// A delayed script attaching hover menus: Count benign event-dispatch
+// races, removed by the single-dispatch filter under repeated interaction
+// (the deliberate delayed-functionality pattern of Sec. 6.2).
+void emitHoverMenuNoise(SiteBuilder &S, int Count) {
+  if (Count < 1)
+    return;
+  std::string Id = S.freshSuffix();
+  std::string Divs;
+  std::string Attach;
+  for (int I = 0; I < Count; ++I) {
+    Divs += strFormat("<div id=\"hm%s_%d\">item</div>", Id.c_str(), I);
+    Attach += strFormat(
+        "document.getElementById('hm%s_%d').onmouseover ="
+        " function() { window.hovered%s = true; };",
+        Id.c_str(), I, Id.c_str());
+  }
+  std::string Url =
+      S.resource(strFormat("menu%s.js", Id.c_str()), Attach, 200, 5000);
+  S.html(strFormat("%s<script src=\"%s\" async=\"true\"></script>",
+                   Divs.c_str(), Url.c_str()));
+  S.expected().RawOnlyEventDispatch += Count;
+}
+
+} // namespace
+
+void wr::sites::emitPattern(SiteBuilder &Site,
+                            const PatternInstance &Instance) {
+  switch (Instance.Kind) {
+  case PatternKind::HtmlLookupHarmful:
+    for (int I = 0; I < Instance.Count; ++I)
+      emitHtmlLookupHarmful(Site);
+    return;
+  case PatternKind::HtmlPollingBenign:
+    emitHtmlPollingBenign(Site, Instance.Count);
+    return;
+  case PatternKind::FunctionCallHarmful:
+    for (int I = 0; I < Instance.Count; ++I)
+      emitFunctionCall(Site, /*Guarded=*/false);
+    return;
+  case PatternKind::FunctionCallGuarded:
+    for (int I = 0; I < Instance.Count; ++I)
+      emitFunctionCall(Site, /*Guarded=*/true);
+    return;
+  case PatternKind::FormValueHarmful:
+    for (int I = 0; I < Instance.Count; ++I)
+      emitFormValueHarmful(Site);
+    return;
+  case PatternKind::FormValueGuarded:
+    for (int I = 0; I < Instance.Count; ++I)
+      emitFormValueGuarded(Site);
+    return;
+  case PatternKind::FormValueReadBenign:
+    for (int I = 0; I < Instance.Count; ++I)
+      emitFormValueReadBenign(Site);
+    return;
+  case PatternKind::GomezMonitorHarmful:
+    emitGomezMonitor(Site, Instance.Count);
+    return;
+  case PatternKind::DelayedSingleBenign:
+    for (int I = 0; I < Instance.Count; ++I)
+      emitDelayedSingleBenign(Site);
+    return;
+  case PatternKind::VariableNoiseBenign:
+    emitVariableNoise(Site, Instance.Count);
+    return;
+  case PatternKind::HoverMenuNoiseBenign:
+    emitHoverMenuNoise(Site, Instance.Count);
+    return;
+  }
+}

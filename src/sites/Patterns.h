@@ -1,0 +1,136 @@
+//===- sites/Patterns.h - Race-pattern templates ----------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized generators for the race patterns the paper observed on
+/// Fortune-100 home pages (Sections 2 and 6.3). Each pattern knows how
+/// many filtered races of which kind it produces and whether they are
+/// harmful, giving the corpus ground truth to calibrate Tables 1 and 2
+/// against.
+///
+/// Patterns:
+///  * HtmlLookupHarmful       - Fig. 3 (Valero): a javascript: link whose
+///                              handler dereferences a late div.
+///  * HtmlPollingBenign       - the Ford addPopUp pattern: setTimeout
+///                              polling for a sentinel node, then mutating
+///                              k-1 others (k benign HTML races).
+///  * FunctionCallHarmful     - a hover handler calling a function defined
+///                              by a late async script (Sec. 6.3).
+///  * FunctionCallGuarded     - same with a typeof guard (benign).
+///  * FormValueHarmful        - Fig. 2 (Southwest): script overwrites a
+///                              search box unconditionally.
+///  * FormValueGuarded        - the write is guarded by a read (filtered
+///                              out by the Sec. 5.3 refinement).
+///  * FormValueReadBenign     - script only reads the box (race survives
+///                              the filter but cannot lose input).
+///  * GomezMonitorHarmful     - the Gomez image-load monitor: setInterval
+///                              attaching onload to images (n harmful
+///                              single-dispatch races).
+///  * DelayedSingleBenign     - delayed script attaching onload to an
+///                              image (single-dispatch, benign: optional
+///                              functionality).
+///  * VariableNoiseBenign     - delayed-script config variables guarded by
+///                              typeof polling (n benign variable races,
+///                              removed by the form filter).
+///  * HoverMenuNoiseBenign    - delayed script attaching hover menus (n
+///                              benign event-dispatch races, removed by
+///                              the single-dispatch filter under repeated
+///                              interaction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_SITES_PATTERNS_H
+#define WEBRACER_SITES_PATTERNS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wr::sites {
+
+/// Pattern identifiers.
+enum class PatternKind : uint8_t {
+  HtmlLookupHarmful,
+  HtmlPollingBenign,
+  FunctionCallHarmful,
+  FunctionCallGuarded,
+  FormValueHarmful,
+  FormValueGuarded,
+  FormValueReadBenign,
+  GomezMonitorHarmful,
+  DelayedSingleBenign,
+  VariableNoiseBenign,
+  HoverMenuNoiseBenign,
+};
+
+const char *toString(PatternKind Kind);
+
+/// One pattern instantiation. \c Count scales patterns that generate
+/// multiple races (polling nodes, monitored images, noise variables).
+struct PatternInstance {
+  PatternKind Kind;
+  int Count = 1;
+};
+
+/// Expected filtered races contributed by a pattern mix, by kind.
+struct ExpectedRaces {
+  int Html = 0, HtmlHarmful = 0;
+  int Function = 0, FunctionHarmful = 0;
+  int Variable = 0, VariableHarmful = 0;
+  int EventDispatch = 0, EventDispatchHarmful = 0;
+  /// Raw-only races (removed by the filters).
+  int RawOnlyVariable = 0;
+  int RawOnlyEventDispatch = 0;
+
+  ExpectedRaces &operator+=(const ExpectedRaces &O);
+};
+
+/// An external resource of a generated site.
+struct SiteResource {
+  std::string Url;
+  std::string Body;
+  uint64_t MinLatencyUs = 500;
+  uint64_t MaxLatencyUs = 3000;
+};
+
+/// Accumulates a site while patterns emit into it.
+class SiteBuilder {
+public:
+  explicit SiteBuilder(std::string SiteName)
+      : SiteName(std::move(SiteName)) {}
+
+  /// Appends HTML to the page body.
+  void html(const std::string &Fragment) { Body += Fragment; }
+
+  /// Registers an external resource (url is prefixed with the site name
+  /// so sites never collide).
+  std::string resource(const std::string &Name, const std::string &Content,
+                       uint64_t MinLatencyUs = 500,
+                       uint64_t MaxLatencyUs = 3000);
+
+  /// A unique symbol suffix for this site ("_p<N>").
+  std::string freshSuffix() { return "_p" + std::to_string(NextId++); }
+
+  ExpectedRaces &expected() { return Expect; }
+
+  const std::string &name() const { return SiteName; }
+  const std::string &body() const { return Body; }
+  const std::vector<SiteResource> &resources() const { return Resources; }
+
+private:
+  std::string SiteName;
+  std::string Body;
+  std::vector<SiteResource> Resources;
+  ExpectedRaces Expect;
+  int NextId = 0;
+};
+
+/// Emits \p Instance into \p Site, updating its expectations.
+void emitPattern(SiteBuilder &Site, const PatternInstance &Instance);
+
+} // namespace wr::sites
+
+#endif // WEBRACER_SITES_PATTERNS_H

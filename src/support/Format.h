@@ -1,0 +1,26 @@
+//===- support/Format.h - printf-style std::string formatting --*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A printf-style formatter that returns std::string, used by report
+/// printers and diagnostics so library code never touches <iostream>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_SUPPORT_FORMAT_H
+#define WEBRACER_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace wr {
+
+/// Formats like printf and returns the result as a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace wr
+
+#endif // WEBRACER_SUPPORT_FORMAT_H

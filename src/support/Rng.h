@@ -1,0 +1,78 @@
+//===- support/Rng.h - Deterministic random number generator ---*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic, seedable PRNG (splitmix64 + xoshiro256**).
+///
+/// Every source of nondeterminism in the simulated browser (network latency,
+/// event timing, corpus generation) is derived from one of these generators,
+/// so that every race report is replayable from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_SUPPORT_RNG_H
+#define WEBRACER_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wr {
+
+/// Deterministic xoshiro256** generator seeded via splitmix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed integer in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P = 0.5);
+
+  /// Fisher-Yates shuffle of \p Items.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    if (Items.size() < 2)
+      return;
+    for (size_t I = Items.size() - 1; I > 0; --I) {
+      size_t J = static_cast<size_t>(nextBelow(I + 1));
+      using std::swap;
+      swap(Items[I], Items[J]);
+    }
+  }
+
+  /// Picks a uniformly random element of \p Items, which must be non-empty.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick() from empty vector");
+    return Items[static_cast<size_t>(nextBelow(Items.size()))];
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// subsystem its own stream while keeping global determinism.
+  Rng fork();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace wr
+
+#endif // WEBRACER_SUPPORT_RNG_H

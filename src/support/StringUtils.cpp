@@ -1,0 +1,129 @@
+//===- support/StringUtils.cpp - Small string helpers --------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace wr;
+
+std::string wr::toLower(std::string_view S) {
+  std::string Result;
+  Result.reserve(S.size());
+  for (char C : S)
+    Result.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(C))));
+  return Result;
+}
+
+std::string_view wr::trim(std::string_view S) {
+  size_t Begin = 0;
+  while (Begin < S.size() && isHtmlSpace(S[Begin]))
+    ++Begin;
+  size_t End = S.size();
+  while (End > Begin && isHtmlSpace(S[End - 1]))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::vector<std::string> wr::split(std::string_view S, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Sep) {
+      Parts.emplace_back(S.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Parts;
+}
+
+std::string wr::join(const std::vector<std::string> &Parts,
+                     std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+bool wr::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+bool wr::startsWithIgnoreCase(std::string_view S, std::string_view Prefix) {
+  if (S.size() < Prefix.size())
+    return false;
+  return equalsIgnoreCase(S.substr(0, Prefix.size()), Prefix);
+}
+
+bool wr::equalsIgnoreCase(std::string_view A, std::string_view B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I) {
+    char CA = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(A[I])));
+    char CB = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(B[I])));
+    if (CA != CB)
+      return false;
+  }
+  return true;
+}
+
+bool wr::isHtmlSpace(char C) {
+  return C == ' ' || C == '\t' || C == '\n' || C == '\r' || C == '\f';
+}
+
+std::string wr::escapeForReport(std::string_view S) {
+  std::string Result;
+  Result.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Result += "\\\"";
+      break;
+    case '\\':
+      Result += "\\\\";
+      break;
+    case '\n':
+      Result += "\\n";
+      break;
+    case '\r':
+      Result += "\\r";
+      break;
+    case '\t':
+      Result += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Result += "\\u00";
+        Result += Hex[(C >> 4) & 0xf];
+        Result += Hex[C & 0xf];
+      } else {
+        Result += C;
+      }
+    }
+  }
+  return Result;
+}
+
+std::string wr::replaceAll(std::string_view S, std::string_view From,
+                           std::string_view To) {
+  if (From.empty())
+    return std::string(S);
+  std::string Result;
+  size_t Pos = 0;
+  for (;;) {
+    size_t Hit = S.find(From, Pos);
+    if (Hit == std::string_view::npos)
+      break;
+    Result.append(S.substr(Pos, Hit - Pos));
+    Result.append(To);
+    Pos = Hit + From.size();
+  }
+  Result.append(S.substr(Pos));
+  return Result;
+}

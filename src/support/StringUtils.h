@@ -1,0 +1,56 @@
+//===- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared across the HTML tokenizer, MiniJS lexer, and report
+/// printers. All functions are pure and allocation is explicit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_SUPPORT_STRINGUTILS_H
+#define WEBRACER_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wr {
+
+/// Returns \p S converted to ASCII lowercase.
+std::string toLower(std::string_view S);
+
+/// Returns \p S with ASCII whitespace removed from both ends.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep, keeping empty pieces.
+std::vector<std::string> split(std::string_view S, char Sep);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// True if \p S starts with \p Prefix (case-sensitive).
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// True if \p S starts with \p Prefix, compared ASCII-case-insensitively.
+bool startsWithIgnoreCase(std::string_view S, std::string_view Prefix);
+
+/// True if \p A equals \p B, compared ASCII-case-insensitively.
+bool equalsIgnoreCase(std::string_view A, std::string_view B);
+
+/// True for ' ', '\\t', '\\n', '\\r', '\\f'.
+bool isHtmlSpace(char C);
+
+/// Escapes ", \\, and control characters so \p S can be embedded in a JSON
+/// or report string.
+std::string escapeForReport(std::string_view S);
+
+/// Replaces every occurrence of \p From in \p S with \p To.
+std::string replaceAll(std::string_view S, std::string_view From,
+                       std::string_view To);
+
+} // namespace wr
+
+#endif // WEBRACER_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,49 @@
+//===- webracer/Session.cpp - One detection run over one page -----------------===//
+
+#include "webracer/Session.h"
+
+using namespace wr;
+using namespace wr::webracer;
+
+Session::Session(SessionOptions Options) : Opts(Options) {
+  B = std::make_unique<rt::Browser>(Opts.Browser);
+  B->hb().setUseVectorClocks(Opts.UseVectorClocks);
+  D = std::make_unique<detect::RaceDetector>(B->hb(), Opts.Detector);
+  B->addSink(D.get());
+  if (Opts.RecordTrace) {
+    Trace = std::make_unique<TraceRecorder>();
+    B->addSink(Trace.get());
+  }
+}
+
+Session::~Session() = default;
+
+detect::DispatchCountFn Session::dispatchCounts() {
+  rt::Browser *Browser = B.get();
+  return [Browser](const EventHandlerLoc &Loc) {
+    return Browser->dispatchCount(
+        rt::TargetKey{Loc.Target, Loc.TargetObject}, Loc.EventType);
+  };
+}
+
+SessionResult Session::run(const std::string &Url) {
+  B->loadPage(Url);
+  B->runToQuiescence();
+
+  SessionResult Result;
+  if (Opts.AutoExplore) {
+    explore::Explorer E(*B, Opts.Explore);
+    Result.Explore = E.run();
+  }
+
+  Result.RawRaces = D->races();
+  Result.FilteredRaces =
+      detect::applyPaperFilters(Result.RawRaces, dispatchCounts());
+  Result.Operations = B->hb().numOperations();
+  Result.HbEdges = B->hb().numEdges();
+  Result.ChcQueries = D->chcQueries();
+  Result.Crashes = B->crashLog();
+  Result.Alerts = B->alerts();
+  Result.ParseErrors = B->parseErrorLog();
+  return Result;
+}

@@ -1,0 +1,93 @@
+//===- webracer/Session.h - One detection run over one page -----*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level API: a Session wires a simulated browser, the race
+/// detector, and automatic exploration into one run over one page, and
+/// returns raw and filtered race reports with run statistics. This is the
+/// WEBRACER tool of the paper's Section 5 as a library.
+///
+/// Typical use:
+/// \code
+///   webracer::SessionOptions Opts;
+///   webracer::Session S(Opts);
+///   S.network().addResource("index.html", Html, 10);
+///   webracer::SessionResult R = S.run("index.html");
+///   for (const auto &Race : R.FilteredRaces) ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_WEBRACER_SESSION_H
+#define WEBRACER_WEBRACER_SESSION_H
+
+#include "detect/Filters.h"
+#include "detect/RaceDetector.h"
+#include "detect/Report.h"
+#include "explore/Explorer.h"
+#include "runtime/Browser.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wr::webracer {
+
+/// Options for a full detection run.
+struct SessionOptions {
+  rt::BrowserOptions Browser;
+  detect::DetectorOptions Detector;
+  explore::ExploreOptions Explore;
+  /// Run automatic exploration after load (Sec. 5.2.2).
+  bool AutoExplore = true;
+  /// Use the vector-clock HB representation instead of graph DFS.
+  bool UseVectorClocks = false;
+  /// Record the full instrumentation trace (debugging; costs memory).
+  bool RecordTrace = false;
+};
+
+/// Everything a run produced.
+struct SessionResult {
+  std::vector<detect::Race> RawRaces;
+  std::vector<detect::Race> FilteredRaces; ///< After Sec. 5.3 filters.
+  explore::ExploreStats Explore;
+  size_t Operations = 0;
+  size_t HbEdges = 0;
+  uint64_t ChcQueries = 0;
+  std::vector<std::string> Crashes;
+  std::vector<std::string> Alerts;
+  std::vector<std::string> ParseErrors;
+};
+
+/// One detection run over one page. Construct, register resources on
+/// network(), then run().
+class Session {
+public:
+  explicit Session(SessionOptions Opts = SessionOptions());
+  ~Session();
+
+  rt::NetworkSimulator &network() { return B->network(); }
+  rt::Browser &browser() { return *B; }
+  detect::RaceDetector &detector() { return *D; }
+  const TraceRecorder *trace() const { return Trace.get(); }
+
+  /// Loads \p Url, explores (if configured), and collects results.
+  SessionResult run(const std::string &Url);
+
+  /// The dispatch-count callback for the single-dispatch filter, bound to
+  /// this session's browser.
+  detect::DispatchCountFn dispatchCounts();
+
+private:
+  SessionOptions Opts;
+  std::unique_ptr<rt::Browser> B;
+  std::unique_ptr<detect::RaceDetector> D;
+  std::unique_ptr<TraceRecorder> Trace;
+};
+
+} // namespace wr::webracer
+
+#endif // WEBRACER_WEBRACER_SESSION_H

@@ -1,0 +1,37 @@
+//===- webracer/WebRacer.h - Umbrella header --------------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella header: everything a WebRacer user needs.
+///
+///  * webracer::Session / SessionOptions / SessionResult - run detection
+///    over a page (webracer/Session.h).
+///  * rt::Browser - the simulated engine, for fine-grained driving
+///    (runtime/Browser.h).
+///  * detect::RaceDetector, detect::Race, filters, reports
+///    (detect/*.h).
+///  * explore::Explorer - automatic user-interaction exploration
+///    (explore/Explorer.h).
+///  * sites:: - the synthetic Fortune-100 corpus used by the benchmarks
+///    (sites/*.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_WEBRACER_WEBRACER_H
+#define WEBRACER_WEBRACER_WEBRACER_H
+
+#include "detect/Filters.h"
+#include "detect/RaceDetector.h"
+#include "detect/Report.h"
+#include "explore/Explorer.h"
+#include "hb/HbGraph.h"
+#include "runtime/Browser.h"
+#include "sites/Corpus.h"
+#include "sites/CorpusRunner.h"
+#include "webracer/Harm.h"
+#include "webracer/Session.h"
+
+#endif // WEBRACER_WEBRACER_WEBRACER_H

@@ -1,0 +1,352 @@
+//===- tests/bindings_test.cpp - DOM/BOM host binding tests --------------------===//
+//
+// Exercises the JS-visible browser surface: element properties,
+// attributes, DOM mutation from scripts, style objects, collections,
+// window/document relations, XHR, and the Image preload idiom.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Browser.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+using namespace wr::rt;
+
+namespace {
+
+class BindingsTest : public ::testing::Test {
+protected:
+  BindingsTest() : B(BrowserOptions()) {}
+
+  void load(const std::string &Html,
+            std::vector<std::pair<std::string, std::string>> Resources =
+                {}) {
+    B.network().addResource("index.html", Html, 10);
+    for (auto &[Url, Body] : Resources)
+      B.network().addResource(Url, Body, 500);
+    B.loadPage("index.html");
+    B.runToQuiescence();
+  }
+
+  std::string global(const std::string &Name) {
+    js::Value *V = B.interp().globalEnv()->findOwn(Name);
+    return V ? js::toDisplayString(*V) : "<undeclared>";
+  }
+
+  Browser B;
+};
+
+TEST_F(BindingsTest, ElementIdentityProperties) {
+  load("<div id=\"d\" class=\"big red\" title=\"tip\"></div>"
+       "<script>"
+       "var e = document.getElementById('d');"
+       "var r = e.id + '/' + e.tagName + '/' + e.className + '/' +"
+       "  e.title;"
+       "</script>");
+  EXPECT_EQ(global("r"), "d/DIV/big red/tip");
+}
+
+TEST_F(BindingsTest, GetSetRemoveAttribute) {
+  load("<div id=\"d\" data-x=\"1\"></div>"
+       "<script>"
+       "var e = document.getElementById('d');"
+       "var before = e.getAttribute('data-x');"
+       "e.setAttribute('data-x', '2');"
+       "var after = e.getAttribute('data-x');"
+       "e.removeAttribute('data-x');"
+       "var gone = e.getAttribute('data-x') === null;"
+       "var missing = e.getAttribute('nope') === null;"
+       "</script>");
+  EXPECT_EQ(global("before"), "1");
+  EXPECT_EQ(global("after"), "2");
+  EXPECT_EQ(global("gone"), "true");
+  EXPECT_EQ(global("missing"), "true");
+}
+
+TEST_F(BindingsTest, ParentAndChildren) {
+  load("<div id=\"p\"><em id=\"c1\"></em><em id=\"c2\"></em></div>"
+       "<script>"
+       "var p = document.getElementById('p');"
+       "var sameParent = document.getElementById('c1').parentNode === p;"
+       "var kids = p.childNodes.length;"
+       "var first = p.firstChild.id;"
+       "var last = p.lastChild.id;"
+       "</script>");
+  EXPECT_EQ(global("sameParent"), "true");
+  EXPECT_EQ(global("kids"), "2");
+  EXPECT_EQ(global("first"), "c1");
+  EXPECT_EQ(global("last"), "c2");
+}
+
+TEST_F(BindingsTest, CreateAppendRemove) {
+  load("<script>"
+       "var d = document.createElement('section');"
+       "d.id = 'fresh';"
+       "var detached = document.getElementById('fresh') === null;"
+       "document.body.appendChild(d);"
+       "var attached = document.getElementById('fresh') !== null;"
+       "document.body.removeChild(d);"
+       "var removed = document.getElementById('fresh') === null;"
+       "</script>");
+  EXPECT_EQ(global("detached"), "true");
+  EXPECT_EQ(global("attached"), "true");
+  EXPECT_EQ(global("removed"), "true");
+}
+
+TEST_F(BindingsTest, InsertBeforePositionsChild) {
+  load("<div id=\"p\"><em id=\"b\"></em></div>"
+       "<script>"
+       "var p = document.getElementById('p');"
+       "var a = document.createElement('em');"
+       "a.id = 'a';"
+       "p.insertBefore(a, document.getElementById('b'));"
+       "var order = p.firstChild.id + p.lastChild.id;"
+       "</script>");
+  EXPECT_EQ(global("order"), "ab");
+}
+
+TEST_F(BindingsTest, AppendChildErrors) {
+  load("<script>"
+       "var caught = '';"
+       "try { document.body.appendChild(null); }"
+       "catch (e) { caught = e.name; }"
+       "var cycle = '';"
+       "var d = document.createElement('div');"
+       "document.body.appendChild(d);"
+       "try { d.appendChild(document.body); }"
+       "catch (e) { cycle = e.name; }"
+       "</script>");
+  EXPECT_EQ(global("caught"), "TypeError");
+  EXPECT_EQ(global("cycle"), "HierarchyRequestError");
+}
+
+TEST_F(BindingsTest, Collections) {
+  load("<img src=\"a.png\" /><img src=\"b.png\" />"
+       "<form></form>"
+       "<a href=\"x\">l</a>"
+       "<script>"
+       "var counts = document.images.length + '/' +"
+       "  document.forms.length + '/' + document.links.length + '/' +"
+       "  document.scripts.length;"
+       "</script>",
+      {{"a.png", "P"}, {"b.png", "P"}});
+  EXPECT_EQ(global("counts"), "2/1/1/1");
+}
+
+TEST_F(BindingsTest, GetElementsByTagAndName) {
+  load("<p></p><p></p>"
+       "<input name=\"q\" /><input name=\"q\" />"
+       "<div id=\"scope\"><p></p></div>"
+       "<script>"
+       "var tags = document.getElementsByTagName('p').length;"
+       "var named = document.getElementsByName('q').length;"
+       "var scoped = document.getElementById('scope')"
+       "  .getElementsByTagName('p').length;"
+       "</script>");
+  EXPECT_EQ(global("tags"), "3");
+  EXPECT_EQ(global("named"), "2");
+  EXPECT_EQ(global("scoped"), "1");
+}
+
+TEST_F(BindingsTest, DocumentRelations) {
+  load("<script>"
+       "var r = (document.body.parentNode === document.documentElement)"
+       "  + '/' + (window.document === document)"
+       "  + '/' + (window === window.self)"
+       "  + '/' + document.readyState;"
+       "</script>");
+  EXPECT_EQ(global("r"), "true/true/true/loading");
+}
+
+TEST_F(BindingsTest, ReadyStateProgression) {
+  load("<script>"
+       "var states = [document.readyState];"
+       "document.addEventListener('DOMContentLoaded', function() {"
+       "  states.push(document.readyState); });"
+       "window.addEventListener('load', function() {"
+       "  states.push(document.readyState); });"
+       "</script>");
+  EXPECT_EQ(global("states"), "loading,interactive,complete");
+}
+
+TEST_F(BindingsTest, StyleObjectIsCachedPerElement) {
+  load("<div id=\"d\" style=\"color: blue\"></div>"
+       "<script>"
+       "var e = document.getElementById('d');"
+       "var same = e.style === e.style;"
+       "e.style.color = 'green';"
+       "var color = e.style.color;"
+       "</script>");
+  EXPECT_EQ(global("same"), "true");
+  EXPECT_EQ(global("color"), "green");
+}
+
+TEST_F(BindingsTest, InnerHtmlRoundTrip) {
+  load("<div id=\"host\"></div>"
+       "<script>"
+       "var h = document.getElementById('host');"
+       "h.innerHTML = '<span id=\"kid\">text</span>';"
+       "var html = h.innerHTML;"
+       "h.innerHTML = '';"
+       "var cleared = document.getElementById('kid') === null;"
+       "</script>");
+  EXPECT_EQ(global("html"), "<span id=\"kid\">text</span>");
+  EXPECT_EQ(global("cleared"), "true");
+}
+
+TEST_F(BindingsTest, FormValueAndChecked) {
+  load("<input id=\"t\" type=\"text\" value=\"init\" />"
+       "<input id=\"c\" type=\"checkbox\" />"
+       "<script>"
+       "var t = document.getElementById('t');"
+       "var v0 = t.value;"
+       "t.value = 'changed';"
+       "var v1 = t.value;"
+       "var c = document.getElementById('c');"
+       "var c0 = c.checked;"
+       "c.checked = true;"
+       "var c1 = c.checked;"
+       "</script>");
+  EXPECT_EQ(global("v0"), "init");
+  EXPECT_EQ(global("v1"), "changed");
+  EXPECT_EQ(global("c0"), "false");
+  EXPECT_EQ(global("c1"), "true");
+}
+
+TEST_F(BindingsTest, ExpandoProperties) {
+  load("<div id=\"d\"></div>"
+       "<script>"
+       "var e = document.getElementById('d');"
+       "e.customData = {count: 3};"
+       "var back = document.getElementById('d').customData.count;"
+       "</script>");
+  EXPECT_EQ(global("back"), "3");
+}
+
+TEST_F(BindingsTest, ImagePreloadIdiom) {
+  load("<script>"
+       "var img = new Image();"
+       "img.onload = function() { window.preloaded = true; };"
+       "img.src = 'big.png';"
+       "</script>",
+      {{"big.png", "PNG"}});
+  js::Value *V =
+      B.mainWindow()->windowObject()->findOwnProperty("preloaded");
+  ASSERT_NE(V, nullptr);
+  EXPECT_TRUE(V->isBool() && V->asBool());
+}
+
+TEST_F(BindingsTest, ImageErrorEvent) {
+  load("<script>"
+       "var img = new Image();"
+       "img.onerror = function() { window.failed = true; };"
+       "img.src = 'missing.png';"
+       "</script>");
+  js::Value *V =
+      B.mainWindow()->windowObject()->findOwnProperty("failed");
+  ASSERT_NE(V, nullptr);
+  EXPECT_TRUE(V->isBool() && V->asBool());
+}
+
+TEST_F(BindingsTest, XhrStates) {
+  load("<script>"
+       "var xhr = new XMLHttpRequest();"
+       "var s0 = xhr.readyState;"
+       "xhr.open('GET', 'd.txt');"
+       "var s1 = xhr.readyState;"
+       "xhr.onreadystatechange = function() {"
+       "  window.finalState = xhr.readyState;"
+       "  window.status = xhr.status;"
+       "  window.body = xhr.responseText;"
+       "};"
+       "xhr.send();"
+       "</script>",
+      {{"d.txt", "hello"}});
+  EXPECT_EQ(global("s0"), "0");
+  EXPECT_EQ(global("s1"), "1");
+  js::Object *W = B.mainWindow()->windowObject();
+  EXPECT_DOUBLE_EQ(W->findOwnProperty("finalState")->asNumber(), 4);
+  EXPECT_DOUBLE_EQ(W->findOwnProperty("status")->asNumber(), 200);
+  EXPECT_EQ(W->findOwnProperty("body")->asString(), "hello");
+}
+
+TEST_F(BindingsTest, XhrMissingResource404) {
+  load("<script>"
+       "var xhr = new XMLHttpRequest();"
+       "xhr.open('GET', 'gone.txt');"
+       "xhr.onreadystatechange = function() {"
+       "  window.code = xhr.status; };"
+       "xhr.send();"
+       "</script>");
+  js::Object *W = B.mainWindow()->windowObject();
+  EXPECT_DOUBLE_EQ(W->findOwnProperty("code")->asNumber(), 404);
+}
+
+TEST_F(BindingsTest, RemoveEventListener) {
+  load("<div id=\"d\"></div>"
+       "<script>"
+       "var n = 0;"
+       "function onHover() { n++; }"
+       "var d = document.getElementById('d');"
+       "d.addEventListener('mouseover', onHover);"
+       "</script>");
+  Element *E = B.mainWindow()->document().getElementById("d");
+  B.userEvent(E, "mouseover");
+  B.runToQuiescence();
+  EXPECT_EQ(global("n"), "1");
+  // Remove and re-dispatch.
+  B.network().addResource("x.js", "", 10);
+  Browser &Ref = B;
+  (void)Ref;
+  // Run removal through script.
+  js::Value *Fn = B.interp().globalEnv()->findOwn("onHover");
+  ASSERT_NE(Fn, nullptr);
+  B.removeListener(TargetKey{E->id(), 0}, "mouseover", *Fn);
+  B.userEvent(E, "mouseover");
+  B.runToQuiescence();
+  EXPECT_EQ(global("n"), "1");
+}
+
+TEST_F(BindingsTest, OnPropertyReadBack) {
+  load("<div id=\"d\"></div>"
+       "<script>"
+       "var d = document.getElementById('d');"
+       "var empty = d.onclick == null;"
+       "d.onclick = function() { return 1; };"
+       "var isFn = typeof d.onclick == 'function';"
+       "</script>");
+  EXPECT_EQ(global("empty"), "true");
+  EXPECT_EQ(global("isFn"), "true");
+}
+
+TEST_F(BindingsTest, FramesAndParentWindow) {
+  B.network().addResource("index.html",
+                          "<iframe id=\"f\" src=\"n.html\"></iframe>"
+                          "<script>window.mainMark = 'main';</script>",
+                          10);
+  B.network().addResource(
+      "n.html",
+      "<script>window.sawParent = window.parent === window.top;</script>",
+      200);
+  B.loadPage("index.html");
+  B.runToQuiescence();
+  // Nested script ran; frames share the JS global scope.
+  ASSERT_EQ(B.windows().size(), 2u);
+  EXPECT_NE(
+      B.mainWindow()->windowObject()->findOwnProperty("mainMark"),
+      nullptr);
+}
+
+TEST_F(BindingsTest, ConsoleAndConfirm) {
+  load("<script>"
+       "console.log('a', 1, true);"
+       "console.warn('w');"
+       "var ok = confirm('sure?');"
+       "</script>");
+  ASSERT_EQ(B.consoleLog().size(), 2u);
+  EXPECT_EQ(B.consoleLog()[0], "a 1 true");
+  EXPECT_EQ(global("ok"), "true");
+}
+
+} // namespace

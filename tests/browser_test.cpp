@@ -1,0 +1,743 @@
+//===- tests/browser_test.cpp - end-to-end browser + detector tests ----------===//
+//
+// These tests drive full page loads through the simulated engine and check
+// both browser behavior (script execution, event ordering) and the races
+// the detector reports - including each motivating example of the paper's
+// Section 2 (Figures 1-5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Filters.h"
+#include "detect/RaceDetector.h"
+#include "detect/Report.h"
+#include "runtime/Browser.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+using namespace wr::rt;
+using namespace wr::detect;
+
+namespace {
+
+class BrowserTest : public ::testing::Test {
+protected:
+  BrowserTest() { reset(BrowserOptions()); }
+
+  void reset(BrowserOptions Opts) {
+    B = std::make_unique<Browser>(Opts);
+    D = std::make_unique<RaceDetector>(B->hb());
+    B->addSink(D.get());
+  }
+
+  /// Registers index.html plus auxiliary resources, loads, runs to
+  /// quiescence.
+  void load(const std::string &Html,
+            std::vector<std::pair<std::string, std::string>> Resources = {},
+            VirtualTime AuxLatency = 1000) {
+    B->network().addResource("index.html", Html, 10);
+    for (auto &[Url, Body] : Resources)
+      B->network().addResource(Url, Body, AuxLatency);
+    B->loadPage("index.html");
+    B->runToQuiescence();
+  }
+
+  /// Value of a global variable as a display string.
+  std::string global(const std::string &Name) {
+    js::Value *V = B->interp().globalEnv()->findOwn(Name);
+    return V ? js::toDisplayString(*V) : "<undeclared>";
+  }
+
+  Element *byId(const std::string &Id) {
+    return B->mainWindow()->document().getElementById(Id);
+  }
+
+  std::unique_ptr<Browser> B;
+  std::unique_ptr<RaceDetector> D;
+};
+
+// ---------------------------------------------------------------------------
+// Basic engine behavior
+// ---------------------------------------------------------------------------
+
+TEST_F(BrowserTest, InlineScriptRuns) {
+  load("<script>var x = 40 + 2;</script>");
+  EXPECT_EQ(global("x"), "42");
+  EXPECT_TRUE(B->mainWindow()->loadFired());
+  EXPECT_TRUE(B->crashLog().empty());
+}
+
+TEST_F(BrowserTest, ScriptsSeeEarlierDom) {
+  load("<div id=\"box\"></div>"
+       "<script>var found = document.getElementById('box') != null;"
+       "var missing = document.getElementById('later') == null;</script>"
+       "<div id=\"later\"></div>");
+  EXPECT_EQ(global("found"), "true");
+  EXPECT_EQ(global("missing"), "true"); // Not yet parsed when script ran.
+}
+
+TEST_F(BrowserTest, SyncExternalScriptBlocksParsing) {
+  load("<script src=\"lib.js\"></script>"
+       "<script>var seen = libValue;</script>",
+      {{"lib.js", "var libValue = 123;"}});
+  EXPECT_EQ(global("seen"), "123");
+}
+
+TEST_F(BrowserTest, DeferredScriptsRunInOrderAfterParsing) {
+  load("<script src=\"d1.js\" defer=\"true\"></script>"
+       "<script src=\"d2.js\" defer=\"true\"></script>"
+       "<div id=\"marker\"></div>"
+       "<script>var order = '';</script>",
+      {{"d1.js", "order += 'a' + (document.getElementById('marker') != null "
+                 "? '1' : '0');"},
+       {"d2.js", "order += 'b';"}});
+  // d2 arrives before d1 (same latency, but order must still be d1, d2);
+  // both run after the static DOM is complete.
+  EXPECT_EQ(global("order"), "a1b");
+}
+
+TEST_F(BrowserTest, DeferredScriptsPreserveOrderWhenArrivalsFlip) {
+  B->network().addResource("index.html",
+                           "<script src=\"d1.js\" defer=\"true\"></script>"
+                           "<script src=\"d2.js\" defer=\"true\"></script>"
+                           "<script>var order = '';</script>",
+                           10);
+  B->network().addResource("d1.js", "order += '1';", 5000);
+  B->network().addResource("d2.js", "order += '2';", 100);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  EXPECT_EQ(global("order"), "12");
+}
+
+TEST_F(BrowserTest, AsyncScriptRuns) {
+  load("<script src=\"a.js\" async=\"true\"></script>"
+       "<script>var x = 1;</script>",
+      {{"a.js", "var asyncRan = true;"}});
+  EXPECT_EQ(global("asyncRan"), "true");
+}
+
+TEST_F(BrowserTest, DomContentLoadedAndLoadOrder) {
+  load("<script>"
+       "var log = '';"
+       "document.addEventListener('DOMContentLoaded', function() {"
+       "  log += 'dcl(' + document.readyState + ')';"
+       "});"
+       "window.addEventListener('load', function() {"
+       "  log += ' load';"
+       "});"
+       "</script>"
+       "<img src=\"pic.png\" />",
+      {{"pic.png", "PNG"}});
+  EXPECT_EQ(global("log"), "dcl(interactive) load");
+}
+
+TEST_F(BrowserTest, ImgDelaysWindowLoad) {
+  load("<img src=\"slow.png\" onload=\"window.imgDone = true;\" />"
+       "<script>window.addEventListener('load', function() {"
+       "  window.sawImgAtLoad = window.imgDone;"
+       "});</script>",
+      {{"slow.png", "PNG"}}, /*AuxLatency=*/5000);
+  // The window load event must come after the image load (rule 15).
+  js::Value *V = B->mainWindow()->windowObject()->findOwnProperty(
+      "sawImgAtLoad");
+  ASSERT_NE(V, nullptr);
+  EXPECT_TRUE(V->isBool() && V->asBool());
+}
+
+TEST_F(BrowserTest, TimersFireInOrder) {
+  load("<script>"
+       "var log = '';"
+       "setTimeout(function() { log += 'b'; }, 20);"
+       "setTimeout(function() { log += 'a'; }, 10);"
+       "setTimeout('log += \"s\";', 30);"
+       "</script>");
+  EXPECT_EQ(global("log"), "abs");
+}
+
+TEST_F(BrowserTest, IntervalRunsAndClears) {
+  load("<script>"
+       "var n = 0;"
+       "var id = setInterval(function() {"
+       "  n++;"
+       "  if (n >= 3) clearInterval(id);"
+       "}, 10);"
+       "</script>");
+  EXPECT_EQ(global("n"), "3");
+}
+
+TEST_F(BrowserTest, ClearTimeoutPreventsCallback) {
+  load("<script>"
+       "var ran = false;"
+       "var id = setTimeout(function() { ran = true; }, 10);"
+       "clearTimeout(id);"
+       "</script>");
+  EXPECT_EQ(global("ran"), "false");
+}
+
+TEST_F(BrowserTest, XhrDeliversResponse) {
+  load("<script>"
+       "var got = '';"
+       "var xhr = new XMLHttpRequest();"
+       "xhr.open('GET', 'data.json');"
+       "xhr.onreadystatechange = function() {"
+       "  if (xhr.readyState == 4) got = xhr.responseText;"
+       "};"
+       "xhr.send();"
+       "</script>",
+      {{"data.json", "{\"v\":7}"}});
+  EXPECT_EQ(global("got"), "{\"v\":7}");
+}
+
+TEST_F(BrowserTest, DynamicScriptInsertionExecutes) {
+  load("<script>"
+       "var s = document.createElement('script');"
+       "s.src = 'late.js';"
+       "document.body.appendChild(s);"
+       "</script>",
+      {{"late.js", "var lateRan = true;"}});
+  EXPECT_EQ(global("lateRan"), "true");
+}
+
+TEST_F(BrowserTest, InnerHtmlParsesFragment) {
+  load("<div id=\"host\"></div>"
+       "<script>"
+       "document.getElementById('host').innerHTML ="
+       "  '<span id=\"child\">hi</span>';"
+       "var childOk = document.getElementById('child') != null;"
+       "</script>");
+  EXPECT_EQ(global("childOk"), "true");
+}
+
+TEST_F(BrowserTest, EventCaptureTargetBubbleOrder) {
+  load("<div id=\"outer\"><button id=\"btn\"></button></div>"
+       "<script>"
+       "var log = '';"
+       "var outer = document.getElementById('outer');"
+       "var btn = document.getElementById('btn');"
+       "outer.addEventListener('click', function() { log += 'C'; }, true);"
+       "outer.addEventListener('click', function() { log += 'B'; }, false);"
+       "btn.addEventListener('click', function() { log += 'T'; });"
+       "btn.onclick = function() { log += 's'; };"
+       "</script>");
+  B->userClick(byId("btn"));
+  B->runToQuiescence();
+  // Capture on outer, then target (slot first), then bubble on outer.
+  EXPECT_EQ(global("log"), "CsTB");
+}
+
+TEST_F(BrowserTest, InlineDispatchSplitsOperation) {
+  TraceRecorder Trace;
+  B->addSink(&Trace);
+  load("<button id=\"b\" onclick=\"window.clicked = true;\"></button>"
+       "<script>document.getElementById('b').click(); var after = 1;"
+       "</script>");
+  js::Value *V =
+      B->mainWindow()->windowObject()->findOwnProperty("clicked");
+  ASSERT_NE(V, nullptr);
+  EXPECT_TRUE(V->isBool() && V->asBool());
+  // A ScriptSlice operation must exist (Appendix A splitting).
+  bool SawSlice = false;
+  for (size_t Op = 1; Op <= B->hb().numOperations(); ++Op)
+    if (B->hb().operation(static_cast<OpId>(Op)).Kind ==
+        OperationKind::ScriptSlice)
+      SawSlice = true;
+  EXPECT_TRUE(SawSlice);
+}
+
+TEST_F(BrowserTest, UncaughtExceptionTerminatesOperationOnly) {
+  load("<script>nonexistentFunction();</script>"
+       "<script>var second = 'ran';</script>");
+  EXPECT_EQ(global("second"), "ran"); // Hidden crash (Sec. 2.3).
+  ASSERT_EQ(B->crashLog().size(), 1u);
+  EXPECT_NE(B->crashLog()[0].find("ReferenceError"), std::string::npos);
+}
+
+TEST_F(BrowserTest, CrashPreservesPriorMutations) {
+  // Sec. 2.3: mutations before the crash persist.
+  load("<script>var state = 'before'; state = 'mutated';"
+       "null.x = 1; state = 'after';</script>");
+  EXPECT_EQ(global("state"), "mutated");
+}
+
+TEST_F(BrowserTest, JavascriptLinkDefaultAction) {
+  load("<a id=\"go\" href=\"javascript:window.navigated = true;\">go</a>");
+  B->userClick(byId("go"));
+  B->runToQuiescence();
+  js::Value *V =
+      B->mainWindow()->windowObject()->findOwnProperty("navigated");
+  ASSERT_NE(V, nullptr);
+  EXPECT_TRUE(V->isBool() && V->asBool());
+}
+
+TEST_F(BrowserTest, EvalRunsInGlobalScope) {
+  load("<script>"
+       "var r = eval('var evald = 20; evald + 22');"
+       "var viaEval = evald;"
+       "</script>");
+  EXPECT_EQ(global("r"), "42");
+  EXPECT_EQ(global("viaEval"), "20");
+  EXPECT_TRUE(B->crashLog().empty());
+}
+
+TEST_F(BrowserTest, EvalAccessesAreInstrumented) {
+  // Accesses inside eval'd code feed the detector like any others
+  // (Sec. 1: the dynamic approach "simply observes" eval).
+  load("<script>"
+       "setTimeout(function() { eval('evalShared = 1;'); }, 10);"
+       "setTimeout(function() { eval('var v = evalShared;'); }, 20);"
+       "</script>");
+  bool Found = false;
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<JSVarLoc>(&R.Loc);
+    if (Loc && Loc->Name == "evalShared")
+      Found = true;
+  }
+  EXPECT_TRUE(Found) << describeRaces(D->races(), B->hb());
+}
+
+TEST_F(BrowserTest, EvalSyntaxErrorThrows) {
+  load("<script>"
+       "var caught = '';"
+       "try { eval('%%%'); } catch (e) { caught = e.name; }"
+       "</script>");
+  EXPECT_EQ(global("caught"), "SyntaxError");
+}
+
+TEST_F(BrowserTest, DocumentWriteAppends) {
+  load("<script>document.write('<div id=\"written\">hi</div>');"
+       "var found = document.getElementById('written') != null;"
+       "</script>");
+  EXPECT_EQ(global("found"), "true");
+}
+
+TEST_F(BrowserTest, DocumentWriteInlineScriptRuns) {
+  load("<script>"
+       "document.write('<script>var wrote = 5;</scr' + 'ipt>');"
+       "</script>");
+  EXPECT_EQ(global("wrote"), "5");
+}
+
+TEST_F(BrowserTest, DateUsesVirtualClock) {
+  load("<script>"
+       "var t0 = Date.now();"
+       "setTimeout(function() {"
+       "  window.elapsed = new Date().getTime() - t0;"
+       "}, 25);"
+       "</script>");
+  js::Value *V =
+      B->mainWindow()->windowObject()->findOwnProperty("elapsed");
+  ASSERT_NE(V, nullptr);
+  EXPECT_GE(V->asNumber(), 25.0); // Virtual milliseconds.
+  EXPECT_LT(V->asNumber(), 100.0);
+}
+
+TEST_F(BrowserTest, AlertCollected) {
+  load("<script>alert('hello ' + 1);</script>");
+  ASSERT_EQ(B->alerts().size(), 1u);
+  EXPECT_EQ(B->alerts()[0], "hello 1");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: variable race via two iframes
+// ---------------------------------------------------------------------------
+
+TEST_F(BrowserTest, Fig1VariableRace) {
+  B->network().addResource("index.html",
+                           "<script>x = 1;</script>"
+                           "<iframe src=\"a.html\"></iframe>"
+                           "<iframe src=\"b.html\"></iframe>",
+                           10);
+  B->network().addResource("a.html", "<script>x = 2;</script>", 1000);
+  B->network().addResource("b.html", "<script>alert(x);</script>", 2000);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+
+  // Behavior: with a.html faster, b sees 2.
+  ASSERT_EQ(B->alerts().size(), 1u);
+  EXPECT_EQ(B->alerts()[0], "2");
+
+  // Exactly one variable race, on global x: a's write vs b's read. The
+  // initial write x=1 does NOT race (it precedes both iframes).
+  std::vector<Race> VarRaces;
+  for (const Race &R : D->races())
+    if (R.Kind == RaceKind::Variable)
+      VarRaces.push_back(R);
+  ASSERT_EQ(VarRaces.size(), 1u);
+  const auto *Loc = std::get_if<JSVarLoc>(&VarRaces[0].Loc);
+  ASSERT_NE(Loc, nullptr);
+  EXPECT_EQ(Loc->Name, "x");
+  EXPECT_EQ(Loc->Container, 0u); // Global scope.
+  EXPECT_EQ(VarRaces[0].First.Kind, AccessKind::Write);
+  EXPECT_EQ(VarRaces[0].Second.Kind, AccessKind::Read);
+}
+
+TEST_F(BrowserTest, Fig1OppositeOrderStillRaces) {
+  // Flip the latencies: b.html runs first and alerts 1; the race is
+  // detected regardless of the observed order.
+  B->network().addResource("index.html",
+                           "<script>x = 1;</script>"
+                           "<iframe src=\"a.html\"></iframe>"
+                           "<iframe src=\"b.html\"></iframe>",
+                           10);
+  B->network().addResource("a.html", "<script>x = 2;</script>", 2000);
+  B->network().addResource("b.html", "<script>alert(x);</script>", 1000);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  ASSERT_EQ(B->alerts().size(), 1u);
+  EXPECT_EQ(B->alerts()[0], "1");
+  size_t VarRaces = 0;
+  for (const Race &R : D->races())
+    if (R.Kind == RaceKind::Variable)
+      ++VarRaces;
+  EXPECT_EQ(VarRaces, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: Southwest form-field race
+// ---------------------------------------------------------------------------
+
+TEST_F(BrowserTest, Fig2FormFieldRace) {
+  load("<input type=\"text\" id=\"depart\" />"
+       "<script>document.getElementById('depart').value ="
+       "  'City of Departure';</script>");
+  // Simulated user typing (the automatic exploration of Sec. 5.2.2).
+  B->userType(byId("depart"), "Boston");
+  B->runToQuiescence();
+
+  // A variable race on the field's value must be reported, and it
+  // involves a form field, so it survives the form filter.
+  std::vector<Race> Filtered = filterFormRaces(D->races());
+  bool Found = false;
+  for (const Race &R : Filtered) {
+    if (R.Kind != RaceKind::Variable)
+      continue;
+    const auto *Loc = std::get_if<JSVarLoc>(&R.Loc);
+    if (Loc && Loc->Name == "value")
+      Found = true;
+  }
+  EXPECT_TRUE(Found) << describeRaces(D->races(), B->hb());
+}
+
+TEST_F(BrowserTest, Fig2GuardedWriteFilteredOut) {
+  // A script that checks the field before writing (read-before-write in
+  // the same operation) is filtered as harmless (Sec. 5.3 refinement).
+  load("<input type=\"text\" id=\"q\" />"
+       "<script>"
+       "var f = document.getElementById('q');"
+       "if (f.value == '') { f.value = 'hint'; }"
+       "</script>");
+  B->userType(byId("q"), "user text");
+  B->runToQuiescence();
+  std::vector<Race> Filtered = filterFormRaces(D->races());
+  for (const Race &R : Filtered) {
+    const auto *Loc = std::get_if<JSVarLoc>(&R.Loc);
+    EXPECT_FALSE(R.Kind == RaceKind::Variable && Loc &&
+                 Loc->Name == "value" &&
+                 R.Second.Origin == AccessOrigin::FormFieldWrite)
+        << describeRace(R, B->hb());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: Valero HTML race
+// ---------------------------------------------------------------------------
+
+TEST_F(BrowserTest, Fig3HtmlRace) {
+  load("<script>"
+       "function show(emailTo) {"
+       "  var v = document.getElementById('dw');"
+       "  v.style.display = 'block';"
+       "}"
+       "</script>"
+       "<a id=\"send\" href=\"javascript:show('x@x.com')\">Send Email</a>"
+       "<p>lots of content</p>"
+       "<div id=\"dw\" style=\"display:none\"></div>");
+  B->userClick(byId("send"));
+  B->runToQuiescence();
+
+  // In this quiescent run the click came after parsing, so no crash...
+  EXPECT_TRUE(B->crashLog().empty());
+  EXPECT_EQ(byId("dw")->getAttribute("__style_display"), "block");
+  // ...but the HTML race on #dw is still detected: the lookup is
+  // unordered with the element's creation.
+  bool Found = false;
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<HtmlElemLoc>(&R.Loc);
+    if (R.Kind == RaceKind::Html && Loc && Loc->Key == "dw")
+      Found = true;
+  }
+  EXPECT_TRUE(Found) << describeRaces(D->races(), B->hb());
+}
+
+TEST_F(BrowserTest, Fig3CrashWhenClickWinsRace) {
+  // Drive the bad schedule directly: dispatch the click while parsing is
+  // suspended on a slow synchronous script, before #dw parses.
+  B->network().addResource(
+      "index.html",
+      "<script>"
+      "function show(emailTo) {"
+      "  var v = document.getElementById('dw');"
+      "  v.style.display = 'block';"
+      "}"
+      "</script>"
+      "<a id=\"send\" href=\"javascript:show('x@x.com')\">Send Email</a>"
+      "<script src=\"slow.js\"></script>"
+      "<div id=\"dw\" style=\"display:none\"></div>",
+      10);
+  B->network().addResource("slow.js", "var pad = 1;", 50000);
+  B->loadPage("index.html");
+  // Run until the link exists but parsing is still suspended.
+  while (B->loop().pendingTasks() > 0 && !byId("send"))
+    B->loop().runOne();
+  ASSERT_NE(byId("send"), nullptr);
+  ASSERT_EQ(byId("dw"), nullptr);
+  B->userClick(byId("send"));
+  B->runToQuiescence();
+  // The click crashed with a TypeError (null.style), invisible to the
+  // user (Sec. 2.3), and the race is reported.
+  ASSERT_FALSE(B->crashLog().empty());
+  EXPECT_NE(B->crashLog()[0].find("TypeError"), std::string::npos);
+  bool Found = false;
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<HtmlElemLoc>(&R.Loc);
+    if (R.Kind == RaceKind::Html && Loc && Loc->Key == "dw")
+      Found = true;
+  }
+  EXPECT_TRUE(Found);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: function race
+// ---------------------------------------------------------------------------
+
+TEST_F(BrowserTest, Fig4FunctionRace) {
+  B->network().addResource(
+      "index.html",
+      "<iframe id=\"i\" src=\"sub.html\""
+      " onload=\"setTimeout(doNextStep, 20)\"></iframe>"
+      "<script>function doNextStep() { window.stepDone = true; }</script>",
+      10);
+  B->network().addResource("sub.html", "<p>sub</p>", 500);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+
+  bool Found = false;
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<JSVarLoc>(&R.Loc);
+    if (R.Kind == RaceKind::Function && Loc && Loc->Name == "doNextStep")
+      Found = true;
+  }
+  EXPECT_TRUE(Found) << describeRaces(D->races(), B->hb());
+}
+
+TEST_F(BrowserTest, Fig4FixedByMovingScriptAbove) {
+  // The paper's fix: declare the function before the iframe; rule 1
+  // orders the declaration before the iframe's parse, hence before the
+  // timer creation.
+  B->network().addResource(
+      "index.html",
+      "<script>function doNextStep() { window.stepDone = true; }</script>"
+      "<iframe id=\"i\" src=\"sub.html\""
+      " onload=\"setTimeout(doNextStep, 20)\"></iframe>",
+      10);
+  B->network().addResource("sub.html", "<p>sub</p>", 500);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<JSVarLoc>(&R.Loc);
+    EXPECT_FALSE(R.Kind == RaceKind::Function && Loc &&
+                 Loc->Name == "doNextStep")
+        << describeRace(R, B->hb());
+  }
+  js::Value *V =
+      B->mainWindow()->windowObject()->findOwnProperty("stepDone");
+  ASSERT_NE(V, nullptr);
+  EXPECT_TRUE(V->isBool() && V->asBool());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: event dispatch race
+// ---------------------------------------------------------------------------
+
+TEST_F(BrowserTest, Fig5EventDispatchRace) {
+  B->network().addResource(
+      "index.html",
+      "<iframe id=\"i\" src=\"a.html\"></iframe>"
+      "<p>content between</p>"
+      "<script>document.getElementById('i').onload ="
+      "  function() { window.frameLoaded = true; };</script>",
+      10);
+  B->network().addResource("a.html", "<p>nested</p>", 2000);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+
+  bool Found = false;
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<EventHandlerLoc>(&R.Loc);
+    if (R.Kind == RaceKind::EventDispatch && Loc &&
+        Loc->EventType == "load")
+      Found = true;
+  }
+  EXPECT_TRUE(Found) << describeRaces(D->races(), B->hb());
+}
+
+TEST_F(BrowserTest, Fig5NoRaceWhenHandlerInTag) {
+  // Setting the handler in the tag itself is ordered by rule 8
+  // (create(T) -> dispatch): no race.
+  B->network().addResource(
+      "index.html",
+      "<iframe id=\"i\" src=\"a.html\""
+      " onload=\"window.frameLoaded = true;\"></iframe>",
+      10);
+  B->network().addResource("a.html", "<p>nested</p>", 2000);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  for (const Race &R : D->races())
+    EXPECT_NE(R.Kind, RaceKind::EventDispatch)
+        << describeRace(R, B->hb());
+  js::Value *V =
+      B->mainWindow()->windowObject()->findOwnProperty("frameLoaded");
+  ASSERT_NE(V, nullptr);
+  EXPECT_TRUE(V->isBool() && V->asBool());
+}
+
+// ---------------------------------------------------------------------------
+// Happens-before sanity via the detector (no false positives)
+// ---------------------------------------------------------------------------
+
+TEST_F(BrowserTest, NoRaceBetweenCreatorAndTimeoutCallback) {
+  load("<script>var x = 1;"
+       "setTimeout(function() { var y = x; x = 2; }, 10);</script>");
+  EXPECT_TRUE(D->races().empty()) << describeRaces(D->races(), B->hb());
+}
+
+TEST_F(BrowserTest, TwoTimeoutCallbacksRace) {
+  load("<script>"
+       "setTimeout(function() { window.shared = 1; }, 10);"
+       "setTimeout(function() { window.shared = 2; }, 20);"
+       "</script>");
+  bool Found = false;
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<JSVarLoc>(&R.Loc);
+    if (Loc && Loc->Name == "shared")
+      Found = true;
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST_F(BrowserTest, IntervalCallbacksAreOrdered) {
+  load("<script>"
+       "var n = 0;"
+       "var id = setInterval(function() { n++; if (n >= 5)"
+       " clearInterval(id); }, 10);"
+       "</script>");
+  EXPECT_EQ(global("n"), "5");
+  // Rule 17 orders cb_i -> cb_{i+1}: no race on n between callbacks.
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<JSVarLoc>(&R.Loc);
+    EXPECT_FALSE(Loc && Loc->Name == "n") << describeRace(R, B->hb());
+  }
+}
+
+TEST_F(BrowserTest, XhrHandlerOrderedAfterSend) {
+  load("<script>"
+       "var flag = 'set-before-send';"
+       "var xhr = new XMLHttpRequest();"
+       "xhr.open('GET', 'd.txt');"
+       "xhr.onreadystatechange = function() { var v = flag; };"
+       "xhr.send();"
+       "</script>",
+      {{"d.txt", "payload"}});
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<JSVarLoc>(&R.Loc);
+    EXPECT_FALSE(Loc && Loc->Name == "flag") << describeRace(R, B->hb());
+  }
+}
+
+TEST_F(BrowserTest, XhrRaceWithoutAjaxEdges) {
+  // Ablation: with rule-10 edges disabled (the paper's own
+  // implementation gap, Sec. 7), the same program reports a race.
+  BrowserOptions Opts;
+  Opts.EnableAjaxHbEdges = false;
+  reset(Opts);
+  load("<script>"
+       "var flag = 'set-before-send';"
+       "var xhr = new XMLHttpRequest();"
+       "xhr.open('GET', 'd.txt');"
+       "xhr.onreadystatechange = function() { var v = flag; };"
+       "xhr.send();"
+       "</script>",
+      {{"d.txt", "payload"}});
+  bool Found = false;
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<JSVarLoc>(&R.Loc);
+    if (Loc && Loc->Name == "flag")
+      Found = true;
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST_F(BrowserTest, SequentialScriptsDoNotRace) {
+  load("<script>var a = 1;</script>"
+       "<script>a = 2;</script>"
+       "<script>var b = a;</script>");
+  EXPECT_TRUE(D->races().empty()) << describeRaces(D->races(), B->hb());
+  EXPECT_EQ(global("b"), "2");
+}
+
+TEST_F(BrowserTest, FordPatternBenignHtmlRace) {
+  // The Ford polling pattern (Sec. 6.3): setTimeout re-checks for #last;
+  // when present, mutates other nodes. Reported as races (the detector
+  // has no data-dependence reasoning) but crash-free.
+  load("<script>"
+       "function addPopUp() {"
+       "  if (document.getElementById('last') != null) {"
+       "    document.getElementById('menu').style.display = 'block';"
+       "  } else { setTimeout(addPopUp, 250); }"
+       "}"
+       "addPopUp();"
+       "</script>"
+       "<div id=\"menu\" style=\"display:none\"></div>"
+       "<div id=\"last\"></div>");
+  EXPECT_TRUE(B->crashLog().empty());
+  size_t HtmlRaces = 0;
+  for (const Race &R : D->races())
+    if (R.Kind == RaceKind::Html)
+      ++HtmlRaces;
+  EXPECT_GE(HtmlRaces, 1u);
+  EXPECT_EQ(byId("menu")->getAttribute("__style_display"), "block");
+}
+
+TEST_F(BrowserTest, GomezPatternEventDispatchRace) {
+  // The Gomez monitor (Sec. 6.3): poll document.images every 10ms and
+  // attach onload handlers; images that load before the handler attaches
+  // produce harmful single-dispatch races.
+  load("<script>"
+       "var seen = {};"
+       "var polls = 0;"
+       "var id = setInterval(function() {"
+       "  polls++;"
+       "  var imgs = document.images;"
+       "  for (var i = 0; i < imgs.length; i++) {"
+       "    var im = imgs[i];"
+       "    if (!seen[im.id]) {"
+       "      seen[im.id] = true;"
+       "      im.onload = function() { window.lastLoaded = true; };"
+       "    }"
+       "  }"
+       "  if (polls > 10) clearInterval(id);"
+       "}, 10);"
+       "</script>"
+       "<img id=\"fast\" src=\"fast.png\" />",
+      {{"fast.png", "PNG"}}, /*AuxLatency=*/3000);
+  bool Found = false;
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<EventHandlerLoc>(&R.Loc);
+    if (R.Kind == RaceKind::EventDispatch && Loc &&
+        Loc->EventType == "load")
+      Found = true;
+  }
+  EXPECT_TRUE(Found) << describeRaces(D->races(), B->hb());
+}
+
+} // namespace

@@ -1,0 +1,223 @@
+//===- tests/dom_test.cpp - DOM tree tests ---------------------------------===//
+
+#include "dom/Dom.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+
+namespace {
+
+class DomTest : public ::testing::Test {
+protected:
+  DomTest() : Doc(1, NextNodeId) {}
+  uint32_t NextNodeId = 1;
+  Document Doc;
+};
+
+TEST_F(DomTest, SkeletonExists) {
+  ASSERT_NE(Doc.documentElement(), nullptr);
+  ASSERT_NE(Doc.head(), nullptr);
+  ASSERT_NE(Doc.body(), nullptr);
+  EXPECT_TRUE(Doc.body()->inDocument());
+  EXPECT_EQ(Doc.body()->parent(), Doc.documentElement());
+  EXPECT_EQ(Doc.documentElement()->tagName(), "html");
+}
+
+TEST_F(DomTest, CreateElementDetached) {
+  Element *E = Doc.createElement("DIV");
+  EXPECT_EQ(E->tagName(), "div"); // Lowercased.
+  EXPECT_FALSE(E->inDocument());
+  EXPECT_EQ(E->parent(), nullptr);
+}
+
+TEST_F(DomTest, NodeIdsUnique) {
+  Element *A = Doc.createElement("a");
+  Element *B = Doc.createElement("b");
+  EXPECT_NE(A->id(), B->id());
+}
+
+TEST_F(DomTest, AppendChildSetsInDocument) {
+  Element *E = Doc.createElement("div");
+  MutationResult R = Doc.appendChild(Doc.body(), E);
+  EXPECT_TRUE(R.Ok);
+  ASSERT_EQ(R.AffectedElements.size(), 1u);
+  EXPECT_EQ(R.AffectedElements[0], E);
+  EXPECT_TRUE(E->inDocument());
+  EXPECT_EQ(E->parent(), Doc.body());
+}
+
+TEST_F(DomTest, AppendSubtreeAffectsDescendants) {
+  Element *Parent = Doc.createElement("div");
+  Element *Child = Doc.createElement("span");
+  Doc.appendChild(Parent, Child);
+  EXPECT_FALSE(Child->inDocument());
+  MutationResult R = Doc.appendChild(Doc.body(), Parent);
+  EXPECT_EQ(R.AffectedElements.size(), 2u);
+  EXPECT_TRUE(Child->inDocument());
+}
+
+TEST_F(DomTest, RemoveChildClearsInDocument) {
+  Element *E = Doc.createElement("div");
+  Element *Kid = Doc.createElement("em");
+  Doc.appendChild(E, Kid);
+  Doc.appendChild(Doc.body(), E);
+  MutationResult R = Doc.removeChild(Doc.body(), E);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.AffectedElements.size(), 2u);
+  EXPECT_FALSE(E->inDocument());
+  EXPECT_FALSE(Kid->inDocument());
+  EXPECT_EQ(E->parent(), nullptr);
+}
+
+TEST_F(DomTest, RemoveNonChildFails) {
+  Element *E = Doc.createElement("div");
+  MutationResult R = Doc.removeChild(Doc.body(), E);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST_F(DomTest, InsertBeforePositions) {
+  Element *A = Doc.createElement("a");
+  Element *B = Doc.createElement("b");
+  Element *C = Doc.createElement("c");
+  Doc.appendChild(Doc.body(), A);
+  Doc.appendChild(Doc.body(), C);
+  Doc.insertBefore(Doc.body(), B, C);
+  ASSERT_EQ(Doc.body()->children().size(), 3u);
+  EXPECT_EQ(Doc.body()->children()[0], A);
+  EXPECT_EQ(Doc.body()->children()[1], B);
+  EXPECT_EQ(Doc.body()->children()[2], C);
+}
+
+TEST_F(DomTest, InsertBeforeBadRefFails) {
+  Element *A = Doc.createElement("a");
+  Element *Ref = Doc.createElement("r");
+  MutationResult R = Doc.insertBefore(Doc.body(), A, Ref);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST_F(DomTest, MoveReparents) {
+  Element *A = Doc.createElement("a");
+  Element *B = Doc.createElement("b");
+  Doc.appendChild(Doc.body(), A);
+  Doc.appendChild(Doc.body(), B);
+  // Move B under A.
+  MutationResult R = Doc.appendChild(A, B);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(B->parent(), A);
+  EXPECT_EQ(Doc.body()->children().size(), 1u);
+  // Still in document: the move is reported as affecting B itself.
+  EXPECT_TRUE(B->inDocument());
+  ASSERT_EQ(R.AffectedElements.size(), 1u);
+  EXPECT_EQ(R.AffectedElements[0], B);
+}
+
+TEST_F(DomTest, CannotInsertUnderSelf) {
+  Element *A = Doc.createElement("a");
+  Doc.appendChild(Doc.body(), A);
+  MutationResult R = Doc.appendChild(A, A);
+  EXPECT_FALSE(R.Ok);
+  Element *B = Doc.createElement("b");
+  Doc.appendChild(A, B);
+  EXPECT_FALSE(Doc.appendChild(B, A).Ok); // Ancestor under descendant.
+}
+
+TEST_F(DomTest, GetElementById) {
+  Element *E = Doc.createElement("div");
+  E->setAttribute("id", "target");
+  EXPECT_EQ(Doc.getElementById("target"), nullptr); // Not inserted yet.
+  Doc.appendChild(Doc.body(), E);
+  EXPECT_EQ(Doc.getElementById("target"), E);
+  Doc.removeChild(Doc.body(), E);
+  EXPECT_EQ(Doc.getElementById("target"), nullptr);
+}
+
+TEST_F(DomTest, GetElementByIdFirstInTreeOrder) {
+  Element *A = Doc.createElement("div");
+  A->setAttribute("id", "dup");
+  Element *B = Doc.createElement("div");
+  B->setAttribute("id", "dup");
+  Doc.appendChild(Doc.body(), B);
+  Doc.insertBefore(Doc.body(), A, B);
+  EXPECT_EQ(Doc.getElementById("dup"), A);
+}
+
+TEST_F(DomTest, GetElementsByTagName) {
+  Doc.appendChild(Doc.body(), Doc.createElement("p"));
+  Doc.appendChild(Doc.body(), Doc.createElement("div"));
+  Doc.appendChild(Doc.body(), Doc.createElement("p"));
+  EXPECT_EQ(Doc.getElementsByTagName("p").size(), 2u);
+  EXPECT_EQ(Doc.getElementsByTagName("P").size(), 2u);
+  // "*" matches all elements incl. html/head/body skeleton.
+  EXPECT_EQ(Doc.getElementsByTagName("*").size(), 6u);
+}
+
+TEST_F(DomTest, GetElementsByName) {
+  Element *E = Doc.createElement("input");
+  E->setAttribute("name", "q");
+  Doc.appendChild(Doc.body(), E);
+  ASSERT_EQ(Doc.getElementsByName("q").size(), 1u);
+  EXPECT_EQ(Doc.getElementsByName("q")[0], E);
+}
+
+TEST_F(DomTest, Attributes) {
+  Element *E = Doc.createElement("img");
+  EXPECT_FALSE(E->hasAttribute("src"));
+  E->setAttribute("SRC", "a.png");
+  EXPECT_TRUE(E->hasAttribute("src"));
+  EXPECT_EQ(E->getAttribute("Src"), "a.png");
+  E->setAttribute("src", "b.png");
+  EXPECT_EQ(E->getAttribute("src"), "b.png");
+  EXPECT_EQ(E->attributes().size(), 1u);
+  E->removeAttribute("src");
+  EXPECT_FALSE(E->hasAttribute("src"));
+}
+
+TEST_F(DomTest, FormValueState) {
+  Element *Input = Doc.createElement("input");
+  EXPECT_EQ(Input->formValue(), "");
+  Input->setFormValue("City of Departure");
+  EXPECT_EQ(Input->formValue(), "City of Departure");
+  EXPECT_FALSE(Input->isChecked());
+  Input->setChecked(true);
+  EXPECT_TRUE(Input->isChecked());
+}
+
+TEST_F(DomTest, VoidTags) {
+  EXPECT_TRUE(Doc.createElement("img")->isVoidTag());
+  EXPECT_TRUE(Doc.createElement("input")->isVoidTag());
+  EXPECT_TRUE(Doc.createElement("br")->isVoidTag());
+  EXPECT_FALSE(Doc.createElement("div")->isVoidTag());
+  EXPECT_FALSE(Doc.createElement("script")->isVoidTag());
+}
+
+TEST_F(DomTest, TextNodes) {
+  Text *T = Doc.createTextNode("hello");
+  EXPECT_EQ(T->data(), "hello");
+  Doc.appendChild(Doc.body(), T);
+  EXPECT_TRUE(T->inDocument());
+  // Text nodes are not elements.
+  EXPECT_EQ(Doc.getElementsByTagName("*").size(), 3u);
+}
+
+TEST_F(DomTest, IndexOf) {
+  Element *A = Doc.createElement("a");
+  Element *B = Doc.createElement("b");
+  Doc.appendChild(Doc.body(), A);
+  Doc.appendChild(Doc.body(), B);
+  EXPECT_EQ(Doc.body()->indexOf(A), 0);
+  EXPECT_EQ(Doc.body()->indexOf(B), 1);
+  EXPECT_EQ(A->indexOf(B), -1);
+}
+
+TEST_F(DomTest, IsaCastHelpers) {
+  Element *E = Doc.createElement("div");
+  Node *N = E;
+  EXPECT_TRUE(isa<Element>(N));
+  EXPECT_FALSE(isa<Text>(N));
+  EXPECT_EQ(cast<Element>(N), E);
+  EXPECT_EQ(dyn_cast<Text>(N), nullptr);
+  EXPECT_EQ(dyn_cast<Element>(N), E);
+}
+
+} // namespace

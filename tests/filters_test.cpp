@@ -1,0 +1,191 @@
+//===- tests/filters_test.cpp - Sec. 5.3 filter unit tests ---------------------===//
+
+#include "detect/Filters.h"
+#include "detect/Report.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+using namespace wr::detect;
+
+namespace {
+
+Race makeRace(RaceKind Kind, Location Loc, AccessOrigin FirstOrigin,
+              AccessOrigin SecondOrigin, bool GuardedWrite = false) {
+  Race R;
+  R.Kind = Kind;
+  R.Loc = Loc;
+  R.First.Kind = AccessKind::Write;
+  R.First.Origin = FirstOrigin;
+  R.First.Op = 1;
+  R.First.Loc = Loc;
+  R.Second.Kind = AccessKind::Read;
+  R.Second.Origin = SecondOrigin;
+  R.Second.Op = 2;
+  R.Second.Loc = Loc;
+  R.WriteHadPriorReadInOp = GuardedWrite;
+  return R;
+}
+
+Race varRace(AccessOrigin First, AccessOrigin Second,
+             bool Guarded = false) {
+  return makeRace(RaceKind::Variable, JSVarLoc{domContainerId(7), "value"},
+                  First, Second, Guarded);
+}
+
+Race dispatchRace(NodeId Target, const char *Type) {
+  return makeRace(RaceKind::EventDispatch,
+                  EventHandlerLoc{Target, 0, Type, 0},
+                  AccessOrigin::HandlerInstall, AccessOrigin::HandlerFire);
+}
+
+TEST(FormFilterTest, KeepsFormFieldRaces) {
+  std::vector<Race> Races = {
+      varRace(AccessOrigin::FormFieldWrite, AccessOrigin::UserInput)};
+  EXPECT_EQ(filterFormRaces(Races).size(), 1u);
+}
+
+TEST(FormFilterTest, DropsPlainVariableRaces) {
+  std::vector<Race> Races = {
+      varRace(AccessOrigin::Plain, AccessOrigin::Plain)};
+  EXPECT_TRUE(filterFormRaces(Races).empty());
+}
+
+TEST(FormFilterTest, DropsGuardedWrites) {
+  std::vector<Race> Races = {varRace(AccessOrigin::FormFieldWrite,
+                                     AccessOrigin::UserInput,
+                                     /*Guarded=*/true)};
+  EXPECT_TRUE(filterFormRaces(Races).empty());
+}
+
+TEST(FormFilterTest, PassesNonVariableKindsThrough) {
+  std::vector<Race> Races = {
+      makeRace(RaceKind::Html,
+               HtmlElemLoc{1, ElemKeyKind::ById, InvalidNodeId, "a"},
+               AccessOrigin::ElemInsert, AccessOrigin::ElemLookup),
+      makeRace(RaceKind::Function, JSVarLoc{0, "f"},
+               AccessOrigin::FunctionDecl, AccessOrigin::FunctionCall),
+      dispatchRace(4, "load"),
+  };
+  EXPECT_EQ(filterFormRaces(Races).size(), 3u);
+}
+
+TEST(FormFilterTest, InvolvesFormFieldPredicate) {
+  EXPECT_TRUE(involvesFormField(
+      varRace(AccessOrigin::FormFieldRead, AccessOrigin::Plain)));
+  EXPECT_TRUE(involvesFormField(
+      varRace(AccessOrigin::Plain, AccessOrigin::UserInput)));
+  EXPECT_FALSE(involvesFormField(
+      varRace(AccessOrigin::Plain, AccessOrigin::Plain)));
+}
+
+TEST(SingleDispatchFilterTest, KeepsSingleDispatchEvents) {
+  std::vector<Race> Races = {dispatchRace(4, "load")};
+  auto Counts = [](const EventHandlerLoc &) { return 1; };
+  EXPECT_EQ(filterSingleDispatch(Races, Counts).size(), 1u);
+}
+
+TEST(SingleDispatchFilterTest, DropsMultiDispatchEvents) {
+  std::vector<Race> Races = {dispatchRace(4, "mouseover")};
+  auto Counts = [](const EventHandlerLoc &) { return 3; };
+  EXPECT_TRUE(filterSingleDispatch(Races, Counts).empty());
+}
+
+TEST(SingleDispatchFilterTest, CountsKeyedPerLocation) {
+  std::vector<Race> Races = {dispatchRace(4, "load"),
+                             dispatchRace(5, "mouseover")};
+  auto Counts = [](const EventHandlerLoc &Loc) {
+    return Loc.EventType == "load" ? 1 : 2;
+  };
+  auto Kept = filterSingleDispatch(Races, Counts);
+  ASSERT_EQ(Kept.size(), 1u);
+  EXPECT_EQ(std::get<EventHandlerLoc>(Kept[0].Loc).EventType, "load");
+}
+
+TEST(SingleDispatchFilterTest, PassesOtherKindsThrough) {
+  std::vector<Race> Races = {
+      varRace(AccessOrigin::Plain, AccessOrigin::Plain)};
+  auto Counts = [](const EventHandlerLoc &) { return 100; };
+  EXPECT_EQ(filterSingleDispatch(Races, Counts).size(), 1u);
+}
+
+TEST(CombinedFilterTest, AppliesBoth) {
+  std::vector<Race> Races = {
+      varRace(AccessOrigin::Plain, AccessOrigin::Plain),   // Dropped.
+      varRace(AccessOrigin::FormFieldWrite,
+              AccessOrigin::UserInput),                    // Kept.
+      dispatchRace(4, "load"),                             // Kept (1x).
+      dispatchRace(5, "mouseover"),                        // Dropped (2x).
+      makeRace(RaceKind::Html,
+               HtmlElemLoc{1, ElemKeyKind::ById, InvalidNodeId, "a"},
+               AccessOrigin::ElemInsert,
+               AccessOrigin::ElemLookup),                  // Kept.
+  };
+  auto Counts = [](const EventHandlerLoc &Loc) {
+    return Loc.EventType == "load" ? 1 : 2;
+  };
+  auto Kept = applyPaperFilters(Races, Counts);
+  RaceTally T = tally(Kept);
+  EXPECT_EQ(T.Variable, 1u);
+  EXPECT_EQ(T.EventDispatch, 1u);
+  EXPECT_EQ(T.Html, 1u);
+  EXPECT_EQ(T.total(), 3u);
+}
+
+TEST(ReportTest, TallyCounts) {
+  std::vector<Race> Races = {
+      varRace(AccessOrigin::Plain, AccessOrigin::Plain),
+      varRace(AccessOrigin::Plain, AccessOrigin::Plain),
+      dispatchRace(4, "load"),
+  };
+  RaceTally T = tally(Races);
+  EXPECT_EQ(T.Variable, 2u);
+  EXPECT_EQ(T.EventDispatch, 1u);
+  EXPECT_EQ(T.Html, 0u);
+  EXPECT_EQ(T.total(), 3u);
+}
+
+TEST(ReportTest, SummaryLine) {
+  std::vector<Race> Races = {dispatchRace(4, "load")};
+  EXPECT_EQ(summaryLine(Races),
+            "html=0 function=0 variable=0 event-dispatch=1 total=1");
+}
+
+TEST(ReportTest, DescribeRaceMentionsOperations) {
+  HbGraph Hb;
+  Operation Meta;
+  Meta.Kind = OperationKind::ExecuteScript;
+  Meta.Label = "exe <script src=hints.js>";
+  OpId A = Hb.addOperation(Meta);
+  Meta.Kind = OperationKind::UserAction;
+  Meta.Label = "user types";
+  OpId B = Hb.addOperation(Meta);
+  Race R = varRace(AccessOrigin::FormFieldWrite, AccessOrigin::UserInput);
+  R.First.Op = A;
+  R.Second.Op = B;
+  std::string Text = describeRace(R, Hb);
+  EXPECT_NE(Text.find("variable race"), std::string::npos);
+  EXPECT_NE(Text.find("hints.js"), std::string::npos);
+  EXPECT_NE(Text.find("user types"), std::string::npos);
+  EXPECT_NE(Text.find("node7.value"), std::string::npos);
+}
+
+TEST(ReportTest, GuardNoteRendered) {
+  HbGraph Hb;
+  OpId A = Hb.addOperation(Operation());
+  OpId B = Hb.addOperation(Operation());
+  Race R = varRace(AccessOrigin::FormFieldWrite, AccessOrigin::UserInput,
+                   /*Guarded=*/true);
+  R.First.Op = A;
+  R.Second.Op = B;
+  EXPECT_NE(describeRace(R, Hb).find("guard"), std::string::npos);
+}
+
+TEST(ReportTest, RaceKindNames) {
+  EXPECT_STREQ(toString(RaceKind::Variable), "variable");
+  EXPECT_STREQ(toString(RaceKind::Html), "html");
+  EXPECT_STREQ(toString(RaceKind::Function), "function");
+  EXPECT_STREQ(toString(RaceKind::EventDispatch), "event-dispatch");
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+//===- tests/harm_test.cpp - replay-based harmfulness classification ----------===//
+//
+// The analyzer must reach the same verdicts the paper's authors reached
+// by manual inspection: unguarded form overwrites, missing-node
+// dereferences, undefined-function calls, and lost single-dispatch
+// handlers are harmful; their guarded/optional twins are benign.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sites/Corpus.h"
+#include "webracer/Harm.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+using namespace wr::webracer;
+using namespace wr::detect;
+
+namespace {
+
+struct PatternRun {
+  sites::GeneratedSite Site;
+  std::unique_ptr<Session> S;
+  SessionResult Result;
+};
+
+/// Runs a single-pattern site and keeps the session alive (the analyzer
+/// needs its HB graph for operation metadata).
+PatternRun runPattern(sites::PatternKind Kind, int Count = 1) {
+  PatternRun Run;
+  sites::SiteSpec Spec;
+  Spec.Name = "HarmSite";
+  Spec.Patterns.push_back({Kind, Count});
+  Run.Site = sites::buildSite(Spec);
+  SessionOptions Opts;
+  Run.S = std::make_unique<Session>(Opts);
+  Run.S->network().addResource(Run.Site.IndexUrl, Run.Site.Html, 10);
+  for (const sites::SiteResource &R : Run.Site.Resources)
+    Run.S->network().addResourceWithJitter(R.Url, R.Body, R.MinLatencyUs,
+                                           R.MaxLatencyUs);
+  Run.Result = Run.S->run(Run.Site.IndexUrl);
+  return Run;
+}
+
+HarmAnalyzer analyzerFor(const PatternRun &Run) {
+  const sites::GeneratedSite &Site = Run.Site;
+  return HarmAnalyzer(
+      [Site](rt::NetworkSimulator &Net) {
+        Net.addResource(Site.IndexUrl, Site.Html, 10);
+        for (const sites::SiteResource &R : Site.Resources)
+          Net.addResourceWithJitter(R.Url, R.Body, R.MinLatencyUs,
+                                    R.MaxLatencyUs);
+      },
+      Site.IndexUrl);
+}
+
+/// Classifies every filtered race of one kind; returns the verdicts.
+std::vector<HarmVerdict> classify(PatternRun &Run, RaceKind Kind) {
+  HarmAnalyzer A = analyzerFor(Run);
+  std::vector<HarmVerdict> Verdicts;
+  for (const Race &R : Run.Result.FilteredRaces)
+    if (R.Kind == Kind)
+      Verdicts.push_back(A.analyze(R, Run.S->browser().hb()).Verdict);
+  return Verdicts;
+}
+
+TEST(HarmTest, UnguardedFormOverwriteIsHarmful) {
+  PatternRun Run = runPattern(sites::PatternKind::FormValueHarmful);
+  auto Verdicts = classify(Run, RaceKind::Variable);
+  ASSERT_EQ(Verdicts.size(), 1u);
+  EXPECT_EQ(Verdicts[0], HarmVerdict::Harmful);
+}
+
+TEST(HarmTest, ReadOnlyFormRaceIsBenign) {
+  PatternRun Run = runPattern(sites::PatternKind::FormValueReadBenign);
+  auto Verdicts = classify(Run, RaceKind::Variable);
+  ASSERT_EQ(Verdicts.size(), 1u);
+  EXPECT_EQ(Verdicts[0], HarmVerdict::Benign);
+}
+
+TEST(HarmTest, MissingNodeDereferenceIsHarmful) {
+  PatternRun Run = runPattern(sites::PatternKind::HtmlLookupHarmful);
+  auto Verdicts = classify(Run, RaceKind::Html);
+  ASSERT_EQ(Verdicts.size(), 1u);
+  EXPECT_EQ(Verdicts[0], HarmVerdict::Harmful);
+}
+
+TEST(HarmTest, GuardedPollingIsBenign) {
+  PatternRun Run = runPattern(sites::PatternKind::HtmlPollingBenign, 3);
+  auto Verdicts = classify(Run, RaceKind::Html);
+  ASSERT_EQ(Verdicts.size(), 3u);
+  for (HarmVerdict V : Verdicts)
+    EXPECT_EQ(V, HarmVerdict::Benign);
+}
+
+TEST(HarmTest, UndefinedFunctionCallIsHarmful) {
+  PatternRun Run = runPattern(sites::PatternKind::FunctionCallHarmful);
+  auto Verdicts = classify(Run, RaceKind::Function);
+  ASSERT_EQ(Verdicts.size(), 1u);
+  EXPECT_EQ(Verdicts[0], HarmVerdict::Harmful);
+}
+
+TEST(HarmTest, TypeofGuardedFunctionCallIsBenign) {
+  PatternRun Run = runPattern(sites::PatternKind::FunctionCallGuarded);
+  auto Verdicts = classify(Run, RaceKind::Function);
+  ASSERT_EQ(Verdicts.size(), 1u);
+  EXPECT_EQ(Verdicts[0], HarmVerdict::Benign);
+}
+
+TEST(HarmTest, GomezLostHandlerIsHarmful) {
+  PatternRun Run = runPattern(sites::PatternKind::GomezMonitorHarmful, 2);
+  auto Verdicts = classify(Run, RaceKind::EventDispatch);
+  ASSERT_EQ(Verdicts.size(), 2u);
+  for (HarmVerdict V : Verdicts)
+    EXPECT_EQ(V, HarmVerdict::Harmful);
+}
+
+TEST(HarmTest, NonFormVariableRaceIsInconclusive) {
+  // Plain variable races (two async scripts sharing a config global)
+  // have no mechanical loss criterion: the analyzer must say so rather
+  // than guess.
+  PatternRun Run = runPattern(sites::PatternKind::VariableNoiseBenign, 1);
+  HarmAnalyzer A = analyzerFor(Run);
+  ASSERT_FALSE(Run.Result.RawRaces.empty());
+  bool SawInconclusive = false;
+  for (const Race &R : Run.Result.RawRaces) {
+    if (R.Kind != RaceKind::Variable)
+      continue;
+    HarmEvidence E = A.analyze(R, Run.S->browser().hb());
+    if (E.Verdict == HarmVerdict::Inconclusive)
+      SawInconclusive = true;
+  }
+  EXPECT_TRUE(SawInconclusive);
+}
+
+TEST(HarmTest, ReplayCountsAreReported) {
+  PatternRun Run = runPattern(sites::PatternKind::FormValueHarmful);
+  HarmAnalyzer A = analyzerFor(Run);
+  EXPECT_EQ(A.replaysRun(), 0u);
+  for (const Race &R : Run.Result.FilteredRaces)
+    A.analyze(R, Run.S->browser().hb());
+  EXPECT_GE(A.replaysRun(), 1u);
+}
+
+TEST(HarmTest, EvidenceReasonsAreInformative) {
+  PatternRun Run = runPattern(sites::PatternKind::FormValueHarmful);
+  HarmAnalyzer A = analyzerFor(Run);
+  for (const Race &R : Run.Result.FilteredRaces) {
+    if (R.Kind != RaceKind::Variable)
+      continue;
+    HarmEvidence E = A.analyze(R, Run.S->browser().hb());
+    EXPECT_FALSE(E.Reason.empty());
+    EXPECT_NE(E.Reason.find("overwritten"), std::string::npos);
+  }
+}
+
+TEST(HarmTest, VerdictNamesRender) {
+  EXPECT_STREQ(toString(HarmVerdict::Harmful), "harmful");
+  EXPECT_STREQ(toString(HarmVerdict::Benign), "benign");
+  EXPECT_STREQ(toString(HarmVerdict::Inconclusive), "inconclusive");
+}
+
+} // namespace

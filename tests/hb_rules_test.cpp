@@ -1,0 +1,291 @@
+//===- tests/hb_rules_test.cpp - per-rule happens-before conformance -----------===//
+//
+// One test per rule of the paper's Section 3.3: build a minimal page that
+// exercises the rule, locate the two operations it relates, and assert
+// the happens-before edge (transitively) holds - and that the reverse
+// does not.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Browser.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+using namespace wr::rt;
+
+namespace {
+
+class HbRulesTest : public ::testing::Test {
+protected:
+  HbRulesTest() : B(BrowserOptions()) {}
+
+  void load(const std::string &Html,
+            std::vector<std::pair<std::string, std::string>> Resources =
+                {},
+            VirtualTime AuxLatency = 500) {
+    B.network().addResource("index.html", Html, 10);
+    for (auto &[Url, Body] : Resources)
+      B.network().addResource(Url, Body, AuxLatency);
+    B.loadPage("index.html");
+    B.runToQuiescence();
+  }
+
+  /// First operation whose kind matches and whose label contains \p Tag.
+  OpId find(OperationKind Kind, const std::string &Tag,
+            int Skip = 0) {
+    for (OpId Op = 1; Op <= B.hb().numOperations(); ++Op) {
+      const Operation &Meta = B.hb().operation(Op);
+      if (Meta.Kind != Kind)
+        continue;
+      if (!Tag.empty() && Meta.Label.find(Tag) == std::string::npos)
+        continue;
+      if (Skip-- > 0)
+        continue;
+      return Op;
+    }
+    return InvalidOpId;
+  }
+
+  /// Dispatch anchor for (event type substring, kind) - Begin or End.
+  OpId findDispatch(const std::string &Type, bool End,
+                    int Skip = 0) {
+    for (OpId Op = 1; Op <= B.hb().numOperations(); ++Op) {
+      const Operation &Meta = B.hb().operation(Op);
+      if (Meta.Kind != (End ? OperationKind::DispatchEnd
+                            : OperationKind::DispatchBegin))
+        continue;
+      if (Meta.EventType != Type)
+        continue;
+      if (Skip-- > 0)
+        continue;
+      return Op;
+    }
+    return InvalidOpId;
+  }
+
+  void expectOrdered(OpId A, OpId B2, const char *Why) {
+    ASSERT_NE(A, InvalidOpId) << Why;
+    ASSERT_NE(B2, InvalidOpId) << Why;
+    EXPECT_TRUE(B.hb().happensBefore(A, B2)) << Why;
+    EXPECT_FALSE(B.hb().happensBefore(B2, A)) << Why;
+  }
+
+  Browser B;
+};
+
+TEST_F(HbRulesTest, Rule1aParseOrder) {
+  load("<div id=\"a\"></div><p id=\"b\"></p>");
+  expectOrdered(find(OperationKind::ParseElement, "div#a"),
+                find(OperationKind::ParseElement, "p#b"),
+                "rule 1a: parse(E1) -> parse(E2)");
+}
+
+TEST_F(HbRulesTest, Rule1bInlineScriptBeforeNextParse) {
+  load("<script>var x = 1;</script><div id=\"after\"></div>");
+  expectOrdered(find(OperationKind::ExecuteScript, "exe <script>"),
+                find(OperationKind::ParseElement, "div#after"),
+                "rule 1b: exe(inline) -> parse(next)");
+}
+
+TEST_F(HbRulesTest, Rule1cSyncScriptLoadBeforeNextParse) {
+  load("<script src=\"s.js\"></script><div id=\"after\"></div>",
+       {{"s.js", "var y = 1;"}});
+  expectOrdered(findDispatch("load", /*End=*/true),
+                find(OperationKind::ParseElement, "div#after"),
+                "rule 1c: ld(sync script) -> parse(next)");
+}
+
+TEST_F(HbRulesTest, Rule2CreateBeforeExe) {
+  load("<script src=\"s.js\" async=\"true\"></script>",
+       {{"s.js", "var y = 1;"}});
+  expectOrdered(find(OperationKind::ParseElement, "script"),
+                find(OperationKind::ExecuteScript, "s.js"),
+                "rule 2: create(E) -> exe(E)");
+}
+
+TEST_F(HbRulesTest, Rule3ExeBeforeLoad) {
+  load("<script src=\"s.js\"></script>", {{"s.js", "var y = 1;"}});
+  expectOrdered(find(OperationKind::ExecuteScript, "s.js"),
+                findDispatch("load", /*End=*/false),
+                "rule 3: exe(E) -> ld(E)");
+}
+
+TEST_F(HbRulesTest, Rules4And5DeferredScripts) {
+  load("<div id=\"static\"></div>"
+       "<script src=\"d1.js\" defer=\"true\"></script>"
+       "<script src=\"d2.js\" defer=\"true\"></script>",
+       {{"d1.js", "var a = 1;"}, {"d2.js", "var b = 2;"}});
+  // Rule 4: static element creation precedes deferred execution.
+  expectOrdered(find(OperationKind::ParseElement, "div#static"),
+                find(OperationKind::ExecuteScript, "d1.js"),
+                "rule 4: create(E) -> exe(deferred)");
+  // Rule 5: deferred scripts execute in order (via ld(E1) -> exe(E2)).
+  expectOrdered(find(OperationKind::ExecuteScript, "d1.js"),
+                find(OperationKind::ExecuteScript, "d2.js"),
+                "rule 5: defer order");
+}
+
+TEST_F(HbRulesTest, Rule6FrameCreateBeforeNestedCreate) {
+  load("<iframe id=\"f\" src=\"n.html\"></iframe>",
+       {{"n.html", "<div id=\"inner\"></div>"}});
+  expectOrdered(find(OperationKind::ParseElement, "iframe#f"),
+                find(OperationKind::ParseElement, "div#inner"),
+                "rule 6: create(I) -> create(nested E)");
+}
+
+TEST_F(HbRulesTest, Rule7NestedWindowLoadBeforeFrameLoad) {
+  load("<iframe id=\"f\" src=\"n.html\"></iframe>",
+       {{"n.html", "<p>x</p>"}});
+  // The nested window's load dispatch precedes the iframe element's.
+  OpId NestedLoadEnd = findDispatch("load", /*End=*/true, 0);
+  OpId FrameLoadBegin = findDispatch("load", /*End=*/false, 1);
+  expectOrdered(NestedLoadEnd, FrameLoadBegin,
+                "rule 7: ld(nested window) -> ld(iframe)");
+}
+
+TEST_F(HbRulesTest, Rule8TargetCreatedBeforeDispatch) {
+  load("<button id=\"b\" onclick=\"1;\"></button>");
+  Element *Btn = B.mainWindow()->document().getElementById("b");
+  B.userClick(Btn);
+  B.runToQuiescence();
+  expectOrdered(find(OperationKind::ParseElement, "button#b"),
+                findDispatch("click", /*End=*/false),
+                "rule 8: create(T) -> disp(e, T)");
+}
+
+TEST_F(HbRulesTest, Rule9DispatchOrder) {
+  load("<button id=\"b\" onclick=\"1;\"></button>");
+  Element *Btn = B.mainWindow()->document().getElementById("b");
+  B.userClick(Btn);
+  B.userClick(Btn);
+  B.runToQuiescence();
+  expectOrdered(findDispatch("click", /*End=*/true, 0),
+                findDispatch("click", /*End=*/false, 1),
+                "rule 9: disp_j -> disp_i, j < i");
+}
+
+TEST_F(HbRulesTest, Rule10SendBeforeReadyStateChange) {
+  load("<script>"
+       "var xhr = new XMLHttpRequest();"
+       "xhr.open('GET', 'd.json');"
+       "xhr.onreadystatechange = function() {};"
+       "xhr.send();"
+       "</script>",
+       {{"d.json", "{}"}});
+  expectOrdered(find(OperationKind::ExecuteScript, "exe <script>"),
+                findDispatch("readystatechange", /*End=*/false),
+                "rule 10: send() -> disp(readystatechange)");
+}
+
+TEST_F(HbRulesTest, Rule11DclBeforeWindowLoad) {
+  load("<p>content</p>");
+  expectOrdered(findDispatch("DOMContentLoaded", /*End=*/true),
+                findDispatch("load", /*End=*/false),
+                "rule 11: dcl(D) -> ld(W)");
+}
+
+TEST_F(HbRulesTest, Rule12ParseBeforeDcl) {
+  load("<div id=\"last\"></div>");
+  expectOrdered(find(OperationKind::ParseElement, "div#last"),
+                findDispatch("DOMContentLoaded", /*End=*/false),
+                "rule 12: parse(E) -> dcl(D)");
+}
+
+TEST_F(HbRulesTest, Rule13InlineExeBeforeDcl) {
+  load("<script>var z = 3;</script>");
+  expectOrdered(find(OperationKind::ExecuteScript, "exe <script>"),
+                findDispatch("DOMContentLoaded", /*End=*/false),
+                "rule 13: exe(inline) -> dcl(D)");
+}
+
+TEST_F(HbRulesTest, Rule14ScriptLoadBeforeDcl) {
+  load("<script src=\"d.js\" defer=\"true\"></script>",
+       {{"d.js", "var q = 1;"}});
+  // The deferred script's element-load dispatch precedes DCL.
+  expectOrdered(findDispatch("load", /*End=*/true),
+                findDispatch("DOMContentLoaded", /*End=*/false),
+                "rule 14: ld(defer script) -> dcl(D)");
+}
+
+TEST_F(HbRulesTest, Rule15ElementLoadBeforeWindowLoad) {
+  load("<img id=\"i\" src=\"p.png\" />", {{"p.png", "PNG"}});
+  OpId ImgLoadEnd = findDispatch("load", /*End=*/true, 0);
+  OpId WindowLoadBegin = findDispatch("load", /*End=*/false, 1);
+  expectOrdered(ImgLoadEnd, WindowLoadBegin,
+                "rule 15: ld(E) -> ld(W)");
+}
+
+TEST_F(HbRulesTest, Rule16SetTimeout) {
+  load("<script>setTimeout(function() {}, 10);</script>");
+  expectOrdered(find(OperationKind::ExecuteScript, "exe <script>"),
+                find(OperationKind::TimeoutCallback, ""),
+                "rule 16: caller -> cb(B)");
+}
+
+TEST_F(HbRulesTest, Rule17SetIntervalChain) {
+  load("<script>"
+       "var n = 0;"
+       "var iv = setInterval(function() {"
+       "  n++; if (n >= 3) clearInterval(iv); }, 10);"
+       "</script>");
+  OpId Creator = find(OperationKind::ExecuteScript, "exe <script>");
+  OpId Cb0 = find(OperationKind::IntervalCallback, "cb0");
+  OpId Cb1 = find(OperationKind::IntervalCallback, "cb1");
+  OpId Cb2 = find(OperationKind::IntervalCallback, "cb2");
+  expectOrdered(Creator, Cb0, "rule 17: creator -> cb0");
+  expectOrdered(Cb0, Cb1, "rule 17: cb0 -> cb1");
+  expectOrdered(Cb1, Cb2, "rule 17: cb1 -> cb2");
+}
+
+TEST_F(HbRulesTest, AppendixInlineDispatchSplit) {
+  load("<button id=\"b\" onclick=\"window.hit = 1;\"></button>"
+       "<script>document.getElementById('b').click(); var post = 2;"
+       "</script>");
+  OpId Caller = find(OperationKind::ExecuteScript, "exe <script>");
+  OpId Handler = find(OperationKind::EventHandler, "click");
+  OpId Slice = find(OperationKind::ScriptSlice, "");
+  expectOrdered(Caller, Handler, "appendix: A[0:k) -> B");
+  expectOrdered(Handler, Slice, "appendix: B -> A[k+1:)");
+}
+
+TEST_F(HbRulesTest, AppendixHandlerChainWithinDispatch) {
+  load("<button id=\"b\"></button>"
+       "<script>"
+       "var b = document.getElementById('b');"
+       "b.addEventListener('click', function() {});"
+       "b.addEventListener('click', function() {});"
+       "</script>");
+  B.userClick(B.mainWindow()->document().getElementById("b"));
+  B.runToQuiescence();
+  OpId H1 = find(OperationKind::EventHandler, "click", 0);
+  OpId H2 = find(OperationKind::EventHandler, "click", 1);
+  expectOrdered(H1, H2, "appendix: handlers of one dispatch are chained");
+}
+
+TEST_F(HbRulesTest, AsyncScriptsUnordered) {
+  // Negative case: two async scripts have no mutual ordering (Sec. 3.3:
+  // "asynchronous scripts ... may execute in any order").
+  load("<script src=\"a.js\" async=\"true\"></script>"
+       "<script src=\"b.js\" async=\"true\"></script>",
+       {{"a.js", "var a = 1;"}, {"b.js", "var b = 2;"}});
+  OpId ExeA = find(OperationKind::ExecuteScript, "a.js");
+  OpId ExeB = find(OperationKind::ExecuteScript, "b.js");
+  ASSERT_NE(ExeA, InvalidOpId);
+  ASSERT_NE(ExeB, InvalidOpId);
+  EXPECT_TRUE(B.hb().canHappenConcurrently(ExeA, ExeB));
+}
+
+TEST_F(HbRulesTest, UserActionsUnorderedWithParsing) {
+  // Negative case: a user op has no HB edges to parsing except rule 8.
+  load("<button id=\"b\" onclick=\"1;\"></button><div id=\"late\"></div>");
+  B.userClick(B.mainWindow()->document().getElementById("b"));
+  B.runToQuiescence();
+  OpId LateParse = find(OperationKind::ParseElement, "div#late");
+  OpId Click = findDispatch("click", /*End=*/false);
+  ASSERT_NE(LateParse, InvalidOpId);
+  ASSERT_NE(Click, InvalidOpId);
+  EXPECT_TRUE(B.hb().canHappenConcurrently(LateParse, Click));
+}
+
+} // namespace

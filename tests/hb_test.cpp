@@ -1,0 +1,158 @@
+//===- tests/hb_test.cpp - happens-before graph tests ------------------------===//
+
+#include "hb/HbGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+
+namespace {
+
+Operation op(const char *Label) {
+  Operation O;
+  O.Kind = OperationKind::ExecuteScript;
+  O.Label = Label;
+  return O;
+}
+
+TEST(HbGraphTest, DirectEdge) {
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  OpId B = G.addOperation(op("b"));
+  G.addEdge(A, B, HbRule::RProgram);
+  EXPECT_TRUE(G.happensBefore(A, B));
+  EXPECT_FALSE(G.happensBefore(B, A));
+  EXPECT_FALSE(G.canHappenConcurrently(A, B));
+}
+
+TEST(HbGraphTest, NoEdgeMeansConcurrent) {
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  OpId B = G.addOperation(op("b"));
+  EXPECT_FALSE(G.happensBefore(A, B));
+  EXPECT_FALSE(G.happensBefore(B, A));
+  EXPECT_TRUE(G.canHappenConcurrently(A, B));
+}
+
+TEST(HbGraphTest, BottomNeverConcurrent) {
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  EXPECT_FALSE(G.canHappenConcurrently(InvalidOpId, A));
+  EXPECT_FALSE(G.canHappenConcurrently(A, InvalidOpId));
+  EXPECT_FALSE(G.canHappenConcurrently(A, A));
+}
+
+TEST(HbGraphTest, Transitivity) {
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  OpId B = G.addOperation(op("b"));
+  OpId C = G.addOperation(op("c"));
+  G.addEdge(A, B, HbRule::RProgram);
+  G.addEdge(B, C, HbRule::RProgram);
+  EXPECT_TRUE(G.happensBefore(A, C));
+  EXPECT_FALSE(G.happensBefore(C, A));
+}
+
+TEST(HbGraphTest, Diamond) {
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  OpId B = G.addOperation(op("b"));
+  OpId C = G.addOperation(op("c"));
+  OpId D = G.addOperation(op("d"));
+  G.addEdge(A, B, HbRule::RProgram);
+  G.addEdge(A, C, HbRule::RProgram);
+  G.addEdge(B, D, HbRule::RProgram);
+  G.addEdge(C, D, HbRule::RProgram);
+  EXPECT_TRUE(G.happensBefore(A, D));
+  EXPECT_TRUE(G.canHappenConcurrently(B, C));
+}
+
+TEST(HbGraphTest, DuplicateEdgesIgnored) {
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  OpId B = G.addOperation(op("b"));
+  G.addEdge(A, B, HbRule::RProgram);
+  G.addEdge(A, B, HbRule::RProgram);
+  EXPECT_EQ(G.numEdges(), 1u);
+}
+
+TEST(HbGraphTest, DfsAndVectorClockAgree) {
+  // Random-ish DAG: every op gets edges from some earlier ops.
+  HbGraph G;
+  const int N = 120;
+  std::vector<OpId> Ops;
+  for (int I = 0; I < N; ++I) {
+    OpId Op2 = G.addOperation(op("n"));
+    if (I > 0 && I % 3 != 0)
+      G.addEdge(Ops[static_cast<size_t>(I / 2)], Op2, HbRule::RProgram);
+    if (I > 4 && I % 5 == 0)
+      G.addEdge(Ops[static_cast<size_t>(I - 4)], Op2, HbRule::RProgram);
+    Ops.push_back(Op2);
+  }
+  for (int A = 0; A < N; ++A)
+    for (int B = 0; B < N; ++B) {
+      OpId OA = Ops[static_cast<size_t>(A)], OB = Ops[static_cast<size_t>(B)];
+      EXPECT_EQ(G.reachesDfs(OA, OB), G.reachesVectorClock(OA, OB))
+          << "mismatch for " << OA << " -> " << OB;
+    }
+}
+
+TEST(HbGraphTest, StrategySwitch) {
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  OpId B = G.addOperation(op("b"));
+  G.addEdge(A, B, HbRule::RProgram);
+  G.setUseVectorClocks(true);
+  EXPECT_TRUE(G.usesVectorClocks());
+  EXPECT_TRUE(G.happensBefore(A, B));
+  G.setUseVectorClocks(false);
+  EXPECT_TRUE(G.happensBefore(A, B));
+}
+
+TEST(HbGraphTest, ChainDecompositionIsCompact) {
+  // A pure chain should use exactly one chain.
+  HbGraph G;
+  OpId Prev = G.addOperation(op("head"));
+  for (int I = 0; I < 50; ++I) {
+    OpId Next = G.addOperation(op("link"));
+    G.addEdge(Prev, Next, HbRule::RProgram);
+    Prev = Next;
+  }
+  EXPECT_TRUE(G.reachesVectorClock(1, Prev));
+  EXPECT_EQ(G.numChains(), 1u);
+}
+
+TEST(HbGraphTest, ExplainPath) {
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  OpId B = G.addOperation(op("b"));
+  OpId C = G.addOperation(op("c"));
+  G.addEdge(A, B, HbRule::R16_SetTimeout);
+  G.addEdge(B, C, HbRule::R3_ExeBeforeLoad);
+  auto Path = G.explainPath(A, C);
+  ASSERT_EQ(Path.size(), 3u);
+  EXPECT_EQ(Path[0], A);
+  EXPECT_EQ(Path[2], C);
+  EXPECT_TRUE(G.explainPath(C, A).empty());
+  HbRule Rule;
+  ASSERT_TRUE(G.findDirectEdgeRule(A, B, Rule));
+  EXPECT_EQ(Rule, HbRule::R16_SetTimeout);
+  EXPECT_FALSE(G.findDirectEdgeRule(A, C, Rule));
+}
+
+TEST(HbGraphTest, MemoizedQueriesStableUnderGrowth) {
+  // Adding later operations must not change reachability between
+  // existing pairs (the memoization soundness property).
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  OpId B = G.addOperation(op("b"));
+  EXPECT_FALSE(G.happensBefore(A, B)); // Memoized as unreachable.
+  OpId C = G.addOperation(op("c"));
+  G.addEdge(A, C, HbRule::RProgram);
+  G.addEdge(B, C, HbRule::RProgram);
+  // Still unreachable: edges only point at the new op.
+  EXPECT_FALSE(G.happensBefore(A, B));
+  EXPECT_TRUE(G.happensBefore(A, C));
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+//===- tests/html_test.cpp - HTML tokenizer/parser tests --------------------===//
+
+#include "html/HtmlParser.h"
+#include "html/Tokenizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+using namespace wr::html;
+
+namespace {
+
+TEST(TokenizerTest, SimpleTags) {
+  auto Tokens = Tokenizer::tokenizeAll("<div id=\"a\">hi</div>");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].TokKind, HtmlToken::Kind::StartTag);
+  EXPECT_EQ(Tokens[0].Name, "div");
+  EXPECT_EQ(Tokens[0].attr("id"), "a");
+  EXPECT_EQ(Tokens[1].TokKind, HtmlToken::Kind::Text);
+  EXPECT_EQ(Tokens[1].Text, "hi");
+  EXPECT_EQ(Tokens[2].TokKind, HtmlToken::Kind::EndTag);
+  EXPECT_EQ(Tokens[3].TokKind, HtmlToken::Kind::Eof);
+}
+
+TEST(TokenizerTest, AttributeStyles) {
+  auto Tokens = Tokenizer::tokenizeAll(
+      "<input type=text CHECKED value='a b' data-x=\"q\" />");
+  ASSERT_GE(Tokens.size(), 1u);
+  const HtmlToken &T = Tokens[0];
+  EXPECT_EQ(T.attr("type"), "text");
+  EXPECT_TRUE(T.hasAttr("checked"));
+  EXPECT_EQ(T.attr("checked"), "");
+  EXPECT_EQ(T.attr("value"), "a b");
+  EXPECT_EQ(T.attr("data-x"), "q");
+  EXPECT_TRUE(T.SelfClosing);
+}
+
+TEST(TokenizerTest, ScriptRawText) {
+  auto Tokens = Tokenizer::tokenizeAll(
+      "<script>if (a < b) { x = '</div>'; }</script><p>");
+  ASSERT_GE(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Name, "script");
+  EXPECT_EQ(Tokens[1].TokKind, HtmlToken::Kind::Text);
+  // Raw text swallows everything up to </script>, including fake tags...
+  EXPECT_NE(Tokens[1].Text.find("a < b"), std::string::npos);
+  EXPECT_NE(Tokens[1].Text.find("</div>"), std::string::npos);
+  EXPECT_EQ(Tokens[2].TokKind, HtmlToken::Kind::EndTag);
+  EXPECT_EQ(Tokens[2].Name, "script");
+  EXPECT_EQ(Tokens[3].Name, "p");
+}
+
+TEST(TokenizerTest, CommentsAndDoctype) {
+  auto Tokens = Tokenizer::tokenizeAll(
+      "<!DOCTYPE html><!-- a <div> inside --><b></b>");
+  EXPECT_EQ(Tokens[0].TokKind, HtmlToken::Kind::Doctype);
+  EXPECT_EQ(Tokens[1].TokKind, HtmlToken::Kind::Comment);
+  EXPECT_EQ(Tokens[2].Name, "b");
+}
+
+TEST(TokenizerTest, LiteralLessThanInText) {
+  auto Tokens = Tokenizer::tokenizeAll("a < b <em>c</em>");
+  EXPECT_EQ(Tokens[0].TokKind, HtmlToken::Kind::Text);
+  EXPECT_EQ(Tokens[0].Text, "a < b ");
+  EXPECT_EQ(Tokens[1].Name, "em");
+}
+
+TEST(ScriptClassifyTest, Kinds) {
+  uint32_t NextId = 1;
+  Document Doc(1, NextId);
+  Element *S = Doc.createElement("script");
+  EXPECT_EQ(classifyScript(S), ScriptKind::Inline);
+  S->setAttribute("src", "a.js");
+  EXPECT_EQ(classifyScript(S), ScriptKind::SyncExternal);
+  S->setAttribute("async", "true");
+  EXPECT_EQ(classifyScript(S), ScriptKind::AsyncExternal);
+  S->removeAttribute("async");
+  S->setAttribute("defer", "defer");
+  EXPECT_EQ(classifyScript(S), ScriptKind::DeferredExternal);
+  S->setAttribute("async", "false"); // Explicit false: not async.
+  EXPECT_EQ(classifyScript(S), ScriptKind::DeferredExternal);
+  // Async/defer require a src.
+  Element *S2 = Doc.createElement("script");
+  S2->setAttribute("async", "true");
+  EXPECT_EQ(classifyScript(S2), ScriptKind::Inline);
+}
+
+class ParserTest : public ::testing::Test {
+protected:
+  ParserTest() : Doc(1, NextNodeId) {}
+
+  std::vector<ParseStep> parseAll(std::string Src) {
+    HtmlParser P(Doc, std::move(Src));
+    std::vector<ParseStep> Steps;
+    for (;;) {
+      ParseStep S = P.pump();
+      Steps.push_back(S);
+      if (S.StepKind == ParseStep::Kind::Finished)
+        break;
+    }
+    return Steps;
+  }
+
+  uint32_t NextNodeId = 1;
+  Document Doc;
+};
+
+TEST_F(ParserTest, ElementsOpenInSyntacticOrder) {
+  auto Steps = parseAll("<div id=a><span id=b></span></div><p id=c></p>");
+  std::vector<std::string> Opened;
+  for (const ParseStep &S : Steps)
+    if (S.StepKind == ParseStep::Kind::ElementOpened)
+      Opened.push_back(S.Elem->idAttr());
+  // Paper Sec. 3.1: a precedes b precedes c (opening-tag order).
+  EXPECT_EQ(Opened, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(ParserTest, TreeStructure) {
+  parseAll("<div id=outer><em id=inner></em></div>");
+  Element *Outer = Doc.getElementById("outer");
+  Element *Inner = Doc.getElementById("inner");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->parent(), Outer);
+  EXPECT_EQ(Outer->parent(), Doc.body());
+}
+
+TEST_F(ParserTest, ElementsInsertedAtOpeningTag) {
+  HtmlParser P(Doc, "<div id=x><p></p></div>");
+  ParseStep S = P.pump();
+  ASSERT_EQ(S.StepKind, ParseStep::Kind::ElementOpened);
+  // Visible in the document before its subtree finishes parsing.
+  EXPECT_TRUE(S.Elem->inDocument());
+  EXPECT_EQ(Doc.getElementById("x"), S.Elem);
+}
+
+TEST_F(ParserTest, InlineScriptContent) {
+  auto Steps = parseAll("<script>x = 1 < 2;</script>");
+  ASSERT_GE(Steps.size(), 3u);
+  EXPECT_EQ(Steps[0].StepKind, ParseStep::Kind::ElementOpened);
+  EXPECT_EQ(Steps[0].Elem->tagName(), "script");
+  EXPECT_EQ(Steps[1].StepKind, ParseStep::Kind::ScriptComplete);
+  EXPECT_EQ(Steps[1].Text, "x = 1 < 2;");
+}
+
+TEST_F(ParserTest, ExternalScript) {
+  auto Steps = parseAll("<script src=\"a.js\"></script>");
+  EXPECT_EQ(Steps[1].StepKind, ParseStep::Kind::ScriptComplete);
+  EXPECT_EQ(Steps[1].Text, "");
+  EXPECT_EQ(Steps[1].Elem->getAttribute("src"), "a.js");
+}
+
+TEST_F(ParserTest, VoidElements) {
+  auto Steps = parseAll("<img src=a.png><input type=text><br><div></div>");
+  size_t Opens = 0;
+  for (const ParseStep &S : Steps)
+    if (S.StepKind == ParseStep::Kind::ElementOpened)
+      ++Opens;
+  EXPECT_EQ(Opens, 4u);
+  // img has no children despite no closing tag.
+  Element *Img = Doc.getElementsByTagName("img")[0];
+  EXPECT_TRUE(Img->children().empty());
+  Element *Div = Doc.getElementsByTagName("div")[0];
+  EXPECT_EQ(Div->parent(), Doc.body());
+}
+
+TEST_F(ParserTest, HeadAndBodySections) {
+  parseAll("<html><head><meta charset=utf8><title>t</title></head>"
+           "<body><p id=p1></p></body></html>");
+  Element *Meta = Doc.getElementsByTagName("meta")[0];
+  EXPECT_EQ(Meta->parent(), Doc.head());
+  Element *P1 = Doc.getElementById("p1");
+  ASSERT_NE(P1, nullptr);
+  EXPECT_EQ(P1->parent(), Doc.body());
+}
+
+TEST_F(ParserTest, MismatchedTagsRecover) {
+  auto Steps = parseAll("<div><p>text</div><em></em>");
+  (void)Steps;
+  Element *Em = Doc.getElementsByTagName("em")[0];
+  EXPECT_EQ(Em->parent(), Doc.body());
+}
+
+TEST_F(ParserTest, UnterminatedScriptCompletesAtEof) {
+  auto Steps = parseAll("<script>x = 1;");
+  bool SawComplete = false;
+  for (const ParseStep &S : Steps)
+    if (S.StepKind == ParseStep::Kind::ScriptComplete) {
+      SawComplete = true;
+      EXPECT_EQ(S.Text, "x = 1;");
+    }
+  EXPECT_TRUE(SawComplete);
+}
+
+TEST_F(ParserTest, StaticFlag) {
+  parseAll("<div id=s></div>");
+  EXPECT_TRUE(Doc.getElementById("s")->isStatic());
+  auto Dynamic = HtmlParser::parseFragment(Doc, Doc.body(), "<p id=d></p>");
+  ASSERT_EQ(Dynamic.size(), 1u);
+  EXPECT_FALSE(Dynamic[0]->isStatic());
+  EXPECT_TRUE(Dynamic[0]->inDocument());
+}
+
+TEST_F(ParserTest, WhitespaceOnlyTextSkipped) {
+  auto Steps = parseAll("<div>   \n  </div>");
+  for (const ParseStep &S : Steps)
+    EXPECT_NE(S.StepKind, ParseStep::Kind::TextAdded);
+}
+
+TEST_F(ParserTest, IframeAttrs) {
+  parseAll("<iframe id=i src=\"nested.html\" onload=\"go()\"></iframe>");
+  Element *Frame = Doc.getElementById("i");
+  ASSERT_NE(Frame, nullptr);
+  EXPECT_EQ(Frame->getAttribute("src"), "nested.html");
+  EXPECT_EQ(Frame->getAttribute("onload"), "go()");
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- tests/instr_test.cpp - instrumentation plumbing tests -------------------===//
+
+#include "instr/Instrumentation.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+
+namespace {
+
+/// Counts every callback.
+class CountingSink final : public InstrumentationSink {
+public:
+  int Created = 0, Begun = 0, Ended = 0, Edges = 0, Accesses = 0,
+      Dispatches = 0, Crashes = 0;
+
+  void onOperationCreated(OpId, const Operation &) override { ++Created; }
+  void onOperationBegin(OpId) override { ++Begun; }
+  void onOperationEnd(OpId, bool Crashed) override {
+    ++Ended;
+    if (Crashed)
+      ++Crashes;
+  }
+  void onHbEdge(OpId, OpId, HbRule) override { ++Edges; }
+  void onMemoryAccess(const Access &) override { ++Accesses; }
+  void onEventDispatch(NodeId, const std::string &, int32_t, OpId,
+                       OpId) override {
+    ++Dispatches;
+  }
+};
+
+Access someAccess() {
+  Access A;
+  A.Kind = AccessKind::Write;
+  A.Op = 1;
+  A.Loc = JSVarLoc{0, "x"};
+  return A;
+}
+
+TEST(MultiSinkTest, FansOutInOrder) {
+  MultiSink Multi;
+  CountingSink A, B;
+  Multi.addSink(&A);
+  Multi.addSink(&B);
+  Operation Meta;
+  Multi.onOperationCreated(1, Meta);
+  Multi.onOperationBegin(1);
+  Multi.onMemoryAccess(someAccess());
+  Multi.onHbEdge(1, 2, HbRule::RProgram);
+  Multi.onEventDispatch(3, "click", 0, 4, 5);
+  Multi.onOperationEnd(1, true);
+  for (CountingSink *S : {&A, &B}) {
+    EXPECT_EQ(S->Created, 1);
+    EXPECT_EQ(S->Begun, 1);
+    EXPECT_EQ(S->Accesses, 1);
+    EXPECT_EQ(S->Edges, 1);
+    EXPECT_EQ(S->Dispatches, 1);
+    EXPECT_EQ(S->Ended, 1);
+    EXPECT_EQ(S->Crashes, 1);
+  }
+}
+
+TEST(MultiSinkTest, ClearRemovesSinks) {
+  MultiSink Multi;
+  CountingSink A;
+  Multi.addSink(&A);
+  Multi.clear();
+  Multi.onOperationBegin(1);
+  EXPECT_EQ(A.Begun, 0);
+}
+
+TEST(TraceRecorderTest, RecordsEverything) {
+  TraceRecorder Trace;
+  Operation Meta;
+  Meta.Kind = OperationKind::ExecuteScript;
+  Meta.Label = "exe <script>";
+  Trace.onOperationCreated(1, Meta);
+  Trace.onOperationBegin(1);
+  Trace.onMemoryAccess(someAccess());
+  Trace.onHbEdge(1, 2, HbRule::R16_SetTimeout);
+  Trace.onEventDispatch(7, "load", 0, 3, 4);
+  Trace.onOperationEnd(1, false);
+  EXPECT_EQ(Trace.events().size(), 6u);
+  EXPECT_EQ(Trace.count(TraceRecorder::EventKind::OpCreated), 1u);
+  EXPECT_EQ(Trace.count(TraceRecorder::EventKind::MemAccess), 1u);
+  EXPECT_EQ(Trace.count(TraceRecorder::EventKind::HbEdge), 1u);
+  EXPECT_EQ(Trace.count(TraceRecorder::EventKind::Dispatch), 1u);
+}
+
+TEST(TraceRecorderTest, ToStringIsReadable) {
+  TraceRecorder Trace;
+  Operation Meta;
+  Meta.Kind = OperationKind::TimeoutCallback;
+  Meta.Label = "cb(timer 1)";
+  Trace.onOperationCreated(9, Meta);
+  Trace.onHbEdge(3, 9, HbRule::R16_SetTimeout);
+  Trace.onMemoryAccess(someAccess());
+  Trace.onOperationEnd(9, true);
+  std::string Text = Trace.toString();
+  EXPECT_NE(Text.find("op 9 created: cb cb(timer 1)"), std::string::npos);
+  EXPECT_NE(Text.find("hb 3 -> 9"), std::string::npos);
+  EXPECT_NE(Text.find("rule 16"), std::string::npos);
+  EXPECT_NE(Text.find("write var global.x"), std::string::npos);
+  EXPECT_NE(Text.find("(crashed)"), std::string::npos);
+}
+
+TEST(OperationTest, KindNames) {
+  EXPECT_STREQ(toString(OperationKind::ParseElement), "parse");
+  EXPECT_STREQ(toString(OperationKind::ExecuteScript), "exe");
+  EXPECT_STREQ(toString(OperationKind::TimeoutCallback), "cb");
+  EXPECT_STREQ(toString(OperationKind::IntervalCallback), "cbi");
+  EXPECT_STREQ(toString(OperationKind::EventHandler), "handler");
+  EXPECT_STREQ(toString(OperationKind::ScriptSlice), "slice");
+}
+
+TEST(HbRuleTest, RuleNamesMentionPaperNumbers) {
+  EXPECT_NE(std::string(toString(HbRule::R1a_ParseOrder)).find("rule 1a"),
+            std::string::npos);
+  EXPECT_NE(std::string(toString(HbRule::R10_AjaxSend)).find("rule 10"),
+            std::string::npos);
+  EXPECT_NE(std::string(toString(HbRule::R17_SetInterval)).find("rule 17"),
+            std::string::npos);
+  EXPECT_NE(
+      std::string(toString(HbRule::RA_InlineSplit)).find("appendix"),
+      std::string::npos);
+}
+
+} // namespace

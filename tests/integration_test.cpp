@@ -1,0 +1,360 @@
+//===- tests/integration_test.cpp - whole-engine integration tests -------------===//
+//
+// Cross-module scenarios: nested frames, dynamic insertion chains, GC
+// pressure during page loads, timer-clear races (our extension closing
+// the paper's Sec. 7 gap), schedule invariance of HB-based detection,
+// and event-dispatch phasing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/RaceDetector.h"
+#include "detect/Report.h"
+#include "runtime/Browser.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+using namespace wr::rt;
+using namespace wr::detect;
+
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+protected:
+  IntegrationTest() { reset(BrowserOptions()); }
+
+  void reset(BrowserOptions Opts) {
+    B = std::make_unique<Browser>(Opts);
+    D = std::make_unique<RaceDetector>(B->hb());
+    B->addSink(D.get());
+  }
+
+  std::string global(const std::string &Name) {
+    js::Value *V = B->interp().globalEnv()->findOwn(Name);
+    return V ? js::toDisplayString(*V) : "<undeclared>";
+  }
+
+  std::unique_ptr<Browser> B;
+  std::unique_ptr<RaceDetector> D;
+};
+
+TEST_F(IntegrationTest, TwoLevelNestedIframes) {
+  B->network().addResource("index.html",
+                           "<script>var log = 'main';</script>"
+                           "<iframe src=\"mid.html\"></iframe>",
+                           10);
+  B->network().addResource("mid.html",
+                           "<script>log += '+mid';</script>"
+                           "<iframe src=\"inner.html\"></iframe>",
+                           500);
+  B->network().addResource("inner.html",
+                           "<script>log += '+inner';</script>", 500);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  EXPECT_EQ(global("log"), "main+mid+inner");
+  EXPECT_EQ(B->windows().size(), 3u);
+  // Every window completed its load cycle (rule 7 chains them).
+  for (const auto &W : B->windows())
+    EXPECT_TRUE(W->loadFired());
+  // Rule 6 ordering: no races on log despite three documents (each
+  // nested script is ordered after its iframe's creation).
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<JSVarLoc>(&R.Loc);
+    EXPECT_FALSE(Loc && Loc->Name == "log") << describeRace(R, B->hb());
+  }
+}
+
+TEST_F(IntegrationTest, SiblingIframesShareGlobalsAndRace) {
+  B->network().addResource("index.html",
+                           "<iframe src=\"a.html\"></iframe>"
+                           "<iframe src=\"b.html\"></iframe>",
+                           10);
+  B->network().addResource("a.html", "<script>shared = 'a';</script>",
+                           400);
+  B->network().addResource("b.html", "<script>shared = 'b';</script>",
+                           600);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  EXPECT_EQ(global("shared"), "b"); // Later write wins this schedule.
+  bool Raced = false;
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<JSVarLoc>(&R.Loc);
+    if (Loc && Loc->Name == "shared")
+      Raced = true;
+  }
+  EXPECT_TRUE(Raced);
+}
+
+TEST_F(IntegrationTest, DynamicScriptInsertsScript) {
+  B->network().addResource(
+      "index.html",
+      "<script>"
+      "var s = document.createElement('script');"
+      "s.src = 'first.js';"
+      "document.body.appendChild(s);"
+      "</script>",
+      10);
+  B->network().addResource("first.js",
+                           "var s2 = document.createElement('script');"
+                           "s2.src = 'second.js';"
+                           "document.body.appendChild(s2);"
+                           "var firstRan = true;",
+                           200);
+  B->network().addResource("second.js", "var secondRan = true;", 200);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  EXPECT_EQ(global("firstRan"), "true");
+  EXPECT_EQ(global("secondRan"), "true");
+  // Rule 2 chains creator -> exe at each hop: no races on these globals.
+  EXPECT_TRUE(D->races().empty()) << describeRaces(D->races(), B->hb());
+}
+
+TEST_F(IntegrationTest, GcPressureDuringPageLoad) {
+  BrowserOptions Opts;
+  reset(Opts);
+  B->heap().setGcThreshold(64); // Collect constantly.
+  B->network().addResource(
+      "index.html",
+      "<script>"
+      "var keep = [];"
+      "function tick(n) {"
+      "  var garbage = [];"
+      "  for (var i = 0; i < 50; i++) garbage.push({v: i});"
+      "  keep.push(n);"
+      "  if (n < 10) setTimeout(function() { tick(n + 1); }, 5);"
+      "}"
+      "tick(0);"
+      "</script>",
+      10);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  EXPECT_EQ(global("keep"), "0,1,2,3,4,5,6,7,8,9,10");
+  EXPECT_GT(B->heap().numCollections(), 0u);
+  EXPECT_TRUE(B->crashLog().empty());
+}
+
+TEST_F(IntegrationTest, TimerClearRaceDetected) {
+  // Our extension past the paper's Sec. 7 gap: an iframe-load handler
+  // clearing a timer races with that timer's firing (they are unordered;
+  // whether the callback runs depends on frame latency vs timer delay).
+  // Frame slower than the timer: the callback fires (read), then the
+  // clear (write) - the read-write race is observable.
+  B->network().addResource(
+      "index.html",
+      "<script>"
+      "var late = setTimeout(function() { window.fired = true; }, 50);"
+      "</script>"
+      "<iframe src=\"frame.html\""
+      " onload=\"clearTimeout(late);\"></iframe>",
+      10);
+  B->network().addResource("frame.html", "<p>x</p>", 200000);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  bool TimerRace = false;
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<EventHandlerLoc>(&R.Loc);
+    if (Loc && Loc->EventType == "timer")
+      TimerRace = true;
+  }
+  EXPECT_TRUE(TimerRace) << describeRaces(D->races(), B->hb());
+}
+
+TEST_F(IntegrationTest, TimerClearInstrumentationToggle) {
+  BrowserOptions Opts;
+  Opts.InstrumentTimerClears = false; // Paper fidelity.
+  reset(Opts);
+  B->network().addResource(
+      "index.html",
+      "<script>"
+      "var late = setTimeout(function() { window.fired = true; }, 50);"
+      "</script>"
+      "<iframe src=\"frame.html\""
+      " onload=\"clearTimeout(window.lateId);\"></iframe>"
+      "<script>window.lateId = late;</script>",
+      10);
+  B->network().addResource("frame.html", "<p>x</p>", 200);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<EventHandlerLoc>(&R.Loc);
+    EXPECT_FALSE(Loc && Loc->EventType == "timer");
+  }
+}
+
+TEST_F(IntegrationTest, OrderedClearDoesNotRace) {
+  // Clearing a timer from a later chained callback is ordered (rule 17).
+  B->network().addResource(
+      "index.html",
+      "<script>"
+      "var n = 0;"
+      "var iv = setInterval(function() {"
+      "  n++; if (n >= 3) clearInterval(iv);"
+      "}, 10);"
+      "</script>",
+      10);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<EventHandlerLoc>(&R.Loc);
+    EXPECT_FALSE(Loc && Loc->EventType == "timer")
+        << describeRace(R, B->hb());
+  }
+}
+
+TEST_F(IntegrationTest, HbRacesInvariantAcrossJitterSeeds) {
+  // HB-based detection must report the same race *locations* regardless
+  // of which schedule the jittered latencies produce.
+  auto RacesWithSeed = [](uint64_t Seed) {
+    BrowserOptions Opts;
+    Opts.Seed = Seed;
+    Browser B2(Opts);
+    RaceDetector D2(B2.hb());
+    B2.addSink(&D2);
+    B2.network().addResource("index.html",
+                             "<iframe src=\"a.html\"></iframe>"
+                             "<iframe src=\"b.html\"></iframe>",
+                             10);
+    B2.network().addResourceWithJitter(
+        "a.html", "<script>x1 = 1; x2 = 1;</script>", 100, 5000);
+    B2.network().addResourceWithJitter(
+        "b.html", "<script>x1 = 2; x2 = 2;</script>", 100, 5000);
+    B2.loadPage("index.html");
+    B2.runToQuiescence();
+    std::set<std::string> Locs;
+    for (const Race &R : D2.races())
+      Locs.insert(toString(R.Loc));
+    return Locs;
+  };
+  auto First = RacesWithSeed(1);
+  EXPECT_EQ(First.size(), 2u);
+  for (uint64_t Seed : {2u, 3u, 10u, 99u})
+    EXPECT_EQ(RacesWithSeed(Seed), First) << "seed " << Seed;
+}
+
+TEST_F(IntegrationTest, DispatchPhasingAcrossNestedTargets) {
+  // Appendix A: one dispatch's handlers execute capture -> target ->
+  // bubble, and two dispatches of the same event are fully ordered
+  // (rule 9) - no races among any of the handler executions.
+  B->network().addResource(
+      "index.html",
+      "<div id=\"outer\"><div id=\"mid\"><button id=\"btn\"></button>"
+      "</div></div>"
+      "<script>"
+      "var log = '';"
+      "function tag(t) { return function() { log += t; }; }"
+      "document.getElementById('outer')"
+      "  .addEventListener('click', tag('Oc'), true);"
+      "document.getElementById('mid')"
+      "  .addEventListener('click', tag('Mc'), true);"
+      "document.getElementById('outer')"
+      "  .addEventListener('click', tag('Ob'), false);"
+      "document.getElementById('mid')"
+      "  .addEventListener('click', tag('Mb'), false);"
+      "document.getElementById('btn')"
+      "  .addEventListener('click', tag('T'));"
+      "</script>",
+      10);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  Element *Btn = B->mainWindow()->document().getElementById("btn");
+  B->userClick(Btn);
+  B->userClick(Btn);
+  B->runToQuiescence();
+  EXPECT_EQ(global("log"), "OcMcTMbObOcMcTMbOb");
+  // Handler executions of one dispatch are chained, and the two
+  // dispatches are ordered by rule 9: no race may involve two handler
+  // operations. (A race between the *installing script* and a handler is
+  // correct - the user could click before the listeners attach.)
+  for (const Race &R : D->races()) {
+    const Operation &First = B->hb().operation(R.First.Op);
+    const Operation &Second = B->hb().operation(R.Second.Op);
+    EXPECT_FALSE(First.Kind == OperationKind::EventHandler &&
+                 Second.Kind == OperationKind::EventHandler)
+        << describeRace(R, B->hb());
+  }
+}
+
+TEST_F(IntegrationTest, InlineDispatchOrdersSubsequentCode) {
+  // Appendix A splitting: code after el.click() is ordered after the
+  // dispatched handlers, so their shared accesses do not race.
+  B->network().addResource(
+      "index.html",
+      "<button id=\"b\"></button>"
+      "<script>"
+      "var shared = 0;"
+      "document.getElementById('b').onclick ="
+      "  function() { shared = 1; };"
+      "document.getElementById('b').click();"
+      "var after = shared;"
+      "</script>",
+      10);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  EXPECT_EQ(global("after"), "1");
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<JSVarLoc>(&R.Loc);
+    EXPECT_FALSE(Loc && Loc->Name == "shared")
+        << describeRace(R, B->hb());
+  }
+}
+
+TEST_F(IntegrationTest, RemoveChildRaces) {
+  // Element removal is a write (Sec. 4.2): a timer-driven removal races
+  // with a user click reading the element.
+  B->network().addResource(
+      "index.html",
+      "<div id=\"victim\"></div>"
+      "<a id=\"peek\" href=\"javascript:void(document.getElementById("
+      "'victim'))\">peek</a>"
+      "<script>"
+      "setTimeout(function() {"
+      "  var v = document.getElementById('victim');"
+      "  if (v != null) { document.body.removeChild(v); }"
+      "}, 30);"
+      "</script>",
+      10);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  B->userClick(B->mainWindow()->document().getElementById("peek"));
+  B->runToQuiescence();
+  bool Found = false;
+  for (const Race &R : D->races()) {
+    const auto *Loc = std::get_if<HtmlElemLoc>(&R.Loc);
+    if (R.Kind == RaceKind::Html && Loc && Loc->Key == "victim")
+      Found = true;
+  }
+  EXPECT_TRUE(Found) << describeRaces(D->races(), B->hb());
+}
+
+TEST_F(IntegrationTest, ManyOperationsScale) {
+  // A page generating thousands of operations stays fast and sound.
+  std::string Html = "<script>var total = 0;</script>";
+  for (int I = 0; I < 200; ++I)
+    Html += "<div id=\"d" + std::to_string(I) + "\"></div>"
+            "<script>total += 1;</script>";
+  B->network().addResource("index.html", Html, 10);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  EXPECT_EQ(global("total"), "200");
+  EXPECT_GT(B->hb().numOperations(), 400u);
+  EXPECT_TRUE(D->races().empty()); // Fully parse-chain ordered.
+}
+
+TEST_F(IntegrationTest, StyleAttributeParsing) {
+  B->network().addResource(
+      "index.html",
+      "<div id=\"s\" style=\"display: none; color: red\"></div>"
+      "<script>"
+      "var d = document.getElementById('s');"
+      "var before = d.style.display + '/' + d.style.color;"
+      "d.style.display = 'block';"
+      "var after = d.style.display;"
+      "</script>",
+      10);
+  B->loadPage("index.html");
+  B->runToQuiescence();
+  EXPECT_EQ(global("before"), "none/red");
+  EXPECT_EQ(global("after"), "block");
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+//===- tests/js_heap_test.cpp - MiniJS GC heap tests -----------------------===//
+
+#include "js/Heap.h"
+#include "js/Interpreter.h"
+#include "js/Parser.h"
+#include "js/StdLib.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+using namespace wr::js;
+
+namespace {
+
+/// Roots a fixed set of values for tests.
+class FixedRoots final : public RootProvider {
+public:
+  std::vector<Value> Values;
+  std::vector<GcObject *> Objects;
+
+  void traceRoots(GcTracer &T) override {
+    for (const Value &V : Values)
+      T.trace(V);
+    for (GcObject *O : Objects)
+      T.trace(O);
+  }
+};
+
+TEST(HeapTest, CollectReclaimsUnreachable) {
+  Heap H;
+  FixedRoots Roots;
+  H.addRootProvider(&Roots);
+  Object *Kept = H.allocObject();
+  Roots.Values.push_back(Value(Kept));
+  for (int I = 0; I < 100; ++I)
+    H.allocObject(); // Garbage.
+  EXPECT_EQ(H.numLive(), 101u);
+  size_t Freed = H.collect();
+  EXPECT_EQ(Freed, 100u);
+  EXPECT_EQ(H.numLive(), 1u);
+}
+
+TEST(HeapTest, PropertiesKeepObjectsAlive) {
+  Heap H;
+  FixedRoots Roots;
+  H.addRootProvider(&Roots);
+  Object *Outer = H.allocObject();
+  Object *Inner = H.allocObject();
+  Outer->setOwnProperty("child", Value(Inner));
+  Roots.Values.push_back(Value(Outer));
+  H.collect();
+  EXPECT_EQ(H.numLive(), 2u);
+  Outer->deleteOwnProperty("child");
+  H.collect();
+  EXPECT_EQ(H.numLive(), 1u);
+}
+
+TEST(HeapTest, ArrayElementsKeepObjectsAlive) {
+  Heap H;
+  FixedRoots Roots;
+  H.addRootProvider(&Roots);
+  Object *Arr = H.allocArray();
+  Arr->elements().push_back(Value(H.allocObject()));
+  Roots.Values.push_back(Value(Arr));
+  H.collect();
+  EXPECT_EQ(H.numLive(), 2u);
+}
+
+TEST(HeapTest, PrototypeKeptAlive) {
+  Heap H;
+  FixedRoots Roots;
+  H.addRootProvider(&Roots);
+  Object *Proto = H.allocObject();
+  Object *O = H.allocObject();
+  O->setProto(Proto);
+  Roots.Values.push_back(Value(O));
+  H.collect();
+  EXPECT_EQ(H.numLive(), 2u);
+}
+
+TEST(HeapTest, EnvChainKeptAlive) {
+  Heap H;
+  FixedRoots Roots;
+  H.addRootProvider(&Roots);
+  Env *G = H.allocEnv(nullptr);
+  Env *Child = H.allocEnv(G);
+  Object *Held = H.allocObject();
+  Child->define("x", Value(Held));
+  Roots.Objects.push_back(Child);
+  H.collect();
+  EXPECT_EQ(H.numLive(), 3u); // Child + parent + held object.
+}
+
+TEST(HeapTest, CyclesAreCollected) {
+  Heap H;
+  FixedRoots Roots;
+  H.addRootProvider(&Roots);
+  Object *A = H.allocObject();
+  Object *B = H.allocObject();
+  A->setOwnProperty("next", Value(B));
+  B->setOwnProperty("next", Value(A));
+  // No roots: both should go despite the cycle (mark/sweep, not refcount).
+  size_t Freed = H.collect();
+  EXPECT_EQ(Freed, 2u);
+  EXPECT_EQ(H.numLive(), 0u);
+}
+
+TEST(HeapTest, GlobalEnvGetsContainerIdZero) {
+  Heap H;
+  Env *G = H.allocEnv(nullptr);
+  EXPECT_EQ(G->containerId(), 0u);
+  Object *O = H.allocObject();
+  EXPECT_GT(O->containerId(), 0u);
+}
+
+TEST(HeapTest, ClosureSurvivesCollection) {
+  Heap H;
+  FixedRoots Roots;
+  H.addRootProvider(&Roots);
+  Env *G = H.allocEnv(nullptr);
+  Roots.Objects.push_back(G);
+  Interpreter I(H, G);
+  installStdLib(I, 1);
+  ParseResult R = Parser::parseProgram(R"(
+    function make() { var n = 41; return function() { return n + 1; }; }
+    var f = make();
+  )");
+  ASSERT_TRUE(R.ok());
+  I.runProgram(*R.Ast);
+  H.collect();
+  // Call the closure after GC: its captured environment must be intact.
+  Value *F = G->findOwn("f");
+  ASSERT_NE(F, nullptr);
+  Completion C = I.callFunction(*F, Value(), {});
+  ASSERT_FALSE(C.isThrow());
+  EXPECT_DOUBLE_EQ(C.V.asNumber(), 42);
+}
+
+TEST(HeapTest, MaybeCollectHonorsThreshold) {
+  Heap H;
+  FixedRoots Roots;
+  H.addRootProvider(&Roots);
+  H.setGcThreshold(10);
+  for (int I = 0; I < 9; ++I)
+    H.allocObject();
+  H.maybeCollect();
+  EXPECT_EQ(H.numCollections(), 0u);
+  H.allocObject();
+  H.maybeCollect();
+  EXPECT_EQ(H.numCollections(), 1u);
+  EXPECT_EQ(H.numLive(), 0u);
+}
+
+TEST(HeapTest, InterpreterStressWithGc) {
+  Heap H;
+  FixedRoots Roots;
+  H.addRootProvider(&Roots);
+  Env *G = H.allocEnv(nullptr);
+  Roots.Objects.push_back(G);
+  Interpreter I(H, G);
+  installStdLib(I, 1);
+  ParseResult R = Parser::parseProgram(R"(
+    var keep = [];
+    for (var i = 0; i < 200; i++) {
+      var tmp = {idx: i, arr: [i, i + 1, i + 2]};
+      if (i % 50 == 0) keep.push(tmp);
+    }
+    var result = keep.length;
+  )");
+  ASSERT_TRUE(R.ok());
+  Completion C = I.runProgram(*R.Ast);
+  ASSERT_FALSE(C.isThrow()) << toDisplayString(C.V);
+  size_t LiveBefore = H.numLive();
+  H.collect();
+  EXPECT_LT(H.numLive(), LiveBefore); // Temporaries reclaimed.
+  EXPECT_DOUBLE_EQ(G->findOwn("result")->asNumber(), 4);
+  // Kept objects still reachable and intact.
+  ParseResult R2 = Parser::parseProgram("var result = keep[2].idx;");
+  ASSERT_TRUE(R2.ok());
+  C = I.runProgram(*R2.Ast);
+  ASSERT_FALSE(C.isThrow());
+  EXPECT_DOUBLE_EQ(G->findOwn("result")->asNumber(), 100);
+}
+
+} // namespace

@@ -1,0 +1,558 @@
+//===- tests/js_interp_test.cpp - MiniJS interpreter tests ----------------===//
+
+#include "js/Interpreter.h"
+#include "js/Parser.h"
+#include "js/StdLib.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+using namespace wr::js;
+
+namespace {
+
+class InterpTest : public ::testing::Test {
+protected:
+  InterpTest() : Global(TheHeap.allocEnv(nullptr)), Interp(TheHeap, Global) {
+    installStdLib(Interp, 1);
+  }
+
+  /// Runs a program; returns its completion. The AST stays alive for the
+  /// fixture's lifetime (function values point into it).
+  Completion run(std::string_view Src) {
+    ParseResult R = Parser::parseProgram(Src);
+    EXPECT_TRUE(R.ok()) << (R.Diags.empty() ? "?" : R.Diags[0].Message);
+    if (!R.Ast)
+      return Completion::normal();
+    Programs.push_back(std::move(R.Ast));
+    return Interp.runProgram(*Programs.back());
+  }
+
+  /// Runs and returns the value of global `result`.
+  Value result(std::string_view Src) {
+    Completion C = run(Src);
+    EXPECT_FALSE(C.isThrow()) << toDisplayString(C.V);
+    Value *V = Global->findOwn("result");
+    return V ? *V : Value();
+  }
+
+  double num(std::string_view Src) {
+    Value V = result(Src);
+    EXPECT_TRUE(V.isNumber()) << toDisplayString(V);
+    return V.isNumber() ? V.asNumber() : 0;
+  }
+
+  std::string str(std::string_view Src) {
+    Value V = result(Src);
+    EXPECT_TRUE(V.isString()) << toDisplayString(V);
+    return V.isString() ? V.asString() : "";
+  }
+
+  Heap TheHeap;
+  Env *Global;
+  Interpreter Interp;
+  std::vector<std::unique_ptr<Program>> Programs;
+};
+
+TEST_F(InterpTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(num("var result = 1 + 2 * 3 - 4 / 2;"), 5);
+  EXPECT_DOUBLE_EQ(num("var result = 7 % 3;"), 1);
+  EXPECT_DOUBLE_EQ(num("var result = (1 + 2) * 3;"), 9);
+}
+
+TEST_F(InterpTest, StringConcat) {
+  EXPECT_EQ(str("var result = 'a' + 'b' + 1;"), "ab1");
+  EXPECT_EQ(str("var result = 1 + 2 + 'x';"), "3x");
+  EXPECT_EQ(str("var result = 'v=' + 2.5;"), "v=2.5");
+}
+
+TEST_F(InterpTest, Comparisons) {
+  EXPECT_EQ(result("var result = 1 < 2;").asBool(), true);
+  EXPECT_EQ(result("var result = 'a' < 'b';").asBool(), true);
+  EXPECT_EQ(result("var result = 2 == '2';").asBool(), true);
+  EXPECT_EQ(result("var result = 2 === '2';").asBool(), false);
+  EXPECT_EQ(result("var result = null == undefined;").asBool(), true);
+  EXPECT_EQ(result("var result = null === undefined;").asBool(), false);
+  EXPECT_EQ(result("var result = NaN == NaN;").asBool(), false);
+}
+
+TEST_F(InterpTest, LogicalShortCircuit) {
+  EXPECT_DOUBLE_EQ(num("var result = 0 || 5;"), 5);
+  EXPECT_DOUBLE_EQ(num("var result = 3 && 7;"), 7);
+  EXPECT_DOUBLE_EQ(
+      num("var x = 0; function f() { x = 1; return 2; } var result = 1 || "
+          "f(); result = result + x * 10;"),
+      1); // f never ran
+}
+
+TEST_F(InterpTest, VarHoisting) {
+  // `x` is visible (undefined) before its declaration executes.
+  EXPECT_EQ(str("var result = typeof x; var x = 3;"), "undefined");
+}
+
+TEST_F(InterpTest, FunctionHoisting) {
+  // Calling before the declaration works: function declarations are
+  // assigned at scope entry (paper Sec. 4.1).
+  EXPECT_DOUBLE_EQ(num("var result = f(); function f() { return 11; }"), 11);
+}
+
+TEST_F(InterpTest, Closures) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    function counter() {
+      var n = 0;
+      return function() { n = n + 1; return n; };
+    }
+    var c = counter();
+    c(); c();
+    var result = c();
+  )"),
+                   3);
+}
+
+TEST_F(InterpTest, ClosuresShareEnvironment) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    function make() {
+      var n = 0;
+      return {
+        inc: function() { n = n + 1; },
+        get: function() { return n; }
+      };
+    }
+    var o = make();
+    o.inc(); o.inc(); o.inc();
+    var result = o.get();
+  )"),
+                   3);
+}
+
+TEST_F(InterpTest, Recursion) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); }
+    var result = fact(10);
+  )"),
+                   3628800);
+}
+
+TEST_F(InterpTest, RecursionDepthLimit) {
+  Completion C = run("function f() { return f(); } f();");
+  EXPECT_TRUE(C.isThrow());
+  EXPECT_NE(toDisplayString(C.V).find("RangeError"), std::string::npos);
+}
+
+TEST_F(InterpTest, Objects) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    var o = {a: 1, b: {c: 2}};
+    o.d = o.a + o.b.c;
+    var result = o.d;
+  )"),
+                   3);
+}
+
+TEST_F(InterpTest, ObjectPropertyDelete) {
+  EXPECT_EQ(str(R"(
+    var o = {a: 1};
+    delete o.a;
+    var result = typeof o.a;
+  )"),
+            "undefined");
+}
+
+TEST_F(InterpTest, Arrays) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    var a = [1, 2, 3];
+    a.push(4);
+    a[5] = 6;
+    var result = a.length + a[3];
+  )"),
+                   10);
+}
+
+TEST_F(InterpTest, ArrayMethods) {
+  EXPECT_EQ(str("var result = [1,2,3].join('-');"), "1-2-3");
+  EXPECT_DOUBLE_EQ(num("var result = [5,6,7].indexOf(6);"), 1);
+  EXPECT_DOUBLE_EQ(num("var a=[1,2,3,4]; var result = a.slice(1,3).length;"),
+                   2);
+  EXPECT_DOUBLE_EQ(num("var a=[1,2,3]; a.splice(1,1); var result = a[1];"),
+                   3);
+  EXPECT_DOUBLE_EQ(num("var a=[1]; var b=a.concat([2,3]); var result = "
+                       "b.length;"),
+                   3);
+  EXPECT_DOUBLE_EQ(num("var a=[3,1]; a.reverse(); var result = a[0];"), 1);
+  EXPECT_DOUBLE_EQ(num("var a=[1,2]; var result = a.pop() + a.length;"), 3);
+  EXPECT_DOUBLE_EQ(num("var a=[1,2]; var result = a.shift() * 10 + "
+                       "a.length;"),
+                   11);
+}
+
+TEST_F(InterpTest, StringMethods) {
+  EXPECT_EQ(str("var result = 'Hello'.toLowerCase();"), "hello");
+  EXPECT_EQ(str("var result = 'hello'.toUpperCase();"), "HELLO");
+  EXPECT_DOUBLE_EQ(num("var result = 'hello'.indexOf('ll');"), 2);
+  EXPECT_EQ(str("var result = 'hello'.substring(1, 3);"), "el");
+  EXPECT_EQ(str("var result = 'hello'.slice(-3);"), "llo");
+  EXPECT_EQ(str("var result = 'a,b,c'.split(',')[1];"), "b");
+  EXPECT_EQ(str("var result = 'aXbXc'.replace('X', '-');"), "a-bXc");
+  EXPECT_EQ(str("var result = '  hi '.trim();"), "hi");
+  EXPECT_EQ(str("var result = 'abc'.charAt(1);"), "b");
+  EXPECT_DOUBLE_EQ(num("var result = 'abc'.length;"), 3);
+  EXPECT_EQ(str("var result = 'abc'[2];"), "c");
+}
+
+TEST_F(InterpTest, ControlFlow) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    var s = 0;
+    for (var i = 1; i <= 10; i++) { if (i % 2 == 0) continue; s += i; }
+    var result = s;
+  )"),
+                   25);
+  EXPECT_DOUBLE_EQ(num(R"(
+    var n = 0;
+    while (true) { n++; if (n >= 7) break; }
+    var result = n;
+  )"),
+                   7);
+  EXPECT_DOUBLE_EQ(num("var n = 0; do { n++; } while (n < 3); var result = "
+                       "n;"),
+                   3);
+}
+
+TEST_F(InterpTest, ForIn) {
+  EXPECT_EQ(str(R"(
+    var o = {x: 1, y: 2};
+    var keys = '';
+    for (var k in o) keys += k;
+    var result = keys;
+  )"),
+            "xy");
+}
+
+TEST_F(InterpTest, Switch) {
+  EXPECT_EQ(str(R"(
+    function f(v) {
+      switch (v) {
+      case 1: return 'one';
+      case 2: return 'two';
+      default: return 'many';
+      }
+    }
+    var result = f(1) + f(2) + f(9);
+  )"),
+            "onetwomany");
+}
+
+TEST_F(InterpTest, SwitchFallthrough) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    var n = 0;
+    switch (2) { case 1: n += 1; case 2: n += 2; case 3: n += 4; }
+    var result = n;
+  )"),
+                   6);
+}
+
+TEST_F(InterpTest, TryCatch) {
+  EXPECT_EQ(str(R"(
+    var result = 'no';
+    try { null.x = 1; } catch (e) { result = e.name; }
+  )"),
+            "TypeError");
+}
+
+TEST_F(InterpTest, TryFinally) {
+  EXPECT_EQ(str(R"(
+    var log = '';
+    function f() {
+      try { log += 'a'; return 'r'; } finally { log += 'b'; }
+    }
+    f();
+    var result = log;
+  )"),
+            "ab");
+}
+
+TEST_F(InterpTest, ThrowUserValue) {
+  Completion C = run("throw 'boom';");
+  EXPECT_TRUE(C.isThrow());
+  EXPECT_EQ(toDisplayString(C.V), "boom");
+}
+
+TEST_F(InterpTest, UncaughtReferenceError) {
+  Completion C = run("noSuchFunction();");
+  EXPECT_TRUE(C.isThrow());
+  EXPECT_NE(toDisplayString(C.V).find("ReferenceError"), std::string::npos);
+}
+
+TEST_F(InterpTest, TypeofUndeclaredDoesNotThrow) {
+  EXPECT_EQ(str("var result = typeof neverDeclared;"), "undefined");
+}
+
+TEST_F(InterpTest, TypeofKinds) {
+  EXPECT_EQ(str("var result = typeof 1;"), "number");
+  EXPECT_EQ(str("var result = typeof 'x';"), "string");
+  EXPECT_EQ(str("var result = typeof true;"), "boolean");
+  EXPECT_EQ(str("var result = typeof {};"), "object");
+  EXPECT_EQ(str("var result = typeof null;"), "object");
+  EXPECT_EQ(str("var result = typeof function(){};"), "function");
+  EXPECT_EQ(str("var result = typeof undefined;"), "undefined");
+}
+
+TEST_F(InterpTest, UpdateExpressions) {
+  EXPECT_DOUBLE_EQ(num("var x = 5; var result = x++ * 10 + x;"), 56);
+  EXPECT_DOUBLE_EQ(num("var x = 5; var result = ++x * 10 + x;"), 66);
+  EXPECT_DOUBLE_EQ(num("var o = {n: 1}; o.n++; var result = o.n;"), 2);
+  EXPECT_DOUBLE_EQ(num("var a = [7]; a[0]--; var result = a[0];"), 6);
+}
+
+TEST_F(InterpTest, CompoundAssignment) {
+  EXPECT_DOUBLE_EQ(num("var x = 10; x += 5; x -= 3; x *= 2; x /= 4; x %= 4; "
+                       "var result = x;"),
+                   2);
+  EXPECT_EQ(str("var s = 'a'; s += 'b'; var result = s;"), "ab");
+}
+
+TEST_F(InterpTest, NewWithPrototype) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    function Point(x, y) { this.x = x; this.y = y; }
+    Point.prototype.norm2 = function() { return this.x * this.x + this.y *
+    this.y; };
+    var p = new Point(3, 4);
+    var result = p.norm2();
+  )"),
+                   25);
+}
+
+TEST_F(InterpTest, InstanceOf) {
+  EXPECT_EQ(result(R"(
+    function A() {}
+    var a = new A();
+    var result = a instanceof A;
+  )")
+                .asBool(),
+            true);
+}
+
+TEST_F(InterpTest, InOperator) {
+  EXPECT_EQ(result("var result = 'a' in {a: 1};").asBool(), true);
+  EXPECT_EQ(result("var result = 'b' in {a: 1};").asBool(), false);
+  EXPECT_EQ(result("var result = '0' in [9];").asBool(), true);
+}
+
+TEST_F(InterpTest, CallAndApply) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    function add(a, b) { return this.base + a + b; }
+    var ctx = {base: 100};
+    var result = add.call(ctx, 1, 2) + add.apply(ctx, [10, 20]);
+  )"),
+                   233);
+}
+
+TEST_F(InterpTest, MathBuiltins) {
+  EXPECT_DOUBLE_EQ(num("var result = Math.floor(3.7) + Math.ceil(3.2);"), 7);
+  EXPECT_DOUBLE_EQ(num("var result = Math.max(1, 5, 3) + Math.min(2, -1);"),
+                   4);
+  EXPECT_DOUBLE_EQ(num("var result = Math.abs(-4) + Math.sqrt(9);"), 7);
+  EXPECT_DOUBLE_EQ(num("var result = Math.pow(2, 10);"), 1024);
+}
+
+TEST_F(InterpTest, MathRandomDeterministic) {
+  double A = num("var result = Math.random();");
+  EXPECT_GE(A, 0.0);
+  EXPECT_LT(A, 1.0);
+  // A second fixture with the same seed produces the same first sample.
+  Heap H2;
+  Env *G2 = H2.allocEnv(nullptr);
+  Interpreter I2(H2, G2);
+  installStdLib(I2, 1);
+  ParseResult R = Parser::parseProgram("var result = Math.random();");
+  ASSERT_TRUE(R.ok());
+  I2.runProgram(*R.Ast);
+  EXPECT_DOUBLE_EQ(G2->findOwn("result")->asNumber(), A);
+}
+
+TEST_F(InterpTest, ParseIntAndFloat) {
+  EXPECT_DOUBLE_EQ(num("var result = parseInt('42px');"), 42);
+  EXPECT_DOUBLE_EQ(num("var result = parseInt('ff', 16);"), 255);
+  EXPECT_DOUBLE_EQ(num("var result = parseFloat('2.5rem');"), 2.5);
+  EXPECT_EQ(result("var result = isNaN(parseInt('x'));").asBool(), true);
+}
+
+TEST_F(InterpTest, Conversions) {
+  EXPECT_EQ(str("var result = String(42);"), "42");
+  EXPECT_DOUBLE_EQ(num("var result = Number('3.5');"), 3.5);
+  EXPECT_EQ(result("var result = Boolean('');").asBool(), false);
+  EXPECT_EQ(result("var result = Boolean('x');").asBool(), true);
+  EXPECT_DOUBLE_EQ(num("var result = Number('');"), 0);
+  EXPECT_EQ(result("var result = isNaN(Number('abc'));").asBool(), true);
+}
+
+TEST_F(InterpTest, NumberFormatting) {
+  EXPECT_EQ(str("var result = '' + 0.1;"), "0.1");
+  EXPECT_EQ(str("var result = '' + 1e21;"), "1e+21");
+  EXPECT_EQ(str("var result = '' + (1/0);"), "Infinity");
+  EXPECT_EQ(str("var result = (1.23456).toFixed(2);"), "1.23");
+}
+
+TEST_F(InterpTest, ImplicitGlobalCreation) {
+  EXPECT_DOUBLE_EQ(num("function f() { leaked = 9; } f(); var result = "
+                       "leaked;"),
+                   9);
+}
+
+TEST_F(InterpTest, StepBudgetTerminatesRunaways) {
+  Interp.setStepBudget(10000);
+  Completion C = run("while (true) {}");
+  EXPECT_TRUE(C.isThrow());
+  EXPECT_NE(toDisplayString(C.V).find("step budget"), std::string::npos);
+}
+
+TEST_F(InterpTest, JsonStringify) {
+  EXPECT_EQ(str("var result = JSON.stringify({a: 1, b: 'x', c: [true, "
+                "null]});"),
+            "{\"a\":1,\"b\":\"x\",\"c\":[true,null]}");
+  EXPECT_EQ(str("var result = JSON.stringify('he\\\"llo');"),
+            "\"he\\\"llo\"");
+  EXPECT_EQ(str("var result = JSON.stringify(42.5);"), "42.5");
+}
+
+TEST_F(InterpTest, JsonParse) {
+  EXPECT_DOUBLE_EQ(num("var result = JSON.parse('{\"v\": 7}').v;"), 7);
+  EXPECT_EQ(str("var o = JSON.parse('{\"a\": [1, \"two\", false], "
+                "\"b\": null}'); var result = typeof o.b + o.a[1];"),
+            "objecttwo");
+  EXPECT_DOUBLE_EQ(num("var result = JSON.parse('[-1.5e2]')[0];"), -150);
+}
+
+TEST_F(InterpTest, JsonRoundTrip) {
+  EXPECT_EQ(str("var o = {x: 1, y: {z: [1, 2, 3]}};"
+                "var result = JSON.stringify(JSON.parse("
+                "JSON.stringify(o)));"),
+            "{\"x\":1,\"y\":{\"z\":[1,2,3]}}");
+}
+
+TEST_F(InterpTest, JsonParseErrorThrows) {
+  EXPECT_EQ(str("var result = 'no';"
+                "try { JSON.parse('{broken'); } catch (e) {"
+                "  result = e.name; }"),
+            "SyntaxError");
+}
+
+TEST_F(InterpTest, SequenceExpression) {
+  EXPECT_DOUBLE_EQ(num("var x = (1, 2, 3); var result = x;"), 3);
+}
+
+TEST_F(InterpTest, SwitchDefaultBeforeCases) {
+  // default in the middle: only entered when no case matches, but
+  // fallthrough from it continues.
+  EXPECT_EQ(str(R"(
+    function f(v) {
+      var out = '';
+      switch (v) {
+      case 1: out += 'a';
+      default: out += 'd';
+      case 2: out += 'b';
+      }
+      return out;
+    }
+    var result = f(1) + '/' + f(2) + '/' + f(9);
+  )"),
+            "adb/b/db");
+}
+
+TEST_F(InterpTest, TryFinallyAbruptOverride) {
+  EXPECT_EQ(str(R"(
+    function f() {
+      try { throw 'inner'; }
+      finally { return 'from-finally'; }
+    }
+    var result = f();
+  )"),
+            "from-finally");
+}
+
+TEST_F(InterpTest, NestedTryCatchRethrow) {
+  EXPECT_EQ(str(R"(
+    var result = '';
+    try {
+      try { throw 'x'; }
+      catch (e) { result += 'inner:' + e + ' '; throw 'y'; }
+    } catch (e2) { result += 'outer:' + e2; }
+  )"),
+            "inner:x outer:y");
+}
+
+TEST_F(InterpTest, ForInOverArrayIndices) {
+  EXPECT_EQ(str(R"(
+    var a = ['p', 'q'];
+    a.extra = 1;
+    var keys = '';
+    for (var k in a) keys += k + ';';
+    var result = keys;
+  )"),
+            "0;1;extra;");
+}
+
+TEST_F(InterpTest, BreakInsideSwitchInsideLoop) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    var n = 0;
+    for (var i = 0; i < 5; i++) {
+      switch (i) { case 3: break; default: n++; }
+    }
+    var result = n;
+  )"),
+                   4); // break exits the switch, not the loop.
+}
+
+TEST_F(InterpTest, ClosureCapturesLoopVariableByReference) {
+  // Classic var-capture bug: all closures see the final value.
+  EXPECT_EQ(str(R"(
+    var fns = [];
+    for (var i = 0; i < 3; i++) { fns.push(function() { return i; }); }
+    var result = '' + fns[0]() + fns[1]() + fns[2]();
+  )"),
+            "333");
+}
+
+TEST_F(InterpTest, DeleteArrayElementViaIndex) {
+  EXPECT_EQ(str(R"(
+    var o = {0: 'a', 1: 'b'};
+    delete o[0];
+    var result = (o[0] === undefined) + '/' + o[1];
+  )"),
+            "true/b");
+}
+
+TEST_F(InterpTest, StringComparisonChain) {
+  EXPECT_EQ(str("var result = '' + ('apple' < 'banana') + ('b' >= 'b') +"
+                "('z' <= 'a');"),
+            "truetruefalse");
+}
+
+TEST_F(InterpTest, ThisInMethodCalls) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    var obj = {
+      v: 7,
+      get: function() { return this.v; }
+    };
+    var result = obj.get();
+  )"),
+                   7);
+}
+
+TEST_F(InterpTest, PrototypeChainLookup) {
+  EXPECT_EQ(str(R"(
+    function Base() {}
+    Base.prototype.kind = 'base';
+    var o = new Base();
+    var own = o.hasOwnProperty('kind');
+    var result = o.kind + '/' + own;
+  )"),
+            "base/false");
+}
+
+TEST_F(InterpTest, BitwiseOps) {
+  EXPECT_DOUBLE_EQ(num("var result = (5 & 3) + (5 | 3) + (5 ^ 3);"), 14);
+  EXPECT_DOUBLE_EQ(num("var result = 1 << 4;"), 16);
+  EXPECT_DOUBLE_EQ(num("var result = -8 >> 1;"), -4);
+  EXPECT_DOUBLE_EQ(num("var result = ~0 >>> 28;"), 15);
+}
+
+} // namespace

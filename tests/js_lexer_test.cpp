@@ -1,0 +1,110 @@
+//===- tests/js_lexer_test.cpp - MiniJS lexer tests ------------------------===//
+
+#include "js/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr::js;
+
+namespace {
+
+std::vector<TokenKind> kindsOf(std::string_view Src) {
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Lexer::tokenize(Src))
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+TEST(LexerTest, Empty) {
+  auto Tokens = Lexer::tokenize("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, Numbers) {
+  auto Tokens = Lexer::tokenize("0 42 3.25 1e3 2.5e-2 0xff");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_DOUBLE_EQ(Tokens[0].NumValue, 0);
+  EXPECT_DOUBLE_EQ(Tokens[1].NumValue, 42);
+  EXPECT_DOUBLE_EQ(Tokens[2].NumValue, 3.25);
+  EXPECT_DOUBLE_EQ(Tokens[3].NumValue, 1000);
+  EXPECT_DOUBLE_EQ(Tokens[4].NumValue, 0.025);
+  EXPECT_DOUBLE_EQ(Tokens[5].NumValue, 255);
+}
+
+TEST(LexerTest, NumberFollowedByDotCall) {
+  // `1.toString` is not valid but `x.e` after number must not eat 'e'.
+  auto Tokens = Lexer::tokenize("3e x");
+  // '3e' with no exponent digits lexes as 3 then identifier e.
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Number);
+  EXPECT_DOUBLE_EQ(Tokens[0].NumValue, 3);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Text, "e");
+}
+
+TEST(LexerTest, Strings) {
+  auto Tokens = Lexer::tokenize(R"('a' "b\n" 'it\'s' "\x41" "B")");
+  ASSERT_EQ(Tokens.size(), 6u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b\n");
+  EXPECT_EQ(Tokens[2].Text, "it's");
+  EXPECT_EQ(Tokens[3].Text, "A");
+  EXPECT_EQ(Tokens[4].Text, "B");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  auto Tokens = Lexer::tokenize("'abc");
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::Error);
+}
+
+TEST(LexerTest, Keywords) {
+  auto Kinds = kindsOf("var function if else while return new typeof");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwVar,    TokenKind::KwFunction, TokenKind::KwIf,
+      TokenKind::KwElse,   TokenKind::KwWhile,    TokenKind::KwReturn,
+      TokenKind::KwNew,    TokenKind::KwTypeof,   TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, IdentifiersWithDollarAndUnderscore) {
+  auto Tokens = Lexer::tokenize("$get _x var1");
+  EXPECT_EQ(Tokens[0].Text, "$get");
+  EXPECT_EQ(Tokens[1].Text, "_x");
+  EXPECT_EQ(Tokens[2].Text, "var1");
+}
+
+TEST(LexerTest, Operators) {
+  auto Kinds = kindsOf("== === != !== <= >= && || ++ -- += -= << >> >>>");
+  std::vector<TokenKind> Expected = {
+      TokenKind::EqEq,      TokenKind::EqEqEq,     TokenKind::NotEq,
+      TokenKind::NotEqEq,   TokenKind::LessEq,     TokenKind::GreaterEq,
+      TokenKind::AmpAmp,    TokenKind::PipePipe,   TokenKind::PlusPlus,
+      TokenKind::MinusMinus, TokenKind::PlusAssign, TokenKind::MinusAssign,
+      TokenKind::Shl,       TokenKind::Shr,        TokenKind::UShr,
+      TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, Comments) {
+  auto Kinds = kindsOf("a // line comment\n b /* block\n comment */ c");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, LineNumbers) {
+  auto Tokens = Lexer::tokenize("a\nb\n  c");
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[1].Line, 2u);
+  EXPECT_EQ(Tokens[2].Line, 3u);
+  EXPECT_EQ(Tokens[2].Column, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  auto Tokens = Lexer::tokenize("a # b");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+//===- tests/js_parser_test.cpp - MiniJS parser tests ----------------------===//
+
+#include "js/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr::js;
+
+namespace {
+
+std::string parseDump(std::string_view Src) {
+  ParseResult R = Parser::parseProgram(Src);
+  if (!R.ok())
+    return "ERROR: " + (R.Diags.empty() ? "?" : R.Diags[0].Message);
+  return dumpAst(*R.Ast);
+}
+
+TEST(ParserTest, EmptyProgram) {
+  EXPECT_EQ(parseDump(""), "(program)");
+}
+
+TEST(ParserTest, VarDecl) {
+  EXPECT_EQ(parseDump("var x = 1, y;"), "(program (var (x 1) (y)))");
+}
+
+TEST(ParserTest, Precedence) {
+  EXPECT_EQ(parseDump("x = 1 + 2 * 3;"),
+            "(program (= x (+ 1 (* 2 3))))");
+  EXPECT_EQ(parseDump("x = (1 + 2) * 3;"),
+            "(program (= x (* (+ 1 2) 3)))");
+  EXPECT_EQ(parseDump("x = 1 < 2 && 3 > 4 || 5 == 6;"),
+            "(program (= x (|| (&& (< 1 2) (> 3 4)) (== 5 6))))");
+}
+
+TEST(ParserTest, AssignmentRightAssociative) {
+  EXPECT_EQ(parseDump("a = b = 1;"), "(program (= a (= b 1)))");
+}
+
+TEST(ParserTest, ConditionalExpr) {
+  EXPECT_EQ(parseDump("x = a ? 1 : 2;"), "(program (= x (?: a 1 2)))");
+}
+
+TEST(ParserTest, MemberAndCallChains) {
+  EXPECT_EQ(parseDump("document.getElementById('x').style.display = 'n';"),
+            "(program (= (. (. (call (. document getElementById) \"x\") "
+            "style) display) \"n\"))");
+}
+
+TEST(ParserTest, IndexAccess) {
+  EXPECT_EQ(parseDump("a[i + 1] = a[0];"),
+            "(program (= ([] a (+ i 1)) ([] a 0)))");
+}
+
+TEST(ParserTest, FunctionDeclAndExpr) {
+  EXPECT_EQ(parseDump("function f(a, b) { return a + b; }"),
+            "(program (defun f (a b) (block (return (+ a b)))))");
+  EXPECT_EQ(parseDump("var f = function(x) { return x; };"),
+            "(program (var (f (lambda <anon> (x) (block (return x))))))");
+  EXPECT_EQ(parseDump("var f = function g() {};"),
+            "(program (var (f (lambda g () (block)))))");
+}
+
+TEST(ParserTest, IfElseChain) {
+  EXPECT_EQ(parseDump("if (a) b(); else if (c) d(); else e();"),
+            "(program (if a (call b) (if c (call d) (call e))))");
+}
+
+TEST(ParserTest, Loops) {
+  EXPECT_EQ(parseDump("while (x) { x--; }"),
+            "(program (while x (block (post-- x))))");
+  EXPECT_EQ(parseDump("do x++; while (x < 10);"),
+            "(program (do-while (post++ x) (< x 10)))");
+  EXPECT_EQ(parseDump("for (var i = 0; i < n; i++) f(i);"),
+            "(program (for (var (i 0)) (< i n) (post++ i) (call f i)))");
+  EXPECT_EQ(parseDump("for (;;) break;"),
+            "(program (for () () () (break)))");
+  EXPECT_EQ(parseDump("break;"),
+            "ERROR: 'break' outside of a loop or switch");
+  EXPECT_EQ(parseDump("while (1) for (;;) break;"),
+            "(program (while 1 (for () () () (break))))");
+}
+
+TEST(ParserTest, ForIn) {
+  EXPECT_EQ(parseDump("for (var k in obj) f(k);"),
+            "(program (for-in k obj (call f k)))");
+  EXPECT_EQ(parseDump("for (k in obj) {}"),
+            "(program (for-in k obj (block)))");
+}
+
+TEST(ParserTest, ObjectAndArrayLiterals) {
+  EXPECT_EQ(parseDump("x = {a: 1, 'b c': 2};"),
+            "(program (= x (object (a 1) (b c 2))))");
+  EXPECT_EQ(parseDump("x = [1, 2, [3]];"),
+            "(program (= x (array 1 2 (array 3))))");
+}
+
+TEST(ParserTest, NewExpressions) {
+  EXPECT_EQ(parseDump("x = new XMLHttpRequest();"),
+            "(program (= x (new XMLHttpRequest)))");
+  EXPECT_EQ(parseDump("x = new Image(1, 2).src;"),
+            "(program (= x (. (new Image 1 2) src)))");
+}
+
+TEST(ParserTest, UnaryOperators) {
+  EXPECT_EQ(parseDump("x = typeof f == 'function';"),
+            "(program (= x (== (typeof f) \"function\")))");
+  EXPECT_EQ(parseDump("x = !a && -b;"),
+            "(program (= x (&& (not a) (neg b))))");
+  EXPECT_EQ(parseDump("delete obj.p;"), "(program (delete (. obj p)))");
+}
+
+TEST(ParserTest, SwitchStatement) {
+  EXPECT_EQ(parseDump("switch (x) { case 1: f(); break; default: g(); }"),
+            "(program (switch x (case 1 (call f) (break)) "
+            "(case default (call g))))");
+}
+
+TEST(ParserTest, TryCatchFinally) {
+  EXPECT_EQ(parseDump("try { f(); } catch (e) { g(e); } finally { h(); }"),
+            "(program (try (block (call f)) (catch e (block (call g e))) "
+            "(finally (block (call h)))))");
+}
+
+TEST(ParserTest, ThrowStatement) {
+  EXPECT_EQ(parseDump("throw new Error('x');"),
+            "(program (throw (new Error \"x\")))");
+}
+
+TEST(ParserTest, CommaSequence) {
+  EXPECT_EQ(parseDump("a = 1, b = 2;"),
+            "(program (seq (= a 1) (= b 2)))");
+}
+
+TEST(ParserTest, CompoundAssign) {
+  EXPECT_EQ(parseDump("x += 2; y *= 3;"),
+            "(program (+= x 2) (*= y 3))");
+}
+
+TEST(ParserTest, Errors) {
+  ParseResult R = Parser::parseProgram("var = 3;");
+  EXPECT_FALSE(R.ok());
+  ASSERT_FALSE(R.Diags.empty());
+
+  R = Parser::parseProgram("f(;");
+  EXPECT_FALSE(R.ok());
+
+  R = Parser::parseProgram("return 1;");
+  EXPECT_FALSE(R.ok()); // return outside function
+}
+
+TEST(ParserTest, ErrorsDoNotCascadeInfinitely) {
+  ParseResult R = Parser::parseProgram("@@@ ### !!!");
+  EXPECT_FALSE(R.ok());
+  EXPECT_LE(R.Diags.size(), 32u);
+}
+
+TEST(ParserTest, FunctionCallThisValue) {
+  EXPECT_EQ(parseDump("f.call(this, 1);"),
+            "(program (call (. f call) this 1))");
+}
+
+TEST(ParserTest, NestedClosures) {
+  EXPECT_EQ(
+      parseDump("var f = function() { return function() { return x; }; };"),
+      "(program (var (f (lambda <anon> () (block (return (lambda <anon> () "
+      "(block (return x)))))))))");
+}
+
+TEST(ParserTest, TrailingCommaInArray) {
+  EXPECT_EQ(parseDump("x = [1, 2, ];"), "(program (= x (array 1 2)))");
+}
+
+TEST(ParserTest, BitwiseOps) {
+  EXPECT_EQ(parseDump("x = a | b & c ^ d;"),
+            "(program (= x (| a (^ (& b c) d))))");
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===- tests/mem_test.cpp - logical memory location tests ----------------------===//
+
+#include "mem/Location.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace wr;
+
+namespace {
+
+TEST(LocationTest, JsVarToString) {
+  EXPECT_EQ(toString(Location(JSVarLoc{0, "x"})), "var global.x");
+  EXPECT_EQ(toString(Location(JSVarLoc{42, "f"})), "var obj42.f");
+  EXPECT_EQ(toString(Location(JSVarLoc{domContainerId(7), "value"})),
+            "var node7.value");
+}
+
+TEST(LocationTest, HtmlElemToString) {
+  EXPECT_EQ(toString(Location(
+                HtmlElemLoc{1, ElemKeyKind::ById, InvalidNodeId, "dw"})),
+            "elem doc1 #dw");
+  EXPECT_EQ(toString(Location(HtmlElemLoc{2, ElemKeyKind::ByNode, 9, ""})),
+            "elem doc2 node9");
+  EXPECT_EQ(toString(Location(
+                HtmlElemLoc{1, ElemKeyKind::ByTag, InvalidNodeId, "img"})),
+            "elem doc1 <img>");
+  EXPECT_EQ(toString(Location(HtmlElemLoc{1, ElemKeyKind::ByName,
+                                          InvalidNodeId, "q"})),
+            "elem doc1 name=q");
+}
+
+TEST(LocationTest, EventHandlerToString) {
+  EXPECT_EQ(toString(Location(EventHandlerLoc{5, 0, "load", 0})),
+            "handler (node5, load, h0)");
+  EXPECT_EQ(toString(Location(EventHandlerLoc{InvalidNodeId, 33,
+                                              "readystatechange", 2})),
+            "handler (obj33, readystatechange, h2)");
+}
+
+TEST(LocationTest, EqualityAndHashAgree) {
+  Location A = JSVarLoc{0, "x"};
+  Location B = JSVarLoc{0, "x"};
+  Location C = JSVarLoc{0, "y"};
+  Location D = JSVarLoc{1, "x"};
+  LocationHash H;
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(H(A), H(B));
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D);
+}
+
+TEST(LocationTest, CrossKindNeverEqual) {
+  Location Var = JSVarLoc{0, "x"};
+  Location Elem = HtmlElemLoc{1, ElemKeyKind::ById, InvalidNodeId, "x"};
+  Location Handler = EventHandlerLoc{0, 0, "x", 0};
+  EXPECT_NE(Var, Elem);
+  EXPECT_NE(Var, Handler);
+  EXPECT_NE(Elem, Handler);
+}
+
+TEST(LocationTest, UnorderedSetUsage) {
+  std::unordered_set<Location, LocationHash> Set;
+  Set.insert(JSVarLoc{0, "x"});
+  Set.insert(JSVarLoc{0, "x"});
+  Set.insert(JSVarLoc{0, "y"});
+  Set.insert(HtmlElemLoc{1, ElemKeyKind::ById, InvalidNodeId, "x"});
+  Set.insert(EventHandlerLoc{1, 0, "load", 0});
+  Set.insert(EventHandlerLoc{1, 0, "load", 1}); // Distinct handler.
+  EXPECT_EQ(Set.size(), 5u);
+}
+
+TEST(LocationTest, HandlerIdentityDistinguishesHandlers) {
+  // (el, e, h) with h in the location: disjoint handlers do not
+  // interfere (Sec. 4.3).
+  Location A = EventHandlerLoc{5, 0, "click", 100};
+  Location B = EventHandlerLoc{5, 0, "click", 200};
+  EXPECT_NE(A, B);
+}
+
+TEST(LocationTest, DomContainerHelpers) {
+  ContainerId C = domContainerId(1234);
+  EXPECT_TRUE(isDomContainer(C));
+  EXPECT_EQ(nodeOfContainer(C), 1234u);
+  EXPECT_FALSE(isDomContainer(1234));
+  EXPECT_NE(domContainerId(1), domContainerId(2));
+}
+
+TEST(LocationTest, ElemKeyKindsDistinct) {
+  Location ById = HtmlElemLoc{1, ElemKeyKind::ById, InvalidNodeId, "x"};
+  Location ByName = HtmlElemLoc{1, ElemKeyKind::ByName, InvalidNodeId,
+                                "x"};
+  Location ByTag = HtmlElemLoc{1, ElemKeyKind::ByTag, InvalidNodeId, "x"};
+  EXPECT_NE(ById, ByName);
+  EXPECT_NE(ById, ByTag);
+  LocationHash H;
+  EXPECT_FALSE(H(ById) == H(ByName) && H(ById) == H(ByTag));
+}
+
+TEST(LocationTest, DocumentsSeparateLocations) {
+  Location D1 = HtmlElemLoc{1, ElemKeyKind::ById, InvalidNodeId, "x"};
+  Location D2 = HtmlElemLoc{2, ElemKeyKind::ById, InvalidNodeId, "x"};
+  EXPECT_NE(D1, D2);
+}
+
+TEST(LocationTest, AccessKindAndOriginNames) {
+  EXPECT_STREQ(toString(AccessKind::Read), "read");
+  EXPECT_STREQ(toString(AccessKind::Write), "write");
+  EXPECT_STREQ(toString(AccessOrigin::FunctionDecl), "function-decl");
+  EXPECT_STREQ(toString(AccessOrigin::UserInput), "user-input");
+  EXPECT_STREQ(toString(AccessOrigin::ElemLookup), "elem-lookup");
+  EXPECT_STREQ(toString(AccessOrigin::HandlerInstall), "handler-install");
+}
+
+} // namespace

@@ -1,0 +1,247 @@
+//===- tests/sites_test.cpp - corpus generator & pattern calibration ----------===//
+//
+// Each race pattern must produce exactly the filtered races its manifest
+// promises - this is the calibration that makes the Table 1/2 benches
+// meaningful.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sites/Corpus.h"
+#include "sites/CorpusRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+using namespace wr::sites;
+using namespace wr::detect;
+
+namespace {
+
+SiteRunStats runOnePattern(PatternKind Kind, int Count,
+                           uint64_t Seed = 1234) {
+  SiteSpec Spec;
+  Spec.Name = "TestSite";
+  Spec.Patterns.push_back({Kind, Count});
+  GeneratedSite Site = buildSite(Spec);
+  webracer::SessionOptions Opts;
+  return runSite(Site, Opts, Seed);
+}
+
+void expectMatches(const SiteRunStats &S) {
+  EXPECT_EQ(S.Filtered.Html, static_cast<size_t>(S.Expected.Html))
+      << S.Name << " html";
+  EXPECT_EQ(S.Filtered.Function, static_cast<size_t>(S.Expected.Function))
+      << S.Name << " function";
+  EXPECT_EQ(S.Filtered.Variable, static_cast<size_t>(S.Expected.Variable))
+      << S.Name << " variable";
+  EXPECT_EQ(S.Filtered.EventDispatch,
+            static_cast<size_t>(S.Expected.EventDispatch))
+      << S.Name << " event-dispatch";
+}
+
+TEST(PatternTest, HtmlLookupHarmful) {
+  SiteRunStats S = runOnePattern(PatternKind::HtmlLookupHarmful, 3);
+  expectMatches(S);
+  EXPECT_EQ(S.Filtered.Html, 3u);
+  EXPECT_EQ(S.Raw.Html, 3u);
+}
+
+TEST(PatternTest, HtmlPollingBenign) {
+  SiteRunStats S = runOnePattern(PatternKind::HtmlPollingBenign, 5);
+  expectMatches(S);
+  EXPECT_EQ(S.Filtered.Html, 5u);
+  EXPECT_EQ(S.Crashes, 0u); // Benign: the guard prevents crashes.
+}
+
+TEST(PatternTest, HtmlPollingBenignSingleton) {
+  SiteRunStats S = runOnePattern(PatternKind::HtmlPollingBenign, 1);
+  expectMatches(S);
+  EXPECT_EQ(S.Filtered.Html, 1u);
+}
+
+TEST(PatternTest, FunctionCallHarmful) {
+  SiteRunStats S = runOnePattern(PatternKind::FunctionCallHarmful, 2);
+  expectMatches(S);
+  EXPECT_EQ(S.Filtered.Function, 2u);
+}
+
+TEST(PatternTest, FunctionCallGuarded) {
+  SiteRunStats S = runOnePattern(PatternKind::FunctionCallGuarded, 2);
+  expectMatches(S);
+  EXPECT_EQ(S.Filtered.Function, 2u);
+  EXPECT_EQ(S.Crashes, 0u);
+}
+
+TEST(PatternTest, FormValueHarmful) {
+  SiteRunStats S = runOnePattern(PatternKind::FormValueHarmful, 1);
+  expectMatches(S);
+  EXPECT_EQ(S.Filtered.Variable, 1u);
+}
+
+TEST(PatternTest, FormValueGuardedFilteredOut) {
+  SiteRunStats S = runOnePattern(PatternKind::FormValueGuarded, 1);
+  expectMatches(S);
+  EXPECT_EQ(S.Filtered.Variable, 0u);
+  EXPECT_GE(S.Raw.Variable, 1u); // Raw race exists; the filter removes it.
+}
+
+TEST(PatternTest, FormValueReadBenign) {
+  SiteRunStats S = runOnePattern(PatternKind::FormValueReadBenign, 1);
+  expectMatches(S);
+  EXPECT_EQ(S.Filtered.Variable, 1u);
+}
+
+TEST(PatternTest, GomezMonitorHarmful) {
+  SiteRunStats S = runOnePattern(PatternKind::GomezMonitorHarmful, 4);
+  expectMatches(S);
+  EXPECT_EQ(S.Filtered.EventDispatch, 4u);
+}
+
+TEST(PatternTest, DelayedSingleBenign) {
+  SiteRunStats S = runOnePattern(PatternKind::DelayedSingleBenign, 2);
+  expectMatches(S);
+  EXPECT_EQ(S.Filtered.EventDispatch, 2u);
+}
+
+TEST(PatternTest, VariableNoiseFilteredOut) {
+  SiteRunStats S = runOnePattern(PatternKind::VariableNoiseBenign, 7);
+  expectMatches(S);
+  EXPECT_EQ(S.Raw.Variable, 7u);
+  EXPECT_EQ(S.Filtered.Variable, 0u);
+}
+
+TEST(PatternTest, HoverMenuNoiseFilteredOut) {
+  SiteRunStats S = runOnePattern(PatternKind::HoverMenuNoiseBenign, 6);
+  expectMatches(S);
+  EXPECT_EQ(S.Raw.EventDispatch, 6u);
+  EXPECT_EQ(S.Filtered.EventDispatch, 0u);
+}
+
+TEST(PatternTest, PatternsComposeWithoutInterference) {
+  SiteSpec Spec;
+  Spec.Name = "Composite";
+  Spec.Patterns = {
+      {PatternKind::HtmlLookupHarmful, 2},
+      {PatternKind::FunctionCallHarmful, 1},
+      {PatternKind::FormValueHarmful, 1},
+      {PatternKind::GomezMonitorHarmful, 3},
+      {PatternKind::VariableNoiseBenign, 5},
+      {PatternKind::HoverMenuNoiseBenign, 4},
+  };
+  GeneratedSite Site = buildSite(Spec);
+  webracer::SessionOptions Opts;
+  SiteRunStats S = runSite(Site, Opts, 99);
+  expectMatches(S);
+}
+
+TEST(CorpusTest, Table2RowTotalsMatchPaper) {
+  int Html = 0, HtmlH = 0, Func = 0, FuncH = 0, Var = 0, VarH = 0,
+      Disp = 0, DispH = 0;
+  for (const Table2Row &R : table2Rows()) {
+    Html += R.Html;
+    HtmlH += R.HtmlHarmful;
+    Func += R.Function;
+    FuncH += R.FunctionHarmful;
+    Var += R.Variable;
+    VarH += R.VariableHarmful;
+    Disp += R.Dispatch;
+    DispH += R.DispatchHarmful;
+  }
+  // The paper's Table 2 totals row: 219 (32), 37 (7), 8 (5), 91 (83).
+  EXPECT_EQ(Html, 219);
+  EXPECT_EQ(HtmlH, 32);
+  EXPECT_EQ(Func, 37);
+  EXPECT_EQ(FuncH, 7);
+  EXPECT_EQ(Var, 8);
+  EXPECT_EQ(VarH, 5);
+  EXPECT_EQ(Disp, 91);
+  EXPECT_EQ(DispH, 83);
+}
+
+TEST(CorpusTest, CorpusHas100Sites) {
+  auto Corpus = buildFortune100Corpus(7);
+  EXPECT_EQ(Corpus.size(), 100u);
+  // Names are unique.
+  std::set<std::string> Names;
+  for (const GeneratedSite &S : Corpus)
+    Names.insert(S.Name);
+  EXPECT_EQ(Names.size(), 100u);
+}
+
+TEST(CorpusTest, CorpusDeterministicPerSeed) {
+  auto A = buildFortune100Corpus(7);
+  auto B = buildFortune100Corpus(7);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I].Html, B[I].Html);
+  auto C = buildFortune100Corpus(8);
+  bool AnyDiffers = false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I].Html != C[I].Html)
+      AnyDiffers = true;
+  EXPECT_TRUE(AnyDiffers);
+}
+
+class CorpusSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorpusSeedTest, EveryTable2SiteReproducesExactly) {
+  // The full Table 2 reproduction as a test, for several corpus seeds:
+  // every named site's filtered counts must equal the paper's row
+  // regardless of the background-noise draw, and filler sites must be
+  // clean.
+  auto Corpus = buildFortune100Corpus(GetParam());
+  webracer::SessionOptions Opts;
+  std::map<std::string, const Table2Row *> Rows;
+  for (const Table2Row &R : table2Rows())
+    Rows[R.Name] = &R;
+  Rng SeedGen(GetParam());
+  for (const GeneratedSite &Site : Corpus) {
+    SiteRunStats S = runSite(Site, Opts, SeedGen.next());
+    auto It = Rows.find(Site.Name);
+    if (It == Rows.end()) {
+      EXPECT_EQ(S.Filtered.total(), 0u) << "filler site " << Site.Name;
+      continue;
+    }
+    const Table2Row &Row = *It->second;
+    EXPECT_EQ(S.Filtered.Html, static_cast<size_t>(Row.Html))
+        << Site.Name;
+    EXPECT_EQ(S.Filtered.Function, static_cast<size_t>(Row.Function))
+        << Site.Name;
+    EXPECT_EQ(S.Filtered.Variable, static_cast<size_t>(Row.Variable))
+        << Site.Name;
+    EXPECT_EQ(S.Filtered.EventDispatch, static_cast<size_t>(Row.Dispatch))
+        << Site.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusSeedTest,
+                         ::testing::Values(2012, 7, 424242));
+
+TEST(CorpusTest, FordSiteReproduces112BenignHtmlRaces) {
+  auto Corpus = buildFortune100Corpus(7);
+  const GeneratedSite *Ford = nullptr;
+  for (const GeneratedSite &S : Corpus)
+    if (S.Name == "Ford")
+      Ford = &S;
+  ASSERT_NE(Ford, nullptr);
+  EXPECT_EQ(Ford->Expected.Html, 112);
+  EXPECT_EQ(Ford->Expected.HtmlHarmful, 0);
+  webracer::SessionOptions Opts;
+  SiteRunStats Stats = runSite(*Ford, Opts, 42);
+  EXPECT_EQ(Stats.Filtered.Html, 112u);
+  EXPECT_EQ(Stats.Crashes, 0u);
+}
+
+TEST(CorpusTest, MetLifeReproduces35HarmfulDispatchRaces) {
+  auto Corpus = buildFortune100Corpus(7);
+  const GeneratedSite *Site = nullptr;
+  for (const GeneratedSite &S : Corpus)
+    if (S.Name == "MetLife")
+      Site = &S;
+  ASSERT_NE(Site, nullptr);
+  webracer::SessionOptions Opts;
+  SiteRunStats Stats = runSite(*Site, Opts, 42);
+  EXPECT_EQ(Stats.Filtered.EventDispatch, 35u);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- tests/support_test.cpp - support library tests ----------------------===//
+
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace wr;
+
+TEST(RngTest, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.nextBelow(17);
+    EXPECT_LT(V, 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.nextBelow(5));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(3);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, BoolProbabilityExtremes) {
+  Rng R(5);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+  }
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng R(13);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7};
+  auto Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng A(1);
+  Rng Child = A.fork();
+  EXPECT_NE(A.next(), Child.next());
+}
+
+TEST(StringUtilsTest, ToLower) {
+  EXPECT_EQ(toLower("AbC dEf"), "abc def");
+  EXPECT_EQ(toLower(""), "");
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtilsTest, Split) {
+  auto Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+}
+
+TEST(StringUtilsTest, SplitEmpty) {
+  auto Parts = split("", ',');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "");
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("javascript:foo()", "javascript:"));
+  EXPECT_FALSE(startsWith("java", "javascript"));
+  EXPECT_TRUE(startsWithIgnoreCase("JavaScript:foo", "javascript:"));
+}
+
+TEST(StringUtilsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(equalsIgnoreCase("DIV", "div"));
+  EXPECT_FALSE(equalsIgnoreCase("div", "span"));
+  EXPECT_FALSE(equalsIgnoreCase("div", "divx"));
+}
+
+TEST(StringUtilsTest, EscapeForReport) {
+  EXPECT_EQ(escapeForReport("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(escapeForReport(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(StringUtilsTest, ReplaceAll) {
+  EXPECT_EQ(replaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replaceAll("abc", "", "x"), "abc");
+}
+
+TEST(FormatTest, Basic) {
+  EXPECT_EQ(strFormat("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+  EXPECT_EQ(strFormat("%.2f", 1.234), "1.23");
+  EXPECT_EQ(strFormat("empty"), "empty");
+}
+
+TEST(FormatTest, LongOutput) {
+  std::string Long(500, 'a');
+  EXPECT_EQ(strFormat("%s!", Long.c_str()).size(), 501u);
+}
