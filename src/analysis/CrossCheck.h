@@ -1,0 +1,85 @@
+//===- analysis/CrossCheck.h - Static vs dynamic validation -----*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-validation harness: runs the ahead-of-time static analyzer
+/// and the dynamic detector (a full Session with automatic exploration)
+/// over the same page, maps the dynamic races into static-location space,
+/// and reports precision (what fraction of predictions some run
+/// confirmed) and recall (what fraction of dynamically observed races the
+/// analyzer predicted).
+///
+/// Dynamic races are compared against the detector's *raw* reports: the
+/// Sec. 5.3 filters are reporting refinements, not soundness statements,
+/// and the static analyzer should be measured against everything the
+/// dynamic semantics can produce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_ANALYSIS_CROSSCHECK_H
+#define WEBRACER_ANALYSIS_CROSSCHECK_H
+
+#include "analysis/Scenarios.h"
+#include "webracer/Session.h"
+
+#include <string>
+#include <vector>
+
+namespace wr::analysis {
+
+/// Options for one cross-check run.
+struct CrossCheckOptions {
+  webracer::SessionOptions Session; ///< AutoExplore defaults to on.
+  /// Compare against FilteredRaces instead of RawRaces.
+  bool UseFilteredRaces = false;
+};
+
+/// One dynamically observed race mapped into static-location space.
+struct MappedDynamicRace {
+  detect::RaceKind Kind = detect::RaceKind::Variable;
+  StaticLoc Loc;       ///< Name may be empty when unmappable.
+  std::string Dynamic; ///< Rendering of the dynamic location.
+  bool Predicted = false;
+};
+
+/// Everything one page's cross-check produced.
+struct CrossCheckResult {
+  std::string Name;
+  StaticAnalysis Static;
+  webracer::SessionResult Dynamic;
+  /// The compared dynamic races (raw or filtered per options), mapped.
+  std::vector<MappedDynamicRace> DynamicRaces;
+  /// Predictions at least one dynamic race confirmed.
+  std::vector<PredictedRace> Confirmed;
+  /// Predictions no dynamic race matched (potential false positives).
+  std::vector<PredictedRace> Refuted;
+
+  size_t predictedCount() const { return Static.Races.size(); }
+  size_t confirmedCount() const { return Confirmed.size(); }
+  size_t dynamicCount() const { return DynamicRaces.size(); }
+  size_t missedCount() const;
+
+  /// confirmed / predicted; 1.0 when nothing was predicted.
+  double precision() const;
+  /// (dynamic - missed) / dynamic; 1.0 when nothing was observed.
+  double recall() const;
+};
+
+/// Runs both analyses over \p Page and matches the reports.
+CrossCheckResult crossCheck(const PageSpec &Page,
+                            const CrossCheckOptions &Opts =
+                                CrossCheckOptions());
+
+/// Multi-line per-page report: predictions with their verdicts, dynamic
+/// races with their mapping, and the precision/recall summary.
+std::string formatReport(const CrossCheckResult &R);
+
+/// One aligned table, a row per page plus a totals row.
+std::string formatTable(const std::vector<CrossCheckResult> &Results);
+
+} // namespace wr::analysis
+
+#endif // WEBRACER_ANALYSIS_CROSSCHECK_H

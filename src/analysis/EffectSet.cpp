@@ -1,0 +1,743 @@
+//===- analysis/EffectSet.cpp - Static effect sets for MiniJS ---------------===//
+
+#include "analysis/EffectSet.h"
+
+#include "js/AstVisitor.h"
+#include "js/Parser.h"
+
+#include <unordered_set>
+
+using namespace wr;
+using namespace wr::analysis;
+using namespace wr::js;
+
+const char *wr::analysis::toString(StaticLocKind Kind) {
+  switch (Kind) {
+  case StaticLocKind::Var:
+    return "var";
+  case StaticLocKind::FormField:
+    return "field";
+  case StaticLocKind::Elem:
+    return "elem";
+  case StaticLocKind::Handler:
+    return "handler";
+  }
+  return "unknown";
+}
+
+std::string wr::analysis::toString(const StaticLoc &Loc) {
+  switch (Loc.Kind) {
+  case StaticLocKind::Var:
+    return "var " + Loc.Name;
+  case StaticLocKind::FormField:
+    return "field #" + Loc.Name;
+  case StaticLocKind::Elem:
+    return "elem #" + Loc.Name;
+  case StaticLocKind::Handler:
+    return "handler (" + (Loc.Name.empty() ? "?" : Loc.Name) + ", " +
+           Loc.EventType + ")";
+  }
+  return "?";
+}
+
+size_t StaticLocHash::operator()(const StaticLoc &Loc) const {
+  size_t H = std::hash<std::string>()(Loc.Name);
+  H ^= std::hash<std::string>()(Loc.EventType) + 0x9e3779b9 + (H << 6);
+  return H ^ (static_cast<size_t>(Loc.Kind) << 1);
+}
+
+void EffectSet::add(Effect E) {
+  for (const Effect &Existing : Effects)
+    if (Existing == E)
+      return;
+  Effects.push_back(std::move(E));
+}
+
+bool EffectSet::has(AccessKind Kind, StaticLocKind LocKind,
+                    const std::string &Name,
+                    const std::string &EventType) const {
+  for (const Effect &E : Effects) {
+    if (E.Kind != Kind || E.Loc.Kind != LocKind || E.Loc.Name != Name)
+      continue;
+    if (LocKind == StaticLocKind::Handler && E.Loc.EventType != EventType)
+      continue;
+    return true;
+  }
+  return false;
+}
+
+bool wr::analysis::locationsMayAlias(const StaticLoc &A,
+                                     const StaticLoc &B) {
+  if (A.Kind != B.Kind)
+    return false;
+  if (A.Kind == StaticLocKind::Handler)
+    return A.EventType == B.EventType &&
+           (A.Name == B.Name || A.Name.empty() || B.Name.empty());
+  return A.Name == B.Name;
+}
+
+detect::RaceKind wr::analysis::classifyStaticRace(const Effect &A,
+                                                  const Effect &B) {
+  if (A.Loc.Kind == StaticLocKind::Handler)
+    return detect::RaceKind::EventDispatch;
+  if (A.Loc.Kind == StaticLocKind::Elem)
+    return detect::RaceKind::Html;
+  if (A.Origin == AccessOrigin::FunctionDecl ||
+      B.Origin == AccessOrigin::FunctionDecl)
+    return detect::RaceKind::Function;
+  return detect::RaceKind::Variable;
+}
+
+// ---------------------------------------------------------------------------
+// Hoisted declaration collection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Walks statements the way Interpreter::hoistDeclarations does: function
+/// declarations are visible from anywhere in the enclosing body, even
+/// inside blocks and control flow (but not inside nested functions).
+void collectHoisted(const Stmt *S,
+                    std::vector<const FunctionDecl *> &Fns,
+                    std::vector<std::string> &Vars) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case AstKind::FunctionDecl:
+    Fns.push_back(cast<FunctionDecl>(S));
+    return;
+  case AstKind::VarDecl:
+    for (const VarDecl::Declarator &D : cast<VarDecl>(S)->Decls)
+      Vars.push_back(D.Name);
+    return;
+  case AstKind::Block:
+    for (const StmtPtr &Child : cast<Block>(S)->Stmts)
+      collectHoisted(Child.get(), Fns, Vars);
+    return;
+  case AstKind::If: {
+    const auto *I = cast<If>(S);
+    collectHoisted(I->Then.get(), Fns, Vars);
+    collectHoisted(I->Else.get(), Fns, Vars);
+    return;
+  }
+  case AstKind::While:
+    collectHoisted(cast<While>(S)->Body.get(), Fns, Vars);
+    return;
+  case AstKind::DoWhile:
+    collectHoisted(cast<DoWhile>(S)->Body.get(), Fns, Vars);
+    return;
+  case AstKind::For: {
+    const auto *F = cast<For>(S);
+    collectHoisted(F->Init.get(), Fns, Vars);
+    collectHoisted(F->Body.get(), Fns, Vars);
+    return;
+  }
+  case AstKind::ForIn: {
+    const auto *F = cast<ForIn>(S);
+    if (F->DeclaresVar)
+      Vars.push_back(F->Var);
+    collectHoisted(F->Body.get(), Fns, Vars);
+    return;
+  }
+  case AstKind::Switch:
+    for (const Switch::CaseClause &C : cast<Switch>(S)->Cases)
+      for (const StmtPtr &Child : C.Body)
+        collectHoisted(Child.get(), Fns, Vars);
+    return;
+  case AstKind::Try: {
+    const auto *T = cast<Try>(S);
+    collectHoisted(T->Body.get(), Fns, Vars);
+    collectHoisted(T->Catch.get(), Fns, Vars);
+    collectHoisted(T->Finally.get(), Fns, Vars);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+void wr::analysis::collectDeclaredFunctions(const Program &P,
+                                            FunctionTable &Out) {
+  std::vector<const FunctionDecl *> Fns;
+  std::vector<std::string> Vars;
+  for (const StmtPtr &S : P.Body)
+    collectHoisted(S.get(), Fns, Vars);
+  for (const FunctionDecl *F : Fns)
+    Out[F->Fn.Name] = &F->Fn;
+}
+
+// ---------------------------------------------------------------------------
+// The effect visitor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// What an expression's base statically resolves to, for member-access
+/// modeling.
+enum class BaseKind : uint8_t { None, DomId, Window, Document, Xhr };
+
+struct ResolvedBase {
+  BaseKind Kind = BaseKind::None;
+  std::string Id; ///< DomId only.
+};
+
+class EffectVisitor final : public ConstAstVisitor {
+public:
+  EffectVisitor(const FunctionTable &Fns, EffectSet &Out,
+                std::unordered_set<std::string> &FlattenStack)
+      : Fns(Fns), Out(Out), FlattenStack(FlattenStack) {
+    // Script top level: scope 0 is the global scope (no local names).
+    Scopes.push_back({});
+  }
+
+  /// Runs over a whole script/handler body.
+  void run(const Program &P) {
+    hoistInto(P.Body, /*Global=*/true);
+    for (const StmtPtr &S : P.Body)
+      walkStmt(S.get());
+  }
+
+  /// Runs over a called function's body, flattening its effects into the
+  /// same sink with a fresh local scope.
+  void runFunction(const FunctionLiteral &Fn) {
+    Scopes.push_back({});
+    for (const std::string &Param : Fn.Params)
+      Scopes.back().Locals.insert(Param);
+    if (Fn.Body) {
+      hoistInto(Fn.Body->Stmts, /*Global=*/false);
+      for (const StmtPtr &S : Fn.Body->Stmts)
+        walkStmt(S.get());
+    }
+    Scopes.pop_back();
+  }
+
+private:
+  struct Scope {
+    std::unordered_set<std::string> Locals;
+    /// name -> DOM id, for `var f = document.getElementById('x')`.
+    std::unordered_map<std::string, std::string> DomAliases;
+    /// Names bound to `new XMLHttpRequest()`.
+    std::unordered_set<std::string> XhrAliases;
+    /// Names bound to function literals (var f = function(){...}).
+    std::unordered_map<std::string, const FunctionLiteral *> FnAliases;
+  };
+
+  // -- Scope helpers ---------------------------------------------------------
+
+  bool atScriptTopLevel() const { return Scopes.size() == 1; }
+
+  bool isLocal(const std::string &Name) const {
+    // Scope 0 is the global scope; names there are globals.
+    for (size_t I = Scopes.size(); I > 1; --I)
+      if (Scopes[I - 1].Locals.count(Name))
+        return true;
+    return false;
+  }
+
+  void declare(const std::string &Name) {
+    if (!atScriptTopLevel())
+      Scopes.back().Locals.insert(Name);
+  }
+
+  void hoistInto(const std::vector<StmtPtr> &Body, bool Global) {
+    std::vector<const FunctionDecl *> HoistedFns;
+    std::vector<std::string> HoistedVars;
+    for (const StmtPtr &S : Body)
+      collectHoisted(S.get(), HoistedFns, HoistedVars);
+    for (const std::string &Name : HoistedVars)
+      if (!Global)
+        Scopes.back().Locals.insert(Name);
+    for (const FunctionDecl *F : HoistedFns) {
+      Scopes.back().FnAliases[F->Fn.Name] = &F->Fn;
+      if (Global) {
+        // Hoisting a top-level declaration writes the global (this is
+        // the write side of every function race).
+        Out.add({AccessKind::Write, AccessOrigin::FunctionDecl,
+                 {StaticLocKind::Var, F->Fn.Name, ""}});
+      } else {
+        Scopes.back().Locals.insert(F->Fn.Name);
+      }
+    }
+  }
+
+  const FunctionLiteral *lookupFunction(const std::string &Name) const {
+    for (size_t I = Scopes.size(); I > 0; --I) {
+      auto It = Scopes[I - 1].FnAliases.find(Name);
+      if (It != Scopes[I - 1].FnAliases.end())
+        return It->second;
+    }
+    auto It = Fns.find(Name);
+    return It == Fns.end() ? nullptr : It->second;
+  }
+
+  std::string lookupDomAlias(const std::string &Name) const {
+    for (size_t I = Scopes.size(); I > 0; --I) {
+      auto It = Scopes[I - 1].DomAliases.find(Name);
+      if (It != Scopes[I - 1].DomAliases.end())
+        return It->second;
+    }
+    return std::string();
+  }
+
+  bool isXhrAlias(const std::string &Name) const {
+    for (size_t I = Scopes.size(); I > 0; --I)
+      if (Scopes[I - 1].XhrAliases.count(Name))
+        return true;
+    return false;
+  }
+
+  // -- Emission helpers ------------------------------------------------------
+
+  /// Host-provided names whose reads are ambient, not racy globals.
+  static bool isBuiltinName(const std::string &Name) {
+    static const std::unordered_set<std::string> Builtins = {
+        "window",        "document",      "alert",      "setTimeout",
+        "setInterval",   "clearTimeout",  "clearInterval",
+        "XMLHttpRequest", "console",      "Math",       "JSON",
+        "parseInt",      "parseFloat",    "isNaN",      "String",
+        "Number",        "Boolean",       "Array",      "Object",
+        "Date",          "undefined",     "NaN",        "Infinity"};
+    return Builtins.count(Name) != 0;
+  }
+
+  void readVar(const std::string &Name, AccessOrigin Origin) {
+    if (isLocal(Name) || isBuiltinName(Name))
+      return;
+    Out.add({AccessKind::Read, Origin, {StaticLocKind::Var, Name, ""}});
+  }
+
+  void writeVar(const std::string &Name, AccessOrigin Origin) {
+    if (isLocal(Name))
+      return;
+    Out.add({AccessKind::Write, Origin, {StaticLocKind::Var, Name, ""}});
+  }
+
+  // -- Static value resolution -----------------------------------------------
+
+  /// `document.getElementById('lit')`?
+  static const StringLit *asGetElementByIdCall(const Expr *E) {
+    const auto *C = dyn_cast<Call>(E);
+    if (!C || C->Args.empty())
+      return nullptr;
+    const auto *M = dyn_cast<Member>(C->Callee.get());
+    if (!M || M->Name != "getElementById")
+      return nullptr;
+    return dyn_cast<StringLit>(C->Args[0].get());
+  }
+
+  static bool isNewXhr(const Expr *E) {
+    const auto *N = dyn_cast<New>(E);
+    if (!N)
+      return false;
+    const auto *Callee = dyn_cast<Ident>(N->Callee.get());
+    return Callee && Callee->Name == "XMLHttpRequest";
+  }
+
+  ResolvedBase resolveBase(const Expr *E) {
+    if (const StringLit *IdLit = asGetElementByIdCall(E))
+      return {BaseKind::DomId, IdLit->V};
+    if (const auto *I = dyn_cast<Ident>(E)) {
+      if (I->Name == "window")
+        return {BaseKind::Window, ""};
+      if (I->Name == "document")
+        return {BaseKind::Document, ""};
+      if (isXhrAlias(I->Name))
+        return {BaseKind::Xhr, ""};
+      std::string Alias = lookupDomAlias(I->Name);
+      if (!Alias.empty())
+        return {BaseKind::DomId, Alias};
+    }
+    if (const auto *T = dyn_cast<ThisExpr>(E)) {
+      (void)T;
+      return {BaseKind::None, ""};
+    }
+    return {BaseKind::None, ""};
+  }
+
+  /// Walks \p E for its reads and returns what it resolves to. The
+  /// getElementById pattern is consumed here (emitting the Elem lookup
+  /// read) so callers can alias the result.
+  ResolvedBase evalValue(const Expr *E) {
+    if (!E)
+      return {};
+    if (const StringLit *IdLit = asGetElementByIdCall(E)) {
+      Out.add({AccessKind::Read, AccessOrigin::ElemLookup,
+               {StaticLocKind::Elem, IdLit->V, ""}});
+      return {BaseKind::DomId, IdLit->V};
+    }
+    ResolvedBase R = resolveBase(E);
+    if (const auto *I = dyn_cast<Ident>(E)) {
+      // Even an alias reference reads the (possibly global) binding.
+      readVar(I->Name, AccessOrigin::Plain);
+      return R;
+    }
+    walkExpr(E);
+    return R;
+  }
+
+  /// The callback effects of a handler-ish value: a function expression,
+  /// a named function reference, or handler source text.
+  EffectSet callbackBody(const Expr *Value) {
+    EffectSet Body;
+    if (!Value)
+      return Body;
+    if (const auto *FE = dyn_cast<FunctionExpr>(Value)) {
+      EffectVisitor Sub(Fns, Body, FlattenStack);
+      Sub.runFunction(FE->Fn);
+      return Body;
+    }
+    if (const auto *I = dyn_cast<Ident>(Value)) {
+      // Referencing the handler reads the variable now...
+      readVar(I->Name, AccessOrigin::Plain);
+      // ...the fire re-resolves the name (the Fig. 4 read side)...
+      if (!isLocal(I->Name) && !isBuiltinName(I->Name))
+        Body.add({AccessKind::Read, AccessOrigin::FunctionCall,
+                  {StaticLocKind::Var, I->Name, ""}});
+      // ...and running it has the function's effects.
+      if (const FunctionLiteral *Fn = lookupFunction(I->Name)) {
+        if (FlattenStack.insert(I->Name).second) {
+          EffectVisitor Sub(Fns, Body, FlattenStack);
+          Sub.runFunction(*Fn);
+          FlattenStack.erase(I->Name);
+        }
+      }
+      return Body;
+    }
+    if (const auto *S = dyn_cast<StringLit>(Value)) {
+      // setTimeout("source", ...) form.
+      js::ParseResult PR = js::Parser::parseProgram(S->V);
+      if (PR.Ast) {
+        EffectVisitor Sub(Fns, Body, FlattenStack);
+        Sub.run(*PR.Ast);
+      }
+      return Body;
+    }
+    walkExpr(Value);
+    return Body;
+  }
+
+  // -- Member-access modeling ------------------------------------------------
+
+  static bool isFormValueProp(const std::string &Name) {
+    return Name == "value" || Name == "checked";
+  }
+
+  static bool isEventSlot(const std::string &Name) {
+    return Name.size() > 2 && Name.compare(0, 2, "on") == 0;
+  }
+
+  void memberRead(const Member &M) {
+    ResolvedBase Base = evalValue(M.Base.get());
+    switch (Base.Kind) {
+    case BaseKind::DomId:
+      if (isFormValueProp(M.Name)) {
+        Out.add({AccessKind::Read, AccessOrigin::FormFieldRead,
+                 {StaticLocKind::FormField, Base.Id, ""}});
+      } else if (isEventSlot(M.Name)) {
+        Out.add({AccessKind::Read, AccessOrigin::Plain,
+                 {StaticLocKind::Handler, Base.Id, M.Name.substr(2)}});
+      }
+      return;
+    case BaseKind::Window:
+    case BaseKind::Document:
+      if (isEventSlot(M.Name)) {
+        Out.add({AccessKind::Read, AccessOrigin::Plain,
+                 {StaticLocKind::Handler,
+                  Base.Kind == BaseKind::Window ? "window" : "document",
+                  M.Name.substr(2)}});
+      } else if (Base.Kind == BaseKind::Window) {
+        // window.x aliases the global x.
+        readVar(M.Name, AccessOrigin::Plain);
+      }
+      return;
+    case BaseKind::Xhr:
+    case BaseKind::None:
+      return;
+    }
+  }
+
+  void memberWrite(const Member &M, const Expr *Value, bool CompoundRead) {
+    ResolvedBase Base = evalValue(M.Base.get());
+    std::string Target;
+    switch (Base.Kind) {
+    case BaseKind::DomId:
+      if (isFormValueProp(M.Name)) {
+        if (CompoundRead)
+          Out.add({AccessKind::Read, AccessOrigin::FormFieldRead,
+                   {StaticLocKind::FormField, Base.Id, ""}});
+        evalValue(Value);
+        Out.add({AccessKind::Write, AccessOrigin::FormFieldWrite,
+                 {StaticLocKind::FormField, Base.Id, ""}});
+        return;
+      }
+      Target = Base.Id;
+      break;
+    case BaseKind::Window:
+      Target = "window";
+      break;
+    case BaseKind::Document:
+      Target = "document";
+      break;
+    case BaseKind::Xhr:
+      Target = "";
+      break;
+    case BaseKind::None:
+      if (isEventSlot(M.Name)) {
+        // Unresolvable element reference (collection member, loop
+        // variable): record a wildcard install - it may alias any
+        // target's slot for this event type.
+        break;
+      }
+      evalValue(Value);
+      return;
+    }
+    if (isEventSlot(M.Name)) {
+      std::string Type = M.Name.substr(2);
+      if (Base.Kind == BaseKind::Xhr) {
+        // Remember the body so a later send() anchors the dispatch.
+        PendingXhrHandler = callbackBody(Value);
+        HavePendingXhrHandler = true;
+        return;
+      }
+      Out.add({AccessKind::Write, AccessOrigin::HandlerInstall,
+               {StaticLocKind::Handler, Target, Type}});
+      CallbackReg Reg;
+      Reg.Kind = CallbackKind::EventHandler;
+      Reg.TargetId = Target;
+      Reg.EventType = Type;
+      Reg.Body = callbackBody(Value);
+      Out.Callbacks.push_back(std::move(Reg));
+      return;
+    }
+    if (Base.Kind == BaseKind::Window) {
+      // window.x = v writes the global x.
+      evalValue(Value);
+      if (CompoundRead)
+        readVar(M.Name, AccessOrigin::Plain);
+      writeVar(M.Name, AccessOrigin::Plain);
+      return;
+    }
+    evalValue(Value);
+  }
+
+  // -- Call modeling ---------------------------------------------------------
+
+  void handleTimerCall(const Call &C, bool Interval) {
+    CallbackReg Reg;
+    Reg.Kind = Interval ? CallbackKind::Interval : CallbackKind::Timeout;
+    if (!C.Args.empty())
+      Reg.Body = callbackBody(C.Args[0].get());
+    for (size_t I = 1; I < C.Args.size(); ++I)
+      walkExpr(C.Args[I].get());
+    Out.Callbacks.push_back(std::move(Reg));
+  }
+
+  void handleCall(const Call &C) {
+    // document.getElementById('lit') in expression position.
+    if (const StringLit *IdLit = asGetElementByIdCall(&C)) {
+      Out.add({AccessKind::Read, AccessOrigin::ElemLookup,
+               {StaticLocKind::Elem, IdLit->V, ""}});
+      return;
+    }
+    if (const auto *M = dyn_cast<Member>(C.Callee.get())) {
+      ResolvedBase Base = resolveBase(M->Base.get());
+      // Name-keyed lookups collide with insertion writes too.
+      if (M->Name == "getElementsByName" && !C.Args.empty()) {
+        if (const auto *S = dyn_cast<StringLit>(C.Args[0].get())) {
+          Out.add({AccessKind::Read, AccessOrigin::ElemLookup,
+                   {StaticLocKind::Elem, S->V, ""}});
+          return;
+        }
+      }
+      if ((M->Name == "addEventListener" ||
+           M->Name == "removeEventListener") &&
+          !C.Args.empty()) {
+        std::string Target;
+        switch (Base.Kind) {
+        case BaseKind::DomId:
+          Target = Base.Id;
+          break;
+        case BaseKind::Window:
+          Target = "window";
+          break;
+        case BaseKind::Document:
+          Target = "document";
+          break;
+        default:
+          Target = "";
+          break;
+        }
+        const auto *TypeLit = dyn_cast<StringLit>(C.Args[0].get());
+        std::string Type = TypeLit ? TypeLit->V : "";
+        bool Add = M->Name == "addEventListener";
+        Out.add({AccessKind::Write,
+                 Add ? AccessOrigin::HandlerInstall
+                     : AccessOrigin::HandlerRemove,
+                 {StaticLocKind::Handler, Target, Type}});
+        if (Add) {
+          CallbackReg Reg;
+          Reg.Kind = CallbackKind::EventHandler;
+          Reg.TargetId = Target;
+          Reg.EventType = Type;
+          if (C.Args.size() > 1)
+            Reg.Body = callbackBody(C.Args[1].get());
+          Out.Callbacks.push_back(std::move(Reg));
+        }
+        return;
+      }
+      if (M->Name == "send" && Base.Kind == BaseKind::Xhr) {
+        CallbackReg Reg;
+        Reg.Kind = CallbackKind::XhrDispatch;
+        Reg.EventType = "readystatechange";
+        if (HavePendingXhrHandler) {
+          Reg.Body = PendingXhrHandler;
+          HavePendingXhrHandler = false;
+        }
+        Out.Callbacks.push_back(std::move(Reg));
+        return;
+      }
+      // Generic method call: walk base and arguments.
+      evalValue(M->Base.get());
+      for (const ExprPtr &A : C.Args)
+        walkExpr(A.get());
+      return;
+    }
+    if (const auto *I = dyn_cast<Ident>(C.Callee.get())) {
+      if (I->Name == "setTimeout" || I->Name == "setInterval") {
+        handleTimerCall(C, I->Name == "setInterval");
+        return;
+      }
+      // Resolving the call target reads the name (the read side of a
+      // function race).
+      readVar(I->Name, AccessOrigin::FunctionCall);
+      for (const ExprPtr &A : C.Args)
+        walkExpr(A.get());
+      if (const FunctionLiteral *Fn = lookupFunction(I->Name)) {
+        // Flatten the callee's effects into this source (cycle-guarded).
+        if (FlattenStack.insert(I->Name).second) {
+          runFunction(*Fn);
+          FlattenStack.erase(I->Name);
+        }
+      }
+      return;
+    }
+    walkExpr(C.Callee.get());
+    for (const ExprPtr &A : C.Args)
+      walkExpr(A.get());
+  }
+
+  // -- Assignment modeling ---------------------------------------------------
+
+  void handleAssign(const Assign &A) {
+    bool Compound = A.Op != AssignOp::Assign;
+    if (const auto *T = dyn_cast<Ident>(A.Target.get())) {
+      ResolvedBase Value = evalValue(A.Value.get());
+      if (Compound)
+        readVar(T->Name, AccessOrigin::Plain);
+      writeVar(T->Name, AccessOrigin::Plain);
+      noteAliases(T->Name, Value, A.Value.get());
+      return;
+    }
+    if (const auto *M = dyn_cast<Member>(A.Target.get())) {
+      memberWrite(*M, A.Value.get(), Compound);
+      return;
+    }
+    // Index targets: walk both sides for their reads.
+    walkExpr(A.Target.get());
+    walkExpr(A.Value.get());
+  }
+
+  void noteAliases(const std::string &Name, const ResolvedBase &Value,
+                   const Expr *ValueExpr) {
+    Scope &S = Scopes.back();
+    if (Value.Kind == BaseKind::DomId)
+      S.DomAliases[Name] = Value.Id;
+    if (ValueExpr && isNewXhr(ValueExpr))
+      S.XhrAliases.insert(Name);
+    if (ValueExpr)
+      if (const auto *FE = dyn_cast<FunctionExpr>(ValueExpr))
+        S.FnAliases[Name] = &FE->Fn;
+  }
+
+  // -- Visitor hooks ---------------------------------------------------------
+
+  bool beforeStmt(const Stmt &S) override {
+    switch (S.kind()) {
+    case AstKind::VarDecl: {
+      for (const VarDecl::Declarator &D :
+           cast<VarDecl>(&S)->Decls) {
+        declare(D.Name);
+        if (!D.Init)
+          continue; // Declaring without init is not an access.
+        ResolvedBase Value = evalValue(D.Init.get());
+        writeVar(D.Name, AccessOrigin::Plain);
+        noteAliases(D.Name, Value, D.Init.get());
+      }
+      return false;
+    }
+    case AstKind::FunctionDecl:
+      // Hoisted at scope entry; the body runs only when called.
+      return false;
+    case AstKind::ForIn: {
+      const auto *F = cast<ForIn>(&S);
+      if (F->DeclaresVar)
+        declare(F->Var);
+      writeVar(F->Var, AccessOrigin::Plain);
+      return true; // Default traversal covers Object and Body.
+    }
+    default:
+      return true;
+    }
+  }
+
+  bool beforeExpr(const Expr &E) override {
+    switch (E.kind()) {
+    case AstKind::Ident:
+      readVar(cast<Ident>(&E)->Name, AccessOrigin::Plain);
+      return false;
+    case AstKind::Member:
+      memberRead(*cast<Member>(&E));
+      return false;
+    case AstKind::Call:
+      handleCall(*cast<Call>(&E));
+      return false;
+    case AstKind::Assign:
+      handleAssign(*cast<Assign>(&E));
+      return false;
+    case AstKind::Update: {
+      const auto *U = cast<Update>(&E);
+      if (const auto *T = dyn_cast<Ident>(U->Operand.get())) {
+        readVar(T->Name, AccessOrigin::Plain);
+        writeVar(T->Name, AccessOrigin::Plain);
+        return false;
+      }
+      return true;
+    }
+    case AstKind::FunctionExpr:
+      // A bare function literal has no effects until invoked.
+      return false;
+    default:
+      return true;
+    }
+  }
+
+  const FunctionTable &Fns;
+  EffectSet &Out;
+  std::unordered_set<std::string> &FlattenStack;
+  std::vector<Scope> Scopes;
+  EffectSet PendingXhrHandler;
+  bool HavePendingXhrHandler = false;
+};
+
+} // namespace
+
+EffectSet wr::analysis::computeEffects(const Program &P,
+                                       const FunctionTable &Fns) {
+  EffectSet Out;
+  std::unordered_set<std::string> FlattenStack;
+  EffectVisitor V(Fns, Out, FlattenStack);
+  V.run(P);
+  return Out;
+}

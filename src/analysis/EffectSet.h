@@ -1,0 +1,153 @@
+//===- analysis/EffectSet.h - Static effect sets for MiniJS -----*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The effect-set pass of the static race analyzer: for one script or
+/// handler body it computes, without executing anything, the set of
+/// logical locations the code may read or write. Locations are *static*
+/// counterparts of the paper's Section 4 logical locations, named by
+/// strings instead of runtime identities:
+///
+///  * Var(name)            - a global variable / window property; a write
+///                           performed by hoisting a function declaration
+///                           keeps the FunctionDecl origin so predicted
+///                           races classify as function races.
+///  * FormField(id)        - the value/checked state of the form field
+///                           with the given DOM id (resolved through
+///                           getElementById aliases, flow-insensitively).
+///  * Elem(key)            - an HTML element named by id (getElementById,
+///                           id-keyed insertion) or name attribute.
+///  * Handler(target,type) - the (element, event, slot) handler location;
+///                           target is a DOM id, "window", "document", or
+///                           "" when unresolvable.
+///
+/// Besides plain effects the pass records *callback registrations*
+/// (setTimeout/setInterval bodies, XHR send, event-handler installs):
+/// each carries its own EffectSet and becomes a separate effect source in
+/// the static must-happens-before approximation (StaticHb.h), since the
+/// callback runs in its own operation.
+///
+/// The pass is interprocedural by flattening: calling a function declared
+/// anywhere on the page inlines that function's effects into the caller
+/// (cycle-guarded), matching the paper's observation that races flow
+/// through helper functions (Fig. 3's show()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_ANALYSIS_EFFECTSET_H
+#define WEBRACER_ANALYSIS_EFFECTSET_H
+
+#include "detect/RaceDetector.h"
+#include "js/Ast.h"
+#include "mem/Location.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace wr::analysis {
+
+/// The families of static locations (see file comment).
+enum class StaticLocKind : uint8_t { Var, FormField, Elem, Handler };
+
+const char *toString(StaticLocKind Kind);
+
+/// A statically named logical location.
+struct StaticLoc {
+  StaticLocKind Kind = StaticLocKind::Var;
+  /// Variable name, form-field id, element key, or handler target.
+  std::string Name;
+  /// Event type; Handler locations only.
+  std::string EventType;
+
+  bool operator==(const StaticLoc &O) const = default;
+};
+
+/// Renders e.g. `var x`, `field #depart`, `elem #dw`,
+/// `handler (#i, load)`.
+std::string toString(const StaticLoc &Loc);
+
+struct StaticLocHash {
+  size_t operator()(const StaticLoc &Loc) const;
+};
+
+/// One static effect: a may-read or may-write of a static location. The
+/// AccessOrigin reuses the dynamic taxonomy so race classification and
+/// the report filters speak one language.
+struct Effect {
+  AccessKind Kind = AccessKind::Read;
+  AccessOrigin Origin = AccessOrigin::Plain;
+  StaticLoc Loc;
+
+  bool operator==(const Effect &O) const = default;
+};
+
+struct CallbackReg;
+
+/// The effects of one code body (script, handler, or callback).
+struct EffectSet {
+  /// Deduplicated may-read/may-write effects, in first-occurrence order.
+  std::vector<Effect> Effects;
+  /// Callbacks registered by this body; each runs as its own source.
+  std::vector<CallbackReg> Callbacks;
+
+  /// Records \p E unless an identical effect is already present.
+  void add(Effect E);
+
+  /// True if an effect with the given shape is present (test helper;
+  /// EventType is compared only for Handler locations).
+  bool has(AccessKind Kind, StaticLocKind LocKind, const std::string &Name,
+           const std::string &EventType = std::string()) const;
+};
+
+/// Why a callback will eventually run; determines how StaticHb anchors
+/// the derived source.
+enum class CallbackKind : uint8_t {
+  Timeout,      ///< setTimeout body (HB rule 16 from the registrar).
+  Interval,     ///< setInterval body (rule 17).
+  XhrDispatch,  ///< readystatechange dispatch after send() (rule 10).
+  EventHandler, ///< Handler installed for (target, event); runs at
+                ///< dispatch, which is NOT ordered after the install.
+};
+
+/// One registered callback with its own effects.
+struct CallbackReg {
+  CallbackKind Kind = CallbackKind::Timeout;
+  std::string TargetId;  ///< EventHandler: DOM id / "window" / "document".
+  std::string EventType; ///< EventHandler and XhrDispatch.
+  EffectSet Body;
+};
+
+/// Named functions visible to a page: declaration name to literal. One
+/// table is shared across all scripts of a page so cross-script calls
+/// resolve (a handler calling a function a later script declares is
+/// exactly the paper's function-race shape).
+using FunctionTable =
+    std::unordered_map<std::string, const js::FunctionLiteral *>;
+
+/// Collects top-level (hoisted) function declarations of \p P into
+/// \p Out, descending into blocks and control flow like the
+/// interpreter's hoisting pass.
+void collectDeclaredFunctions(const js::Program &P, FunctionTable &Out);
+
+/// Computes the effect set of a script or handler body. Top-level var
+/// declarations and function declarations are treated as global writes,
+/// matching MiniJS scoping of top-level code.
+EffectSet computeEffects(const js::Program &P, const FunctionTable &Fns);
+
+/// Mirrors the dynamic detector's classification for a racing pair of
+/// static effects on \p Loc (RaceDetector::classify).
+detect::RaceKind classifyStaticRace(const Effect &A, const Effect &B);
+
+/// May the two static locations name the same dynamic location? Exact
+/// for Var/FormField/Elem; Handler targets match wildcards (an empty
+/// target means "could not resolve", which may alias anything of the
+/// same event type).
+bool locationsMayAlias(const StaticLoc &A, const StaticLoc &B);
+
+} // namespace wr::analysis
+
+#endif // WEBRACER_ANALYSIS_EFFECTSET_H

@@ -1,0 +1,120 @@
+//===- analysis/Scenarios.cpp - Shared figure pages for validation ----------===//
+
+#include "analysis/Scenarios.h"
+
+using namespace wr::analysis;
+
+ResourceResolver PageSpec::resolver() const {
+  // Copy the tables so the resolver outlives the spec if needed.
+  std::vector<PageResource> Res = Resources;
+  std::string Entry = EntryUrl;
+  std::string EntryHtml = Html;
+  return [Res = std::move(Res), Entry = std::move(Entry),
+          EntryHtml =
+              std::move(EntryHtml)](const std::string &Url)
+             -> std::optional<std::string> {
+    if (Url == Entry)
+      return EntryHtml;
+    for (const PageResource &R : Res)
+      if (R.Url == Url)
+        return R.Content;
+    return std::nullopt;
+  };
+}
+
+std::vector<PageSpec> wr::analysis::figurePages() {
+  std::vector<PageSpec> Pages;
+
+  // Fig. 1: two sibling frames race on the shared global x.
+  {
+    PageSpec P;
+    P.Name = "fig1";
+    P.EntryUrl = "index.html";
+    P.Html = "<script>x = 1;</script>"
+             "<iframe src=\"a.html\"></iframe>"
+             "<iframe src=\"b.html\"></iframe>";
+    P.Resources.push_back({"a.html", "<script>x = 2;</script>", 2000});
+    P.Resources.push_back({"b.html", "<script>alert(x);</script>", 3000});
+    Pages.push_back(std::move(P));
+  }
+
+  // Fig. 2: a hint script races with user typing on the form field.
+  {
+    PageSpec P;
+    P.Name = "fig2";
+    P.EntryUrl = "index.html";
+    P.Html = "<input type=\"text\" id=\"depart\" />"
+             "<script src=\"hint2.js\"></script>";
+    P.Resources.push_back(
+        {"hint2.js",
+         "document.getElementById('depart').value = 'City of Departure';",
+         3000});
+    Pages.push_back(std::move(P));
+  }
+
+  // Fig. 3: a javascript: link clicked while the slow analytics script
+  // still holds parsing open looks up an element parsed later.
+  {
+    PageSpec P;
+    P.Name = "fig3";
+    P.EntryUrl = "index.html";
+    P.Html = "<script>"
+             "function show(emailTo) {"
+             "  var v = document.getElementById('dw');"
+             "  v.style.display = 'block';"
+             "}"
+             "</script>"
+             "<a id=\"send\" href=\"javascript:show('x@x.com')\">Send "
+             "Email</a>"
+             "<script src=\"analytics.js\"></script>"
+             "<div id=\"dw\" style=\"display:none\">email form</div>";
+    P.Resources.push_back({"analytics.js", "var q = 1;", 4000});
+    Pages.push_back(std::move(P));
+  }
+
+  // Fig. 4: the iframe's onload timer calls a function a later script
+  // declares.
+  {
+    PageSpec P;
+    P.Name = "fig4";
+    P.EntryUrl = "index.html";
+    P.Html = "<iframe id=\"i\" src=\"sub.html\""
+             " onload=\"setTimeout(doNextStep, 20)\"></iframe>"
+             "<script src=\"mid.js\"></script>"
+             "<script>function doNextStep() { window.stepDone = true; }"
+             "</script>";
+    P.Resources.push_back({"sub.html", "<p>sub</p>", 1000});
+    P.Resources.push_back({"mid.js", "var mid = 1;", 3000});
+    Pages.push_back(std::move(P));
+  }
+
+  // Fig. 5: a script installs the iframe's load handler; the frame may
+  // finish loading first.
+  {
+    PageSpec P;
+    P.Name = "fig5";
+    P.EntryUrl = "index.html";
+    P.Html = "<iframe id=\"i\" src=\"a.html\"></iframe>"
+             "<p>padding</p><p>more padding</p>"
+             "<script>document.getElementById('i').onload ="
+             " function() { window.frameLoaded = true; };</script>";
+    P.Resources.push_back({"a.html", "<p>nested</p>", 2000});
+    Pages.push_back(std::move(P));
+  }
+
+  return Pages;
+}
+
+PageSpec wr::analysis::falsePositivePage() {
+  PageSpec P;
+  P.Name = "false-positive";
+  P.EntryUrl = "index.html";
+  P.Html = "<script async src=\"a1.js\"></script>"
+           "<script async src=\"a2.js\"></script>";
+  // The guard never holds, so phantom is never written at runtime; the
+  // flow-insensitive effect set still records the write.
+  P.Resources.push_back(
+      {"a1.js", "if (window.neverSet) { phantom = 1; }", 2000});
+  P.Resources.push_back({"a2.js", "var seen = phantom;", 1000});
+  return P;
+}

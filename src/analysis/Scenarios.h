@@ -1,0 +1,59 @@
+//===- analysis/Scenarios.h - Shared figure pages for validation -*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Fig. 1-5 example pages as self-contained PageSpecs, shared
+/// by the cross-validation harness, the analysis tests, and the
+/// static_crosscheck bench so all three exercise the same HTML the
+/// dynamic figure benches use. Also provides a deliberately imprecise
+/// page whose statically predicted race never happens dynamically - the
+/// false-positive case the cross-check must refute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_ANALYSIS_SCENARIOS_H
+#define WEBRACER_ANALYSIS_SCENARIOS_H
+
+#include "analysis/StaticAnalyzer.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wr::analysis {
+
+/// One external resource of a page.
+struct PageResource {
+  std::string Url;
+  std::string Content;
+  uint64_t LatencyUs = 1000;
+};
+
+/// A page plus everything it needs: enough for both the static analyzer
+/// (via resolver()) and a dynamic Session (via network registration).
+struct PageSpec {
+  std::string Name;     ///< Short label, e.g. "fig1".
+  std::string EntryUrl; ///< Usually "index.html".
+  std::string Html;     ///< Entry document markup.
+  std::vector<PageResource> Resources;
+
+  /// Resolves the page's resources by URL (entry document included).
+  ResourceResolver resolver() const;
+};
+
+/// The five figure pages (fig1..fig5), byte-identical to the markup the
+/// dynamic figure benches load.
+std::vector<PageSpec> figurePages();
+
+/// Two async scripts: one writes a global under a condition that is
+/// never true, the other reads it. Statically unordered with
+/// intersecting effect sets, so a Variable race is predicted; the write
+/// never executes, so no dynamic run confirms it.
+PageSpec falsePositivePage();
+
+} // namespace wr::analysis
+
+#endif // WEBRACER_ANALYSIS_SCENARIOS_H

@@ -1,0 +1,474 @@
+//===- analysis/StaticAnalyzer.cpp - Ahead-of-time race prediction ----------===//
+
+#include "analysis/StaticAnalyzer.h"
+
+#include "html/HtmlParser.h"
+#include "js/Parser.h"
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace wr;
+using namespace wr::analysis;
+
+std::string wr::analysis::toString(const PredictedRace &R) {
+  std::string Out = detect::toString(R.Kind);
+  Out += " race on ";
+  Out += toString(R.Loc);
+  Out += ": ";
+  Out += R.SourceALabel;
+  Out += " <-> ";
+  Out += R.SourceBLabel;
+  return Out;
+}
+
+size_t StaticAnalysis::countByKind(detect::RaceKind Kind) const {
+  size_t N = 0;
+  for (const PredictedRace &R : Races)
+    if (R.Kind == Kind)
+      ++N;
+  return N;
+}
+
+namespace {
+
+/// One opened element or completed script, in parse order.
+struct DocItem {
+  Element *Elem = nullptr;
+  bool IsScript = false;
+  html::ScriptKind Script = html::ScriptKind::Inline;
+  std::string ScriptLabel;
+  std::unique_ptr<js::Program> ScriptAst; ///< Null if unresolved/invalid.
+  /// Content-attribute handlers: event type -> parsed body.
+  std::vector<std::pair<std::string, std::unique_ptr<js::Program>>>
+      AttrHandlers;
+  std::unique_ptr<js::Program> LinkAst; ///< javascript: href body.
+  std::unique_ptr<struct ParsedDocument> Frame; ///< iframe subdocument.
+};
+
+/// One statically parsed document (the entry page or a frame).
+struct ParsedDocument {
+  std::unique_ptr<Document> Dom; ///< Keeps the Element pointers alive.
+  std::string Url;
+  std::vector<DocItem> Items;
+};
+
+/// A script-installed handler whose body must be merged into the
+/// matching dispatch source once the whole page is built.
+struct PendingInstall {
+  std::string Target;
+  std::string Type;
+  EffectSet Body;
+};
+
+class PageBuilder {
+public:
+  PageBuilder(const ResourceResolver &Resolve, StaticAnalysis &Out)
+      : Resolve(Resolve), Out(Out) {}
+
+  void run(const std::string &Html) {
+    std::unique_ptr<ParsedDocument> Root =
+        parseDocument(Html, "page", /*Depth=*/0);
+    collectFunctions(*Root);
+    DocResult R = buildDoc(*Root, StaticHbGraph::InvalidSource);
+    // The window load and DOMContentLoaded dispatches fire after the
+    // whole synchronous pipeline; handlers installed by sync scripts are
+    // therefore ordered before them (matching rules 7 and 12-14).
+    uint32_t WinLoad = dispatchSource("window", "load", R.DocEnd);
+    for (uint32_t FrameEnd : R.FrameEnds)
+      Out.Graph.addEdge(FrameEnd, WinLoad);
+    dispatchSource("document", "DOMContentLoaded", R.DocEnd);
+    // Merge script-installed handler bodies into their dispatch sources.
+    // Bodies can themselves install handlers, so drain by index.
+    for (size_t I = 0; I < Pending.size(); ++I) {
+      PendingInstall PI = std::move(Pending[I]);
+      uint32_t Anchor = StaticHbGraph::InvalidSource;
+      auto It = ParseSrcById.find(PI.Target);
+      if (It != ParseSrcById.end())
+        Anchor = It->second;
+      uint32_t D = dispatchSource(PI.Target, PI.Type, Anchor);
+      attachEffects(D, std::move(PI.Body));
+    }
+    predictRaces();
+  }
+
+private:
+  struct DocResult {
+    uint32_t DocEnd = StaticHbGraph::InvalidSource;
+    std::vector<uint32_t> FrameEnds;
+  };
+
+  /// Preferred static name of an element as an event target.
+  static std::string targetName(const Element *E) {
+    std::string Id = E->idAttr();
+    if (!Id.empty())
+      return Id;
+    std::string Name = E->getAttribute("name");
+    if (!Name.empty())
+      return Name;
+    return E->tagName();
+  }
+
+  std::unique_ptr<ParsedDocument> parseDocument(std::string Html,
+                                                std::string Url,
+                                                int Depth) {
+    auto D = std::make_unique<ParsedDocument>();
+    D->Url = std::move(Url);
+    D->Dom = std::make_unique<Document>(NextDocId++, NextNodeId);
+    html::HtmlParser P(*D->Dom, std::move(Html));
+    size_t InlineCount = 0;
+    while (true) {
+      html::ParseStep Step = P.pump();
+      switch (Step.StepKind) {
+      case html::ParseStep::Kind::ElementOpened: {
+        DocItem Item;
+        Item.Elem = Step.Elem;
+        for (const Attribute &A : Step.Elem->attributes()) {
+          if (A.Name.size() <= 2 || A.Name.compare(0, 2, "on") != 0)
+            continue;
+          js::ParseResult R = js::Parser::parseProgram(A.Value);
+          if (R.Ast)
+            Item.AttrHandlers.emplace_back(A.Name.substr(2),
+                                           std::move(R.Ast));
+          else
+            Out.Notes.push_back("handler attribute " + A.Name + " on <" +
+                                Step.Elem->tagName() +
+                                "> failed to parse");
+        }
+        if (Step.Elem->tagName() == "a") {
+          std::string Href = Step.Elem->getAttribute("href");
+          if (startsWithIgnoreCase(Href, "javascript:")) {
+            js::ParseResult R = js::Parser::parseProgram(
+                Href.substr(std::string("javascript:").size()));
+            if (R.Ast)
+              Item.LinkAst = std::move(R.Ast);
+            else
+              Out.Notes.push_back("javascript: link on <a> failed to "
+                                  "parse");
+          }
+        }
+        if ((Step.Elem->tagName() == "iframe" ||
+             Step.Elem->tagName() == "frame") &&
+            Step.Elem->hasAttribute("src")) {
+          std::string Src = Step.Elem->getAttribute("src");
+          if (Depth >= 8)
+            Out.Notes.push_back("frame nesting too deep; skipping " + Src);
+          else if (std::optional<std::string> Content = Resolve(Src))
+            Item.Frame = parseDocument(*Content, Src, Depth + 1);
+          else
+            Out.Notes.push_back("unresolved frame " + Src);
+        }
+        D->Items.push_back(std::move(Item));
+        break;
+      }
+      case html::ParseStep::Kind::ScriptComplete: {
+        DocItem Item;
+        Item.Elem = Step.Elem;
+        Item.IsScript = true;
+        Item.Script = html::classifyScript(Step.Elem);
+        std::string Source;
+        bool Have = false;
+        if (Item.Script == html::ScriptKind::Inline) {
+          Source = Step.Text;
+          Have = true;
+          Item.ScriptLabel =
+              D->Url + " inline #" + std::to_string(++InlineCount);
+        } else {
+          std::string Src = Step.Elem->getAttribute("src");
+          Item.ScriptLabel = Src;
+          if (std::optional<std::string> Content = Resolve(Src)) {
+            Source = *Content;
+            Have = true;
+          } else {
+            Out.Notes.push_back("unresolved script " + Src);
+          }
+        }
+        if (Have) {
+          js::ParseResult R = js::Parser::parseProgram(Source);
+          if (R.Ast)
+            Item.ScriptAst = std::move(R.Ast);
+          else
+            Out.Notes.push_back("script " + Item.ScriptLabel +
+                                " failed to parse");
+        }
+        D->Items.push_back(std::move(Item));
+        break;
+      }
+      case html::ParseStep::Kind::ElementClosed:
+      case html::ParseStep::Kind::TextAdded:
+        break;
+      case html::ParseStep::Kind::Finished:
+        return D;
+      }
+    }
+  }
+
+  /// Builds the page-wide function table: declarations anywhere on the
+  /// page resolve in every body (the cross-script calls of Fig. 4).
+  void collectFunctions(const ParsedDocument &D) {
+    for (const DocItem &Item : D.Items) {
+      if (Item.ScriptAst)
+        collectDeclaredFunctions(*Item.ScriptAst, Fns);
+      for (const auto &AH : Item.AttrHandlers)
+        collectDeclaredFunctions(*AH.second, Fns);
+      if (Item.LinkAst)
+        collectDeclaredFunctions(*Item.LinkAst, Fns);
+      if (Item.Frame)
+        collectFunctions(*Item.Frame);
+    }
+  }
+
+  DocResult buildDoc(ParsedDocument &D, uint32_t Anchor) {
+    StaticHbGraph &G = Out.Graph;
+    uint32_t Prev = Anchor;
+    std::vector<uint32_t> Defers;
+    DocResult Result;
+
+    for (DocItem &Item : D.Items) {
+      if (Item.IsScript) {
+        EffectSet ES;
+        if (Item.ScriptAst)
+          ES = computeEffects(*Item.ScriptAst, Fns);
+        switch (Item.Script) {
+        case html::ScriptKind::Inline:
+        case html::ScriptKind::SyncExternal: {
+          // Rules 1a-1c: synchronous scripts extend the parse chain.
+          uint32_t S = G.addSource(SourceKind::SyncScript,
+                                   "script " + Item.ScriptLabel);
+          G.addEdge(Prev, S);
+          Prev = S;
+          attachEffects(S, std::move(ES));
+          break;
+        }
+        case html::ScriptKind::DeferredExternal: {
+          // Rules 4-5: chained after parsing, in document order.
+          uint32_t S = G.addSource(SourceKind::DeferScript,
+                                   "defer " + Item.ScriptLabel);
+          Defers.push_back(S);
+          attachEffects(S, std::move(ES));
+          break;
+        }
+        case html::ScriptKind::AsyncExternal: {
+          // Only the download start is ordered; execution floats free.
+          uint32_t S = G.addSource(SourceKind::AsyncScript,
+                                   "async " + Item.ScriptLabel);
+          G.addEdge(Prev, S);
+          attachEffects(S, std::move(ES));
+          break;
+        }
+        }
+        continue;
+      }
+
+      Element *E = Item.Elem;
+      const std::string &Tag = E->tagName();
+      std::string Id = E->idAttr();
+      std::string NameAttr = E->getAttribute("name");
+      std::string TName = targetName(E);
+
+      uint32_t P = G.addSource(
+          SourceKind::Parse,
+          "parse <" + Tag + (Id.empty() ? "" : "#" + Id) + ">");
+      G.addEdge(Prev, P);
+      Prev = P;
+      if (!Id.empty()) {
+        G.source(P).Effects.add({AccessKind::Write, AccessOrigin::ElemInsert,
+                                 {StaticLocKind::Elem, Id, ""}});
+        ParseSrcById.emplace(Id, P);
+      }
+      if (!NameAttr.empty())
+        G.source(P).Effects.add({AccessKind::Write, AccessOrigin::ElemInsert,
+                                 {StaticLocKind::Elem, NameAttr, ""}});
+      // Rule 8: in-tag handlers install at parse(E), so the install is
+      // ordered before any dispatch anchored at P below.
+      for (const auto &AH : Item.AttrHandlers)
+        G.source(P).Effects.add(
+            {AccessKind::Write, AccessOrigin::HandlerInstall,
+             {StaticLocKind::Handler, TName, AH.first}});
+
+      if (Item.Frame) {
+        // Rule 6: the frame's chain hangs off parse(iframe); rule 7: its
+        // load dispatch fires after the frame finishes.
+        DocResult FR = buildDoc(*Item.Frame, P);
+        Result.FrameEnds.push_back(FR.DocEnd);
+        for (uint32_t Sub : FR.FrameEnds)
+          Result.FrameEnds.push_back(Sub);
+        uint32_t DL = dispatchSource(TName, "load", P);
+        G.addEdge(FR.DocEnd, DL);
+      }
+
+      if (Tag == "img" && E->hasAttribute("src")) {
+        // Images fire load once fetched; only the element's parse is
+        // ordered before the dispatch, so installs from unordered
+        // sources race with it.
+        dispatchSource(TName, "load", P);
+      }
+
+      for (auto &AH : Item.AttrHandlers) {
+        uint32_t DS = dispatchSource(TName, AH.first, P);
+        attachEffects(DS, computeEffects(*AH.second, Fns));
+      }
+
+      if (Item.LinkAst) {
+        // The explorer clicks javascript: links; the click is anchored
+        // only at the parse of the link (rule 8), never at later
+        // scripts - the Fig. 3 window.
+        uint32_t DS = dispatchSource(TName, "click", P);
+        attachEffects(DS, computeEffects(*Item.LinkAst, Fns));
+      }
+
+      bool TextBox = Tag == "textarea";
+      if (Tag == "input") {
+        std::string Type = toLower(E->getAttribute("type"));
+        TextBox = Type.empty() || Type == "text" || Type == "search" ||
+                  Type == "email" || Type == "password";
+      }
+      if (TextBox) {
+        std::string FieldKey = !Id.empty() ? Id : NameAttr;
+        if (FieldKey.empty()) {
+          Out.Notes.push_back("text box without id or name; user input "
+                              "not modeled");
+        } else {
+          // User typing is anchored only at the field's parse (rule 9);
+          // it floats against every script - the Fig. 2 window.
+          uint32_t U = G.addSource(SourceKind::UserInput,
+                                   "type into #" + FieldKey);
+          G.addEdge(P, U);
+          G.source(U).Effects.add(
+              {AccessKind::Write, AccessOrigin::UserInput,
+               {StaticLocKind::FormField, FieldKey, ""}});
+        }
+      }
+    }
+
+    Result.DocEnd = Prev;
+    for (uint32_t S : Defers) {
+      G.addEdge(Result.DocEnd, S);
+      Result.DocEnd = S;
+    }
+    return Result;
+  }
+
+  /// Finds or creates the dispatch source for (target, type), adding
+  /// \p Anchor as a predecessor either way.
+  uint32_t dispatchSource(const std::string &Target, const std::string &Type,
+                          uint32_t Anchor) {
+    std::string Key = Target + "\x1f" + Type;
+    auto It = DispatchByKey.find(Key);
+    if (It != DispatchByKey.end()) {
+      Out.Graph.addEdge(Anchor, It->second);
+      return It->second;
+    }
+    uint32_t D = Out.Graph.addSource(
+        SourceKind::EventDispatch,
+        "dispatch (" + (Target.empty() ? "?" : Target) + ", " + Type + ")");
+    Out.Graph.addEdge(Anchor, D);
+    Out.Graph.source(D).Effects.add(
+        {AccessKind::Read, AccessOrigin::HandlerFire,
+         {StaticLocKind::Handler, Target, Type}});
+    DispatchByKey.emplace(std::move(Key), D);
+    return D;
+  }
+
+  /// Merges \p ES into source \p Src and materializes its callback
+  /// registrations as derived sources (rules 10, 16, 17).
+  void attachEffects(uint32_t Src, EffectSet ES) {
+    StaticHbGraph &G = Out.Graph;
+    for (const Effect &E : ES.Effects)
+      G.source(Src).Effects.add(E);
+    for (CallbackReg &Reg : ES.Callbacks) {
+      switch (Reg.Kind) {
+      case CallbackKind::Timeout:
+      case CallbackKind::Interval: {
+        uint32_t C = G.addSource(Reg.Kind == CallbackKind::Timeout
+                                     ? SourceKind::TimerCallback
+                                     : SourceKind::IntervalCallback,
+                                 std::string(Reg.Kind ==
+                                                     CallbackKind::Timeout
+                                                 ? "timeout from "
+                                                 : "interval from ") +
+                                     G.source(Src).Label);
+        G.addEdge(Src, C);
+        attachEffects(C, std::move(Reg.Body));
+        break;
+      }
+      case CallbackKind::XhrDispatch: {
+        uint32_t C = G.addSource(SourceKind::XhrCallback,
+                                 "xhr from " + G.source(Src).Label);
+        G.addEdge(Src, C);
+        G.source(C).Effects.add(
+            {AccessKind::Read, AccessOrigin::HandlerFire,
+             {StaticLocKind::Handler, "", "readystatechange"}});
+        attachEffects(C, std::move(Reg.Body));
+        break;
+      }
+      case CallbackKind::EventHandler:
+        Pending.push_back(
+            {std::move(Reg.TargetId), std::move(Reg.EventType),
+             std::move(Reg.Body)});
+        break;
+      }
+    }
+  }
+
+  void predictRaces() {
+    const StaticHbGraph &G = Out.Graph;
+    std::unordered_set<std::string> Seen;
+    const auto &Srcs = G.sources();
+    for (uint32_t A = 0; A < Srcs.size(); ++A) {
+      for (uint32_t B = A + 1; B < Srcs.size(); ++B) {
+        if (G.ordered(A, B))
+          continue;
+        for (const Effect &Ea : Srcs[A].Effects.Effects) {
+          for (const Effect &Eb : Srcs[B].Effects.Effects) {
+            if (!locationsMayAlias(Ea.Loc, Eb.Loc))
+              continue;
+            if (Ea.Kind == AccessKind::Read && Eb.Kind == AccessKind::Read)
+              continue;
+            detect::RaceKind Kind = classifyStaticRace(Ea, Eb);
+            const StaticLoc &Canon =
+                Ea.Loc.Name.empty() ? Eb.Loc : Ea.Loc;
+            std::string Key = std::to_string(static_cast<int>(Kind)) +
+                              "\x1f" +
+                              std::to_string(
+                                  static_cast<int>(Canon.Kind)) +
+                              "\x1f" + Canon.Name + "\x1f" +
+                              Canon.EventType;
+            if (!Seen.insert(Key).second)
+              continue;
+            PredictedRace R;
+            R.Kind = Kind;
+            R.Loc = Canon;
+            R.First = Ea;
+            R.Second = Eb;
+            R.SourceA = A;
+            R.SourceB = B;
+            R.SourceALabel = Srcs[A].Label;
+            R.SourceBLabel = Srcs[B].Label;
+            Out.Races.push_back(std::move(R));
+          }
+        }
+      }
+    }
+  }
+
+  const ResourceResolver &Resolve;
+  StaticAnalysis &Out;
+  uint32_t NextNodeId = 1;
+  DocumentId NextDocId = 1;
+  FunctionTable Fns;
+  std::unordered_map<std::string, uint32_t> ParseSrcById;
+  std::unordered_map<std::string, uint32_t> DispatchByKey;
+  std::vector<PendingInstall> Pending;
+};
+
+} // namespace
+
+StaticAnalysis wr::analysis::analyzePage(const std::string &Html,
+                                         const ResourceResolver &Resolve) {
+  StaticAnalysis Result;
+  PageBuilder Builder(Resolve, Result);
+  Builder.run(Html);
+  return Result;
+}

@@ -1,0 +1,78 @@
+//===- analysis/StaticAnalyzer.h - Ahead-of-time race prediction -*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ahead-of-time static race analyzer: given a page's HTML (and a
+/// resolver for its external resources), it parses the document structure
+/// and every script, computes per-source effect sets (EffectSet.h),
+/// builds the static must-happens-before DAG (StaticHb.h), and
+/// intersects the effect sets of unordered source pairs to predict races
+/// - before the event loop ever runs.
+///
+/// The prediction is neither sound nor complete in general: effect sets
+/// are flow-insensitive (a write guarded by a condition that is never
+/// true still counts), DOM ids are matched per page rather than per
+/// document, and dynamically created elements/scripts are invisible. The
+/// cross-validation harness (CrossCheck.h) measures exactly this gap
+/// against the dynamic detector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_ANALYSIS_STATICANALYZER_H
+#define WEBRACER_ANALYSIS_STATICANALYZER_H
+
+#include "analysis/StaticHb.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wr::analysis {
+
+/// Maps a resource URL to its content; nullopt when unknown. The
+/// analyzer records a note for every resource it could not resolve.
+using ResourceResolver =
+    std::function<std::optional<std::string>(const std::string &Url)>;
+
+/// One predicted race: two effects on the same static location from two
+/// sources the must-HB graph leaves unordered, at least one a write.
+struct PredictedRace {
+  detect::RaceKind Kind = detect::RaceKind::Variable;
+  StaticLoc Loc;
+  Effect First;
+  Effect Second;
+  uint32_t SourceA = StaticHbGraph::InvalidSource;
+  uint32_t SourceB = StaticHbGraph::InvalidSource;
+  std::string SourceALabel;
+  std::string SourceBLabel;
+};
+
+/// Renders one line, e.g.
+/// `variable race on var x: script a.html <-> script b.html`.
+std::string toString(const PredictedRace &R);
+
+/// Everything the analyzer produced for one page.
+struct StaticAnalysis {
+  StaticHbGraph Graph;
+  /// Predicted races, one per (location, kind) - mirroring the dynamic
+  /// detector's one-report-per-location policy.
+  std::vector<PredictedRace> Races;
+  /// Unresolved resources, scripts that failed to parse, skipped
+  /// constructs.
+  std::vector<std::string> Notes;
+
+  size_t countByKind(detect::RaceKind Kind) const;
+};
+
+/// Analyzes \p Html (the entry document) without executing it.
+/// \p Resolve supplies external scripts and frame documents.
+StaticAnalysis analyzePage(const std::string &Html,
+                           const ResourceResolver &Resolve);
+
+} // namespace wr::analysis
+
+#endif // WEBRACER_ANALYSIS_STATICANALYZER_H

@@ -1,0 +1,101 @@
+//===- analysis/StaticHb.cpp - Static must-happens-before graph -------------===//
+
+#include "analysis/StaticHb.h"
+
+#include <vector>
+
+using namespace wr::analysis;
+
+const char *wr::analysis::toString(SourceKind Kind) {
+  switch (Kind) {
+  case SourceKind::Parse:
+    return "parse";
+  case SourceKind::SyncScript:
+    return "script";
+  case SourceKind::DeferScript:
+    return "defer";
+  case SourceKind::AsyncScript:
+    return "async";
+  case SourceKind::TimerCallback:
+    return "timeout";
+  case SourceKind::IntervalCallback:
+    return "interval";
+  case SourceKind::XhrCallback:
+    return "xhr";
+  case SourceKind::EventDispatch:
+    return "dispatch";
+  case SourceKind::UserInput:
+    return "user-input";
+  }
+  return "unknown";
+}
+
+uint32_t StaticHbGraph::addSource(SourceKind Kind, std::string Label) {
+  uint32_t Id = static_cast<uint32_t>(Sources.size());
+  EffectSource S;
+  S.Id = Id;
+  S.Kind = Kind;
+  S.Label = std::move(Label);
+  Sources.push_back(std::move(S));
+  Succ.emplace_back();
+  return Id;
+}
+
+void StaticHbGraph::addEdge(uint32_t From, uint32_t To) {
+  if (From == InvalidSource || To == InvalidSource || From == To)
+    return;
+  for (uint32_t Existing : Succ[From])
+    if (Existing == To)
+      return;
+  Succ[From].push_back(To);
+  ++Edges;
+}
+
+bool StaticHbGraph::reaches(uint32_t From, uint32_t To) const {
+  if (From == InvalidSource || To == InvalidSource)
+    return false;
+  if (From == To)
+    return true;
+  // Graphs are page-sized (tens of sources); an explicit DFS per query
+  // is fast enough and keeps the structure mutation-friendly.
+  std::vector<uint8_t> Seen(Sources.size(), 0);
+  std::vector<uint32_t> Stack{From};
+  Seen[From] = 1;
+  while (!Stack.empty()) {
+    uint32_t Cur = Stack.back();
+    Stack.pop_back();
+    for (uint32_t Next : Succ[Cur]) {
+      if (Next == To)
+        return true;
+      if (!Seen[Next]) {
+        Seen[Next] = 1;
+        Stack.push_back(Next);
+      }
+    }
+  }
+  return false;
+}
+
+std::string StaticHbGraph::toString() const {
+  std::string Out;
+  for (const EffectSource &S : Sources) {
+    Out += "#" + std::to_string(S.Id) + " [" +
+           wr::analysis::toString(S.Kind) + "] " + S.Label;
+    Out += "\n";
+    for (const Effect &E : S.Effects.Effects) {
+      Out += "    ";
+      Out += wr::toString(E.Kind);
+      Out += " ";
+      Out += wr::analysis::toString(E.Loc);
+      Out += " (";
+      Out += wr::toString(E.Origin);
+      Out += ")\n";
+    }
+  }
+  Out += "edges:";
+  for (uint32_t From = 0; From < Sources.size(); ++From)
+    for (uint32_t To : Succ[From])
+      Out += " " + std::to_string(From) + "->" + std::to_string(To);
+  Out += "\n";
+  return Out;
+}

@@ -1,0 +1,199 @@
+//===- js/AstVisitor.cpp - Const walker over the MiniJS AST -----------------===//
+
+#include "js/AstVisitor.h"
+
+using namespace wr;
+using namespace wr::js;
+
+ConstAstVisitor::~ConstAstVisitor() = default;
+
+void ConstAstVisitor::walk(const Program &P) {
+  for (const StmtPtr &S : P.Body)
+    walkStmt(S.get());
+}
+
+void ConstAstVisitor::walkFunction(const FunctionLiteral &Fn) {
+  if (!enterFunction(Fn))
+    return;
+  if (Fn.Body)
+    for (const StmtPtr &S : Fn.Body->Stmts)
+      walkStmt(S.get());
+  leaveFunction(Fn);
+}
+
+void ConstAstVisitor::walkStmt(const Stmt *S) {
+  if (!S)
+    return;
+  if (!beforeStmt(*S))
+    return;
+  switch (S->kind()) {
+  case AstKind::ExprStmt:
+    walkExpr(cast<ExprStmt>(S)->E.get());
+    break;
+  case AstKind::VarDecl:
+    for (const VarDecl::Declarator &D : cast<VarDecl>(S)->Decls)
+      walkExpr(D.Init.get());
+    break;
+  case AstKind::FunctionDecl:
+    walkFunction(cast<FunctionDecl>(S)->Fn);
+    break;
+  case AstKind::Block:
+    for (const StmtPtr &Child : cast<Block>(S)->Stmts)
+      walkStmt(Child.get());
+    break;
+  case AstKind::If: {
+    const auto *I = cast<If>(S);
+    walkExpr(I->Cond.get());
+    walkStmt(I->Then.get());
+    walkStmt(I->Else.get());
+    break;
+  }
+  case AstKind::While: {
+    const auto *W = cast<While>(S);
+    walkExpr(W->Cond.get());
+    walkStmt(W->Body.get());
+    break;
+  }
+  case AstKind::DoWhile: {
+    const auto *D = cast<DoWhile>(S);
+    walkStmt(D->Body.get());
+    walkExpr(D->Cond.get());
+    break;
+  }
+  case AstKind::For: {
+    const auto *F = cast<For>(S);
+    walkStmt(F->Init.get());
+    walkExpr(F->Cond.get());
+    walkExpr(F->Step.get());
+    walkStmt(F->Body.get());
+    break;
+  }
+  case AstKind::ForIn: {
+    const auto *F = cast<ForIn>(S);
+    walkExpr(F->Object.get());
+    walkStmt(F->Body.get());
+    break;
+  }
+  case AstKind::Return:
+    walkExpr(cast<Return>(S)->Value.get());
+    break;
+  case AstKind::Break:
+  case AstKind::Continue:
+  case AstKind::Empty:
+    break;
+  case AstKind::Switch: {
+    const auto *Sw = cast<Switch>(S);
+    walkExpr(Sw->Disc.get());
+    for (const Switch::CaseClause &C : Sw->Cases) {
+      walkExpr(C.Test.get());
+      for (const StmtPtr &Child : C.Body)
+        walkStmt(Child.get());
+    }
+    break;
+  }
+  case AstKind::Throw:
+    walkExpr(cast<Throw>(S)->Value.get());
+    break;
+  case AstKind::Try: {
+    const auto *T = cast<Try>(S);
+    walkStmt(T->Body.get());
+    walkStmt(T->Catch.get());
+    walkStmt(T->Finally.get());
+    break;
+  }
+  default:
+    assert(false && "expression kind reached walkStmt");
+    break;
+  }
+  afterStmt(*S);
+}
+
+void ConstAstVisitor::walkExpr(const Expr *E) {
+  if (!E)
+    return;
+  if (!beforeExpr(*E))
+    return;
+  switch (E->kind()) {
+  case AstKind::NumberLit:
+  case AstKind::StringLit:
+  case AstKind::BoolLit:
+  case AstKind::NullLit:
+  case AstKind::UndefinedLit:
+  case AstKind::ThisExpr:
+  case AstKind::Ident:
+    break;
+  case AstKind::ArrayLit:
+    for (const ExprPtr &Elem : cast<ArrayLit>(E)->Elems)
+      walkExpr(Elem.get());
+    break;
+  case AstKind::ObjectLit:
+    for (const ObjectLit::Property &P : cast<ObjectLit>(E)->Props)
+      walkExpr(P.Value.get());
+    break;
+  case AstKind::FunctionExpr:
+    walkFunction(cast<FunctionExpr>(E)->Fn);
+    break;
+  case AstKind::Member:
+    walkExpr(cast<Member>(E)->Base.get());
+    break;
+  case AstKind::Index: {
+    const auto *I = cast<Index>(E);
+    walkExpr(I->Base.get());
+    walkExpr(I->Key.get());
+    break;
+  }
+  case AstKind::Call: {
+    const auto *C = cast<Call>(E);
+    walkExpr(C->Callee.get());
+    for (const ExprPtr &A : C->Args)
+      walkExpr(A.get());
+    break;
+  }
+  case AstKind::New: {
+    const auto *N = cast<New>(E);
+    walkExpr(N->Callee.get());
+    for (const ExprPtr &A : N->Args)
+      walkExpr(A.get());
+    break;
+  }
+  case AstKind::Unary:
+    walkExpr(cast<Unary>(E)->Operand.get());
+    break;
+  case AstKind::Update:
+    walkExpr(cast<Update>(E)->Operand.get());
+    break;
+  case AstKind::Binary: {
+    const auto *B = cast<Binary>(E);
+    walkExpr(B->Lhs.get());
+    walkExpr(B->Rhs.get());
+    break;
+  }
+  case AstKind::Logical: {
+    const auto *L = cast<Logical>(E);
+    walkExpr(L->Lhs.get());
+    walkExpr(L->Rhs.get());
+    break;
+  }
+  case AstKind::Conditional: {
+    const auto *C = cast<Conditional>(E);
+    walkExpr(C->Cond.get());
+    walkExpr(C->Then.get());
+    walkExpr(C->Else.get());
+    break;
+  }
+  case AstKind::Assign: {
+    const auto *A = cast<Assign>(E);
+    walkExpr(A->Target.get());
+    walkExpr(A->Value.get());
+    break;
+  }
+  case AstKind::Sequence:
+    for (const ExprPtr &Sub : cast<Sequence>(E)->Exprs)
+      walkExpr(Sub.get());
+    break;
+  default:
+    assert(false && "statement kind reached walkExpr");
+    break;
+  }
+  afterExpr(*E);
+}

@@ -1,0 +1,83 @@
+//===- js/AstVisitor.h - Const walker over the MiniJS AST -------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable, read-only recursive walker over the MiniJS AST. The
+/// traversal order is pre-order, left to right, matching source order,
+/// with the recursion owned entirely by the base class: subclasses
+/// override the before/after hooks and never reimplement child walking.
+/// Returning false from a before-hook skips the node's children, which
+/// lets a pass take over a subtree manually (the effect-set pass uses
+/// this to give assignment targets write semantics).
+///
+/// This is shared infrastructure: the static race analyzer's effect-set
+/// pass (src/analysis) is the first client; lint or instrumentation
+/// passes can build on the same walker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_JS_ASTVISITOR_H
+#define WEBRACER_JS_ASTVISITOR_H
+
+#include "js/Ast.h"
+
+namespace wr::js {
+
+/// Read-only recursive AST walker. See file comment for the contract.
+class ConstAstVisitor {
+public:
+  virtual ~ConstAstVisitor();
+
+  /// Walks every top-level statement of \p P in order.
+  void walk(const Program &P);
+
+  /// Walks one statement subtree. Null-safe (no-op on null).
+  void walkStmt(const Stmt *S);
+
+  /// Walks one expression subtree. Null-safe (no-op on null).
+  void walkExpr(const Expr *E);
+
+  /// Walks a function literal: enter/leave hooks around the body. Used
+  /// both for FunctionDecl and FunctionExpr, and callable directly for
+  /// detached function literals (event-handler bodies).
+  void walkFunction(const FunctionLiteral &Fn);
+
+protected:
+  /// Called before a statement's children are walked; return false to
+  /// skip them.
+  virtual bool beforeStmt(const Stmt &S) {
+    (void)S;
+    return true;
+  }
+
+  /// Called after a statement's children were walked (not called when
+  /// beforeStmt returned false).
+  virtual void afterStmt(const Stmt &S) { (void)S; }
+
+  /// Called before an expression's children are walked; return false to
+  /// skip them.
+  virtual bool beforeExpr(const Expr &E) {
+    (void)E;
+    return true;
+  }
+
+  /// Called after an expression's children were walked.
+  virtual void afterExpr(const Expr &E) { (void)E; }
+
+  /// Called when entering a function literal (decl, expr, or detached
+  /// body); return false to skip walking the body.
+  virtual bool enterFunction(const FunctionLiteral &Fn) {
+    (void)Fn;
+    return true;
+  }
+
+  /// Called when leaving a function literal whose body was walked.
+  virtual void leaveFunction(const FunctionLiteral &Fn) { (void)Fn; }
+};
+
+} // namespace wr::js
+
+#endif // WEBRACER_JS_ASTVISITOR_H

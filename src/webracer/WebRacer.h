@@ -17,12 +17,17 @@
 ///    (explore/Explorer.h).
 ///  * sites:: - the synthetic Fortune-100 corpus used by the benchmarks
 ///    (sites/*.h).
+///  * analysis:: - the ahead-of-time static race analyzer and the
+///    static-vs-dynamic cross-validation harness (analysis/*.h).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WEBRACER_WEBRACER_WEBRACER_H
 #define WEBRACER_WEBRACER_WEBRACER_H
 
+#include "analysis/CrossCheck.h"
+#include "analysis/Scenarios.h"
+#include "analysis/StaticAnalyzer.h"
 #include "detect/Filters.h"
 #include "detect/RaceDetector.h"
 #include "detect/Report.h"

@@ -1,0 +1,536 @@
+//===- tests/analysis_test.cpp - Static race analyzer unit tests ---------------===//
+//
+// Covers the src/analysis subsystem bottom-up: the shared AST walker, the
+// effect-set pass, the static must-HB graph, whole-page prediction
+// (including ordered variants of the figure pages where the race is
+// fixed), and the static-vs-dynamic cross-check on the Fig. 1-5 pages,
+// where recall must be 1.0 and the deliberate false positive must be
+// dynamically refuted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CrossCheck.h"
+#include "js/AstVisitor.h"
+#include "js/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+using namespace wr::analysis;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// AstVisitor
+//===----------------------------------------------------------------------===//
+
+class CountingVisitor : public js::ConstAstVisitor {
+public:
+  int Idents = 0;
+  int Stmts = 0;
+  int Entered = 0;
+  int Left = 0;
+  bool SkipIfChildren = false;
+
+protected:
+  bool beforeStmt(const js::Stmt &S) override {
+    ++Stmts;
+    if (SkipIfChildren && js::dyn_cast<js::If>(&S))
+      return false;
+    return true;
+  }
+  bool beforeExpr(const js::Expr &E) override {
+    if (js::dyn_cast<js::Ident>(&E))
+      ++Idents;
+    return true;
+  }
+  bool enterFunction(const js::FunctionLiteral &Fn) override {
+    (void)Fn;
+    ++Entered;
+    return true;
+  }
+  void leaveFunction(const js::FunctionLiteral &Fn) override {
+    (void)Fn;
+    ++Left;
+  }
+};
+
+js::ParseResult parseJs(const char *Src) {
+  js::ParseResult R = js::Parser::parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << "parse failed: " << Src;
+  return R;
+}
+
+TEST(AstVisitorTest, VisitsEveryIdentInSourceOrder) {
+  js::ParseResult R = parseJs("a = b + c;");
+  CountingVisitor V;
+  V.walk(*R.Ast);
+  EXPECT_EQ(V.Idents, 3);
+  EXPECT_EQ(V.Stmts, 1);
+}
+
+TEST(AstVisitorTest, FalseFromBeforeStmtSkipsChildren) {
+  js::ParseResult R = parseJs("if (x) { y = 1; } z = 2;");
+  CountingVisitor V;
+  V.SkipIfChildren = true;
+  V.walk(*R.Ast);
+  // x and y live inside the skipped If; only z remains visible.
+  EXPECT_EQ(V.Idents, 1);
+}
+
+TEST(AstVisitorTest, EnterLeaveFunctionBalanced) {
+  js::ParseResult R =
+      parseJs("function outer() { var f = function () { inner = 1; }; }");
+  CountingVisitor V;
+  V.walk(*R.Ast);
+  EXPECT_EQ(V.Entered, 2);
+  EXPECT_EQ(V.Left, 2);
+  EXPECT_EQ(V.Entered, V.Left);
+}
+
+TEST(AstVisitorTest, NullSubtreesAreNoOps) {
+  CountingVisitor V;
+  V.walkStmt(nullptr);
+  V.walkExpr(nullptr);
+  EXPECT_EQ(V.Stmts, 0);
+  EXPECT_EQ(V.Idents, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Effect sets
+//===----------------------------------------------------------------------===//
+
+struct AnalyzedBody {
+  js::ParseResult Parse;
+  FunctionTable Fns;
+  EffectSet Effects;
+};
+
+AnalyzedBody effectsOf(const char *Src) {
+  AnalyzedBody A;
+  A.Parse = js::Parser::parseProgram(Src);
+  EXPECT_TRUE(A.Parse.ok()) << "parse failed: " << Src;
+  if (A.Parse.Ast) {
+    collectDeclaredFunctions(*A.Parse.Ast, A.Fns);
+    A.Effects = computeEffects(*A.Parse.Ast, A.Fns);
+  }
+  return A;
+}
+
+TEST(EffectSetTest, GlobalReadsAndWrites) {
+  AnalyzedBody A = effectsOf("x = y + 1;");
+  EXPECT_TRUE(A.Effects.has(AccessKind::Write, StaticLocKind::Var, "x"));
+  EXPECT_TRUE(A.Effects.has(AccessKind::Read, StaticLocKind::Var, "y"));
+  EXPECT_FALSE(A.Effects.has(AccessKind::Read, StaticLocKind::Var, "x"));
+}
+
+TEST(EffectSetTest, LocalsAndBuiltinsInvisible) {
+  AnalyzedBody A =
+      effectsOf("function f() { var l = 1; l = l + 2; alert(l); } f();");
+  EXPECT_FALSE(A.Effects.has(AccessKind::Write, StaticLocKind::Var, "l"));
+  EXPECT_FALSE(A.Effects.has(AccessKind::Read, StaticLocKind::Var, "l"));
+  EXPECT_FALSE(A.Effects.has(AccessKind::Read, StaticLocKind::Var, "alert"));
+  EXPECT_FALSE(
+      A.Effects.has(AccessKind::Read, StaticLocKind::Var, "document"));
+}
+
+TEST(EffectSetTest, FunctionDeclIsGlobalWriteWithDeclOrigin) {
+  AnalyzedBody A = effectsOf("function g() { shared = 1; } g();");
+  bool SawDeclWrite = false;
+  for (const Effect &E : A.Effects.Effects)
+    if (E.Kind == AccessKind::Write && E.Loc.Name == "g" &&
+        E.Origin == AccessOrigin::FunctionDecl)
+      SawDeclWrite = true;
+  EXPECT_TRUE(SawDeclWrite);
+  // The call reads the function name and inlines the callee's effects.
+  EXPECT_TRUE(A.Effects.has(AccessKind::Read, StaticLocKind::Var, "g"));
+  EXPECT_TRUE(
+      A.Effects.has(AccessKind::Write, StaticLocKind::Var, "shared"));
+}
+
+TEST(EffectSetTest, HoistedFunctionVisibleBeforeItsDeclaration) {
+  AnalyzedBody A = effectsOf("h(); function h() { q = 2; }");
+  EXPECT_TRUE(A.Effects.has(AccessKind::Write, StaticLocKind::Var, "q"));
+}
+
+TEST(EffectSetTest, RecursiveFlatteningTerminates) {
+  AnalyzedBody A = effectsOf("function r() { r(); touched = 1; } r();");
+  EXPECT_TRUE(
+      A.Effects.has(AccessKind::Write, StaticLocKind::Var, "touched"));
+}
+
+TEST(EffectSetTest, GetElementByIdAliasYieldsFormFieldEffects) {
+  // The Fig. 2 hint script shape: lookup, guard read, value write.
+  AnalyzedBody A = effectsOf("var f = document.getElementById('depart'); "
+                             "if (f.value == '') { f.value = 'City'; }");
+  EXPECT_TRUE(A.Effects.has(AccessKind::Read, StaticLocKind::Elem, "depart"));
+  EXPECT_TRUE(
+      A.Effects.has(AccessKind::Read, StaticLocKind::FormField, "depart"));
+  EXPECT_TRUE(
+      A.Effects.has(AccessKind::Write, StaticLocKind::FormField, "depart"));
+}
+
+TEST(EffectSetTest, TimerCallbackBodyIsSeparate) {
+  AnalyzedBody A = effectsOf("setTimeout(function () { t = 1; }, 10);");
+  ASSERT_EQ(A.Effects.Callbacks.size(), 1u);
+  const CallbackReg &Reg = A.Effects.Callbacks[0];
+  EXPECT_EQ(Reg.Kind, CallbackKind::Timeout);
+  EXPECT_TRUE(Reg.Body.has(AccessKind::Write, StaticLocKind::Var, "t"));
+  // The write happens in the callback's operation, not the registrar's.
+  EXPECT_FALSE(A.Effects.has(AccessKind::Write, StaticLocKind::Var, "t"));
+}
+
+TEST(EffectSetTest, NamedTimerCallbackReadsTheFunctionAtFireTime) {
+  // Fig. 4: the callback reads doNextStep when the timer fires, so the
+  // read must land in the callback body to race with a later decl.
+  AnalyzedBody A = effectsOf("setTimeout(doNextStep, 20);");
+  ASSERT_EQ(A.Effects.Callbacks.size(), 1u);
+  EXPECT_TRUE(A.Effects.Callbacks[0].Body.has(
+      AccessKind::Read, StaticLocKind::Var, "doNextStep"));
+}
+
+TEST(EffectSetTest, IntervalRegistrationKind) {
+  AnalyzedBody A = effectsOf("setInterval(function () { k = k + 1; }, 5);");
+  ASSERT_EQ(A.Effects.Callbacks.size(), 1u);
+  EXPECT_EQ(A.Effects.Callbacks[0].Kind, CallbackKind::Interval);
+}
+
+TEST(EffectSetTest, XhrSendRegistersDispatchWithHandlerBody) {
+  AnalyzedBody A =
+      effectsOf("var x = new XMLHttpRequest(); "
+                "x.onreadystatechange = function () { done = 1; }; "
+                "x.send();");
+  ASSERT_EQ(A.Effects.Callbacks.size(), 1u);
+  const CallbackReg &Reg = A.Effects.Callbacks[0];
+  EXPECT_EQ(Reg.Kind, CallbackKind::XhrDispatch);
+  EXPECT_TRUE(Reg.Body.has(AccessKind::Write, StaticLocKind::Var, "done"));
+}
+
+TEST(EffectSetTest, HandlerInstallOnResolvedDomId) {
+  AnalyzedBody A =
+      effectsOf("document.getElementById('btn').onclick = "
+                "function () { n = 1; };");
+  EXPECT_TRUE(A.Effects.has(AccessKind::Write, StaticLocKind::Handler,
+                            "btn", "click"));
+  ASSERT_EQ(A.Effects.Callbacks.size(), 1u);
+  const CallbackReg &Reg = A.Effects.Callbacks[0];
+  EXPECT_EQ(Reg.Kind, CallbackKind::EventHandler);
+  EXPECT_EQ(Reg.TargetId, "btn");
+  EXPECT_EQ(Reg.EventType, "click");
+  EXPECT_TRUE(Reg.Body.has(AccessKind::Write, StaticLocKind::Var, "n"));
+}
+
+TEST(EffectSetTest, UnresolvableBaseInstallsWildcardHandler) {
+  // The Gomez pattern: installing onload through a variable the analysis
+  // cannot resolve must still record a (wildcard) install, not nothing.
+  AnalyzedBody A = effectsOf("im.onload = function () { loaded = 1; };");
+  EXPECT_TRUE(
+      A.Effects.has(AccessKind::Write, StaticLocKind::Handler, "", "load"));
+  ASSERT_EQ(A.Effects.Callbacks.size(), 1u);
+  EXPECT_EQ(A.Effects.Callbacks[0].Kind, CallbackKind::EventHandler);
+  EXPECT_EQ(A.Effects.Callbacks[0].TargetId, "");
+}
+
+//===----------------------------------------------------------------------===//
+// Location aliasing and race classification
+//===----------------------------------------------------------------------===//
+
+TEST(StaticLocTest, AliasingIsExactForNonHandlers) {
+  StaticLoc X{StaticLocKind::Var, "x", ""};
+  StaticLoc X2{StaticLocKind::Var, "x", ""};
+  StaticLoc Y{StaticLocKind::Var, "y", ""};
+  StaticLoc ElemX{StaticLocKind::Elem, "x", ""};
+  EXPECT_TRUE(locationsMayAlias(X, X2));
+  EXPECT_FALSE(locationsMayAlias(X, Y));
+  EXPECT_FALSE(locationsMayAlias(X, ElemX));
+}
+
+TEST(StaticLocTest, HandlerWildcardTargetMatchesSameEventType) {
+  StaticLoc Wild{StaticLocKind::Handler, "", "load"};
+  StaticLoc OnI{StaticLocKind::Handler, "i", "load"};
+  StaticLoc OnJ{StaticLocKind::Handler, "j", "load"};
+  StaticLoc Click{StaticLocKind::Handler, "i", "click"};
+  EXPECT_TRUE(locationsMayAlias(Wild, OnI));
+  EXPECT_TRUE(locationsMayAlias(OnI, Wild));
+  EXPECT_FALSE(locationsMayAlias(OnI, OnJ));
+  EXPECT_FALSE(locationsMayAlias(OnI, Click));
+  EXPECT_FALSE(locationsMayAlias(Wild, Click));
+}
+
+TEST(StaticLocTest, ClassificationMirrorsDynamicDetector) {
+  auto Eff = [](AccessKind K, AccessOrigin O, StaticLocKind LK,
+                const char *Name, const char *Type = "") {
+    return Effect{K, O, {LK, Name, Type}};
+  };
+  Effect HandlerW = Eff(AccessKind::Write, AccessOrigin::HandlerInstall,
+                        StaticLocKind::Handler, "i", "load");
+  Effect HandlerR = Eff(AccessKind::Read, AccessOrigin::HandlerFire,
+                        StaticLocKind::Handler, "i", "load");
+  EXPECT_EQ(classifyStaticRace(HandlerW, HandlerR),
+            detect::RaceKind::EventDispatch);
+
+  Effect ElemW = Eff(AccessKind::Write, AccessOrigin::ElemInsert,
+                     StaticLocKind::Elem, "dw");
+  Effect ElemR = Eff(AccessKind::Read, AccessOrigin::ElemLookup,
+                     StaticLocKind::Elem, "dw");
+  EXPECT_EQ(classifyStaticRace(ElemW, ElemR), detect::RaceKind::Html);
+
+  Effect DeclW = Eff(AccessKind::Write, AccessOrigin::FunctionDecl,
+                     StaticLocKind::Var, "f");
+  Effect CallR = Eff(AccessKind::Read, AccessOrigin::FunctionCall,
+                     StaticLocKind::Var, "f");
+  EXPECT_EQ(classifyStaticRace(DeclW, CallR), detect::RaceKind::Function);
+  EXPECT_EQ(classifyStaticRace(CallR, DeclW), detect::RaceKind::Function);
+
+  Effect VarW =
+      Eff(AccessKind::Write, AccessOrigin::Plain, StaticLocKind::Var, "x");
+  Effect VarR =
+      Eff(AccessKind::Read, AccessOrigin::Plain, StaticLocKind::Var, "x");
+  EXPECT_EQ(classifyStaticRace(VarW, VarR), detect::RaceKind::Variable);
+}
+
+//===----------------------------------------------------------------------===//
+// Static must-HB graph
+//===----------------------------------------------------------------------===//
+
+TEST(StaticHbTest, ReachabilityIsReflexiveAndTransitive) {
+  StaticHbGraph G;
+  uint32_t A = G.addSource(SourceKind::Parse, "a");
+  uint32_t B = G.addSource(SourceKind::SyncScript, "b");
+  uint32_t C = G.addSource(SourceKind::SyncScript, "c");
+  G.addEdge(A, B);
+  G.addEdge(B, C);
+  EXPECT_TRUE(G.reaches(A, A));
+  EXPECT_TRUE(G.reaches(A, C));
+  EXPECT_FALSE(G.reaches(C, A));
+  EXPECT_TRUE(G.ordered(A, C));
+  EXPECT_TRUE(G.ordered(C, A));
+}
+
+TEST(StaticHbTest, DisconnectedSourcesAreUnordered) {
+  StaticHbGraph G;
+  uint32_t A = G.addSource(SourceKind::AsyncScript, "a");
+  uint32_t B = G.addSource(SourceKind::AsyncScript, "b");
+  EXPECT_FALSE(G.ordered(A, B));
+}
+
+TEST(StaticHbTest, InvalidAndDuplicateEdgesIgnored) {
+  StaticHbGraph G;
+  uint32_t A = G.addSource(SourceKind::Parse, "a");
+  uint32_t B = G.addSource(SourceKind::Parse, "b");
+  G.addEdge(StaticHbGraph::InvalidSource, A);
+  G.addEdge(A, StaticHbGraph::InvalidSource);
+  G.addEdge(A, A);
+  EXPECT_EQ(G.numEdges(), 0u);
+  G.addEdge(A, B);
+  G.addEdge(A, B);
+  EXPECT_EQ(G.numEdges(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-page prediction
+//===----------------------------------------------------------------------===//
+
+ResourceResolver tableResolver(
+    std::vector<std::pair<std::string, std::string>> Table) {
+  return [Table = std::move(Table)](
+             const std::string &Url) -> std::optional<std::string> {
+    for (const auto &[K, V] : Table)
+      if (K == Url)
+        return V;
+    return std::nullopt;
+  };
+}
+
+bool hasPrediction(const StaticAnalysis &A, detect::RaceKind Kind,
+                   StaticLocKind LocKind, const std::string &Name,
+                   const std::string &EventType = std::string()) {
+  StaticLoc Want{LocKind, Name, EventType};
+  for (const PredictedRace &P : A.Races)
+    if (P.Kind == Kind && locationsMayAlias(P.Loc, Want))
+      return true;
+  return false;
+}
+
+TEST(StaticAnalyzerTest, SyncScriptsAreOrderedByParseOrder) {
+  StaticAnalysis A = analyzePage(
+      "<html><body><script>x = 1;</script>"
+      "<script>y = x;</script></body></html>",
+      tableResolver({}));
+  EXPECT_TRUE(A.Races.empty());
+}
+
+TEST(StaticAnalyzerTest, AsyncScriptsStayUnordered) {
+  StaticAnalysis A = analyzePage(
+      "<html><body><script async src=\"a.js\"></script>"
+      "<script async src=\"b.js\"></script></body></html>",
+      tableResolver({{"a.js", "shared = 1;"}, {"b.js", "t = shared;"}}));
+  ASSERT_EQ(A.Races.size(), 1u);
+  EXPECT_TRUE(hasPrediction(A, detect::RaceKind::Variable,
+                            StaticLocKind::Var, "shared"));
+}
+
+TEST(StaticAnalyzerTest, DeferredScriptOrderedAfterWholeParse) {
+  // The deferred script reads x after the later sync script wrote it:
+  // rule 4/5 order defer bodies after parsing, so no race.
+  StaticAnalysis A = analyzePage(
+      "<html><body><script defer src=\"d.js\"></script>"
+      "<script>x = 1;</script></body></html>",
+      tableResolver({{"d.js", "y = x;"}}));
+  EXPECT_TRUE(A.Races.empty());
+}
+
+TEST(StaticAnalyzerTest, UnresolvedResourceIsNoted) {
+  StaticAnalysis A = analyzePage(
+      "<html><body><script src=\"missing.js\"></script></body></html>",
+      tableResolver({}));
+  ASSERT_FALSE(A.Notes.empty());
+  bool Mentioned = false;
+  for (const std::string &N : A.Notes)
+    if (N.find("missing.js") != std::string::npos)
+      Mentioned = true;
+  EXPECT_TRUE(Mentioned);
+}
+
+const PageSpec &figurePage(const std::vector<PageSpec> &Pages,
+                           const std::string &Name) {
+  for (const PageSpec &P : Pages)
+    if (P.Name == Name)
+      return P;
+  ADD_FAILURE() << "no figure page named " << Name;
+  return Pages.front();
+}
+
+StaticAnalysis analyzeFigure(const std::string &Name) {
+  std::vector<PageSpec> Pages = figurePages();
+  const PageSpec &Page = figurePage(Pages, Name);
+  return analyzePage(Page.Html, Page.resolver());
+}
+
+TEST(StaticAnalyzerTest, Fig1SiblingFrameScriptsRaceOnX) {
+  StaticAnalysis A = analyzeFigure("fig1");
+  ASSERT_EQ(A.Races.size(), 1u);
+  EXPECT_TRUE(
+      hasPrediction(A, detect::RaceKind::Variable, StaticLocKind::Var, "x"));
+}
+
+TEST(StaticAnalyzerTest, Fig2UserInputRacesWithHintScript) {
+  StaticAnalysis A = analyzeFigure("fig2");
+  ASSERT_EQ(A.Races.size(), 1u);
+  EXPECT_TRUE(hasPrediction(A, detect::RaceKind::Variable,
+                            StaticLocKind::FormField, "depart"));
+}
+
+TEST(StaticAnalyzerTest, Fig3ClickRacesWithLateElementParseOnly) {
+  StaticAnalysis A = analyzeFigure("fig3");
+  ASSERT_EQ(A.Races.size(), 1u);
+  EXPECT_TRUE(
+      hasPrediction(A, detect::RaceKind::Html, StaticLocKind::Elem, "dw"));
+  // show() is declared by the inline script parsed before the link, so
+  // the call through the click dispatch is ordered after the decl.
+  EXPECT_FALSE(hasPrediction(A, detect::RaceKind::Function,
+                             StaticLocKind::Var, "show"));
+}
+
+TEST(StaticAnalyzerTest, Fig4TimerCallbackRacesWithLateDecl) {
+  StaticAnalysis A = analyzeFigure("fig4");
+  ASSERT_EQ(A.Races.size(), 1u);
+  EXPECT_TRUE(hasPrediction(A, detect::RaceKind::Function,
+                            StaticLocKind::Var, "doNextStep"));
+}
+
+TEST(StaticAnalyzerTest, Fig4FixedVariantDeclBeforeFrameHasNoRace) {
+  // Moving the declaration before the <iframe> restores the order the
+  // paper suggests: parse(decl) -> parse(iframe) -> frame load -> timer.
+  StaticAnalysis A = analyzePage(
+      "<html><body>"
+      "<script>function doNextStep() { window.step = 2; }</script>"
+      "<iframe id=\"i\" src=\"sub.html\"></iframe>"
+      "</body></html>",
+      tableResolver({{"sub.html",
+                      "<html><body onload=\"setTimeout(doNextStep, 20)\">"
+                      "</body></html>"}}));
+  EXPECT_EQ(A.countByKind(detect::RaceKind::Function), 0u);
+}
+
+TEST(StaticAnalyzerTest, Fig5ScriptInstalledOnloadRacesWithDispatch) {
+  StaticAnalysis A = analyzeFigure("fig5");
+  ASSERT_EQ(A.Races.size(), 1u);
+  EXPECT_TRUE(hasPrediction(A, detect::RaceKind::EventDispatch,
+                            StaticLocKind::Handler, "i", "load"));
+}
+
+TEST(StaticAnalyzerTest, Fig5InTagOnloadVariantHasNoRace) {
+  // An in-tag handler is installed at parse(iframe), which rule 8 orders
+  // before the frame's load dispatch: the Fig. 5 race disappears.
+  StaticAnalysis A = analyzePage(
+      "<html><body>"
+      "<iframe id=\"i\" src=\"a.html\" "
+      "onload=\"window.frameLoaded = true;\"></iframe>"
+      "</body></html>",
+      tableResolver({{"a.html", "<html><body></body></html>"}}));
+  EXPECT_EQ(A.countByKind(detect::RaceKind::EventDispatch), 0u);
+}
+
+TEST(StaticAnalyzerTest, FalsePositivePageStillPredictsVariableRace) {
+  PageSpec Page = falsePositivePage();
+  StaticAnalysis A = analyzePage(Page.Html, Page.resolver());
+  EXPECT_TRUE(hasPrediction(A, detect::RaceKind::Variable,
+                            StaticLocKind::Var, "phantom"));
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-validation against the dynamic detector
+//===----------------------------------------------------------------------===//
+
+bool confirmedHas(const CrossCheckResult &R, detect::RaceKind Kind,
+                  StaticLocKind LocKind, const std::string &Name,
+                  const std::string &EventType = std::string()) {
+  StaticLoc Want{LocKind, Name, EventType};
+  for (const PredictedRace &P : R.Confirmed)
+    if (P.Kind == Kind && locationsMayAlias(P.Loc, Want))
+      return true;
+  return false;
+}
+
+TEST(CrossCheckTest, FigurePagesHaveFullRecall) {
+  for (const PageSpec &Page : figurePages()) {
+    CrossCheckResult R = crossCheck(Page);
+    EXPECT_GT(R.dynamicCount(), 0u) << Page.Name;
+    EXPECT_EQ(R.missedCount(), 0u) << Page.Name << "\n" << formatReport(R);
+    EXPECT_DOUBLE_EQ(R.recall(), 1.0) << Page.Name;
+  }
+}
+
+TEST(CrossCheckTest, FigurePagesConfirmTheExpectedRaceShapes) {
+  std::vector<PageSpec> Pages = figurePages();
+  CrossCheckResult R1 = crossCheck(figurePage(Pages, "fig1"));
+  EXPECT_TRUE(confirmedHas(R1, detect::RaceKind::Variable,
+                           StaticLocKind::Var, "x"));
+  CrossCheckResult R2 = crossCheck(figurePage(Pages, "fig2"));
+  EXPECT_TRUE(confirmedHas(R2, detect::RaceKind::Variable,
+                           StaticLocKind::FormField, "depart"));
+  CrossCheckResult R3 = crossCheck(figurePage(Pages, "fig3"));
+  EXPECT_TRUE(
+      confirmedHas(R3, detect::RaceKind::Html, StaticLocKind::Elem, "dw"));
+  CrossCheckResult R4 = crossCheck(figurePage(Pages, "fig4"));
+  EXPECT_TRUE(confirmedHas(R4, detect::RaceKind::Function,
+                           StaticLocKind::Var, "doNextStep"));
+  CrossCheckResult R5 = crossCheck(figurePage(Pages, "fig5"));
+  EXPECT_TRUE(confirmedHas(R5, detect::RaceKind::EventDispatch,
+                           StaticLocKind::Handler, "i", "load"));
+}
+
+TEST(CrossCheckTest, FalsePositiveIsDynamicallyRefuted) {
+  CrossCheckResult R = crossCheck(falsePositivePage());
+  EXPECT_GE(R.predictedCount(), 1u);
+  EXPECT_EQ(R.confirmedCount(), 0u);
+  EXPECT_EQ(R.dynamicCount(), 0u);
+  ASSERT_FALSE(R.Refuted.empty());
+  EXPECT_EQ(R.Refuted[0].Kind, detect::RaceKind::Variable);
+  EXPECT_EQ(R.Refuted[0].Loc.Name, "phantom");
+  EXPECT_DOUBLE_EQ(R.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(R.recall(), 1.0);
+}
+
+} // namespace

@@ -181,6 +181,54 @@ TEST(ReportTest, GuardNoteRendered) {
   EXPECT_NE(describeRace(R, Hb).find("guard"), std::string::npos);
 }
 
+TEST(FormFilterTest, EmptyRaceListStaysEmpty) {
+  std::vector<Race> None;
+  EXPECT_TRUE(filterFormRaces(None).empty());
+  auto Counts = [](const EventHandlerLoc &) { return 1; };
+  EXPECT_TRUE(filterSingleDispatch(None, Counts).empty());
+  EXPECT_TRUE(applyPaperFilters(None, Counts).empty());
+}
+
+TEST(FormFilterTest, VariableRaceWithoutFormFieldIsDropped) {
+  // A variable race on a plain global (no DOM container, no form-origin
+  // access on either side) never involves a form field.
+  Race Plain = makeRace(RaceKind::Variable, JSVarLoc{0, "counter"},
+                        AccessOrigin::Plain, AccessOrigin::Plain);
+  EXPECT_FALSE(involvesFormField(Plain));
+  EXPECT_TRUE(filterFormRaces({Plain}).empty());
+}
+
+TEST(FormFilterTest, GuardedWriteDropsOnlyTheGuardedRace) {
+  // The guard heuristic (WriteHadPriorReadInOp) must interact with the
+  // form filter per-race: an unguarded form race on the same list
+  // survives while the guarded one is dropped.
+  std::vector<Race> Races = {
+      varRace(AccessOrigin::FormFieldWrite, AccessOrigin::UserInput,
+              /*Guarded=*/true),
+      varRace(AccessOrigin::FormFieldWrite, AccessOrigin::UserInput,
+              /*Guarded=*/false),
+  };
+  auto Kept = filterFormRaces(Races);
+  ASSERT_EQ(Kept.size(), 1u);
+  EXPECT_FALSE(Kept[0].WriteHadPriorReadInOp);
+}
+
+TEST(FormFilterTest, GuardOnNonFormVariableRaceDoesNotRescueIt) {
+  // Guarded or not, a non-form variable race is outside the filter's
+  // keep-set; the guard bit must not change that.
+  Race R = varRace(AccessOrigin::Plain, AccessOrigin::Plain,
+                   /*Guarded=*/true);
+  EXPECT_TRUE(filterFormRaces({R}).empty());
+}
+
+TEST(FormFilterTest, GuardedNonVariableKindsPassThrough) {
+  // Only variable races consult the guard; an event-dispatch race with
+  // the bit set (however it got there) still passes the form filter.
+  Race R = dispatchRace(4, "load");
+  R.WriteHadPriorReadInOp = true;
+  EXPECT_EQ(filterFormRaces({R}).size(), 1u);
+}
+
 TEST(ReportTest, RaceKindNames) {
   EXPECT_STREQ(toString(RaceKind::Variable), "variable");
   EXPECT_STREQ(toString(RaceKind::Html), "html");

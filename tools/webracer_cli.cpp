@@ -17,6 +17,11 @@
 //   --no-explore     skip automatic exploration (Sec. 5.2.2)
 //   --vector-clocks  use the vector-clock HB representation
 //   --trace          dump the full instrumentation trace
+//   --static-analyze predict races ahead of time without executing the
+//                    page; prints the predicted races (and, with --trace,
+//                    the static must-HB graph)
+//   --cross-check    run the static analyzer AND a dynamic session, then
+//                    print the precision/recall comparison
 //
 //===----------------------------------------------------------------------===//
 
@@ -45,9 +50,34 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <index.html> [--root DIR] [--seed N] "
                "[--latency N] [--raw] [--no-explore] [--vector-clocks] "
-               "[--trace]\n",
+               "[--trace] [--static-analyze] [--cross-check]\n",
                Argv0);
   return 2;
+}
+
+/// Builds a PageSpec from the files on disk under \p Root, mirroring the
+/// dynamic mode's resource registration.
+analysis::PageSpec pageSpecFromDisk(const fs::path &Index,
+                                    const fs::path &Root,
+                                    uint64_t FixedLatency) {
+  analysis::PageSpec Page;
+  std::error_code Ec;
+  Page.Name = Index.filename().string();
+  Page.EntryUrl = fs::relative(Index, Root, Ec).generic_string();
+  Page.Html = readFile(Index);
+  uint64_t Latency = FixedLatency ? FixedLatency : 1500;
+  if (fs::is_directory(Root, Ec)) {
+    for (const auto &Entry : fs::recursive_directory_iterator(Root, Ec)) {
+      if (!Entry.is_regular_file())
+        continue;
+      std::string Url =
+          fs::relative(Entry.path(), Root, Ec).generic_string();
+      if (Url == Page.EntryUrl)
+        continue;
+      Page.Resources.push_back({Url, readFile(Entry.path()), Latency});
+    }
+  }
+  return Page;
 }
 
 } // namespace
@@ -60,6 +90,7 @@ int main(int Argc, char **Argv) {
   uint64_t Seed = 1;
   uint64_t FixedLatency = 0;
   bool Raw = false, Explore = true, VectorClocks = false, Trace = false;
+  bool StaticAnalyze = false, CrossCheck = false;
 
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -77,6 +108,10 @@ int main(int Argc, char **Argv) {
       VectorClocks = true;
     } else if (Arg == "--trace") {
       Trace = true;
+    } else if (Arg == "--static-analyze") {
+      StaticAnalyze = true;
+    } else if (Arg == "--cross-check") {
+      CrossCheck = true;
     } else {
       return usage(Argv[0]);
     }
@@ -87,6 +122,43 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: cannot read %s\n",
                  Index.string().c_str());
     return 1;
+  }
+
+  if (StaticAnalyze) {
+    analysis::PageSpec Page = pageSpecFromDisk(Index, Root, FixedLatency);
+    analysis::StaticAnalysis A =
+        analysis::analyzePage(Page.Html, Page.resolver());
+    std::printf("webracer: static analysis of %s (%zu resources)\n",
+                Page.EntryUrl.c_str(), Page.Resources.size());
+    std::printf("effect sources: %zu, must-hb edges: %zu\n",
+                A.Graph.sources().size(), A.Graph.numEdges());
+    if (Trace)
+      std::printf("\n-- static must-hb graph --\n%s\n",
+                  A.Graph.toString().c_str());
+    std::printf("\npredicted races: %zu\n", A.Races.size());
+    for (const analysis::PredictedRace &P : A.Races)
+      std::printf("  %s\n", analysis::toString(P).c_str());
+    for (const std::string &Note : A.Notes)
+      std::printf("note: %s\n", Note.c_str());
+    return A.Races.empty() ? 0 : 1;
+  }
+
+  if (CrossCheck) {
+    analysis::PageSpec Page = pageSpecFromDisk(Index, Root, FixedLatency);
+    analysis::CrossCheckOptions CkOpts;
+    CkOpts.Session.Browser.Seed = Seed;
+    CkOpts.Session.AutoExplore = Explore;
+    CkOpts.Session.UseVectorClocks = VectorClocks;
+    // Measure against everything the dynamic semantics produced; the
+    // Sec. 5.3 filters are reporting refinements, not ground truth.
+    CkOpts.UseFilteredRaces = false;
+    analysis::CrossCheckResult R = analysis::crossCheck(Page, CkOpts);
+    std::printf("webracer: cross-check of %s (%zu resources, seed "
+                "%llu)\n\n",
+                Page.EntryUrl.c_str(), Page.Resources.size(),
+                static_cast<unsigned long long>(Seed));
+    std::printf("%s", analysis::formatReport(R).c_str());
+    return R.missedCount() == 0 ? 0 : 1;
   }
 
   webracer::SessionOptions Opts;
