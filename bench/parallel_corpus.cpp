@@ -1,0 +1,108 @@
+//===- bench/parallel_corpus.cpp - Thread-pool corpus throughput ---------------===//
+//
+// Measures corpus throughput (sites/sec) of the thread-pool runCorpus at
+// --jobs 1/2/4/8 and asserts that every job count produces the *identical*
+// aggregate RaceTally (raw and filtered). Sessions are self-contained and
+// per-site seeds are pre-drawn in corpus order, so parallelism must not
+// change any result; a mismatch is a bug and exits 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sites/CorpusRunner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+using namespace wr;
+using namespace wr::sites;
+
+namespace {
+
+struct Aggregate {
+  detect::RaceTally Raw, Filtered;
+  size_t Operations = 0, HbEdges = 0;
+
+  bool operator==(const Aggregate &O) const {
+    return Raw.Html == O.Raw.Html && Raw.Function == O.Raw.Function &&
+           Raw.Variable == O.Raw.Variable &&
+           Raw.EventDispatch == O.Raw.EventDispatch &&
+           Filtered.Html == O.Filtered.Html &&
+           Filtered.Function == O.Filtered.Function &&
+           Filtered.Variable == O.Filtered.Variable &&
+           Filtered.EventDispatch == O.Filtered.EventDispatch &&
+           Operations == O.Operations && HbEdges == O.HbEdges;
+  }
+};
+
+Aggregate aggregateOf(const CorpusStats &Stats) {
+  Aggregate A;
+  A.Filtered = Stats.filteredTotals();
+  for (const SiteRunStats &S : Stats.Sites) {
+    A.Raw.Html += S.Raw.Html;
+    A.Raw.Function += S.Raw.Function;
+    A.Raw.Variable += S.Raw.Variable;
+    A.Raw.EventDispatch += S.Raw.EventDispatch;
+    A.Operations += S.Operations;
+    A.HbEdges += S.HbEdges;
+  }
+  return A;
+}
+
+void printAggregate(const char *Tag, const Aggregate &A) {
+  std::printf("  [%s] raw=%zu filtered=%zu ops=%zu edges=%zu\n", Tag,
+              A.Raw.total(), A.Filtered.total(), A.Operations, A.HbEdges);
+}
+
+} // namespace
+
+int main() {
+  const uint64_t Seed = 2012;
+  std::printf("== parallel corpus: sites/sec by job count ==\n");
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+  std::printf("building corpus (seed %llu)...\n",
+              static_cast<unsigned long long>(Seed));
+  std::vector<GeneratedSite> Corpus = buildFortune100Corpus(Seed);
+  webracer::SessionOptions Opts;
+
+  const unsigned JobCounts[] = {1, 2, 4, 8};
+  Aggregate Baseline;
+  double BaselineSecs = 0;
+  bool Mismatch = false;
+
+  std::printf("\n%6s | %8s | %10s | %8s\n", "jobs", "secs", "sites/sec",
+              "speedup");
+  std::printf("-------+----------+------------+---------\n");
+  for (unsigned Jobs : JobCounts) {
+    auto Start = std::chrono::steady_clock::now();
+    CorpusStats Stats = runCorpus(Corpus, Opts, Seed, Jobs);
+    double Secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    Aggregate A = aggregateOf(Stats);
+    if (Jobs == 1) {
+      Baseline = A;
+      BaselineSecs = Secs;
+    } else if (!(A == Baseline)) {
+      Mismatch = true;
+      std::printf("MISMATCH at --jobs %u:\n", Jobs);
+      printAggregate("jobs=1", Baseline);
+      char Tag[16];
+      std::snprintf(Tag, sizeof(Tag), "jobs=%u", Jobs);
+      printAggregate(Tag, A);
+    }
+    std::printf("%6u | %8.2f | %10.1f | %7.2fx\n", Jobs, Secs,
+                Secs > 0 ? static_cast<double>(Stats.Sites.size()) / Secs
+                         : 0.0,
+                Secs > 0 ? BaselineSecs / Secs : 0.0);
+  }
+
+  if (Mismatch) {
+    std::printf("\nFAIL: aggregate tallies differ across job counts\n");
+    return 1;
+  }
+  std::printf("\nOK: identical aggregate tallies at every job count "
+              "(raw=%zu filtered=%zu)\n",
+              Baseline.Raw.total(), Baseline.Filtered.total());
+  return 0;
+}

@@ -19,6 +19,17 @@ const char *wr::detect::toString(RaceKind Kind) {
   return "unknown";
 }
 
+size_t RaceDetector::trackedLocations() const {
+  std::unordered_set<Location, LocationHash> Distinct;
+  for (const auto &[Loc, Slot] : LastRead)
+    Distinct.insert(Loc);
+  for (const auto &[Loc, Slot] : LastWrite)
+    Distinct.insert(Loc);
+  for (const auto &[Loc, Slots] : History)
+    Distinct.insert(Loc);
+  return Distinct.size();
+}
+
 size_t RaceDetector::countByKind(RaceKind Kind) const {
   size_t N = 0;
   for (const Race &R : Races)

@@ -75,10 +75,10 @@ public:
   /// Number of CHC queries issued (overhead accounting).
   uint64_t chcQueries() const { return ChcQueries; }
 
-  /// Number of distinct locations tracked.
-  size_t trackedLocations() const {
-    return LastWrite.size() + LastRead.size();
-  }
+  /// Number of distinct locations tracked (the union of the read and
+  /// write slots, plus the full-history map when that mode is active -
+  /// a location present in both slots is one location, not two).
+  size_t trackedLocations() const;
 
   void onMemoryAccess(const Access &A) override;
 

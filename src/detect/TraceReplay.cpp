@@ -1,0 +1,96 @@
+//===- detect/TraceReplay.cpp - Offline detection over a trace -------------===//
+
+#include "detect/TraceReplay.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+
+using namespace wr;
+using namespace wr::detect;
+
+HbGraph wr::detect::buildHbGraphFromTrace(const TraceLog &Log,
+                                          bool UseVectorClocks) {
+  HbGraph Hb;
+  Hb.setUseVectorClocks(UseVectorClocks);
+  for (const TraceEvent &E : Log.events()) {
+    switch (E.K) {
+    case TraceEvent::Kind::OpCreated: {
+      OpId Id = Hb.addOperation(E.Meta);
+      (void)Id;
+      assert(Id == E.Op && "trace must be recorded from session start");
+      break;
+    }
+    case TraceEvent::Kind::HbEdge:
+      Hb.addEdge(E.Op, E.Op2, E.Rule);
+      break;
+    default:
+      break;
+    }
+  }
+  return Hb;
+}
+
+DispatchCountFn wr::detect::dispatchCountsFromTrace(const TraceLog &Log) {
+  // Same key the engine uses (Browser::dispatchKeyOf), so filtered results
+  // replay byte-identically.
+  auto Counts = std::make_shared<std::unordered_map<std::string, int>>();
+  for (const TraceEvent &E : Log.events()) {
+    if (E.K != TraceEvent::Kind::Dispatch)
+      continue;
+    std::string Key =
+        strFormat("%u/%llu/%s", E.Target,
+                  static_cast<unsigned long long>(E.TargetObject),
+                  E.EventType.c_str());
+    ++(*Counts)[Key];
+  }
+  return [Counts](const EventHandlerLoc &Loc) {
+    std::string Key =
+        strFormat("%u/%llu/%s", Loc.Target,
+                  static_cast<unsigned long long>(Loc.TargetObject),
+                  Loc.EventType.c_str());
+    auto It = Counts->find(Key);
+    return It == Counts->end() ? 0 : It->second;
+  };
+}
+
+ReplayResult wr::detect::replayTrace(const TraceLog &Log,
+                                     const ReplayOptions &Opts) {
+  ReplayResult Result;
+  Result.Hb.setUseVectorClocks(Opts.UseVectorClocks);
+  RaceDetector Detector(Result.Hb, Opts.Detector);
+  // One in-order pass: graph construction and detection interleave exactly
+  // as they did online, so the detector sees each access against the same
+  // graph prefix (and issues the same CHC queries) as the recording run.
+  for (const TraceEvent &E : Log.events()) {
+    switch (E.K) {
+    case TraceEvent::Kind::OpCreated: {
+      OpId Id = Result.Hb.addOperation(E.Meta);
+      (void)Id;
+      assert(Id == E.Op && "trace must be recorded from session start");
+      break;
+    }
+    case TraceEvent::Kind::HbEdge:
+      Result.Hb.addEdge(E.Op, E.Op2, E.Rule);
+      break;
+    case TraceEvent::Kind::MemAccess:
+      Detector.onMemoryAccess(E.Mem);
+      break;
+    case TraceEvent::Kind::OpEnd:
+      if (E.Crashed)
+        ++Result.Crashes;
+      break;
+    default:
+      break;
+    }
+  }
+  Result.RawRaces = Detector.races();
+  Result.FilteredRaces =
+      applyPaperFilters(Result.RawRaces, dispatchCountsFromTrace(Log));
+  Result.Operations = Result.Hb.numOperations();
+  Result.HbEdges = Result.Hb.numEdges();
+  Result.ChcQueries = Detector.chcQueries();
+  return Result;
+}

@@ -1,0 +1,74 @@
+//===- detect/TraceReplay.h - Offline detection over a trace ----*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the race-detection pipeline offline over a recorded TraceLog: the
+/// happens-before graph is reconstructed event by event, the detector
+/// consumes the access stream in recorded order, and the Sec. 5.3 filters
+/// draw their dispatch counts from the trace's dispatch records. Because
+/// replay processes events in exactly the order the engine emitted them,
+/// an offline run is observationally identical to the online run that
+/// recorded the trace - same races, same filtered set, same CHC query
+/// count - so detector-mode and filter ablations can compare
+/// configurations against one recorded execution instead of re-running
+/// the browser per configuration.
+///
+/// Replay defaults to the vector-clock happens-before representation: a
+/// trace consumer issues the same CHC queries as the online detector but
+/// pays no instrumentation cost, so the O(1) clock lookup dominates DFS
+/// even more clearly than online.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_DETECT_TRACEREPLAY_H
+#define WEBRACER_DETECT_TRACEREPLAY_H
+
+#include "detect/Filters.h"
+#include "detect/RaceDetector.h"
+#include "instr/TraceLog.h"
+
+#include <vector>
+
+namespace wr::detect {
+
+/// Configuration for one offline detection run.
+struct ReplayOptions {
+  DetectorOptions Detector;
+  /// Replay uses the vector-clock representation by default; set false to
+  /// replay with the paper's graph-DFS strategy (ablations).
+  bool UseVectorClocks = true;
+};
+
+/// Everything an offline run produces. Mirrors the detection-relevant
+/// fields of webracer::SessionResult.
+struct ReplayResult {
+  std::vector<Race> RawRaces;
+  std::vector<Race> FilteredRaces; ///< After the Sec. 5.3 filters.
+  size_t Operations = 0;
+  size_t HbEdges = 0;
+  uint64_t ChcQueries = 0;
+  size_t Crashes = 0; ///< Operations that ended crashed.
+  /// The reconstructed happens-before graph, for report rendering
+  /// (describeRaces) and offline harm analysis.
+  HbGraph Hb;
+};
+
+/// Reconstructs the happens-before graph alone (operations with their full
+/// metadata plus rule-tagged edges) from \p Log.
+HbGraph buildHbGraphFromTrace(const TraceLog &Log,
+                              bool UseVectorClocks = true);
+
+/// A DispatchCountFn backed by the trace's dispatch records; keys counts
+/// by (target node, target object, event type) exactly like the engine.
+DispatchCountFn dispatchCountsFromTrace(const TraceLog &Log);
+
+/// Replays \p Log through a fresh detector and the paper filters.
+ReplayResult replayTrace(const TraceLog &Log,
+                         const ReplayOptions &Opts = ReplayOptions());
+
+} // namespace wr::detect
+
+#endif // WEBRACER_DETECT_TRACEREPLAY_H

@@ -170,7 +170,11 @@ private:
   std::vector<std::vector<std::pair<OpId, HbRule>>> InEdgeRules;
   size_t EdgeCount = 0;
 
-  // DFS memo: key = (A << 32 | B), value = reachable.
+  // DFS memo: key = (A << 32 | B), value = reachable. The packing gives
+  // each endpoint exactly half of the 64-bit key, so OpId must stay at
+  // most 32 bits wide; widening OpId requires a new key scheme here.
+  static_assert(sizeof(OpId) * 8 <= 32,
+                "ReachMemo packs two OpIds into one uint64_t key");
   mutable std::unordered_map<uint64_t, bool> ReachMemo;
   mutable std::vector<uint32_t> VisitEpoch;
   mutable uint32_t CurrentEpoch = 0;

@@ -2,8 +2,6 @@
 
 #include "instr/Instrumentation.h"
 
-#include "support/Format.h"
-
 using namespace wr;
 
 InstrumentationSink::~InstrumentationSink() = default;
@@ -33,101 +31,10 @@ void MultiSink::onMemoryAccess(const Access &A) {
     Sink->onMemoryAccess(A);
 }
 
-void MultiSink::onEventDispatch(NodeId Target, const std::string &EventType,
+void MultiSink::onEventDispatch(NodeId Target, ContainerId TargetObject,
+                                const std::string &EventType,
                                 int32_t DispatchIndex, OpId Begin, OpId End) {
   for (InstrumentationSink *Sink : Sinks)
-    Sink->onEventDispatch(Target, EventType, DispatchIndex, Begin, End);
-}
-
-void TraceRecorder::onOperationCreated(OpId Op, const Operation &Meta) {
-  Event E;
-  E.Kind = EventKind::OpCreated;
-  E.Op = Op;
-  E.Text = strFormat("%s %s", wr::toString(Meta.Kind), Meta.Label.c_str());
-  Events.push_back(std::move(E));
-}
-
-void TraceRecorder::onOperationBegin(OpId Op) {
-  Event E;
-  E.Kind = EventKind::OpBegin;
-  E.Op = Op;
-  Events.push_back(std::move(E));
-}
-
-void TraceRecorder::onOperationEnd(OpId Op, bool Crashed) {
-  Event E;
-  E.Kind = EventKind::OpEnd;
-  E.Op = Op;
-  E.Crashed = Crashed;
-  Events.push_back(std::move(E));
-}
-
-void TraceRecorder::onHbEdge(OpId From, OpId To, HbRule Rule) {
-  Event E;
-  E.Kind = EventKind::HbEdge;
-  E.Op = From;
-  E.Op2 = To;
-  E.Rule = Rule;
-  Events.push_back(std::move(E));
-}
-
-void TraceRecorder::onMemoryAccess(const Access &A) {
-  Event E;
-  E.Kind = EventKind::MemAccess;
-  E.Op = A.Op;
-  E.Mem = A;
-  Events.push_back(std::move(E));
-}
-
-void TraceRecorder::onEventDispatch(NodeId Target,
-                                    const std::string &EventType,
-                                    int32_t DispatchIndex, OpId Begin,
-                                    OpId End) {
-  Event E;
-  E.Kind = EventKind::Dispatch;
-  E.Op = Begin;
-  E.Op2 = End;
-  E.Text = strFormat("disp%d(%s, node%u)", DispatchIndex, EventType.c_str(),
-                     Target);
-  Events.push_back(std::move(E));
-}
-
-std::string TraceRecorder::toString() const {
-  std::string Out;
-  for (const Event &E : Events) {
-    switch (E.Kind) {
-    case EventKind::OpCreated:
-      Out += strFormat("op %u created: %s\n", E.Op, E.Text.c_str());
-      break;
-    case EventKind::OpBegin:
-      Out += strFormat("op %u begin\n", E.Op);
-      break;
-    case EventKind::OpEnd:
-      Out += strFormat("op %u end%s\n", E.Op, E.Crashed ? " (crashed)" : "");
-      break;
-    case EventKind::HbEdge:
-      Out += strFormat("hb %u -> %u  [%s]\n", E.Op, E.Op2,
-                       wr::toString(E.Rule));
-      break;
-    case EventKind::MemAccess:
-      Out += strFormat("op %u %s %s  [%s] %s\n", E.Op,
-                       wr::toString(E.Mem.Kind),
-                       wr::toString(E.Mem.Loc).c_str(),
-                       wr::toString(E.Mem.Origin), E.Mem.Detail.c_str());
-      break;
-    case EventKind::Dispatch:
-      Out += strFormat("dispatch %s ops [%u..%u]\n", E.Text.c_str(), E.Op,
-                       E.Op2);
-      break;
-    }
-  }
-  return Out;
-}
-
-size_t TraceRecorder::count(EventKind Kind) const {
-  size_t N = 0;
-  for (const Event &E : Events)
-    if (E.Kind == Kind)
-      ++N;
-  return N;
+    Sink->onEventDispatch(Target, TargetObject, EventType, DispatchIndex,
+                          Begin, End);
 }

@@ -64,9 +64,14 @@ public:
   virtual void onMemoryAccess(const Access &A) { (void)A; }
 
   /// An event was dispatched (anchor ids delimit its handler operations).
-  virtual void onEventDispatch(NodeId Target, const std::string &EventType,
+  /// \p TargetObject carries the JS identity for non-node targets (window,
+  /// XHR objects) so offline consumers can key dispatch counts exactly the
+  /// way the engine does.
+  virtual void onEventDispatch(NodeId Target, ContainerId TargetObject,
+                               const std::string &EventType,
                                int32_t DispatchIndex, OpId Begin, OpId End) {
     (void)Target;
+    (void)TargetObject;
     (void)EventType;
     (void)DispatchIndex;
     (void)Begin;
@@ -85,53 +90,12 @@ public:
   void onOperationEnd(OpId Op, bool Crashed) override;
   void onHbEdge(OpId From, OpId To, HbRule Rule) override;
   void onMemoryAccess(const Access &A) override;
-  void onEventDispatch(NodeId Target, const std::string &EventType,
-                       int32_t DispatchIndex, OpId Begin, OpId End) override;
+  void onEventDispatch(NodeId Target, ContainerId TargetObject,
+                       const std::string &EventType, int32_t DispatchIndex,
+                       OpId Begin, OpId End) override;
 
 private:
   std::vector<InstrumentationSink *> Sinks;
-};
-
-/// Records the full instrumentation stream for tests and debugging.
-class TraceRecorder final : public InstrumentationSink {
-public:
-  enum class EventKind : uint8_t {
-    OpCreated,
-    OpBegin,
-    OpEnd,
-    HbEdge,
-    MemAccess,
-    Dispatch,
-  };
-
-  struct Event {
-    EventKind Kind;
-    OpId Op = InvalidOpId;
-    OpId Op2 = InvalidOpId;
-    HbRule Rule = HbRule::RProgram;
-    bool Crashed = false;
-    Access Mem;
-    std::string Text;
-  };
-
-  void onOperationCreated(OpId Op, const Operation &Meta) override;
-  void onOperationBegin(OpId Op) override;
-  void onOperationEnd(OpId Op, bool Crashed) override;
-  void onHbEdge(OpId From, OpId To, HbRule Rule) override;
-  void onMemoryAccess(const Access &A) override;
-  void onEventDispatch(NodeId Target, const std::string &EventType,
-                       int32_t DispatchIndex, OpId Begin, OpId End) override;
-
-  const std::vector<Event> &events() const { return Events; }
-
-  /// Renders the whole trace, one event per line.
-  std::string toString() const;
-
-  /// Counts events of one kind.
-  size_t count(EventKind Kind) const;
-
-private:
-  std::vector<Event> Events;
 };
 
 } // namespace wr

@@ -524,7 +524,8 @@ Browser::dispatchEvent(TargetKey Target, const std::string &Type,
   OpId End = newOperation(EndMeta, {{Prev, HbRule::RA_DispatchChain}});
   runOperation(End, [] {});
   LastDispatchEnd[Key] = End;
-  Sinks.onEventDispatch(Target.Node, Type, Index, Begin, End);
+  Sinks.onEventDispatch(Target.Node, Target.Object, Type, Index, Begin,
+                        End);
 
   // Appendix A: resume the interrupted operation as a fresh slice ordered
   // after the inline dispatch.

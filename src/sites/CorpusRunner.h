@@ -61,10 +61,16 @@ SiteRunStats runSite(const GeneratedSite &Site,
                      const webracer::SessionOptions &Base,
                      uint64_t SiteSeed);
 
-/// Runs the whole corpus.
+/// Runs the whole corpus. \p Jobs > 1 runs sites on a thread pool: each
+/// site is a self-contained session (own browser, heap, and HB graph), so
+/// the pool shares no mutable state beyond the claim counter. Per-site
+/// seeds are drawn from \p Seed in corpus order *before* any site runs
+/// and results land in corpus-order slots, so the aggregate is identical
+/// for every job count (and to the serial run). \p Jobs == 0 uses the
+/// hardware concurrency.
 CorpusStats runCorpus(const std::vector<GeneratedSite> &Corpus,
-                      const webracer::SessionOptions &Base,
-                      uint64_t Seed);
+                      const webracer::SessionOptions &Base, uint64_t Seed,
+                      unsigned Jobs = 1);
 
 } // namespace wr::sites
 

@@ -11,7 +11,7 @@ Session::Session(SessionOptions Options) : Opts(Options) {
   D = std::make_unique<detect::RaceDetector>(B->hb(), Opts.Detector);
   B->addSink(D.get());
   if (Opts.RecordTrace) {
-    Trace = std::make_unique<TraceRecorder>();
+    Trace = std::make_unique<TraceLog>();
     B->addSink(Trace.get());
   }
 }

@@ -15,8 +15,11 @@
 ///    (detect/*.h).
 ///  * explore::Explorer - automatic user-interaction exploration
 ///    (explore/Explorer.h).
-///  * sites:: - the synthetic Fortune-100 corpus used by the benchmarks
-///    (sites/*.h).
+///  * TraceLog / detect::replayTrace - record an execution once, replay
+///    detectors and filters offline (instr/TraceLog.h,
+///    detect/TraceReplay.h).
+///  * sites:: - the synthetic Fortune-100 corpus used by the benchmarks,
+///    with serial and thread-pool corpus drivers (sites/*.h).
 ///  * analysis:: - the ahead-of-time static race analyzer and the
 ///    static-vs-dynamic cross-validation harness (analysis/*.h).
 ///
@@ -31,8 +34,10 @@
 #include "detect/Filters.h"
 #include "detect/RaceDetector.h"
 #include "detect/Report.h"
+#include "detect/TraceReplay.h"
 #include "explore/Explorer.h"
 #include "hb/HbGraph.h"
+#include "instr/TraceLog.h"
 #include "runtime/Browser.h"
 #include "sites/Corpus.h"
 #include "sites/CorpusRunner.h"

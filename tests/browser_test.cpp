@@ -10,6 +10,7 @@
 #include "detect/Filters.h"
 #include "detect/RaceDetector.h"
 #include "detect/Report.h"
+#include "instr/TraceLog.h"
 #include "runtime/Browser.h"
 
 #include <gtest/gtest.h>
@@ -226,7 +227,7 @@ TEST_F(BrowserTest, EventCaptureTargetBubbleOrder) {
 }
 
 TEST_F(BrowserTest, InlineDispatchSplitsOperation) {
-  TraceRecorder Trace;
+  TraceLog Trace;
   B->addSink(&Trace);
   load("<button id=\"b\" onclick=\"window.clicked = true;\"></button>"
        "<script>document.getElementById('b').click(); var after = 1;"

@@ -290,6 +290,34 @@ TEST_F(DetectorTest, ChcQueriesCounted) {
   EXPECT_EQ(D.chcQueries(), 1u);
 }
 
+TEST_F(DetectorTest, TrackedLocationsIsUnionOfSlots) {
+  // A location read AND written is one tracked location, not two: the
+  // count is the union of the read slots, write slots, and history map.
+  OpId A = op(), B = op();
+  edge(A, B);
+  RaceDetector D(Hb);
+  EXPECT_EQ(D.trackedLocations(), 0u);
+  D.onMemoryAccess(write(A, "x"));
+  EXPECT_EQ(D.trackedLocations(), 1u);
+  D.onMemoryAccess(read(B, "x")); // Same location, other slot.
+  EXPECT_EQ(D.trackedLocations(), 1u);
+  D.onMemoryAccess(read(B, "y")); // Read-only location.
+  EXPECT_EQ(D.trackedLocations(), 2u);
+  D.onMemoryAccess(write(A, "z")); // Write-only location.
+  EXPECT_EQ(D.trackedLocations(), 3u);
+}
+
+TEST_F(DetectorTest, TrackedLocationsFullHistoryMode) {
+  OpId A = op(), B = op();
+  DetectorOptions Opts;
+  Opts.HistoryMode = DetectorOptions::Mode::FullHistory;
+  RaceDetector D(Hb, Opts);
+  D.onMemoryAccess(write(A, "x"));
+  D.onMemoryAccess(read(B, "x"));
+  D.onMemoryAccess(read(B, "y"));
+  EXPECT_EQ(D.trackedLocations(), 2u);
+}
+
 TEST_F(DetectorTest, DiamondOrderingSuppressesRace) {
   OpId A = op(), B = op(), C = op(), D2 = op();
   edge(A, B);

@@ -140,6 +140,75 @@ TEST(HbGraphTest, ExplainPath) {
   EXPECT_FALSE(G.findDirectEdgeRule(A, C, Rule));
 }
 
+TEST(HbGraphTest, ExplainPathEndpointsAndConsecutiveEdges) {
+  // On a diamond with a long tail, any witness path must start at A, end
+  // at B, and consist purely of direct edges.
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  OpId L = G.addOperation(op("left"));
+  OpId R = G.addOperation(op("right"));
+  OpId M = G.addOperation(op("merge"));
+  G.addEdge(A, L, HbRule::R1a_ParseOrder);
+  G.addEdge(A, R, HbRule::R16_SetTimeout);
+  G.addEdge(L, M, HbRule::RProgram);
+  G.addEdge(R, M, HbRule::RProgram);
+  OpId Prev = M;
+  for (int I = 0; I < 10; ++I) {
+    OpId Next = G.addOperation(op("tail"));
+    G.addEdge(Prev, Next, HbRule::RProgram);
+    Prev = Next;
+  }
+  std::vector<OpId> Path = G.explainPath(A, Prev);
+  ASSERT_GE(Path.size(), 2u);
+  EXPECT_EQ(Path.front(), A);
+  EXPECT_EQ(Path.back(), Prev);
+  for (size_t I = 0; I + 1 < Path.size(); ++I) {
+    HbRule Rule;
+    EXPECT_TRUE(G.findDirectEdgeRule(Path[I], Path[I + 1], Rule))
+        << "no direct edge " << Path[I] << " -> " << Path[I + 1];
+  }
+}
+
+TEST(HbGraphTest, ExplainPathUnreachablePairsAreEmpty) {
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  OpId B = G.addOperation(op("b"));
+  OpId C = G.addOperation(op("c"));
+  G.addEdge(A, C, HbRule::RProgram);
+  G.addEdge(B, C, HbRule::RProgram);
+  // A and B are concurrent: no witness either way.
+  EXPECT_TRUE(G.explainPath(A, B).empty());
+  EXPECT_TRUE(G.explainPath(B, A).empty());
+  // Against the flow of edges.
+  EXPECT_TRUE(G.explainPath(C, A).empty());
+  HbRule Rule;
+  EXPECT_FALSE(G.findDirectEdgeRule(A, B, Rule));
+  EXPECT_FALSE(G.findDirectEdgeRule(C, A, Rule));
+}
+
+TEST(HbGraphTest, FindDirectEdgeRuleRecoversEachRule) {
+  // A graph mixing several HB rules must report the rule that created
+  // each specific edge, not just any rule.
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  OpId B = G.addOperation(op("b"));
+  OpId C = G.addOperation(op("c"));
+  OpId D = G.addOperation(op("d"));
+  G.addEdge(A, B, HbRule::R10_AjaxSend);
+  G.addEdge(A, C, HbRule::R17_SetInterval);
+  G.addEdge(B, D, HbRule::R3_ExeBeforeLoad);
+  G.addEdge(C, D, HbRule::RA_InlineSplit);
+  HbRule Rule;
+  ASSERT_TRUE(G.findDirectEdgeRule(A, B, Rule));
+  EXPECT_EQ(Rule, HbRule::R10_AjaxSend);
+  ASSERT_TRUE(G.findDirectEdgeRule(A, C, Rule));
+  EXPECT_EQ(Rule, HbRule::R17_SetInterval);
+  ASSERT_TRUE(G.findDirectEdgeRule(B, D, Rule));
+  EXPECT_EQ(Rule, HbRule::R3_ExeBeforeLoad);
+  ASSERT_TRUE(G.findDirectEdgeRule(C, D, Rule));
+  EXPECT_EQ(Rule, HbRule::RA_InlineSplit);
+}
+
 TEST(HbGraphTest, MemoizedQueriesStableUnderGrowth) {
   // Adding later operations must not change reachability between
   // existing pairs (the memoization soundness property).

@@ -1,6 +1,7 @@
 //===- tests/instr_test.cpp - instrumentation plumbing tests -------------------===//
 
 #include "instr/Instrumentation.h"
+#include "instr/TraceLog.h"
 
 #include <gtest/gtest.h>
 
@@ -23,8 +24,8 @@ public:
   }
   void onHbEdge(OpId, OpId, HbRule) override { ++Edges; }
   void onMemoryAccess(const Access &) override { ++Accesses; }
-  void onEventDispatch(NodeId, const std::string &, int32_t, OpId,
-                       OpId) override {
+  void onEventDispatch(NodeId, ContainerId, const std::string &, int32_t,
+                       OpId, OpId) override {
     ++Dispatches;
   }
 };
@@ -47,7 +48,7 @@ TEST(MultiSinkTest, FansOutInOrder) {
   Multi.onOperationBegin(1);
   Multi.onMemoryAccess(someAccess());
   Multi.onHbEdge(1, 2, HbRule::RProgram);
-  Multi.onEventDispatch(3, "click", 0, 4, 5);
+  Multi.onEventDispatch(3, 0, "click", 0, 4, 5);
   Multi.onOperationEnd(1, true);
   for (CountingSink *S : {&A, &B}) {
     EXPECT_EQ(S->Created, 1);
@@ -69,8 +70,8 @@ TEST(MultiSinkTest, ClearRemovesSinks) {
   EXPECT_EQ(A.Begun, 0);
 }
 
-TEST(TraceRecorderTest, RecordsEverything) {
-  TraceRecorder Trace;
+TEST(TraceLogTest, RecordsEverything) {
+  TraceLog Trace;
   Operation Meta;
   Meta.Kind = OperationKind::ExecuteScript;
   Meta.Label = "exe <script>";
@@ -78,17 +79,17 @@ TEST(TraceRecorderTest, RecordsEverything) {
   Trace.onOperationBegin(1);
   Trace.onMemoryAccess(someAccess());
   Trace.onHbEdge(1, 2, HbRule::R16_SetTimeout);
-  Trace.onEventDispatch(7, "load", 0, 3, 4);
+  Trace.onEventDispatch(7, 0, "load", 0, 3, 4);
   Trace.onOperationEnd(1, false);
   EXPECT_EQ(Trace.events().size(), 6u);
-  EXPECT_EQ(Trace.count(TraceRecorder::EventKind::OpCreated), 1u);
-  EXPECT_EQ(Trace.count(TraceRecorder::EventKind::MemAccess), 1u);
-  EXPECT_EQ(Trace.count(TraceRecorder::EventKind::HbEdge), 1u);
-  EXPECT_EQ(Trace.count(TraceRecorder::EventKind::Dispatch), 1u);
+  EXPECT_EQ(Trace.count(TraceLog::EventKind::OpCreated), 1u);
+  EXPECT_EQ(Trace.count(TraceLog::EventKind::MemAccess), 1u);
+  EXPECT_EQ(Trace.count(TraceLog::EventKind::HbEdge), 1u);
+  EXPECT_EQ(Trace.count(TraceLog::EventKind::Dispatch), 1u);
 }
 
-TEST(TraceRecorderTest, ToStringIsReadable) {
-  TraceRecorder Trace;
+TEST(TraceLogTest, ToStringIsReadable) {
+  TraceLog Trace;
   Operation Meta;
   Meta.Kind = OperationKind::TimeoutCallback;
   Meta.Label = "cb(timer 1)";

@@ -34,6 +34,7 @@ TEST(SessionTest, EndToEndRun) {
 
 TEST(SessionTest, VectorClockModeFindsSameRaces) {
   SessionOptions Graph;
+  Graph.UseVectorClocks = false; // The paper's DFS representation.
   Session SG(Graph);
   registerFig1(SG.network());
   SessionResult RG = SG.run("index.html");
@@ -95,7 +96,7 @@ TEST(SessionTest, TraceRecording) {
   S.run("index.html");
   ASSERT_NE(S.trace(), nullptr);
   EXPECT_GT(S.trace()->events().size(), 5u);
-  EXPECT_GT(S.trace()->count(TraceRecorder::EventKind::MemAccess), 0u);
+  EXPECT_GT(S.trace()->count(TraceLog::EventKind::MemAccess), 0u);
 }
 
 TEST(SessionTest, NoTraceByDefault) {

@@ -1,0 +1,275 @@
+//===- tests/trace_test.cpp - trace record / serialize / replay tests ---------===//
+//
+// Pins the tentpole guarantees of the trace pipeline:
+//
+//  * the binary format round-trips losslessly (and re-serializes to the
+//    exact same bytes),
+//  * corrupt or truncated input is rejected cleanly,
+//  * replaying a recorded trace through the detector and filters is
+//    byte-identical to the online run that recorded it, and
+//  * the thread-pool corpus driver produces the same results at any job
+//    count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Report.h"
+#include "detect/TraceReplay.h"
+#include "instr/TraceLog.h"
+#include "sites/CorpusRunner.h"
+#include "webracer/Session.h"
+
+#include <gtest/gtest.h>
+
+using namespace wr;
+using namespace wr::webracer;
+
+namespace {
+
+/// Runs a session with trace recording over the Fig. 1 page (one variable
+/// race through racing iframes).
+SessionOptions recordingOptions() {
+  SessionOptions Opts;
+  Opts.RecordTrace = true;
+  return Opts;
+}
+
+void registerFig1(rt::NetworkSimulator &Net) {
+  Net.addResource("index.html",
+                  "<script>x = 1;</script>"
+                  "<iframe src=\"a.html\"></iframe>"
+                  "<iframe src=\"b.html\"></iframe>",
+                  10);
+  Net.addResource("a.html", "<script>x = 2;</script>", 1000);
+  Net.addResource("b.html", "<script>alert(x);</script>", 2000);
+}
+
+void expectEventsEqual(const TraceEvent &A, const TraceEvent &B) {
+  EXPECT_EQ(A.K, B.K);
+  EXPECT_EQ(A.Op, B.Op);
+  EXPECT_EQ(A.Op2, B.Op2);
+  EXPECT_EQ(A.Rule, B.Rule);
+  EXPECT_EQ(A.Crashed, B.Crashed);
+  EXPECT_EQ(A.Meta.Kind, B.Meta.Kind);
+  EXPECT_EQ(A.Meta.Label, B.Meta.Label);
+  EXPECT_EQ(A.Mem.Kind, B.Mem.Kind);
+  EXPECT_EQ(A.Mem.Origin, B.Mem.Origin);
+  EXPECT_EQ(A.Mem.Op, B.Mem.Op);
+  EXPECT_TRUE(A.Mem.Loc == B.Mem.Loc);
+  EXPECT_EQ(A.Mem.Detail, B.Mem.Detail);
+  EXPECT_EQ(A.Target, B.Target);
+  EXPECT_EQ(A.TargetObject, B.TargetObject);
+  EXPECT_EQ(A.EventType, B.EventType);
+  EXPECT_EQ(A.DispatchIndex, B.DispatchIndex);
+}
+
+TEST(TraceSerdeTest, EmptyTraceRoundTrips) {
+  TraceLog Log, Out;
+  std::string Bytes = Log.serialize();
+  EXPECT_TRUE(TraceLog::deserialize(Bytes, Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(TraceSerdeTest, RealSessionRoundTripsLosslessly) {
+  Session S(recordingOptions());
+  registerFig1(S.network());
+  S.run("index.html");
+  ASSERT_NE(S.trace(), nullptr);
+  const TraceLog &Log = *S.trace();
+  ASSERT_GT(Log.size(), 20u);
+  // The trace must exercise every event kind.
+  EXPECT_GT(Log.count(TraceLog::EventKind::OpCreated), 0u);
+  EXPECT_GT(Log.count(TraceLog::EventKind::OpBegin), 0u);
+  EXPECT_GT(Log.count(TraceLog::EventKind::OpEnd), 0u);
+  EXPECT_GT(Log.count(TraceLog::EventKind::HbEdge), 0u);
+  EXPECT_GT(Log.count(TraceLog::EventKind::MemAccess), 0u);
+
+  std::string Bytes = Log.serialize();
+  TraceLog Out;
+  std::string Error;
+  ASSERT_TRUE(TraceLog::deserialize(Bytes, Out, &Error)) << Error;
+  ASSERT_EQ(Out.size(), Log.size());
+  for (size_t I = 0; I < Log.size(); ++I)
+    expectEventsEqual(Log.events()[I], Out.events()[I]);
+  // Re-serializing the decoded trace reproduces the exact bytes.
+  EXPECT_EQ(Out.serialize(), Bytes);
+  // And the human-readable rendering agrees too.
+  EXPECT_EQ(Out.toString(), Log.toString());
+}
+
+TEST(TraceSerdeTest, DispatchEventsRoundTrip) {
+  TraceLog Log;
+  Log.onEventDispatch(7, 3, "click", 2, 11, 14);
+  Log.onEventDispatch(InvalidNodeId, 9, "readystatechange", -1, 15, 15);
+  TraceLog Out;
+  ASSERT_TRUE(TraceLog::deserialize(Log.serialize(), Out));
+  ASSERT_EQ(Out.size(), 2u);
+  expectEventsEqual(Log.events()[0], Out.events()[0]);
+  expectEventsEqual(Log.events()[1], Out.events()[1]);
+}
+
+TEST(TraceSerdeTest, RejectsBadMagic) {
+  TraceLog Log, Out;
+  Log.onOperationBegin(1);
+  std::string Bytes = Log.serialize();
+  Bytes[0] = 'X';
+  std::string Error;
+  EXPECT_FALSE(TraceLog::deserialize(Bytes, Out, &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(TraceSerdeTest, RejectsTruncationAtEveryPrefix) {
+  Session S(recordingOptions());
+  registerFig1(S.network());
+  S.run("index.html");
+  std::string Bytes = S.trace()->serialize();
+  // Any strict prefix must fail cleanly (never crash, never succeed),
+  // and must leave the output cleared.
+  for (size_t Len = 0; Len < Bytes.size(); Len += 7) {
+    TraceLog Out;
+    Out.onOperationBegin(99); // Pre-populate to observe clearing.
+    EXPECT_FALSE(TraceLog::deserialize(Bytes.substr(0, Len), Out));
+    EXPECT_TRUE(Out.empty());
+  }
+}
+
+TEST(TraceSerdeTest, RejectsTrailingGarbage) {
+  TraceLog Log, Out;
+  Log.onOperationBegin(1);
+  std::string Bytes = Log.serialize() + "extra";
+  EXPECT_FALSE(TraceLog::deserialize(Bytes, Out));
+}
+
+TEST(TraceSerdeTest, RejectsOutOfRangeEnums) {
+  TraceLog Log, Out;
+  Log.onHbEdge(1, 2, HbRule::RProgram);
+  std::string Bytes = Log.serialize();
+  // The last payload byte is the HbRule; force it out of range.
+  Bytes[Bytes.size() - 1] = '\xee';
+  std::string Error;
+  EXPECT_FALSE(TraceLog::deserialize(Bytes, Out, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(TraceReplayTest, GraphReconstructionMatchesOnline) {
+  Session S(recordingOptions());
+  registerFig1(S.network());
+  S.run("index.html");
+  HbGraph Hb = detect::buildHbGraphFromTrace(*S.trace());
+  EXPECT_EQ(Hb.numOperations(), S.browser().hb().numOperations());
+  EXPECT_EQ(Hb.numEdges(), S.browser().hb().numEdges());
+  // Reachability agrees pairwise with the online graph.
+  size_t N = Hb.numOperations();
+  for (OpId A = 1; A <= N; ++A)
+    for (OpId B = 1; B <= N; ++B)
+      EXPECT_EQ(Hb.happensBefore(A, B),
+                S.browser().hb().happensBefore(A, B))
+          << A << " -> " << B;
+  // Operation metadata survives.
+  for (OpId A = 1; A <= N; ++A) {
+    EXPECT_EQ(Hb.operation(A).Kind, S.browser().hb().operation(A).Kind);
+    EXPECT_EQ(Hb.operation(A).Label, S.browser().hb().operation(A).Label);
+  }
+}
+
+TEST(TraceReplayTest, ReplayIsByteIdenticalToOnlineRun) {
+  Session S(recordingOptions());
+  registerFig1(S.network());
+  SessionResult Online = S.run("index.html");
+
+  detect::ReplayResult Offline = detect::replayTrace(*S.trace());
+  EXPECT_EQ(Offline.Operations, Online.Operations);
+  EXPECT_EQ(Offline.HbEdges, Online.HbEdges);
+  EXPECT_EQ(Offline.ChcQueries, Online.ChcQueries);
+  EXPECT_EQ(Offline.Crashes, Online.Crashes.size());
+
+  // The reports - raw and filtered - must be byte-identical.
+  EXPECT_EQ(detect::describeRaces(Offline.RawRaces, Offline.Hb),
+            detect::describeRaces(Online.RawRaces, S.browser().hb()));
+  EXPECT_EQ(detect::describeRaces(Offline.FilteredRaces, Offline.Hb),
+            detect::describeRaces(Online.FilteredRaces, S.browser().hb()));
+  EXPECT_EQ(detect::summaryLine(Offline.RawRaces),
+            detect::summaryLine(Online.RawRaces));
+}
+
+TEST(TraceReplayTest, ReplaySurvivesSerializationRoundTrip) {
+  Session S(recordingOptions());
+  registerFig1(S.network());
+  SessionResult Online = S.run("index.html");
+  TraceLog Decoded;
+  ASSERT_TRUE(TraceLog::deserialize(S.trace()->serialize(), Decoded));
+  detect::ReplayResult Offline = detect::replayTrace(Decoded);
+  EXPECT_EQ(detect::describeRaces(Offline.RawRaces, Offline.Hb),
+            detect::describeRaces(Online.RawRaces, S.browser().hb()));
+  EXPECT_EQ(detect::describeRaces(Offline.FilteredRaces, Offline.Hb),
+            detect::describeRaces(Online.FilteredRaces, S.browser().hb()));
+}
+
+TEST(TraceReplayTest, DfsReplayFindsSameRaces) {
+  Session S(recordingOptions());
+  registerFig1(S.network());
+  SessionResult Online = S.run("index.html");
+  detect::ReplayOptions Opts;
+  Opts.UseVectorClocks = false;
+  detect::ReplayResult Offline = detect::replayTrace(*S.trace(), Opts);
+  EXPECT_EQ(detect::describeRaces(Offline.RawRaces, Offline.Hb),
+            detect::describeRaces(Online.RawRaces, S.browser().hb()));
+}
+
+TEST(TraceReplayTest, DispatchCountsMatchBrowser) {
+  SessionOptions Opts = recordingOptions();
+  Session S(Opts);
+  S.network().addResource(
+      "index.html",
+      "<div id=\"a\" onclick=\"window.n = (window.n || 0) + 1;\"></div>",
+      10);
+  S.run("index.html");
+  Element *A = S.browser().mainWindow()->document().getElementById("a");
+  detect::DispatchCountFn Live = S.dispatchCounts();
+  detect::DispatchCountFn FromTrace =
+      detect::dispatchCountsFromTrace(*S.trace());
+  EventHandlerLoc Clicked{A->id(), 0, "click", 0};
+  EXPECT_EQ(FromTrace(Clicked), Live(Clicked));
+  EXPECT_GT(FromTrace(Clicked), 0);
+  EventHandlerLoc Never{A->id(), 0, "dblclick", 0};
+  EXPECT_EQ(FromTrace(Never), 0);
+}
+
+TEST(ParallelCorpusTest, JobCountsProduceIdenticalResults) {
+  const uint64_t Seed = 77;
+  std::vector<sites::GeneratedSite> Corpus =
+      sites::buildFortune100Corpus(Seed);
+  Corpus.resize(6); // Keep the test fast.
+  webracer::SessionOptions Base;
+  sites::CorpusStats Serial = sites::runCorpus(Corpus, Base, Seed, 1);
+  sites::CorpusStats Pooled = sites::runCorpus(Corpus, Base, Seed, 4);
+  ASSERT_EQ(Serial.Sites.size(), Pooled.Sites.size());
+  for (size_t I = 0; I < Serial.Sites.size(); ++I) {
+    const sites::SiteRunStats &A = Serial.Sites[I];
+    const sites::SiteRunStats &B = Pooled.Sites[I];
+    EXPECT_EQ(A.Name, B.Name);
+    EXPECT_EQ(A.Operations, B.Operations);
+    EXPECT_EQ(A.HbEdges, B.HbEdges);
+    EXPECT_EQ(A.Raw.total(), B.Raw.total());
+    EXPECT_EQ(A.Raw.Variable, B.Raw.Variable);
+    EXPECT_EQ(A.Raw.Html, B.Raw.Html);
+    EXPECT_EQ(A.Raw.Function, B.Raw.Function);
+    EXPECT_EQ(A.Raw.EventDispatch, B.Raw.EventDispatch);
+    EXPECT_EQ(A.Filtered.total(), B.Filtered.total());
+  }
+}
+
+TEST(ParallelCorpusTest, JobsZeroMeansAllCores) {
+  const uint64_t Seed = 77;
+  std::vector<sites::GeneratedSite> Corpus =
+      sites::buildFortune100Corpus(Seed);
+  Corpus.resize(3);
+  webracer::SessionOptions Base;
+  sites::CorpusStats Serial = sites::runCorpus(Corpus, Base, Seed, 1);
+  sites::CorpusStats Auto = sites::runCorpus(Corpus, Base, Seed, 0);
+  ASSERT_EQ(Serial.Sites.size(), Auto.Sites.size());
+  for (size_t I = 0; I < Serial.Sites.size(); ++I)
+    EXPECT_EQ(Serial.Sites[I].Raw.total(), Auto.Sites[I].Raw.total());
+}
+
+} // namespace

@@ -8,6 +8,13 @@
 // the simulated network under its path relative to that directory, so
 // <script src="js/app.js"> resolves to <root>/js/app.js.
 //
+// Two additional entry points skip the positional page argument:
+//
+//   webracer-cli --replay trace.bin [--raw] [--dfs]
+//       replay a recorded trace through the detector and filters offline
+//   webracer-cli --corpus [--sites N] [--jobs N] [--seed N]
+//       run the synthetic Fortune-100 corpus (optionally in parallel)
+//
 // Options:
 //   --root DIR       resource root (default: the page's directory)
 //   --seed N         determinism seed (default 1)
@@ -15,8 +22,19 @@
 //                    (default: jitter 500..3000)
 //   --raw            print unfiltered races instead of filtered ones
 //   --no-explore     skip automatic exploration (Sec. 5.2.2)
-//   --vector-clocks  use the vector-clock HB representation
+//   --dfs            use the paper's graph-DFS HB representation instead
+//                    of the default vector clocks
+//   --vector-clocks  use the vector-clock HB representation (the default;
+//                    kept for script compatibility)
 //   --trace          dump the full instrumentation trace
+//   --record FILE    record the execution trace and write it to FILE in
+//                    the binary trace format (replay with --replay)
+//   --replay FILE    skip the browser: deserialize FILE and run
+//                    detection + filters offline over the trace
+//   --corpus         run the synthetic Fortune-100 corpus instead of a
+//                    page from disk
+//   --sites N        with --corpus: only the first N sites (default 100)
+//   --jobs N         with --corpus: thread-pool size (0 = all cores)
 //   --static-analyze predict races ahead of time without executing the
 //                    page; prints the predicted races (and, with --trace,
 //                    the static must-HB graph)
@@ -27,12 +45,14 @@
 
 #include "webracer/WebRacer.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 using namespace wr;
 namespace fs = std::filesystem;
@@ -47,11 +67,14 @@ std::string readFile(const fs::path &Path) {
 }
 
 int usage(const char *Argv0) {
-  std::fprintf(stderr,
-               "usage: %s <index.html> [--root DIR] [--seed N] "
-               "[--latency N] [--raw] [--no-explore] [--vector-clocks] "
-               "[--trace] [--static-analyze] [--cross-check]\n",
-               Argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s <index.html> [--root DIR] [--seed N] [--latency N] "
+      "[--raw] [--no-explore] [--dfs] [--vector-clocks] [--trace] "
+      "[--record FILE] [--static-analyze] [--cross-check]\n"
+      "       %s --replay FILE [--raw] [--dfs]\n"
+      "       %s --corpus [--sites N] [--jobs N] [--seed N]\n",
+      Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -80,19 +103,98 @@ analysis::PageSpec pageSpecFromDisk(const fs::path &Index,
   return Page;
 }
 
+/// Offline mode: deserialize a recorded trace and rerun detection.
+int replayMain(const std::string &TraceFile, bool Raw, bool UseDfs) {
+  std::ifstream In(TraceFile, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read %s\n", TraceFile.c_str());
+    return 1;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  TraceLog Log;
+  std::string Error;
+  if (!TraceLog::deserialize(Buffer.str(), Log, &Error)) {
+    std::fprintf(stderr, "error: %s: %s\n", TraceFile.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+  detect::ReplayOptions Opts;
+  Opts.UseVectorClocks = !UseDfs;
+  detect::ReplayResult R = detect::replayTrace(Log, Opts);
+  std::printf("webracer: replaying %s (%zu events)\n", TraceFile.c_str(),
+              Log.size());
+  std::printf("operations: %zu, hb edges: %zu, chc queries: %llu\n",
+              R.Operations, R.HbEdges,
+              static_cast<unsigned long long>(R.ChcQueries));
+  if (R.Crashes)
+    std::printf("operations that crashed: %zu\n", R.Crashes);
+  const std::vector<detect::Race> &Races = Raw ? R.RawRaces : R.FilteredRaces;
+  std::printf("\n%s races: %s\n", Raw ? "raw" : "filtered",
+              detect::summaryLine(Races).c_str());
+  std::printf("%s", detect::describeRaces(Races, R.Hb).c_str());
+  return Races.empty() ? 0 : 1;
+}
+
+/// Corpus mode: run the synthetic Fortune-100 corpus, optionally in
+/// parallel, and print Table 1-style aggregates plus throughput.
+int corpusMain(size_t Sites, unsigned Jobs, uint64_t Seed) {
+  std::printf("webracer: building corpus (seed %llu)...\n",
+              static_cast<unsigned long long>(Seed));
+  std::vector<sites::GeneratedSite> Corpus =
+      sites::buildFortune100Corpus(Seed);
+  if (Sites && Sites < Corpus.size())
+    Corpus.resize(Sites);
+  webracer::SessionOptions Opts;
+  std::printf("running %zu sites with %u job(s)...\n", Corpus.size(),
+              Jobs ? Jobs : std::max(1u, std::thread::hardware_concurrency()));
+  auto Start = std::chrono::steady_clock::now();
+  sites::CorpusStats Stats = runCorpus(Corpus, Opts, Seed, Jobs);
+  double Secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  size_t RawTotal = 0, Ops = 0, Edges = 0;
+  for (const sites::SiteRunStats &S : Stats.Sites) {
+    RawTotal += S.Raw.total();
+    Ops += S.Operations;
+    Edges += S.HbEdges;
+  }
+  detect::RaceTally Filtered = Stats.filteredTotals();
+  std::printf("\n%zu sites in %.2fs (%.1f sites/sec)\n", Stats.Sites.size(),
+              Secs, Secs > 0 ? static_cast<double>(Stats.Sites.size()) / Secs
+                             : 0.0);
+  std::printf("operations: %zu, hb edges: %zu\n", Ops, Edges);
+  std::printf("raw races: %zu\n", RawTotal);
+  std::printf("filtered races: html=%zu function=%zu variable=%zu "
+              "event-dispatch=%zu total=%zu\n",
+              Filtered.Html, Filtered.Function, Filtered.Variable,
+              Filtered.EventDispatch, Filtered.total());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage(Argv[0]);
-  fs::path Index = Argv[1];
-  fs::path Root = Index.parent_path();
+
+  fs::path Index;
+  fs::path Root;
   uint64_t Seed = 1;
   uint64_t FixedLatency = 0;
-  bool Raw = false, Explore = true, VectorClocks = false, Trace = false;
-  bool StaticAnalyze = false, CrossCheck = false;
+  bool Raw = false, Explore = true, Dfs = false, Trace = false;
+  bool StaticAnalyze = false, CrossCheck = false, CorpusMode = false;
+  std::string RecordFile, ReplayFile;
+  size_t Sites = 0;
+  unsigned Jobs = 1;
 
-  for (int I = 2; I < Argc; ++I) {
+  int I = 1;
+  if (Argv[1][0] != '-') {
+    Index = Argv[1];
+    Root = Index.parent_path();
+    I = 2;
+  }
+  for (; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--root" && I + 1 < Argc) {
       Root = Argv[++I];
@@ -105,9 +207,21 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--no-explore") {
       Explore = false;
     } else if (Arg == "--vector-clocks") {
-      VectorClocks = true;
+      Dfs = false; // The default; accepted for script compatibility.
+    } else if (Arg == "--dfs") {
+      Dfs = true;
     } else if (Arg == "--trace") {
       Trace = true;
+    } else if (Arg == "--record" && I + 1 < Argc) {
+      RecordFile = Argv[++I];
+    } else if (Arg == "--replay" && I + 1 < Argc) {
+      ReplayFile = Argv[++I];
+    } else if (Arg == "--corpus") {
+      CorpusMode = true;
+    } else if (Arg == "--sites" && I + 1 < Argc) {
+      Sites = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     } else if (Arg == "--static-analyze") {
       StaticAnalyze = true;
     } else if (Arg == "--cross-check") {
@@ -116,6 +230,13 @@ int main(int Argc, char **Argv) {
       return usage(Argv[0]);
     }
   }
+
+  if (!ReplayFile.empty())
+    return replayMain(ReplayFile, Raw, Dfs);
+  if (CorpusMode)
+    return corpusMain(Sites, Jobs, Seed);
+  if (Index.empty())
+    return usage(Argv[0]);
 
   std::error_code Ec;
   if (!fs::exists(Index, Ec)) {
@@ -148,7 +269,7 @@ int main(int Argc, char **Argv) {
     analysis::CrossCheckOptions CkOpts;
     CkOpts.Session.Browser.Seed = Seed;
     CkOpts.Session.AutoExplore = Explore;
-    CkOpts.Session.UseVectorClocks = VectorClocks;
+    CkOpts.Session.UseVectorClocks = !Dfs;
     // Measure against everything the dynamic semantics produced; the
     // Sec. 5.3 filters are reporting refinements, not ground truth.
     CkOpts.UseFilteredRaces = false;
@@ -164,8 +285,8 @@ int main(int Argc, char **Argv) {
   webracer::SessionOptions Opts;
   Opts.Browser.Seed = Seed;
   Opts.AutoExplore = Explore;
-  Opts.UseVectorClocks = VectorClocks;
-  Opts.RecordTrace = Trace;
+  Opts.UseVectorClocks = !Dfs;
+  Opts.RecordTrace = Trace || !RecordFile.empty();
   webracer::Session S(Opts);
 
   // Register the tree under the resource root.
@@ -210,6 +331,18 @@ int main(int Argc, char **Argv) {
     std::printf("uncaught exceptions (hidden crashes):\n");
     for (const std::string &C : R.Crashes)
       std::printf("  %s\n", C.c_str());
+  }
+
+  if (!RecordFile.empty() && S.trace()) {
+    std::ofstream Out(RecordFile, std::ios::binary | std::ios::trunc);
+    std::string Bytes = S.trace()->serialize();
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", RecordFile.c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events, %zu bytes -> %s\n",
+                S.trace()->size(), Bytes.size(), RecordFile.c_str());
   }
 
   const std::vector<detect::Race> &Races =
