@@ -2,61 +2,32 @@
 //
 // Measures corpus throughput (sites/sec) of the thread-pool runCorpus at
 // --jobs 1/2/4/8 and asserts that every job count produces the *identical*
-// aggregate RaceTally (raw and filtered). Sessions are self-contained and
+// schema-1 corpus report, byte for byte (per-site stats, aggregate,
+// distributions, filtered totals). Sessions are self-contained and
 // per-site seeds are pre-drawn in corpus order, so parallelism must not
 // change any result; a mismatch is a bug and exits 1.
 //
+// An optional argument names a file to receive the jobs=1 report, so CI
+// can archive it and diff headline counters against a checked-in
+// baseline:
+//
+//   parallel_corpus [report.json]
+//
 //===----------------------------------------------------------------------===//
 
+#include "sites/CorpusReport.h"
 #include "sites/CorpusRunner.h"
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <thread>
 
 using namespace wr;
 using namespace wr::sites;
 
-namespace {
-
-struct Aggregate {
-  detect::RaceTally Raw, Filtered;
-  size_t Operations = 0, HbEdges = 0;
-
-  bool operator==(const Aggregate &O) const {
-    return Raw.Html == O.Raw.Html && Raw.Function == O.Raw.Function &&
-           Raw.Variable == O.Raw.Variable &&
-           Raw.EventDispatch == O.Raw.EventDispatch &&
-           Filtered.Html == O.Filtered.Html &&
-           Filtered.Function == O.Filtered.Function &&
-           Filtered.Variable == O.Filtered.Variable &&
-           Filtered.EventDispatch == O.Filtered.EventDispatch &&
-           Operations == O.Operations && HbEdges == O.HbEdges;
-  }
-};
-
-Aggregate aggregateOf(const CorpusStats &Stats) {
-  Aggregate A;
-  A.Filtered = Stats.filteredTotals();
-  for (const SiteRunStats &S : Stats.Sites) {
-    A.Raw.Html += S.Raw.Html;
-    A.Raw.Function += S.Raw.Function;
-    A.Raw.Variable += S.Raw.Variable;
-    A.Raw.EventDispatch += S.Raw.EventDispatch;
-    A.Operations += S.Operations;
-    A.HbEdges += S.HbEdges;
-  }
-  return A;
-}
-
-void printAggregate(const char *Tag, const Aggregate &A) {
-  std::printf("  [%s] raw=%zu filtered=%zu ops=%zu edges=%zu\n", Tag,
-              A.Raw.total(), A.Filtered.total(), A.Operations, A.HbEdges);
-}
-
-} // namespace
-
-int main() {
+int main(int Argc, char **Argv) {
   const uint64_t Seed = 2012;
   std::printf("== parallel corpus: sites/sec by job count ==\n");
   std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
@@ -66,7 +37,8 @@ int main() {
   webracer::SessionOptions Opts;
 
   const unsigned JobCounts[] = {1, 2, 4, 8};
-  Aggregate Baseline;
+  std::string BaselineReport;
+  obs::RunStats BaselineAggregate;
   double BaselineSecs = 0;
   bool Mismatch = false;
 
@@ -79,17 +51,19 @@ int main() {
     double Secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - Start)
                       .count();
-    Aggregate A = aggregateOf(Stats);
+    // Timing stays out of the document, so any byte difference is a
+    // determinism bug, not clock noise.
+    std::string Report =
+        obs::writeJson(buildCorpusReport("fortune100", Stats));
     if (Jobs == 1) {
-      Baseline = A;
+      BaselineReport = Report;
+      BaselineAggregate = Stats.aggregate();
       BaselineSecs = Secs;
-    } else if (!(A == Baseline)) {
+    } else if (Report != BaselineReport) {
       Mismatch = true;
-      std::printf("MISMATCH at --jobs %u:\n", Jobs);
-      printAggregate("jobs=1", Baseline);
-      char Tag[16];
-      std::snprintf(Tag, sizeof(Tag), "jobs=%u", Jobs);
-      printAggregate(Tag, A);
+      std::printf("MISMATCH at --jobs %u: report differs from jobs=1 "
+                  "(%zu vs %zu bytes)\n",
+                  Jobs, Report.size(), BaselineReport.size());
     }
     std::printf("%6u | %8.2f | %10.1f | %7.2fx\n", Jobs, Secs,
                 Secs > 0 ? static_cast<double>(Stats.Sites.size()) / Secs
@@ -98,11 +72,24 @@ int main() {
   }
 
   if (Mismatch) {
-    std::printf("\nFAIL: aggregate tallies differ across job counts\n");
+    std::printf("\nFAIL: corpus reports differ across job counts\n");
     return 1;
   }
-  std::printf("\nOK: identical aggregate tallies at every job count "
-              "(raw=%zu filtered=%zu)\n",
-              Baseline.Raw.total(), Baseline.Filtered.total());
+  if (Argc > 1) {
+    std::ofstream Out(Argv[1], std::ios::binary | std::ios::trunc);
+    Out.write(BaselineReport.data(),
+              static_cast<std::streamsize>(BaselineReport.size()));
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", Argv[1]);
+      return 1;
+    }
+    std::printf("\nreport: %zu bytes -> %s\n", BaselineReport.size(),
+                Argv[1]);
+  }
+  std::printf("\nOK: byte-identical corpus report at every job count "
+              "(raw=%llu filtered=%llu)\n",
+              static_cast<unsigned long long>(BaselineAggregate.Raw.total()),
+              static_cast<unsigned long long>(
+                  BaselineAggregate.Filtered.total()));
   return 0;
 }

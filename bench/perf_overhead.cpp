@@ -141,7 +141,7 @@ void BM_PageLoadOpsPerSecond(benchmark::State &State) {
   uint64_t TotalOps = 0;
   for (auto _ : State) {
     sites::SiteRunStats Stats = sites::runSite(Site, Opts, 42);
-    TotalOps += Stats.Operations;
+    TotalOps += Stats.Stats.Operations;
     benchmark::DoNotOptimize(Stats.Raw.total());
   }
   State.counters["ops_per_sec"] = benchmark::Counter(

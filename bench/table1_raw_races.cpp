@@ -57,12 +57,10 @@ int main() {
                 Row.PaperMean, Row.PaperMedian, Row.PaperMax,
                 Row.Measured.Mean, Row.Measured.Median, Row.Measured.Max);
 
-  size_t TotalOps = 0, TotalEdges = 0;
-  for (const SiteRunStats &S : Stats.Sites) {
-    TotalOps += S.Operations;
-    TotalEdges += S.HbEdges;
-  }
-  std::printf("\ncorpus: %zu sites, %zu operations, %zu hb edges\n",
-              Stats.Sites.size(), TotalOps, TotalEdges);
+  obs::RunStats Total = Stats.aggregate();
+  std::printf("\ncorpus: %zu sites, %llu operations, %llu hb edges\n",
+              Stats.Sites.size(),
+              static_cast<unsigned long long>(Total.Operations),
+              static_cast<unsigned long long>(Total.HbEdges));
   return 0;
 }

@@ -31,8 +31,9 @@ int main() {
   // Load the page, run it to quiescence, explore, detect.
   webracer::SessionResult R = S.run("index.html");
 
-  std::printf("page executed %zu operations, %zu happens-before edges\n",
-              R.Operations, R.HbEdges);
+  std::printf("page executed %llu operations, %llu happens-before edges\n",
+              static_cast<unsigned long long>(R.Stats.Operations),
+              static_cast<unsigned long long>(R.Stats.HbEdges));
   std::printf("alert() showed: %s\n",
               R.Alerts.empty() ? "(nothing)" : R.Alerts[0].c_str());
   std::printf("\n%zu race(s) found:\n", R.RawRaces.size());

@@ -87,10 +87,11 @@ int main() {
   webracer::SessionResult R = S.run("acme.com/index.html");
 
   std::printf("== audit of acme.com ==\n");
-  std::printf("operations: %zu, hb edges: %zu, explored events: %zu, "
+  std::printf("operations: %llu, hb edges: %llu, explored events: %zu, "
               "crashes: %zu\n\n",
-              R.Operations, R.HbEdges, R.Explore.EventsDispatched,
-              R.Crashes.size());
+              static_cast<unsigned long long>(R.Stats.Operations),
+              static_cast<unsigned long long>(R.Stats.HbEdges),
+              R.Explore.EventsDispatched, R.Crashes.size());
   std::printf("raw:      %s\n", detect::summaryLine(R.RawRaces).c_str());
   std::printf("filtered: %s\n\n",
               detect::summaryLine(R.FilteredRaces).c_str());

@@ -2,6 +2,7 @@
 
 #include "analysis/CrossCheck.h"
 
+#include "obs/Reporter.h"
 #include "support/StringUtils.h"
 
 using namespace wr;
@@ -228,4 +229,57 @@ wr::analysis::formatTable(const std::vector<CrossCheckResult> &Results) {
                 formatRatio(Recall).c_str());
   Out += Row;
   return Out;
+}
+
+obs::Json wr::analysis::buildCrossCheckReport(
+    const std::vector<CrossCheckResult> &Results) {
+  obs::Json Doc = obs::makeReportEnvelope("crosscheck",
+                                          "static-vs-dynamic");
+  obs::Json Pages = obs::Json::array();
+  size_t TotalPred = 0, TotalDyn = 0, TotalConf = 0, TotalMiss = 0;
+  for (const CrossCheckResult &R : Results) {
+    obs::Json Row = obs::Json::object();
+    Row.set("name", R.Name);
+    Row.set("predicted", static_cast<uint64_t>(R.predictedCount()));
+    Row.set("dynamic", static_cast<uint64_t>(R.dynamicCount()));
+    Row.set("confirmed", static_cast<uint64_t>(R.confirmedCount()));
+    Row.set("missed", static_cast<uint64_t>(R.missedCount()));
+    Row.set("precision", R.precision());
+    Row.set("recall", R.recall());
+    obs::Json Confirmed = obs::Json::array();
+    for (const PredictedRace &P : R.Confirmed)
+      Confirmed.push(toString(P));
+    Row.set("confirmed_predictions", std::move(Confirmed));
+    obs::Json Refuted = obs::Json::array();
+    for (const PredictedRace &P : R.Refuted)
+      Refuted.push(toString(P));
+    Row.set("unconfirmed_predictions", std::move(Refuted));
+    obs::Json Missed = obs::Json::array();
+    for (const MappedDynamicRace &D : R.DynamicRaces)
+      if (!D.Predicted)
+        Missed.push(std::string(detect::toString(D.Kind)) + " race on " +
+                    D.Dynamic);
+    Row.set("missed_dynamic_races", std::move(Missed));
+    Row.set("stats", R.Dynamic.Stats.toJson());
+    Pages.push(std::move(Row));
+    TotalPred += R.predictedCount();
+    TotalDyn += R.dynamicCount();
+    TotalConf += R.confirmedCount();
+    TotalMiss += R.missedCount();
+  }
+  Doc.set("pages", std::move(Pages));
+  obs::Json Totals = obs::Json::object();
+  Totals.set("predicted", static_cast<uint64_t>(TotalPred));
+  Totals.set("dynamic", static_cast<uint64_t>(TotalDyn));
+  Totals.set("confirmed", static_cast<uint64_t>(TotalConf));
+  Totals.set("missed", static_cast<uint64_t>(TotalMiss));
+  Totals.set("precision", TotalPred == 0
+                              ? 1.0
+                              : static_cast<double>(TotalConf) / TotalPred);
+  Totals.set("recall", TotalDyn == 0
+                           ? 1.0
+                           : static_cast<double>(TotalDyn - TotalMiss) /
+                                 TotalDyn);
+  Doc.set("totals", std::move(Totals));
+  return Doc;
 }

@@ -23,6 +23,7 @@
 #define WEBRACER_ANALYSIS_CROSSCHECK_H
 
 #include "analysis/Scenarios.h"
+#include "obs/Json.h"
 #include "webracer/Session.h"
 
 #include <string>
@@ -79,6 +80,12 @@ std::string formatReport(const CrossCheckResult &R);
 
 /// One aligned table, a row per page plus a totals row.
 std::string formatTable(const std::vector<CrossCheckResult> &Results);
+
+/// The schema-1 report document for a set of cross-check results: one
+/// row per page (counts, precision/recall, per-prediction verdicts) plus
+/// the totals the table's last row shows.
+obs::Json
+buildCrossCheckReport(const std::vector<CrossCheckResult> &Results);
 
 } // namespace wr::analysis
 

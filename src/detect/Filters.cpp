@@ -15,20 +15,27 @@ bool wr::detect::involvesFormField(const Race &R) {
 }
 
 std::vector<Race>
-wr::detect::filterFormRaces(const std::vector<Race> &Races) {
+wr::detect::filterFormRaces(const std::vector<Race> &Races,
+                            FilterCounts *Counts) {
   std::vector<Race> Kept;
   for (const Race &R : Races) {
     if (R.Kind != RaceKind::Variable) {
       Kept.push_back(R);
       continue;
     }
-    if (!involvesFormField(R))
+    if (!involvesFormField(R)) {
+      if (Counts)
+        ++Counts->NotFormField;
       continue;
+    }
     // Refinement: a write preceded by a read of the same field in the
     // same operation usually checks that the user has not modified the
     // field, making the race harmless.
-    if (R.WriteHadPriorReadInOp)
+    if (R.WriteHadPriorReadInOp) {
+      if (Counts)
+        ++Counts->PriorReadGuard;
       continue;
+    }
     Kept.push_back(R);
   }
   return Kept;
@@ -36,7 +43,8 @@ wr::detect::filterFormRaces(const std::vector<Race> &Races) {
 
 std::vector<Race>
 wr::detect::filterSingleDispatch(const std::vector<Race> &Races,
-                                 const DispatchCountFn &Counts) {
+                                 const DispatchCountFn &Counts,
+                                 FilterCounts *Attrition) {
   std::vector<Race> Kept;
   for (const Race &R : Races) {
     if (R.Kind != RaceKind::EventDispatch) {
@@ -46,8 +54,12 @@ wr::detect::filterSingleDispatch(const std::vector<Race> &Races,
     const auto *Loc = std::get_if<EventHandlerLoc>(&R.Loc);
     if (!Loc)
       continue;
-    if (Counts && Counts(*Loc) > 1)
-      continue; // Multi-dispatch events: missing one is less serious.
+    if (Counts && Counts(*Loc) > 1) {
+      // Multi-dispatch events: missing one is less serious.
+      if (Attrition)
+        ++Attrition->MultiDispatch;
+      continue;
+    }
     Kept.push_back(R);
   }
   return Kept;
@@ -55,6 +67,14 @@ wr::detect::filterSingleDispatch(const std::vector<Race> &Races,
 
 std::vector<Race>
 wr::detect::applyPaperFilters(const std::vector<Race> &Races,
-                              const DispatchCountFn &Counts) {
-  return filterSingleDispatch(filterFormRaces(Races), Counts);
+                              const DispatchCountFn &Counts,
+                              FilterCounts *Attrition) {
+  if (Attrition)
+    Attrition->Input += Races.size();
+  std::vector<Race> Kept =
+      filterSingleDispatch(filterFormRaces(Races, Attrition), Counts,
+                           Attrition);
+  if (Attrition)
+    Attrition->Kept += Kept.size();
+  return Kept;
 }

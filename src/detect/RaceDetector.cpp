@@ -83,6 +83,8 @@ void RaceDetector::report(const Slot &Prior, const Access &Current) {
 }
 
 void RaceDetector::onMemoryAccess(const Access &A) {
+  obs::PhaseTimer Timer(Phases, obs::Phase::Detect);
+  ++AccessesSeen;
   if (Opts.HistoryMode == DetectorOptions::Mode::FullHistory) {
     // Check against every recorded access (read-write and write-write).
     auto &Accesses = History[A.Loc];

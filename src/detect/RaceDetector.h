@@ -27,6 +27,7 @@
 #include "hb/HbGraph.h"
 #include "instr/Instrumentation.h"
 #include "mem/Location.h"
+#include "obs/PhaseTimer.h"
 
 #include <string>
 #include <unordered_map>
@@ -75,6 +76,13 @@ public:
   /// Number of CHC queries issued (overhead accounting).
   uint64_t chcQueries() const { return ChcQueries; }
 
+  /// Number of instrumented accesses processed.
+  uint64_t accessesSeen() const { return AccessesSeen; }
+
+  /// Attaches a phase accumulator; access processing then bills its wall
+  /// time to obs::Phase::Detect. Null (the default) disables timing.
+  void setPhaseStats(obs::PhaseStats *Stats) { Phases = Stats; }
+
   /// Number of distinct locations tracked (the union of the read and
   /// write slots, plus the full-history map when that mode is active -
   /// a location present in both slots is one location, not two).
@@ -110,6 +118,8 @@ private:
 
   std::vector<Race> Races;
   uint64_t ChcQueries = 0;
+  uint64_t AccessesSeen = 0;
+  obs::PhaseStats *Phases = nullptr;
 };
 
 } // namespace wr::detect

@@ -7,7 +7,7 @@
 using namespace wr;
 using namespace wr::detect;
 
-size_t &RaceTally::operator[](RaceKind Kind) {
+uint64_t &RaceTally::operator[](RaceKind Kind) {
   switch (Kind) {
   case RaceKind::Variable:
     return Variable;
@@ -21,7 +21,7 @@ size_t &RaceTally::operator[](RaceKind Kind) {
   return Variable;
 }
 
-size_t RaceTally::operator[](RaceKind Kind) const {
+uint64_t RaceTally::operator[](RaceKind Kind) const {
   return const_cast<RaceTally *>(this)->operator[](Kind);
 }
 

@@ -16,22 +16,18 @@
 
 #include "detect/RaceDetector.h"
 #include "hb/HbGraph.h"
+#include "obs/RunStats.h"
 
 #include <string>
 #include <vector>
 
 namespace wr::detect {
 
-/// Counts by race kind.
-struct RaceTally {
-  size_t Variable = 0;
-  size_t Html = 0;
-  size_t Function = 0;
-  size_t EventDispatch = 0;
-
-  size_t total() const { return Variable + Html + Function + EventDispatch; }
-  size_t &operator[](RaceKind Kind);
-  size_t operator[](RaceKind Kind) const;
+/// Counts by race kind. The storage is obs::RaceCounts, so a tally slots
+/// directly into obs::RunStats; this type adds RaceKind indexing.
+struct RaceTally : obs::RaceCounts {
+  uint64_t &operator[](RaceKind Kind);
+  uint64_t operator[](RaceKind Kind) const;
 };
 
 /// Tallies \p Races by kind.

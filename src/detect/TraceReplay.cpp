@@ -87,10 +87,29 @@ ReplayResult wr::detect::replayTrace(const TraceLog &Log,
     }
   }
   Result.RawRaces = Detector.races();
-  Result.FilteredRaces =
-      applyPaperFilters(Result.RawRaces, dispatchCountsFromTrace(Log));
+  FilterCounts Attrition;
+  Result.FilteredRaces = applyPaperFilters(
+      Result.RawRaces, dispatchCountsFromTrace(Log), &Attrition);
   Result.Operations = Result.Hb.numOperations();
   Result.HbEdges = Result.Hb.numEdges();
   Result.ChcQueries = Detector.chcQueries();
+
+  obs::RunStats &S = Result.Stats;
+  S.Operations = Result.Operations;
+  S.HbEdges = Result.HbEdges;
+  for (size_t I = 0; I < NumHbRules; ++I)
+    if (uint64_t N = Result.Hb.edgesByRule()[I])
+      S.HbEdgesByRule.push_back(
+          {wr::toString(static_cast<HbRule>(I)), N});
+  S.ChcQueries = Result.ChcQueries;
+  S.DfsVisits = Result.Hb.dfsVisitCount();
+  S.DfsMemoHits = Result.Hb.memoHits();
+  S.VcChains = Result.Hb.numChains();
+  S.AccessesSeen = Detector.accessesSeen();
+  S.TrackedLocations = Detector.trackedLocations();
+  S.Raw = tally(Result.RawRaces);
+  S.Filtered = tally(Result.FilteredRaces);
+  S.Attrition = toAttrition(Attrition);
+  S.Crashes = Result.Crashes;
   return Result;
 }

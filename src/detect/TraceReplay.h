@@ -28,7 +28,9 @@
 
 #include "detect/Filters.h"
 #include "detect/RaceDetector.h"
+#include "detect/Report.h"
 #include "instr/TraceLog.h"
+#include "obs/RunStats.h"
 
 #include <vector>
 
@@ -51,6 +53,10 @@ struct ReplayResult {
   size_t HbEdges = 0;
   uint64_t ChcQueries = 0;
   size_t Crashes = 0; ///< Operations that ended crashed.
+  /// The detection-relevant statistics as a structured record (the
+  /// browser-side figures - tasks, virtual time, exploration - stay zero
+  /// offline). The loose counters above mirror its headline fields.
+  obs::RunStats Stats;
   /// The reconstructed happens-before graph, for report rendering
   /// (describeRaces) and offline harm analysis.
   HbGraph Hb;

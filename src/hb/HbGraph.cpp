@@ -80,6 +80,7 @@ void HbGraph::addEdge(OpId From, OpId To, HbRule Rule) {
   Pred[To - 1].push_back(From);
   InEdgeRules[To - 1].emplace_back(From, Rule);
   ++EdgeCount;
+  ++EdgesByRule[static_cast<size_t>(Rule)];
 }
 
 bool HbGraph::reachesDfs(OpId A, OpId B) const {
@@ -88,8 +89,10 @@ bool HbGraph::reachesDfs(OpId A, OpId B) const {
     return false; // Edges strictly ascend, so no path can descend.
   uint64_t Key = (static_cast<uint64_t>(A) << 32) | B;
   auto Memo = ReachMemo.find(Key);
-  if (Memo != ReachMemo.end())
+  if (Memo != ReachMemo.end()) {
+    ++MemoHits;
     return Memo->second;
+  }
 
   // Iterative DFS restricted to ids in (A, B]; edges ascend so anything
   // above B can never reach back down to it.

@@ -34,6 +34,7 @@
 
 #include "hb/Operation.h"
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <unordered_map>
@@ -72,6 +73,11 @@ enum class HbRule : uint8_t {
 /// Renders a rule tag.
 const char *toString(HbRule Rule);
 
+/// Number of HbRule enumerators (dense, starting at 0); sized for
+/// per-rule counter arrays.
+inline constexpr size_t NumHbRules =
+    static_cast<size_t>(HbRule::RProgram) + 1;
+
 /// The happens-before DAG. Operations are created through `addOperation`
 /// and edges through `addEdge`; the builder contract is that every edge
 /// points from a lower OpId to a higher OpId (asserted), i.e., edges are
@@ -93,6 +99,22 @@ public:
 
   /// Number of (deduplicated) edges.
   size_t numEdges() const { return EdgeCount; }
+
+  /// Deduplicated edges justified by \p Rule (the Tables 1-3 per-rule
+  /// evaluation columns). When the same edge is requested twice under
+  /// different rules, only the first request counts - matching numEdges.
+  uint64_t numEdges(HbRule Rule) const {
+    return EdgesByRule[static_cast<size_t>(Rule)];
+  }
+
+  /// Per-rule edge counters indexed by HbRule value.
+  const std::array<uint64_t, NumHbRules> &edgesByRule() const {
+    return EdgesByRule;
+  }
+
+  /// DFS reachability queries answered from the memo table (the paper's
+  /// Sec. 5.2.1 memoization win, now observable without recompiling).
+  uint64_t memoHits() const { return MemoHits; }
 
   /// Operation metadata. \p Op must be valid.
   const Operation &operation(OpId Op) const {
@@ -169,6 +191,7 @@ private:
   std::vector<std::vector<OpId>> Pred;
   std::vector<std::vector<std::pair<OpId, HbRule>>> InEdgeRules;
   size_t EdgeCount = 0;
+  std::array<uint64_t, NumHbRules> EdgesByRule{};
 
   // DFS memo: key = (A << 32 | B), value = reachable. The packing gives
   // each endpoint exactly half of the 64-bit key, so OpId must stay at
@@ -179,6 +202,7 @@ private:
   mutable std::vector<uint32_t> VisitEpoch;
   mutable uint32_t CurrentEpoch = 0;
   mutable uint64_t DfsVisits = 0;
+  mutable uint64_t MemoHits = 0;
 
   // Vector clocks: per-op chain assignment and clock (per-chain watermark).
   std::vector<ClockEntry> Where;

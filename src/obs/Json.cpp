@@ -1,0 +1,176 @@
+//===- obs/Json.cpp - Ordered JSON document model ------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+using namespace wr::obs;
+
+Json &Json::push(Json V) {
+  assert(K == Kind::Array && "push on a non-array");
+  Arr.push_back(std::move(V));
+  return *this;
+}
+
+Json &Json::set(std::string Key, Json V) {
+  assert(K == Kind::Object && "set on a non-object");
+  for (auto &[Name, Value] : Obj) {
+    if (Name == Key) {
+      Value = std::move(V);
+      return *this;
+    }
+  }
+  Obj.emplace_back(std::move(Key), std::move(V));
+  return *this;
+}
+
+const Json *Json::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Value] : Obj)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+std::string wr::obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Shortest-round-trip double rendering; NaN/Inf (not valid JSON) become
+/// null so a bad statistic cannot corrupt the document.
+void writeDouble(std::string &Out, double D) {
+  if (!std::isfinite(D)) {
+    Out += "null";
+    return;
+  }
+  char Buf[32];
+  auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), D);
+  (void)Ec;
+  Out.append(Buf, End);
+}
+
+void writeValue(std::string &Out, const Json &V, bool Pretty, int Depth) {
+  auto Indent = [&](int N) {
+    if (Pretty)
+      Out.append(static_cast<size_t>(N) * 2, ' ');
+  };
+  auto Newline = [&] {
+    if (Pretty)
+      Out += '\n';
+  };
+  switch (V.kind()) {
+  case Json::Kind::Null:
+    Out += "null";
+    break;
+  case Json::Kind::Bool:
+    Out += V.asBool() ? "true" : "false";
+    break;
+  case Json::Kind::Int: {
+    char Buf[24];
+    auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), V.asInt());
+    (void)Ec;
+    Out.append(Buf, End);
+    break;
+  }
+  case Json::Kind::Uint: {
+    char Buf[24];
+    auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), V.asUint());
+    (void)Ec;
+    Out.append(Buf, End);
+    break;
+  }
+  case Json::Kind::Double:
+    writeDouble(Out, V.asDouble());
+    break;
+  case Json::Kind::String:
+    Out += '"';
+    Out += jsonEscape(V.asString());
+    Out += '"';
+    break;
+  case Json::Kind::Array: {
+    if (V.elements().empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += '[';
+    Newline();
+    for (size_t I = 0; I < V.elements().size(); ++I) {
+      Indent(Depth + 1);
+      writeValue(Out, V.elements()[I], Pretty, Depth + 1);
+      if (I + 1 < V.elements().size())
+        Out += ',';
+      Newline();
+    }
+    Indent(Depth);
+    Out += ']';
+    break;
+  }
+  case Json::Kind::Object: {
+    if (V.members().empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += '{';
+    Newline();
+    for (size_t I = 0; I < V.members().size(); ++I) {
+      const auto &[Key, Value] = V.members()[I];
+      Indent(Depth + 1);
+      Out += '"';
+      Out += jsonEscape(Key);
+      Out += Pretty ? "\": " : "\":";
+      writeValue(Out, Value, Pretty, Depth + 1);
+      if (I + 1 < V.members().size())
+        Out += ',';
+      Newline();
+    }
+    Indent(Depth);
+    Out += '}';
+    break;
+  }
+  }
+}
+
+} // namespace
+
+std::string wr::obs::writeJson(const Json &V, bool Pretty) {
+  std::string Out;
+  writeValue(Out, V, Pretty, 0);
+  if (Pretty)
+    Out += '\n';
+  return Out;
+}

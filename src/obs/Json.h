@@ -1,0 +1,111 @@
+//===- obs/Json.h - Ordered JSON document model -----------------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small ordered JSON value used as the report document model of the
+/// observability layer. Object members keep insertion order, numbers are
+/// rendered with shortest-round-trip formatting, and the writer's output
+/// is byte-stable: the same tree always serializes to the same bytes, so
+/// reports can be golden-file tested and diffed across runs, job counts,
+/// and PRs.
+///
+/// This is a writer-only model (reports are produced, not consumed, by
+/// the tool); parsing stays out of scope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_OBS_JSON_H
+#define WEBRACER_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wr::obs {
+
+/// One JSON value. Cheap enough for report trees; not meant for bulk data.
+class Json {
+public:
+  enum class Kind : uint8_t {
+    Null,
+    Bool,
+    Int,
+    Uint,
+    Double,
+    String,
+    Array,
+    Object,
+  };
+
+  Json() : K(Kind::Null) {}
+  Json(bool V) : K(Kind::Bool), B(V) {}
+  Json(int V) : K(Kind::Int), I(V) {}
+  Json(int64_t V) : K(Kind::Int), I(V) {}
+  Json(unsigned V) : K(Kind::Uint), U(V) {}
+  Json(uint64_t V) : K(Kind::Uint), U(V) {}
+  Json(double V) : K(Kind::Double), D(V) {}
+  Json(const char *V) : K(Kind::String), S(V) {}
+  Json(std::string V) : K(Kind::String), S(std::move(V)) {}
+
+  /// An empty array / object (distinct from Null).
+  static Json array() {
+    Json J;
+    J.K = Kind::Array;
+    return J;
+  }
+  static Json object() {
+    Json J;
+    J.K = Kind::Object;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+
+  /// Appends an array element. The value must be an array.
+  Json &push(Json V);
+
+  /// Appends (or replaces) an object member, preserving first-insertion
+  /// order. The value must be an object. Returns *this for chaining.
+  Json &set(std::string Key, Json V);
+
+  /// Object member lookup; null when absent or not an object.
+  const Json *find(const std::string &Key) const;
+
+  const std::vector<Json> &elements() const { return Arr; }
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return Obj;
+  }
+
+  bool asBool() const { return B; }
+  int64_t asInt() const { return K == Kind::Uint ? static_cast<int64_t>(U) : I; }
+  uint64_t asUint() const { return K == Kind::Int ? static_cast<uint64_t>(I) : U; }
+  double asDouble() const { return D; }
+  const std::string &asString() const { return S; }
+
+private:
+  Kind K;
+  bool B = false;
+  int64_t I = 0;
+  uint64_t U = 0;
+  double D = 0;
+  std::string S;
+  std::vector<Json> Arr;
+  std::vector<std::pair<std::string, Json>> Obj;
+};
+
+/// Serializes \p V. \p Pretty uses two-space indentation and a trailing
+/// newline; compact mode emits no whitespace at all. Both are byte-stable.
+std::string writeJson(const Json &V, bool Pretty = true);
+
+/// Escapes \p S for embedding between double quotes in JSON output.
+std::string jsonEscape(const std::string &S);
+
+} // namespace wr::obs
+
+#endif // WEBRACER_OBS_JSON_H

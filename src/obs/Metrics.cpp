@@ -1,0 +1,82 @@
+//===- obs/Metrics.cpp - Named counters, gauges, and histograms ----------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Format.h"
+
+#include <bit>
+
+using namespace wr;
+using namespace wr::obs;
+
+void Histogram::observe(uint64_t Sample) {
+  ++Count;
+  Sum += Sample;
+  if (Sample < Min)
+    Min = Sample;
+  if (Sample > Max)
+    Max = Sample;
+  size_t Bucket = Sample == 0 ? 0 : static_cast<size_t>(std::bit_width(Sample));
+  if (Bucket >= NumBuckets)
+    Bucket = NumBuckets - 1;
+  ++Buckets[Bucket];
+}
+
+Json Histogram::toJson() const {
+  Json J = Json::object();
+  J.set("count", count());
+  J.set("sum", sum());
+  J.set("min", min());
+  J.set("max", max());
+  J.set("mean", mean());
+  Json B = Json::array();
+  // Trailing empty buckets are trimmed so small distributions stay small.
+  size_t Last = NumBuckets;
+  while (Last > 0 && Buckets[Last - 1] == 0)
+    --Last;
+  for (size_t I = 0; I < Last; ++I)
+    B.push(Buckets[I]);
+  J.set("buckets", std::move(B));
+  return J;
+}
+
+Json MetricsRegistry::toJson() const {
+  Json J = Json::object();
+  if (!Counters.empty()) {
+    Json C = Json::object();
+    for (const auto &[Name, Metric] : Counters)
+      C.set(Name, Metric.value());
+    J.set("counters", std::move(C));
+  }
+  if (!Gauges.empty()) {
+    Json G = Json::object();
+    for (const auto &[Name, Metric] : Gauges)
+      G.set(Name, Metric.value());
+    J.set("gauges", std::move(G));
+  }
+  if (!Histograms.empty()) {
+    Json H = Json::object();
+    for (const auto &[Name, Metric] : Histograms)
+      H.set(Name, Metric.toJson());
+    J.set("histograms", std::move(H));
+  }
+  return J;
+}
+
+std::string MetricsRegistry::toText() const {
+  std::string Out;
+  for (const auto &[Name, Metric] : Counters)
+    Out += strFormat("%s %llu\n", Name.c_str(),
+                     static_cast<unsigned long long>(Metric.value()));
+  for (const auto &[Name, Metric] : Gauges)
+    Out += strFormat("%s %g\n", Name.c_str(), Metric.value());
+  for (const auto &[Name, Metric] : Histograms)
+    Out += strFormat("%s count=%llu sum=%llu min=%llu max=%llu mean=%.3f\n",
+                     Name.c_str(),
+                     static_cast<unsigned long long>(Metric.count()),
+                     static_cast<unsigned long long>(Metric.sum()),
+                     static_cast<unsigned long long>(Metric.min()),
+                     static_cast<unsigned long long>(Metric.max()),
+                     Metric.mean());
+  return Out;
+}

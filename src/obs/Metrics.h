@@ -1,0 +1,106 @@
+//===- obs/Metrics.h - Named counters, gauges, and histograms ---*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics registry of the observability layer. A MetricsRegistry
+/// hands out stable references to named Counter / Gauge / Histogram
+/// cells; the reference is the near-zero-cost handle instrumented code
+/// holds on to (an increment is one add on a plain integer, with no name
+/// lookup on the hot path). Registry iteration is name-sorted, so dumps
+/// are deterministic and diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_OBS_METRICS_H
+#define WEBRACER_OBS_METRICS_H
+
+#include "obs/Json.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace wr::obs {
+
+/// A monotonically increasing integer metric.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V += N; }
+  uint64_t value() const { return V; }
+
+private:
+  uint64_t V = 0;
+};
+
+/// A point-in-time numeric metric.
+class Gauge {
+public:
+  void set(double Value) { V = Value; }
+  double value() const { return V; }
+
+private:
+  double V = 0;
+};
+
+/// A power-of-two-bucketed distribution of non-negative integer samples.
+/// Bucket i counts samples in [2^(i-1), 2^i); bucket 0 counts zeros.
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 33;
+
+  void observe(uint64_t Sample);
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return Count ? Min : 0; }
+  uint64_t max() const { return Max; }
+  double mean() const {
+    return Count ? static_cast<double>(Sum) / static_cast<double>(Count) : 0;
+  }
+  const std::array<uint64_t, NumBuckets> &buckets() const { return Buckets; }
+
+  Json toJson() const;
+
+private:
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = ~static_cast<uint64_t>(0);
+  uint64_t Max = 0;
+  std::array<uint64_t, NumBuckets> Buckets{};
+};
+
+/// A registry of named metrics. References returned by counter() /
+/// gauge() / histogram() stay valid for the registry's lifetime.
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name) { return Counters[Name]; }
+  Gauge &gauge(const std::string &Name) { return Gauges[Name]; }
+  Histogram &histogram(const std::string &Name) { return Histograms[Name]; }
+
+  size_t size() const {
+    return Counters.size() + Gauges.size() + Histograms.size();
+  }
+
+  /// Name-sorted JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} with empty families omitted.
+  Json toJson() const;
+
+  /// Name-sorted "name value" lines (histograms render count/sum/min/
+  /// max/mean), for a --metrics style terminal dump.
+  std::string toText() const;
+
+private:
+  // std::map gives reference stability and sorted iteration in one go;
+  // registration is cold, so the tree lookup cost is irrelevant.
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Gauge> Gauges;
+  std::map<std::string, Histogram> Histograms;
+};
+
+} // namespace wr::obs
+
+#endif // WEBRACER_OBS_METRICS_H

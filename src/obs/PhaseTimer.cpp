@@ -1,0 +1,43 @@
+//===- obs/PhaseTimer.cpp - Per-phase wall and virtual time --------------------===//
+
+#include "obs/PhaseTimer.h"
+
+using namespace wr::obs;
+
+const char *wr::obs::toString(Phase P) {
+  switch (P) {
+  case Phase::Parse:
+    return "parse";
+  case Phase::Script:
+    return "script";
+  case Phase::Dispatch:
+    return "dispatch";
+  case Phase::Detect:
+    return "detect";
+  case Phase::Filter:
+    return "filter";
+  case Phase::Explore:
+    return "explore";
+  }
+  return "unknown";
+}
+
+Json PhaseStats::toJson() const {
+  Json J = Json::object();
+  for (size_t I = 0; I < NumPhases; ++I) {
+    const PhaseStat &S = Stats[I];
+    Json P = Json::object();
+    P.set("virtual_us", S.VirtualUs);
+    P.set("entries", S.Entries);
+    J.set(toString(static_cast<Phase>(I)), std::move(P));
+  }
+  return J;
+}
+
+Json PhaseStats::wallJson() const {
+  Json J = Json::object();
+  for (size_t I = 0; I < NumPhases; ++I)
+    J.set(toString(static_cast<Phase>(I)),
+          static_cast<double>(Stats[I].WallNanos) / 1e6);
+  return J;
+}

@@ -1,0 +1,122 @@
+//===- obs/PhaseTimer.h - Per-phase wall and virtual time -------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase accounting for a detection run. A run decomposes into six
+/// phases - parse, script, dispatch, detect, filter, explore - and each
+/// accumulates three measures:
+///
+///  * WallNanos  - host CPU wall time (nondeterministic; excluded from
+///                 byte-stable report sections).
+///  * VirtualUs  - simulated virtual time attributed to the phase
+///                 (deterministic; safe for golden files).
+///  * Entries    - how many timed intervals / operations contributed.
+///
+/// PhaseTimer is the RAII handle: constructed against a PhaseStats (or
+/// nullptr, making it a no-op) it adds the elapsed wall time on scope
+/// exit. Layers that already sit on a single choke point (the browser's
+/// operation begin/end) attribute self-time directly via addWall.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_OBS_PHASETIMER_H
+#define WEBRACER_OBS_PHASETIMER_H
+
+#include "obs/Json.h"
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace wr::obs {
+
+/// The phases of one detection run.
+enum class Phase : uint8_t {
+  Parse,    ///< HTML parsing (parse-element operations).
+  Script,   ///< Script and timer-callback execution.
+  Dispatch, ///< Event dispatch and handler execution.
+  Detect,   ///< Race detector access processing and CHC queries.
+  Filter,   ///< Sec. 5.3 report filters.
+  Explore,  ///< Automatic exploration (Sec. 5.2.2).
+};
+
+inline constexpr size_t NumPhases = 6;
+
+/// Stable lower-case phase name ("parse", "script", ...).
+const char *toString(Phase P);
+
+/// Accumulated measures for one phase.
+struct PhaseStat {
+  uint64_t WallNanos = 0;
+  uint64_t VirtualUs = 0;
+  uint64_t Entries = 0;
+};
+
+/// Per-phase accumulator.
+class PhaseStats {
+public:
+  void addWall(Phase P, uint64_t Nanos, uint64_t Entries = 1) {
+    auto &S = Stats[static_cast<size_t>(P)];
+    S.WallNanos += Nanos;
+    S.Entries += Entries;
+  }
+
+  void addVirtual(Phase P, uint64_t Us) {
+    Stats[static_cast<size_t>(P)].VirtualUs += Us;
+  }
+
+  const PhaseStat &operator[](Phase P) const {
+    return Stats[static_cast<size_t>(P)];
+  }
+
+  void merge(const PhaseStats &O) {
+    for (size_t I = 0; I < NumPhases; ++I) {
+      Stats[I].WallNanos += O.Stats[I].WallNanos;
+      Stats[I].VirtualUs += O.Stats[I].VirtualUs;
+      Stats[I].Entries += O.Stats[I].Entries;
+    }
+  }
+
+  /// Deterministic portion only (virtual_us + entries per phase).
+  Json toJson() const;
+
+  /// Wall-clock portion (phase -> milliseconds), for timing sections.
+  Json wallJson() const;
+
+private:
+  std::array<PhaseStat, NumPhases> Stats{};
+};
+
+/// RAII wall-clock timer; a null target makes every operation free.
+class PhaseTimer {
+public:
+  PhaseTimer(PhaseStats *Target, Phase P)
+      : Target(Target), P(P),
+        Start(Target ? std::chrono::steady_clock::now()
+                     : std::chrono::steady_clock::time_point()) {}
+
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+  ~PhaseTimer() {
+    if (!Target)
+      return;
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    Target->addWall(
+        P, static_cast<uint64_t>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(Elapsed)
+                   .count()));
+  }
+
+private:
+  PhaseStats *Target;
+  Phase P;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace wr::obs
+
+#endif // WEBRACER_OBS_PHASETIMER_H

@@ -1,0 +1,139 @@
+//===- obs/RunStats.cpp - Structured statistics of one run ---------------------===//
+
+#include "obs/RunStats.h"
+
+using namespace wr::obs;
+
+Json RaceCounts::toJson() const {
+  Json J = Json::object();
+  J.set("html", Html);
+  J.set("function", Function);
+  J.set("variable", Variable);
+  J.set("event_dispatch", EventDispatch);
+  J.set("total", total());
+  return J;
+}
+
+Json FilterAttrition::toJson() const {
+  Json J = Json::object();
+  J.set("input", Input);
+  J.set("not_form_field", NotFormField);
+  J.set("prior_read_guard", PriorReadGuard);
+  J.set("multi_dispatch", MultiDispatch);
+  J.set("kept", Kept);
+  return J;
+}
+
+void RunStats::merge(const RunStats &O) {
+  Operations += O.Operations;
+  HbEdges += O.HbEdges;
+  for (const NamedCount &Theirs : O.HbEdgesByRule) {
+    bool Found = false;
+    for (NamedCount &Ours : HbEdgesByRule) {
+      if (Ours.Name == Theirs.Name) {
+        Ours.Count += Theirs.Count;
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      HbEdgesByRule.push_back(Theirs);
+  }
+  ChcQueries += O.ChcQueries;
+  DfsVisits += O.DfsVisits;
+  DfsMemoHits += O.DfsMemoHits;
+  VcChains += O.VcChains;
+  AccessesSeen += O.AccessesSeen;
+  TrackedLocations += O.TrackedLocations;
+  Raw.merge(O.Raw);
+  Filtered.merge(O.Filtered);
+  Attrition.merge(O.Attrition);
+  TasksRun += O.TasksRun;
+  VirtualTimeUs += O.VirtualTimeUs;
+  Crashes += O.Crashes;
+  Alerts += O.Alerts;
+  ParseErrors += O.ParseErrors;
+  EventsDispatched += O.EventsDispatched;
+  LinksClicked += O.LinksClicked;
+  BoxesTyped += O.BoxesTyped;
+  Phases.merge(O.Phases);
+}
+
+Json RunStats::toJson() const {
+  Json J = Json::object();
+  J.set("operations", Operations);
+  J.set("hb_edges", HbEdges);
+  Json Rules = Json::object();
+  for (const NamedCount &R : HbEdgesByRule)
+    Rules.set(R.Name, R.Count);
+  J.set("hb_edges_by_rule", std::move(Rules));
+  J.set("chc_queries", ChcQueries);
+  J.set("dfs_visits", DfsVisits);
+  J.set("dfs_memo_hits", DfsMemoHits);
+  J.set("vc_chains", VcChains);
+  J.set("accesses", AccessesSeen);
+  J.set("tracked_locations", TrackedLocations);
+  J.set("races_raw", Raw.toJson());
+  J.set("races_filtered", Filtered.toJson());
+  J.set("filter_attrition", Attrition.toJson());
+  J.set("tasks", TasksRun);
+  J.set("virtual_time_us", VirtualTimeUs);
+  J.set("crashes", Crashes);
+  J.set("alerts", Alerts);
+  J.set("parse_errors", ParseErrors);
+  Json Explore = Json::object();
+  Explore.set("events_dispatched", EventsDispatched);
+  Explore.set("links_clicked", LinksClicked);
+  Explore.set("boxes_typed", BoxesTyped);
+  J.set("explore", std::move(Explore));
+  J.set("phases", Phases.toJson());
+  return J;
+}
+
+void RunStats::exportTo(MetricsRegistry &Registry,
+                        const std::string &Prefix) const {
+  auto C = [&](const char *Name, uint64_t Value) {
+    Registry.counter(Prefix + "." + Name).inc(Value);
+  };
+  C("operations", Operations);
+  C("hb_edges", HbEdges);
+  for (const NamedCount &R : HbEdgesByRule)
+    Registry.counter(Prefix + ".hb_edges_by_rule." + R.Name).inc(R.Count);
+  C("chc_queries", ChcQueries);
+  C("dfs_visits", DfsVisits);
+  C("dfs_memo_hits", DfsMemoHits);
+  C("vc_chains", VcChains);
+  C("accesses", AccessesSeen);
+  C("tracked_locations", TrackedLocations);
+  C("races_raw.total", Raw.total());
+  C("races_raw.variable", Raw.Variable);
+  C("races_raw.html", Raw.Html);
+  C("races_raw.function", Raw.Function);
+  C("races_raw.event_dispatch", Raw.EventDispatch);
+  C("races_filtered.total", Filtered.total());
+  C("races_filtered.variable", Filtered.Variable);
+  C("races_filtered.html", Filtered.Html);
+  C("races_filtered.function", Filtered.Function);
+  C("races_filtered.event_dispatch", Filtered.EventDispatch);
+  C("filter.input", Attrition.Input);
+  C("filter.not_form_field", Attrition.NotFormField);
+  C("filter.prior_read_guard", Attrition.PriorReadGuard);
+  C("filter.multi_dispatch", Attrition.MultiDispatch);
+  C("filter.kept", Attrition.Kept);
+  C("tasks", TasksRun);
+  C("virtual_time_us", VirtualTimeUs);
+  C("crashes", Crashes);
+  C("alerts", Alerts);
+  C("parse_errors", ParseErrors);
+  C("explore.events_dispatched", EventsDispatched);
+  C("explore.links_clicked", LinksClicked);
+  C("explore.boxes_typed", BoxesTyped);
+  for (size_t I = 0; I < NumPhases; ++I) {
+    Phase P = static_cast<Phase>(I);
+    const PhaseStat &S = Phases[P];
+    std::string Base = Prefix + ".phase." + toString(P);
+    Registry.counter(Base + ".virtual_us").inc(S.VirtualUs);
+    Registry.counter(Base + ".entries").inc(S.Entries);
+    Registry.counter(Base + ".wall_ns").inc(S.WallNanos);
+  }
+}

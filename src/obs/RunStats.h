@@ -1,0 +1,135 @@
+//===- obs/RunStats.h - Structured statistics of one run --------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured statistics record of one detection run - the paper's
+/// per-site evaluation columns (operations, HB edges, races per category,
+/// filter attrition, detection overhead) as one mergeable value. This is
+/// what SessionResult carries instead of loose counters, what the corpus
+/// runner aggregates across sites, and what serializes into the stable
+/// "stats" JSON object of every report.
+///
+/// Everything in RunStats is deterministic for a fixed seed except the
+/// wall-clock portion of the phase timers, which toJson() therefore
+/// excludes (reports surface wall time in a separate timing section).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_OBS_RUNSTATS_H
+#define WEBRACER_OBS_RUNSTATS_H
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/PhaseTimer.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wr::obs {
+
+/// Counts by race kind (the paper's four categories, Sec. 2).
+struct RaceCounts {
+  uint64_t Variable = 0;
+  uint64_t Html = 0;
+  uint64_t Function = 0;
+  uint64_t EventDispatch = 0;
+
+  uint64_t total() const { return Variable + Html + Function + EventDispatch; }
+
+  void merge(const RaceCounts &O) {
+    Variable += O.Variable;
+    Html += O.Html;
+    Function += O.Function;
+    EventDispatch += O.EventDispatch;
+  }
+
+  bool operator==(const RaceCounts &O) const = default;
+
+  Json toJson() const;
+};
+
+/// Where the Sec. 5.3 filter pipeline dropped reports.
+struct FilterAttrition {
+  uint64_t Input = 0;          ///< Raw races entering the pipeline.
+  uint64_t NotFormField = 0;   ///< Variable races off form fields.
+  uint64_t PriorReadGuard = 0; ///< Write guarded by a read (refinement).
+  uint64_t MultiDispatch = 0;  ///< Event races on multi-dispatch events.
+  uint64_t Kept = 0;           ///< Races surviving every filter.
+
+  void merge(const FilterAttrition &O) {
+    Input += O.Input;
+    NotFormField += O.NotFormField;
+    PriorReadGuard += O.PriorReadGuard;
+    MultiDispatch += O.MultiDispatch;
+    Kept += O.Kept;
+  }
+
+  bool operator==(const FilterAttrition &O) const = default;
+
+  Json toJson() const;
+};
+
+/// A (name, count) pair; used for per-HB-rule edge counts so obs stays
+/// independent of the hb layer's enum.
+struct NamedCount {
+  std::string Name;
+  uint64_t Count = 0;
+
+  bool operator==(const NamedCount &O) const = default;
+};
+
+/// The full statistics record of one run (or a merged aggregate of many).
+struct RunStats {
+  // Happens-before graph.
+  uint64_t Operations = 0;
+  uint64_t HbEdges = 0;
+  std::vector<NamedCount> HbEdgesByRule; ///< Nonzero rules, enum order.
+
+  // Reachability machinery.
+  uint64_t ChcQueries = 0;
+  uint64_t DfsVisits = 0;
+  uint64_t DfsMemoHits = 0;
+  uint64_t VcChains = 0;
+
+  // Detector.
+  uint64_t AccessesSeen = 0;
+  uint64_t TrackedLocations = 0;
+  RaceCounts Raw;
+  RaceCounts Filtered;
+  FilterAttrition Attrition;
+
+  // Runtime / event loop.
+  uint64_t TasksRun = 0;
+  uint64_t VirtualTimeUs = 0;
+  uint64_t Crashes = 0;
+  uint64_t Alerts = 0;
+  uint64_t ParseErrors = 0;
+
+  // Exploration.
+  uint64_t EventsDispatched = 0;
+  uint64_t LinksClicked = 0;
+  uint64_t BoxesTyped = 0;
+
+  // Phase accounting (wall portion excluded from toJson()).
+  PhaseStats Phases;
+
+  /// Sums \p O into this record. Per-rule counts merge by name; the
+  /// result keeps this record's order with unseen names appended, so
+  /// merging site records in corpus order is order-insensitive as long
+  /// as every site enumerates rules in enum order (they do).
+  void merge(const RunStats &O);
+
+  /// The deterministic "stats" object of the report schema.
+  Json toJson() const;
+
+  /// Snapshots every field into \p Registry under "<Prefix>.".
+  void exportTo(MetricsRegistry &Registry, const std::string &Prefix) const;
+};
+
+} // namespace wr::obs
+
+#endif // WEBRACER_OBS_RUNSTATS_H

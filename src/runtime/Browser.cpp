@@ -54,7 +54,39 @@ OpId Browser::newOperation(Operation Meta,
   return Op;
 }
 
+/// Which observability phase an operation's work bills to.
+static obs::Phase phaseOf(OperationKind K) {
+  switch (K) {
+  case OperationKind::Bootstrap:
+  case OperationKind::ParseElement:
+    return obs::Phase::Parse;
+  case OperationKind::ExecuteScript:
+  case OperationKind::TimeoutCallback:
+  case OperationKind::IntervalCallback:
+  case OperationKind::ScriptSlice:
+    return obs::Phase::Script;
+  case OperationKind::EventHandler:
+  case OperationKind::DispatchBegin:
+  case OperationKind::DispatchEnd:
+  case OperationKind::UserAction:
+    return obs::Phase::Dispatch;
+  }
+  return obs::Phase::Script;
+}
+
 void Browser::beginOperation(OpId Op) {
+  obs::Phase Ph = phaseOf(Hb.operation(Op).Kind);
+  if (OpStack.empty()) {
+    // Attribute the virtual-time advance since the last outermost
+    // operation to the phase now observing it (deterministic: depends
+    // only on the schedule, never on wall time).
+    VirtualTime Now = Loop.now();
+    if (Now > VirtualMark) {
+      Phases.addVirtual(Ph, Now - VirtualMark);
+      VirtualMark = Now;
+    }
+  }
+  TimingStack.push_back({std::chrono::steady_clock::now(), 0, Ph});
   OpStack.push_back(Op);
   CrashFlagStack.push_back(false);
   Interp->resetSteps();
@@ -67,6 +99,17 @@ bool Browser::endOperation() {
   bool Crashed = CrashFlagStack.back();
   OpStack.pop_back();
   CrashFlagStack.pop_back();
+  TimingFrame Frame = TimingStack.back();
+  TimingStack.pop_back();
+  uint64_t Nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Frame.Start)
+          .count());
+  // Self time: nested operations already billed their share.
+  Phases.addWall(Frame.Ph,
+                 Nanos > Frame.ChildNanos ? Nanos - Frame.ChildNanos : 0);
+  if (!TimingStack.empty())
+    TimingStack.back().ChildNanos += Nanos;
   Sinks.onOperationEnd(Op, Crashed);
   ++OpsRun;
   if (OpStack.empty())

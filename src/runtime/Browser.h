@@ -30,9 +30,11 @@
 #include "js/Heap.h"
 #include "js/Interpreter.h"
 #include "js/Parser.h"
+#include "obs/PhaseTimer.h"
 #include "runtime/EventLoop.h"
 #include "runtime/Network.h"
 
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -420,6 +422,14 @@ public:
   /// Statistics.
   uint64_t numOperationsRun() const { return OpsRun; }
 
+  /// Per-phase wall/virtual time accumulated while running operations.
+  /// Wall time is attributed to the phase of the innermost operation
+  /// (self time, not inclusive); virtual-time deltas are attributed to
+  /// the phase of the operation observing them, which keeps the virtual
+  /// figures deterministic.
+  const obs::PhaseStats &phaseStats() const { return Phases; }
+  obs::PhaseStats &phaseStats() { return Phases; }
+
 private:
   friend class Window;
 
@@ -481,6 +491,18 @@ private:
 
   std::vector<OpId> OpStack;
   std::vector<bool> CrashFlagStack;
+  /// One frame per nested operation: when it started, wall time spent in
+  /// nested operations (subtracted for self time), and its phase.
+  struct TimingFrame {
+    std::chrono::steady_clock::time_point Start;
+    uint64_t ChildNanos = 0;
+    obs::Phase Ph = obs::Phase::Script;
+  };
+  std::vector<TimingFrame> TimingStack;
+  obs::PhaseStats Phases;
+  /// Virtual time already attributed to a phase (advance observed at the
+  /// next outermost operation begin).
+  VirtualTime VirtualMark = 0;
   uint64_t OpsRun = 0;
   OpId BootstrapOp = InvalidOpId;
   OpId LastScriptExeOp = InvalidOpId;

@@ -1,0 +1,58 @@
+//===- sites/CorpusReport.cpp - Machine-readable corpus reports --------------===//
+
+#include "sites/CorpusReport.h"
+
+using namespace wr;
+using namespace wr::sites;
+
+static obs::Json distributionToJson(const CorpusStats::Distribution &D) {
+  obs::Json O = obs::Json::object();
+  O.set("mean", D.Mean);
+  O.set("median", D.Median);
+  O.set("max", static_cast<uint64_t>(D.Max));
+  return O;
+}
+
+obs::Json wr::sites::buildCorpusReport(const std::string &Name,
+                                       const CorpusStats &Stats,
+                                       bool IncludeTiming) {
+  obs::Json Doc = obs::makeReportEnvelope("corpus", Name);
+
+  obs::Json Sites = obs::Json::array();
+  for (const SiteRunStats &S : Stats.Sites) {
+    obs::Json Row = obs::Json::object();
+    Row.set("name", S.Name);
+    Row.set("stats", S.Stats.toJson());
+    Sites.push(std::move(Row));
+  }
+  Doc.set("sites", std::move(Sites));
+
+  Doc.set("aggregate", Stats.aggregate().toJson());
+
+  // Table 1: raw-count distributions across sites, per kind and total.
+  obs::Json Distributions = obs::Json::object();
+  Distributions.set(
+      "html", distributionToJson(
+                  Stats.rawDistribution(detect::RaceKind::Html)));
+  Distributions.set(
+      "function", distributionToJson(
+                      Stats.rawDistribution(detect::RaceKind::Function)));
+  Distributions.set(
+      "variable", distributionToJson(
+                      Stats.rawDistribution(detect::RaceKind::Variable)));
+  Distributions.set("event_dispatch",
+                    distributionToJson(Stats.rawDistribution(
+                        detect::RaceKind::EventDispatch)));
+  Distributions.set("all",
+                    distributionToJson(Stats.rawTotalDistribution()));
+  Doc.set("raw_distributions", std::move(Distributions));
+
+  Doc.set("filtered_totals", Stats.filteredTotals().toJson());
+
+  if (IncludeTiming) {
+    obs::Json Timing = obs::Json::object();
+    Timing.set("phases_wall_ms", Stats.aggregate().Phases.wallJson());
+    Doc.set("timing", std::move(Timing));
+  }
+  return Doc;
+}

@@ -1,0 +1,37 @@
+//===- sites/CorpusReport.h - Machine-readable corpus reports ---*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the stable JSON report for a corpus run: the schema-1 envelope,
+/// one row per site (name + deterministic stats), the corpus-order
+/// aggregate, the Table 1 raw-count distributions, and the Table 2
+/// filtered totals. Per-site seeds are drawn in corpus order and results
+/// land in corpus-order slots, so the document is byte-identical for any
+/// --jobs count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_SITES_CORPUSREPORT_H
+#define WEBRACER_SITES_CORPUSREPORT_H
+
+#include "obs/Json.h"
+#include "obs/Reporter.h"
+#include "sites/CorpusRunner.h"
+
+#include <string>
+
+namespace wr::sites {
+
+/// The full report document for one corpus run. \p IncludeTiming adds a
+/// wall-clock section (nondeterministic; leave off for byte-stable
+/// output).
+obs::Json buildCorpusReport(const std::string &Name,
+                            const CorpusStats &Stats,
+                            bool IncludeTiming = false);
+
+} // namespace wr::sites
+
+#endif // WEBRACER_SITES_CORPUSREPORT_H

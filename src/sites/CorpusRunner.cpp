@@ -27,9 +27,7 @@ SiteRunStats wr::sites::runSite(const GeneratedSite &Site,
   Stats.Raw = detect::tally(Result.RawRaces);
   Stats.Filtered = detect::tally(Result.FilteredRaces);
   Stats.Expected = Site.Expected;
-  Stats.Operations = Result.Operations;
-  Stats.HbEdges = Result.HbEdges;
-  Stats.Crashes = Result.Crashes.size();
+  Stats.Stats = std::move(Result.Stats);
   Stats.FilteredRaces = std::move(Result.FilteredRaces);
   return Stats;
 }
@@ -123,4 +121,11 @@ detect::RaceTally CorpusStats::filteredTotals() const {
     T.EventDispatch += S.Filtered.EventDispatch;
   }
   return T;
+}
+
+obs::RunStats CorpusStats::aggregate() const {
+  obs::RunStats Total;
+  for (const SiteRunStats &S : Sites)
+    Total.merge(S.Stats);
+  return Total;
 }

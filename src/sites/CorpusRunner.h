@@ -15,6 +15,7 @@
 #define WEBRACER_SITES_CORPUSRUNNER_H
 
 #include "detect/Report.h"
+#include "obs/RunStats.h"
 #include "sites/Corpus.h"
 #include "webracer/Session.h"
 
@@ -29,9 +30,9 @@ struct SiteRunStats {
   detect::RaceTally Raw;
   detect::RaceTally Filtered;
   ExpectedRaces Expected;
-  size_t Operations = 0;
-  size_t HbEdges = 0;
-  size_t Crashes = 0;
+  /// The site's full statistics record (operations, HB edges, crashes,
+  /// per-rule counts, attrition, ...).
+  obs::RunStats Stats;
   /// Filtered races kept for harmfulness analysis.
   std::vector<detect::Race> FilteredRaces;
 };
@@ -53,6 +54,10 @@ struct CorpusStats {
 
   /// Sum of filtered counts by kind (Table 2 totals row).
   detect::RaceTally filteredTotals() const;
+
+  /// Corpus-order merge of every site's statistics record. Deterministic
+  /// for any job count: sites land in corpus-order slots before merging.
+  obs::RunStats aggregate() const;
 };
 
 /// Runs one site through a session built from \p Base (a fresh browser

@@ -127,3 +127,19 @@ std::string wr::replaceAll(std::string_view S, std::string_view From,
   Result.append(S.substr(Pos));
   return Result;
 }
+
+bool wr::parseUint64(std::string_view S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  uint64_t Value = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return false; // Overflow.
+    Value = Value * 10 + Digit;
+  }
+  Out = Value;
+  return true;
+}

@@ -13,6 +13,7 @@
 #ifndef WEBRACER_SUPPORT_STRINGUTILS_H
 #define WEBRACER_SUPPORT_STRINGUTILS_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -50,6 +51,12 @@ std::string escapeForReport(std::string_view S);
 /// Replaces every occurrence of \p From in \p S with \p To.
 std::string replaceAll(std::string_view S, std::string_view From,
                        std::string_view To);
+
+/// Strict base-10 unsigned parse: the whole string must be digits (no
+/// sign, no whitespace, no trailing junk, not empty, no overflow).
+/// Returns false without touching \p Out on any violation - unlike
+/// strtoull, which silently accepts "12abc" and negatives.
+bool parseUint64(std::string_view S, uint64_t &Out);
 
 } // namespace wr
 

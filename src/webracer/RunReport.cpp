@@ -1,0 +1,55 @@
+//===- webracer/RunReport.cpp - Machine-readable run reports -----------------===//
+
+#include "webracer/RunReport.h"
+
+using namespace wr;
+using namespace wr::webracer;
+
+static obs::Json accessToJson(const Access &A, const HbGraph &Hb) {
+  obs::Json O = obs::Json::object();
+  O.set("access", toString(A.Kind));
+  O.set("origin", toString(A.Origin));
+  O.set("op", static_cast<uint64_t>(A.Op));
+  const Operation &Op = Hb.operation(A.Op);
+  O.set("op_kind", toString(Op.Kind));
+  O.set("op_label", Op.Label);
+  if (!A.Detail.empty())
+    O.set("detail", A.Detail);
+  return O;
+}
+
+obs::Json wr::webracer::raceToJson(const detect::Race &R,
+                                   const HbGraph &Hb) {
+  obs::Json O = obs::Json::object();
+  O.set("kind", detect::toString(R.Kind));
+  O.set("location", toString(R.Loc));
+  O.set("first", accessToJson(R.First, Hb));
+  O.set("second", accessToJson(R.Second, Hb));
+  if (R.WriteHadPriorReadInOp)
+    O.set("write_had_prior_read", true);
+  return O;
+}
+
+obs::Json wr::webracer::buildRunReport(const std::string &Name,
+                                       const SessionResult &R,
+                                       const HbGraph &Hb,
+                                       bool IncludeTiming) {
+  obs::Json Doc = obs::makeReportEnvelope("run", Name);
+  Doc.set("stats", R.Stats.toJson());
+  if (IncludeTiming) {
+    obs::Json Timing = obs::Json::object();
+    Timing.set("phases_wall_ms", R.Stats.Phases.wallJson());
+    Doc.set("timing", std::move(Timing));
+  }
+  obs::Json Races = obs::Json::object();
+  obs::Json Raw = obs::Json::array();
+  for (const detect::Race &Race : R.RawRaces)
+    Raw.push(raceToJson(Race, Hb));
+  Races.set("raw", std::move(Raw));
+  obs::Json Filtered = obs::Json::array();
+  for (const detect::Race &Race : R.FilteredRaces)
+    Filtered.push(raceToJson(Race, Hb));
+  Races.set("filtered", std::move(Filtered));
+  Doc.set("races", std::move(Races));
+  return Doc;
+}

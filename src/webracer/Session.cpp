@@ -9,6 +9,7 @@ Session::Session(SessionOptions Options) : Opts(Options) {
   B = std::make_unique<rt::Browser>(Opts.Browser);
   B->hb().setUseVectorClocks(Opts.UseVectorClocks);
   D = std::make_unique<detect::RaceDetector>(B->hb(), Opts.Detector);
+  D->setPhaseStats(&B->phaseStats());
   B->addSink(D.get());
   if (Opts.RecordTrace) {
     Trace = std::make_unique<TraceLog>();
@@ -32,18 +33,47 @@ SessionResult Session::run(const std::string &Url) {
 
   SessionResult Result;
   if (Opts.AutoExplore) {
+    obs::PhaseTimer Timer(&B->phaseStats(), obs::Phase::Explore);
     explore::Explorer E(*B, Opts.Explore);
     Result.Explore = E.run();
   }
 
   Result.RawRaces = D->races();
-  Result.FilteredRaces =
-      detect::applyPaperFilters(Result.RawRaces, dispatchCounts());
-  Result.Operations = B->hb().numOperations();
-  Result.HbEdges = B->hb().numEdges();
-  Result.ChcQueries = D->chcQueries();
+  detect::FilterCounts Attrition;
+  {
+    obs::PhaseTimer Timer(&B->phaseStats(), obs::Phase::Filter);
+    Result.FilteredRaces = detect::applyPaperFilters(
+        Result.RawRaces, dispatchCounts(), &Attrition);
+  }
   Result.Crashes = B->crashLog();
   Result.Alerts = B->alerts();
   Result.ParseErrors = B->parseErrorLog();
+
+  const HbGraph &Hb = B->hb();
+  obs::RunStats &S = Result.Stats;
+  S.Operations = Hb.numOperations();
+  S.HbEdges = Hb.numEdges();
+  for (size_t I = 0; I < NumHbRules; ++I)
+    if (uint64_t N = Hb.edgesByRule()[I])
+      S.HbEdgesByRule.push_back(
+          {wr::toString(static_cast<HbRule>(I)), N});
+  S.ChcQueries = D->chcQueries();
+  S.DfsVisits = Hb.dfsVisitCount();
+  S.DfsMemoHits = Hb.memoHits();
+  S.VcChains = Hb.numChains();
+  S.AccessesSeen = D->accessesSeen();
+  S.TrackedLocations = D->trackedLocations();
+  S.Raw = detect::tally(Result.RawRaces);
+  S.Filtered = detect::tally(Result.FilteredRaces);
+  S.Attrition = detect::toAttrition(Attrition);
+  S.TasksRun = B->loop().executedTasks();
+  S.VirtualTimeUs = B->loop().now();
+  S.Crashes = Result.Crashes.size();
+  S.Alerts = Result.Alerts.size();
+  S.ParseErrors = Result.ParseErrors.size();
+  S.EventsDispatched = Result.Explore.EventsDispatched;
+  S.LinksClicked = Result.Explore.LinksClicked;
+  S.BoxesTyped = Result.Explore.BoxesTyped;
+  S.Phases = B->phaseStats();
   return Result;
 }

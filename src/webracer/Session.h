@@ -29,6 +29,7 @@
 #include "detect/Report.h"
 #include "explore/Explorer.h"
 #include "instr/TraceLog.h"
+#include "obs/RunStats.h"
 #include "runtime/Browser.h"
 
 #include <memory>
@@ -59,12 +60,25 @@ struct SessionResult {
   std::vector<detect::Race> RawRaces;
   std::vector<detect::Race> FilteredRaces; ///< After Sec. 5.3 filters.
   explore::ExploreStats Explore;
-  size_t Operations = 0;
-  size_t HbEdges = 0;
-  uint64_t ChcQueries = 0;
+  /// The full statistics record: HB graph sizes (total and per rule),
+  /// reachability counters, detector and filter attrition figures, event
+  /// loop totals, and phase timings.
+  obs::RunStats Stats;
   std::vector<std::string> Crashes;
   std::vector<std::string> Alerts;
   std::vector<std::string> ParseErrors;
+
+  /// Forwarders for the loose counters Stats replaced; kept one PR for
+  /// out-of-tree callers, then removed.
+  [[deprecated("use Stats.Operations")]] size_t operations() const {
+    return Stats.Operations;
+  }
+  [[deprecated("use Stats.HbEdges")]] size_t hbEdges() const {
+    return Stats.HbEdges;
+  }
+  [[deprecated("use Stats.ChcQueries")]] uint64_t chcQueries() const {
+    return Stats.ChcQueries;
+  }
 };
 
 /// One detection run over one page. Construct, register resources on

@@ -22,6 +22,9 @@
 ///    with serial and thread-pool corpus drivers (sites/*.h).
 ///  * analysis:: - the ahead-of-time static race analyzer and the
 ///    static-vs-dynamic cross-validation harness (analysis/*.h).
+///  * obs:: - the observability layer: metrics registry, phase timers,
+///    RunStats, and the schema-versioned report builders
+///    (obs/*.h, webracer/RunReport.h, sites/CorpusReport.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,10 +41,15 @@
 #include "explore/Explorer.h"
 #include "hb/HbGraph.h"
 #include "instr/TraceLog.h"
+#include "obs/Metrics.h"
+#include "obs/Reporter.h"
+#include "obs/RunStats.h"
 #include "runtime/Browser.h"
 #include "sites/Corpus.h"
+#include "sites/CorpusReport.h"
 #include "sites/CorpusRunner.h"
 #include "webracer/Harm.h"
+#include "webracer/RunReport.h"
 #include "webracer/Session.h"
 
 #endif // WEBRACER_WEBRACER_WEBRACER_H

@@ -1,0 +1,153 @@
+//===- tests/report_schema_test.cpp - Report schema golden tests ------------===//
+//
+// Locks down the machine-readable report schema:
+//
+//  * The fig1-fig5 run reports, seeded, serialize byte-for-byte to the
+//    checked-in golden file (regenerate with WR_UPDATE_GOLDEN=1 after a
+//    deliberate schema change and review the diff).
+//  * The corpus report is byte-identical at every --jobs count, and the
+//    aggregate stats equal the merge of the per-site stats.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Scenarios.h"
+#include "obs/Json.h"
+#include "sites/CorpusReport.h"
+#include "sites/CorpusRunner.h"
+#include "webracer/RunReport.h"
+#include "webracer/Session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace wr;
+
+namespace {
+
+webracer::SessionResult runFigure(const analysis::PageSpec &Page,
+                                  webracer::Session &S) {
+  S.network().addResource(Page.EntryUrl, Page.Html, 10);
+  for (const analysis::PageResource &R : Page.Resources)
+    S.network().addResource(R.Url, R.Content, R.LatencyUs);
+  return S.run(Page.EntryUrl);
+}
+
+/// One array document holding the five figure run reports (timing off, so
+/// the bytes are a pure function of the page bytes and the seed).
+std::string figureReportsDocument() {
+  obs::Json All = obs::Json::array();
+  for (const analysis::PageSpec &Page : analysis::figurePages()) {
+    webracer::SessionOptions Opts;
+    Opts.Browser.Seed = 7;
+    webracer::Session S(Opts);
+    webracer::SessionResult Result = runFigure(Page, S);
+    All.push(webracer::buildRunReport(Page.Name, Result, S.browser().hb()));
+  }
+  return obs::writeJson(All);
+}
+
+TEST(ReportSchemaTest, FigureReportsMatchGoldenFile) {
+  std::string Actual = figureReportsDocument();
+  const char *Path = WR_GOLDEN_FILE;
+  if (std::getenv("WR_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Actual;
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    GTEST_SKIP() << "golden file regenerated: " << Path;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  ASSERT_TRUE(In) << "missing golden file " << Path
+                  << "; run once with WR_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream Expected;
+  Expected << In.rdbuf();
+  EXPECT_EQ(Actual, Expected.str())
+      << "report schema drifted; if intentional, bump ReportSchemaVersion "
+         "and regenerate with WR_UPDATE_GOLDEN=1";
+}
+
+TEST(ReportSchemaTest, FigureReportsAreRunToRunDeterministic) {
+  EXPECT_EQ(figureReportsDocument(), figureReportsDocument());
+}
+
+TEST(ReportSchemaTest, RunReportEnvelopeAndRacesLast) {
+  analysis::PageSpec Fig1 = analysis::figurePages().front();
+  webracer::SessionOptions Opts;
+  Opts.Browser.Seed = 7;
+  webracer::Session S(Opts);
+  webracer::SessionResult Result = runFigure(Fig1, S);
+  obs::Json Doc =
+      webracer::buildRunReport(Fig1.Name, Result, S.browser().hb());
+  ASSERT_TRUE(Doc.isObject());
+  ASSERT_FALSE(Doc.members().empty());
+  EXPECT_EQ(Doc.members().front().first, "schema");
+  ASSERT_NE(Doc.find("schema"), nullptr);
+  EXPECT_EQ(Doc.find("schema")->asInt(), 1);
+  EXPECT_EQ(Doc.find("tool")->asString(), "webracer");
+  EXPECT_EQ(Doc.find("kind")->asString(), "run");
+  EXPECT_EQ(Doc.members().back().first, "races")
+      << "races must stay the last key so text renderings end with them";
+  ASSERT_NE(Doc.find("stats"), nullptr);
+  EXPECT_NE(Doc.find("stats")->find("hb_edges_by_rule"), nullptr);
+}
+
+TEST(ReportSchemaTest, PerRuleEdgeCountsSumToEdgeTotal) {
+  // The per-rule breakdown must account for every edge the graph holds
+  // (the same per-rule figures the hb tests assert on the fig pages).
+  for (const analysis::PageSpec &Page : analysis::figurePages()) {
+    webracer::SessionOptions Opts;
+    Opts.Browser.Seed = 7;
+    webracer::Session S(Opts);
+    webracer::SessionResult Result = runFigure(Page, S);
+    uint64_t RuleSum = 0;
+    for (const obs::NamedCount &R : Result.Stats.HbEdgesByRule)
+      RuleSum += R.Count;
+    EXPECT_EQ(RuleSum, Result.Stats.HbEdges) << Page.Name;
+    EXPECT_EQ(Result.Stats.HbEdges, S.browser().hb().numEdges())
+        << Page.Name;
+  }
+}
+
+TEST(ReportSchemaTest, CorpusReportByteIdenticalAcrossJobCounts) {
+  const uint64_t Seed = 99;
+  std::vector<sites::GeneratedSite> Corpus =
+      sites::buildFortune100Corpus(Seed);
+  Corpus.resize(8);
+  webracer::SessionOptions Opts;
+  std::string Baseline;
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    sites::CorpusStats Stats = sites::runCorpus(Corpus, Opts, Seed, Jobs);
+    std::string Doc =
+        obs::writeJson(sites::buildCorpusReport("corpus8", Stats));
+    if (Jobs == 1)
+      Baseline = Doc;
+    else
+      EXPECT_EQ(Doc, Baseline) << "report differs at jobs=" << Jobs;
+  }
+  EXPECT_FALSE(Baseline.empty());
+}
+
+TEST(ReportSchemaTest, AggregateEqualsSumOfPerSiteStats) {
+  const uint64_t Seed = 99;
+  std::vector<sites::GeneratedSite> Corpus =
+      sites::buildFortune100Corpus(Seed);
+  Corpus.resize(8);
+  webracer::SessionOptions Opts;
+  for (unsigned Jobs : {1u, 4u}) {
+    sites::CorpusStats Stats = sites::runCorpus(Corpus, Opts, Seed, Jobs);
+    obs::RunStats Manual;
+    for (const sites::SiteRunStats &S : Stats.Sites)
+      Manual.merge(S.Stats);
+    // The deterministic serialization compares every field at once
+    // (wall-clock time is excluded by construction).
+    EXPECT_EQ(obs::writeJson(Stats.aggregate().toJson()),
+              obs::writeJson(Manual.toJson()))
+        << "aggregate != sum of sites at jobs=" << Jobs;
+    EXPECT_GT(Manual.Operations, 0u);
+    EXPECT_EQ(Manual.Raw, Stats.aggregate().Raw);
+  }
+}
+
+} // namespace

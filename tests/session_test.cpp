@@ -24,9 +24,9 @@ TEST(SessionTest, EndToEndRun) {
   registerFig1(S.network());
   SessionResult R = S.run("index.html");
   EXPECT_EQ(R.RawRaces.size(), 1u);
-  EXPECT_GT(R.Operations, 10u);
-  EXPECT_GT(R.HbEdges, 10u);
-  EXPECT_GT(R.ChcQueries, 0u);
+  EXPECT_GT(R.Stats.Operations, 10u);
+  EXPECT_GT(R.Stats.HbEdges, 10u);
+  EXPECT_GT(R.Stats.ChcQueries, 0u);
   ASSERT_EQ(R.Alerts.size(), 1u);
   EXPECT_TRUE(R.Crashes.empty());
   EXPECT_TRUE(R.ParseErrors.empty());
@@ -60,8 +60,8 @@ TEST(SessionTest, DeterministicAcrossRuns) {
   };
   SessionResult A = RunOnce();
   SessionResult B = RunOnce();
-  EXPECT_EQ(A.Operations, B.Operations);
-  EXPECT_EQ(A.HbEdges, B.HbEdges);
+  EXPECT_EQ(A.Stats.Operations, B.Stats.Operations);
+  EXPECT_EQ(A.Stats.HbEdges, B.Stats.HbEdges);
   ASSERT_EQ(A.RawRaces.size(), B.RawRaces.size());
   for (size_t I = 0; I < A.RawRaces.size(); ++I)
     EXPECT_EQ(A.RawRaces[I].Loc, B.RawRaces[I].Loc);

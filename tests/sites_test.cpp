@@ -50,7 +50,7 @@ TEST(PatternTest, HtmlPollingBenign) {
   SiteRunStats S = runOnePattern(PatternKind::HtmlPollingBenign, 5);
   expectMatches(S);
   EXPECT_EQ(S.Filtered.Html, 5u);
-  EXPECT_EQ(S.Crashes, 0u); // Benign: the guard prevents crashes.
+  EXPECT_EQ(S.Stats.Crashes, 0u); // Benign: the guard prevents crashes.
 }
 
 TEST(PatternTest, HtmlPollingBenignSingleton) {
@@ -69,7 +69,7 @@ TEST(PatternTest, FunctionCallGuarded) {
   SiteRunStats S = runOnePattern(PatternKind::FunctionCallGuarded, 2);
   expectMatches(S);
   EXPECT_EQ(S.Filtered.Function, 2u);
-  EXPECT_EQ(S.Crashes, 0u);
+  EXPECT_EQ(S.Stats.Crashes, 0u);
 }
 
 TEST(PatternTest, FormValueHarmful) {
@@ -229,7 +229,7 @@ TEST(CorpusTest, FordSiteReproduces112BenignHtmlRaces) {
   webracer::SessionOptions Opts;
   SiteRunStats Stats = runSite(*Ford, Opts, 42);
   EXPECT_EQ(Stats.Filtered.Html, 112u);
-  EXPECT_EQ(Stats.Crashes, 0u);
+  EXPECT_EQ(Stats.Stats.Crashes, 0u);
 }
 
 TEST(CorpusTest, MetLifeReproduces35HarmfulDispatchRaces) {

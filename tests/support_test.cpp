@@ -151,3 +151,31 @@ TEST(FormatTest, LongOutput) {
   std::string Long(500, 'a');
   EXPECT_EQ(strFormat("%s!", Long.c_str()).size(), 501u);
 }
+
+TEST(StringUtilsTest, ParseUint64Accepts) {
+  uint64_t V = 0;
+  EXPECT_TRUE(parseUint64("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(parseUint64("42", V));
+  EXPECT_EQ(V, 42u);
+  EXPECT_TRUE(parseUint64("18446744073709551615", V)); // UINT64_MAX.
+  EXPECT_EQ(V, ~static_cast<uint64_t>(0));
+  EXPECT_TRUE(parseUint64("007", V)); // Leading zeros are still digits.
+  EXPECT_EQ(V, 7u);
+}
+
+TEST(StringUtilsTest, ParseUint64Rejects) {
+  uint64_t V = 123;
+  EXPECT_FALSE(parseUint64("", V));
+  EXPECT_FALSE(parseUint64("-1", V));
+  EXPECT_FALSE(parseUint64("+1", V));
+  EXPECT_FALSE(parseUint64(" 1", V));
+  EXPECT_FALSE(parseUint64("1 ", V));
+  EXPECT_FALSE(parseUint64("12abc", V));
+  EXPECT_FALSE(parseUint64("abc", V));
+  EXPECT_FALSE(parseUint64("1.5", V));
+  EXPECT_FALSE(parseUint64("0x10", V));
+  EXPECT_FALSE(parseUint64("18446744073709551616", V)); // UINT64_MAX + 1.
+  EXPECT_FALSE(parseUint64("99999999999999999999", V));
+  EXPECT_EQ(V, 123u) << "failed parses must not touch the out-param";
+}

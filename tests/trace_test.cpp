@@ -178,9 +178,9 @@ TEST(TraceReplayTest, ReplayIsByteIdenticalToOnlineRun) {
   SessionResult Online = S.run("index.html");
 
   detect::ReplayResult Offline = detect::replayTrace(*S.trace());
-  EXPECT_EQ(Offline.Operations, Online.Operations);
-  EXPECT_EQ(Offline.HbEdges, Online.HbEdges);
-  EXPECT_EQ(Offline.ChcQueries, Online.ChcQueries);
+  EXPECT_EQ(Offline.Operations, Online.Stats.Operations);
+  EXPECT_EQ(Offline.HbEdges, Online.Stats.HbEdges);
+  EXPECT_EQ(Offline.ChcQueries, Online.Stats.ChcQueries);
   EXPECT_EQ(Offline.Crashes, Online.Crashes.size());
 
   // The reports - raw and filtered - must be byte-identical.
@@ -248,8 +248,8 @@ TEST(ParallelCorpusTest, JobCountsProduceIdenticalResults) {
     const sites::SiteRunStats &A = Serial.Sites[I];
     const sites::SiteRunStats &B = Pooled.Sites[I];
     EXPECT_EQ(A.Name, B.Name);
-    EXPECT_EQ(A.Operations, B.Operations);
-    EXPECT_EQ(A.HbEdges, B.HbEdges);
+    EXPECT_EQ(A.Stats.Operations, B.Stats.Operations);
+    EXPECT_EQ(A.Stats.HbEdges, B.Stats.HbEdges);
     EXPECT_EQ(A.Raw.total(), B.Raw.total());
     EXPECT_EQ(A.Raw.Variable, B.Raw.Variable);
     EXPECT_EQ(A.Raw.Html, B.Raw.Html);

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Diff the headline counters of two schema-1 corpus reports.
+
+Usage: diff_baseline.py BASELINE.json CURRENT.json
+
+Compares the deterministic headline counters (site count, aggregate
+operations / HB edges / CHC queries, raw and filtered race totals per
+kind, filter attrition) and prints one line per drifted counter. The
+diff is WARN-ONLY: drift exits 0 so CI surfaces it without failing the
+build (counters legitimately move when the corpus or detector changes;
+refresh the baseline in the same PR). Only malformed input exits
+nonzero.
+"""
+
+import json
+import sys
+
+HEADLINE_PATHS = [
+    ("aggregate", "operations"),
+    ("aggregate", "hb_edges"),
+    ("aggregate", "chc_queries"),
+    ("aggregate", "accesses"),
+    ("aggregate", "races_raw", "total"),
+    ("aggregate", "races_raw", "html"),
+    ("aggregate", "races_raw", "function"),
+    ("aggregate", "races_raw", "variable"),
+    ("aggregate", "races_raw", "event_dispatch"),
+    ("aggregate", "races_filtered", "total"),
+    ("aggregate", "filter_attrition", "input"),
+    ("aggregate", "filter_attrition", "kept"),
+    ("filtered_totals", "total"),
+]
+
+
+def lookup(doc, path):
+    node = doc
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def load(path):
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"error: cannot load {path}: {err}")
+    if doc.get("schema") != 1 or doc.get("kind") != "corpus":
+        sys.exit(f"error: {path} is not a schema-1 corpus report")
+    return doc
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(f"usage: {argv[0]} BASELINE.json CURRENT.json")
+    baseline = load(argv[1])
+    current = load(argv[2])
+
+    drifted = 0
+    rows = [(("sites (count)",), len(baseline.get("sites", [])),
+             len(current.get("sites", [])))]
+    rows += [(p, lookup(baseline, p), lookup(current, p))
+             for p in HEADLINE_PATHS]
+    for path, base, cur in rows:
+        name = ".".join(str(p) for p in path)
+        if base == cur:
+            continue
+        drifted += 1
+        print(f"WARNING: {name}: baseline={base} current={cur}")
+
+    if drifted:
+        print(f"\n{drifted} headline counter(s) drifted from {argv[1]}.")
+        print("If intentional, regenerate the baseline in this PR:")
+        print("  ./build/tools/webracer-cli --corpus --json "
+              "bench/baseline.json")
+    else:
+        print(f"OK: headline counters match {argv[1]}")
+    return 0  # Warn-only by design.
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

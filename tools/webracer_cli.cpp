@@ -34,15 +34,25 @@
 //   --corpus         run the synthetic Fortune-100 corpus instead of a
 //                    page from disk
 //   --sites N        with --corpus: only the first N sites (default 100)
-//   --jobs N         with --corpus: thread-pool size (0 = all cores)
+//   --jobs N         with --corpus: thread-pool size (default 1; must be
+//                    at least 1)
+//   --json FILE      write the schema-1 JSON report to FILE (page,
+//                    replay, corpus, and cross-check modes; corpus
+//                    reports are byte-identical for any --jobs count)
+//   --metrics        dump the run statistics as a name-sorted metrics
+//                    listing after the report
 //   --static-analyze predict races ahead of time without executing the
 //                    page; prints the predicted races (and, with --trace,
 //                    the static must-HB graph)
 //   --cross-check    run the static analyzer AND a dynamic session, then
 //                    print the precision/recall comparison
 //
+// Count-valued options take strict unsigned decimal integers; anything
+// else (including a bare "-" or trailing junk) is a usage error.
+//
 //===----------------------------------------------------------------------===//
 
+#include "support/StringUtils.h"
 #include "webracer/WebRacer.h"
 
 #include <chrono>
@@ -71,11 +81,83 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s <index.html> [--root DIR] [--seed N] [--latency N] "
       "[--raw] [--no-explore] [--dfs] [--vector-clocks] [--trace] "
-      "[--record FILE] [--static-analyze] [--cross-check]\n"
-      "       %s --replay FILE [--raw] [--dfs]\n"
-      "       %s --corpus [--sites N] [--jobs N] [--seed N]\n",
+      "[--record FILE] [--json FILE] [--metrics] [--static-analyze] "
+      "[--cross-check]\n"
+      "       %s --replay FILE [--raw] [--dfs] [--json FILE] [--metrics]\n"
+      "       %s --corpus [--sites N] [--jobs N] [--seed N] [--json FILE] "
+      "[--metrics]\n",
       Argv0, Argv0, Argv0);
   return 2;
+}
+
+/// Strict unsigned parse for a count-valued flag; on failure prints a
+/// usage error naming the flag and the offending value.
+bool parseCountArg(const char *Flag, const char *Value, uint64_t &Out) {
+  if (parseUint64(Value, Out))
+    return true;
+  std::fprintf(stderr, "error: %s expects an unsigned integer, got '%s'\n",
+               Flag, Value);
+  return false;
+}
+
+/// Serializes \p Doc with the stable JSON backend and writes it to
+/// \p Path; false (with a message) when the file cannot be written.
+bool writeReportFile(const std::string &Path, const obs::Json &Doc) {
+  std::string Bytes;
+  obs::JsonReporter Reporter(Bytes);
+  Reporter.emit(Doc);
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  Out.flush();
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  std::printf("report: %zu bytes -> %s\n", Bytes.size(), Path.c_str());
+  return true;
+}
+
+/// Renders \p Doc with the text backend onto stdout.
+void printReportText(const obs::Json &Doc) {
+  std::string Out;
+  obs::TextReporter Reporter(Out);
+  Reporter.emit(Doc);
+  std::printf("%s", Out.c_str());
+}
+
+/// \p Doc minus the member named \p Key (races render separately via
+/// describeRaces; per-site rows are too bulky for a terminal).
+obs::Json withoutMember(const obs::Json &Doc, const std::string &Key) {
+  obs::Json Out = obs::Json::object();
+  for (const auto &[Name, Value] : Doc.members())
+    if (Name != Key)
+      Out.set(Name, Value);
+  return Out;
+}
+
+/// Snapshots \p Stats into a registry and dumps it name-sorted.
+void printMetrics(const obs::RunStats &Stats) {
+  obs::MetricsRegistry Registry;
+  Stats.exportTo(Registry, "webracer");
+  std::printf("\n-- metrics --\n%s", Registry.toText().c_str());
+}
+
+/// The schema-1 report for an offline replay: stats plus both race sets.
+obs::Json buildReplayReport(const std::string &Name,
+                            const detect::ReplayResult &R) {
+  obs::Json Doc = obs::makeReportEnvelope("replay", Name);
+  Doc.set("stats", R.Stats.toJson());
+  obs::Json RawArr = obs::Json::array();
+  for (const detect::Race &Race : R.RawRaces)
+    RawArr.push(webracer::raceToJson(Race, R.Hb));
+  obs::Json FilteredArr = obs::Json::array();
+  for (const detect::Race &Race : R.FilteredRaces)
+    FilteredArr.push(webracer::raceToJson(Race, R.Hb));
+  obs::Json Races = obs::Json::object();
+  Races.set("raw", std::move(RawArr));
+  Races.set("filtered", std::move(FilteredArr));
+  Doc.set("races", std::move(Races));
+  return Doc;
 }
 
 /// Builds a PageSpec from the files on disk under \p Root, mirroring the
@@ -104,7 +186,8 @@ analysis::PageSpec pageSpecFromDisk(const fs::path &Index,
 }
 
 /// Offline mode: deserialize a recorded trace and rerun detection.
-int replayMain(const std::string &TraceFile, bool Raw, bool UseDfs) {
+int replayMain(const std::string &TraceFile, bool Raw, bool UseDfs,
+               const std::string &JsonFile, bool Metrics) {
   std::ifstream In(TraceFile, std::ios::binary);
   if (!In) {
     std::fprintf(stderr, "error: cannot read %s\n", TraceFile.c_str());
@@ -124,11 +207,12 @@ int replayMain(const std::string &TraceFile, bool Raw, bool UseDfs) {
   detect::ReplayResult R = detect::replayTrace(Log, Opts);
   std::printf("webracer: replaying %s (%zu events)\n", TraceFile.c_str(),
               Log.size());
-  std::printf("operations: %zu, hb edges: %zu, chc queries: %llu\n",
-              R.Operations, R.HbEdges,
-              static_cast<unsigned long long>(R.ChcQueries));
-  if (R.Crashes)
-    std::printf("operations that crashed: %zu\n", R.Crashes);
+  obs::Json Doc = buildReplayReport(TraceFile, R);
+  printReportText(withoutMember(Doc, "races"));
+  if (!JsonFile.empty() && !writeReportFile(JsonFile, Doc))
+    return 1;
+  if (Metrics)
+    printMetrics(R.Stats);
   const std::vector<detect::Race> &Races = Raw ? R.RawRaces : R.FilteredRaces;
   std::printf("\n%s races: %s\n", Raw ? "raw" : "filtered",
               detect::summaryLine(Races).c_str());
@@ -138,7 +222,8 @@ int replayMain(const std::string &TraceFile, bool Raw, bool UseDfs) {
 
 /// Corpus mode: run the synthetic Fortune-100 corpus, optionally in
 /// parallel, and print Table 1-style aggregates plus throughput.
-int corpusMain(size_t Sites, unsigned Jobs, uint64_t Seed) {
+int corpusMain(size_t Sites, unsigned Jobs, uint64_t Seed,
+               const std::string &JsonFile, bool Metrics) {
   std::printf("webracer: building corpus (seed %llu)...\n",
               static_cast<unsigned long long>(Seed));
   std::vector<sites::GeneratedSite> Corpus =
@@ -146,29 +231,23 @@ int corpusMain(size_t Sites, unsigned Jobs, uint64_t Seed) {
   if (Sites && Sites < Corpus.size())
     Corpus.resize(Sites);
   webracer::SessionOptions Opts;
-  std::printf("running %zu sites with %u job(s)...\n", Corpus.size(),
-              Jobs ? Jobs : std::max(1u, std::thread::hardware_concurrency()));
+  std::printf("running %zu sites with %u job(s)...\n", Corpus.size(), Jobs);
   auto Start = std::chrono::steady_clock::now();
   sites::CorpusStats Stats = runCorpus(Corpus, Opts, Seed, Jobs);
   double Secs = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - Start)
                     .count();
-  size_t RawTotal = 0, Ops = 0, Edges = 0;
-  for (const sites::SiteRunStats &S : Stats.Sites) {
-    RawTotal += S.Raw.total();
-    Ops += S.Operations;
-    Edges += S.HbEdges;
-  }
-  detect::RaceTally Filtered = Stats.filteredTotals();
   std::printf("\n%zu sites in %.2fs (%.1f sites/sec)\n", Stats.Sites.size(),
               Secs, Secs > 0 ? static_cast<double>(Stats.Sites.size()) / Secs
                              : 0.0);
-  std::printf("operations: %zu, hb edges: %zu\n", Ops, Edges);
-  std::printf("raw races: %zu\n", RawTotal);
-  std::printf("filtered races: html=%zu function=%zu variable=%zu "
-              "event-dispatch=%zu total=%zu\n",
-              Filtered.Html, Filtered.Function, Filtered.Variable,
-              Filtered.EventDispatch, Filtered.total());
+  // The --json document excludes timing so it is byte-identical for any
+  // --jobs count; per-site rows are elided from the terminal rendering.
+  obs::Json Doc = sites::buildCorpusReport("fortune100", Stats);
+  printReportText(withoutMember(Doc, "sites"));
+  if (!JsonFile.empty() && !writeReportFile(JsonFile, Doc))
+    return 1;
+  if (Metrics)
+    printMetrics(Stats.aggregate());
   return 0;
 }
 
@@ -184,9 +263,10 @@ int main(int Argc, char **Argv) {
   uint64_t FixedLatency = 0;
   bool Raw = false, Explore = true, Dfs = false, Trace = false;
   bool StaticAnalyze = false, CrossCheck = false, CorpusMode = false;
-  std::string RecordFile, ReplayFile;
-  size_t Sites = 0;
-  unsigned Jobs = 1;
+  bool Metrics = false;
+  std::string RecordFile, ReplayFile, JsonFile;
+  uint64_t Sites = 0;
+  uint64_t Jobs = 1;
 
   int I = 1;
   if (Argv[1][0] != '-') {
@@ -199,9 +279,11 @@ int main(int Argc, char **Argv) {
     if (Arg == "--root" && I + 1 < Argc) {
       Root = Argv[++I];
     } else if (Arg == "--seed" && I + 1 < Argc) {
-      Seed = std::strtoull(Argv[++I], nullptr, 10);
+      if (!parseCountArg("--seed", Argv[++I], Seed))
+        return 2;
     } else if (Arg == "--latency" && I + 1 < Argc) {
-      FixedLatency = std::strtoull(Argv[++I], nullptr, 10);
+      if (!parseCountArg("--latency", Argv[++I], FixedLatency))
+        return 2;
     } else if (Arg == "--raw") {
       Raw = true;
     } else if (Arg == "--no-explore") {
@@ -219,9 +301,19 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--corpus") {
       CorpusMode = true;
     } else if (Arg == "--sites" && I + 1 < Argc) {
-      Sites = std::strtoull(Argv[++I], nullptr, 10);
+      if (!parseCountArg("--sites", Argv[++I], Sites))
+        return 2;
     } else if (Arg == "--jobs" && I + 1 < Argc) {
-      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+      if (!parseCountArg("--jobs", Argv[++I], Jobs))
+        return 2;
+      if (Jobs == 0) {
+        std::fprintf(stderr, "error: --jobs must be at least 1\n");
+        return 2;
+      }
+    } else if (Arg == "--json" && I + 1 < Argc) {
+      JsonFile = Argv[++I];
+    } else if (Arg == "--metrics") {
+      Metrics = true;
     } else if (Arg == "--static-analyze") {
       StaticAnalyze = true;
     } else if (Arg == "--cross-check") {
@@ -232,9 +324,10 @@ int main(int Argc, char **Argv) {
   }
 
   if (!ReplayFile.empty())
-    return replayMain(ReplayFile, Raw, Dfs);
+    return replayMain(ReplayFile, Raw, Dfs, JsonFile, Metrics);
   if (CorpusMode)
-    return corpusMain(Sites, Jobs, Seed);
+    return corpusMain(Sites, static_cast<unsigned>(Jobs), Seed, JsonFile,
+                      Metrics);
   if (Index.empty())
     return usage(Argv[0]);
 
@@ -279,6 +372,11 @@ int main(int Argc, char **Argv) {
                 Page.EntryUrl.c_str(), Page.Resources.size(),
                 static_cast<unsigned long long>(Seed));
     std::printf("%s", analysis::formatReport(R).c_str());
+    obs::Json Doc = analysis::buildCrossCheckReport({R});
+    if (!JsonFile.empty() && !writeReportFile(JsonFile, Doc))
+      return 1;
+    if (Metrics)
+      printMetrics(R.Dynamic.Stats);
     return R.missedCount() == 0 ? 0 : 1;
   }
 
@@ -320,8 +418,9 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Seed));
   webracer::SessionResult R = S.run(IndexUrl);
 
-  std::printf("operations: %zu, hb edges: %zu, explored events: %zu\n",
-              R.Operations, R.HbEdges, R.Explore.EventsDispatched);
+  obs::Json Doc = webracer::buildRunReport(IndexUrl, R, S.browser().hb(),
+                                           /*IncludeTiming=*/true);
+  printReportText(withoutMember(Doc, "races"));
   if (!R.ParseErrors.empty()) {
     std::printf("script parse errors:\n");
     for (const std::string &E : R.ParseErrors)
@@ -344,6 +443,11 @@ int main(int Argc, char **Argv) {
     std::printf("trace: %zu events, %zu bytes -> %s\n",
                 S.trace()->size(), Bytes.size(), RecordFile.c_str());
   }
+
+  if (!JsonFile.empty() && !writeReportFile(JsonFile, Doc))
+    return 1;
+  if (Metrics)
+    printMetrics(R.Stats);
 
   const std::vector<detect::Race> &Races =
       Raw ? R.RawRaces : R.FilteredRaces;
