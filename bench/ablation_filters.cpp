@@ -66,8 +66,9 @@ static void detectorModes() {
   OpId Op3 = Hb.addOperation(Meta);
   Hb.addEdge(Op1, Op2, HbRule::RProgram);
 
+  LocationInterner Interner;
+  LocId E = Interner.intern(JSVarLoc{0, "e"});
   auto Feed = [&](RaceDetector &D) {
-    Location E = JSVarLoc{0, "e"};
     Access Read3{AccessKind::Read, AccessOrigin::Plain, Op3, E, ""};
     Access Read1{AccessKind::Read, AccessOrigin::Plain, Op1, E, ""};
     Access Write2{AccessKind::Write, AccessOrigin::Plain, Op2, E, ""};
@@ -76,12 +77,12 @@ static void detectorModes() {
     D.onMemoryAccess(Write2);
   };
   DetectorOptions Single;
-  RaceDetector SingleSlot(Hb, Single);
+  RaceDetector SingleSlot(Hb, Interner, Single);
   Feed(SingleSlot);
   DetectorOptions Full;
   Full.HistoryMode = DetectorOptions::Mode::FullHistory;
   Full.OnePerLocation = false;
-  RaceDetector FullHistory(Hb, Full);
+  RaceDetector FullHistory(Hb, Interner, Full);
   Feed(FullHistory);
   std::printf("paper's 3-op example (order 3,1,2; only 1->2 ordered):\n");
   std::printf("  single-slot races: %zu (the 2-3 race is missed)\n",

@@ -28,7 +28,7 @@ struct Outcome {
 
 Outcome runSchedule(VirtualTime LatencyA, VirtualTime LatencyB) {
   Browser B{BrowserOptions()};
-  RaceDetector D(B.hb());
+  RaceDetector D(B.hb(), B.interner());
   B.addSink(&D);
   B.network().addResource("index.html",
                           "<script>x = 1;</script>"

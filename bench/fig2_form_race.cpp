@@ -32,7 +32,7 @@ struct Outcome {
 // rendered page.
 Outcome runSchedule(bool TypeEarly, bool Guarded) {
   Browser B{BrowserOptions()};
-  RaceDetector D(B.hb());
+  RaceDetector D(B.hb(), B.interner());
   B.addSink(&D);
   const char *Script =
       Guarded ? "<script src=\"hint.js\"></script>"

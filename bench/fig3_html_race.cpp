@@ -28,7 +28,7 @@ struct Outcome {
 
 Outcome runSchedule(VirtualTime ClickAt) {
   Browser B{BrowserOptions()};
-  RaceDetector D(B.hb());
+  RaceDetector D(B.hb(), B.interner());
   B.addSink(&D);
   B.network().addResource(
       "index.html",

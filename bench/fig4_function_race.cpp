@@ -30,7 +30,7 @@ struct Outcome {
 Outcome runSchedule(VirtualTime FrameLatency, VirtualTime MainLatency,
                     bool Fixed) {
   Browser B{BrowserOptions()};
-  RaceDetector D(B.hb());
+  RaceDetector D(B.hb(), B.interner());
   B.addSink(&D);
   std::string FramePart =
       "<iframe id=\"i\" src=\"sub.html\""

@@ -28,7 +28,7 @@ struct Outcome {
 
 Outcome runSchedule(VirtualTime FrameLatency, bool InTag) {
   Browser B{BrowserOptions()};
-  RaceDetector D(B.hb());
+  RaceDetector D(B.hb(), B.interner());
   B.addSink(&D);
   std::string Html =
       InTag ? "<iframe id=\"i\" src=\"a.html\""

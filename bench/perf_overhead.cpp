@@ -10,14 +10,19 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Scenarios.h"
 #include "detect/RaceDetector.h"
 #include "js/Interpreter.h"
 #include "js/Parser.h"
 #include "js/StdLib.h"
 #include "sites/Corpus.h"
 #include "sites/CorpusRunner.h"
+#include "webracer/Session.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
 
 using namespace wr;
 
@@ -59,7 +64,7 @@ const char *kernelSource(int Kernel) {
 /// its CHC path the way a page with two concurrent scripts would.
 class DetectorHooks final : public js::JsHooks {
 public:
-  DetectorHooks() : Detector(Hb) {
+  DetectorHooks() : Detector(Hb, Interner) {
     OpId A = Hb.addOperation(Operation());
     OpId B = Hb.addOperation(Operation());
     Hb.addEdge(A, B, HbRule::RProgram);
@@ -67,35 +72,36 @@ public:
     Ops[1] = B;
   }
 
-  void onVarRead(js::Env *Scope, const std::string &Name,
+  void onVarRead(js::Env *Scope, std::string_view Name,
                  AccessOrigin Origin) override {
-    record(AccessKind::Read, JSVarLoc{Scope->containerId(), Name}, Origin);
+    record(AccessKind::Read, Scope->containerId(), Name, Origin);
   }
-  void onVarWrite(js::Env *Scope, const std::string &Name,
+  void onVarWrite(js::Env *Scope, std::string_view Name,
                   AccessOrigin Origin) override {
-    record(AccessKind::Write, JSVarLoc{Scope->containerId(), Name},
-           Origin);
+    record(AccessKind::Write, Scope->containerId(), Name, Origin);
   }
-  void onPropRead(js::Object *Obj, const std::string &Name,
+  void onPropRead(js::Object *Obj, std::string_view Name,
                   AccessOrigin Origin) override {
-    record(AccessKind::Read, JSVarLoc{Obj->containerId(), Name}, Origin);
+    record(AccessKind::Read, Obj->containerId(), Name, Origin);
   }
-  void onPropWrite(js::Object *Obj, const std::string &Name,
+  void onPropWrite(js::Object *Obj, std::string_view Name,
                    AccessOrigin Origin) override {
-    record(AccessKind::Write, JSVarLoc{Obj->containerId(), Name}, Origin);
+    record(AccessKind::Write, Obj->containerId(), Name, Origin);
   }
 
 private:
-  void record(AccessKind Kind, Location Loc, AccessOrigin Origin) {
+  void record(AccessKind Kind, ContainerId Container,
+              std::string_view Name, AccessOrigin Origin) {
     Access A;
     A.Kind = Kind;
     A.Origin = Origin;
     A.Op = Ops[Toggle ^= 1];
-    A.Loc = std::move(Loc);
+    A.Loc = Interner.internVar(Container, Name);
     Detector.onMemoryAccess(A);
   }
 
   HbGraph Hb;
+  LocationInterner Interner;
   detect::RaceDetector Detector;
   OpId Ops[2];
   unsigned Toggle = 0;
@@ -148,6 +154,51 @@ void BM_PageLoadOpsPerSecond(benchmark::State &State) {
       static_cast<double>(TotalOps), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_PageLoadOpsPerSecond)->Unit(benchmark::kMillisecond);
+
+/// Epoch fast-path effectiveness on the paper's fig1-fig5 pages: the
+/// fraction of ordering checks the detector answers from its epoch/pair
+/// caches instead of the HB oracle. The LocId refactor's perf claim rests
+/// on this staying high, so the run aborts if the rate drops below 90%.
+void BM_FigCorpusEpochHitRate(benchmark::State &State) {
+  uint64_t Epoch = 0, Chc = 0, DetectUs = 0, DetectEntries = 0;
+  for (auto _ : State) {
+    Epoch = Chc = DetectUs = DetectEntries = 0;
+    for (const analysis::PageSpec &Page : analysis::figurePages()) {
+      webracer::SessionOptions Opts;
+      Opts.Browser.Seed = 7;
+      webracer::Session S(Opts);
+      S.network().addResource(Page.EntryUrl, Page.Html, 10);
+      for (const analysis::PageResource &R : Page.Resources)
+        S.network().addResource(R.Url, R.Content, R.LatencyUs);
+      webracer::SessionResult Result = S.run(Page.EntryUrl);
+      Epoch += Result.Stats.EpochHits;
+      Chc += Result.Stats.ChcQueries;
+      const obs::PhaseStat &D = Result.Stats.Phases[obs::Phase::Detect];
+      DetectUs += D.VirtualUs;
+      DetectEntries += D.Entries;
+    }
+  }
+  double Rate = Epoch + Chc
+                    ? static_cast<double>(Epoch) /
+                          static_cast<double>(Epoch + Chc)
+                    : 0.0;
+  State.counters["epoch_hit_rate"] = Rate;
+  State.counters["chc_queries"] =
+      benchmark::Counter(static_cast<double>(Chc));
+  State.counters["detect_virtual_us"] =
+      benchmark::Counter(static_cast<double>(DetectUs));
+  State.counters["detect_entries"] =
+      benchmark::Counter(static_cast<double>(DetectEntries));
+  if (Rate < 0.9) {
+    std::fprintf(stderr,
+                 "FATAL: epoch fast-path hit rate %.3f < 0.9 on the fig "
+                 "corpus (epoch_hits=%llu, chc_queries=%llu)\n",
+                 Rate, static_cast<unsigned long long>(Epoch),
+                 static_cast<unsigned long long>(Chc));
+    std::abort();
+  }
+}
+BENCHMARK(BM_FigCorpusEpochHitRate)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -26,7 +26,7 @@ struct Outcome {
 
 Outcome runWithImageLatency(VirtualTime Latency) {
   Browser B{BrowserOptions()};
-  detect::RaceDetector D(B.hb());
+  detect::RaceDetector D(B.hb(), B.interner());
   B.addSink(&D);
   B.network().addResource(
       "page.html",

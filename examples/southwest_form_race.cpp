@@ -28,7 +28,7 @@ const char *HintScript =
 
 void runOnce(bool UserIsFast) {
   Browser B{BrowserOptions()};
-  detect::RaceDetector D(B.hb());
+  detect::RaceDetector D(B.hb(), B.interner());
   B.addSink(&D);
   B.network().addResource("southwest.html", PageHtml, 10);
   B.network().addResource("hints.js", HintScript, 5000);

@@ -2,6 +2,8 @@
 
 #include "detect/RaceDetector.h"
 
+#include <cassert>
+
 using namespace wr;
 using namespace wr::detect;
 
@@ -19,17 +21,6 @@ const char *wr::detect::toString(RaceKind Kind) {
   return "unknown";
 }
 
-size_t RaceDetector::trackedLocations() const {
-  std::unordered_set<Location, LocationHash> Distinct;
-  for (const auto &[Loc, Slot] : LastRead)
-    Distinct.insert(Loc);
-  for (const auto &[Loc, Slot] : LastWrite)
-    Distinct.insert(Loc);
-  for (const auto &[Loc, Slots] : History)
-    Distinct.insert(Loc);
-  return Distinct.size();
-}
-
 size_t RaceDetector::countByKind(RaceKind Kind) const {
   size_t N = 0;
   for (const Race &R : Races)
@@ -38,9 +29,40 @@ size_t RaceDetector::countByKind(RaceKind Kind) const {
   return N;
 }
 
-bool RaceDetector::canHappenConcurrently(OpId A, OpId B) {
+RaceDetector::LocState &RaceDetector::state(LocId Id) {
+  assert(Id != InvalidLocId && "access without an interned location");
+  if (Id >= Locs.size())
+    Locs.resize(Id + 1);
+  LocState &St = Locs[Id];
+  if (!St.Touched) {
+    St.Touched = true;
+    ++Tracked;
+  }
+  return St;
+}
+
+bool RaceDetector::pairConcurrent(OpId Prior, OpId Current) {
+  uint64_t Key = (static_cast<uint64_t>(Prior) << 32) | Current;
+  auto It = PairCache.find(Key);
+  if (It != PairCache.end()) {
+    ++EpochHits;
+    return It->second;
+  }
   ++ChcQueries;
-  return Hb.canHappenConcurrently(A, B);
+  bool Concurrent = Hb.canHappenConcurrently(Prior, Current);
+  PairCache.emplace(Key, Concurrent);
+  return Concurrent;
+}
+
+bool RaceDetector::slotConcurrent(Slot &S, OpId Current) {
+  if (S.CheckedVs == Current) {
+    ++EpochHits;
+    return S.Concurrent;
+  }
+  bool Concurrent = pairConcurrent(S.Op, Current);
+  S.CheckedVs = Current;
+  S.Concurrent = Concurrent;
+  return Concurrent;
 }
 
 RaceKind RaceDetector::classify(const Access &First, const Access &Second,
@@ -58,86 +80,114 @@ RaceKind RaceDetector::classify(const Access &First, const Access &Second,
   return RaceKind::Variable;
 }
 
-void RaceDetector::report(const Slot &Prior, const Access &Current) {
+void RaceDetector::report(LocState &St, const Slot &Prior,
+                          const Access &Current) {
   if (Opts.OnePerLocation) {
-    if (ReportedLocations.count(Current.Loc))
+    if (St.Reported)
       return;
-    ReportedLocations.insert(Current.Loc);
+    St.Reported = true;
   }
   Race R;
-  R.Loc = Current.Loc;
+  R.Loc = Interner.resolve(Current.Loc);
   R.First = Prior.A;
   R.Second = Current;
-  R.Kind = classify(Prior.A, Current, Current.Loc);
+  R.Kind = classify(Prior.A, Current, R.Loc);
   // The Sec. 5.3 refinement looks at whichever side is a write: if the
   // writing operation read the location before writing, the write is
   // probably guarded ("has the user modified the field?").
   if (Prior.A.Kind == AccessKind::Write && Prior.HadPriorRead)
     R.WriteHadPriorReadInOp = true;
-  if (Current.Kind == AccessKind::Write) {
-    auto It = ReadsByOp.find(Current.Op);
-    if (It != ReadsByOp.end() && It->second.count(Current.Loc) != 0)
-      R.WriteHadPriorReadInOp = true;
-  }
+  if (Current.Kind == AccessKind::Write &&
+      St.ReaderOps.count(Current.Op) != 0)
+    R.WriteHadPriorReadInOp = true;
   Races.push_back(std::move(R));
 }
 
 void RaceDetector::onMemoryAccess(const Access &A) {
   obs::PhaseTimer Timer(Phases, obs::Phase::Detect);
   ++AccessesSeen;
+  LocState &St = state(A.Loc);
+  // Once the one-per-location race is out, no ordering verdict on this
+  // location can change any output - skip the HB questions wholesale.
+  bool Muted = Opts.OnePerLocation && St.Reported;
+
   if (Opts.HistoryMode == DetectorOptions::Mode::FullHistory) {
-    // Check against every recorded access (read-write and write-write).
-    auto &Accesses = History[A.Loc];
-    for (const Slot &Prior : Accesses) {
-      if (Prior.Op == A.Op)
-        continue;
-      bool OneIsWrite = Prior.A.Kind == AccessKind::Write ||
-                        A.Kind == AccessKind::Write;
-      if (!OneIsWrite)
-        continue;
-      if (canHappenConcurrently(Prior.Op, A.Op)) {
-        report(Prior, A);
-        if (Opts.OnePerLocation)
-          break;
+    if (Muted) {
+      EpochHits += St.History.size();
+    } else {
+      // Check against every recorded access (read-write and write-write).
+      // Every prior poses one CHC question; each is answered by exactly
+      // one of the fast paths (read-read, same-op, epoch/pair cache) or
+      // the oracle, so EpochHits + ChcQueries == questions asked.
+      for (const Slot &Prior : St.History) {
+        bool OneIsWrite = Prior.A.Kind == AccessKind::Write ||
+                          A.Kind == AccessKind::Write;
+        if (Prior.Op == A.Op || !OneIsWrite) {
+          ++EpochHits;
+          continue;
+        }
+        if (pairConcurrent(Prior.Op, A.Op)) {
+          report(St, Prior, A);
+          if (Opts.OnePerLocation)
+            break;
+        }
       }
     }
-    Slot S{A.Op, A, false};
-    if (A.Kind == AccessKind::Write) {
-      auto It = ReadsByOp.find(A.Op);
-      S.HadPriorRead =
-          It != ReadsByOp.end() && It->second.count(A.Loc) != 0;
-    }
-    Accesses.push_back(std::move(S));
+    Slot S;
+    S.Op = A.Op;
+    S.A = A;
+    if (A.Kind == AccessKind::Write)
+      S.HadPriorRead = St.ReaderOps.count(A.Op) != 0;
+    St.History.push_back(std::move(S));
     if (A.Kind == AccessKind::Read)
-      ReadsByOp[A.Op].insert(A.Loc);
+      St.ReaderOps.insert(A.Op);
     return;
   }
 
-  // The paper's single-slot algorithm (Sec. 5.1).
+  // The paper's single-slot algorithm (Sec. 5.1). A read poses one CHC
+  // question (vs LastWrite), a write poses two (vs LastWrite, then vs
+  // LastRead unless the write check already reported); every question is
+  // answered by exactly one of the fast paths - ⊥ slot (the paper's
+  // CHC(⊥, b) = false case), same operation, muted location, the slot's
+  // epoch verdict, the pair cache - or by one oracle query, so
+  // EpochHits + ChcQueries is the total question count.
   if (A.Kind == AccessKind::Read) {
-    auto W = LastWrite.find(A.Loc);
-    if (W != LastWrite.end() && W->second.Op != A.Op &&
-        canHappenConcurrently(W->second.Op, A.Op))
-      report(W->second, A);
-    LastRead[A.Loc] = {A.Op, A, false};
-    ReadsByOp[A.Op].insert(A.Loc);
+    Slot &W = St.LastWrite;
+    if (Muted || W.Op == InvalidOpId || W.Op == A.Op)
+      ++EpochHits;
+    else if (slotConcurrent(W, A.Op))
+      report(St, W, A);
+    Slot S;
+    S.Op = A.Op;
+    S.A = A;
+    St.LastRead = std::move(S);
+    St.ReaderOps.insert(A.Op);
     return;
   }
 
   // Write: race against the last write and the last read.
-  auto W = LastWrite.find(A.Loc);
-  if (W != LastWrite.end() && W->second.Op != A.Op &&
-      canHappenConcurrently(W->second.Op, A.Op)) {
-    report(W->second, A);
+  Slot &W = St.LastWrite;
+  Slot &R = St.LastRead;
+  if (Muted) {
+    EpochHits += 2;
   } else {
-    auto R = LastRead.find(A.Loc);
-    if (R != LastRead.end() && R->second.Op != A.Op &&
-        canHappenConcurrently(R->second.Op, A.Op))
-      report(R->second, A);
+    bool RacedWithWrite = false;
+    if (W.Op == InvalidOpId || W.Op == A.Op)
+      ++EpochHits;
+    else if (slotConcurrent(W, A.Op)) {
+      RacedWithWrite = true;
+      report(St, W, A);
+    }
+    if (!RacedWithWrite) {
+      if (R.Op == InvalidOpId || R.Op == A.Op)
+        ++EpochHits;
+      else if (slotConcurrent(R, A.Op))
+        report(St, R, A);
+    }
   }
-  Slot S{A.Op, A, false};
-  auto Reads = ReadsByOp.find(A.Op);
-  S.HadPriorRead =
-      Reads != ReadsByOp.end() && Reads->second.count(A.Loc) != 0;
-  LastWrite[A.Loc] = std::move(S);
+  Slot S;
+  S.Op = A.Op;
+  S.A = A;
+  S.HadPriorRead = St.ReaderOps.count(A.Op) != 0;
+  St.LastWrite = std::move(S);
 }

@@ -19,6 +19,22 @@
 ///    upper bound); `bench/ablation_detectors` measures what SingleSlot
 ///    misses and what FullHistory costs.
 ///
+/// Accesses arrive keyed by interned LocId (mem/LocationInterner.h), so
+/// all per-location state lives in one dense vector indexed by id - a
+/// single LocState slot struct replaces the four string-keyed hash maps
+/// the detector used to probe per access. On top of the dense table sits
+/// a FastTrack-inspired epoch fast path: each slot caches the verdict of
+/// its last CHC question per current operation ("same epoch" checks), a
+/// global pair cache memoizes (prior op, current op) verdicts across
+/// locations, and a location whose one-per-location race is already
+/// reported skips ordering questions entirely (their answers cannot
+/// change any output). Only cache misses escalate to the HB graph
+/// oracle (vector clocks or DFS); the soundness of caching rests on the
+/// graph's documented edge monotonicity - once both operations exist,
+/// their ordering verdict is immutable. Race output is byte-identical to
+/// the uncached detector; only chc_queries drops and epoch_hits counts
+/// the avoided work.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WEBRACER_DETECT_RACEDETECTOR_H
@@ -27,6 +43,7 @@
 #include "hb/HbGraph.h"
 #include "instr/Instrumentation.h"
 #include "mem/Location.h"
+#include "mem/LocationInterner.h"
 #include "obs/PhaseTimer.h"
 
 #include <string>
@@ -41,7 +58,9 @@ enum class RaceKind : uint8_t { Variable, Html, Function, EventDispatch };
 
 const char *toString(RaceKind Kind);
 
-/// One reported race.
+/// One reported race. Loc is resolved from the interner at report time,
+/// so reports stay self-contained (filters, harm analysis, and JSON
+/// rendering never need the interner).
 struct Race {
   RaceKind Kind = RaceKind::Variable;
   Location Loc;
@@ -62,19 +81,31 @@ struct DetectorOptions {
 };
 
 /// The dynamic race detector; attach to a Browser as an instrumentation
-/// sink.
+/// sink. \p Interner must be the interner that assigned the LocIds the
+/// sink will observe (the browser's online, the trace's offline) and must
+/// outlive the detector.
 class RaceDetector final : public InstrumentationSink {
 public:
-  RaceDetector(const HbGraph &Hb, DetectorOptions Opts = DetectorOptions())
-      : Hb(Hb), Opts(Opts) {}
+  RaceDetector(const HbGraph &Hb, const LocationInterner &Interner,
+               DetectorOptions Opts = DetectorOptions())
+      : Hb(Hb), Interner(Interner), Opts(Opts) {}
 
   const std::vector<Race> &races() const { return Races; }
 
   /// Races of one kind.
   size_t countByKind(RaceKind Kind) const;
 
-  /// Number of CHC queries issued (overhead accounting).
+  /// Number of CHC queries that reached the HB oracle (overhead
+  /// accounting; epoch/cache hits never get here).
   uint64_t chcQueries() const { return ChcQueries; }
+
+  /// CHC questions answered by the epoch fast path without consulting
+  /// the HB graph: ⊥-slot answers, same-operation checks, per-slot
+  /// same-epoch verdicts, pair-cache hits, and reported-location skips.
+  /// Every question posed by the access stream lands in exactly one of
+  /// epochHits() or chcQueries(), so hits / (hits + queries) is the
+  /// fast-path hit rate.
+  uint64_t epochHits() const { return EpochHits; }
 
   /// Number of instrumented accesses processed.
   uint64_t accessesSeen() const { return AccessesSeen; }
@@ -83,10 +114,9 @@ public:
   /// time to obs::Phase::Detect. Null (the default) disables timing.
   void setPhaseStats(obs::PhaseStats *Stats) { Phases = Stats; }
 
-  /// Number of distinct locations tracked (the union of the read and
-  /// write slots, plus the full-history map when that mode is active -
-  /// a location present in both slots is one location, not two).
-  size_t trackedLocations() const;
+  /// Number of distinct locations tracked (== locations with at least one
+  /// access seen).
+  size_t trackedLocations() const { return Tracked; }
 
   void onMemoryAccess(const Access &A) override;
 
@@ -96,28 +126,51 @@ private:
     Access A;
     /// For writes: had the writing op read this location first?
     bool HadPriorRead = false;
+    /// Epoch cache: verdict of the last CHC question against this slot,
+    /// valid while the current operation is CheckedVs.
+    OpId CheckedVs = InvalidOpId;
+    bool Concurrent = false;
   };
 
-  bool canHappenConcurrently(OpId A, OpId B);
-  void report(const Slot &Prior, const Access &Current);
+  /// All per-location detector state, one vector element per LocId
+  /// (replaces the former LastRead/LastWrite/History/ReportedLocations/
+  /// ReadsByOp hash probes).
+  struct LocState {
+    Slot LastRead;
+    Slot LastWrite;
+    bool Touched = false;  ///< Any access seen (tracked-locations count).
+    bool Reported = false; ///< One-per-location race already emitted.
+    /// Operations that read this location (form-filter refinement
+    /// metadata; exact, because inline dispatch nests operations).
+    std::unordered_set<OpId> ReaderOps;
+    /// FullHistory mode keeps every access.
+    std::vector<Slot> History;
+  };
+
+  LocState &state(LocId Id);
+  /// CHC with the per-slot epoch cache (single-slot mode).
+  bool slotConcurrent(Slot &S, OpId Current);
+  /// CHC with the global pair cache; escalates to the HB oracle on miss.
+  bool pairConcurrent(OpId Prior, OpId Current);
+  void report(LocState &St, const Slot &Prior, const Access &Current);
   static RaceKind classify(const Access &First, const Access &Second,
                            const Location &Loc);
 
   const HbGraph &Hb;
+  const LocationInterner &Interner;
   DetectorOptions Opts;
 
-  std::unordered_map<Location, Slot, LocationHash> LastRead;
-  std::unordered_map<Location, Slot, LocationHash> LastWrite;
-  // FullHistory mode keeps every access.
-  std::unordered_map<Location, std::vector<Slot>, LocationHash> History;
-
-  std::unordered_set<Location, LocationHash> ReportedLocations;
-  // Locations read per operation (form-filter refinement metadata).
-  std::unordered_map<OpId, std::unordered_set<Location, LocationHash>>
-      ReadsByOp;
+  std::vector<LocState> Locs;
+  size_t Tracked = 0;
+  /// Memoized CHC verdicts keyed (Prior << 32) | Current. Sound because
+  /// HB edges only ever point at the operation being created (see
+  /// HbGraph), so a verdict between two existing operations never
+  /// changes.
+  std::unordered_map<uint64_t, bool> PairCache;
 
   std::vector<Race> Races;
   uint64_t ChcQueries = 0;
+  uint64_t EpochHits = 0;
   uint64_t AccessesSeen = 0;
   obs::PhaseStats *Phases = nullptr;
 };

@@ -60,7 +60,10 @@ ReplayResult wr::detect::replayTrace(const TraceLog &Log,
                                      const ReplayOptions &Opts) {
   ReplayResult Result;
   Result.Hb.setUseVectorClocks(Opts.UseVectorClocks);
-  RaceDetector Detector(Result.Hb, Opts.Detector);
+  // The trace's interner resolves the access stream's LocIds; it was
+  // either mirrored from the online engine or rebuilt by deserialize.
+  RaceDetector Detector(Result.Hb, Log.interner(), Opts.Detector);
+  size_t Crashes = 0;
   // One in-order pass: graph construction and detection interleave exactly
   // as they did online, so the detector sees each access against the same
   // graph prefix (and issues the same CHC queries) as the recording run.
@@ -80,7 +83,7 @@ ReplayResult wr::detect::replayTrace(const TraceLog &Log,
       break;
     case TraceEvent::Kind::OpEnd:
       if (E.Crashed)
-        ++Result.Crashes;
+        ++Crashes;
       break;
     default:
       break;
@@ -90,26 +93,31 @@ ReplayResult wr::detect::replayTrace(const TraceLog &Log,
   FilterCounts Attrition;
   Result.FilteredRaces = applyPaperFilters(
       Result.RawRaces, dispatchCountsFromTrace(Log), &Attrition);
-  Result.Operations = Result.Hb.numOperations();
-  Result.HbEdges = Result.Hb.numEdges();
-  Result.ChcQueries = Detector.chcQueries();
 
   obs::RunStats &S = Result.Stats;
-  S.Operations = Result.Operations;
-  S.HbEdges = Result.HbEdges;
+  S.Operations = Result.Hb.numOperations();
+  S.HbEdges = Result.Hb.numEdges();
   for (size_t I = 0; I < NumHbRules; ++I)
     if (uint64_t N = Result.Hb.edgesByRule()[I])
       S.HbEdgesByRule.push_back(
           {wr::toString(static_cast<HbRule>(I)), N});
-  S.ChcQueries = Result.ChcQueries;
+  S.ChcQueries = Detector.chcQueries();
   S.DfsVisits = Result.Hb.dfsVisitCount();
   S.DfsMemoHits = Result.Hb.memoHits();
   S.VcChains = Result.Hb.numChains();
   S.AccessesSeen = Detector.accessesSeen();
   S.TrackedLocations = Detector.trackedLocations();
+  S.InternedLocations = Log.interner().size();
+  // Online, the engine interns exactly once per recorded access, so hits
+  // are accesses minus distinct locations; compute the same figure here
+  // (the trace's interner is prepopulated, not probed per access).
+  S.InternHits = S.AccessesSeen >= S.InternedLocations
+                     ? S.AccessesSeen - S.InternedLocations
+                     : 0;
+  S.EpochHits = Detector.epochHits();
   S.Raw = tally(Result.RawRaces);
   S.Filtered = tally(Result.FilteredRaces);
   S.Attrition = toAttrition(Attrition);
-  S.Crashes = Result.Crashes;
+  S.Crashes = Crashes;
   return Result;
 }

@@ -49,13 +49,10 @@ struct ReplayOptions {
 struct ReplayResult {
   std::vector<Race> RawRaces;
   std::vector<Race> FilteredRaces; ///< After the Sec. 5.3 filters.
-  size_t Operations = 0;
-  size_t HbEdges = 0;
-  uint64_t ChcQueries = 0;
-  size_t Crashes = 0; ///< Operations that ended crashed.
-  /// The detection-relevant statistics as a structured record (the
-  /// browser-side figures - tasks, virtual time, exploration - stay zero
-  /// offline). The loose counters above mirror its headline fields.
+  /// The detection-relevant statistics (operations, HB edges, CHC
+  /// queries, intern/epoch counters, crashes, ...) as a structured
+  /// record; the browser-side figures - tasks, virtual time, exploration
+  /// - stay zero offline.
   obs::RunStats Stats;
   /// The reconstructed happens-before graph, for report rendering
   /// (describeRaces) and offline harm analysis.

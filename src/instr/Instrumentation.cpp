@@ -26,6 +26,11 @@ void MultiSink::onHbEdge(OpId From, OpId To, HbRule Rule) {
     Sink->onHbEdge(From, To, Rule);
 }
 
+void MultiSink::onLocationInterned(LocId Id, const Location &Loc) {
+  for (InstrumentationSink *Sink : Sinks)
+    Sink->onLocationInterned(Id, Loc);
+}
+
 void MultiSink::onMemoryAccess(const Access &A) {
   for (InstrumentationSink *Sink : Sinks)
     Sink->onMemoryAccess(A);

@@ -60,6 +60,15 @@ public:
     (void)Rule;
   }
 
+  /// A new logical location was interned: \p Id will name \p Loc in every
+  /// subsequent onMemoryAccess. Fired once per distinct location, in id
+  /// order, before the first access that uses the id, so sinks attached
+  /// from session start can mirror the engine's interner exactly.
+  virtual void onLocationInterned(LocId Id, const Location &Loc) {
+    (void)Id;
+    (void)Loc;
+  }
+
   /// A logical memory access occurred.
   virtual void onMemoryAccess(const Access &A) { (void)A; }
 
@@ -89,6 +98,7 @@ public:
   void onOperationBegin(OpId Op) override;
   void onOperationEnd(OpId Op, bool Crashed) override;
   void onHbEdge(OpId From, OpId To, HbRule Rule) override;
+  void onLocationInterned(LocId Id, const Location &Loc) override;
   void onMemoryAccess(const Access &A) override;
   void onEventDispatch(NodeId Target, ContainerId TargetObject,
                        const std::string &EventType, int32_t DispatchIndex,

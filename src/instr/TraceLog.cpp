@@ -4,6 +4,7 @@
 
 #include "support/Format.h"
 
+#include <cassert>
 #include <climits>
 #include <cstring>
 #include <limits>
@@ -44,6 +45,14 @@ void TraceLog::onHbEdge(OpId From, OpId To, HbRule Rule) {
   E.Op2 = To;
   E.Rule = Rule;
   Events.push_back(std::move(E));
+}
+
+void TraceLog::onLocationInterned(LocId Id, const Location &Loc) {
+  LocId Got = Interner.intern(Loc);
+  (void)Got;
+  (void)Id;
+  assert(Got == Id &&
+         "trace interner out of sync (sink attached mid-session?)");
 }
 
 void TraceLog::onMemoryAccess(const Access &A) {
@@ -94,12 +103,15 @@ std::string TraceLog::toString() const {
       Out += strFormat("hb %u -> %u  [%s]\n", E.Op, E.Op2,
                        wr::toString(E.Rule));
       break;
-    case EventKind::MemAccess:
+    case EventKind::MemAccess: {
+      std::string LocStr = Interner.contains(E.Mem.Loc)
+                               ? wr::toString(Interner.resolve(E.Mem.Loc))
+                               : strFormat("loc#%u", E.Mem.Loc);
       Out += strFormat("op %u %s %s  [%s] %s\n", E.Op,
-                       wr::toString(E.Mem.Kind),
-                       wr::toString(E.Mem.Loc).c_str(),
+                       wr::toString(E.Mem.Kind), LocStr.c_str(),
                        wr::toString(E.Mem.Origin), E.Mem.Detail.c_str());
       break;
+    }
     case EventKind::Dispatch:
       Out += strFormat("dispatch disp%d(%s, node%u) ops [%u..%u]\n",
                        E.DispatchIndex, E.EventType.c_str(), E.Target, E.Op,
@@ -114,14 +126,21 @@ std::string TraceLog::toString() const {
 // Binary serialization
 // ---------------------------------------------------------------------------
 //
-// Layout: "WRT1" magic, then a varint event count, then one record per
-// event: a kind byte followed by kind-specific payload. All integers are
-// LEB128 varints; signed values are zigzag-coded; strings are a varint
-// length plus raw bytes.
+// Layout (WRT2, current): "WRT2" magic, a varint location count followed
+// by that many location records (the string table, in LocId order), then
+// a varint event count and one record per event: a kind byte followed by
+// kind-specific payload. Access records name their location by varint
+// LocId into the table. All integers are LEB128 varints; signed values
+// are zigzag-coded; strings are a varint length plus raw bytes.
+//
+// Layout (WRT1, legacy): same, minus the location table; each access
+// record inlines its full location instead of an id. Decoding re-interns
+// the inline locations in stream order, which reproduces the online ids.
 
 namespace {
 
-constexpr char Magic[4] = {'W', 'R', 'T', '1'};
+constexpr char MagicV2[4] = {'W', 'R', 'T', '2'};
+constexpr char MagicV1[4] = {'W', 'R', 'T', '1'};
 
 void putVar(std::string &Out, uint64_t V) {
   while (V >= 0x80) {
@@ -164,11 +183,24 @@ void putLocation(std::string &Out, const Location &Loc) {
   }
 }
 
+/// WRT2 access record: the location is a varint id into the table.
 void putAccess(std::string &Out, const Access &A) {
   putU8(Out, static_cast<uint8_t>(A.Kind));
   putU8(Out, static_cast<uint8_t>(A.Origin));
   putVar(Out, A.Op);
-  putLocation(Out, A.Loc);
+  putVar(Out, A.Loc);
+  putStr(Out, A.Detail);
+}
+
+/// WRT1 access record: the full location is inlined.
+void putAccessLegacy(std::string &Out, const Access &A,
+                     const LocationInterner &Interner) {
+  putU8(Out, static_cast<uint8_t>(A.Kind));
+  putU8(Out, static_cast<uint8_t>(A.Origin));
+  putVar(Out, A.Op);
+  assert(Interner.contains(A.Loc) &&
+         "legacy serialization needs a resolvable location id");
+  putLocation(Out, Interner.resolve(A.Loc));
   putStr(Out, A.Detail);
 }
 
@@ -289,13 +321,30 @@ public:
     }
   }
 
-  bool getAccess(Access &A) {
-    return getEnum(A.Kind, static_cast<uint8_t>(AccessKind::Write),
-                   "bad access kind") &&
-           getEnum(A.Origin, static_cast<uint8_t>(AccessOrigin::HandlerFire),
-                   "bad access origin") &&
-           getNarrow(A.Op, "bad op id") && getLocation(A.Loc) &&
-           getStr(A.Detail);
+  /// \p V2 selects the location encoding: a varint id into \p Interner's
+  /// already-decoded table (range-checked), or a WRT1 inline location
+  /// that gets interned on the fly.
+  bool getAccess(Access &A, LocationInterner &Interner, bool V2) {
+    if (!getEnum(A.Kind, static_cast<uint8_t>(AccessKind::Write),
+                 "bad access kind") ||
+        !getEnum(A.Origin, static_cast<uint8_t>(AccessOrigin::HandlerFire),
+                 "bad access origin") ||
+        !getNarrow(A.Op, "bad op id"))
+      return false;
+    if (V2) {
+      uint32_t Id;
+      if (!getNarrow(Id, "bad location id"))
+        return false;
+      if (Id >= Interner.size())
+        return fail("location id out of range");
+      A.Loc = Id;
+    } else {
+      Location Loc;
+      if (!getLocation(Loc))
+        return false;
+      A.Loc = Interner.intern(Loc);
+    }
+    return getStr(A.Detail);
   }
 
   bool getOperation(Operation &Op) {
@@ -331,33 +380,37 @@ private:
 
 } // namespace
 
-std::string TraceLog::serialize() const {
-  std::string Out;
-  Out.append(Magic, sizeof(Magic));
+namespace {
+
+/// Everything after the magic + optional location table is shared between
+/// the two formats, modulo how an access names its location.
+template <typename AccessFn>
+void putEvents(std::string &Out, const std::vector<TraceEvent> &Events,
+               AccessFn PutAccess) {
   putVar(Out, Events.size());
   for (const TraceEvent &E : Events) {
     putU8(Out, static_cast<uint8_t>(E.K));
     switch (E.K) {
-    case EventKind::OpCreated:
+    case TraceEvent::Kind::OpCreated:
       putVar(Out, E.Op);
       putOperation(Out, E.Meta);
       break;
-    case EventKind::OpBegin:
+    case TraceEvent::Kind::OpBegin:
       putVar(Out, E.Op);
       break;
-    case EventKind::OpEnd:
+    case TraceEvent::Kind::OpEnd:
       putVar(Out, E.Op);
       putU8(Out, E.Crashed ? 1 : 0);
       break;
-    case EventKind::HbEdge:
+    case TraceEvent::Kind::HbEdge:
       putVar(Out, E.Op);
       putVar(Out, E.Op2);
       putU8(Out, static_cast<uint8_t>(E.Rule));
       break;
-    case EventKind::MemAccess:
-      putAccess(Out, E.Mem);
+    case TraceEvent::Kind::MemAccess:
+      PutAccess(Out, E.Mem);
       break;
-    case EventKind::Dispatch:
+    case TraceEvent::Kind::Dispatch:
       putVar(Out, E.Target);
       putVar(Out, E.TargetObject);
       putStr(Out, E.EventType);
@@ -367,6 +420,27 @@ std::string TraceLog::serialize() const {
       break;
     }
   }
+}
+
+} // namespace
+
+std::string TraceLog::serialize() const {
+  std::string Out;
+  Out.append(MagicV2, sizeof(MagicV2));
+  putVar(Out, Interner.size());
+  for (LocId Id = 0; Id < Interner.size(); ++Id)
+    putLocation(Out, Interner.resolve(Id));
+  putEvents(Out, Events,
+            [](std::string &Buf, const Access &A) { putAccess(Buf, A); });
+  return Out;
+}
+
+std::string TraceLog::serializeLegacyWrt1() const {
+  std::string Out;
+  Out.append(MagicV1, sizeof(MagicV1));
+  putEvents(Out, Events, [this](std::string &Buf, const Access &A) {
+    putAccessLegacy(Buf, A, Interner);
+  });
   return Out;
 }
 
@@ -379,10 +453,27 @@ bool TraceLog::deserialize(const std::string &Bytes, TraceLog &Out,
       *Error = Message;
     return false;
   };
-  if (Bytes.size() < sizeof(Magic) ||
-      std::memcmp(Bytes.data(), Magic, sizeof(Magic)) != 0)
+  bool V2 = false;
+  if (Bytes.size() >= sizeof(MagicV2) &&
+      std::memcmp(Bytes.data(), MagicV2, sizeof(MagicV2)) == 0)
+    V2 = true;
+  else if (Bytes.size() < sizeof(MagicV1) ||
+           std::memcmp(Bytes.data(), MagicV1, sizeof(MagicV1)) != 0)
     return Fail("not a WebRacer trace (bad magic)");
-  Reader R(Bytes, sizeof(Magic));
+  Reader R(Bytes, sizeof(MagicV2));
+  if (V2) {
+    // The location string table, in LocId order.
+    uint64_t LocCount;
+    if (!R.getVar(LocCount))
+      return Fail(R.error());
+    for (uint64_t I = 0; I < LocCount; ++I) {
+      Location Loc;
+      if (!R.getLocation(Loc))
+        return Fail(R.error());
+      if (Out.Interner.intern(Loc) != I)
+        return Fail("duplicate location in string table");
+    }
+  }
   uint64_t Count;
   if (!R.getVar(Count))
     return Fail(R.error());
@@ -410,7 +501,7 @@ bool TraceLog::deserialize(const std::string &Bytes, TraceLog &Out,
                      "bad hb rule");
       break;
     case EventKind::MemAccess:
-      Ok = R.getAccess(E.Mem);
+      Ok = R.getAccess(E.Mem, Out.Interner, V2);
       if (Ok)
         E.Op = E.Mem.Op;
       break;

@@ -19,12 +19,20 @@
 /// magic/version header) so they can be written to disk by one process and
 /// analyzed by another (`webracer-cli --record` / `--replay`).
 ///
+/// Formats: WRT2 (current) opens with a location string table - every
+/// distinct logical location once, in id order - and access records carry
+/// the varint LocId; WRT1 (legacy) inlined the full location into every
+/// access record. serialize() always writes WRT2; deserialize() accepts
+/// both, re-interning WRT1's inline locations in stream order (which is
+/// first-touch order, so the ids match the online run's).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WEBRACER_INSTR_TRACELOG_H
 #define WEBRACER_INSTR_TRACELOG_H
 
 #include "instr/Instrumentation.h"
+#include "mem/LocationInterner.h"
 
 #include <cstdint>
 #include <string>
@@ -71,15 +79,27 @@ public:
   void onOperationBegin(OpId Op) override;
   void onOperationEnd(OpId Op, bool Crashed) override;
   void onHbEdge(OpId From, OpId To, HbRule Rule) override;
+  void onLocationInterned(LocId Id, const Location &Loc) override;
   void onMemoryAccess(const Access &A) override;
   void onEventDispatch(NodeId Target, ContainerId TargetObject,
                        const std::string &EventType, int32_t DispatchIndex,
                        OpId Begin, OpId End) override;
 
+  /// The trace's own location table: mirrors the engine's interner while
+  /// recording (the sink must be attached from session start, before any
+  /// location is interned), or is rebuilt from the WRT2 string table /
+  /// WRT1 inline locations when deserializing. Access events' LocIds
+  /// resolve against this.
+  const LocationInterner &interner() const { return Interner; }
+  LocationInterner &interner() { return Interner; }
+
   const std::vector<TraceEvent> &events() const { return Events; }
   size_t size() const { return Events.size(); }
   bool empty() const { return Events.empty(); }
-  void clear() { Events.clear(); }
+  void clear() {
+    Events.clear();
+    Interner.clear();
+  }
 
   /// Counts events of one kind.
   size_t count(EventKind Kind) const;
@@ -87,17 +107,27 @@ public:
   /// Renders the whole trace, one event per line (debugging).
   std::string toString() const;
 
-  /// Encodes the trace into the compact binary format.
+  /// Encodes the trace into the current (WRT2) binary format: location
+  /// string table first, then events referencing it by id.
   std::string serialize() const;
 
-  /// Decodes \p Bytes into \p Out. Returns false (and sets \p Error when
-  /// given) on a bad header, truncation, or out-of-range enum values; \p
-  /// Out is left cleared on failure.
+  /// Encodes the trace in the legacy WRT1 layout (inline locations, no
+  /// table). Kept so compatibility tooling and tests can produce traces
+  /// older readers understand; every access's LocId must resolve in the
+  /// trace's interner.
+  std::string serializeLegacyWrt1() const;
+
+  /// Decodes \p Bytes (WRT2 or legacy WRT1) into \p Out. Returns false
+  /// (and sets \p Error when given) on a bad header, truncation,
+  /// out-of-range enum values, a corrupt location table, or an access
+  /// referencing a location id the table does not define; \p Out is left
+  /// cleared on failure.
   static bool deserialize(const std::string &Bytes, TraceLog &Out,
                           std::string *Error = nullptr);
 
 private:
   std::vector<TraceEvent> Events;
+  LocationInterner Interner;
 };
 
 } // namespace wr

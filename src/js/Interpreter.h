@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace wr::js {
@@ -37,20 +38,22 @@ class JsHooks {
 public:
   virtual ~JsHooks();
 
-  /// A read of variable \p Name resolved to environment \p Scope.
-  virtual void onVarRead(Env *Scope, const std::string &Name,
+  /// A read of variable \p Name resolved to environment \p Scope. Name is
+  /// a view into interpreter-owned storage, valid for the duration of the
+  /// call; implementations interning into a LocationInterner need no copy.
+  virtual void onVarRead(Env *Scope, std::string_view Name,
                          AccessOrigin Origin) = 0;
 
   /// A write of variable \p Name in environment \p Scope.
-  virtual void onVarWrite(Env *Scope, const std::string &Name,
+  virtual void onVarWrite(Env *Scope, std::string_view Name,
                           AccessOrigin Origin) = 0;
 
   /// A read of property \p Name on \p Obj.
-  virtual void onPropRead(Object *Obj, const std::string &Name,
+  virtual void onPropRead(Object *Obj, std::string_view Name,
                           AccessOrigin Origin) = 0;
 
   /// A write of property \p Name on \p Obj.
-  virtual void onPropWrite(Object *Obj, const std::string &Name,
+  virtual void onPropWrite(Object *Obj, std::string_view Name,
                            AccessOrigin Origin) = 0;
 };
 

@@ -119,6 +119,14 @@ struct EventHandlerLoc {
 /// A logical shared-memory location: Loc = JSVar ∪ HElem ∪ Eloc.
 using Location = std::variant<JSVarLoc, HtmlElemLoc, EventHandlerLoc>;
 
+/// Dense id of an interned logical location (see mem/LocationInterner.h).
+/// Assigned sequentially from 0 in first-touch order; the access hot path
+/// carries this id instead of a Location value.
+using LocId = uint32_t;
+
+/// Sentinel for "no location".
+inline constexpr LocId InvalidLocId = 0xffffffffu;
+
 /// Read or write, per the classic race definition.
 enum class AccessKind : uint8_t { Read, Write };
 
@@ -139,12 +147,14 @@ enum class AccessOrigin : uint8_t {
   HandlerFire,    ///< Event dispatch read the handler location.
 };
 
-/// One instrumented memory access.
+/// One instrumented memory access. Carries the interned location id; the
+/// owning LocationInterner (browser- or trace-side) resolves it back to a
+/// full Location when a report needs one.
 struct Access {
   AccessKind Kind = AccessKind::Read;
   AccessOrigin Origin = AccessOrigin::Plain;
   uint32_t Op = 0; ///< OpId of the performing operation (see hb/OpId.h).
-  Location Loc;
+  LocId Loc = InvalidLocId;
   std::string Detail; ///< Human-readable context for reports.
 };
 

@@ -1,0 +1,116 @@
+//===- mem/LocationInterner.cpp - Dense ids for logical locations ---------===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/LocationInterner.h"
+
+#include <functional>
+
+namespace wr {
+
+namespace {
+
+uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return Seed ^ (Value + 0x9e3779b97f4a7c15ull + (Seed << 6) + (Seed >> 2));
+}
+
+// Bucket hashes mirror the structural fields of each variant. They use
+// std::hash<std::string_view>, which C++17 guarantees agrees with
+// std::hash<std::string> over the same characters, so the string_view
+// fast paths and the generic intern() land in the same bucket.
+uint64_t hashVar(ContainerId Container, std::string_view Name) {
+  uint64_t H = hashCombine(0x11, Container);
+  return hashCombine(H, std::hash<std::string_view>{}(Name));
+}
+
+uint64_t hashElem(DocumentId Doc, ElemKeyKind Kind, NodeId Node,
+                  std::string_view Key) {
+  uint64_t H = hashCombine(0x22, Doc);
+  H = hashCombine(H, static_cast<uint64_t>(Kind));
+  H = hashCombine(H, Node);
+  return hashCombine(H, std::hash<std::string_view>{}(Key));
+}
+
+uint64_t hashHandler(NodeId Target, ContainerId TargetObject,
+                     std::string_view EventType, uint64_t HandlerId) {
+  uint64_t H = hashCombine(0x33, Target);
+  H = hashCombine(H, TargetObject);
+  H = hashCombine(H, std::hash<std::string_view>{}(EventType));
+  return hashCombine(H, HandlerId);
+}
+
+} // namespace
+
+template <typename EqFn, typename MakeFn>
+LocId LocationInterner::findOrAdd(size_t Hash, EqFn Eq, MakeFn Make) {
+  std::vector<LocId> &Bucket = Buckets[Hash];
+  for (LocId Id : Bucket) {
+    if (Eq(Pool[Id])) {
+      ++Hits;
+      return Id;
+    }
+  }
+  assert(Pool.size() < InvalidLocId && "LocId space exhausted");
+  LocId Id = static_cast<LocId>(Pool.size());
+  Pool.push_back(Make());
+  Bucket.push_back(Id);
+  return Id;
+}
+
+LocId LocationInterner::internVar(ContainerId Container, std::string_view Name) {
+  return findOrAdd(
+      hashVar(Container, Name),
+      [&](const Location &L) {
+        const auto *V = std::get_if<JSVarLoc>(&L);
+        return V && V->Container == Container && V->Name == Name;
+      },
+      [&] { return Location(JSVarLoc{Container, std::string(Name)}); });
+}
+
+LocId LocationInterner::internElem(DocumentId Doc, ElemKeyKind Kind,
+                                   NodeId Node, std::string_view Key) {
+  return findOrAdd(
+      hashElem(Doc, Kind, Node, Key),
+      [&](const Location &L) {
+        const auto *E = std::get_if<HtmlElemLoc>(&L);
+        return E && E->Doc == Doc && E->Kind == Kind && E->Node == Node &&
+               E->Key == Key;
+      },
+      [&] { return Location(HtmlElemLoc{Doc, Kind, Node, std::string(Key)}); });
+}
+
+LocId LocationInterner::internHandler(NodeId Target, ContainerId TargetObject,
+                                      std::string_view EventType,
+                                      uint64_t HandlerId) {
+  return findOrAdd(
+      hashHandler(Target, TargetObject, EventType, HandlerId),
+      [&](const Location &L) {
+        const auto *H = std::get_if<EventHandlerLoc>(&L);
+        return H && H->Target == Target && H->TargetObject == TargetObject &&
+               H->EventType == EventType && H->HandlerId == HandlerId;
+      },
+      [&] {
+        return Location(
+            EventHandlerLoc{Target, TargetObject, std::string(EventType),
+                            HandlerId});
+      });
+}
+
+LocId LocationInterner::intern(const Location &Loc) {
+  if (const auto *V = std::get_if<JSVarLoc>(&Loc))
+    return internVar(V->Container, V->Name);
+  if (const auto *E = std::get_if<HtmlElemLoc>(&Loc))
+    return internElem(E->Doc, E->Kind, E->Node, E->Key);
+  const auto &H = std::get<EventHandlerLoc>(Loc);
+  return internHandler(H.Target, H.TargetObject, H.EventType, H.HandlerId);
+}
+
+void LocationInterner::clear() {
+  Pool.clear();
+  Buckets.clear();
+  Hits = 0;
+}
+
+} // namespace wr

@@ -1,0 +1,93 @@
+//===- mem/LocationInterner.h - Dense ids for logical locations -*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interning for the logical memory locations of Sec. 4. Every distinct
+/// Location is assigned a dense 32-bit LocId the first time it is seen;
+/// the access hot path then carries the id instead of a
+/// variant-of-strings value, so the detector can key its per-location
+/// state by vector index and producers stop allocating a string per
+/// access. Ids are assigned sequentially in first-touch order, which
+/// makes them deterministic for a fixed seed (and identical between an
+/// online run and a replay of its trace, because the trace preserves the
+/// interning order).
+///
+/// The interner provides:
+///  * stable ids - a Location's id never changes for the interner's
+///    lifetime, and resolve() references stay valid (deque storage);
+///  * reverse lookup - resolve(id) returns the full Location for report
+///    rendering;
+///  * pooled string storage - each distinct location's strings are
+///    stored exactly once, and the typed intern fast paths
+///    (internVar/internElem/internHandler) take string_views so a hit
+///    performs no allocation at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_MEM_LOCATIONINTERNER_H
+#define WEBRACER_MEM_LOCATIONINTERNER_H
+
+#include "mem/Location.h"
+
+#include <cassert>
+#include <deque>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wr {
+
+/// Assigns dense ids to logical locations and resolves them back.
+/// LocId itself is declared next to Location in mem/Location.h so that
+/// the access structs do not need this header.
+class LocationInterner {
+public:
+  /// Interns \p Loc (generic path; copies the value on first touch).
+  LocId intern(const Location &Loc);
+
+  /// Typed fast paths: no Location (and no std::string) is constructed
+  /// when the location is already interned.
+  LocId internVar(ContainerId Container, std::string_view Name);
+  LocId internElem(DocumentId Doc, ElemKeyKind Kind, NodeId Node,
+                   std::string_view Key);
+  LocId internHandler(NodeId Target, ContainerId TargetObject,
+                      std::string_view EventType, uint64_t HandlerId);
+
+  /// Reverse lookup. \p Id must be a live id from this interner; the
+  /// reference stays valid for the interner's lifetime.
+  const Location &resolve(LocId Id) const {
+    assert(contains(Id) && "resolve of unknown LocId");
+    return Pool[Id];
+  }
+
+  /// True if \p Id names an interned location.
+  bool contains(LocId Id) const { return Id < Pool.size(); }
+
+  /// Number of distinct locations interned (== the next id assigned).
+  size_t size() const { return Pool.size(); }
+  bool empty() const { return Pool.empty(); }
+
+  /// Intern calls that found an existing id (hot-path effectiveness;
+  /// misses == size()).
+  uint64_t hits() const { return Hits; }
+
+  /// Drops every id and string. Outstanding LocIds become invalid.
+  void clear();
+
+private:
+  template <typename EqFn, typename MakeFn>
+  LocId findOrAdd(size_t Hash, EqFn Eq, MakeFn Make);
+
+  /// Id-indexed storage; deque keeps resolve() references stable.
+  std::deque<Location> Pool;
+  /// Component-hash buckets (chained ids; structural compare on probe).
+  std::unordered_map<uint64_t, std::vector<LocId>> Buckets;
+  uint64_t Hits = 0;
+};
+
+} // namespace wr
+
+#endif // WEBRACER_MEM_LOCATIONINTERNER_H

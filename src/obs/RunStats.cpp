@@ -45,6 +45,9 @@ void RunStats::merge(const RunStats &O) {
   VcChains += O.VcChains;
   AccessesSeen += O.AccessesSeen;
   TrackedLocations += O.TrackedLocations;
+  InternedLocations += O.InternedLocations;
+  InternHits += O.InternHits;
+  EpochHits += O.EpochHits;
   Raw.merge(O.Raw);
   Filtered.merge(O.Filtered);
   Attrition.merge(O.Attrition);
@@ -73,6 +76,9 @@ Json RunStats::toJson() const {
   J.set("vc_chains", VcChains);
   J.set("accesses", AccessesSeen);
   J.set("tracked_locations", TrackedLocations);
+  J.set("interned_locations", InternedLocations);
+  J.set("intern_hits", InternHits);
+  J.set("epoch_hits", EpochHits);
   J.set("races_raw", Raw.toJson());
   J.set("races_filtered", Filtered.toJson());
   J.set("filter_attrition", Attrition.toJson());
@@ -105,6 +111,9 @@ void RunStats::exportTo(MetricsRegistry &Registry,
   C("vc_chains", VcChains);
   C("accesses", AccessesSeen);
   C("tracked_locations", TrackedLocations);
+  C("interned_locations", InternedLocations);
+  C("intern_hits", InternHits);
+  C("epoch_hits", EpochHits);
   C("races_raw.total", Raw.total());
   C("races_raw.variable", Raw.Variable);
   C("races_raw.html", Raw.Html);

@@ -98,6 +98,9 @@ struct RunStats {
   // Detector.
   uint64_t AccessesSeen = 0;
   uint64_t TrackedLocations = 0;
+  uint64_t InternedLocations = 0; ///< Distinct locations in the interner.
+  uint64_t InternHits = 0;        ///< Intern lookups that found an id.
+  uint64_t EpochHits = 0;         ///< HB questions answered without a CHC query.
   RaceCounts Raw;
   RaceCounts Filtered;
   FilterAttrition Attrition;

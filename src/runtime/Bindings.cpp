@@ -136,14 +136,14 @@ public:
 
     // --- State properties -------------------------------------------------
     if (Name == "value") {
-      B.recordAccess(AccessKind::Read, AccessOrigin::FormFieldRead,
-                     JSVarLoc{Browser::domContainer(N), "value"});
+      B.recordVarAccess(AccessKind::Read, AccessOrigin::FormFieldRead,
+                        Browser::domContainer(N), "value");
       Out = Value(E->formValue());
       return true;
     }
     if (Name == "checked") {
-      B.recordAccess(AccessKind::Read, AccessOrigin::FormFieldRead,
-                     JSVarLoc{Browser::domContainer(N), "checked"});
+      B.recordVarAccess(AccessKind::Read, AccessOrigin::FormFieldRead,
+                        Browser::domContainer(N), "checked");
       Out = Value(E->isChecked());
       return true;
     }
@@ -159,15 +159,15 @@ public:
       return true;
     }
     if (Name == "parentNode" || Name == "parentElement") {
-      B.recordAccess(AccessKind::Read, AccessOrigin::Plain,
-                     JSVarLoc{Browser::domContainer(N), "parentNode"});
+      B.recordVarAccess(AccessKind::Read, AccessOrigin::Plain,
+                        Browser::domContainer(N), "parentNode");
       Node *P = E->parent();
       Out = P ? Value(B.wrapperFor(P)) : Value::null();
       return true;
     }
     if (Name == "childNodes" || Name == "children") {
-      B.recordAccess(AccessKind::Read, AccessOrigin::Plain,
-                     JSVarLoc{Browser::domContainer(N), "childNodes"});
+      B.recordVarAccess(AccessKind::Read, AccessOrigin::Plain,
+                        Browser::domContainer(N), "childNodes");
       Object *Arr = I.heap().allocArray();
       for (Node *Child : E->children()) {
         if (Name == "children" && !isa<Element>(Child))
@@ -178,8 +178,8 @@ public:
       return true;
     }
     if (Name == "firstChild" || Name == "lastChild") {
-      B.recordAccess(AccessKind::Read, AccessOrigin::Plain,
-                     JSVarLoc{Browser::domContainer(N), "childNodes"});
+      B.recordVarAccess(AccessKind::Read, AccessOrigin::Plain,
+                        Browser::domContainer(N), "childNodes");
       const auto &Kids = E->children();
       if (Kids.empty())
         Out = Value::null();
@@ -215,8 +215,8 @@ public:
     if (Name == "src" || Name == "href" || Name == "name" ||
         Name == "type" || Name == "title" || Name == "alt" ||
         Name == "rel" || Name == "action" || Name == "method") {
-      B.recordAccess(AccessKind::Read, AccessOrigin::Plain,
-                     JSVarLoc{Browser::domContainer(N), Name});
+      B.recordVarAccess(AccessKind::Read, AccessOrigin::Plain,
+                        Browser::domContainer(N), Name);
       Out = Value(E->getAttribute(Name));
       return true;
     }
@@ -245,8 +245,8 @@ public:
     // on<type> handler slots (Sec. 4.3).
     if (startsWith(Name, "on") && Name.size() > 2) {
       std::string Type = Name.substr(2);
-      B.recordAccess(AccessKind::Read, AccessOrigin::Plain,
-                     EventHandlerLoc{N, 0, Type, 0});
+      B.recordHandlerAccess(AccessKind::Read, AccessOrigin::Plain, N, 0,
+                            Type, 0);
       Out = B.slotHandler(TargetKey{N, 0}, Type);
       return true;
     }
@@ -292,17 +292,15 @@ public:
                      if (AttrName == "value" &&
                          (El->tagName() == "input" ||
                           El->tagName() == "textarea")) {
-                       B2.recordAccess(
+                       B2.recordVarAccess(
                            AccessKind::Write,
                            AccessOrigin::FormFieldWrite,
-                           JSVarLoc{Browser::domContainer(El->id()),
-                                    "value"});
+                           Browser::domContainer(El->id()), "value");
                        El->setFormValue(AttrValue);
                      }
-                     B2.recordAccess(
+                     B2.recordVarAccess(
                          AccessKind::Write, AccessOrigin::Plain,
-                         JSVarLoc{Browser::domContainer(El->id()),
-                                  AttrName});
+                         Browser::domContainer(El->id()), AttrName);
                      El->setAttribute(AttrName, AttrValue);
                      return Completion::normal();
                    });
@@ -319,10 +317,9 @@ public:
                      Browser &B2 = browserOf(Obj);
                      std::string AttrName =
                          toLower(In.toStringValue(arg(A, 0)));
-                     B2.recordAccess(
+                     B2.recordVarAccess(
                          AccessKind::Write, AccessOrigin::Plain,
-                         JSVarLoc{Browser::domContainer(El->id()),
-                                  AttrName});
+                         Browser::domContainer(El->id()), AttrName);
                      El->removeAttribute(AttrName);
                      return Completion::normal();
                    });
@@ -476,22 +473,22 @@ public:
     NodeId N = E->id();
 
     if (Name == "value") {
-      B.recordAccess(AccessKind::Write, AccessOrigin::FormFieldWrite,
-                     JSVarLoc{Browser::domContainer(N), "value"},
-                     "script wrote value");
+      B.recordVarAccess(AccessKind::Write, AccessOrigin::FormFieldWrite,
+                        Browser::domContainer(N), "value",
+                        "script wrote value");
       E->setFormValue(I.toStringValue(V));
       return true;
     }
     if (Name == "checked") {
-      B.recordAccess(AccessKind::Write, AccessOrigin::FormFieldWrite,
-                     JSVarLoc{Browser::domContainer(N), "checked"});
+      B.recordVarAccess(AccessKind::Write, AccessOrigin::FormFieldWrite,
+                        Browser::domContainer(N), "checked");
       E->setChecked(Interpreter::toBoolean(V));
       return true;
     }
     if (Name == "id") {
       std::string NewId = I.toStringValue(V);
-      B.recordAccess(AccessKind::Write, AccessOrigin::Plain,
-                     JSVarLoc{Browser::domContainer(N), "id"});
+      B.recordVarAccess(AccessKind::Write, AccessOrigin::Plain,
+                        Browser::domContainer(N), "id");
       if (E->inDocument()) {
         DocumentId D = E->ownerDocument()->documentId();
         std::string Old = E->idAttr();
@@ -508,8 +505,8 @@ public:
       return true;
     }
     if (Name == "src") {
-      B.recordAccess(AccessKind::Write, AccessOrigin::Plain,
-                     JSVarLoc{Browser::domContainer(N), "src"});
+      B.recordVarAccess(AccessKind::Write, AccessOrigin::Plain,
+                        Browser::domContainer(N), "src");
       E->setAttribute("src", I.toStringValue(V));
       if (E->tagName() == "img") {
         // Setting img.src starts the load even when detached (the classic
@@ -523,8 +520,8 @@ public:
     }
     if (Name == "href" || Name == "className" || Name == "title" ||
         Name == "alt" || Name == "name" || Name == "type") {
-      B.recordAccess(AccessKind::Write, AccessOrigin::Plain,
-                     JSVarLoc{Browser::domContainer(N), Name});
+      B.recordVarAccess(AccessKind::Write, AccessOrigin::Plain,
+                        Browser::domContainer(N), Name);
       E->setAttribute(Name == "className" ? "class" : Name,
                       I.toStringValue(V));
       return true;
@@ -578,9 +575,8 @@ public:
     Element *E = static_cast<Element *>(Self->hostPtr());
     if (startsWith(Name, "__"))
       return false;
-    B.recordAccess(AccessKind::Read, AccessOrigin::Plain,
-                   JSVarLoc{Browser::domContainer(E->id()),
-                            "style." + Name});
+    B.recordVarAccess(AccessKind::Read, AccessOrigin::Plain,
+                      Browser::domContainer(E->id()), "style." + Name);
     Out = Value(E->getAttribute("__style_" + toLower(Name)));
     return true;
   }
@@ -591,9 +587,8 @@ public:
     Element *E = static_cast<Element *>(Self->hostPtr());
     if (startsWith(Name, "__"))
       return false;
-    B.recordAccess(AccessKind::Write, AccessOrigin::Plain,
-                   JSVarLoc{Browser::domContainer(E->id()),
-                            "style." + Name});
+    B.recordVarAccess(AccessKind::Write, AccessOrigin::Plain,
+                      Browser::domContainer(E->id()), "style." + Name);
     E->setAttribute("__style_" + toLower(Name), I.toStringValue(V));
     return true;
   }
@@ -701,8 +696,8 @@ public:
     }
     if (startsWith(Name, "on") && Name.size() > 2) {
       std::string Type = Name.substr(2);
-      B.recordAccess(AccessKind::Read, AccessOrigin::Plain,
-                     EventHandlerLoc{Doc->id(), 0, Type, 0});
+      B.recordHandlerAccess(AccessKind::Read, AccessOrigin::Plain, Doc->id(),
+                            0, Type, 0);
       Out = B.slotHandler(TargetKey{Doc->id(), 0}, Type);
       return true;
     }
@@ -883,9 +878,8 @@ public:
     }
     if (startsWith(Name, "on") && Name.size() > 2) {
       std::string Type = Name.substr(2);
-      B.recordAccess(AccessKind::Read, AccessOrigin::Plain,
-                     EventHandlerLoc{InvalidNodeId,
-                                     Self->containerId(), Type, 0});
+      B.recordHandlerAccess(AccessKind::Read, AccessOrigin::Plain,
+                            InvalidNodeId, Self->containerId(), Type, 0);
       Out = B.slotHandler(TargetKey{InvalidNodeId, Self->containerId()},
                           Type);
       return true;
@@ -940,9 +934,8 @@ public:
     if (Name == "onreadystatechange" || Name == "onload" ||
         Name == "onerror") {
       std::string Type = Name.substr(2);
-      B.recordAccess(AccessKind::Read, AccessOrigin::Plain,
-                     EventHandlerLoc{InvalidNodeId, Self->containerId(),
-                                     Type, 0});
+      B.recordHandlerAccess(AccessKind::Read, AccessOrigin::Plain,
+                            InvalidNodeId, Self->containerId(), Type, 0);
       Out = B.slotHandler(TargetKey{InvalidNodeId, Self->containerId()},
                           Type);
       return true;

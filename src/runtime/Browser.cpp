@@ -127,8 +127,8 @@ void Browser::noteCrash(const std::string &Message) {
 // Memory accesses
 // ---------------------------------------------------------------------------
 
-void Browser::recordAccess(AccessKind Kind, AccessOrigin Origin, Location Loc,
-                           std::string Detail) {
+void Browser::recordAccessId(AccessKind Kind, AccessOrigin Origin, LocId Loc,
+                             std::string Detail) {
   OpId Op = currentOp();
   if (Op == InvalidOpId)
     return; // Host bookkeeping outside any operation.
@@ -136,33 +136,58 @@ void Browser::recordAccess(AccessKind Kind, AccessOrigin Origin, Location Loc,
   A.Kind = Kind;
   A.Origin = Origin;
   A.Op = Op;
-  A.Loc = std::move(Loc);
+  A.Loc = Loc;
   A.Detail = std::move(Detail);
   Sinks.onMemoryAccess(A);
 }
 
-void Browser::onVarRead(js::Env *Scope, const std::string &Name,
+void Browser::recordAccess(AccessKind Kind, AccessOrigin Origin,
+                           const Location &Loc, std::string Detail) {
+  if (currentOp() == InvalidOpId)
+    return; // Host bookkeeping outside any operation; don't intern.
+  LocId Id = announceIntern([&] { return Interner.intern(Loc); });
+  recordAccessId(Kind, Origin, Id, std::move(Detail));
+}
+
+void Browser::recordVarAccess(AccessKind Kind, AccessOrigin Origin,
+                              ContainerId Container, std::string_view Name,
+                              std::string Detail) {
+  if (currentOp() == InvalidOpId)
+    return;
+  LocId Id = announceIntern([&] { return Interner.internVar(Container, Name); });
+  recordAccessId(Kind, Origin, Id, std::move(Detail));
+}
+
+void Browser::recordHandlerAccess(AccessKind Kind, AccessOrigin Origin,
+                                  NodeId Target, ContainerId TargetObject,
+                                  std::string_view EventType,
+                                  uint64_t HandlerId, std::string Detail) {
+  if (currentOp() == InvalidOpId)
+    return;
+  LocId Id = announceIntern([&] {
+    return Interner.internHandler(Target, TargetObject, EventType, HandlerId);
+  });
+  recordAccessId(Kind, Origin, Id, std::move(Detail));
+}
+
+void Browser::onVarRead(js::Env *Scope, std::string_view Name,
                         AccessOrigin Origin) {
-  recordAccess(AccessKind::Read, Origin,
-               JSVarLoc{Scope->containerId(), Name});
+  recordVarAccess(AccessKind::Read, Origin, Scope->containerId(), Name);
 }
 
-void Browser::onVarWrite(js::Env *Scope, const std::string &Name,
+void Browser::onVarWrite(js::Env *Scope, std::string_view Name,
                          AccessOrigin Origin) {
-  recordAccess(AccessKind::Write, Origin,
-               JSVarLoc{Scope->containerId(), Name});
+  recordVarAccess(AccessKind::Write, Origin, Scope->containerId(), Name);
 }
 
-void Browser::onPropRead(js::Object *Obj, const std::string &Name,
+void Browser::onPropRead(js::Object *Obj, std::string_view Name,
                          AccessOrigin Origin) {
-  recordAccess(AccessKind::Read, Origin,
-               JSVarLoc{Obj->containerId(), Name});
+  recordVarAccess(AccessKind::Read, Origin, Obj->containerId(), Name);
 }
 
-void Browser::onPropWrite(js::Object *Obj, const std::string &Name,
+void Browser::onPropWrite(js::Object *Obj, std::string_view Name,
                           AccessOrigin Origin) {
-  recordAccess(AccessKind::Write, Origin,
-               JSVarLoc{Obj->containerId(), Name});
+  recordVarAccess(AccessKind::Write, Origin, Obj->containerId(), Name);
 }
 
 // ---------------------------------------------------------------------------
@@ -224,34 +249,34 @@ void Browser::recordElementInsertion(const std::vector<Element *> &Affected,
                                      bool Inserted) {
   AccessOrigin Origin =
       Inserted ? AccessOrigin::ElemInsert : AccessOrigin::ElemRemove;
+  bool InOp = currentOp() != InvalidOpId;
   for (Element *E : Affected) {
     DocumentId Doc = E->ownerDocument()->documentId();
+    auto ElemWrite = [&](ElemKeyKind K, NodeId N, std::string_view Key,
+                         std::string Detail = std::string()) {
+      if (!InOp)
+        return;
+      LocId Id =
+          announceIntern([&] { return Interner.internElem(Doc, K, N, Key); });
+      recordAccessId(AccessKind::Write, Origin, Id, std::move(Detail));
+    };
     // The element's identity location.
-    recordAccess(AccessKind::Write, Origin,
-                 HtmlElemLoc{Doc, ElemKeyKind::ByNode, E->id(), ""},
-                 "<" + E->tagName() + ">");
+    ElemWrite(ElemKeyKind::ByNode, E->id(), "", "<" + E->tagName() + ">");
     // Id- and tag-keyed locations collide with string lookups (this is
     // what makes a failed getElementById race with later insertion).
     std::string Id = E->idAttr();
     if (!Id.empty())
-      recordAccess(AccessKind::Write, Origin,
-                   HtmlElemLoc{Doc, ElemKeyKind::ById, InvalidNodeId, Id},
-                   "#" + Id);
+      ElemWrite(ElemKeyKind::ById, InvalidNodeId, Id, "#" + Id);
     std::string NameAttr = E->getAttribute("name");
     if (!NameAttr.empty())
-      recordAccess(
-          AccessKind::Write, Origin,
-          HtmlElemLoc{Doc, ElemKeyKind::ByName, InvalidNodeId, NameAttr});
-    recordAccess(AccessKind::Write, Origin,
-                 HtmlElemLoc{Doc, ElemKeyKind::ByTag, InvalidNodeId,
-                             E->tagName()});
+      ElemWrite(ElemKeyKind::ByName, InvalidNodeId, NameAttr);
+    ElemWrite(ElemKeyKind::ByTag, InvalidNodeId, E->tagName());
     // Sec. 4.1 "additional cases": parentNode / childNodes writes.
-    recordAccess(AccessKind::Write, Origin,
-                 JSVarLoc{domContainer(E->id()), "parentNode"});
+    recordVarAccess(AccessKind::Write, Origin, domContainer(E->id()),
+                    "parentNode");
     if (Node *P = E->parent())
-      recordAccess(AccessKind::Write, Origin,
-                   JSVarLoc{domContainer(P->id()),
-                            strFormat("childNodes[%d]", P->indexOf(E))});
+      recordVarAccess(AccessKind::Write, Origin, domContainer(P->id()),
+                      strFormat("childNodes[%d]", P->indexOf(E)));
     registerNode(E);
     if (Inserted && !CreatedBy.count(E->id()) &&
         currentOp() != InvalidOpId)
@@ -261,8 +286,11 @@ void Browser::recordElementInsertion(const std::vector<Element *> &Affected,
 
 void Browser::recordLookup(DocumentId Doc, ElemKeyKind Kind,
                            std::string Key) {
-  recordAccess(AccessKind::Read, AccessOrigin::ElemLookup,
-               HtmlElemLoc{Doc, Kind, InvalidNodeId, std::move(Key)});
+  if (currentOp() == InvalidOpId)
+    return;
+  LocId Id = announceIntern(
+      [&] { return Interner.internElem(Doc, Kind, InvalidNodeId, Key); });
+  recordAccessId(AccessKind::Read, AccessOrigin::ElemLookup, Id);
 }
 
 // ---------------------------------------------------------------------------
@@ -286,9 +314,9 @@ void Browser::addListener(TargetKey Target, const std::string &Type,
   Rec.Capture = Capture;
   ListenerMap[dispatchKeyOf(Target, Type)].Listeners.push_back(
       std::move(Rec));
-  EventHandlerLoc Loc{Target.Node, Target.Object, Type, HandlerId};
-  recordAccess(AccessKind::Write, AccessOrigin::HandlerInstall, Loc,
-               "addEventListener(" + Type + ")");
+  recordHandlerAccess(AccessKind::Write, AccessOrigin::HandlerInstall,
+                      Target.Node, Target.Object, Type, HandlerId,
+                      "addEventListener(" + Type + ")");
 }
 
 void Browser::removeListener(TargetKey Target, const std::string &Type,
@@ -300,10 +328,10 @@ void Browser::removeListener(TargetKey Target, const std::string &Type,
   auto &Listeners = It->second.Listeners;
   for (size_t I = 0; I < Listeners.size(); ++I) {
     if (Listeners[I].Handler.objectOrNull() == F) {
-      EventHandlerLoc Loc{Target.Node, Target.Object, Type,
-                          Listeners[I].HandlerId};
-      recordAccess(AccessKind::Write, AccessOrigin::HandlerRemove, Loc,
-                   "removeEventListener(" + Type + ")");
+      recordHandlerAccess(AccessKind::Write, AccessOrigin::HandlerRemove,
+                          Target.Node, Target.Object, Type,
+                          Listeners[I].HandlerId,
+                          "removeEventListener(" + Type + ")");
       Listeners.erase(Listeners.begin() + static_cast<ptrdiff_t>(I));
       return;
     }
@@ -316,9 +344,9 @@ void Browser::setSlotHandler(TargetKey Target, const std::string &Type,
   TL.Slot = std::move(Handler);
   TL.SlotIsAttrSource = false;
   TL.AttrSource.clear();
-  recordAccess(AccessKind::Write, AccessOrigin::HandlerInstall,
-               EventHandlerLoc{Target.Node, Target.Object, Type, 0},
-               "on" + Type + " = ...");
+  recordHandlerAccess(AccessKind::Write, AccessOrigin::HandlerInstall,
+                      Target.Node, Target.Object, Type, 0,
+                      "on" + Type + " = ...");
 }
 
 void Browser::setSlotHandlerSource(TargetKey Target, const std::string &Type,
@@ -327,9 +355,9 @@ void Browser::setSlotHandlerSource(TargetKey Target, const std::string &Type,
   TL.Slot = js::Value();
   TL.SlotIsAttrSource = true;
   TL.AttrSource = std::move(Source);
-  recordAccess(AccessKind::Write, AccessOrigin::HandlerInstall,
-               EventHandlerLoc{Target.Node, Target.Object, Type, 0},
-               "attr on" + Type);
+  recordHandlerAccess(AccessKind::Write, AccessOrigin::HandlerInstall,
+                      Target.Node, Target.Object, Type, 0,
+                      "attr on" + Type);
 }
 
 js::Value Browser::slotHandler(TargetKey Target, const std::string &Type) {
@@ -392,9 +420,8 @@ OpId Browser::runHandlerOp(TargetKey Target, js::Object *CurrentTargetObj,
     else if (CurrentTargetObj)
       CurrentKey.Object = CurrentTargetObj->containerId();
     ExecutedHandlerKeys.insert(dispatchKeyOf(CurrentKey, Type));
-    recordAccess(AccessKind::Read, AccessOrigin::HandlerFire,
-                 EventHandlerLoc{CurrentKey.Node, CurrentKey.Object, Type,
-                                 HandlerId});
+    recordHandlerAccess(AccessKind::Read, AccessOrigin::HandlerFire,
+                        CurrentKey.Node, CurrentKey.Object, Type, HandlerId);
     js::Value ThisV =
         CurrentTargetObj ? js::Value(CurrentTargetObj) : js::Value::null();
     if (Handler.isString()) {
@@ -451,8 +478,8 @@ Browser::dispatchEvent(TargetKey Target, const std::string &Type,
   runOperation(Begin, [&] {
     // The browser reads the on<type> slot when dispatching - this read is
     // not explicit in any script (Sec. 2.5, Fig. 5).
-    recordAccess(AccessKind::Read, AccessOrigin::HandlerFire,
-                 EventHandlerLoc{Target.Node, Target.Object, Type, 0});
+    recordHandlerAccess(AccessKind::Read, AccessOrigin::HandlerFire,
+                        Target.Node, Target.Object, Type, 0);
   });
 
   // Build the propagation path (capture -> at-target -> bubble).
@@ -884,18 +911,16 @@ void Browser::handleParsedElement(Window &W, Element *E, OpId ParseOp) {
     TargetListeners &TL = ListenerMap[dispatchKeyOf(Key, Type)];
     TL.SlotIsAttrSource = true;
     TL.AttrSource = A.Value;
-    recordAccess(AccessKind::Write, AccessOrigin::HandlerInstall,
-                 EventHandlerLoc{Key.Node, Key.Object, Type, 0},
-                 "attr on" + Type);
+    recordHandlerAccess(AccessKind::Write, AccessOrigin::HandlerInstall,
+                        Key.Node, Key.Object, Type, 0, "attr on" + Type);
   }
 
   // Form fields: the value attribute initializes the field's value.
   if (E->tagName() == "input" || E->tagName() == "textarea") {
     if (E->hasAttribute("value")) {
       E->setFormValue(E->getAttribute("value"));
-      recordAccess(AccessKind::Write, AccessOrigin::FormFieldWrite,
-                   JSVarLoc{domContainer(E->id()), "value"},
-                   "value attribute");
+      recordVarAccess(AccessKind::Write, AccessOrigin::FormFieldWrite,
+                      domContainer(E->id()), "value", "value attribute");
     }
   }
 
@@ -1195,9 +1220,9 @@ void Browser::userType(Element *Target, const std::string &Text) {
   Meta.Label = strFormat("user types into node%u", Target->id());
   OpId Op = newOperation(Meta, {});
   runOperation(Op, [&] {
-    recordAccess(AccessKind::Write, AccessOrigin::UserInput,
-                 JSVarLoc{domContainer(Target->id()), "value"},
-                 "user typed \"" + Text + "\"");
+    recordVarAccess(AccessKind::Write, AccessOrigin::UserInput,
+                    domContainer(Target->id()), "value",
+                    "user typed \"" + Text + "\"");
     Target->setFormValue(Text);
   });
 

@@ -30,6 +30,7 @@
 #include "js/Heap.h"
 #include "js/Interpreter.h"
 #include "js/Parser.h"
+#include "mem/LocationInterner.h"
 #include "obs/PhaseTimer.h"
 #include "runtime/EventLoop.h"
 #include "runtime/Network.h"
@@ -268,18 +269,42 @@ public:
 
   // -- Memory accesses ----------------------------------------------------------
 
-  /// Records a logical memory access attributed to the current operation.
-  void recordAccess(AccessKind Kind, AccessOrigin Origin, Location Loc,
+  /// The browser's location interner: every access the sinks see carries
+  /// an id from this table. Ids are announced to sinks via
+  /// onLocationInterned before their first use.
+  const LocationInterner &interner() const { return Interner; }
+
+  /// Records a logical memory access attributed to the current operation
+  /// (generic path: interns \p Loc first).
+  void recordAccess(AccessKind Kind, AccessOrigin Origin, const Location &Loc,
                     std::string Detail = std::string());
 
+  /// Hot-path variant for (container, name) variable/property locations:
+  /// interns without constructing a Location (or copying the name) when
+  /// the location was seen before. DOM node properties use
+  /// domContainer(N) as the container.
+  void recordVarAccess(AccessKind Kind, AccessOrigin Origin,
+                       ContainerId Container, std::string_view Name,
+                       std::string Detail = std::string());
+
+  /// Records an access to an already-interned location.
+  void recordAccessId(AccessKind Kind, AccessOrigin Origin, LocId Loc,
+                      std::string Detail = std::string());
+
+  /// Hot-path variant for event-handler locations (Sec. 4.3 triples).
+  void recordHandlerAccess(AccessKind Kind, AccessOrigin Origin, NodeId Target,
+                           ContainerId TargetObject, std::string_view EventType,
+                           uint64_t HandlerId,
+                           std::string Detail = std::string());
+
   /// JsHooks implementation (variable/property accesses from MiniJS).
-  void onVarRead(js::Env *Scope, const std::string &Name,
+  void onVarRead(js::Env *Scope, std::string_view Name,
                  AccessOrigin Origin) override;
-  void onVarWrite(js::Env *Scope, const std::string &Name,
+  void onVarWrite(js::Env *Scope, std::string_view Name,
                   AccessOrigin Origin) override;
-  void onPropRead(js::Object *Obj, const std::string &Name,
+  void onPropRead(js::Object *Obj, std::string_view Name,
                   AccessOrigin Origin) override;
-  void onPropWrite(js::Object *Obj, const std::string &Name,
+  void onPropWrite(js::Object *Obj, std::string_view Name,
                    AccessOrigin Origin) override;
 
   /// Synthetic container id for host-modeled DOM node properties
@@ -471,6 +496,16 @@ private:
 
   std::string dispatchKeyOf(TargetKey Target, const std::string &Type) const;
 
+  /// Runs \p Fn (an interner call returning a LocId) and announces the id
+  /// to sinks if the call created it.
+  template <typename InternFn> LocId announceIntern(InternFn &&Fn) {
+    size_t Before = Interner.size();
+    LocId Id = Fn();
+    if (Interner.size() != Before)
+      Sinks.onLocationInterned(Id, Interner.resolve(Id));
+    return Id;
+  }
+
   js::Value wrapperValue(Node *N) {
     js::Object *W = wrapperFor(N);
     return W ? js::Value(W) : js::Value::null();
@@ -484,6 +519,7 @@ private:
   js::Env *GlobalEnv = nullptr;
   std::unique_ptr<js::Interpreter> Interp;
   MultiSink Sinks;
+  LocationInterner Interner;
 
   std::vector<std::unique_ptr<Window>> Windows;
   DocumentId NextDocId = 1;

@@ -8,7 +8,8 @@ using namespace wr::webracer;
 Session::Session(SessionOptions Options) : Opts(Options) {
   B = std::make_unique<rt::Browser>(Opts.Browser);
   B->hb().setUseVectorClocks(Opts.UseVectorClocks);
-  D = std::make_unique<detect::RaceDetector>(B->hb(), Opts.Detector);
+  D = std::make_unique<detect::RaceDetector>(B->hb(), B->interner(),
+                                             Opts.Detector);
   D->setPhaseStats(&B->phaseStats());
   B->addSink(D.get());
   if (Opts.RecordTrace) {
@@ -63,6 +64,9 @@ SessionResult Session::run(const std::string &Url) {
   S.VcChains = Hb.numChains();
   S.AccessesSeen = D->accessesSeen();
   S.TrackedLocations = D->trackedLocations();
+  S.InternedLocations = B->interner().size();
+  S.InternHits = B->interner().hits();
+  S.EpochHits = D->epochHits();
   S.Raw = detect::tally(Result.RawRaces);
   S.Filtered = detect::tally(Result.FilteredRaces);
   S.Attrition = detect::toAttrition(Attrition);

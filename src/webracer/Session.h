@@ -67,18 +67,6 @@ struct SessionResult {
   std::vector<std::string> Crashes;
   std::vector<std::string> Alerts;
   std::vector<std::string> ParseErrors;
-
-  /// Forwarders for the loose counters Stats replaced; kept one PR for
-  /// out-of-tree callers, then removed.
-  [[deprecated("use Stats.Operations")]] size_t operations() const {
-    return Stats.Operations;
-  }
-  [[deprecated("use Stats.HbEdges")]] size_t hbEdges() const {
-    return Stats.HbEdges;
-  }
-  [[deprecated("use Stats.ChcQueries")]] uint64_t chcQueries() const {
-    return Stats.ChcQueries;
-  }
 };
 
 /// One detection run over one page. Construct, register resources on

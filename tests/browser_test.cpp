@@ -27,7 +27,7 @@ protected:
 
   void reset(BrowserOptions Opts) {
     B = std::make_unique<Browser>(Opts);
-    D = std::make_unique<RaceDetector>(B->hb());
+    D = std::make_unique<RaceDetector>(B->hb(), B->interner());
     B->addSink(D.get());
   }
 

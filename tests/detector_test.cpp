@@ -28,7 +28,7 @@ protected:
     A.Kind = Kind;
     A.Op = Op;
     A.Origin = Origin;
-    A.Loc = JSVarLoc{0, Name};
+    A.Loc = Interner.internVar(0, Name);
     return A;
   }
 
@@ -42,11 +42,12 @@ protected:
   }
 
   HbGraph Hb;
+  LocationInterner Interner;
 };
 
 TEST_F(DetectorTest, WriteThenUnorderedReadRaces) {
   OpId A = op(), B = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(write(A, "x"));
   D.onMemoryAccess(read(B, "x"));
   ASSERT_EQ(D.races().size(), 1u);
@@ -58,7 +59,7 @@ TEST_F(DetectorTest, WriteThenUnorderedReadRaces) {
 TEST_F(DetectorTest, WriteThenOrderedReadDoesNotRace) {
   OpId A = op(), B = op();
   edge(A, B);
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(write(A, "x"));
   D.onMemoryAccess(read(B, "x"));
   EXPECT_TRUE(D.races().empty());
@@ -66,7 +67,7 @@ TEST_F(DetectorTest, WriteThenOrderedReadDoesNotRace) {
 
 TEST_F(DetectorTest, ReadThenUnorderedWriteRaces) {
   OpId A = op(), B = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(read(A, "x"));
   D.onMemoryAccess(write(B, "x"));
   ASSERT_EQ(D.races().size(), 1u);
@@ -75,7 +76,7 @@ TEST_F(DetectorTest, ReadThenUnorderedWriteRaces) {
 
 TEST_F(DetectorTest, WriteWriteRaces) {
   OpId A = op(), B = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(write(A, "x"));
   D.onMemoryAccess(write(B, "x"));
   ASSERT_EQ(D.races().size(), 1u);
@@ -83,7 +84,7 @@ TEST_F(DetectorTest, WriteWriteRaces) {
 
 TEST_F(DetectorTest, ReadReadNeverRaces) {
   OpId A = op(), B = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(read(A, "x"));
   D.onMemoryAccess(read(B, "x"));
   EXPECT_TRUE(D.races().empty());
@@ -91,7 +92,7 @@ TEST_F(DetectorTest, ReadReadNeverRaces) {
 
 TEST_F(DetectorTest, SameOperationNeverRaces) {
   OpId A = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(write(A, "x"));
   D.onMemoryAccess(write(A, "x"));
   D.onMemoryAccess(read(A, "x"));
@@ -100,7 +101,7 @@ TEST_F(DetectorTest, SameOperationNeverRaces) {
 
 TEST_F(DetectorTest, BottomSlotsNeverRace) {
   OpId A = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   // First-ever access to a location: LastRead/LastWrite are ⊥.
   D.onMemoryAccess(read(A, "x"));
   D.onMemoryAccess(write(A, "y"));
@@ -109,7 +110,7 @@ TEST_F(DetectorTest, BottomSlotsNeverRace) {
 
 TEST_F(DetectorTest, DistinctLocationsIndependent) {
   OpId A = op(), B = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(write(A, "x"));
   D.onMemoryAccess(read(B, "y"));
   EXPECT_TRUE(D.races().empty());
@@ -117,7 +118,7 @@ TEST_F(DetectorTest, DistinctLocationsIndependent) {
 
 TEST_F(DetectorTest, OnePerLocationDedup) {
   OpId A = op(), B = op(), C = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(write(A, "x"));
   D.onMemoryAccess(read(B, "x"));
   D.onMemoryAccess(read(C, "x")); // Second race on same location.
@@ -128,7 +129,7 @@ TEST_F(DetectorTest, OnePerLocationDisabled) {
   OpId A = op(), B = op(), C = op();
   DetectorOptions Opts;
   Opts.OnePerLocation = false;
-  RaceDetector D(Hb, Opts);
+  RaceDetector D(Hb, Interner, Opts);
   D.onMemoryAccess(write(A, "x"));
   D.onMemoryAccess(read(B, "x"));
   D.onMemoryAccess(read(C, "x"));
@@ -140,7 +141,7 @@ TEST_F(DetectorTest, SlotOverwriteLosesHistory) {
   // with 1 -> 2; the single-slot detector misses the 2-3 race.
   OpId O1 = op(), O2 = op(), O3 = op();
   edge(O1, O2);
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(read(O3, "e"));
   D.onMemoryAccess(read(O1, "e")); // Overwrites O3 in LastRead.
   D.onMemoryAccess(write(O2, "e"));
@@ -152,7 +153,7 @@ TEST_F(DetectorTest, FullHistoryCatchesSlotOverwrite) {
   edge(O1, O2);
   DetectorOptions Opts;
   Opts.HistoryMode = DetectorOptions::Mode::FullHistory;
-  RaceDetector D(Hb, Opts);
+  RaceDetector D(Hb, Interner, Opts);
   D.onMemoryAccess(read(O3, "e"));
   D.onMemoryAccess(read(O1, "e"));
   D.onMemoryAccess(write(O2, "e"));
@@ -165,8 +166,8 @@ TEST_F(DetectorTest, FullHistoryAgreesOnSimpleCases) {
   OpId A = op(), B = op();
   DetectorOptions Opts;
   Opts.HistoryMode = DetectorOptions::Mode::FullHistory;
-  RaceDetector Full(Hb, Opts);
-  RaceDetector Slot(Hb);
+  RaceDetector Full(Hb, Interner, Opts);
+  RaceDetector Slot(Hb, Interner);
   for (RaceDetector *D : {&Full, &Slot}) {
     D->onMemoryAccess(write(A, "x"));
     D->onMemoryAccess(read(B, "x"));
@@ -176,7 +177,7 @@ TEST_F(DetectorTest, FullHistoryAgreesOnSimpleCases) {
 
 TEST_F(DetectorTest, FunctionDeclClassification) {
   OpId A = op(), B = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(write(A, "f", AccessOrigin::FunctionDecl));
   D.onMemoryAccess(read(B, "f", AccessOrigin::FunctionCall));
   ASSERT_EQ(D.races().size(), 1u);
@@ -185,12 +186,12 @@ TEST_F(DetectorTest, FunctionDeclClassification) {
 
 TEST_F(DetectorTest, HtmlClassification) {
   OpId A = op(), B = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   Access W;
   W.Kind = AccessKind::Write;
   W.Op = A;
   W.Origin = AccessOrigin::ElemInsert;
-  W.Loc = HtmlElemLoc{1, ElemKeyKind::ById, InvalidNodeId, "dw"};
+  W.Loc = Interner.intern(HtmlElemLoc{1, ElemKeyKind::ById, InvalidNodeId, "dw"});
   Access R;
   R.Kind = AccessKind::Read;
   R.Op = B;
@@ -204,12 +205,12 @@ TEST_F(DetectorTest, HtmlClassification) {
 
 TEST_F(DetectorTest, EventDispatchClassification) {
   OpId A = op(), B = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   Access W;
   W.Kind = AccessKind::Write;
   W.Op = A;
   W.Origin = AccessOrigin::HandlerInstall;
-  W.Loc = EventHandlerLoc{5, 0, "load", 0};
+  W.Loc = Interner.intern(EventHandlerLoc{5, 0, "load", 0});
   Access R = W;
   R.Kind = AccessKind::Read;
   R.Op = B;
@@ -222,7 +223,7 @@ TEST_F(DetectorTest, EventDispatchClassification) {
 
 TEST_F(DetectorTest, PriorReadFlagOnSecondWrite) {
   OpId A = op(), B = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(write(A, "v", AccessOrigin::FormFieldWrite));
   D.onMemoryAccess(read(B, "v", AccessOrigin::FormFieldRead));
   // B reads v, then writes it: the guarded-write shape.
@@ -235,14 +236,14 @@ TEST_F(DetectorTest, PriorReadFlagOnSecondWrite) {
   HbGraph Hb2;
   OpId A2 = Hb2.addOperation(Operation());
   OpId B2 = Hb2.addOperation(Operation());
-  RaceDetector D2(Hb2, Opts);
+  RaceDetector D2(Hb2, Interner, Opts);
   auto Mk = [&](AccessKind Kind, OpId Op) {
     Access Acc;
     Acc.Kind = Kind;
     Acc.Op = Op;
     Acc.Origin = Kind == AccessKind::Read ? AccessOrigin::FormFieldRead
                                           : AccessOrigin::FormFieldWrite;
-    Acc.Loc = JSVarLoc{0, "v"};
+    Acc.Loc = Interner.internVar(0, "v");
     return Acc;
   };
   D2.onMemoryAccess(Mk(AccessKind::Write, A2));
@@ -260,7 +261,7 @@ TEST_F(DetectorTest, PriorReadFlagOnFirstWrite) {
   // must still see the guard flag (the Sec. 5.3 refinement applies to
   // whichever side wrote after reading).
   OpId A = op(), B = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(read(A, "v", AccessOrigin::FormFieldRead));
   D.onMemoryAccess(write(A, "v", AccessOrigin::FormFieldWrite));
   D.onMemoryAccess(write(B, "v", AccessOrigin::UserInput));
@@ -270,7 +271,7 @@ TEST_F(DetectorTest, PriorReadFlagOnFirstWrite) {
 
 TEST_F(DetectorTest, CountByKind) {
   OpId A = op(), B = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(write(A, "x"));
   D.onMemoryAccess(read(B, "x"));
   D.onMemoryAccess(write(A, "f", AccessOrigin::FunctionDecl));
@@ -282,7 +283,7 @@ TEST_F(DetectorTest, CountByKind) {
 
 TEST_F(DetectorTest, ChcQueriesCounted) {
   OpId A = op(), B = op();
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(write(A, "x"));
   EXPECT_EQ(D.chcQueries(), 0u); // ⊥ slot: no query needed... but the
   // map lookup finds nothing, so no CHC call either.
@@ -295,7 +296,7 @@ TEST_F(DetectorTest, TrackedLocationsIsUnionOfSlots) {
   // count is the union of the read slots, write slots, and history map.
   OpId A = op(), B = op();
   edge(A, B);
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   EXPECT_EQ(D.trackedLocations(), 0u);
   D.onMemoryAccess(write(A, "x"));
   EXPECT_EQ(D.trackedLocations(), 1u);
@@ -311,11 +312,62 @@ TEST_F(DetectorTest, TrackedLocationsFullHistoryMode) {
   OpId A = op(), B = op();
   DetectorOptions Opts;
   Opts.HistoryMode = DetectorOptions::Mode::FullHistory;
-  RaceDetector D(Hb, Opts);
+  RaceDetector D(Hb, Interner, Opts);
   D.onMemoryAccess(write(A, "x"));
   D.onMemoryAccess(read(B, "x"));
   D.onMemoryAccess(read(B, "y"));
   EXPECT_EQ(D.trackedLocations(), 2u);
+}
+
+TEST_F(DetectorTest, PairCacheAnswersRepeatedPairsAcrossLocations) {
+  OpId A = op(), B = op();
+  DetectorOptions Opts;
+  Opts.OnePerLocation = false;
+  RaceDetector D(Hb, Interner, Opts);
+  D.onMemoryAccess(write(A, "x"));
+  D.onMemoryAccess(read(B, "x"));
+  EXPECT_EQ(D.chcQueries(), 1u);
+  EXPECT_EQ(D.races().size(), 1u);
+  // The same (A, B) question on another location hits the pair cache -
+  // no new oracle query, but the race is still reported.
+  D.onMemoryAccess(write(A, "y"));
+  D.onMemoryAccess(read(B, "y"));
+  EXPECT_EQ(D.chcQueries(), 1u);
+  EXPECT_GT(D.epochHits(), 0u);
+  EXPECT_EQ(D.races().size(), 2u);
+}
+
+TEST_F(DetectorTest, ReportedLocationSkipsOracleEntirely) {
+  OpId A = op(), B = op(), C = op();
+  RaceDetector D(Hb, Interner);
+  D.onMemoryAccess(write(A, "x"));
+  D.onMemoryAccess(read(B, "x"));
+  ASSERT_EQ(D.races().size(), 1u);
+  uint64_t Queries = D.chcQueries();
+  // One-per-location already fired: later accesses to x can't change
+  // any output, so no ordering question reaches the oracle.
+  D.onMemoryAccess(read(C, "x"));
+  D.onMemoryAccess(write(C, "x"));
+  EXPECT_EQ(D.chcQueries(), Queries);
+  EXPECT_GT(D.epochHits(), 0u);
+  EXPECT_EQ(D.races().size(), 1u);
+}
+
+TEST_F(DetectorTest, SlotEpochCacheAnswersSameOpRecheck) {
+  OpId A = op(), B = op();
+  edge(A, B); // Ordered: the verdict is "not concurrent".
+  DetectorOptions Opts;
+  Opts.OnePerLocation = false;
+  RaceDetector D(Hb, Interner, Opts);
+  D.onMemoryAccess(write(A, "x"));
+  D.onMemoryAccess(read(B, "x"));
+  uint64_t Queries = D.chcQueries();
+  // B reads x again: LastWrite slot still holds A and was just checked
+  // against B, so the slot's epoch verdict answers without the cache map.
+  D.onMemoryAccess(read(B, "x"));
+  EXPECT_EQ(D.chcQueries(), Queries);
+  EXPECT_GT(D.epochHits(), 0u);
+  EXPECT_TRUE(D.races().empty());
 }
 
 TEST_F(DetectorTest, DiamondOrderingSuppressesRace) {
@@ -324,7 +376,7 @@ TEST_F(DetectorTest, DiamondOrderingSuppressesRace) {
   edge(A, C);
   edge(B, D2);
   edge(C, D2);
-  RaceDetector D(Hb);
+  RaceDetector D(Hb, Interner);
   D.onMemoryAccess(write(A, "x"));
   D.onMemoryAccess(read(D2, "x")); // Ordered through either branch.
   EXPECT_TRUE(D.races().empty());

@@ -18,11 +18,9 @@ Race makeRace(RaceKind Kind, Location Loc, AccessOrigin FirstOrigin,
   R.First.Kind = AccessKind::Write;
   R.First.Origin = FirstOrigin;
   R.First.Op = 1;
-  R.First.Loc = Loc;
   R.Second.Kind = AccessKind::Read;
   R.Second.Origin = SecondOrigin;
   R.Second.Op = 2;
-  R.Second.Loc = Loc;
   R.WriteHadPriorReadInOp = GuardedWrite;
   return R;
 }

@@ -30,11 +30,11 @@ public:
   }
 };
 
-Access someAccess() {
+Access someAccess(LocationInterner &Interner) {
   Access A;
   A.Kind = AccessKind::Write;
   A.Op = 1;
-  A.Loc = JSVarLoc{0, "x"};
+  A.Loc = Interner.intern(JSVarLoc{0, "x"});
   return A;
 }
 
@@ -46,7 +46,8 @@ TEST(MultiSinkTest, FansOutInOrder) {
   Operation Meta;
   Multi.onOperationCreated(1, Meta);
   Multi.onOperationBegin(1);
-  Multi.onMemoryAccess(someAccess());
+  LocationInterner Interner;
+  Multi.onMemoryAccess(someAccess(Interner));
   Multi.onHbEdge(1, 2, HbRule::RProgram);
   Multi.onEventDispatch(3, 0, "click", 0, 4, 5);
   Multi.onOperationEnd(1, true);
@@ -77,7 +78,7 @@ TEST(TraceLogTest, RecordsEverything) {
   Meta.Label = "exe <script>";
   Trace.onOperationCreated(1, Meta);
   Trace.onOperationBegin(1);
-  Trace.onMemoryAccess(someAccess());
+  Trace.onMemoryAccess(someAccess(Trace.interner()));
   Trace.onHbEdge(1, 2, HbRule::R16_SetTimeout);
   Trace.onEventDispatch(7, 0, "load", 0, 3, 4);
   Trace.onOperationEnd(1, false);
@@ -95,7 +96,7 @@ TEST(TraceLogTest, ToStringIsReadable) {
   Meta.Label = "cb(timer 1)";
   Trace.onOperationCreated(9, Meta);
   Trace.onHbEdge(3, 9, HbRule::R16_SetTimeout);
-  Trace.onMemoryAccess(someAccess());
+  Trace.onMemoryAccess(someAccess(Trace.interner()));
   Trace.onOperationEnd(9, true);
   std::string Text = Trace.toString();
   EXPECT_NE(Text.find("op 9 created: cb cb(timer 1)"), std::string::npos);

@@ -25,7 +25,7 @@ protected:
 
   void reset(BrowserOptions Opts) {
     B = std::make_unique<Browser>(Opts);
-    D = std::make_unique<RaceDetector>(B->hb());
+    D = std::make_unique<RaceDetector>(B->hb(), B->interner());
     B->addSink(D.get());
   }
 
@@ -208,7 +208,7 @@ TEST_F(IntegrationTest, HbRacesInvariantAcrossJitterSeeds) {
     BrowserOptions Opts;
     Opts.Seed = Seed;
     Browser B2(Opts);
-    RaceDetector D2(B2.hb());
+    RaceDetector D2(B2.hb(), B2.interner());
     B2.addSink(&D2);
     B2.network().addResource("index.html",
                              "<iframe src=\"a.html\"></iframe>"

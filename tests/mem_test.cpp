@@ -1,10 +1,12 @@
 //===- tests/mem_test.cpp - logical memory location tests ----------------------===//
 
 #include "mem/Location.h"
+#include "mem/LocationInterner.h"
 
 #include <gtest/gtest.h>
 
 #include <unordered_set>
+#include <vector>
 
 using namespace wr;
 
@@ -102,6 +104,86 @@ TEST(LocationTest, DocumentsSeparateLocations) {
   Location D1 = HtmlElemLoc{1, ElemKeyKind::ById, InvalidNodeId, "x"};
   Location D2 = HtmlElemLoc{2, ElemKeyKind::ById, InvalidNodeId, "x"};
   EXPECT_NE(D1, D2);
+}
+
+TEST(LocationInternerTest, IdsAreStableAndDense) {
+  LocationInterner I;
+  LocId X = I.intern(JSVarLoc{0, "x"});
+  LocId Y = I.intern(JSVarLoc{0, "y"});
+  LocId E = I.intern(HtmlElemLoc{1, ElemKeyKind::ById, InvalidNodeId, "x"});
+  EXPECT_EQ(X, 0u);
+  EXPECT_EQ(Y, 1u);
+  EXPECT_EQ(E, 2u);
+  EXPECT_EQ(I.size(), 3u);
+  // Re-interning an existing location returns the original id and counts
+  // as a hit, never a new entry.
+  EXPECT_EQ(I.intern(JSVarLoc{0, "x"}), X);
+  EXPECT_EQ(I.intern(JSVarLoc{0, "y"}), Y);
+  EXPECT_EQ(I.size(), 3u);
+  EXPECT_EQ(I.hits(), 2u);
+}
+
+TEST(LocationInternerTest, ResolveRoundTrips) {
+  LocationInterner I;
+  std::vector<Location> Locs = {
+      JSVarLoc{0, "x"},
+      JSVarLoc{domContainerId(7), "value"},
+      HtmlElemLoc{1, ElemKeyKind::ById, InvalidNodeId, "dw"},
+      HtmlElemLoc{2, ElemKeyKind::ByNode, 9, ""},
+      EventHandlerLoc{5, 0, "load", 0},
+      EventHandlerLoc{InvalidNodeId, 33, "readystatechange", 2},
+  };
+  std::vector<LocId> Ids;
+  for (const Location &L : Locs)
+    Ids.push_back(I.intern(L));
+  for (size_t K = 0; K < Locs.size(); ++K) {
+    ASSERT_TRUE(I.contains(Ids[K]));
+    EXPECT_EQ(I.resolve(Ids[K]), Locs[K]);
+  }
+  EXPECT_FALSE(I.contains(static_cast<LocId>(Locs.size())));
+  EXPECT_FALSE(I.contains(InvalidLocId));
+}
+
+TEST(LocationInternerTest, TypedFastPathsAgreeWithGenericIntern) {
+  LocationInterner A, B;
+  EXPECT_EQ(A.internVar(42, "f"), B.intern(JSVarLoc{42, "f"}));
+  EXPECT_EQ(A.internElem(1, ElemKeyKind::ByTag, InvalidNodeId, "img"),
+            B.intern(HtmlElemLoc{1, ElemKeyKind::ByTag, InvalidNodeId,
+                                 "img"}));
+  EXPECT_EQ(A.internHandler(5, 0, "click", 9),
+            B.intern(EventHandlerLoc{5, 0, "click", 9}));
+  // Cross-probing: the typed path finds entries the generic path added.
+  EXPECT_EQ(B.internVar(42, "f"), 0u);
+  EXPECT_EQ(B.hits(), 1u);
+}
+
+TEST(LocationInternerTest, SameSequenceSameIdsAcrossInstances) {
+  // Determinism across sessions: ids are a pure function of first-touch
+  // order, so two interners fed the same sequence agree exactly.
+  auto Feed = [](LocationInterner &I) {
+    std::vector<LocId> Ids;
+    Ids.push_back(I.internVar(0, "a"));
+    Ids.push_back(I.internElem(1, ElemKeyKind::ById, InvalidNodeId, "x"));
+    Ids.push_back(I.internVar(0, "a")); // Repeat.
+    Ids.push_back(I.internHandler(3, 0, "load", 1));
+    Ids.push_back(I.internVar(0, "b"));
+    return Ids;
+  };
+  LocationInterner I1, I2;
+  EXPECT_EQ(Feed(I1), Feed(I2));
+  EXPECT_EQ(I1.size(), I2.size());
+  EXPECT_EQ(I1.hits(), I2.hits());
+}
+
+TEST(LocationInternerTest, ClearResetsEverything) {
+  LocationInterner I;
+  I.internVar(0, "x");
+  I.internVar(0, "x");
+  I.clear();
+  EXPECT_EQ(I.size(), 0u);
+  EXPECT_TRUE(I.empty());
+  EXPECT_EQ(I.hits(), 0u);
+  EXPECT_EQ(I.internVar(0, "z"), 0u); // Ids restart from zero.
 }
 
 TEST(LocationTest, AccessKindAndOriginNames) {

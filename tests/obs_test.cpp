@@ -167,6 +167,10 @@ RunStats sampleStats(uint64_t Scale) {
   S.HbEdgesByRule = {{"rule A", 2 * Scale}, {"rule B", 3 * Scale}};
   S.ChcQueries = 5 * Scale;
   S.AccessesSeen = 7 * Scale;
+  S.TrackedLocations = 4 * Scale;
+  S.InternedLocations = 6 * Scale;
+  S.InternHits = 8 * Scale;
+  S.EpochHits = 9 * Scale;
   S.Raw.Variable = Scale;
   S.Filtered.Html = Scale;
   S.Attrition.Input = Scale;
@@ -183,6 +187,10 @@ TEST(RunStatsTest, MergeSumsEveryField) {
   EXPECT_EQ(A.HbEdges, 60u);
   EXPECT_EQ(A.ChcQueries, 15u);
   EXPECT_EQ(A.AccessesSeen, 21u);
+  EXPECT_EQ(A.TrackedLocations, 12u);
+  EXPECT_EQ(A.InternedLocations, 18u);
+  EXPECT_EQ(A.InternHits, 24u);
+  EXPECT_EQ(A.EpochHits, 27u);
   EXPECT_EQ(A.Raw.Variable, 3u);
   EXPECT_EQ(A.Filtered.Html, 3u);
   EXPECT_EQ(A.Attrition.Input, 3u);
@@ -229,6 +237,9 @@ TEST(RunStatsTest, ExportToRegistry) {
   S.exportTo(Reg, "wr");
   EXPECT_EQ(Reg.counter("wr.operations").value(), 20u);
   EXPECT_EQ(Reg.counter("wr.races_raw.variable").value(), 2u);
+  EXPECT_EQ(Reg.counter("wr.interned_locations").value(), 12u);
+  EXPECT_EQ(Reg.counter("wr.intern_hits").value(), 16u);
+  EXPECT_EQ(Reg.counter("wr.epoch_hits").value(), 18u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -151,6 +151,81 @@ TEST(TraceSerdeTest, RejectsOutOfRangeEnums) {
   EXPECT_FALSE(Error.empty());
 }
 
+TEST(TraceSerdeTest, RejectsCorruptLocationTable) {
+  TraceLog Log;
+  Access A;
+  A.Kind = AccessKind::Write;
+  A.Op = 1;
+  A.Loc = Log.interner().intern(JSVarLoc{0, "x"});
+  Log.onMemoryAccess(A);
+  A.Loc = Log.interner().intern(JSVarLoc{0, "y"});
+  Log.onMemoryAccess(A);
+  std::string Bytes = Log.serialize();
+  ASSERT_EQ(Bytes.compare(0, 4, "WRT2"), 0);
+
+  // Make the second table entry a byte-duplicate of the first: the
+  // decoder must refuse a table whose entries do not intern to their own
+  // index.
+  size_t YPos = Bytes.find('y');
+  ASSERT_NE(YPos, std::string::npos);
+  std::string Dup = Bytes;
+  Dup[YPos] = 'x';
+  TraceLog Out;
+  Out.onOperationBegin(99);
+  std::string Error;
+  EXPECT_FALSE(TraceLog::deserialize(Dup, Out, &Error));
+  EXPECT_NE(Error.find("duplicate location"), std::string::npos) << Error;
+  EXPECT_TRUE(Out.empty());
+
+  // Shrink the declared entry count: the table and event stream shear
+  // against each other and decoding must fail, not misattribute bytes.
+  std::string Short = Bytes;
+  ASSERT_EQ(Short[4], 2); // Varint location count.
+  Short[4] = 1;
+  EXPECT_FALSE(TraceLog::deserialize(Short, Out, &Error));
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(TraceSerdeTest, LegacyWrt1RoundTripsWithIdenticalIds) {
+  Session S(recordingOptions());
+  registerFig1(S.network());
+  S.run("index.html");
+  const TraceLog &Log = *S.trace();
+  std::string Legacy = Log.serializeLegacyWrt1();
+  ASSERT_EQ(Legacy.compare(0, 4, "WRT1"), 0);
+
+  TraceLog Out;
+  std::string Error;
+  ASSERT_TRUE(TraceLog::deserialize(Legacy, Out, &Error)) << Error;
+  ASSERT_EQ(Out.size(), Log.size());
+  // WRT1 carries no ids: re-interning its inline locations in stream
+  // order (first-touch order) must reproduce the online ids exactly,
+  // which expectEventsEqual checks through Mem.Loc.
+  for (size_t I = 0; I < Log.size(); ++I)
+    expectEventsEqual(Log.events()[I], Out.events()[I]);
+  EXPECT_EQ(Out.interner().size(), Log.interner().size());
+  // And re-encoding in the current format reproduces the WRT2 bytes.
+  EXPECT_EQ(Out.serialize(), Log.serialize());
+}
+
+TEST(TraceReplayTest, LegacyWrt1ReplayMatchesOnlineRun) {
+  Session S(recordingOptions());
+  registerFig1(S.network());
+  SessionResult Online = S.run("index.html");
+  TraceLog Decoded;
+  ASSERT_TRUE(
+      TraceLog::deserialize(S.trace()->serializeLegacyWrt1(), Decoded));
+  detect::ReplayResult Offline = detect::replayTrace(Decoded);
+  EXPECT_EQ(detect::describeRaces(Offline.RawRaces, Offline.Hb),
+            detect::describeRaces(Online.RawRaces, S.browser().hb()));
+  EXPECT_EQ(detect::describeRaces(Offline.FilteredRaces, Offline.Hb),
+            detect::describeRaces(Online.FilteredRaces, S.browser().hb()));
+  EXPECT_EQ(Offline.Stats.ChcQueries, Online.Stats.ChcQueries);
+  EXPECT_EQ(Offline.Stats.EpochHits, Online.Stats.EpochHits);
+  EXPECT_EQ(Offline.Stats.InternedLocations,
+            Online.Stats.InternedLocations);
+}
+
 TEST(TraceReplayTest, GraphReconstructionMatchesOnline) {
   Session S(recordingOptions());
   registerFig1(S.network());
@@ -178,10 +253,16 @@ TEST(TraceReplayTest, ReplayIsByteIdenticalToOnlineRun) {
   SessionResult Online = S.run("index.html");
 
   detect::ReplayResult Offline = detect::replayTrace(*S.trace());
-  EXPECT_EQ(Offline.Operations, Online.Stats.Operations);
-  EXPECT_EQ(Offline.HbEdges, Online.Stats.HbEdges);
-  EXPECT_EQ(Offline.ChcQueries, Online.Stats.ChcQueries);
-  EXPECT_EQ(Offline.Crashes, Online.Crashes.size());
+  EXPECT_EQ(Offline.Stats.Operations, Online.Stats.Operations);
+  EXPECT_EQ(Offline.Stats.HbEdges, Online.Stats.HbEdges);
+  EXPECT_EQ(Offline.Stats.ChcQueries, Online.Stats.ChcQueries);
+  EXPECT_EQ(Offline.Stats.Crashes, Online.Crashes.size());
+  EXPECT_EQ(Offline.Stats.AccessesSeen, Online.Stats.AccessesSeen);
+  EXPECT_EQ(Offline.Stats.TrackedLocations, Online.Stats.TrackedLocations);
+  EXPECT_EQ(Offline.Stats.InternedLocations,
+            Online.Stats.InternedLocations);
+  EXPECT_EQ(Offline.Stats.InternHits, Online.Stats.InternHits);
+  EXPECT_EQ(Offline.Stats.EpochHits, Online.Stats.EpochHits);
 
   // The reports - raw and filtered - must be byte-identical.
   EXPECT_EQ(detect::describeRaces(Offline.RawRaces, Offline.Hb),

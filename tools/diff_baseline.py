@@ -4,7 +4,8 @@
 Usage: diff_baseline.py BASELINE.json CURRENT.json
 
 Compares the deterministic headline counters (site count, aggregate
-operations / HB edges / CHC queries, raw and filtered race totals per
+operations / HB edges / CHC queries, intern and epoch fast-path hit
+counters, detect-phase virtual time, raw and filtered race totals per
 kind, filter attrition) and prints one line per drifted counter. The
 diff is WARN-ONLY: drift exits 0 so CI surfaces it without failing the
 build (counters legitimately move when the corpus or detector changes;
@@ -20,6 +21,12 @@ HEADLINE_PATHS = [
     ("aggregate", "hb_edges"),
     ("aggregate", "chc_queries"),
     ("aggregate", "accesses"),
+    ("aggregate", "tracked_locations"),
+    ("aggregate", "interned_locations"),
+    ("aggregate", "intern_hits"),
+    ("aggregate", "epoch_hits"),
+    ("aggregate", "phases", "detect", "virtual_us"),
+    ("aggregate", "phases", "detect", "entries"),
     ("aggregate", "races_raw", "total"),
     ("aggregate", "races_raw", "html"),
     ("aggregate", "races_raw", "function"),
