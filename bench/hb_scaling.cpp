@@ -1,0 +1,388 @@
+//===- bench/hb_scaling.cpp - HB index scaling gate ----------------------------===//
+//
+// The scalability wall the paper defers to future work (Sec. 5.2.1) is the
+// cost of the happens-before oracle itself: an eager per-operation
+// watermark vector is O(ops x chains) time and memory. This harness pins
+// the arena-backed, copy-on-write clock index against that wall on
+// synthetic web-execution-shaped pages at growing operation counts
+// (1k/10k/50k ops), recording build time, clock bytes, and query counts,
+// and HARD-FAILS when either gate breaks:
+//
+//   * clock memory must be at least 60% below the eager full-copy
+//     representation (measured against a faithful reimplementation of the
+//     pre-arena builder run over the identical DAG), and
+//   * index build time must not regress against that full-copy builder
+//     (1.25x headroom absorbs CI timer noise; the arena build is
+//     typically several times faster).
+//
+// It also replays a corpus slice under both reachability strategies and
+// requires byte-identical race descriptions - the memory optimization is
+// only admissible if detection output is bit-for-bit unchanged.
+//
+// Usage: hb_scaling [--quick] [report.json]
+//
+//   --quick        1k/10k ops only (the tier-1 CI configuration)
+//   report.json    write the schema-1 report document
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Report.h"
+#include "hb/HbGraph.h"
+#include "obs/Json.h"
+#include "obs/Reporter.h"
+#include "sites/Corpus.h"
+#include "sites/CorpusRunner.h"
+#include "support/Rng.h"
+#include "webracer/Session.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace wr;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Builds a web-like DAG: a main parse chain, periodic dispatch chains
+/// that fork off a random creator, and a fraction of fully concurrent
+/// operations (user events). Mirrors bench/ablation_hb_repr.
+void buildWebDag(HbGraph &G, size_t N, Rng &R) {
+  Operation Meta;
+  OpId ChainTail = G.addOperation(Meta);
+  std::vector<OpId> All = {ChainTail};
+  while (G.numOperations() < N) {
+    double P = R.nextDouble();
+    if (P < 0.6) {
+      OpId Next = G.addOperation(Meta);
+      G.addEdge(ChainTail, Next, HbRule::R1a_ParseOrder);
+      ChainTail = Next;
+      All.push_back(Next);
+    } else if (P < 0.9) {
+      OpId From = All[static_cast<size_t>(R.nextBelow(All.size()))];
+      OpId Prev = G.addOperation(Meta);
+      G.addEdge(From, Prev, HbRule::R8_TargetCreated);
+      All.push_back(Prev);
+      for (int H = 0; H < 3 && G.numOperations() < N; ++H) {
+        OpId Handler = G.addOperation(Meta);
+        G.addEdge(Prev, Handler, HbRule::RA_DispatchChain);
+        Prev = Handler;
+        All.push_back(Handler);
+      }
+    } else {
+      All.push_back(G.addOperation(Meta));
+    }
+  }
+}
+
+/// Faithful reimplementation of the pre-arena clock builder (one eagerly
+/// materialized std::vector<uint32_t> per operation plus a (chain, pos)
+/// record), driven by the graph's predecessor lists. This is the memory
+/// and build-time baseline of both gates.
+struct FullCopyClockIndex {
+  struct Entry {
+    uint32_t Chain = 0;
+    uint32_t Pos = 0;
+  };
+  std::vector<std::vector<uint32_t>> Clocks;
+  std::vector<Entry> Where;
+  std::vector<OpId> ChainTails;
+
+  void build(const HbGraph &G) {
+    size_t N = G.numOperations();
+    Clocks.reserve(N);
+    Where.reserve(N);
+    for (OpId Op = 1; Op <= N; ++Op) {
+      std::vector<uint32_t> Clock;
+      uint32_t PickedChain = UINT32_MAX;
+      uint32_t PickedPos = 0;
+      for (OpId P : G.predecessors(Op)) {
+        const std::vector<uint32_t> &PClock = Clocks[P - 1];
+        if (PClock.size() > Clock.size())
+          Clock.resize(PClock.size(), 0);
+        for (size_t I = 0; I < PClock.size(); ++I)
+          Clock[I] = std::max(Clock[I], PClock[I]);
+        if (PickedChain == UINT32_MAX &&
+            ChainTails[Where[P - 1].Chain] == P) {
+          PickedChain = Where[P - 1].Chain;
+          PickedPos = Where[P - 1].Pos + 1;
+        }
+      }
+      if (PickedChain == UINT32_MAX) {
+        PickedChain = static_cast<uint32_t>(ChainTails.size());
+        PickedPos = 1;
+        ChainTails.push_back(Op);
+      } else {
+        ChainTails[PickedChain] = Op;
+      }
+      if (Clock.size() <= PickedChain)
+        Clock.resize(PickedChain + 1, 0);
+      Clock[PickedChain] = PickedPos;
+      Where.push_back({PickedChain, PickedPos});
+      Clocks.push_back(std::move(Clock));
+    }
+  }
+
+  uint64_t bytes() const {
+    uint64_t Total = 0;
+    for (const std::vector<uint32_t> &C : Clocks)
+      Total += sizeof(std::vector<uint32_t>) + C.size() * sizeof(uint32_t);
+    return Total + Where.size() * sizeof(Entry);
+  }
+
+  uint32_t watermark(OpId Op, uint32_t Chain) const {
+    const std::vector<uint32_t> &C = Clocks[Op - 1];
+    return Chain < C.size() ? C[Chain] : 0;
+  }
+};
+
+struct SizeRow {
+  size_t Ops = 0;
+  size_t Chains = 0;
+  uint64_t ClockBytes = 0;
+  uint64_t FullCopyBytes = 0;
+  double ReductionPct = 0;
+  uint64_t SharedClocks = 0;
+  uint64_t ClockMerges = 0;
+  double BuildMs = 0;
+  double FullCopyBuildMs = 0;
+  uint64_t Queries = 0;
+  uint64_t Positive = 0;
+};
+
+/// Runs one size point: builds the DAG, times arena-index and full-copy
+/// construction (min of \p Reps fresh builds each), cross-checks the
+/// watermarks, and runs a fixed query workload.
+SizeRow runSize(size_t N, int Reps, int &Failures) {
+  SizeRow Row;
+  Row.Ops = N;
+
+  double BestBuild = 1e30, BestRef = 1e30;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    HbGraph G;
+    G.reserveOperations(N);
+    Rng R(99);
+    buildWebDag(G, N, R);
+
+    // Arena index build: one query against the last op materializes every
+    // clock (construction is lazy but strictly in id order).
+    auto Start = std::chrono::steady_clock::now();
+    bool Reach = G.reachesVectorClock(1, static_cast<OpId>(N));
+    double BuildSecs = secondsSince(Start);
+    BestBuild = std::min(BestBuild, BuildSecs);
+
+    FullCopyClockIndex Ref;
+    Start = std::chrono::steady_clock::now();
+    Ref.build(G);
+    double RefSecs = secondsSince(Start);
+    BestRef = std::min(BestRef, RefSecs);
+
+    if (Rep != 0)
+      continue;
+    Row.Chains = G.numChains();
+    Row.ClockBytes = G.clockBytes();
+    Row.FullCopyBytes = Ref.bytes();
+    Row.SharedClocks = G.sharedClocks();
+    Row.ClockMerges = G.clockMerges();
+    if (G.numChains() != Ref.ChainTails.size()) {
+      std::printf("FAIL: chain decomposition diverged at %zu ops "
+                  "(arena %zu chains, full-copy %zu)\n",
+                  N, G.numChains(), Ref.ChainTails.size());
+      ++Failures;
+    }
+    // The shared clocks must read back the exact watermarks the eager
+    // builder materializes.
+    Rng WR(123);
+    size_t Checks = std::min<size_t>(N * 4, 20000);
+    for (size_t I = 0; I < Checks; ++I) {
+      OpId Op = static_cast<OpId>(
+          WR.nextInRange(1, static_cast<int64_t>(N)));
+      uint32_t Chain = static_cast<uint32_t>(
+          WR.nextBelow(static_cast<uint64_t>(Row.Chains)));
+      if (G.clockWatermark(Op, Chain) != Ref.watermark(Op, Chain)) {
+        std::printf("FAIL: watermark mismatch at op %u chain %u "
+                    "(%zu ops)\n",
+                    Op, Chain, N);
+        ++Failures;
+        break;
+      }
+    }
+    // Fixed query workload, counted for the report; VC and DFS must
+    // agree on every answer.
+    Rng QR(7);
+    uint64_t Positive = 0, Mismatch = 0;
+    for (int Q = 0; Q < 4096; ++Q) {
+      OpId B = static_cast<OpId>(QR.nextInRange(
+          static_cast<int64_t>(N / 2), static_cast<int64_t>(N)));
+      OpId A = static_cast<OpId>(QR.nextInRange(1, static_cast<int64_t>(B)));
+      bool Vc = G.reachesVectorClock(A, B);
+      Positive += Vc;
+      Mismatch += Vc != G.reachesDfs(A, B);
+    }
+    Row.Queries = 4096;
+    Row.Positive = Positive;
+    if (Mismatch) {
+      std::printf("FAIL: %llu strategy mismatches at %zu ops\n",
+                  static_cast<unsigned long long>(Mismatch), N);
+      ++Failures;
+    }
+    (void)Reach;
+  }
+  Row.BuildMs = BestBuild * 1e3;
+  Row.FullCopyBuildMs = BestRef * 1e3;
+  Row.ReductionPct =
+      Row.FullCopyBytes
+          ? 100.0 * (1.0 - static_cast<double>(Row.ClockBytes) /
+                               static_cast<double>(Row.FullCopyBytes))
+          : 0.0;
+  return Row;
+}
+
+/// Race-output byte-identity: the same pages under DfsMemo and
+/// VectorClock must describe the identical raw and filtered races.
+uint64_t paritySites(size_t Sites, int &Failures) {
+  std::vector<sites::GeneratedSite> Corpus =
+      sites::buildFortune100Corpus(2012);
+  if (Corpus.size() > Sites)
+    Corpus.resize(Sites);
+  uint64_t Races = 0;
+  for (const sites::GeneratedSite &Site : Corpus) {
+    std::string Descriptions[2];
+    for (int Vc = 0; Vc < 2; ++Vc) {
+      webracer::SessionOptions Opts;
+      Opts.UseVectorClocks = Vc != 0;
+      Opts.Browser.Seed = 42;
+      webracer::Session S(Opts);
+      S.network().addResource(Site.IndexUrl, Site.Html, 10);
+      for (const sites::SiteResource &R : Site.Resources)
+        S.network().addResourceWithJitter(R.Url, R.Body, R.MinLatencyUs,
+                                          R.MaxLatencyUs);
+      webracer::SessionResult Result = S.run(Site.IndexUrl);
+      Descriptions[Vc] =
+          detect::describeRaces(Result.RawRaces, S.browser().hb()) + "\n" +
+          detect::describeRaces(Result.FilteredRaces, S.browser().hb());
+      if (Vc)
+        Races += Result.RawRaces.size();
+    }
+    if (Descriptions[0] != Descriptions[1]) {
+      std::printf("FAIL: race output differs between strategies on %s\n",
+                  Site.Name.c_str());
+      ++Failures;
+    }
+  }
+  return Races;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  const char *ReportPath = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--quick") == 0)
+      Quick = true;
+    else
+      ReportPath = Argv[I];
+  }
+
+  std::printf("== hb_scaling: arena clock index vs eager full copies ==\n");
+  std::vector<size_t> Sizes = {1000, 10000};
+  if (!Quick)
+    Sizes.push_back(50000);
+
+  int Failures = 0;
+  std::vector<SizeRow> Rows;
+  std::printf("\n%7s | %7s | %11s | %12s | %6s | %9s | %9s\n", "ops",
+              "chains", "clock bytes", "eager bytes", "redn", "build ms",
+              "eager ms");
+  std::printf("--------+---------+-------------+--------------+--------+--"
+              "---------+----------\n");
+  for (size_t N : Sizes) {
+    SizeRow Row = runSize(N, 3, Failures);
+    std::printf("%7zu | %7zu | %11llu | %12llu | %5.1f%% | %9.2f | %9.2f\n",
+                Row.Ops, Row.Chains,
+                static_cast<unsigned long long>(Row.ClockBytes),
+                static_cast<unsigned long long>(Row.FullCopyBytes),
+                Row.ReductionPct, Row.BuildMs, Row.FullCopyBuildMs);
+    // Gate 1: >= 60% clock-memory reduction at every size.
+    if (Row.ReductionPct < 60.0) {
+      std::printf("FAIL: clock-memory reduction %.1f%% < 60%% at %zu ops\n",
+                  Row.ReductionPct, Row.Ops);
+      ++Failures;
+    }
+    // Gate 2: no build-time regression against the eager builder (1.25x
+    // headroom for CI timer noise).
+    if (Row.BuildMs > Row.FullCopyBuildMs * 1.25) {
+      std::printf("FAIL: arena build %.2fms regressed past eager build "
+                  "%.2fms at %zu ops\n",
+                  Row.BuildMs, Row.FullCopyBuildMs, Row.Ops);
+      ++Failures;
+    }
+    Rows.push_back(Row);
+  }
+
+  size_t ParityCount = Quick ? 12 : 25;
+  std::printf("\nchecking race-output parity on %zu corpus sites...\n",
+              ParityCount);
+  uint64_t ParityRaces = paritySites(ParityCount, Failures);
+  std::printf("raw races compared: %llu\n",
+              static_cast<unsigned long long>(ParityRaces));
+
+  obs::Json Doc = obs::makeReportEnvelope("hb_scaling", "webdag");
+  Doc.set("quick", Quick);
+  obs::Json RowsJson = obs::Json::array();
+  for (const SizeRow &Row : Rows) {
+    obs::Json R = obs::Json::object();
+    R.set("ops", static_cast<uint64_t>(Row.Ops));
+    R.set("chains", static_cast<uint64_t>(Row.Chains));
+    R.set("clock_bytes", Row.ClockBytes);
+    R.set("full_copy_bytes", Row.FullCopyBytes);
+    R.set("reduction_pct", Row.ReductionPct);
+    R.set("shared_clocks", Row.SharedClocks);
+    R.set("clock_merges", Row.ClockMerges);
+    R.set("queries", Row.Queries);
+    R.set("positive", Row.Positive);
+    RowsJson.push(std::move(R));
+  }
+  Doc.set("sizes", std::move(RowsJson));
+  obs::Json Parity = obs::Json::object();
+  Parity.set("sites", static_cast<uint64_t>(ParityCount));
+  Parity.set("raw_races", ParityRaces);
+  Doc.set("parity", std::move(Parity));
+  obs::Json Timing = obs::Json::object();
+  for (const SizeRow &Row : Rows) {
+    obs::Json T = obs::Json::object();
+    T.set("build_ms", Row.BuildMs);
+    T.set("full_copy_build_ms", Row.FullCopyBuildMs);
+    Timing.set(std::to_string(Row.Ops), std::move(T));
+  }
+  Doc.set("timing", std::move(Timing));
+
+  if (ReportPath) {
+    std::string Out;
+    obs::JsonReporter(Out).emit(Doc);
+    std::ofstream File(ReportPath, std::ios::binary | std::ios::trunc);
+    File.write(Out.data(), static_cast<std::streamsize>(Out.size()));
+    if (!File) {
+      std::fprintf(stderr, "error: cannot write %s\n", ReportPath);
+      return 1;
+    }
+    std::printf("report: %zu bytes -> %s\n", Out.size(), ReportPath);
+  }
+
+  if (Failures) {
+    std::printf("\nFAIL: %d gate(s) broken\n", Failures);
+    return 1;
+  }
+  std::printf("\nOK: >=60%% clock-memory reduction, no build-time "
+              "regression, byte-identical races\n");
+  return 0;
+}

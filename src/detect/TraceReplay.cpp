@@ -11,10 +11,20 @@
 using namespace wr;
 using namespace wr::detect;
 
+/// Exact operation count of a recorded trace, so graph reconstruction can
+/// pre-size its per-operation tables in one step.
+static size_t countOperations(const TraceLog &Log) {
+  size_t N = 0;
+  for (const TraceEvent &E : Log.events())
+    N += E.K == TraceEvent::Kind::OpCreated;
+  return N;
+}
+
 HbGraph wr::detect::buildHbGraphFromTrace(const TraceLog &Log,
                                           bool UseVectorClocks) {
   HbGraph Hb;
   Hb.setUseVectorClocks(UseVectorClocks);
+  Hb.reserveOperations(countOperations(Log));
   for (const TraceEvent &E : Log.events()) {
     switch (E.K) {
     case TraceEvent::Kind::OpCreated: {
@@ -60,6 +70,7 @@ ReplayResult wr::detect::replayTrace(const TraceLog &Log,
                                      const ReplayOptions &Opts) {
   ReplayResult Result;
   Result.Hb.setUseVectorClocks(Opts.UseVectorClocks);
+  Result.Hb.reserveOperations(countOperations(Log));
   // The trace's interner resolves the access stream's LocIds; it was
   // either mirrored from the online engine or rebuilt by deserialize.
   RaceDetector Detector(Result.Hb, Log.interner(), Opts.Detector);
@@ -105,6 +116,9 @@ ReplayResult wr::detect::replayTrace(const TraceLog &Log,
   S.DfsVisits = Result.Hb.dfsVisitCount();
   S.DfsMemoHits = Result.Hb.memoHits();
   S.VcChains = Result.Hb.numChains();
+  S.ClockBytes = Result.Hb.clockBytes();
+  S.ClockMerges = Result.Hb.clockMerges();
+  S.SharedClocks = Result.Hb.sharedClocks();
   S.AccessesSeen = Detector.accessesSeen();
   S.TrackedLocations = Detector.trackedLocations();
   S.InternedLocations = Log.interner().size();

@@ -67,18 +67,29 @@ OpId HbGraph::addOperation(Operation Op) {
   return static_cast<OpId>(Ops.size());
 }
 
+void HbGraph::reserveOperations(size_t ExpectedOps) {
+  if (ExpectedOps <= Ops.size())
+    return;
+  Ops.reserve(ExpectedOps);
+  Succ.reserve(ExpectedOps);
+  Pred.reserve(ExpectedOps);
+  InEdgeRules.reserve(ExpectedOps);
+  VisitEpoch.reserve(ExpectedOps);
+  ClockReps.reserve(ExpectedOps);
+}
+
 void HbGraph::addEdge(OpId From, OpId To, HbRule Rule) {
   assert(From != InvalidOpId && To != InvalidOpId && "invalid endpoint");
   assert(From <= Ops.size() && To <= Ops.size() && "unknown operation");
   assert(From < To &&
          "HB edges must point from an older to a newer operation");
-  assert(Clocks.size() < To && "in-edges must precede clock finalization");
+  assert(ClockReps.size() < To && "in-edges must precede clock finalization");
   auto &Out = Succ[From - 1];
   if (std::find(Out.begin(), Out.end(), To) != Out.end())
     return; // Duplicate edge.
   Out.push_back(To);
   Pred[To - 1].push_back(From);
-  InEdgeRules[To - 1].emplace_back(From, Rule);
+  InEdgeRules[To - 1].push_back({From, Rule});
   ++EdgeCount;
   ++EdgesByRule[static_cast<size_t>(Rule)];
 }
@@ -89,9 +100,9 @@ bool HbGraph::reachesDfs(OpId A, OpId B) const {
     return false; // Edges strictly ascend, so no path can descend.
   uint64_t Key = (static_cast<uint64_t>(A) << 32) | B;
   auto Memo = ReachMemo.find(Key);
-  if (Memo != ReachMemo.end()) {
+  if (Memo != ReachMemo.end() && (Memo->second >> 1) == MemoEpoch) {
     ++MemoHits;
-    return Memo->second;
+    return Memo->second & 1;
   }
 
   // Iterative DFS restricted to ids in (A, B]; edges ascend so anything
@@ -116,28 +127,36 @@ bool HbGraph::reachesDfs(OpId A, OpId B) const {
       Stack.push_back(Next);
     }
   }
-  ReachMemo.emplace(Key, Found);
+  ReachMemo.insert_or_assign(Key, (MemoEpoch << 1) | (Found ? 1 : 0));
   return Found;
 }
 
-void HbGraph::buildClock(OpId Op) {
+void HbGraph::resetQueryState() {
+  // Epoch bump instead of ReachMemo.clear(): stale entries die at lookup
+  // and get overwritten in place, so the hash table keeps its buckets.
+  ++MemoEpoch;
+}
+
+void HbGraph::buildClock(OpId Op) const {
   // Clocks are built strictly in id order; predecessors are always lower
   // ids, so their clocks already exist.
-  assert(Clocks.size() + 1 == Op && "clocks must be built in order");
-  std::vector<uint32_t> Clock;
+  assert(ClockReps.size() + 1 == Op && "clocks must be built in order");
+  const OpList &Preds = Pred[Op - 1];
+
+  // Greedy chain packing (unchanged from the eager-copy representation,
+  // so chain assignment - and therefore numChains() and every report
+  // that mentions it - is bit-identical): the first predecessor in edge
+  // order that is still the tail of its chain donates its chain.
   uint32_t PickedChain = UINT32_MAX;
   uint32_t PickedPos = 0;
-  for (OpId P : Pred[Op - 1]) {
-    const std::vector<uint32_t> &PClock = Clocks[P - 1];
-    if (PClock.size() > Clock.size())
-      Clock.resize(PClock.size(), 0);
-    for (size_t I = 0; I < PClock.size(); ++I)
-      Clock[I] = std::max(Clock[I], PClock[I]);
-    // Greedy chain packing: extend a predecessor that is still the tail of
-    // its chain.
-    if (PickedChain == UINT32_MAX && ChainTails[Where[P - 1].Chain] == P) {
-      PickedChain = Where[P - 1].Chain;
-      PickedPos = Where[P - 1].Pos + 1;
+  const ClockRep *Base = nullptr; ///< Clock the new op extends, if any.
+  for (OpId P : Preds) {
+    const ClockRep &PR = ClockReps[P - 1];
+    if (ChainTails[PR.DeltaChain] == P) {
+      PickedChain = PR.DeltaChain;
+      PickedPos = PR.DeltaPos + 1;
+      Base = &PR;
+      break;
     }
   }
   if (PickedChain == UINT32_MAX) {
@@ -147,11 +166,72 @@ void HbGraph::buildClock(OpId Op) {
   } else {
     ChainTails[PickedChain] = Op;
   }
-  if (Clock.size() <= PickedChain)
-    Clock.resize(PickedChain + 1, 0);
-  Clock[PickedChain] = PickedPos;
-  Where.push_back({PickedChain, PickedPos});
-  Clocks.push_back(std::move(Clock));
+
+  ClockRep R;
+  R.DeltaChain = PickedChain;
+  R.DeltaPos = PickedPos;
+
+  // Copy-on-write: when the op extends a predecessor's chain, the
+  // predecessor's own delta slot is the very slot the new op overrides,
+  // so aliasing the predecessor's base slab plus the new delta *is* the
+  // merged clock - as long as every other predecessor's watermarks are
+  // already dominated by it. Sharing is sound because the builder only
+  // adds edges to the newest operation: a finalized slab can never gain
+  // entries later, so an alias can never observe a mutation.
+  bool CanAlias = Base != nullptr || Preds.empty();
+  if (Base != nullptr) {
+    R.Offset = Base->Offset;
+    R.Len = Base->Len;
+    for (OpId P : Preds) {
+      const ClockRep &PR = ClockReps[P - 1];
+      if (&PR == Base)
+        continue;
+      // Check every chain in PR's support against the aliased clock. The
+      // picked chain needs no check: no watermark can exceed its tail's
+      // position, which PickedPos exceeds by one.
+      uint32_t PLen = clockLenAt(P - 1);
+      for (uint32_t C = 0; C < PLen && CanAlias; ++C) {
+        uint32_t Theirs = clockEntryAt(P - 1, C);
+        if (Theirs == 0 || C == PickedChain)
+          continue;
+        uint32_t Ours = C < R.Len ? ClockPool[R.Offset + C] : 0;
+        if (Theirs > Ours)
+          CanAlias = false;
+      }
+      if (!CanAlias)
+        break;
+    }
+  }
+
+  if (CanAlias) {
+    ++SharedClocks;
+  } else {
+    // Materialize the merge: max over every predecessor's effective
+    // clock, written as a fresh slab at the end of the arena.
+    ++ClockMerges;
+    uint32_t Len = 0;
+    for (OpId P : Preds)
+      Len = std::max(Len, clockLenAt(P - 1));
+    uint32_t Offset = static_cast<uint32_t>(ClockPool.size());
+    ClockPool.resize(ClockPool.size() + Len, 0);
+    for (OpId P : Preds) {
+      uint32_t PLen = clockLenAt(P - 1);
+      for (uint32_t C = 0; C < PLen; ++C) {
+        uint32_t V = clockEntryAt(P - 1, C);
+        if (V > ClockPool[Offset + C])
+          ClockPool[Offset + C] = V;
+      }
+    }
+    R.Offset = Offset;
+    R.Len = Len;
+  }
+
+  ClockReps.push_back(R);
+}
+
+void HbGraph::ensureClocks(OpId Op) const {
+  while (ClockReps.size() < Op)
+    buildClock(static_cast<OpId>(ClockReps.size() + 1));
 }
 
 bool HbGraph::reachesVectorClock(OpId A, OpId B) const {
@@ -160,14 +240,39 @@ bool HbGraph::reachesVectorClock(OpId A, OpId B) const {
     return false;
   // Lazily extend the clock index up to B. Safe because all in-edges of an
   // operation are added before any query can mention it as an endpoint.
-  auto *Self = const_cast<HbGraph *>(this);
-  while (Self->Clocks.size() < B)
-    Self->buildClock(static_cast<OpId>(Self->Clocks.size() + 1));
-  const ClockEntry &EntryA = Where[A - 1];
-  const std::vector<uint32_t> &ClockB = Clocks[B - 1];
-  if (EntryA.Chain >= ClockB.size())
-    return false;
-  return ClockB[EntryA.Chain] >= EntryA.Pos;
+  ensureClocks(B);
+  const ClockRep &RA = ClockReps[A - 1];
+  return clockEntryAt(B - 1, RA.DeltaChain) >= RA.DeltaPos;
+}
+
+uint32_t HbGraph::chainOf(OpId Op) const {
+  assert(Op != InvalidOpId && Op <= Ops.size() && "invalid OpId");
+  ensureClocks(Op);
+  return ClockReps[Op - 1].DeltaChain;
+}
+
+uint32_t HbGraph::chainPositionOf(OpId Op) const {
+  assert(Op != InvalidOpId && Op <= Ops.size() && "invalid OpId");
+  ensureClocks(Op);
+  return ClockReps[Op - 1].DeltaPos;
+}
+
+uint32_t HbGraph::clockWatermark(OpId Op, uint32_t Chain) const {
+  assert(Op != InvalidOpId && Op <= Ops.size() && "invalid OpId");
+  ensureClocks(Op);
+  return clockEntryAt(Op - 1, Chain);
+}
+
+uint64_t HbGraph::fullCopyClockBytes() const {
+  // Model the eager representation this index replaced: per op, one
+  // std::vector<uint32_t> (header + one heap word per covered chain) and
+  // one (chain, pos) assignment record.
+  uint64_t Words = 0;
+  for (uint32_t I = 0; I < ClockReps.size(); ++I)
+    Words += clockLenAt(I);
+  return Words * sizeof(uint32_t) +
+         ClockReps.size() *
+             (sizeof(std::vector<uint32_t>) + 2 * sizeof(uint32_t));
 }
 
 bool HbGraph::findDirectEdgeRule(OpId From, OpId To, HbRule &RuleOut) const {

@@ -17,15 +17,26 @@
 ///    recently created operation*: once both endpoints of a query exist, no
 ///    later edge can create a new path between them (every edge goes from a
 ///    lower OpId to a higher OpId, so a new path through a fresh operation
-///    would have to descend back below it).
+///    would have to descend back below it). The memo is epoch-clearable:
+///    resetQueryState() invalidates every entry in O(1) without releasing
+///    the table's buckets, so a graph reused across replay configurations
+///    does not rehash from scratch.
 ///
 ///  * VectorClock: the chain-decomposition vector-clock representation the
 ///    paper names as future work (and which the follow-up EventRacer system
 ///    adopted). Operations are greedily packed into chains; each operation
 ///    carries a clock of per-chain watermarks; reachability is an O(1)
-///    clock lookup.
+///    clock lookup. Clocks live in one contiguous arena (a uint32_t pool
+///    plus a small per-op record) and are shared copy-on-write: an
+///    operation that merely extends its predecessor's chain aliases the
+///    predecessor's clock slab and overrides one slot, and a
+///    multi-predecessor merge only materializes a new slab when some
+///    predecessor's watermarks are not already dominated by the base. See
+///    DESIGN.md "Near-linear HB index" for why sharing is sound under the
+///    edges-only-target-the-newest-op builder contract.
 ///
-/// `bench/ablation_hb_repr` compares the two.
+/// `bench/ablation_hb_repr` compares the two; `bench/hb_scaling` pins the
+/// build-cost and clock-memory behavior at growing operation counts.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +44,7 @@
 #define WEBRACER_HB_HBGRAPH_H
 
 #include "hb/Operation.h"
+#include "support/InlineVec.h"
 
 #include <array>
 #include <cassert>
@@ -84,11 +96,26 @@ inline constexpr size_t NumHbRules =
 /// only added while the target operation is being created.
 class HbGraph {
 public:
+  /// Adjacency list storage: inline room for the common degree (one chain
+  /// predecessor plus one cross edge) before touching the heap.
+  using OpList = InlineVec<OpId, 2>;
+
+  /// One rule-tagged in-edge (trivially copyable, unlike std::pair).
+  struct InEdge {
+    OpId From;
+    HbRule Rule;
+  };
+  using InEdgeList = InlineVec<InEdge, 2>;
+
   HbGraph();
 
   /// Creates a new operation and returns its id. Ids are dense and start
   /// at 1 (0 is the ⊥ sentinel).
   OpId addOperation(Operation Op);
+
+  /// Pre-sizes the per-operation tables for \p ExpectedOps operations, so
+  /// large pages do not pay repeated vector growth in addOperation.
+  void reserveOperations(size_t ExpectedOps);
 
   /// Adds the edge From -> To justified by \p Rule. Requires From < To and
   /// both valid. Duplicate edges are ignored.
@@ -129,13 +156,13 @@ public:
   }
 
   /// Direct successors of \p Op.
-  const std::vector<OpId> &successors(OpId Op) const {
+  const OpList &successors(OpId Op) const {
     assert(Op != InvalidOpId && Op <= Ops.size() && "invalid OpId");
     return Succ[Op - 1];
   }
 
   /// Direct predecessors of \p Op.
-  const std::vector<OpId> &predecessors(OpId Op) const {
+  const OpList &predecessors(OpId Op) const {
     assert(Op != InvalidOpId && Op <= Ops.size() && "invalid OpId");
     return Pred[Op - 1];
   }
@@ -163,8 +190,47 @@ public:
   void setUseVectorClocks(bool Use) { UseVectorClocks = Use; }
   bool usesVectorClocks() const { return UseVectorClocks; }
 
+  /// Invalidates the DFS memo table in O(1) by bumping its epoch: the
+  /// bucket array survives, so a graph reused across replay
+  /// configurations pays no rehash when its cached answers are discarded.
+  void resetQueryState();
+
   /// Number of chains the vector-clock index currently uses.
   size_t numChains() const { return ChainTails.size(); }
+
+  /// Chain the vector-clock index assigned to \p Op (0-based), building
+  /// the index up to \p Op if needed.
+  uint32_t chainOf(OpId Op) const;
+
+  /// 1-based position of \p Op within chainOf(Op).
+  uint32_t chainPositionOf(OpId Op) const;
+
+  /// The watermark \p Op holds for \p Chain: the position of the latest
+  /// operation of that chain that happens-before \p Op (its own position
+  /// on its own chain); 0 when no operation of the chain is ordered
+  /// before \p Op. Builds the index up to \p Op if needed.
+  uint32_t clockWatermark(OpId Op, uint32_t Chain) const;
+
+  /// Bytes the vector-clock index currently holds: the shared watermark
+  /// arena plus the fixed per-operation clock records.
+  uint64_t clockBytes() const {
+    return ClockPool.size() * sizeof(uint32_t) +
+           ClockReps.size() * sizeof(ClockRep);
+  }
+
+  /// Bytes the same index would hold if every operation materialized its
+  /// own full watermark vector (one std::vector<uint32_t> plus a chain
+  /// assignment per op) - the pre-arena representation; the baseline of
+  /// bench/hb_scaling's memory-reduction gate.
+  uint64_t fullCopyClockBytes() const;
+
+  /// Operations whose clock aliases their predecessor's slab (or needed
+  /// no slab at all) instead of materializing a copy.
+  uint64_t sharedClocks() const { return SharedClocks; }
+
+  /// Multi-predecessor merges that had to materialize a new slab because
+  /// some predecessor watermark was not dominated by the base clock.
+  uint64_t clockMerges() const { return ClockMerges; }
 
   /// Returns the rule that justifies a direct edge From -> To, if any.
   /// Useful for explaining why two accesses are ordered.
@@ -179,37 +245,69 @@ public:
   uint64_t dfsVisitCount() const { return DfsVisits; }
 
 private:
-  struct ClockEntry {
-    uint32_t Chain = 0;
-    uint32_t Pos = 0; ///< 1-based position within the chain.
+  /// One operation's clock: a base slab of per-chain watermarks in
+  /// ClockPool (shared with the predecessor in the copy-on-write case)
+  /// plus a one-slot delta for the operation's own chain. The effective
+  /// watermark of chain c is DeltaPos if c == DeltaChain, else
+  /// ClockPool[Offset + c] if c < Len, else 0.
+  struct ClockRep {
+    uint32_t Offset = 0;     ///< Base slab start in ClockPool.
+    uint32_t Len = 0;        ///< Base slab length (chains covered).
+    uint32_t DeltaChain = 0; ///< The op's own chain (override slot).
+    uint32_t DeltaPos = 0;   ///< 1-based position within DeltaChain.
   };
 
-  void buildClock(OpId Op);
+  void buildClock(OpId Op) const;
+  void ensureClocks(OpId Op) const;
+
+  /// Effective watermark of \p Chain in the clock of op index \p Idx0
+  /// (0-based).
+  uint32_t clockEntryAt(uint32_t Idx0, uint32_t Chain) const {
+    const ClockRep &R = ClockReps[Idx0];
+    if (Chain == R.DeltaChain)
+      return R.DeltaPos;
+    return Chain < R.Len ? ClockPool[R.Offset + Chain] : 0;
+  }
+
+  /// Chains covered by the clock of op index \p Idx0.
+  uint32_t clockLenAt(uint32_t Idx0) const {
+    const ClockRep &R = ClockReps[Idx0];
+    return R.Len > R.DeltaChain + 1 ? R.Len : R.DeltaChain + 1;
+  }
 
   std::vector<Operation> Ops;
-  std::vector<std::vector<OpId>> Succ;
-  std::vector<std::vector<OpId>> Pred;
-  std::vector<std::vector<std::pair<OpId, HbRule>>> InEdgeRules;
+  std::vector<OpList> Succ;
+  std::vector<OpList> Pred;
+  std::vector<InEdgeList> InEdgeRules;
   size_t EdgeCount = 0;
   std::array<uint64_t, NumHbRules> EdgesByRule{};
 
-  // DFS memo: key = (A << 32 | B), value = reachable. The packing gives
-  // each endpoint exactly half of the 64-bit key, so OpId must stay at
-  // most 32 bits wide; widening OpId requires a new key scheme here.
+  // DFS memo: key = (A << 32 | B), value = (epoch << 1 | reachable). An
+  // entry is live only when its epoch matches MemoEpoch, so
+  // resetQueryState() invalidates everything by bumping the epoch. The
+  // key packing gives each endpoint exactly half of the 64-bit key, so
+  // OpId must stay at most 32 bits wide; widening OpId requires a new
+  // key scheme here.
   static_assert(sizeof(OpId) * 8 <= 32,
                 "ReachMemo packs two OpIds into one uint64_t key");
-  mutable std::unordered_map<uint64_t, bool> ReachMemo;
+  mutable std::unordered_map<uint64_t, uint64_t> ReachMemo;
+  mutable uint64_t MemoEpoch = 0;
   mutable std::vector<uint32_t> VisitEpoch;
   mutable uint32_t CurrentEpoch = 0;
   mutable uint64_t DfsVisits = 0;
   mutable uint64_t MemoHits = 0;
 
-  // Vector clocks: per-op chain assignment and clock (per-chain watermark).
-  std::vector<ClockEntry> Where;
-  std::vector<std::vector<uint32_t>> Clocks;
-  std::vector<OpId> ChainTails; ///< Last op of each chain.
+  // Vector clocks: one contiguous watermark arena plus a fixed-size
+  // record per operation (built lazily in id order).
+  mutable std::vector<uint32_t> ClockPool;
+  mutable std::vector<ClockRep> ClockReps;
+  mutable std::vector<OpId> ChainTails; ///< Last op of each chain.
+  mutable uint64_t SharedClocks = 0;
+  mutable uint64_t ClockMerges = 0;
 
-  bool UseVectorClocks = false;
+  /// Matches webracer::SessionOptions::UseVectorClocks, so a bare graph
+  /// and a session-built one answer happensBefore() the same way.
+  bool UseVectorClocks = true;
 };
 
 } // namespace wr

@@ -43,6 +43,9 @@ void RunStats::merge(const RunStats &O) {
   DfsVisits += O.DfsVisits;
   DfsMemoHits += O.DfsMemoHits;
   VcChains += O.VcChains;
+  ClockBytes += O.ClockBytes;
+  ClockMerges += O.ClockMerges;
+  SharedClocks += O.SharedClocks;
   AccessesSeen += O.AccessesSeen;
   TrackedLocations += O.TrackedLocations;
   InternedLocations += O.InternedLocations;
@@ -74,6 +77,9 @@ Json RunStats::toJson() const {
   J.set("dfs_visits", DfsVisits);
   J.set("dfs_memo_hits", DfsMemoHits);
   J.set("vc_chains", VcChains);
+  J.set("clock_bytes", ClockBytes);
+  J.set("clock_merges", ClockMerges);
+  J.set("shared_clocks", SharedClocks);
   J.set("accesses", AccessesSeen);
   J.set("tracked_locations", TrackedLocations);
   J.set("interned_locations", InternedLocations);
@@ -109,6 +115,9 @@ void RunStats::exportTo(MetricsRegistry &Registry,
   C("dfs_visits", DfsVisits);
   C("dfs_memo_hits", DfsMemoHits);
   C("vc_chains", VcChains);
+  C("clock_bytes", ClockBytes);
+  C("clock_merges", ClockMerges);
+  C("shared_clocks", SharedClocks);
   C("accesses", AccessesSeen);
   C("tracked_locations", TrackedLocations);
   C("interned_locations", InternedLocations);

@@ -94,6 +94,9 @@ struct RunStats {
   uint64_t DfsVisits = 0;
   uint64_t DfsMemoHits = 0;
   uint64_t VcChains = 0;
+  uint64_t ClockBytes = 0;   ///< Bytes held by the vector-clock arena.
+  uint64_t ClockMerges = 0;  ///< Merges that materialized a clock slab.
+  uint64_t SharedClocks = 0; ///< Ops whose clock aliases a predecessor's.
 
   // Detector.
   uint64_t AccessesSeen = 0;

@@ -15,6 +15,10 @@ SiteRunStats wr::sites::runSite(const GeneratedSite &Site,
                                 uint64_t SiteSeed) {
   webracer::SessionOptions Opts = Base;
   Opts.Browser.Seed = SiteSeed;
+  // Corpus pages run a few hundred operations; pre-size the HB tables so
+  // every site skips the doubling-growth phase of addOperation.
+  if (Opts.ExpectedOperations == 0)
+    Opts.ExpectedOperations = 512;
   webracer::Session S(Opts);
   S.network().addResource(Site.IndexUrl, Site.Html, 10);
   for (const SiteResource &R : Site.Resources)

@@ -1,0 +1,156 @@
+//===- support/InlineVec.h - Small-size-optimized vector --------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with inline storage for the first N elements, for per-node
+/// adjacency lists where the common degree is 1-2: most happens-before
+/// operations have one predecessor (their chain) and at most a couple of
+/// successors, so a heap allocation per operation is pure overhead. The
+/// element type must be trivially copyable (adjacency lists hold OpIds
+/// and (OpId, rule) pairs), which keeps growth a memcpy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_SUPPORT_INLINEVEC_H
+#define WEBRACER_SUPPORT_INLINEVEC_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace wr {
+
+template <typename T, unsigned N> class InlineVec {
+  static_assert(N > 0, "inline capacity must be nonzero");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is for trivially copyable payloads");
+
+public:
+  InlineVec() = default;
+
+  InlineVec(const InlineVec &O) { copyFrom(O); }
+
+  InlineVec(InlineVec &&O) noexcept { stealFrom(O); }
+
+  InlineVec &operator=(const InlineVec &O) {
+    if (this != &O) {
+      releaseHeap();
+      copyFrom(O);
+    }
+    return *this;
+  }
+
+  InlineVec &operator=(InlineVec &&O) noexcept {
+    if (this != &O) {
+      releaseHeap();
+      stealFrom(O);
+    }
+    return *this;
+  }
+
+  ~InlineVec() { releaseHeap(); }
+
+  void push_back(const T &V) {
+    T Copy = V; // By value first: V may alias our storage across a grow.
+    if (Count == Capacity)
+      grow(Capacity * 2);
+    data()[Count++] = Copy;
+  }
+
+  template <typename... Args> void emplace_back(Args &&...A) {
+    push_back(T(std::forward<Args>(A)...));
+  }
+
+  /// Ensures room for \p NewCap elements without changing size.
+  void reserve(uint32_t NewCap) {
+    if (NewCap > Capacity)
+      grow(NewCap);
+  }
+
+  void clear() { Count = 0; }
+
+  uint32_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  uint32_t capacity() const { return Capacity; }
+
+  const T *data() const { return Heap ? Heap : Inline; }
+  T *data() { return Heap ? Heap : Inline; }
+
+  const T *begin() const { return data(); }
+  const T *end() const { return data() + Count; }
+  T *begin() { return data(); }
+  T *end() { return data() + Count; }
+
+  const T &operator[](uint32_t I) const {
+    assert(I < Count && "index out of range");
+    return data()[I];
+  }
+  T &operator[](uint32_t I) {
+    assert(I < Count && "index out of range");
+    return data()[I];
+  }
+
+  const T &front() const { return (*this)[0]; }
+  const T &back() const { return (*this)[Count - 1]; }
+
+  /// Bytes of heap the list owns (0 while it fits inline); for memory
+  /// accounting.
+  uint64_t heapBytes() const {
+    return Heap ? static_cast<uint64_t>(Capacity) * sizeof(T) : 0;
+  }
+
+private:
+  void grow(uint32_t NewCap) {
+    if (NewCap < Count)
+      NewCap = Count;
+    T *NewHeap = new T[NewCap];
+    std::memcpy(static_cast<void *>(NewHeap), data(), Count * sizeof(T));
+    releaseHeap();
+    Heap = NewHeap;
+    Capacity = NewCap;
+  }
+
+  void copyFrom(const InlineVec &O) {
+    Count = O.Count;
+    if (Count <= N) {
+      Heap = nullptr;
+      Capacity = N;
+      std::memcpy(static_cast<void *>(Inline), O.data(), Count * sizeof(T));
+    } else {
+      Heap = new T[O.Capacity];
+      Capacity = O.Capacity;
+      std::memcpy(static_cast<void *>(Heap), O.Heap, Count * sizeof(T));
+    }
+  }
+
+  void stealFrom(InlineVec &O) noexcept {
+    Count = O.Count;
+    Capacity = O.Capacity;
+    Heap = O.Heap;
+    if (!Heap)
+      std::memcpy(static_cast<void *>(Inline), O.Inline, Count * sizeof(T));
+    O.Heap = nullptr;
+    O.Count = 0;
+    O.Capacity = N;
+  }
+
+  void releaseHeap() {
+    delete[] Heap;
+    Heap = nullptr;
+    Capacity = N;
+  }
+
+  T *Heap = nullptr;
+  uint32_t Count = 0;
+  uint32_t Capacity = N;
+  T Inline[N];
+};
+
+} // namespace wr
+
+#endif // WEBRACER_SUPPORT_INLINEVEC_H

@@ -8,6 +8,8 @@ using namespace wr::webracer;
 Session::Session(SessionOptions Options) : Opts(Options) {
   B = std::make_unique<rt::Browser>(Opts.Browser);
   B->hb().setUseVectorClocks(Opts.UseVectorClocks);
+  if (Opts.ExpectedOperations)
+    B->hb().reserveOperations(Opts.ExpectedOperations);
   D = std::make_unique<detect::RaceDetector>(B->hb(), B->interner(),
                                              Opts.Detector);
   D->setPhaseStats(&B->phaseStats());
@@ -62,6 +64,9 @@ SessionResult Session::run(const std::string &Url) {
   S.DfsVisits = Hb.dfsVisitCount();
   S.DfsMemoHits = Hb.memoHits();
   S.VcChains = Hb.numChains();
+  S.ClockBytes = Hb.clockBytes();
+  S.ClockMerges = Hb.clockMerges();
+  S.SharedClocks = Hb.sharedClocks();
   S.AccessesSeen = D->accessesSeen();
   S.TrackedLocations = D->trackedLocations();
   S.InternedLocations = B->interner().size();

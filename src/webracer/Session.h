@@ -53,6 +53,11 @@ struct SessionOptions {
   /// Record the full instrumentation trace (replayable via
   /// detect::replayTrace; costs memory).
   bool RecordTrace = false;
+  /// Expected operation count for this run (0 = unknown). When set, the
+  /// happens-before graph pre-sizes its per-operation tables so large
+  /// pages do not pay repeated vector growth while streaming operations
+  /// in; purely a capacity hint, never a limit.
+  size_t ExpectedOperations = 0;
 };
 
 /// Everything a run produced.

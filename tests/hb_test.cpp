@@ -224,4 +224,58 @@ TEST(HbGraphTest, MemoizedQueriesStableUnderGrowth) {
   EXPECT_TRUE(G.happensBefore(A, C));
 }
 
+TEST(HbGraphTest, DefaultsToVectorClocks) {
+  // A bare graph must answer happensBefore() with the same strategy a
+  // session-built one does (SessionOptions::UseVectorClocks defaults
+  // true); a mismatch here once made ablations silently compare a DFS
+  // graph against a vector-clock session.
+  EXPECT_TRUE(HbGraph().usesVectorClocks());
+}
+
+TEST(HbGraphTest, ResetQueryStateInvalidatesMemo) {
+  HbGraph G;
+  OpId A = G.addOperation(op("a"));
+  OpId B = G.addOperation(op("b"));
+  G.addEdge(A, B, HbRule::RProgram);
+  G.setUseVectorClocks(false);
+
+  EXPECT_TRUE(G.happensBefore(A, B)); // Computed, memoized.
+  uint64_t Hits = G.memoHits();
+  EXPECT_TRUE(G.happensBefore(A, B)); // Served from the memo.
+  EXPECT_EQ(G.memoHits(), Hits + 1);
+
+  // After the epoch bump the stale entry must not be served: the next
+  // query recomputes (hit counter unchanged) and re-memoizes.
+  G.resetQueryState();
+  EXPECT_TRUE(G.happensBefore(A, B));
+  EXPECT_EQ(G.memoHits(), Hits + 1);
+  EXPECT_TRUE(G.happensBefore(A, B));
+  EXPECT_EQ(G.memoHits(), Hits + 2);
+}
+
+TEST(HbGraphTest, ResetQueryStateKeepsAnswersCorrect) {
+  // Epoch invalidation across a growing graph: answers after a reset must
+  // match a fresh computation, including pairs cached before the reset.
+  HbGraph G;
+  std::vector<OpId> Ops;
+  for (int I = 0; I < 40; ++I) {
+    OpId Op2 = G.addOperation(op("n"));
+    if (I > 0 && I % 4 != 0)
+      G.addEdge(Ops[static_cast<size_t>(I / 2)], Op2, HbRule::RProgram);
+    Ops.push_back(Op2);
+  }
+  std::vector<bool> Before;
+  for (OpId A : Ops)
+    for (OpId B : Ops)
+      if (A < B)
+        Before.push_back(G.reachesDfs(A, B));
+  G.resetQueryState();
+  size_t I = 0;
+  for (OpId A : Ops)
+    for (OpId B : Ops)
+      if (A < B) {
+        EXPECT_EQ(G.reachesDfs(A, B), Before[I++]);
+      }
+}
+
 } // namespace

@@ -141,4 +141,39 @@ TEST(SessionTest, DispatchCountsCallback) {
   EXPECT_EQ(Counts(Never), 0);
 }
 
+TEST(SessionTest, HbStrategyDefaultMatchesSessionDefault) {
+  // A bare HbGraph and SessionOptions must agree on the default
+  // reachability strategy, so code holding a graph outside a session
+  // (benches, trace tooling) answers happensBefore() the same way.
+  EXPECT_EQ(HbGraph().usesVectorClocks(),
+            SessionOptions().UseVectorClocks);
+}
+
+TEST(SessionTest, ExpectedOperationsHintPreservesResults) {
+  // The capacity hint is purely an allocation hint: a hinted session must
+  // produce the identical statistics record (races, chains, clock arena
+  // bytes) as an unhinted one.
+  auto runWith = [](size_t Hint) {
+    SessionOptions Opts;
+    Opts.ExpectedOperations = Hint;
+    Session S{Opts};
+    S.network().addResource("index.html",
+                            "<script>x = 1;</script>"
+                            "<iframe src=\"a.html\"></iframe>"
+                            "<iframe src=\"b.html\"></iframe>",
+                            10);
+    S.network().addResource("a.html", "<script>x = 2;</script>", 1000);
+    S.network().addResource("b.html", "<script>alert(x);</script>", 2000);
+    return S.run("index.html");
+  };
+  SessionResult Plain = runWith(0);
+  SessionResult Hinted = runWith(4096);
+  EXPECT_EQ(Plain.RawRaces.size(), Hinted.RawRaces.size());
+  EXPECT_EQ(Plain.Stats.Operations, Hinted.Stats.Operations);
+  EXPECT_EQ(Plain.Stats.VcChains, Hinted.Stats.VcChains);
+  EXPECT_EQ(Plain.Stats.ClockBytes, Hinted.Stats.ClockBytes);
+  EXPECT_EQ(Plain.Stats.SharedClocks, Hinted.Stats.SharedClocks);
+  EXPECT_EQ(Plain.Stats.ClockMerges, Hinted.Stats.ClockMerges);
+}
+
 } // namespace

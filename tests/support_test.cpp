@@ -1,6 +1,7 @@
 //===- tests/support_test.cpp - support library tests ----------------------===//
 
 #include "support/Format.h"
+#include "support/InlineVec.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 
@@ -178,4 +179,89 @@ TEST(StringUtilsTest, ParseUint64Rejects) {
   EXPECT_FALSE(parseUint64("18446744073709551616", V)); // UINT64_MAX + 1.
   EXPECT_FALSE(parseUint64("99999999999999999999", V));
   EXPECT_EQ(V, 123u) << "failed parses must not touch the out-param";
+}
+
+TEST(InlineVecTest, StaysInlineUpToN) {
+  InlineVec<uint32_t, 2> V;
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.capacity(), 2u);
+  V.push_back(10);
+  V.push_back(20);
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_EQ(V.heapBytes(), 0u) << "within inline capacity, no heap";
+  EXPECT_EQ(V[0], 10u);
+  EXPECT_EQ(V.front(), 10u);
+  EXPECT_EQ(V.back(), 20u);
+}
+
+TEST(InlineVecTest, SpillsToHeapAndPreservesContents) {
+  InlineVec<uint32_t, 2> V;
+  for (uint32_t I = 0; I < 100; ++I)
+    V.push_back(I * 3);
+  EXPECT_EQ(V.size(), 100u);
+  EXPECT_GT(V.heapBytes(), 0u);
+  for (uint32_t I = 0; I < 100; ++I)
+    EXPECT_EQ(V[I], I * 3);
+  // Range-for works over both storage modes.
+  uint32_t Sum = 0;
+  for (uint32_t X : V)
+    Sum += X;
+  EXPECT_EQ(Sum, 3 * (99 * 100 / 2));
+}
+
+TEST(InlineVecTest, PushBackAliasingOwnStorageSurvivesGrowth) {
+  // Pushing an element of the vector itself must not read freed memory
+  // when the push triggers reallocation.
+  InlineVec<uint32_t, 2> V;
+  V.push_back(7);
+  V.push_back(8);             // Now exactly full.
+  V.push_back(V[0]);          // Grows; argument aliases old storage.
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[2], 7u);
+  while (V.size() < V.capacity())
+    V.push_back(1);
+  V.push_back(V.back());      // Heap-to-heap growth, same hazard.
+  EXPECT_EQ(V.back(), 1u);
+}
+
+TEST(InlineVecTest, CopyAndMoveSemantics) {
+  InlineVec<uint32_t, 2> Small;
+  Small.push_back(1);
+  InlineVec<uint32_t, 2> Big;
+  for (uint32_t I = 0; I < 10; ++I)
+    Big.push_back(I);
+
+  InlineVec<uint32_t, 2> CopySmall(Small);
+  InlineVec<uint32_t, 2> CopyBig(Big);
+  EXPECT_EQ(CopySmall.size(), 1u);
+  EXPECT_EQ(CopySmall[0], 1u);
+  ASSERT_EQ(CopyBig.size(), 10u);
+  EXPECT_EQ(CopyBig[9], 9u);
+  EXPECT_EQ(Big.size(), 10u) << "copy must not disturb the source";
+
+  InlineVec<uint32_t, 2> MovedBig(std::move(Big));
+  ASSERT_EQ(MovedBig.size(), 10u);
+  EXPECT_EQ(MovedBig[5], 5u);
+  EXPECT_TRUE(Big.empty()) << "moved-from is empty and reusable";
+  Big.push_back(42);
+  EXPECT_EQ(Big[0], 42u);
+
+  CopySmall = CopyBig; // Inline -> heap copy assignment.
+  ASSERT_EQ(CopySmall.size(), 10u);
+  EXPECT_EQ(CopySmall[7], 7u);
+  CopyBig = InlineVec<uint32_t, 2>(); // Shrink by move assignment.
+  EXPECT_TRUE(CopyBig.empty());
+}
+
+TEST(InlineVecTest, ClearKeepsCapacity) {
+  InlineVec<uint32_t, 2> V;
+  for (uint32_t I = 0; I < 50; ++I)
+    V.push_back(I);
+  uint32_t Cap = V.capacity();
+  V.clear();
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.capacity(), Cap) << "clear() must not release storage";
+  V.reserve(Cap + 100);
+  EXPECT_GE(V.capacity(), Cap + 100);
+  EXPECT_TRUE(V.empty());
 }

@@ -4,9 +4,11 @@
 Usage: diff_baseline.py BASELINE.json CURRENT.json
 
 Compares the deterministic headline counters (site count, aggregate
-operations / HB edges / CHC queries, intern and epoch fast-path hit
-counters, detect-phase virtual time, raw and filtered race totals per
-kind, filter attrition) and prints one line per drifted counter. The
+operations / HB edges / CHC queries, vector-clock chain and clock-arena
+counters (clock_bytes / clock_merges / shared_clocks), intern and epoch
+fast-path hit counters, detect-phase virtual time, raw and filtered race
+totals per kind, filter attrition) and prints one line per drifted
+counter. The
 diff is WARN-ONLY: drift exits 0 so CI surfaces it without failing the
 build (counters legitimately move when the corpus or detector changes;
 refresh the baseline in the same PR). Only malformed input exits
@@ -20,6 +22,10 @@ HEADLINE_PATHS = [
     ("aggregate", "operations"),
     ("aggregate", "hb_edges"),
     ("aggregate", "chc_queries"),
+    ("aggregate", "vc_chains"),
+    ("aggregate", "clock_bytes"),
+    ("aggregate", "clock_merges"),
+    ("aggregate", "shared_clocks"),
     ("aggregate", "accesses"),
     ("aggregate", "tracked_locations"),
     ("aggregate", "interned_locations"),
