@@ -1,0 +1,409 @@
+//===- analysis/Cfg.cpp - MiniJS control-flow graph lowering ---------------===//
+
+#include "analysis/Cfg.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace wr;
+using namespace wr::analysis;
+
+namespace {
+
+/// Stateful lowering walker. `Cur` is the block under construction;
+/// statements that end control flow (break, return) replace it with a
+/// fresh unreachable block so trailing statements still get anchored
+/// somewhere without growing edges.
+class CfgBuilder {
+public:
+  Cfg build(const std::vector<js::StmtPtr> &Body) {
+    newBlock(); // Entry (id 0).
+    newBlock(); // Exit (id 1).
+    Cur = Cfg::EntryId;
+    lowerStmts(Body);
+    addEdge(Cur, Cfg::ExitId, nullptr, true);
+    finish();
+    return std::move(G);
+  }
+
+private:
+  Cfg G;
+  uint32_t Cur = 0;
+  /// Jump targets of enclosing loops/switches. Loops push both; a
+  /// switch pushes only a break target.
+  std::vector<uint32_t> Breaks;
+  std::vector<uint32_t> Continues;
+
+  uint32_t newBlock() {
+    uint32_t Id = static_cast<uint32_t>(G.Blocks.size());
+    G.Blocks.push_back(CfgBlock{Id, {}, nullptr, {}, {}});
+    return Id;
+  }
+
+  void addEdge(uint32_t From, uint32_t To, const js::Expr *Cond,
+               bool WhenTrue) {
+    G.Blocks[From].Succs.push_back(CfgEdge{To, Cond, WhenTrue});
+    G.Blocks[To].Preds.push_back(From);
+  }
+
+  void anchor(const js::Stmt *S) {
+    G.BlockOf.emplace(S, Cur);
+    G.Blocks[Cur].Stmts.push_back(S);
+  }
+
+  void lowerStmts(const std::vector<js::StmtPtr> &Body) {
+    for (const js::StmtPtr &S : Body)
+      lowerStmt(S.get());
+  }
+
+  /// Decomposes the branch condition \p E, emitting conditional edges
+  /// from `Cur` to \p TrueT / \p FalseT. Logical operators chain
+  /// condition blocks; `!` swaps the targets; everything else becomes
+  /// one (true, false) edge pair carrying the atomic condition.
+  void lowerCond(const js::Expr *E, uint32_t TrueT, uint32_t FalseT) {
+    if (const auto *L = js::dyn_cast<js::Logical>(E)) {
+      uint32_t Rest = newBlock();
+      if (L->Op == js::LogicalOp::And)
+        lowerCond(L->Lhs.get(), Rest, FalseT);
+      else
+        lowerCond(L->Lhs.get(), TrueT, Rest);
+      Cur = Rest;
+      lowerCond(L->Rhs.get(), TrueT, FalseT);
+      return;
+    }
+    if (const auto *U = js::dyn_cast<js::Unary>(E)) {
+      if (U->Op == js::UnaryOp::Not) {
+        lowerCond(U->Operand.get(), FalseT, TrueT);
+        return;
+      }
+    }
+    G.Blocks[Cur].Term = E;
+    addEdge(Cur, TrueT, E, true);
+    addEdge(Cur, FalseT, E, false);
+  }
+
+  /// Moves `Cur` to a fresh block reached unconditionally - the shape
+  /// of every merge point.
+  void fallTo(uint32_t Next) {
+    addEdge(Cur, Next, nullptr, true);
+    Cur = Next;
+  }
+
+  void lowerStmt(const js::Stmt *S) {
+    switch (S->kind()) {
+    case js::AstKind::ExprStmt:
+    case js::AstKind::VarDecl:
+    case js::AstKind::FunctionDecl:
+    case js::AstKind::Empty:
+      anchor(S);
+      return;
+
+    case js::AstKind::Block: {
+      anchor(S);
+      lowerStmts(js::cast<js::Block>(S)->Stmts);
+      return;
+    }
+
+    case js::AstKind::If: {
+      const auto *I = js::cast<js::If>(S);
+      anchor(S); // Anchored where its condition evaluation begins.
+      uint32_t ThenB = newBlock();
+      uint32_t Merge = newBlock();
+      uint32_t ElseB = I->Else ? newBlock() : Merge;
+      lowerCond(I->Cond.get(), ThenB, ElseB);
+      Cur = ThenB;
+      lowerStmt(I->Then.get());
+      addEdge(Cur, Merge, nullptr, true);
+      if (I->Else) {
+        Cur = ElseB;
+        lowerStmt(I->Else.get());
+        addEdge(Cur, Merge, nullptr, true);
+      }
+      Cur = Merge;
+      return;
+    }
+
+    case js::AstKind::While: {
+      const auto *W = js::cast<js::While>(S);
+      uint32_t Header = newBlock();
+      fallTo(Header);
+      anchor(S);
+      uint32_t BodyB = newBlock();
+      uint32_t Merge = newBlock();
+      lowerCond(W->Cond.get(), BodyB, Merge);
+      Breaks.push_back(Merge);
+      Continues.push_back(Header);
+      Cur = BodyB;
+      lowerStmt(W->Body.get());
+      addEdge(Cur, Header, nullptr, true); // Loop back edge.
+      Breaks.pop_back();
+      Continues.pop_back();
+      Cur = Merge;
+      return;
+    }
+
+    case js::AstKind::DoWhile: {
+      const auto *D = js::cast<js::DoWhile>(S);
+      uint32_t BodyB = newBlock();
+      uint32_t CondB = newBlock();
+      uint32_t Merge = newBlock();
+      fallTo(BodyB);
+      anchor(S); // Anchored at the body, which runs first.
+      Breaks.push_back(Merge);
+      Continues.push_back(CondB);
+      lowerStmt(D->Body.get());
+      addEdge(Cur, CondB, nullptr, true);
+      Breaks.pop_back();
+      Continues.pop_back();
+      Cur = CondB;
+      lowerCond(D->Cond.get(), BodyB, Merge); // True edge is the back edge.
+      Cur = Merge;
+      return;
+    }
+
+    case js::AstKind::For: {
+      const auto *F = js::cast<js::For>(S);
+      if (F->Init)
+        lowerStmt(F->Init.get());
+      uint32_t Header = newBlock();
+      fallTo(Header);
+      anchor(S);
+      uint32_t BodyB = newBlock();
+      uint32_t Latch = newBlock();
+      uint32_t Merge = newBlock();
+      if (F->Cond)
+        lowerCond(F->Cond.get(), BodyB, Merge);
+      else
+        addEdge(Cur, BodyB, nullptr, true);
+      Breaks.push_back(Merge);
+      Continues.push_back(Latch);
+      Cur = BodyB;
+      lowerStmt(F->Body.get());
+      addEdge(Cur, Latch, nullptr, true);
+      Breaks.pop_back();
+      Continues.pop_back();
+      G.Blocks[Latch].Term = F->Step.get(); // May be null.
+      addEdge(Latch, Header, nullptr, true); // Loop back edge.
+      Cur = Merge;
+      return;
+    }
+
+    case js::AstKind::ForIn: {
+      const auto *F = js::cast<js::ForIn>(S);
+      uint32_t Header = newBlock();
+      fallTo(Header);
+      anchor(S);
+      // The enumeration itself is not a guardable condition: both the
+      // body and the exit are reached unconditionally (zero or more
+      // iterations).
+      G.Blocks[Header].Term = F->Object.get();
+      uint32_t BodyB = newBlock();
+      uint32_t Merge = newBlock();
+      addEdge(Header, BodyB, nullptr, true);
+      addEdge(Header, Merge, nullptr, true);
+      Breaks.push_back(Merge);
+      Continues.push_back(Header);
+      Cur = BodyB;
+      lowerStmt(F->Body.get());
+      addEdge(Cur, Header, nullptr, true); // Loop back edge.
+      Breaks.pop_back();
+      Continues.pop_back();
+      Cur = Merge;
+      return;
+    }
+
+    case js::AstKind::Switch: {
+      const auto *Sw = js::cast<js::Switch>(S);
+      anchor(S);
+      G.Blocks[Cur].Term = Sw->Disc.get();
+      uint32_t Merge = newBlock();
+      Breaks.push_back(Merge);
+
+      // One body block per case, created upfront so fallthrough and
+      // the test chain can both target them.
+      std::vector<uint32_t> CaseB;
+      CaseB.reserve(Sw->Cases.size());
+      int DefaultIdx = -1;
+      for (size_t I = 0; I < Sw->Cases.size(); ++I) {
+        CaseB.push_back(newBlock());
+        if (!Sw->Cases[I].Test)
+          DefaultIdx = static_cast<int>(I);
+      }
+
+      // Test chain: each tested case gets a dispatch block whose Term
+      // is the case test (for read attribution) but whose edges are
+      // unconditional - `case 0:` must not become a ConstFalse guard.
+      for (size_t I = 0; I < Sw->Cases.size(); ++I) {
+        if (!Sw->Cases[I].Test)
+          continue;
+        if (G.Blocks[Cur].Term) // Don't clobber Disc / a previous test.
+          fallTo(newBlock());
+        uint32_t Next = newBlock();
+        G.Blocks[Cur].Term = Sw->Cases[I].Test.get();
+        addEdge(Cur, CaseB[I], nullptr, true);
+        addEdge(Cur, Next, nullptr, true);
+        Cur = Next;
+      }
+      // No test matched: fall to the default body, or past the switch.
+      addEdge(Cur, DefaultIdx >= 0 ? CaseB[DefaultIdx] : Merge, nullptr,
+              true);
+
+      for (size_t I = 0; I < Sw->Cases.size(); ++I) {
+        Cur = CaseB[I];
+        for (const js::StmtPtr &Child : Sw->Cases[I].Body)
+          lowerStmt(Child.get());
+        // Fallthrough into the next case body, or out of the switch.
+        addEdge(Cur, I + 1 < CaseB.size() ? CaseB[I + 1] : Merge, nullptr,
+                true);
+      }
+      Breaks.pop_back();
+      Cur = Merge;
+      return;
+    }
+
+    case js::AstKind::Break: {
+      anchor(S);
+      addEdge(Cur, Breaks.empty() ? Cfg::ExitId : Breaks.back(), nullptr,
+              true);
+      Cur = newBlock(); // Unreachable continuation.
+      return;
+    }
+
+    case js::AstKind::Continue: {
+      anchor(S);
+      addEdge(Cur, Continues.empty() ? Cfg::ExitId : Continues.back(),
+              nullptr, true);
+      Cur = newBlock();
+      return;
+    }
+
+    case js::AstKind::Return:
+    case js::AstKind::Throw: {
+      anchor(S);
+      addEdge(Cur, Cfg::ExitId, nullptr, true);
+      Cur = newBlock();
+      return;
+    }
+
+    case js::AstKind::Try: {
+      const auto *T = js::cast<js::Try>(S);
+      anchor(S);
+      // Approximation: the body may throw at any point, so the catch
+      // block joins from the state *before* the body - conservative
+      // for guard intersection (catch inherits no body guards) and for
+      // reaching entry definitions (no body kill is assumed).
+      uint32_t PreB = Cur;
+      lowerStmt(T->Body.get());
+      uint32_t BodyEnd = Cur;
+      uint32_t Join = newBlock();
+      addEdge(BodyEnd, Join, nullptr, true);
+      if (T->Catch) {
+        uint32_t CatchB = newBlock();
+        addEdge(PreB, CatchB, nullptr, true);
+        Cur = CatchB;
+        lowerStmt(T->Catch.get());
+        addEdge(Cur, Join, nullptr, true);
+      }
+      Cur = Join;
+      if (T->Finally)
+        lowerStmt(T->Finally.get());
+      return;
+    }
+
+    default:
+      anchor(S); // Unknown statements: straight-line, no edges.
+      return;
+    }
+  }
+
+  /// Computes back edges by DFS gray-node detection and drops
+  /// duplicate pred entries left by edge insertion order.
+  void finish() {
+    enum Color : uint8_t { White, Gray, Black };
+    std::vector<Color> Colors(G.Blocks.size(), White);
+    // Iterative DFS; the second stack entry marks post-visit.
+    std::vector<std::pair<uint32_t, bool>> Stack{{Cfg::EntryId, false}};
+    while (!Stack.empty()) {
+      auto [B, Post] = Stack.back();
+      Stack.pop_back();
+      if (Post) {
+        Colors[B] = Black;
+        continue;
+      }
+      if (Colors[B] != White)
+        continue;
+      Colors[B] = Gray;
+      Stack.push_back({B, true});
+      for (const CfgEdge &E : G.Blocks[B].Succs) {
+        if (Colors[E.To] == Gray)
+          G.BackEdges.emplace_back(B, E.To);
+        else if (Colors[E.To] == White)
+          Stack.push_back({E.To, false});
+      }
+    }
+    std::sort(G.BackEdges.begin(), G.BackEdges.end());
+    G.BackEdges.erase(std::unique(G.BackEdges.begin(), G.BackEdges.end()),
+                      G.BackEdges.end());
+  }
+};
+
+} // namespace
+
+Cfg Cfg::lowerBody(const std::vector<js::StmtPtr> &Body) {
+  CfgBuilder Builder;
+  return Builder.build(Body);
+}
+
+Cfg Cfg::lower(const js::Program &P) { return lowerBody(P.Body); }
+
+Cfg Cfg::lower(const js::FunctionLiteral &Fn) {
+  if (!Fn.Body)
+    return lowerBody({});
+  return lowerBody(Fn.Body->Stmts);
+}
+
+std::vector<uint32_t> Cfg::rpo() const {
+  std::vector<uint32_t> Order;
+  std::vector<uint8_t> Done(Blocks.size(), 0);
+  std::vector<std::pair<uint32_t, size_t>> Stack{{EntryId, 0}};
+  Done[EntryId] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    if (NextSucc < Blocks[B].Succs.size()) {
+      uint32_t To = Blocks[B].Succs[NextSucc++].To;
+      if (!Done[To]) {
+        Done[To] = 1;
+        Stack.push_back({To, 0});
+      }
+      continue;
+    }
+    Order.push_back(B);
+    Stack.pop_back();
+  }
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+std::string Cfg::dump() const {
+  std::string Out;
+  for (const CfgBlock &B : Blocks) {
+    Out += strFormat("b%u:", B.Id);
+    if (B.Id == EntryId)
+      Out += " [entry]";
+    if (B.Id == ExitId)
+      Out += " [exit]";
+    for (const js::Stmt *S : B.Stmts)
+      Out += strFormat(" %s", js::astKindName(S->kind()));
+    Out += " ->";
+    for (const CfgEdge &E : B.Succs) {
+      if (E.Cond)
+        Out += strFormat(" b%u(%s:%s)", E.To, E.WhenTrue ? "T" : "F",
+                         js::renderExpr(*E.Cond).c_str());
+      else
+        Out += strFormat(" b%u", E.To);
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,110 @@
+//===- analysis/Cfg.h - MiniJS control-flow graph lowering ------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a MiniJS AST (one script, handler, or function body) into a
+/// control-flow graph of basic blocks so the dataflow engine
+/// (Dataflow.h) can run flow-sensitive analyses over it. The lowering
+/// covers the full MiniJS statement set:
+///
+///  * `if`/`else`, `while`, `do..while`, `for`, `for..in`, `switch`
+///    (with fallthrough), `break`/`continue`, `return`/`throw`, and
+///    `try`/`catch`/`finally` (approximated: the catch block is
+///    reachable from the state *before* the try body, the conservative
+///    direction for both analyses we run).
+///  * Short-circuit conditions: `a && b` / `a || b` in branch position
+///    decompose into chained condition blocks, and `!c` swaps the
+///    branch targets, so each conditional edge carries one atomic
+///    condition expression.
+///
+/// Invariants the lowering maintains (tested in tests/cfg_test.cpp):
+///
+///  * Block 0 is the entry, block 1 the exit; the exit has no
+///    successors.
+///  * Every AST statement (excluding those inside nested function
+///    literals, which get their own Cfg) maps to exactly one block -
+///    the block in which its execution, or the evaluation of its
+///    condition, begins.
+///  * Conditional edges come in (true, false) pairs leaving the same
+///    block with the same condition expression; unconditional edges
+///    have a null condition. Case tests of a `switch` are deliberately
+///    NOT condition edges: `case 0:` is an equality dispatch, not a
+///    guard.
+///  * Loop back edges (computed by depth-first search) are exactly the
+///    edges returning to a loop header.
+///
+/// Nested function bodies are not lowered into the enclosing graph;
+/// the effect pass builds a separate Cfg per body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_ANALYSIS_CFG_H
+#define WEBRACER_ANALYSIS_CFG_H
+
+#include "js/Ast.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace wr::analysis {
+
+/// One control-flow edge. `Cond` is null for unconditional edges;
+/// conditional edges record the atomic branch condition and the
+/// polarity with which it holds along the edge.
+struct CfgEdge {
+  uint32_t To = 0;
+  const js::Expr *Cond = nullptr;
+  bool WhenTrue = true;
+};
+
+/// A basic block: the statements that start in it, an optional
+/// terminator expression (branch condition, switch discriminant, or
+/// `for`-step, recorded so expression reads/writes stay attributable
+/// to a block), and the edge lists.
+struct CfgBlock {
+  uint32_t Id = 0;
+  std::vector<const js::Stmt *> Stmts;
+  const js::Expr *Term = nullptr;
+  std::vector<CfgEdge> Succs;
+  std::vector<uint32_t> Preds;
+};
+
+class Cfg {
+public:
+  static constexpr uint32_t EntryId = 0;
+  static constexpr uint32_t ExitId = 1;
+
+  std::vector<CfgBlock> Blocks;
+  /// Anchor block of every lowered statement (see file comment).
+  std::unordered_map<const js::Stmt *, uint32_t> BlockOf;
+  /// (from, to) pairs of loop back edges, from a DFS over the graph.
+  std::vector<std::pair<uint32_t, uint32_t>> BackEdges;
+
+  /// Lowers a top-level program body.
+  static Cfg lower(const js::Program &P);
+  /// Lowers a function body (parameters play no control-flow role).
+  static Cfg lower(const js::FunctionLiteral &Fn);
+
+  const CfgBlock &entry() const { return Blocks[EntryId]; }
+  const CfgBlock &exit() const { return Blocks[ExitId]; }
+
+  /// Reverse postorder over the blocks reachable from the entry - the
+  /// iteration order that makes forward dataflow converge fastest.
+  std::vector<uint32_t> rpo() const;
+
+  /// Debug rendering: one line per block with statement kinds and
+  /// successor edges.
+  std::string dump() const;
+
+private:
+  static Cfg lowerBody(const std::vector<js::StmtPtr> &Body);
+};
+
+} // namespace wr::analysis
+
+#endif // WEBRACER_ANALYSIS_CFG_H

@@ -129,6 +129,91 @@ MappedDynamicRace mapDynamicRace(const detect::Race &R, rt::Browser &B) {
 
 } // namespace
 
+std::vector<MappedDynamicRace>
+wr::analysis::mapDynamicRaces(const std::vector<detect::Race> &Races,
+                              rt::Browser &B) {
+  std::vector<MappedDynamicRace> Out;
+  Out.reserve(Races.size());
+  for (const detect::Race &R : Races)
+    Out.push_back(mapDynamicRace(R, B));
+  return Out;
+}
+
+void StaticPrecision::add(const PredictedRace &P, bool WasConfirmed) {
+  ++Predicted;
+  GuardClassCounts &C = ByClass[static_cast<size_t>(P.Class)];
+  ++C.Predicted;
+  if (WasConfirmed) {
+    ++Confirmed;
+    ++C.Confirmed;
+    return;
+  }
+  ++Refuted;
+  ++C.Refuted;
+  if (P.Class == GuardClass::GuardedBothSides)
+    ++RefutedByGuards;
+}
+
+void StaticPrecision::merge(const StaticPrecision &O) {
+  Predicted += O.Predicted;
+  Confirmed += O.Confirmed;
+  Refuted += O.Refuted;
+  RefutedByGuards += O.RefutedByGuards;
+  for (size_t I = 0; I < 3; ++I) {
+    ByClass[I].Predicted += O.ByClass[I].Predicted;
+    ByClass[I].Confirmed += O.ByClass[I].Confirmed;
+    ByClass[I].Refuted += O.ByClass[I].Refuted;
+  }
+}
+
+obs::Json StaticPrecision::toJson() const {
+  obs::Json Doc = obs::Json::object();
+  Doc.set("predicted", Predicted);
+  Doc.set("confirmed", Confirmed);
+  Doc.set("refuted", Refuted);
+  Doc.set("refuted_by_guards", RefutedByGuards);
+  obs::Json Classes = obs::Json::object();
+  static const char *const Keys[3] = {"unguarded", "guarded_one_side",
+                                      "guarded_both_sides"};
+  for (size_t I = 0; I < 3; ++I) {
+    obs::Json C = obs::Json::object();
+    C.set("predicted", ByClass[I].Predicted);
+    C.set("confirmed", ByClass[I].Confirmed);
+    C.set("refuted", ByClass[I].Refuted);
+    Classes.set(Keys[I], std::move(C));
+  }
+  Doc.set("by_class", std::move(Classes));
+  return Doc;
+}
+
+StaticPrecision
+wr::analysis::tallyPrecision(const std::vector<PredictedRace> &Predictions,
+                             std::vector<MappedDynamicRace> &Dynamic,
+                             std::vector<PredictedRace> *Confirmed,
+                             std::vector<PredictedRace> *Refuted) {
+  std::vector<bool> PredConfirmed(Predictions.size(), false);
+  for (MappedDynamicRace &D : Dynamic) {
+    for (size_t I = 0; I < Predictions.size(); ++I) {
+      const PredictedRace &P = Predictions[I];
+      if (P.Kind != D.Kind || !locationsMayAlias(P.Loc, D.Loc))
+        continue;
+      D.Predicted = true;
+      PredConfirmed[I] = true;
+    }
+  }
+  StaticPrecision Totals;
+  for (size_t I = 0; I < Predictions.size(); ++I) {
+    Totals.add(Predictions[I], PredConfirmed[I]);
+    if (PredConfirmed[I]) {
+      if (Confirmed)
+        Confirmed->push_back(Predictions[I]);
+    } else if (Refuted) {
+      Refuted->push_back(Predictions[I]);
+    }
+  }
+  return Totals;
+}
+
 CrossCheckResult wr::analysis::crossCheck(const PageSpec &Page,
                                           const CrossCheckOptions &Opts) {
   CrossCheckResult Result;
@@ -147,25 +232,9 @@ CrossCheckResult wr::analysis::crossCheck(const PageSpec &Page,
   const std::vector<detect::Race> &Observed =
       Opts.UseFilteredRaces ? Result.Dynamic.FilteredRaces
                             : Result.Dynamic.RawRaces;
-  for (const detect::Race &R : Observed)
-    Result.DynamicRaces.push_back(mapDynamicRace(R, S.browser()));
-
-  std::vector<bool> PredConfirmed(Result.Static.Races.size(), false);
-  for (MappedDynamicRace &D : Result.DynamicRaces) {
-    for (size_t I = 0; I < Result.Static.Races.size(); ++I) {
-      const PredictedRace &P = Result.Static.Races[I];
-      if (P.Kind != D.Kind || !locationsMayAlias(P.Loc, D.Loc))
-        continue;
-      D.Predicted = true;
-      PredConfirmed[I] = true;
-    }
-  }
-  for (size_t I = 0; I < Result.Static.Races.size(); ++I) {
-    if (PredConfirmed[I])
-      Result.Confirmed.push_back(Result.Static.Races[I]);
-    else
-      Result.Refuted.push_back(Result.Static.Races[I]);
-  }
+  Result.DynamicRaces = mapDynamicRaces(Observed, S.browser());
+  Result.Precision = tallyPrecision(Result.Static.Races, Result.DynamicRaces,
+                                    &Result.Confirmed, &Result.Refuted);
   return Result;
 }
 
@@ -183,6 +252,18 @@ std::string wr::analysis::formatReport(const CrossCheckResult &R) {
          std::to_string(R.missedCount()) + "\n";
   Out += "precision " + formatRatio(R.precision()) + ", recall " +
          formatRatio(R.recall()) + "\n";
+  static const GuardClass Classes[3] = {GuardClass::Unguarded,
+                                        GuardClass::GuardedOneSide,
+                                        GuardClass::GuardedBothSides};
+  Out += "guards:";
+  for (GuardClass C : Classes) {
+    const GuardClassCounts &N = R.Precision.ByClass[static_cast<size_t>(C)];
+    Out += " " + std::string(toString(C)) + " " +
+           std::to_string(N.Predicted) + "/" + std::to_string(N.Confirmed) +
+           "/" + std::to_string(N.Refuted);
+  }
+  Out += " (predicted/confirmed/refuted), refuted-by-guards " +
+         std::to_string(R.Precision.RefutedByGuards) + "\n";
   for (const PredictedRace &P : R.Confirmed)
     Out += "  [confirmed] " + toString(P) + "\n";
   for (const PredictedRace &P : R.Refuted)
@@ -237,6 +318,7 @@ obs::Json wr::analysis::buildCrossCheckReport(
                                           "static-vs-dynamic");
   obs::Json Pages = obs::Json::array();
   size_t TotalPred = 0, TotalDyn = 0, TotalConf = 0, TotalMiss = 0;
+  StaticPrecision MergedPrecision;
   for (const CrossCheckResult &R : Results) {
     obs::Json Row = obs::Json::object();
     Row.set("name", R.Name);
@@ -260,12 +342,14 @@ obs::Json wr::analysis::buildCrossCheckReport(
         Missed.push(std::string(detect::toString(D.Kind)) + " race on " +
                     D.Dynamic);
     Row.set("missed_dynamic_races", std::move(Missed));
+    Row.set("static_precision", R.Precision.toJson());
     Row.set("stats", R.Dynamic.Stats.toJson());
     Pages.push(std::move(Row));
     TotalPred += R.predictedCount();
     TotalDyn += R.dynamicCount();
     TotalConf += R.confirmedCount();
     TotalMiss += R.missedCount();
+    MergedPrecision.merge(R.Precision);
   }
   Doc.set("pages", std::move(Pages));
   obs::Json Totals = obs::Json::object();
@@ -281,5 +365,6 @@ obs::Json wr::analysis::buildCrossCheckReport(
                            : static_cast<double>(TotalDyn - TotalMiss) /
                                  TotalDyn);
   Doc.set("totals", std::move(Totals));
+  Doc.set("static_precision", MergedPrecision.toJson());
   return Doc;
 }

@@ -46,6 +46,46 @@ struct MappedDynamicRace {
   bool Predicted = false;
 };
 
+/// Maps dynamic race reports into static-location space. \p B must be
+/// the browser the races were observed in (node identities resolve
+/// against it), so call this while the session is still alive.
+std::vector<MappedDynamicRace>
+mapDynamicRaces(const std::vector<detect::Race> &Races, rt::Browser &B);
+
+/// Confirmed/refuted counters for one guard class.
+struct GuardClassCounts {
+  uint64_t Predicted = 0;
+  uint64_t Confirmed = 0;
+  uint64_t Refuted = 0;
+};
+
+/// Precision accounting per guard class: how predictions fared against
+/// the dynamic run, split by how much the code statically defends
+/// against them. RefutedByGuards is the headline: predictions that are
+/// guarded on both sides *and* never showed up dynamically - false
+/// positives the guard analysis explains away.
+struct StaticPrecision {
+  uint64_t Predicted = 0;
+  uint64_t Confirmed = 0;
+  uint64_t Refuted = 0;
+  uint64_t RefutedByGuards = 0;
+  /// Indexed by GuardClass.
+  GuardClassCounts ByClass[3];
+
+  void add(const PredictedRace &P, bool WasConfirmed);
+  void merge(const StaticPrecision &O);
+  obs::Json toJson() const;
+};
+
+/// Matches \p Predictions against \p Dynamic: marks each mapped race
+/// Predicted when some prediction aliases it, appends each prediction
+/// to \p Confirmed or \p Refuted (either may be null), and returns the
+/// per-guard-class tallies.
+StaticPrecision tallyPrecision(const std::vector<PredictedRace> &Predictions,
+                               std::vector<MappedDynamicRace> &Dynamic,
+                               std::vector<PredictedRace> *Confirmed,
+                               std::vector<PredictedRace> *Refuted);
+
 /// Everything one page's cross-check produced.
 struct CrossCheckResult {
   std::string Name;
@@ -57,6 +97,8 @@ struct CrossCheckResult {
   std::vector<PredictedRace> Confirmed;
   /// Predictions no dynamic race matched (potential false positives).
   std::vector<PredictedRace> Refuted;
+  /// Per-guard-class precision accounting for this page.
+  StaticPrecision Precision;
 
   size_t predictedCount() const { return Static.Races.size(); }
   size_t confirmedCount() const { return Confirmed.size(); }

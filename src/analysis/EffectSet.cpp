@@ -2,9 +2,11 @@
 
 #include "analysis/EffectSet.h"
 
+#include "analysis/Dataflow.h"
 #include "js/AstVisitor.h"
 #include "js/Parser.h"
 
+#include <memory>
 #include <unordered_set>
 
 using namespace wr;
@@ -47,23 +49,44 @@ size_t StaticLocHash::operator()(const StaticLoc &Loc) const {
 }
 
 void EffectSet::add(Effect E) {
-  for (const Effect &Existing : Effects)
-    if (Existing == E)
-      return;
+  for (Effect &Existing : Effects) {
+    if (!Existing.sameAccess(E))
+      continue;
+    // The access happens on several paths: a defense only counts if it
+    // holds on all of them.
+    Existing.Guards.intersectWith(E.Guards);
+    Existing.SyncRead = Existing.SyncRead && E.SyncRead;
+    return;
+  }
   Effects.push_back(std::move(E));
 }
 
-bool EffectSet::has(AccessKind Kind, StaticLocKind LocKind,
-                    const std::string &Name,
-                    const std::string &EventType) const {
+void EffectSet::addGuards(const GuardSet &G) {
+  if (G.empty())
+    return;
+  for (Effect &E : Effects)
+    E.Guards.addAll(G);
+  for (CallbackReg &Reg : Callbacks)
+    Reg.Guards.addAll(G);
+}
+
+const Effect *EffectSet::find(AccessKind Kind, StaticLocKind LocKind,
+                              const std::string &Name,
+                              const std::string &EventType) const {
   for (const Effect &E : Effects) {
     if (E.Kind != Kind || E.Loc.Kind != LocKind || E.Loc.Name != Name)
       continue;
     if (LocKind == StaticLocKind::Handler && E.Loc.EventType != EventType)
       continue;
-    return true;
+    return &E;
   }
-  return false;
+  return nullptr;
+}
+
+bool EffectSet::has(AccessKind Kind, StaticLocKind LocKind,
+                    const std::string &Name,
+                    const std::string &EventType) const {
+  return find(Kind, LocKind, Name, EventType) != nullptr;
 }
 
 bool wr::analysis::locationsMayAlias(const StaticLoc &A,
@@ -194,15 +217,21 @@ public:
 
   /// Runs over a whole script/handler body.
   void run(const Program &P) {
+    Bodies.push_back({std::make_unique<FlowInfo>(P), {}});
     hoistInto(P.Body, /*Global=*/true);
     for (const StmtPtr &S : P.Body)
       walkStmt(S.get());
+    Bodies.pop_back();
   }
 
   /// Runs over a called function's body, flattening its effects into the
-  /// same sink with a fresh local scope.
+  /// same sink with a fresh local scope. The caller's guards at the
+  /// call site dominate everything the callee does.
   void runFunction(const FunctionLiteral &Fn) {
+    GuardSet SavedInherited = Inherited;
+    Inherited = currentGuards();
     Scopes.push_back({});
+    Bodies.push_back({std::make_unique<FlowInfo>(Fn), {}});
     for (const std::string &Param : Fn.Params)
       Scopes.back().Locals.insert(Param);
     if (Fn.Body) {
@@ -210,10 +239,18 @@ public:
       for (const StmtPtr &S : Fn.Body->Stmts)
         walkStmt(S.get());
     }
+    Bodies.pop_back();
     Scopes.pop_back();
+    Inherited = std::move(SavedInherited);
   }
 
 private:
+  /// Per-body flow context: the dataflow facts and the stack of
+  /// statements currently being walked (top = the anchor for effects).
+  struct BodyCtx {
+    std::unique_ptr<FlowInfo> Flow;
+    std::vector<const Stmt *> StmtStack;
+  };
   struct Scope {
     std::unordered_set<std::string> Locals;
     /// name -> DOM id, for `var f = document.getElementById('x')`.
@@ -253,9 +290,11 @@ private:
       Scopes.back().FnAliases[F->Fn.Name] = &F->Fn;
       if (Global) {
         // Hoisting a top-level declaration writes the global (this is
-        // the write side of every function race).
-        Out.add({AccessKind::Write, AccessOrigin::FunctionDecl,
-                 {StaticLocKind::Var, F->Fn.Name, ""}});
+        // the write side of every function race). It happens at
+        // operation entry, before any branch, so only inherited guards
+        // apply.
+        emit(AccessKind::Write, AccessOrigin::FunctionDecl,
+             {StaticLocKind::Var, F->Fn.Name, ""});
       } else {
         Scopes.back().Locals.insert(F->Fn.Name);
       }
@@ -288,7 +327,76 @@ private:
     return false;
   }
 
+  // -- Guard context ---------------------------------------------------------
+
+  /// The guards dominating the current program point: guards inherited
+  /// from the flattening call site, guards the dataflow engine proved
+  /// for the statement being walked, and guards of enclosing
+  /// conditional-expression arms.
+  GuardSet currentGuards() const {
+    GuardSet G = Inherited;
+    if (!Bodies.empty() && Bodies.back().Flow &&
+        !Bodies.back().StmtStack.empty())
+      G.addAll(Bodies.back().Flow->guardsAt(Bodies.back().StmtStack.back()));
+    for (const Guard &Arm : ExprGuardStack)
+      G.add(Arm);
+    return G;
+  }
+
+  void pushStmt(const Stmt *S) {
+    if (!Bodies.empty())
+      Bodies.back().StmtStack.push_back(S);
+  }
+
+  void popStmt() {
+    if (!Bodies.empty() && !Bodies.back().StmtStack.empty())
+      Bodies.back().StmtStack.pop_back();
+  }
+
+  /// Walks a branch-condition expression: reads inside it are the
+  /// defense itself (SyncRead), not an unprotected access.
+  void walkGuardExpr(const Expr *E) {
+    ++GuardExprDepth;
+    walkExpr(E);
+    --GuardExprDepth;
+  }
+
+  /// Walks one arm of a conditional expression under the classified
+  /// guard of its condition.
+  void walkGuardedArm(const Expr *Cond, bool WhenTrue, const Expr *Arm) {
+    std::optional<Guard> G = classifyGuard(Cond, WhenTrue);
+    if (G)
+      ExprGuardStack.push_back(*G);
+    walkExpr(Arm);
+    if (G)
+      ExprGuardStack.pop_back();
+  }
+
   // -- Emission helpers ------------------------------------------------------
+
+  /// Central effect sink: attaches the dominating guards, drops
+  /// statically dead effects (a literally-false guard means the code
+  /// cannot run), and drops unexposed global reads (every path wrote
+  /// the variable first within this same atomic operation, so the
+  /// write alone carries the race).
+  void emit(AccessKind Kind, AccessOrigin Origin, StaticLoc Loc) {
+    Effect E;
+    E.Kind = Kind;
+    E.Origin = Origin;
+    E.Loc = std::move(Loc);
+    E.Guards = currentGuards();
+    if (E.Guards.hasConstFalse())
+      return;
+    if (Kind == AccessKind::Read) {
+      E.SyncRead = GuardExprDepth > 0;
+      if (E.Loc.Kind == StaticLocKind::Var && !Bodies.empty() &&
+          Bodies.back().Flow && !Bodies.back().StmtStack.empty() &&
+          Bodies.back().Flow->definitelyWrittenBefore(
+              Bodies.back().StmtStack.back(), E.Loc.Name))
+        return;
+    }
+    Out.add(std::move(E));
+  }
 
   /// Host-provided names whose reads are ambient, not racy globals.
   static bool isBuiltinName(const std::string &Name) {
@@ -305,13 +413,13 @@ private:
   void readVar(const std::string &Name, AccessOrigin Origin) {
     if (isLocal(Name) || isBuiltinName(Name))
       return;
-    Out.add({AccessKind::Read, Origin, {StaticLocKind::Var, Name, ""}});
+    emit(AccessKind::Read, Origin, {StaticLocKind::Var, Name, ""});
   }
 
   void writeVar(const std::string &Name, AccessOrigin Origin) {
     if (isLocal(Name))
       return;
-    Out.add({AccessKind::Write, Origin, {StaticLocKind::Var, Name, ""}});
+    emit(AccessKind::Write, Origin, {StaticLocKind::Var, Name, ""});
   }
 
   // -- Static value resolution -----------------------------------------------
@@ -363,8 +471,8 @@ private:
     if (!E)
       return {};
     if (const StringLit *IdLit = asGetElementByIdCall(E)) {
-      Out.add({AccessKind::Read, AccessOrigin::ElemLookup,
-               {StaticLocKind::Elem, IdLit->V, ""}});
+      emit(AccessKind::Read, AccessOrigin::ElemLookup,
+           {StaticLocKind::Elem, IdLit->V, ""});
       return {BaseKind::DomId, IdLit->V};
     }
     ResolvedBase R = resolveBase(E);
@@ -392,9 +500,13 @@ private:
       // Referencing the handler reads the variable now...
       readVar(I->Name, AccessOrigin::Plain);
       // ...the fire re-resolves the name (the Fig. 4 read side)...
-      if (!isLocal(I->Name) && !isBuiltinName(I->Name))
-        Body.add({AccessKind::Read, AccessOrigin::FunctionCall,
-                  {StaticLocKind::Var, I->Name, ""}});
+      if (!isLocal(I->Name) && !isBuiltinName(I->Name)) {
+        Effect Fire;
+        Fire.Kind = AccessKind::Read;
+        Fire.Origin = AccessOrigin::FunctionCall;
+        Fire.Loc = {StaticLocKind::Var, I->Name, ""};
+        Body.add(std::move(Fire));
+      }
       // ...and running it has the function's effects.
       if (const FunctionLiteral *Fn = lookupFunction(I->Name)) {
         if (FlattenStack.insert(I->Name).second) {
@@ -433,20 +545,20 @@ private:
     switch (Base.Kind) {
     case BaseKind::DomId:
       if (isFormValueProp(M.Name)) {
-        Out.add({AccessKind::Read, AccessOrigin::FormFieldRead,
-                 {StaticLocKind::FormField, Base.Id, ""}});
+        emit(AccessKind::Read, AccessOrigin::FormFieldRead,
+             {StaticLocKind::FormField, Base.Id, ""});
       } else if (isEventSlot(M.Name)) {
-        Out.add({AccessKind::Read, AccessOrigin::Plain,
-                 {StaticLocKind::Handler, Base.Id, M.Name.substr(2)}});
+        emit(AccessKind::Read, AccessOrigin::Plain,
+             {StaticLocKind::Handler, Base.Id, M.Name.substr(2)});
       }
       return;
     case BaseKind::Window:
     case BaseKind::Document:
       if (isEventSlot(M.Name)) {
-        Out.add({AccessKind::Read, AccessOrigin::Plain,
-                 {StaticLocKind::Handler,
-                  Base.Kind == BaseKind::Window ? "window" : "document",
-                  M.Name.substr(2)}});
+        emit(AccessKind::Read, AccessOrigin::Plain,
+             {StaticLocKind::Handler,
+              Base.Kind == BaseKind::Window ? "window" : "document",
+              M.Name.substr(2)});
       } else if (Base.Kind == BaseKind::Window) {
         // window.x aliases the global x.
         readVar(M.Name, AccessOrigin::Plain);
@@ -465,11 +577,11 @@ private:
     case BaseKind::DomId:
       if (isFormValueProp(M.Name)) {
         if (CompoundRead)
-          Out.add({AccessKind::Read, AccessOrigin::FormFieldRead,
-                   {StaticLocKind::FormField, Base.Id, ""}});
+          emit(AccessKind::Read, AccessOrigin::FormFieldRead,
+               {StaticLocKind::FormField, Base.Id, ""});
         evalValue(Value);
-        Out.add({AccessKind::Write, AccessOrigin::FormFieldWrite,
-                 {StaticLocKind::FormField, Base.Id, ""}});
+        emit(AccessKind::Write, AccessOrigin::FormFieldWrite,
+             {StaticLocKind::FormField, Base.Id, ""});
         return;
       }
       Target = Base.Id;
@@ -501,12 +613,13 @@ private:
         HavePendingXhrHandler = true;
         return;
       }
-      Out.add({AccessKind::Write, AccessOrigin::HandlerInstall,
-               {StaticLocKind::Handler, Target, Type}});
+      emit(AccessKind::Write, AccessOrigin::HandlerInstall,
+           {StaticLocKind::Handler, Target, Type});
       CallbackReg Reg;
       Reg.Kind = CallbackKind::EventHandler;
       Reg.TargetId = Target;
       Reg.EventType = Type;
+      Reg.Guards = currentGuards();
       Reg.Body = callbackBody(Value);
       Out.Callbacks.push_back(std::move(Reg));
       return;
@@ -527,6 +640,7 @@ private:
   void handleTimerCall(const Call &C, bool Interval) {
     CallbackReg Reg;
     Reg.Kind = Interval ? CallbackKind::Interval : CallbackKind::Timeout;
+    Reg.Guards = currentGuards();
     if (!C.Args.empty())
       Reg.Body = callbackBody(C.Args[0].get());
     for (size_t I = 1; I < C.Args.size(); ++I)
@@ -537,8 +651,8 @@ private:
   void handleCall(const Call &C) {
     // document.getElementById('lit') in expression position.
     if (const StringLit *IdLit = asGetElementByIdCall(&C)) {
-      Out.add({AccessKind::Read, AccessOrigin::ElemLookup,
-               {StaticLocKind::Elem, IdLit->V, ""}});
+      emit(AccessKind::Read, AccessOrigin::ElemLookup,
+           {StaticLocKind::Elem, IdLit->V, ""});
       return;
     }
     if (const auto *M = dyn_cast<Member>(C.Callee.get())) {
@@ -546,8 +660,8 @@ private:
       // Name-keyed lookups collide with insertion writes too.
       if (M->Name == "getElementsByName" && !C.Args.empty()) {
         if (const auto *S = dyn_cast<StringLit>(C.Args[0].get())) {
-          Out.add({AccessKind::Read, AccessOrigin::ElemLookup,
-                   {StaticLocKind::Elem, S->V, ""}});
+          emit(AccessKind::Read, AccessOrigin::ElemLookup,
+               {StaticLocKind::Elem, S->V, ""});
           return;
         }
       }
@@ -572,15 +686,16 @@ private:
         const auto *TypeLit = dyn_cast<StringLit>(C.Args[0].get());
         std::string Type = TypeLit ? TypeLit->V : "";
         bool Add = M->Name == "addEventListener";
-        Out.add({AccessKind::Write,
-                 Add ? AccessOrigin::HandlerInstall
-                     : AccessOrigin::HandlerRemove,
-                 {StaticLocKind::Handler, Target, Type}});
+        emit(AccessKind::Write,
+             Add ? AccessOrigin::HandlerInstall
+                 : AccessOrigin::HandlerRemove,
+             {StaticLocKind::Handler, Target, Type});
         if (Add) {
           CallbackReg Reg;
           Reg.Kind = CallbackKind::EventHandler;
           Reg.TargetId = Target;
           Reg.EventType = Type;
+          Reg.Guards = currentGuards();
           if (C.Args.size() > 1)
             Reg.Body = callbackBody(C.Args[1].get());
           Out.Callbacks.push_back(std::move(Reg));
@@ -591,6 +706,7 @@ private:
         CallbackReg Reg;
         Reg.Kind = CallbackKind::XhrDispatch;
         Reg.EventType = "readystatechange";
+        Reg.Guards = currentGuards();
         if (HavePendingXhrHandler) {
           Reg.Body = PendingXhrHandler;
           HavePendingXhrHandler = false;
@@ -664,6 +780,9 @@ private:
   // -- Visitor hooks ---------------------------------------------------------
 
   bool beforeStmt(const Stmt &S) override {
+    // The statement stack anchors emitted effects to their flow facts;
+    // every false return below must pop (afterStmt won't be called).
+    pushStmt(&S);
     switch (S.kind()) {
     case AstKind::VarDecl: {
       for (const VarDecl::Declarator &D :
@@ -675,10 +794,12 @@ private:
         writeVar(D.Name, AccessOrigin::Plain);
         noteAliases(D.Name, Value, D.Init.get());
       }
+      popStmt();
       return false;
     }
     case AstKind::FunctionDecl:
       // Hoisted at scope entry; the body runs only when called.
+      popStmt();
       return false;
     case AstKind::ForIn: {
       const auto *F = cast<ForIn>(&S);
@@ -687,9 +808,47 @@ private:
       writeVar(F->Var, AccessOrigin::Plain);
       return true; // Default traversal covers Object and Body.
     }
+    // Conditions of control statements are walked as guard
+    // expressions: their reads are the synchronization check itself.
+    case AstKind::If: {
+      const auto *I = cast<If>(&S);
+      walkGuardExpr(I->Cond.get());
+      walkStmt(I->Then.get());
+      walkStmt(I->Else.get());
+      popStmt();
+      return false;
+    }
+    case AstKind::While: {
+      const auto *W = cast<While>(&S);
+      walkGuardExpr(W->Cond.get());
+      walkStmt(W->Body.get());
+      popStmt();
+      return false;
+    }
+    case AstKind::DoWhile: {
+      const auto *D = cast<DoWhile>(&S);
+      walkStmt(D->Body.get());
+      walkGuardExpr(D->Cond.get());
+      popStmt();
+      return false;
+    }
+    case AstKind::For: {
+      const auto *F = cast<For>(&S);
+      walkStmt(F->Init.get());
+      walkGuardExpr(F->Cond.get());
+      walkStmt(F->Body.get());
+      walkExpr(F->Step.get());
+      popStmt();
+      return false;
+    }
     default:
       return true;
     }
+  }
+
+  void afterStmt(const Stmt &S) override {
+    (void)S;
+    popStmt();
   }
 
   bool beforeExpr(const Expr &E) override {
@@ -718,6 +877,23 @@ private:
     case AstKind::FunctionExpr:
       // A bare function literal has no effects until invoked.
       return false;
+    // Conditional expressions guard their arms the same way `if`
+    // guards its branches.
+    case AstKind::Conditional: {
+      const auto *C = cast<Conditional>(&E);
+      walkGuardExpr(C->Cond.get());
+      walkGuardedArm(C->Cond.get(), true, C->Then.get());
+      walkGuardedArm(C->Cond.get(), false, C->Else.get());
+      return false;
+    }
+    case AstKind::Logical: {
+      // `a && b` runs b only when a held; `a || b` only when it did
+      // not - the left operand guards the right.
+      const auto *L = cast<Logical>(&E);
+      walkGuardExpr(L->Lhs.get());
+      walkGuardedArm(L->Lhs.get(), L->Op == LogicalOp::And, L->Rhs.get());
+      return false;
+    }
     default:
       return true;
     }
@@ -729,6 +905,15 @@ private:
   std::vector<Scope> Scopes;
   EffectSet PendingXhrHandler;
   bool HavePendingXhrHandler = false;
+  /// Flow contexts of the bodies currently being flattened (innermost
+  /// last); see BodyCtx.
+  std::vector<BodyCtx> Bodies;
+  /// Guards inherited from the flattening call site.
+  GuardSet Inherited;
+  /// Guards of enclosing conditional-expression arms.
+  std::vector<Guard> ExprGuardStack;
+  /// Nonzero while walking a branch-condition expression.
+  int GuardExprDepth = 0;
 };
 
 } // namespace

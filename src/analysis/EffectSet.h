@@ -17,7 +17,7 @@
 ///                           races classify as function races.
 ///  * FormField(id)        - the value/checked state of the form field
 ///                           with the given DOM id (resolved through
-///                           getElementById aliases, flow-insensitively).
+///                           getElementById aliases).
 ///  * Elem(key)            - an HTML element named by id (getElementById,
 ///                           id-keyed insertion) or name attribute.
 ///  * Handler(target,type) - the (element, event, slot) handler location;
@@ -35,11 +35,20 @@
 /// (cycle-guarded), matching the paper's observation that races flow
 /// through helper functions (Fig. 3's show()).
 ///
+/// The pass is *flow-sensitive*: each body is lowered to a CFG (Cfg.h)
+/// and every effect is tagged with the branch conditions dominating it
+/// (its GuardSet, Guards.h) - the static counterpart of the paper's
+/// ad-hoc-synchronization filter. Effects dominated by a literally
+/// false condition are dropped, as are global reads that every path
+/// definitely writes first within the same atomic operation (the write
+/// alone carries the race).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WEBRACER_ANALYSIS_EFFECTSET_H
 #define WEBRACER_ANALYSIS_EFFECTSET_H
 
+#include "analysis/Guards.h"
 #include "detect/RaceDetector.h"
 #include "js/Ast.h"
 #include "mem/Location.h"
@@ -81,8 +90,19 @@ struct Effect {
   AccessKind Kind = AccessKind::Read;
   AccessOrigin Origin = AccessOrigin::Plain;
   StaticLoc Loc;
+  /// Branch conditions that dominated the access. When the same access
+  /// occurs on several paths, EffectSet::add keeps the intersection -
+  /// only conditions that guard *every* occurrence count as defenses.
+  GuardSet Guards;
+  /// True if the read is itself part of evaluating a branch condition
+  /// (`if (loaded) ...` reads `loaded`). Such a read *is* the defense,
+  /// so guard classification counts the side as guarded.
+  bool SyncRead = false;
 
-  bool operator==(const Effect &O) const = default;
+  /// Same access identity, ignoring the per-path guard facts.
+  bool sameAccess(const Effect &O) const {
+    return Kind == O.Kind && Origin == O.Origin && Loc == O.Loc;
+  }
 };
 
 struct CallbackReg;
@@ -94,13 +114,26 @@ struct EffectSet {
   /// Callbacks registered by this body; each runs as its own source.
   std::vector<CallbackReg> Callbacks;
 
-  /// Records \p E unless an identical effect is already present.
+  /// Records \p E. If the same access is already present, the two are
+  /// merged: guards intersect (a defense must hold on every path) and
+  /// SyncRead survives only if both occurrences were condition reads.
   void add(Effect E);
+
+  /// Unions \p G into every effect's guards and every callback
+  /// registration's guards (one level; StaticAnalyzer pushes guards
+  /// down the callback tree as it materializes sources).
+  void addGuards(const GuardSet &G);
 
   /// True if an effect with the given shape is present (test helper;
   /// EventType is compared only for Handler locations).
   bool has(AccessKind Kind, StaticLocKind LocKind, const std::string &Name,
            const std::string &EventType = std::string()) const;
+
+  /// The first effect with the given shape, or null (test helper with
+  /// the same matching rules as has()).
+  const Effect *find(AccessKind Kind, StaticLocKind LocKind,
+                     const std::string &Name,
+                     const std::string &EventType = std::string()) const;
 };
 
 /// Why a callback will eventually run; determines how StaticHb anchors
@@ -118,6 +151,10 @@ struct CallbackReg {
   CallbackKind Kind = CallbackKind::Timeout;
   std::string TargetId;  ///< EventHandler: DOM id / "window" / "document".
   std::string EventType; ///< EventHandler and XhrDispatch.
+  /// Guards dominating the registration site: the callback can only
+  /// fire if they held when the registering code ran, so they dominate
+  /// every effect of the body too.
+  GuardSet Guards;
   EffectSet Body;
 };
 

@@ -1,0 +1,214 @@
+//===- analysis/Guards.cpp - Branch-condition guards for effects -----------===//
+
+#include "analysis/Guards.h"
+
+#include <algorithm>
+#include <tuple>
+
+using namespace wr;
+using namespace wr::analysis;
+
+const char *wr::analysis::toString(GuardKind Kind) {
+  switch (Kind) {
+  case GuardKind::Truthy:
+    return "truthy";
+  case GuardKind::Defined:
+    return "defined";
+  case GuardKind::TypeCheck:
+    return "typecheck";
+  case GuardKind::ConstFalse:
+    return "const-false";
+  case GuardKind::Opaque:
+    return "opaque";
+  }
+  return "?";
+}
+
+bool Guard::operator==(const Guard &O) const {
+  return Kind == O.Kind && Positive == O.Positive && Subject == O.Subject &&
+         Text == O.Text;
+}
+
+bool Guard::operator<(const Guard &O) const {
+  return std::tie(Kind, Subject, Positive, Text) <
+         std::tie(O.Kind, O.Subject, O.Positive, O.Text);
+}
+
+std::string wr::analysis::toString(const Guard &G) { return G.Text; }
+
+void GuardSet::add(Guard G) {
+  auto It = std::lower_bound(Set.begin(), Set.end(), G);
+  if (It != Set.end() && *It == G)
+    return;
+  Set.insert(It, std::move(G));
+}
+
+void GuardSet::addAll(const GuardSet &O) {
+  for (const Guard &G : O.Set)
+    add(G);
+}
+
+void GuardSet::intersectWith(const GuardSet &O) {
+  std::vector<Guard> Kept;
+  Kept.reserve(std::min(Set.size(), O.Set.size()));
+  std::set_intersection(Set.begin(), Set.end(), O.Set.begin(), O.Set.end(),
+                        std::back_inserter(Kept));
+  Set = std::move(Kept);
+}
+
+void GuardSet::killSubject(const std::string &Name) {
+  Set.erase(std::remove_if(Set.begin(), Set.end(),
+                           [&](const Guard &G) {
+                             return G.Kind != GuardKind::ConstFalse &&
+                                    G.Kind != GuardKind::Opaque &&
+                                    G.Subject == Name;
+                           }),
+            Set.end());
+}
+
+bool GuardSet::hasConstFalse() const {
+  return std::any_of(Set.begin(), Set.end(), [](const Guard &G) {
+    return G.Kind == GuardKind::ConstFalse;
+  });
+}
+
+bool GuardSet::contains(const Guard &G) const {
+  return std::binary_search(Set.begin(), Set.end(), G);
+}
+
+std::string GuardSet::toString() const {
+  std::string Out;
+  for (const Guard &G : Set) {
+    if (!Out.empty())
+      Out += " && ";
+    Out += analysis::toString(G);
+  }
+  return Out;
+}
+
+namespace {
+
+/// The guarded-variable name of \p E when it names one: an identifier,
+/// or a `window.x` member. Other shapes return empty.
+std::string subjectOf(const js::Expr *E) {
+  if (const auto *I = js::dyn_cast<js::Ident>(E))
+    return I->Name;
+  if (const auto *M = js::dyn_cast<js::Member>(E)) {
+    if (const auto *Base = js::dyn_cast<js::Ident>(M->Base.get()))
+      if (Base->Name == "window")
+        return M->Name;
+  }
+  return std::string();
+}
+
+/// Truthiness of a literal, or nullopt for non-literals.
+std::optional<bool> literalTruthiness(const js::Expr *E) {
+  switch (E->kind()) {
+  case js::AstKind::NumberLit:
+    return js::cast<js::NumberLit>(E)->V != 0;
+  case js::AstKind::StringLit:
+    return !js::cast<js::StringLit>(E)->V.empty();
+  case js::AstKind::BoolLit:
+    return js::cast<js::BoolLit>(E)->V;
+  case js::AstKind::NullLit:
+  case js::AstKind::UndefinedLit:
+    return false;
+  default:
+    return std::nullopt;
+  }
+}
+
+bool isEqualityOp(js::BinaryOp Op) {
+  return Op == js::BinaryOp::Eq || Op == js::BinaryOp::StrictEq;
+}
+
+bool isInequalityOp(js::BinaryOp Op) {
+  return Op == js::BinaryOp::Ne || Op == js::BinaryOp::StrictNe;
+}
+
+/// Classifies equality comparisons that encode definedness or type
+/// tests: `typeof x ==/!= "undefined"`, `typeof x == "function"`,
+/// `x ==/!= null`, `x !== undefined`. Returns nullopt when \p B is not
+/// one of those shapes.
+std::optional<Guard> classifyComparison(const js::Binary *B, bool EdgeTrue,
+                                        const std::string &Text) {
+  if (!isEqualityOp(B->Op) && !isInequalityOp(B->Op))
+    return std::nullopt;
+  // `==` holding is the same fact as `!=` failing.
+  bool EqHolds = isEqualityOp(B->Op) ? EdgeTrue : !EdgeTrue;
+
+  const js::Expr *Lhs = B->Lhs.get();
+  const js::Expr *Rhs = B->Rhs.get();
+  // Normalize literal-on-the-left (`"undefined" == typeof x`).
+  if (js::isa<js::StringLit>(Lhs) || js::isa<js::NullLit>(Lhs) ||
+      js::isa<js::UndefinedLit>(Lhs))
+    std::swap(Lhs, Rhs);
+
+  // typeof x == "<type>"
+  if (const auto *U = js::dyn_cast<js::Unary>(Lhs)) {
+    if (U->Op == js::UnaryOp::TypeOf) {
+      if (const auto *S = js::dyn_cast<js::StringLit>(Rhs)) {
+        std::string Subject = subjectOf(U->Operand.get());
+        if (Subject.empty())
+          return std::nullopt;
+        if (S->V == "undefined")
+          // `typeof x == "undefined"` holding means x is NOT defined.
+          return Guard{GuardKind::Defined, !EqHolds, std::move(Subject),
+                       Text};
+        return Guard{GuardKind::TypeCheck, EqHolds, std::move(Subject),
+                     Text};
+      }
+    }
+  }
+
+  // x == null / x === undefined
+  if (js::isa<js::NullLit>(Rhs) || js::isa<js::UndefinedLit>(Rhs)) {
+    std::string Subject = subjectOf(Lhs);
+    if (Subject.empty())
+      return std::nullopt;
+    // `x == null` holding means x is NOT defined (loosely).
+    return Guard{GuardKind::Defined, !EqHolds, std::move(Subject), Text};
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<Guard> wr::analysis::classifyGuard(const js::Expr *E,
+                                                 bool EdgeTrue) {
+  if (!E)
+    return std::nullopt;
+
+  // `!cond` taken-true is `cond` taken-false.
+  if (const auto *U = js::dyn_cast<js::Unary>(E))
+    if (U->Op == js::UnaryOp::Not)
+      return classifyGuard(U->Operand.get(), !EdgeTrue);
+
+  // Text records the condition as it held on the path, so the
+  // false-edge of `if (loaded)` renders `!(loaded)`.
+  auto PathText = [&] {
+    std::string Rendered = js::renderExpr(*E);
+    return EdgeTrue ? Rendered : "!(" + Rendered + ")";
+  };
+
+  if (std::optional<bool> Truth = literalTruthiness(E)) {
+    if (*Truth == EdgeTrue)
+      return std::nullopt; // Vacuous: `if (true)` guards nothing.
+    return Guard{GuardKind::ConstFalse, true, std::string(), PathText()};
+  }
+
+  std::string Text = PathText();
+
+  if (std::string Subject = subjectOf(E); !Subject.empty())
+    return Guard{GuardKind::Truthy, EdgeTrue, std::move(Subject),
+                 std::move(Text)};
+
+  if (const auto *B = js::dyn_cast<js::Binary>(E))
+    if (std::optional<Guard> G = classifyComparison(B, EdgeTrue, Text))
+      return G;
+
+  // Anything else is opaque: it still counts as "guarded by something",
+  // keyed by its text, but no reassignment can kill it and no subject
+  // can be reasoned about.
+  return Guard{GuardKind::Opaque, EdgeTrue, Text, Text};
+}

@@ -1,0 +1,113 @@
+//===- analysis/Guards.h - Branch-condition guards for effects --*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Guards are the static analyzer's model of ad-hoc synchronization: a
+/// branch condition that dominates an effect. The paper's Section 5
+/// filters observe that most raw races are benign because the racing
+/// code *defends* itself (`if (typeof fn != "undefined") fn()`); the
+/// guard analysis recognizes those defenses ahead of execution and tags
+/// each effect with the set of conditions that must have held for it to
+/// run.
+///
+/// A Guard is a small semantic fact about one path:
+///
+///  * Truthy(x)     - `if (x)` / `if (window.x)` held (or, negated,
+///                    `if (!x)` held).
+///  * Defined(x)    - a definedness test held: `typeof x != "undefined"`,
+///                    `x != null`, `x !== undefined`.
+///  * TypeCheck(x)  - `typeof x == "function"` (or another type string).
+///  * ConstFalse    - the path is dominated by a literally-false
+///                    condition (`if (0)`): the effect is statically dead.
+///  * Opaque        - any other condition; tracked by its rendered text
+///                    so "both sides guarded by *something*" still
+///                    classifies, but with no subject to reason about.
+///
+/// Guards carry a polarity (`Positive`): Defined(x, Positive=false)
+/// means the path proved x *undefined*. Literally-true conditions are
+/// vacuous and produce no guard at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_ANALYSIS_GUARDS_H
+#define WEBRACER_ANALYSIS_GUARDS_H
+
+#include "js/Ast.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wr::analysis {
+
+enum class GuardKind : uint8_t { Truthy, Defined, TypeCheck, ConstFalse,
+                                 Opaque };
+
+const char *toString(GuardKind Kind);
+
+/// One branch-condition fact dominating an effect (see file comment).
+struct Guard {
+  GuardKind Kind = GuardKind::Opaque;
+  /// True if the condition held as written; false if its negation held
+  /// (e.g. the else-branch of `if (loaded)` yields Truthy with
+  /// Positive=false).
+  bool Positive = true;
+  /// The guarded variable for Truthy/Defined/TypeCheck (`window.x`
+  /// normalizes to `x`). Empty for ConstFalse; the rendered text for
+  /// Opaque (so distinct opaque conditions stay distinct).
+  std::string Subject;
+  /// Rendered source of the condition as it held on the path (already
+  /// `!(...)`-wrapped when the negation held), for reports.
+  std::string Text;
+
+  bool operator==(const Guard &O) const;
+  bool operator<(const Guard &O) const;
+};
+
+/// Renders the guard's path text, e.g. `loaded`, `!(loaded)`,
+/// `typeof fn != 'undefined'`.
+std::string toString(const Guard &G);
+
+/// A sorted, deduplicated set of guards. The dataflow lattice over
+/// guard sets is intersection (a guard survives a merge point only if
+/// it dominates via every incoming path), so the empty set is the
+/// "unguarded" top for classification purposes.
+class GuardSet {
+public:
+  void add(Guard G);
+  void addAll(const GuardSet &O);
+  /// Lattice meet: keep only guards present in both sets.
+  void intersectWith(const GuardSet &O);
+  /// Removes guards whose Subject is \p Name (the guarded variable was
+  /// reassigned, so the fact no longer holds).
+  void killSubject(const std::string &Name);
+
+  bool empty() const { return Set.empty(); }
+  size_t size() const { return Set.size(); }
+  bool hasConstFalse() const;
+  bool contains(const Guard &G) const;
+  const std::vector<Guard> &guards() const { return Set; }
+
+  /// Renders ` && `-joined guard texts (empty string when unguarded).
+  std::string toString() const;
+
+  bool operator==(const GuardSet &O) const = default;
+
+private:
+  std::vector<Guard> Set; ///< Sorted by Guard::operator<, unique.
+};
+
+/// Classifies the branch condition \p E taken with polarity
+/// \p EdgeTrue (true = the condition held, false = its negation held)
+/// into a Guard. Returns nullopt for vacuous conditions (a literal
+/// whose truthiness matches the edge, e.g. the true-edge of
+/// `while (true)`), which guard nothing.
+std::optional<Guard> classifyGuard(const js::Expr *E, bool EdgeTrue);
+
+} // namespace wr::analysis
+
+#endif // WEBRACER_ANALYSIS_GUARDS_H

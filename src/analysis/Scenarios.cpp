@@ -111,8 +111,10 @@ PageSpec wr::analysis::falsePositivePage() {
   P.EntryUrl = "index.html";
   P.Html = "<script async src=\"a1.js\"></script>"
            "<script async src=\"a2.js\"></script>";
-  // The guard never holds, so phantom is never written at runtime; the
-  // flow-insensitive effect set still records the write.
+  // The guard never holds, so phantom is never written at runtime. The
+  // effect set records the write with its guard, and the bare read in
+  // a2.js keeps the prediction GuardedOneSide: refuted dynamically,
+  // not statically.
   P.Resources.push_back(
       {"a1.js", "if (window.neverSet) { phantom = 1; }", 2000});
   P.Resources.push_back({"a2.js", "var seen = phantom;", 1000});

@@ -6,11 +6,25 @@
 #include "js/Parser.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
 using namespace wr;
 using namespace wr::analysis;
+
+const char *wr::analysis::toString(GuardClass Class) {
+  switch (Class) {
+  case GuardClass::Unguarded:
+    return "unguarded";
+  case GuardClass::GuardedOneSide:
+    return "guarded-one-side";
+  case GuardClass::GuardedBothSides:
+    return "guarded-both-sides";
+  }
+  return "?";
+}
 
 std::string wr::analysis::toString(const PredictedRace &R) {
   std::string Out = detect::toString(R.Kind);
@@ -20,6 +34,9 @@ std::string wr::analysis::toString(const PredictedRace &R) {
   Out += R.SourceALabel;
   Out += " <-> ";
   Out += R.SourceBLabel;
+  Out += " [";
+  Out += toString(R.Class);
+  Out += "]";
   return Out;
 }
 
@@ -32,6 +49,16 @@ size_t StaticAnalysis::countByKind(detect::RaceKind Kind) const {
 }
 
 namespace {
+
+/// Builds an unconditional effect (parse writes, dispatch reads - the
+/// browser's own accesses carry no script guards).
+Effect makeEffect(AccessKind Kind, AccessOrigin Origin, StaticLoc Loc) {
+  Effect E;
+  E.Kind = Kind;
+  E.Origin = Origin;
+  E.Loc = std::move(Loc);
+  return E;
+}
 
 /// One opened element or completed script, in parse order.
 struct DocItem {
@@ -273,19 +300,21 @@ private:
       G.addEdge(Prev, P);
       Prev = P;
       if (!Id.empty()) {
-        G.source(P).Effects.add({AccessKind::Write, AccessOrigin::ElemInsert,
-                                 {StaticLocKind::Elem, Id, ""}});
+        G.source(P).Effects.add(makeEffect(AccessKind::Write,
+                                           AccessOrigin::ElemInsert,
+                                           {StaticLocKind::Elem, Id, ""}));
         ParseSrcById.emplace(Id, P);
       }
       if (!NameAttr.empty())
-        G.source(P).Effects.add({AccessKind::Write, AccessOrigin::ElemInsert,
-                                 {StaticLocKind::Elem, NameAttr, ""}});
+        G.source(P).Effects.add(
+            makeEffect(AccessKind::Write, AccessOrigin::ElemInsert,
+                       {StaticLocKind::Elem, NameAttr, ""}));
       // Rule 8: in-tag handlers install at parse(E), so the install is
       // ordered before any dispatch anchored at P below.
       for (const auto &AH : Item.AttrHandlers)
         G.source(P).Effects.add(
-            {AccessKind::Write, AccessOrigin::HandlerInstall,
-             {StaticLocKind::Handler, TName, AH.first}});
+            makeEffect(AccessKind::Write, AccessOrigin::HandlerInstall,
+                       {StaticLocKind::Handler, TName, AH.first}));
 
       if (Item.Frame) {
         // Rule 6: the frame's chain hangs off parse(iframe); rule 7: its
@@ -336,8 +365,8 @@ private:
                                    "type into #" + FieldKey);
           G.addEdge(P, U);
           G.source(U).Effects.add(
-              {AccessKind::Write, AccessOrigin::UserInput,
-               {StaticLocKind::FormField, FieldKey, ""}});
+              makeEffect(AccessKind::Write, AccessOrigin::UserInput,
+                         {StaticLocKind::FormField, FieldKey, ""}));
         }
       }
     }
@@ -365,19 +394,24 @@ private:
         "dispatch (" + (Target.empty() ? "?" : Target) + ", " + Type + ")");
     Out.Graph.addEdge(Anchor, D);
     Out.Graph.source(D).Effects.add(
-        {AccessKind::Read, AccessOrigin::HandlerFire,
-         {StaticLocKind::Handler, Target, Type}});
+        makeEffect(AccessKind::Read, AccessOrigin::HandlerFire,
+                   {StaticLocKind::Handler, Target, Type}));
     DispatchByKey.emplace(std::move(Key), D);
     return D;
   }
 
   /// Merges \p ES into source \p Src and materializes its callback
-  /// registrations as derived sources (rules 10, 16, 17).
+  /// registrations as derived sources (rules 10, 16, 17). Guards from
+  /// each registration site push down into the callback's body: the
+  /// body only runs if the registering branch was taken.
   void attachEffects(uint32_t Src, EffectSet ES) {
     StaticHbGraph &G = Out.Graph;
-    for (const Effect &E : ES.Effects)
-      G.source(Src).Effects.add(E);
+    for (Effect &E : ES.Effects)
+      G.source(Src).Effects.add(std::move(E));
     for (CallbackReg &Reg : ES.Callbacks) {
+      if (Reg.Guards.hasConstFalse())
+        continue; // Registered under `if (false)`: can never fire.
+      Reg.Body.addGuards(Reg.Guards);
       switch (Reg.Kind) {
       case CallbackKind::Timeout:
       case CallbackKind::Interval: {
@@ -398,8 +432,8 @@ private:
                                  "xhr from " + G.source(Src).Label);
         G.addEdge(Src, C);
         G.source(C).Effects.add(
-            {AccessKind::Read, AccessOrigin::HandlerFire,
-             {StaticLocKind::Handler, "", "readystatechange"}});
+            makeEffect(AccessKind::Read, AccessOrigin::HandlerFire,
+                       {StaticLocKind::Handler, "", "readystatechange"}));
         attachEffects(C, std::move(Reg.Body));
         break;
       }
@@ -410,6 +444,27 @@ private:
         break;
       }
     }
+  }
+
+  /// Is \p S's side of a race on \p Canon statically defended? Every
+  /// effect the source has on the location must either sit under a
+  /// guard or be a condition read (the check itself). Returns the
+  /// defended flag plus a witness guard text for reports.
+  static std::pair<bool, std::string>
+  sideGuarded(const EffectSource &S, const StaticLoc &Canon) {
+    bool Any = false;
+    std::string Witness;
+    for (const Effect &E : S.Effects.Effects) {
+      if (!locationsMayAlias(E.Loc, Canon))
+        continue;
+      Any = true;
+      if (!E.SyncRead && E.Guards.empty())
+        return {false, ""};
+      if (Witness.empty())
+        Witness =
+            E.Guards.empty() ? "(condition read)" : E.Guards.toString();
+    }
+    return {Any, Witness};
   }
 
   void predictRaces() {
@@ -446,11 +501,32 @@ private:
             R.SourceB = B;
             R.SourceALabel = Srcs[A].Label;
             R.SourceBLabel = Srcs[B].Label;
+            // Classify the reported pair's defenses (deduplicated
+            // pairs on the same location share this verdict).
+            auto [GA, WA] = sideGuarded(Srcs[A], Canon);
+            auto [GB, WB] = sideGuarded(Srcs[B], Canon);
+            R.GuardedA = GA;
+            R.GuardedB = GB;
+            R.GuardsA = std::move(WA);
+            R.GuardsB = std::move(WB);
+            R.Class = GA && GB  ? GuardClass::GuardedBothSides
+                      : GA || GB ? GuardClass::GuardedOneSide
+                                 : GuardClass::Unguarded;
             Out.Races.push_back(std::move(R));
           }
         }
       }
     }
+    // Deterministic report order, independent of container iteration:
+    // by (kind, location, source pair).
+    std::stable_sort(
+        Out.Races.begin(), Out.Races.end(),
+        [](const PredictedRace &X, const PredictedRace &Y) {
+          return std::tie(X.Kind, X.Loc.Kind, X.Loc.Name, X.Loc.EventType,
+                          X.SourceA, X.SourceB) <
+                 std::tie(Y.Kind, Y.Loc.Kind, Y.Loc.Name, Y.Loc.EventType,
+                          Y.SourceA, Y.SourceB);
+        });
   }
 
   const ResourceResolver &Resolve;

@@ -12,12 +12,21 @@
 /// intersects the effect sets of unordered source pairs to predict races
 /// - before the event loop ever runs.
 ///
-/// The prediction is neither sound nor complete in general: effect sets
-/// are flow-insensitive (a write guarded by a condition that is never
-/// true still counts), DOM ids are matched per page rather than per
-/// document, and dynamically created elements/scripts are invisible. The
-/// cross-validation harness (CrossCheck.h) measures exactly this gap
-/// against the dynamic detector.
+/// The effect sets are flow-sensitive: each body is lowered to a CFG
+/// (Cfg.h) and a guard analysis (Dataflow.h) tags every effect with the
+/// branch conditions dominating it. The analyzer uses the guards two
+/// ways: effects dominated by a literally-false condition are dropped
+/// outright, and every predicted race is classified Unguarded /
+/// GuardedOneSide / GuardedBothSides - the static counterpart of the
+/// paper's ad-hoc-synchronization filter, telling the cross-check which
+/// predictions the code already defends against.
+///
+/// The prediction is still neither sound nor complete in general:
+/// guard analysis does not evaluate conditions (a guarded race may
+/// well fire dynamically), DOM ids are matched per page rather than
+/// per document, and dynamically created elements/scripts are
+/// invisible. The cross-validation harness (CrossCheck.h) measures
+/// exactly this gap against the dynamic detector, per guard class.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +47,19 @@ namespace wr::analysis {
 using ResourceResolver =
     std::function<std::optional<std::string>(const std::string &Url)>;
 
+/// How much of a predicted race the code statically defends against -
+/// the static analogue of the paper's "covered by an ad-hoc
+/// synchronization check" filter. A side counts as guarded when every
+/// effect it has on the racing location either sits under a branch
+/// condition or is itself a condition read.
+enum class GuardClass : uint8_t {
+  Unguarded,        ///< Neither side checks anything.
+  GuardedOneSide,   ///< One side defends; the other can still lose.
+  GuardedBothSides, ///< Both sides defend - the usual benign shape.
+};
+
+const char *toString(GuardClass Class);
+
 /// One predicted race: two effects on the same static location from two
 /// sources the must-HB graph leaves unordered, at least one a write.
 struct PredictedRace {
@@ -49,6 +71,15 @@ struct PredictedRace {
   uint32_t SourceB = StaticHbGraph::InvalidSource;
   std::string SourceALabel;
   std::string SourceBLabel;
+  /// Guard classification of the reported source pair (other unordered
+  /// pairs hitting the same location deduplicate into this one).
+  GuardClass Class = GuardClass::Unguarded;
+  bool GuardedA = false;
+  bool GuardedB = false;
+  /// Witness guard texts per side, for reports ("(condition read)"
+  /// when the side's defense is reading the location in a check).
+  std::string GuardsA;
+  std::string GuardsB;
 };
 
 /// Renders one line, e.g.

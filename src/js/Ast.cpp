@@ -468,3 +468,172 @@ std::string wr::js::dumpAst(const Program &P) {
   AstPrinter Printer;
   return Printer.print(P);
 }
+
+namespace {
+
+/// Infix renderer behind renderExpr. Unlike AstPrinter this aims for
+/// readable source text, not a round-trippable dump; precedence is
+/// handled by parenthesizing every compound subexpression.
+void renderInto(const Expr *E, std::string &Out) {
+  if (!E) {
+    Out += "?";
+    return;
+  }
+  switch (E->kind()) {
+  case AstKind::NumberLit: {
+    double V = cast<NumberLit>(E)->V;
+    if (V == static_cast<int64_t>(V))
+      Out += strFormat("%lld", static_cast<long long>(V));
+    else
+      Out += strFormat("%g", V);
+    return;
+  }
+  case AstKind::StringLit:
+    Out += strFormat("'%s'", cast<StringLit>(E)->V.c_str());
+    return;
+  case AstKind::BoolLit:
+    Out += cast<BoolLit>(E)->V ? "true" : "false";
+    return;
+  case AstKind::NullLit:
+    Out += "null";
+    return;
+  case AstKind::UndefinedLit:
+    Out += "undefined";
+    return;
+  case AstKind::ThisExpr:
+    Out += "this";
+    return;
+  case AstKind::Ident:
+    Out += cast<Ident>(E)->Name;
+    return;
+  case AstKind::Member: {
+    const auto *M = cast<Member>(E);
+    renderInto(M->Base.get(), Out);
+    Out += '.';
+    Out += M->Name;
+    return;
+  }
+  case AstKind::Index: {
+    const auto *I = cast<Index>(E);
+    renderInto(I->Base.get(), Out);
+    Out += '[';
+    renderInto(I->Key.get(), Out);
+    Out += ']';
+    return;
+  }
+  case AstKind::Call: {
+    const auto *C = cast<Call>(E);
+    renderInto(C->Callee.get(), Out);
+    Out += '(';
+    for (size_t I = 0; I < C->Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      renderInto(C->Args[I].get(), Out);
+    }
+    Out += ')';
+    return;
+  }
+  case AstKind::New: {
+    const auto *N = cast<New>(E);
+    Out += "new ";
+    renderInto(N->Callee.get(), Out);
+    Out += "()";
+    return;
+  }
+  case AstKind::Unary: {
+    const auto *U = cast<Unary>(E);
+    static const char *const Names[] = {"-", "+", "!", "~", "typeof ",
+                                        "void ", "delete "};
+    Out += Names[static_cast<int>(U->Op)];
+    renderInto(U->Operand.get(), Out);
+    return;
+  }
+  case AstKind::Update: {
+    const auto *U = cast<Update>(E);
+    if (U->IsPrefix)
+      Out += U->IsIncrement ? "++" : "--";
+    renderInto(U->Operand.get(), Out);
+    if (!U->IsPrefix)
+      Out += U->IsIncrement ? "++" : "--";
+    return;
+  }
+  case AstKind::Binary: {
+    const auto *B = cast<Binary>(E);
+    static const char *const Names[] = {
+        "+",  "-",  "*",   "/",  "%",  "==", "!=", "===", "!==", "<", ">",
+        "<=", ">=", "&",   "|",  "^",  "<<", ">>", ">>>", "instanceof",
+        "in"};
+    Out += '(';
+    renderInto(B->Lhs.get(), Out);
+    Out += ' ';
+    Out += Names[static_cast<int>(B->Op)];
+    Out += ' ';
+    renderInto(B->Rhs.get(), Out);
+    Out += ')';
+    return;
+  }
+  case AstKind::Logical: {
+    const auto *L = cast<Logical>(E);
+    Out += '(';
+    renderInto(L->Lhs.get(), Out);
+    Out += (L->Op == LogicalOp::And) ? " && " : " || ";
+    renderInto(L->Rhs.get(), Out);
+    Out += ')';
+    return;
+  }
+  case AstKind::Conditional: {
+    const auto *C = cast<Conditional>(E);
+    Out += '(';
+    renderInto(C->Cond.get(), Out);
+    Out += " ? ";
+    renderInto(C->Then.get(), Out);
+    Out += " : ";
+    renderInto(C->Else.get(), Out);
+    Out += ')';
+    return;
+  }
+  case AstKind::Assign: {
+    const auto *A = cast<Assign>(E);
+    static const char *const Names[] = {"=", "+=", "-=", "*=", "/=", "%="};
+    Out += '(';
+    renderInto(A->Target.get(), Out);
+    Out += ' ';
+    Out += Names[static_cast<int>(A->Op)];
+    Out += ' ';
+    renderInto(A->Value.get(), Out);
+    Out += ')';
+    return;
+  }
+  case AstKind::Sequence: {
+    const auto *S = cast<Sequence>(E);
+    Out += '(';
+    for (size_t I = 0; I < S->Exprs.size(); ++I) {
+      if (I)
+        Out += ", ";
+      renderInto(S->Exprs[I].get(), Out);
+    }
+    Out += ')';
+    return;
+  }
+  case AstKind::ArrayLit:
+    Out += "[...]";
+    return;
+  case AstKind::ObjectLit:
+    Out += "{...}";
+    return;
+  case AstKind::FunctionExpr:
+    Out += "function(...)";
+    return;
+  default:
+    Out += "?";
+    return;
+  }
+}
+
+} // namespace
+
+std::string wr::js::renderExpr(const Expr &E) {
+  std::string Out;
+  renderInto(&E, Out);
+  return Out;
+}

@@ -569,6 +569,12 @@ template <typename T> const T *dyn_cast(const AstNode *N) {
 /// Renders a kind name for diagnostics and AST-dump tests.
 const char *astKindName(AstKind Kind);
 
+/// Renders \p E as one line of compact JS-like source, e.g.
+/// `typeof cfg_0 != "undefined"` - used by the static analyzer to name
+/// the branch conditions (guards) it attaches to effects. Best-effort:
+/// function literals render as `function(...)`.
+std::string renderExpr(const Expr &E);
+
 /// Produces a compact S-expression-style dump of \p P, used by parser
 /// golden tests.
 std::string dumpAst(const Program &P);

@@ -93,6 +93,11 @@ SiteSpec wr::sites::specForRow(const Table2Row &Row, int VariableNoise,
   if (DispatchNoise > 0)
     Spec.Patterns.push_back(
         {PatternKind::HoverMenuNoiseBenign, DispatchNoise});
+  // Every site carries one dead-guard pattern: a guard-refutable static
+  // false positive that never races dynamically (bench/static_precision).
+  // Appended last, with no RNG draw, so the corpus layout above is
+  // byte-for-byte what it was without it.
+  Spec.Patterns.push_back({PatternKind::DeadGuardBenign, 1});
   return Spec;
 }
 

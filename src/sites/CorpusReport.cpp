@@ -22,6 +22,7 @@ obs::Json wr::sites::buildCorpusReport(const std::string &Name,
   for (const SiteRunStats &S : Stats.Sites) {
     obs::Json Row = obs::Json::object();
     Row.set("name", S.Name);
+    Row.set("static_precision", S.Static.toJson());
     Row.set("stats", S.Stats.toJson());
     Sites.push(std::move(Row));
   }
@@ -48,6 +49,10 @@ obs::Json wr::sites::buildCorpusReport(const std::string &Name,
   Doc.set("raw_distributions", std::move(Distributions));
 
   Doc.set("filtered_totals", Stats.filteredTotals().toJson());
+
+  // Static-analyzer cross-check, per guard class (ISSUE 6 precision
+  // accounting; diff_baseline.py tracks the headline counters).
+  Doc.set("static_precision", Stats.staticTotals().toJson());
 
   if (IncludeTiming) {
     obs::Json Timing = obs::Json::object();

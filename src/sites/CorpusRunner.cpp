@@ -31,6 +31,24 @@ SiteRunStats wr::sites::runSite(const GeneratedSite &Site,
   Stats.Raw = detect::tally(Result.RawRaces);
   Stats.Filtered = detect::tally(Result.FilteredRaces);
   Stats.Expected = Site.Expected;
+
+  // Static side of the corpus cross-check: analyze the same bytes
+  // without executing, then score predictions against the raw dynamic
+  // races (mapped while the session's browser is still alive).
+  analysis::StaticAnalysis Static =
+      analysis::analyzePage(Site.Html, [&Site](const std::string &Url)
+                                -> std::optional<std::string> {
+        for (const SiteResource &R : Site.Resources)
+          if (R.Url == Url)
+            return R.Body;
+        return std::nullopt;
+      });
+  std::vector<analysis::MappedDynamicRace> Mapped =
+      analysis::mapDynamicRaces(Result.RawRaces, S.browser());
+  Stats.Static = analysis::tallyPrecision(Static.Races, Mapped,
+                                          /*Confirmed=*/nullptr,
+                                          /*Refuted=*/nullptr);
+
   Stats.Stats = std::move(Result.Stats);
   Stats.FilteredRaces = std::move(Result.FilteredRaces);
   return Stats;
@@ -124,6 +142,13 @@ detect::RaceTally CorpusStats::filteredTotals() const {
     T.Function += S.Filtered.Function;
     T.EventDispatch += S.Filtered.EventDispatch;
   }
+  return T;
+}
+
+analysis::StaticPrecision CorpusStats::staticTotals() const {
+  analysis::StaticPrecision T;
+  for (const SiteRunStats &S : Sites)
+    T.merge(S.Static);
   return T;
 }
 

@@ -14,6 +14,7 @@
 #ifndef WEBRACER_SITES_CORPUSRUNNER_H
 #define WEBRACER_SITES_CORPUSRUNNER_H
 
+#include "analysis/CrossCheck.h"
 #include "detect/Report.h"
 #include "obs/RunStats.h"
 #include "sites/Corpus.h"
@@ -35,6 +36,9 @@ struct SiteRunStats {
   obs::RunStats Stats;
   /// Filtered races kept for harmfulness analysis.
   std::vector<detect::Race> FilteredRaces;
+  /// Static-analyzer precision against this site's raw dynamic races,
+  /// per guard class (the cross-check, run corpus-wide).
+  analysis::StaticPrecision Static;
 };
 
 /// Aggregate over the corpus.
@@ -54,6 +58,9 @@ struct CorpusStats {
 
   /// Sum of filtered counts by kind (Table 2 totals row).
   detect::RaceTally filteredTotals() const;
+
+  /// Corpus-wide static precision tallies (sum of per-site Static).
+  analysis::StaticPrecision staticTotals() const;
 
   /// Corpus-order merge of every site's statistics record. Deterministic
   /// for any job count: sites land in corpus-order slots before merging.

@@ -31,6 +31,8 @@ const char *wr::sites::toString(PatternKind Kind) {
     return "variable-noise-benign";
   case PatternKind::HoverMenuNoiseBenign:
     return "hover-menu-noise-benign";
+  case PatternKind::DeadGuardBenign:
+    return "dead-guard-benign";
   }
   return "unknown";
 }
@@ -280,6 +282,26 @@ void emitHoverMenuNoise(SiteBuilder &S, int Count) {
   S.expected().RawOnlyEventDispatch += Count;
 }
 
+// Two unordered timers touching a shared global under a feature flag
+// nobody sets: the static analyzer predicts a variable race on the
+// global (guarded on both sides), while dynamically neither body ever
+// runs - no race of any kind. Contributes nothing to the expected
+// counts; it exists so bench/static_precision has a corpus-wide supply
+// of guard-refutable false positives.
+void emitDeadGuardBenign(SiteBuilder &S) {
+  std::string Id = S.freshSuffix();
+  S.html(strFormat(
+      "<script>"
+      "setTimeout(function() {"
+      "  if (window.retryMode%s) { window.fbq%s = 1; }"
+      "}, 5);"
+      "setTimeout(function() {"
+      "  if (window.retryMode%s) { window.seen%s = window.fbq%s; }"
+      "}, 7);"
+      "</script>",
+      Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str()));
+}
+
 } // namespace
 
 void wr::sites::emitPattern(SiteBuilder &Site,
@@ -324,6 +346,10 @@ void wr::sites::emitPattern(SiteBuilder &Site,
     return;
   case PatternKind::HoverMenuNoiseBenign:
     emitHoverMenuNoise(Site, Instance.Count);
+    return;
+  case PatternKind::DeadGuardBenign:
+    for (int I = 0; I < Instance.Count; ++I)
+      emitDeadGuardBenign(Site);
     return;
   }
 }

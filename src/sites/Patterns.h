@@ -39,6 +39,12 @@
 ///                              benign event-dispatch races, removed by
 ///                              the single-dispatch filter under repeated
 ///                              interaction).
+///  * DeadGuardBenign         - two timers touching a shared global, both
+///                              under a feature flag that is never set:
+///                              statically a guarded-both-sides variable
+///                              race, dynamically nothing ever runs. The
+///                              canonical guard-analysis-refutable false
+///                              positive (bench/static_precision).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -64,6 +70,7 @@ enum class PatternKind : uint8_t {
   DelayedSingleBenign,
   VariableNoiseBenign,
   HoverMenuNoiseBenign,
+  DeadGuardBenign,
 };
 
 const char *toString(PatternKind Kind);

@@ -142,8 +142,11 @@ TEST(EffectSetTest, FunctionDeclIsGlobalWriteWithDeclOrigin) {
         E.Origin == AccessOrigin::FunctionDecl)
       SawDeclWrite = true;
   EXPECT_TRUE(SawDeclWrite);
-  // The call reads the function name and inlines the callee's effects.
-  EXPECT_TRUE(A.Effects.has(AccessKind::Read, StaticLocKind::Var, "g"));
+  // The call inlines the callee's effects. Its read of `g` is dropped
+  // by the flow-sensitive exposure rule: the declaration write precedes
+  // it on every path of the same atomic operation, so nothing can
+  // interpose - the remaining write alone carries any race.
+  EXPECT_FALSE(A.Effects.has(AccessKind::Read, StaticLocKind::Var, "g"));
   EXPECT_TRUE(
       A.Effects.has(AccessKind::Write, StaticLocKind::Var, "shared"));
 }
@@ -260,7 +263,7 @@ TEST(StaticLocTest, HandlerWildcardTargetMatchesSameEventType) {
 TEST(StaticLocTest, ClassificationMirrorsDynamicDetector) {
   auto Eff = [](AccessKind K, AccessOrigin O, StaticLocKind LK,
                 const char *Name, const char *Type = "") {
-    return Effect{K, O, {LK, Name, Type}};
+    return Effect{K, O, {LK, Name, Type}, {}, false};
   };
   Effect HandlerW = Eff(AccessKind::Write, AccessOrigin::HandlerInstall,
                         StaticLocKind::Handler, "i", "load");
@@ -531,6 +534,146 @@ TEST(CrossCheckTest, FalsePositiveIsDynamicallyRefuted) {
   EXPECT_EQ(R.Refuted[0].Loc.Name, "phantom");
   EXPECT_DOUBLE_EQ(R.precision(), 0.0);
   EXPECT_DOUBLE_EQ(R.recall(), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Guard analysis (flow-sensitive effect sets)
+//===----------------------------------------------------------------------===//
+
+TEST(GuardAnalysisTest, BranchConditionsTagDominatedEffects) {
+  AnalyzedBody A = effectsOf("if (ready) { x = 1; }");
+  const Effect *W =
+      A.Effects.find(AccessKind::Write, StaticLocKind::Var, "x");
+  ASSERT_NE(W, nullptr);
+  EXPECT_FALSE(W->Guards.empty());
+  EXPECT_NE(W->Guards.toString().find("ready"), std::string::npos);
+  // The condition read itself is flagged: it IS the defense.
+  const Effect *R =
+      A.Effects.find(AccessKind::Read, StaticLocKind::Var, "ready");
+  ASSERT_NE(R, nullptr);
+  EXPECT_TRUE(R->SyncRead);
+}
+
+TEST(GuardAnalysisTest, GuardsIntersectAcrossOccurrences) {
+  // The same write occurs guarded and unguarded: only conditions
+  // guarding every occurrence count, so the merged guard set is empty.
+  AnalyzedBody A = effectsOf("if (a) { x = 1; } x = 2;");
+  const Effect *W =
+      A.Effects.find(AccessKind::Write, StaticLocKind::Var, "x");
+  ASSERT_NE(W, nullptr);
+  EXPECT_TRUE(W->Guards.empty());
+}
+
+TEST(GuardAnalysisTest, LiterallyFalseBranchesAreDead) {
+  AnalyzedBody A = effectsOf(
+      "if (false) { dead = 1; } "
+      "if (1) { live = 1; } else { alsoDead = 1; }");
+  EXPECT_FALSE(A.Effects.has(AccessKind::Write, StaticLocKind::Var, "dead"));
+  EXPECT_FALSE(
+      A.Effects.has(AccessKind::Write, StaticLocKind::Var, "alsoDead"));
+  EXPECT_TRUE(A.Effects.has(AccessKind::Write, StaticLocKind::Var, "live"));
+}
+
+TEST(GuardAnalysisTest, TypeofGuardCoversTheGuardedUse) {
+  AnalyzedBody A =
+      effectsOf("if (typeof doWork != 'undefined') { doWork(); }");
+  const Effect *R =
+      A.Effects.find(AccessKind::Read, StaticLocKind::Var, "doWork");
+  ASSERT_NE(R, nullptr);
+  EXPECT_TRUE(R->SyncRead || !R->Guards.empty());
+}
+
+TEST(GuardAnalysisTest, ShortCircuitGuardsTheRightOperand) {
+  AnalyzedBody A = effectsOf("t = loaded && payload;");
+  const Effect *R =
+      A.Effects.find(AccessKind::Read, StaticLocKind::Var, "payload");
+  ASSERT_NE(R, nullptr);
+  EXPECT_FALSE(R->Guards.empty());
+  EXPECT_NE(R->Guards.toString().find("loaded"), std::string::npos);
+}
+
+TEST(GuardAnalysisTest, DefinitelyPrecedingWriteDropsTheRead) {
+  // Scripts are atomic operations: a read every path writes first
+  // cannot be interposed on, so only the write carries the race.
+  AnalyzedBody A = effectsOf("x = 1; y = x;");
+  EXPECT_FALSE(A.Effects.has(AccessKind::Read, StaticLocKind::Var, "x"));
+  EXPECT_TRUE(A.Effects.has(AccessKind::Write, StaticLocKind::Var, "x"));
+}
+
+TEST(GuardAnalysisTest, ConditionallyPrecedingWriteKeepsTheRead) {
+  AnalyzedBody A = effectsOf("if (a) { x = 1; } y = x;");
+  EXPECT_TRUE(A.Effects.has(AccessKind::Read, StaticLocKind::Var, "x"));
+}
+
+TEST(GuardAnalysisTest, RegistrationGuardsReachTheCallback) {
+  AnalyzedBody A = effectsOf(
+      "if (flag) { setTimeout(function () { q = 1; }, 5); }");
+  ASSERT_EQ(A.Effects.Callbacks.size(), 1u);
+  EXPECT_FALSE(A.Effects.Callbacks[0].Guards.empty());
+  EXPECT_NE(A.Effects.Callbacks[0].Guards.toString().find("flag"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Guard classification of predictions
+//===----------------------------------------------------------------------===//
+
+TEST(StaticAnalyzerTest, UnguardedAsyncScriptsClassifyUnguarded) {
+  StaticAnalysis A = analyzePage(
+      "<html><body><script async src=\"a.js\"></script>"
+      "<script async src=\"b.js\"></script></body></html>",
+      tableResolver({{"a.js", "shared = 1;"}, {"b.js", "t = shared;"}}));
+  ASSERT_EQ(A.Races.size(), 1u);
+  EXPECT_EQ(A.Races[0].Class, GuardClass::Unguarded);
+  EXPECT_FALSE(A.Races[0].GuardedA);
+  EXPECT_FALSE(A.Races[0].GuardedB);
+}
+
+TEST(StaticAnalyzerTest, FalsePositivePageClassifiesGuardedOneSide) {
+  PageSpec Page = falsePositivePage();
+  StaticAnalysis A = analyzePage(Page.Html, Page.resolver());
+  ASSERT_EQ(A.Races.size(), 1u);
+  EXPECT_EQ(A.Races[0].Class, GuardClass::GuardedOneSide);
+  EXPECT_NE(toString(A.Races[0]).find("guarded-one-side"),
+            std::string::npos);
+}
+
+TEST(StaticAnalyzerTest, DeadGuardTimersClassifyGuardedBothSides) {
+  StaticAnalysis A = analyzePage(
+      "<html><body><script>"
+      "setTimeout(function () { if (window.mode) { fbq = 1; } }, 5);"
+      "setTimeout(function () { if (window.mode) { seen = fbq; } }, 7);"
+      "</script></body></html>",
+      tableResolver({}));
+  ASSERT_EQ(A.Races.size(), 1u);
+  EXPECT_EQ(A.Races[0].Loc.Name, "fbq");
+  EXPECT_EQ(A.Races[0].Class, GuardClass::GuardedBothSides);
+  EXPECT_TRUE(A.Races[0].GuardedA);
+  EXPECT_TRUE(A.Races[0].GuardedB);
+  EXPECT_NE(toString(A.Races[0]).find("guarded-both-sides"),
+            std::string::npos);
+}
+
+TEST(StaticAnalyzerTest, PredictionsAreDeterministicallySorted) {
+  const char *Html = "<html><body><script async src=\"a.js\"></script>"
+                     "<script async src=\"b.js\"></script></body></html>";
+  auto Resolver = tableResolver(
+      {{"a.js", "m = 1; n = 1; k = 1;"}, {"b.js", "t = m + n + k;"}});
+  StaticAnalysis First = analyzePage(Html, Resolver);
+  StaticAnalysis Second = analyzePage(Html, Resolver);
+  ASSERT_EQ(First.Races.size(), 3u);
+  // Byte-stable across runs...
+  ASSERT_EQ(First.Races.size(), Second.Races.size());
+  for (size_t I = 0; I < First.Races.size(); ++I)
+    EXPECT_EQ(toString(First.Races[I]), toString(Second.Races[I]));
+  // ... because the output is canonically ordered.
+  auto Key = [](const PredictedRace &P) {
+    return std::tie(P.Kind, P.Loc.Kind, P.Loc.Name, P.Loc.EventType,
+                    P.SourceA, P.SourceB);
+  };
+  for (size_t I = 1; I < First.Races.size(); ++I)
+    EXPECT_TRUE(Key(First.Races[I - 1]) < Key(First.Races[I]) ||
+                !(Key(First.Races[I]) < Key(First.Races[I - 1])));
 }
 
 } // namespace

@@ -117,6 +117,27 @@ TEST(PatternTest, HoverMenuNoiseFilteredOut) {
   EXPECT_EQ(S.Filtered.EventDispatch, 0u);
 }
 
+TEST(PatternTest, DeadGuardBenignNeverRacesDynamically) {
+  SiteRunStats S = runOnePattern(PatternKind::DeadGuardBenign, 1);
+  expectMatches(S);
+  // The feature flag is never set, so neither timer body runs: no
+  // dynamic races at all, raw or filtered.
+  EXPECT_EQ(S.Raw.total(), 0u);
+  EXPECT_EQ(S.Filtered.total(), 0u);
+  EXPECT_EQ(S.Stats.Crashes, 0u);
+  // Statically the shared global IS a predicted variable race - but one
+  // guarded on both sides, which the cross-check refutes: the
+  // guard-analysis precision win bench/static_precision gates on.
+  EXPECT_EQ(S.Static.Predicted, 1u);
+  EXPECT_EQ(S.Static.Confirmed, 0u);
+  EXPECT_EQ(S.Static.RefutedByGuards, 1u);
+  EXPECT_EQ(S.Static
+                .ByClass[static_cast<size_t>(
+                    analysis::GuardClass::GuardedBothSides)]
+                .Refuted,
+            1u);
+}
+
 TEST(PatternTest, PatternsComposeWithoutInterference) {
   SiteSpec Spec;
   Spec.Name = "Composite";

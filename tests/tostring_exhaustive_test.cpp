@@ -14,9 +14,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/StaticAnalyzer.h"
 #include "analysis/StaticHb.h"
 #include "detect/RaceDetector.h"
 #include "hb/HbGraph.h"
+#include "sites/Patterns.h"
 
 #include <gtest/gtest.h>
 
@@ -142,6 +144,77 @@ std::vector<analysis::StaticLocKind> allStaticLocKinds() {
   return All;
 }
 
+std::vector<analysis::GuardKind> allGuardKinds() {
+  using analysis::GuardKind;
+  std::vector<GuardKind> All;
+  auto Covered = [](GuardKind K) {
+    switch (K) {
+    case GuardKind::Truthy:
+    case GuardKind::Defined:
+    case GuardKind::TypeCheck:
+    case GuardKind::ConstFalse:
+    case GuardKind::Opaque:
+      return K;
+    }
+    return K;
+  };
+  for (GuardKind K : {GuardKind::Truthy, GuardKind::Defined,
+                      GuardKind::TypeCheck, GuardKind::ConstFalse,
+                      GuardKind::Opaque})
+    All.push_back(Covered(K));
+  return All;
+}
+
+std::vector<analysis::GuardClass> allGuardClasses() {
+  using analysis::GuardClass;
+  std::vector<GuardClass> All;
+  auto Covered = [](GuardClass C) {
+    switch (C) {
+    case GuardClass::Unguarded:
+    case GuardClass::GuardedOneSide:
+    case GuardClass::GuardedBothSides:
+      return C;
+    }
+    return C;
+  };
+  for (GuardClass C : {GuardClass::Unguarded, GuardClass::GuardedOneSide,
+                       GuardClass::GuardedBothSides})
+    All.push_back(Covered(C));
+  return All;
+}
+
+std::vector<sites::PatternKind> allPatternKinds() {
+  using sites::PatternKind;
+  std::vector<PatternKind> All;
+  auto Covered = [](PatternKind K) {
+    switch (K) {
+    case PatternKind::HtmlLookupHarmful:
+    case PatternKind::HtmlPollingBenign:
+    case PatternKind::FunctionCallHarmful:
+    case PatternKind::FunctionCallGuarded:
+    case PatternKind::FormValueHarmful:
+    case PatternKind::FormValueGuarded:
+    case PatternKind::FormValueReadBenign:
+    case PatternKind::GomezMonitorHarmful:
+    case PatternKind::DelayedSingleBenign:
+    case PatternKind::VariableNoiseBenign:
+    case PatternKind::HoverMenuNoiseBenign:
+    case PatternKind::DeadGuardBenign:
+      return K;
+    }
+    return K;
+  };
+  for (PatternKind K :
+       {PatternKind::HtmlLookupHarmful, PatternKind::HtmlPollingBenign,
+        PatternKind::FunctionCallHarmful, PatternKind::FunctionCallGuarded,
+        PatternKind::FormValueHarmful, PatternKind::FormValueGuarded,
+        PatternKind::FormValueReadBenign, PatternKind::GomezMonitorHarmful,
+        PatternKind::DelayedSingleBenign, PatternKind::VariableNoiseBenign,
+        PatternKind::HoverMenuNoiseBenign, PatternKind::DeadGuardBenign})
+    All.push_back(Covered(K));
+  return All;
+}
+
 /// Shared runtime check: every name rendered, none the fallback, all
 /// distinct.
 template <typename EnumT, typename ToStringFn>
@@ -190,6 +263,30 @@ TEST(ToStringExhaustiveTest, StaticLocKindNamesAreComplete) {
       allStaticLocKinds(),
       [](analysis::StaticLocKind K) { return analysis::toString(K); },
       "unknown");
+}
+
+TEST(ToStringExhaustiveTest, GuardKindNamesAreComplete) {
+  expectCompleteStringTable(
+      allGuardKinds(),
+      [](analysis::GuardKind K) { return analysis::toString(K); }, "?");
+}
+
+TEST(ToStringExhaustiveTest, GuardClassNamesAreComplete) {
+  expectCompleteStringTable(
+      allGuardClasses(),
+      [](analysis::GuardClass C) { return analysis::toString(C); },
+      "unknown");
+}
+
+TEST(ToStringExhaustiveTest, GuardClassSpotChecks) {
+  EXPECT_STREQ(analysis::toString(analysis::GuardClass::GuardedBothSides),
+               "guarded-both-sides");
+}
+
+TEST(ToStringExhaustiveTest, PatternKindNamesAreComplete) {
+  expectCompleteStringTable(
+      allPatternKinds(),
+      [](sites::PatternKind K) { return sites::toString(K); }, "unknown");
 }
 
 } // namespace

@@ -7,8 +7,9 @@ Compares the deterministic headline counters (site count, aggregate
 operations / HB edges / CHC queries, vector-clock chain and clock-arena
 counters (clock_bytes / clock_merges / shared_clocks), intern and epoch
 fast-path hit counters, detect-phase virtual time, raw and filtered race
-totals per kind, filter attrition) and prints one line per drifted
-counter. The
+totals per kind, filter attrition, and the static-analysis precision
+tallies with their per-guard-class breakdown) and prints one line per
+drifted counter. The
 diff is WARN-ONLY: drift exits 0 so CI surfaces it without failing the
 build (counters legitimately move when the corpus or detector changes;
 refresh the baseline in the same PR). Only malformed input exits
@@ -42,6 +43,14 @@ HEADLINE_PATHS = [
     ("aggregate", "filter_attrition", "input"),
     ("aggregate", "filter_attrition", "kept"),
     ("filtered_totals", "total"),
+    ("static_precision", "predicted"),
+    ("static_precision", "confirmed"),
+    ("static_precision", "refuted"),
+    ("static_precision", "refuted_by_guards"),
+    ("static_precision", "by_class", "unguarded", "predicted"),
+    ("static_precision", "by_class", "guarded_one_side", "predicted"),
+    ("static_precision", "by_class", "guarded_both_sides", "predicted"),
+    ("static_precision", "by_class", "guarded_both_sides", "refuted"),
 ]
 
 

@@ -46,6 +46,12 @@
 //                    the static must-HB graph)
 //   --cross-check    run the static analyzer AND a dynamic session, then
 //                    print the precision/recall comparison
+//   --static-precision
+//                    like --cross-check, but report the per-guard-class
+//                    precision accounting: predictions split into
+//                    unguarded / guarded-one-side / guarded-both-sides
+//                    with confirmed/refuted counts and the number of
+//                    false positives the guard analysis explains away
 //
 // Count-valued options take strict unsigned decimal integers; anything
 // else (including a bare "-" or trailing junk) is a usage error.
@@ -82,7 +88,7 @@ int usage(const char *Argv0) {
       "usage: %s <index.html> [--root DIR] [--seed N] [--latency N] "
       "[--raw] [--no-explore] [--dfs] [--vector-clocks] [--trace] "
       "[--record FILE] [--json FILE] [--metrics] [--static-analyze] "
-      "[--cross-check]\n"
+      "[--cross-check] [--static-precision]\n"
       "       %s --replay FILE [--raw] [--dfs] [--json FILE] [--metrics]\n"
       "       %s --corpus [--sites N] [--jobs N] [--seed N] [--json FILE] "
       "[--metrics]\n",
@@ -263,6 +269,7 @@ int main(int Argc, char **Argv) {
   uint64_t FixedLatency = 0;
   bool Raw = false, Explore = true, Dfs = false, Trace = false;
   bool StaticAnalyze = false, CrossCheck = false, CorpusMode = false;
+  bool StaticPrecisionMode = false;
   bool Metrics = false;
   std::string RecordFile, ReplayFile, JsonFile;
   uint64_t Sites = 0;
@@ -318,6 +325,8 @@ int main(int Argc, char **Argv) {
       StaticAnalyze = true;
     } else if (Arg == "--cross-check") {
       CrossCheck = true;
+    } else if (Arg == "--static-precision") {
+      StaticPrecisionMode = true;
     } else {
       return usage(Argv[0]);
     }
@@ -355,6 +364,55 @@ int main(int Argc, char **Argv) {
     for (const std::string &Note : A.Notes)
       std::printf("note: %s\n", Note.c_str());
     return A.Races.empty() ? 0 : 1;
+  }
+
+  if (StaticPrecisionMode) {
+    analysis::PageSpec Page = pageSpecFromDisk(Index, Root, FixedLatency);
+    analysis::CrossCheckOptions CkOpts;
+    CkOpts.Session.Browser.Seed = Seed;
+    CkOpts.Session.AutoExplore = Explore;
+    CkOpts.Session.UseVectorClocks = !Dfs;
+    CkOpts.UseFilteredRaces = false;
+    analysis::CrossCheckResult R = analysis::crossCheck(Page, CkOpts);
+    std::printf("webracer: static precision of %s (%zu resources, seed "
+                "%llu)\n\n",
+                Page.EntryUrl.c_str(), Page.Resources.size(),
+                static_cast<unsigned long long>(Seed));
+    const analysis::StaticPrecision &P = R.Precision;
+    std::printf("%-20s %9s %9s %7s\n", "guard class", "predicted",
+                "confirmed", "refuted");
+    static const analysis::GuardClass Classes[3] = {
+        analysis::GuardClass::Unguarded,
+        analysis::GuardClass::GuardedOneSide,
+        analysis::GuardClass::GuardedBothSides};
+    for (analysis::GuardClass C : Classes) {
+      const analysis::GuardClassCounts &N =
+          P.ByClass[static_cast<size_t>(C)];
+      std::printf("%-20s %9llu %9llu %7llu\n", analysis::toString(C),
+                  static_cast<unsigned long long>(N.Predicted),
+                  static_cast<unsigned long long>(N.Confirmed),
+                  static_cast<unsigned long long>(N.Refuted));
+    }
+    std::printf("%-20s %9llu %9llu %7llu\n", "total",
+                static_cast<unsigned long long>(P.Predicted),
+                static_cast<unsigned long long>(P.Confirmed),
+                static_cast<unsigned long long>(P.Refuted));
+    std::printf("\nrefuted by guards: %llu (guarded-both-sides with no "
+                "dynamic counterpart)\n",
+                static_cast<unsigned long long>(P.RefutedByGuards));
+    std::printf("recall: %s, missed dynamic races: %zu\n",
+                R.recall() == 1.0 ? "1.00" : "DEGRADED",
+                R.missedCount());
+    for (const analysis::PredictedRace &Pr : R.Confirmed)
+      std::printf("  [confirmed] %s\n", analysis::toString(Pr).c_str());
+    for (const analysis::PredictedRace &Pr : R.Refuted)
+      std::printf("  [refuted]   %s\n", analysis::toString(Pr).c_str());
+    obs::Json Doc = analysis::buildCrossCheckReport({R});
+    if (!JsonFile.empty() && !writeReportFile(JsonFile, Doc))
+      return 1;
+    if (Metrics)
+      printMetrics(R.Dynamic.Stats);
+    return R.missedCount() == 0 ? 0 : 1;
   }
 
   if (CrossCheck) {
