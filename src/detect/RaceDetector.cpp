@@ -42,6 +42,13 @@ RaceDetector::LocState &RaceDetector::state(LocId Id) {
 }
 
 bool RaceDetector::pairConcurrent(OpId Prior, OpId Current) {
+  // The pair cache is sound only when the oracle's verdicts are
+  // immutable (the HB engines); predictive engines grow their clocks as
+  // accesses stream by, so every question goes straight to the oracle.
+  if (!Oracle->cacheableVerdicts()) {
+    ++ChcQueries;
+    return Oracle->concurrent(Prior, Current);
+  }
   uint64_t Key = (static_cast<uint64_t>(Prior) << 32) | Current;
   auto It = PairCache.find(Key);
   if (It != PairCache.end()) {
@@ -49,13 +56,13 @@ bool RaceDetector::pairConcurrent(OpId Prior, OpId Current) {
     return It->second;
   }
   ++ChcQueries;
-  bool Concurrent = Hb.canHappenConcurrently(Prior, Current);
+  bool Concurrent = Oracle->concurrent(Prior, Current);
   PairCache.emplace(Key, Concurrent);
   return Concurrent;
 }
 
 bool RaceDetector::slotConcurrent(Slot &S, OpId Current) {
-  if (S.CheckedVs == Current) {
+  if (Oracle->cacheableVerdicts() && S.CheckedVs == Current) {
     ++EpochHits;
     return S.Concurrent;
   }
@@ -65,8 +72,8 @@ bool RaceDetector::slotConcurrent(Slot &S, OpId Current) {
   return Concurrent;
 }
 
-RaceKind RaceDetector::classify(const Access &First, const Access &Second,
-                                const Location &Loc) {
+RaceKind wr::detect::classifyRace(const Access &First, const Access &Second,
+                                  const Location &Loc) {
   if (std::holds_alternative<EventHandlerLoc>(Loc))
     return RaceKind::EventDispatch;
   if (std::holds_alternative<HtmlElemLoc>(Loc))
@@ -91,7 +98,7 @@ void RaceDetector::report(LocState &St, const Slot &Prior,
   R.Loc = Interner.resolve(Current.Loc);
   R.First = Prior.A;
   R.Second = Current;
-  R.Kind = classify(Prior.A, Current, R.Loc);
+  R.Kind = classifyRace(Prior.A, Current, R.Loc);
   // The Sec. 5.3 refinement looks at whichever side is a write: if the
   // writing operation read the location before writing, the write is
   // probably guarded ("has the user modified the field?").

@@ -41,11 +41,13 @@
 #define WEBRACER_DETECT_RACEDETECTOR_H
 
 #include "hb/HbGraph.h"
+#include "hb/PartialOrderEngine.h"
 #include "instr/Instrumentation.h"
 #include "mem/Location.h"
 #include "mem/LocationInterner.h"
 #include "obs/PhaseTimer.h"
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -78,17 +80,39 @@ struct DetectorOptions {
   Mode HistoryMode = Mode::SingleSlot;
   /// Report at most one race per location per run (paper footnote 13).
   bool OnePerLocation = true;
+  /// Which partial order the analysis runs over. The observed-race pass
+  /// always consults the happens-before oracle it was constructed with
+  /// (Hb selects vector clocks, HbDfs the memoized DFS); Shb/Wcp select
+  /// the predictive engine used when replaying or predicting over a
+  /// recorded trace (detect/Prediction.h).
+  EngineKind Engine = EngineKind::Hb;
 };
+
+/// Classifies a racing access pair into the paper's Section 2 taxonomy
+/// (shared by the observed detector and the predictive pass).
+RaceKind classifyRace(const Access &First, const Access &Second,
+                      const Location &Loc);
 
 /// The dynamic race detector; attach to a Browser as an instrumentation
 /// sink. \p Interner must be the interner that assigned the LocIds the
 /// sink will observe (the browser's online, the trace's offline) and must
-/// outlive the detector.
+/// outlive the detector. The detector poses every ordering question to a
+/// PartialOrderEngine oracle; the HbGraph convenience constructor wraps
+/// the graph in an owned HbEngine, preserving the original behavior.
 class RaceDetector final : public InstrumentationSink {
 public:
   RaceDetector(const HbGraph &Hb, const LocationInterner &Interner,
                DetectorOptions Opts = DetectorOptions())
-      : Hb(Hb), Interner(Interner), Opts(Opts) {}
+      : OwnedHb(std::make_unique<HbEngine>(Hb)), Oracle(OwnedHb.get()),
+        Interner(Interner), Opts(Opts) {}
+
+  /// Runs over an externally owned engine (which must outlive the
+  /// detector). Caches are enabled only when the engine's verdicts are
+  /// immutable (cacheableVerdicts()).
+  RaceDetector(const PartialOrderEngine &Engine,
+               const LocationInterner &Interner,
+               DetectorOptions Opts = DetectorOptions())
+      : Oracle(&Engine), Interner(Interner), Opts(Opts) {}
 
   const std::vector<Race> &races() const { return Races; }
 
@@ -153,10 +177,9 @@ private:
   /// CHC with the global pair cache; escalates to the HB oracle on miss.
   bool pairConcurrent(OpId Prior, OpId Current);
   void report(LocState &St, const Slot &Prior, const Access &Current);
-  static RaceKind classify(const Access &First, const Access &Second,
-                           const Location &Loc);
 
-  const HbGraph &Hb;
+  std::unique_ptr<HbEngine> OwnedHb; ///< Backs the HbGraph constructor.
+  const PartialOrderEngine *Oracle;
   const LocationInterner &Interner;
   DetectorOptions Opts;
 

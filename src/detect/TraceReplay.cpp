@@ -69,7 +69,10 @@ DispatchCountFn wr::detect::dispatchCountsFromTrace(const TraceLog &Log) {
 ReplayResult wr::detect::replayTrace(const TraceLog &Log,
                                      const ReplayOptions &Opts) {
   ReplayResult Result;
-  Result.Hb.setUseVectorClocks(Opts.UseVectorClocks);
+  // The observed pass always replays under happens-before; the engine
+  // choice only selects the graph strategy (HbDfs) or adds predictive
+  // passes below - race output stays byte-identical to the online run.
+  Result.Hb.setUseVectorClocks(Opts.effectiveEngine() != EngineKind::HbDfs);
   Result.Hb.reserveOperations(countOperations(Log));
   // The trace's interner resolves the access stream's LocIds; it was
   // either mirrored from the online engine or rebuilt by deserialize.
@@ -133,5 +136,12 @@ ReplayResult wr::detect::replayTrace(const TraceLog &Log,
   S.Filtered = tally(Result.FilteredRaces);
   S.Attrition = toAttrition(Attrition);
   S.Crashes = Crashes;
+
+  if (Opts.predictEffective()) {
+    for (EngineKind K : enginesToPredict(Opts.effectiveEngine())) {
+      Result.Predictions.push_back(predictRaces(Log, K, Result.RawRaces));
+      S.Prediction.push_back(toStatsRow(Result.Predictions.back()));
+    }
+  }
   return Result;
 }

@@ -27,6 +27,7 @@
 #define WEBRACER_DETECT_TRACEREPLAY_H
 
 #include "detect/Filters.h"
+#include "detect/Prediction.h"
 #include "detect/RaceDetector.h"
 #include "detect/Report.h"
 #include "instr/TraceLog.h"
@@ -36,12 +37,34 @@
 
 namespace wr::detect {
 
-/// Configuration for one offline detection run.
+/// Configuration for one offline detection run. The partial order lives
+/// in Detector.Engine (hb | hb-dfs | shb | wcp); the observed-race pass
+/// always replays under happens-before (byte-identical to the online
+/// run), and selecting a predictive engine - or setting Predict - adds
+/// detect/Prediction.h passes whose results land in
+/// ReplayResult::Predictions and the stats' wr_prediction rows.
 struct ReplayOptions {
   DetectorOptions Detector;
-  /// Replay uses the vector-clock representation by default; set false to
-  /// replay with the paper's graph-DFS strategy (ablations).
+  /// Run the predictive passes even when Detector.Engine is an HB
+  /// engine (then both SHB and WCP run, for the side-by-side delta).
+  bool Predict = false;
+  /// DEPRECATED: folded into engine selection; kept as a forwarder so
+  /// existing callers keep working. When Detector.Engine is the default
+  /// Hb and this is false, the effective engine is HbDfs.
   bool UseVectorClocks = true;
+
+  /// Engine selection with the deprecated bool folded in.
+  EngineKind effectiveEngine() const {
+    if (Detector.Engine == EngineKind::Hb && !UseVectorClocks)
+      return EngineKind::HbDfs;
+    return Detector.Engine;
+  }
+
+  /// Prediction runs when asked for, or implied by a predictive engine.
+  bool predictEffective() const {
+    EngineKind K = effectiveEngine();
+    return Predict || K == EngineKind::Shb || K == EngineKind::Wcp;
+  }
 };
 
 /// Everything an offline run produces. Mirrors the detection-relevant
@@ -57,6 +80,9 @@ struct ReplayResult {
   /// The reconstructed happens-before graph, for report rendering
   /// (describeRaces) and offline harm analysis.
   HbGraph Hb;
+  /// Predictive passes' findings, one entry per engine run (empty when
+  /// prediction was off). Mirrored into Stats.Prediction.
+  std::vector<PredictionResult> Predictions;
 };
 
 /// Reconstructs the happens-before graph alone (operations with their full

@@ -56,6 +56,18 @@ const char *wr::toString(HbRule Rule) {
   return "unknown rule";
 }
 
+const char *wr::toString(Ordering O) {
+  switch (O) {
+  case Ordering::Before:
+    return "before";
+  case Ordering::After:
+    return "after";
+  case Ordering::Concurrent:
+    return "concurrent";
+  }
+  return "unknown";
+}
+
 HbGraph::HbGraph() = default;
 
 OpId HbGraph::addOperation(Operation Op) {

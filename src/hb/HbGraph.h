@@ -85,6 +85,17 @@ enum class HbRule : uint8_t {
 /// Renders a rule tag.
 const char *toString(HbRule Rule);
 
+/// Three-valued verdict of one combined ordering query between two
+/// distinct, valid operations.
+enum class Ordering : uint8_t {
+  Before,     ///< A happens-before B.
+  After,      ///< B happens-before A.
+  Concurrent, ///< Unordered either way.
+};
+
+/// Renders an ordering verdict.
+const char *toString(Ordering O);
+
 /// Number of HbRule enumerators (dense, starting at 0); sized for
 /// per-rule counter arrays.
 inline constexpr size_t NumHbRules =
@@ -173,11 +184,25 @@ public:
     return UseVectorClocks ? reachesVectorClock(A, B) : reachesDfs(A, B);
   }
 
+  /// Combined ordering query. Requires A != B, both valid. Issues at
+  /// most one reachability probe: edges strictly ascend, so only the
+  /// lower-id side can possibly reach the higher-id side, and both
+  /// strategies answer the impossible direction without touching any
+  /// counter - the probe count (and thus chc_queries, dfs_visits,
+  /// memo hits) is byte-identical to the former double-probe CHC.
+  Ordering ordering(OpId A, OpId B) const {
+    assert(A != InvalidOpId && B != InvalidOpId && A != B &&
+           "ordering() requires two distinct valid operations");
+    if (A < B)
+      return happensBefore(A, B) ? Ordering::Before : Ordering::Concurrent;
+    return happensBefore(B, A) ? Ordering::After : Ordering::Concurrent;
+  }
+
   /// Can-Happen-Concurrently (Sec. 5.1): both valid and unordered.
   bool canHappenConcurrently(OpId A, OpId B) const {
     if (A == InvalidOpId || B == InvalidOpId || A == B)
       return false;
-    return !happensBefore(A, B) && !happensBefore(B, A);
+    return ordering(A, B) == Ordering::Concurrent;
   }
 
   /// Memoized-DFS reachability (the paper's graph strategy).

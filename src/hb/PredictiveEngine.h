@@ -1,0 +1,151 @@
+//===- hb/PredictiveEngine.h - SHB / WCP predictive orders ------*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predictive partial-order engines that run over a replayed trace's
+/// event stream and answer ordering queries from their own incremental
+/// vector clocks (independent of HbGraph's arena index):
+///
+///  * ShbEngine - schedulable happens-before ("What Happens-After the
+///    First Race?"): the observed HB edges plus a write-read edge from
+///    the last writer of a location to each subsequent reader, carried
+///    as a last-write clock that readers join. Race checks posed
+///    *before* the reader's join (the driver's check-then-update
+///    discipline) make every SHB-concurrent conflicting pair a race in
+///    some feasible schedule, so races past the first reported one
+///    become sound predictions instead of noise.
+///
+///  * WcpEngine - a weak-causally-precedes adaptation ("Dynamic Race
+///    Prediction in Linear Time") for the web model, where the unit of
+///    atomicity is the dispatched operation rather than a lock region:
+///    SHB minus the dispatch-order edges (rules 9 and 17) between
+///    operations that do not conflict (no common location with a write
+///    on either side). Dropping those edges models reordering two
+///    same-target dispatches that never touch common state; the
+///    resulting order is weaker than SHB, so WCP's predictions are a
+///    superset of SHB's by construction. Creation causality survives
+///    the weakening: rule 17's caller -> cb_0 edge is never dropped,
+///    and dropping a cb_i -> cb_{i+1} chain edge substitutes the
+///    interval's creation edge, so no callback floats free of its
+///    registration. Unlike SHB, a WCP-concurrent pair is an aggressive
+///    candidate, not a guaranteed feasible race (the dropped rules are
+///    real platform guarantees; see DESIGN.md).
+///
+/// Because clocks grow as accesses stream by (a reader's clock gains the
+/// last writer's), verdicts between existing operations are mutable:
+/// cacheableVerdicts() is false and drivers must not memoize.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_HB_PREDICTIVEENGINE_H
+#define WEBRACER_HB_PREDICTIVEENGINE_H
+
+#include "hb/PartialOrderEngine.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace wr {
+
+/// Shared incremental vector-clock machinery for the predictive orders.
+/// Operations are greedily packed into chains exactly like HbGraph's
+/// index (first predecessor, in edge order, that is still its chain's
+/// tail donates the chain); each operation carries a full per-chain
+/// watermark vector, finalized lazily in id order when the first access
+/// with an equal-or-higher operation id arrives. That is sound for the
+/// same reason HbGraph's lazy index is: the builder contract guarantees
+/// every in-edge of an operation precedes the first access that could
+/// query it (HbGraph asserts this during recording).
+class PredictiveEngine : public PartialOrderEngine {
+public:
+  Ordering ordering(OpId A, OpId B) const override;
+  bool cacheableVerdicts() const override { return false; }
+
+  void onOperationCreated(OpId Op, const Operation &Meta) override;
+  void onHbEdge(OpId From, OpId To, HbRule Rule) override;
+  void onMemoryAccess(const Access &A) override;
+
+  /// Chains the incremental index uses so far.
+  size_t numChains() const { return ChainTails.size(); }
+
+  /// HB edges this engine's order dropped (WCP's weakening; 0 for SHB).
+  uint64_t droppedEdges() const { return DroppedEdges; }
+
+protected:
+  /// Engine-specific edge filter; returning false excludes the edge from
+  /// this order (counted in droppedEdges()).
+  virtual bool keepEdge(OpId From, OpId To, HbRule Rule) {
+    (void)From;
+    (void)To;
+    (void)Rule;
+    return true;
+  }
+
+private:
+  struct OpClock {
+    uint32_t Chain = 0;
+    uint32_t Pos = 0; ///< 1-based position within Chain; 0 = unfinalized.
+    std::vector<uint32_t> Clock;
+  };
+
+  /// Builds clocks for every unfinalized operation with id <= Op, in id
+  /// order (HB edges ascend, so predecessors are always finalized
+  /// first). Const because queries finalize lazily - the driver's
+  /// check-then-update discipline asks about an access's operation
+  /// before the access reaches onMemoryAccess - which is sound for the
+  /// same builder-contract reason as HbGraph's lazy index: every
+  /// in-edge of an operation precedes its first access.
+  void finalizeThrough(OpId Op) const;
+  static void joinInto(std::vector<uint32_t> &Dst,
+                       const std::vector<uint32_t> &Src);
+
+  mutable std::vector<OpClock> Clocks;       ///< Indexed Op - 1.
+  std::vector<std::vector<OpId>> Preds;      ///< Kept in-edges, edge order.
+  mutable std::vector<OpId> ChainTails;
+  std::unordered_map<LocId, std::vector<uint32_t>> LastWriteClock;
+  mutable OpId Finalized = 0; ///< Clocks built for all ops <= Finalized.
+  uint64_t DroppedEdges = 0;
+};
+
+/// SHB: every observed edge kept, write-read edges via last-write joins.
+class ShbEngine final : public PredictiveEngine {
+public:
+  EngineKind kind() const override { return EngineKind::Shb; }
+};
+
+/// WCP adaptation: SHB minus dispatch-order edges (rules 9/17) between
+/// non-conflicting operations. Needs the primeAccess() pre-pass so both
+/// endpoints' access sets exist when an edge is classified.
+class WcpEngine final : public PredictiveEngine {
+public:
+  EngineKind kind() const override { return EngineKind::Wcp; }
+
+  void onOperationCreated(OpId Op, const Operation &Meta) override;
+  void onHbEdge(OpId From, OpId To, HbRule Rule) override;
+  void primeAccess(OpId Op, LocId Loc, AccessKind Kind) override;
+
+protected:
+  bool keepEdge(OpId From, OpId To, HbRule Rule) override;
+
+private:
+  bool conflicting(OpId A, OpId B) const;
+  bool isIntervalCb(OpId Op) const {
+    return Op <= IntervalCb.size() && IntervalCb[Op - 1];
+  }
+
+  /// Per-operation access footprint: LocId -> mask (1 = read, 2 = write).
+  std::vector<std::unordered_map<LocId, uint8_t>> Footprint;
+  /// Which operations are interval callbacks (rule 17's cb_i): only the
+  /// cb_i -> cb_{i+1} chain edges are droppable, never caller -> cb_0.
+  std::vector<uint8_t> IntervalCb;
+  /// Registration operation of each interval callback, carried down the
+  /// rule-17 chain; substituted when a chain edge is dropped.
+  std::unordered_map<OpId, OpId> IntervalCreator;
+};
+
+} // namespace wr
+
+#endif // WEBRACER_HB_PREDICTIVEENGINE_H

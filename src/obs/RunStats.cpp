@@ -24,6 +24,16 @@ Json FilterAttrition::toJson() const {
   return J;
 }
 
+Json PredictionRow::toJson() const {
+  Json J = Json::object();
+  J.set("pairs_checked", PairsChecked);
+  J.set("dropped_edges", DroppedEdges);
+  J.set("candidates", Candidates);
+  J.set("observed_matched", Observed);
+  J.set("predicted", Predicted.toJson());
+  return J;
+}
+
 void RunStats::merge(const RunStats &O) {
   Operations += O.Operations;
   HbEdges += O.HbEdges;
@@ -54,6 +64,18 @@ void RunStats::merge(const RunStats &O) {
   Raw.merge(O.Raw);
   Filtered.merge(O.Filtered);
   Attrition.merge(O.Attrition);
+  for (const PredictionRow &Theirs : O.Prediction) {
+    bool Found = false;
+    for (PredictionRow &Ours : Prediction) {
+      if (Ours.Engine == Theirs.Engine) {
+        Ours.merge(Theirs);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      Prediction.push_back(Theirs);
+  }
   TasksRun += O.TasksRun;
   VirtualTimeUs += O.VirtualTimeUs;
   Crashes += O.Crashes;
@@ -88,6 +110,14 @@ Json RunStats::toJson() const {
   J.set("races_raw", Raw.toJson());
   J.set("races_filtered", Filtered.toJson());
   J.set("filter_attrition", Attrition.toJson());
+  // Present only when a predictive pass ran, so reports without
+  // prediction stay byte-identical to the pre-engine schema.
+  if (!Prediction.empty()) {
+    Json Pred = Json::object();
+    for (const PredictionRow &Row : Prediction)
+      Pred.set(Row.Engine, Row.toJson());
+    J.set("wr_prediction", std::move(Pred));
+  }
   J.set("tasks", TasksRun);
   J.set("virtual_time_us", VirtualTimeUs);
   J.set("crashes", Crashes);
@@ -138,6 +168,14 @@ void RunStats::exportTo(MetricsRegistry &Registry,
   C("filter.prior_read_guard", Attrition.PriorReadGuard);
   C("filter.multi_dispatch", Attrition.MultiDispatch);
   C("filter.kept", Attrition.Kept);
+  for (const PredictionRow &Row : Prediction) {
+    std::string Base = Prefix + ".wr_prediction." + Row.Engine;
+    Registry.counter(Base + ".pairs_checked").inc(Row.PairsChecked);
+    Registry.counter(Base + ".dropped_edges").inc(Row.DroppedEdges);
+    Registry.counter(Base + ".candidates").inc(Row.Candidates);
+    Registry.counter(Base + ".observed_matched").inc(Row.Observed);
+    Registry.counter(Base + ".predicted.total").inc(Row.Predicted.total());
+  }
   C("tasks", TasksRun);
   C("virtual_time_us", VirtualTimeUs);
   C("crashes", Crashes);

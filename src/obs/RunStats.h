@@ -82,6 +82,30 @@ struct NamedCount {
   bool operator==(const NamedCount &O) const = default;
 };
 
+/// Predicted-vs-observed race deltas of one partial-order engine's pass
+/// over a recorded trace (detect/Prediction.h). Engine is the engine's
+/// CLI spelling so obs stays independent of the hb layer's enum.
+struct PredictionRow {
+  std::string Engine;
+  uint64_t PairsChecked = 0; ///< Conflicting pairs posed to the engine.
+  uint64_t DroppedEdges = 0; ///< HB edges the engine's order dropped.
+  uint64_t Candidates = 0;   ///< Deduplicated races the pass flagged.
+  uint64_t Observed = 0;     ///< ... of which the observed run also saw.
+  RaceCounts Predicted;      ///< Predicted-only races, by kind.
+
+  void merge(const PredictionRow &O) {
+    PairsChecked += O.PairsChecked;
+    DroppedEdges += O.DroppedEdges;
+    Candidates += O.Candidates;
+    Observed += O.Observed;
+    Predicted.merge(O.Predicted);
+  }
+
+  bool operator==(const PredictionRow &O) const = default;
+
+  Json toJson() const;
+};
+
 /// The full statistics record of one run (or a merged aggregate of many).
 struct RunStats {
   // Happens-before graph.
@@ -107,6 +131,10 @@ struct RunStats {
   RaceCounts Raw;
   RaceCounts Filtered;
   FilterAttrition Attrition;
+  /// One row per predictive engine that ran (empty when prediction was
+  /// off; toJson() then omits the wr_prediction key so existing reports
+  /// stay byte-identical). Rows merge by engine name.
+  std::vector<PredictionRow> Prediction;
 
   // Runtime / event loop.
   uint64_t TasksRun = 0;

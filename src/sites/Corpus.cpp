@@ -98,6 +98,13 @@ SiteSpec wr::sites::specForRow(const Table2Row &Row, int VariableNoise,
   // Appended last, with no RNG draw, so the corpus layout above is
   // byte-for-byte what it was without it.
   Spec.Patterns.push_back({PatternKind::DeadGuardBenign, 1});
+  // ... and the two prediction seeds (bench/race_prediction): a hidden
+  // post-first race only SHB/WCP report, and an interval whose skipped
+  // middle tick only the WCP weakening reorders. Both are pure timer
+  // patterns - no resources, no RNG draw - so everything above them
+  // keeps its exact layout and schedule.
+  Spec.Patterns.push_back({PatternKind::PostFirstRaceBenign, 1});
+  Spec.Patterns.push_back({PatternKind::IntervalSkipBenign, 1});
   return Spec;
 }
 

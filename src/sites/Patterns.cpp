@@ -33,6 +33,10 @@ const char *wr::sites::toString(PatternKind Kind) {
     return "hover-menu-noise-benign";
   case PatternKind::DeadGuardBenign:
     return "dead-guard-benign";
+  case PatternKind::PostFirstRaceBenign:
+    return "post-first-race-benign";
+  case PatternKind::IntervalSkipBenign:
+    return "interval-skip-benign";
   }
   return "unknown";
 }
@@ -302,6 +306,60 @@ void emitDeadGuardBenign(SiteBuilder &S) {
       Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str()));
 }
 
+// Three unordered timers on one global: two typeof-guarded readers (5ms,
+// 7ms) and one writer (11ms). The one-per-location detector's read slot
+// only remembers the second reader when the write arrives, so exactly one
+// raw variable race - (second reader, writer) - is observed, while
+// (first reader, writer) is an equally feasible race no observed run
+// reports. The corpus's post-first-race seed: the SHB/WCP passes must
+// match the observed pair and predict the hidden one
+// (bench/race_prediction). Fully timer-driven, so it adds no resources
+// and perturbs no existing pattern's schedule.
+void emitPostFirstRaceBenign(SiteBuilder &S) {
+  std::string Id = S.freshSuffix();
+  S.html(strFormat(
+      "<script>"
+      "setTimeout(function() {"
+      "  window.pfrA%s = (typeof pfr%s != 'undefined') ? pfr%s : 0;"
+      "}, 5);"
+      "setTimeout(function() {"
+      "  window.pfrB%s = (typeof pfr%s != 'undefined') ? pfr%s : 0;"
+      "}, 7);"
+      "setTimeout(function() { pfr%s = 1; }, 11);"
+      "</script>",
+      Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str(),
+      Id.c_str(), Id.c_str()));
+  S.expected().RawOnlyVariable += 1;
+}
+
+// A 3ms setInterval racing two one-shot timers (4ms, 8ms) that flag its
+// phases: tick 0 writes a handoff global, tick 1 only reads the phase
+// flags (no conflicting state), tick 2 consumes the handoff and clears
+// the interval. Observed: two raw variable races (each phase flag's
+// write vs a tick's guarded read), both filtered. The rule-17 chain
+// orders the handoff write before its read under HB and SHB, but the
+// WCP weakening drops the non-conflicting tick0 -> tick1 edge, leaving
+// (tick 0, tick 2) concurrent - the WCP-vs-SHB delta seed
+// (bench/race_prediction).
+void emitIntervalSkipBenign(SiteBuilder &S) {
+  std::string Id = S.freshSuffix();
+  S.html(strFormat(
+      "<script>"
+      "setTimeout(function() { ivra%s = 1; }, 4);"
+      "setTimeout(function() { ivrb%s = 1; }, 8);"
+      "var iv%s = setInterval(function() {"
+      "  if (typeof ivra%s == 'undefined') { ivh%s = 1; }"
+      "  else if (typeof ivrb%s != 'undefined') {"
+      "    window.ivlast%s = (typeof ivh%s != 'undefined') ? ivh%s : 0;"
+      "    clearInterval(iv%s);"
+      "  }"
+      "}, 3);"
+      "</script>",
+      Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str(),
+      Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str(), Id.c_str()));
+  S.expected().RawOnlyVariable += 2;
+}
+
 } // namespace
 
 void wr::sites::emitPattern(SiteBuilder &Site,
@@ -350,6 +408,14 @@ void wr::sites::emitPattern(SiteBuilder &Site,
   case PatternKind::DeadGuardBenign:
     for (int I = 0; I < Instance.Count; ++I)
       emitDeadGuardBenign(Site);
+    return;
+  case PatternKind::PostFirstRaceBenign:
+    for (int I = 0; I < Instance.Count; ++I)
+      emitPostFirstRaceBenign(Site);
+    return;
+  case PatternKind::IntervalSkipBenign:
+    for (int I = 0; I < Instance.Count; ++I)
+      emitIntervalSkipBenign(Site);
     return;
   }
 }

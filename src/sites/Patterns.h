@@ -45,6 +45,18 @@
 ///                              race, dynamically nothing ever runs. The
 ///                              canonical guard-analysis-refutable false
 ///                              positive (bench/static_precision).
+///  * PostFirstRaceBenign     - two guarded timer reads racing one timer
+///                              write of the same global: the one-per-
+///                              location detector reports only the first
+///                              pair, the second is visible only to the
+///                              predictive SHB/WCP passes. The corpus's
+///                              post-first-race seed (bench/race_prediction).
+///  * IntervalSkipBenign      - a setInterval whose middle tick touches no
+///                              conflicting state: under the WCP weakening
+///                              the tick-chain edge drops, predicting a
+///                              race between the first and third ticks
+///                              that SHB still orders. The WCP-vs-SHB
+///                              delta seed (bench/race_prediction).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -71,6 +83,8 @@ enum class PatternKind : uint8_t {
   VariableNoiseBenign,
   HoverMenuNoiseBenign,
   DeadGuardBenign,
+  PostFirstRaceBenign,
+  IntervalSkipBenign,
 };
 
 const char *toString(PatternKind Kind);

@@ -30,6 +30,22 @@ obs::Json wr::webracer::raceToJson(const detect::Race &R,
   return O;
 }
 
+obs::Json wr::webracer::predictionsToJson(
+    const std::vector<detect::PredictionResult> &Predictions,
+    const HbGraph &Hb) {
+  obs::Json O = obs::Json::object();
+  for (const detect::PredictionResult &P : Predictions) {
+    obs::Json Arr = obs::Json::array();
+    for (const detect::PredictedRace &PR : P.Races) {
+      obs::Json R = raceToJson(PR.R, Hb);
+      R.set("verdict", detect::toString(PR.Verdict));
+      Arr.push(std::move(R));
+    }
+    O.set(toString(P.Engine), std::move(Arr));
+  }
+  return O;
+}
+
 obs::Json wr::webracer::buildRunReport(const std::string &Name,
                                        const SessionResult &R,
                                        const HbGraph &Hb,
@@ -50,6 +66,8 @@ obs::Json wr::webracer::buildRunReport(const std::string &Name,
   for (const detect::Race &Race : R.FilteredRaces)
     Filtered.push(raceToJson(Race, Hb));
   Races.set("filtered", std::move(Filtered));
+  if (!R.Predictions.empty())
+    Races.set("predicted", predictionsToJson(R.Predictions, Hb));
   Doc.set("races", std::move(Races));
   return Doc;
 }

@@ -28,6 +28,14 @@ namespace wr::webracer {
 /// One race as a JSON object (kind, location, both accesses, guard note).
 obs::Json raceToJson(const detect::Race &R, const HbGraph &Hb);
 
+/// The predictive passes' findings as one object keyed by engine name;
+/// each engine maps to its candidate races, tagged with the
+/// observed-vs-predicted verdict. Emitted under races."predicted" only
+/// when prediction ran, so non-predicting reports stay byte-identical.
+obs::Json predictionsToJson(
+    const std::vector<detect::PredictionResult> &Predictions,
+    const HbGraph &Hb);
+
 /// The full report document for one run. \p IncludeTiming adds the
 /// wall-clock section; leave it off when the report must be byte-stable
 /// (golden tests, cross-job comparison). "races" is the last key so text

@@ -7,14 +7,17 @@ using namespace wr::webracer;
 
 Session::Session(SessionOptions Options) : Opts(Options) {
   B = std::make_unique<rt::Browser>(Opts.Browser);
-  B->hb().setUseVectorClocks(Opts.UseVectorClocks);
+  // The live detector always runs under observed happens-before; the
+  // engine choice selects the graph strategy here and the predictive
+  // passes (which need the recorded trace) in run().
+  B->hb().setUseVectorClocks(Opts.effectiveEngine() != EngineKind::HbDfs);
   if (Opts.ExpectedOperations)
     B->hb().reserveOperations(Opts.ExpectedOperations);
   D = std::make_unique<detect::RaceDetector>(B->hb(), B->interner(),
                                              Opts.Detector);
   D->setPhaseStats(&B->phaseStats());
   B->addSink(D.get());
-  if (Opts.RecordTrace) {
+  if (Opts.RecordTrace || Opts.predictEffective()) {
     Trace = std::make_unique<TraceLog>();
     B->addSink(Trace.get());
   }
@@ -83,6 +86,15 @@ SessionResult Session::run(const std::string &Url) {
   S.EventsDispatched = Result.Explore.EventsDispatched;
   S.LinksClicked = Result.Explore.LinksClicked;
   S.BoxesTyped = Result.Explore.BoxesTyped;
+
+  if (Opts.predictEffective() && Trace) {
+    obs::PhaseTimer Timer(&B->phaseStats(), obs::Phase::Detect);
+    for (EngineKind K : detect::enginesToPredict(Opts.effectiveEngine())) {
+      Result.Predictions.push_back(
+          detect::predictRaces(*Trace, K, Result.RawRaces));
+      S.Prediction.push_back(detect::toStatsRow(Result.Predictions.back()));
+    }
+  }
   S.Phases = B->phaseStats();
   return Result;
 }

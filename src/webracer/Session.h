@@ -25,6 +25,7 @@
 #define WEBRACER_WEBRACER_SESSION_H
 
 #include "detect/Filters.h"
+#include "detect/Prediction.h"
 #include "detect/RaceDetector.h"
 #include "detect/Report.h"
 #include "explore/Explorer.h"
@@ -45,11 +46,29 @@ struct SessionOptions {
   explore::ExploreOptions Explore;
   /// Run automatic exploration after load (Sec. 5.2.2).
   bool AutoExplore = true;
-  /// Use the vector-clock HB representation instead of graph DFS. On by
-  /// default: the `ablation_hb_repr` bench shows the O(1) clock lookup
-  /// dominates the paper's memoized-DFS strategy at every graph size.
-  /// Set false to reproduce the paper's graph representation.
+  /// Run the predictive passes (detect/Prediction.h) after the observed
+  /// run, even when Detector.Engine is an HB engine (then both SHB and
+  /// WCP run). Implies trace recording for the session's own use.
+  bool Predict = false;
+  /// DEPRECATED: folded into engine selection (Detector.Engine); kept as
+  /// a forwarder so existing callers keep working. When Detector.Engine
+  /// is the default Hb and this is false, the effective engine is HbDfs
+  /// (the paper's graph representation; the `ablation_hb_repr` bench
+  /// shows the O(1) clock lookup dominates it at every graph size).
   bool UseVectorClocks = true;
+
+  /// Engine selection with the deprecated bool folded in.
+  EngineKind effectiveEngine() const {
+    if (Detector.Engine == EngineKind::Hb && !UseVectorClocks)
+      return EngineKind::HbDfs;
+    return Detector.Engine;
+  }
+
+  /// Prediction runs when asked for, or implied by a predictive engine.
+  bool predictEffective() const {
+    EngineKind K = effectiveEngine();
+    return Predict || K == EngineKind::Shb || K == EngineKind::Wcp;
+  }
   /// Record the full instrumentation trace (replayable via
   /// detect::replayTrace; costs memory).
   bool RecordTrace = false;
@@ -69,6 +88,9 @@ struct SessionResult {
   /// reachability counters, detector and filter attrition figures, event
   /// loop totals, and phase timings.
   obs::RunStats Stats;
+  /// Predictive passes' findings, one entry per engine run (empty when
+  /// prediction was off). Mirrored into Stats.Prediction.
+  std::vector<detect::PredictionResult> Predictions;
   std::vector<std::string> Crashes;
   std::vector<std::string> Alerts;
   std::vector<std::string> ParseErrors;

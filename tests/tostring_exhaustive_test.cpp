@@ -16,8 +16,10 @@
 
 #include "analysis/StaticAnalyzer.h"
 #include "analysis/StaticHb.h"
+#include "detect/Prediction.h"
 #include "detect/RaceDetector.h"
 #include "hb/HbGraph.h"
+#include "hb/PartialOrderEngine.h"
 #include "sites/Patterns.h"
 
 #include <gtest/gtest.h>
@@ -200,6 +202,8 @@ std::vector<sites::PatternKind> allPatternKinds() {
     case PatternKind::VariableNoiseBenign:
     case PatternKind::HoverMenuNoiseBenign:
     case PatternKind::DeadGuardBenign:
+    case PatternKind::PostFirstRaceBenign:
+    case PatternKind::IntervalSkipBenign:
       return K;
     }
     return K;
@@ -210,8 +214,61 @@ std::vector<sites::PatternKind> allPatternKinds() {
         PatternKind::FormValueHarmful, PatternKind::FormValueGuarded,
         PatternKind::FormValueReadBenign, PatternKind::GomezMonitorHarmful,
         PatternKind::DelayedSingleBenign, PatternKind::VariableNoiseBenign,
-        PatternKind::HoverMenuNoiseBenign, PatternKind::DeadGuardBenign})
+        PatternKind::HoverMenuNoiseBenign, PatternKind::DeadGuardBenign,
+        PatternKind::PostFirstRaceBenign, PatternKind::IntervalSkipBenign})
     All.push_back(Covered(K));
+  return All;
+}
+
+std::vector<EngineKind> allEngineKinds() {
+  std::vector<EngineKind> All;
+  auto Covered = [](EngineKind K) {
+    switch (K) {
+    case EngineKind::Hb:
+    case EngineKind::HbDfs:
+    case EngineKind::Shb:
+    case EngineKind::Wcp:
+      return K;
+    }
+    return K;
+  };
+  for (EngineKind K : {EngineKind::Hb, EngineKind::HbDfs, EngineKind::Shb,
+                       EngineKind::Wcp})
+    All.push_back(Covered(K));
+  return All;
+}
+
+std::vector<Ordering> allOrderings() {
+  std::vector<Ordering> All;
+  auto Covered = [](Ordering O) {
+    switch (O) {
+    case Ordering::Before:
+    case Ordering::After:
+    case Ordering::Concurrent:
+      return O;
+    }
+    return O;
+  };
+  for (Ordering O :
+       {Ordering::Before, Ordering::After, Ordering::Concurrent})
+    All.push_back(Covered(O));
+  return All;
+}
+
+std::vector<detect::PredictionVerdict> allPredictionVerdicts() {
+  using detect::PredictionVerdict;
+  std::vector<PredictionVerdict> All;
+  auto Covered = [](PredictionVerdict V) {
+    switch (V) {
+    case PredictionVerdict::Observed:
+    case PredictionVerdict::Predicted:
+      return V;
+    }
+    return V;
+  };
+  for (PredictionVerdict V :
+       {PredictionVerdict::Observed, PredictionVerdict::Predicted})
+    All.push_back(Covered(V));
   return All;
 }
 
@@ -287,6 +344,37 @@ TEST(ToStringExhaustiveTest, PatternKindNamesAreComplete) {
   expectCompleteStringTable(
       allPatternKinds(),
       [](sites::PatternKind K) { return sites::toString(K); }, "unknown");
+}
+
+TEST(ToStringExhaustiveTest, EngineKindNamesAreComplete) {
+  expectCompleteStringTable(
+      allEngineKinds(), [](EngineKind K) { return toString(K); },
+      "unknown");
+}
+
+TEST(ToStringExhaustiveTest, EngineKindNamesRoundTripThroughParse) {
+  // The CLI spellings must parse back to the exact enumerator.
+  for (EngineKind K : allEngineKinds()) {
+    EngineKind Parsed = EngineKind::Hb;
+    EXPECT_TRUE(parseEngineKind(toString(K), Parsed)) << toString(K);
+    EXPECT_EQ(Parsed, K);
+  }
+  EngineKind Untouched = EngineKind::Wcp;
+  EXPECT_FALSE(parseEngineKind("unknown", Untouched));
+  EXPECT_FALSE(parseEngineKind("", Untouched));
+  EXPECT_EQ(Untouched, EngineKind::Wcp);
+}
+
+TEST(ToStringExhaustiveTest, OrderingNamesAreComplete) {
+  expectCompleteStringTable(
+      allOrderings(), [](Ordering O) { return toString(O); }, "unknown");
+}
+
+TEST(ToStringExhaustiveTest, PredictionVerdictNamesAreComplete) {
+  expectCompleteStringTable(
+      allPredictionVerdicts(),
+      [](detect::PredictionVerdict V) { return detect::toString(V); },
+      "unknown");
 }
 
 } // namespace

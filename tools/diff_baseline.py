@@ -6,10 +6,12 @@ Usage: diff_baseline.py BASELINE.json CURRENT.json
 Compares the deterministic headline counters (site count, aggregate
 operations / HB edges / CHC queries, vector-clock chain and clock-arena
 counters (clock_bytes / clock_merges / shared_clocks), intern and epoch
-fast-path hit counters, detect-phase virtual time, raw and filtered race
-totals per kind, filter attrition, and the static-analysis precision
-tallies with their per-guard-class breakdown) and prints one line per
-drifted counter. The
+fast-path hit counters, detect-phase virtual time, the SHB/WCP
+predictive-pass headline counters (wr_prediction candidates /
+observed_matched / predicted totals and WCP's dropped edges), raw and
+filtered race totals per kind, filter attrition, and the
+static-analysis precision tallies with their per-guard-class breakdown)
+and prints one line per drifted counter. The
 diff is WARN-ONLY: drift exits 0 so CI surfaces it without failing the
 build (counters legitimately move when the corpus or detector changes;
 refresh the baseline in the same PR). Only malformed input exits
@@ -34,6 +36,13 @@ HEADLINE_PATHS = [
     ("aggregate", "epoch_hits"),
     ("aggregate", "phases", "detect", "virtual_us"),
     ("aggregate", "phases", "detect", "entries"),
+    ("aggregate", "wr_prediction", "shb", "candidates"),
+    ("aggregate", "wr_prediction", "shb", "observed_matched"),
+    ("aggregate", "wr_prediction", "shb", "predicted", "total"),
+    ("aggregate", "wr_prediction", "wcp", "candidates"),
+    ("aggregate", "wr_prediction", "wcp", "observed_matched"),
+    ("aggregate", "wr_prediction", "wcp", "predicted", "total"),
+    ("aggregate", "wr_prediction", "wcp", "dropped_edges"),
     ("aggregate", "races_raw", "total"),
     ("aggregate", "races_raw", "html"),
     ("aggregate", "races_raw", "function"),

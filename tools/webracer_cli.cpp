@@ -10,7 +10,7 @@
 //
 // Two additional entry points skip the positional page argument:
 //
-//   webracer-cli --replay trace.bin [--raw] [--dfs]
+//   webracer-cli --replay trace.bin [--raw] [--engine NAME] [--predict]
 //       replay a recorded trace through the detector and filters offline
 //   webracer-cli --corpus [--sites N] [--jobs N] [--seed N]
 //       run the synthetic Fortune-100 corpus (optionally in parallel)
@@ -22,8 +22,16 @@
 //                    (default: jitter 500..3000)
 //   --raw            print unfiltered races instead of filtered ones
 //   --no-explore     skip automatic exploration (Sec. 5.2.2)
+//   --engine NAME    partial-order engine: hb (default), hb-dfs, shb, or
+//                    wcp. The observed race output is always computed
+//                    under happens-before; shb/wcp add a predictive pass
+//                    over the recorded execution (implies --predict)
+//   --predict        run the SHB and WCP predictive passes after the
+//                    observed run and report their candidate races and
+//                    wr_prediction stats
 //   --dfs            use the paper's graph-DFS HB representation instead
-//                    of the default vector clocks
+//                    of the default vector clocks (same as --engine
+//                    hb-dfs)
 //   --vector-clocks  use the vector-clock HB representation (the default;
 //                    kept for script compatibility)
 //   --trace          dump the full instrumentation trace
@@ -86,10 +94,12 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s <index.html> [--root DIR] [--seed N] [--latency N] "
-      "[--raw] [--no-explore] [--dfs] [--vector-clocks] [--trace] "
+      "[--raw] [--no-explore] [--engine hb|hb-dfs|shb|wcp] [--predict] "
+      "[--dfs] [--vector-clocks] [--trace] "
       "[--record FILE] [--json FILE] [--metrics] [--static-analyze] "
       "[--cross-check] [--static-precision]\n"
-      "       %s --replay FILE [--raw] [--dfs] [--json FILE] [--metrics]\n"
+      "       %s --replay FILE [--raw] [--engine NAME] [--predict] "
+      "[--json FILE] [--metrics]\n"
       "       %s --corpus [--sites N] [--jobs N] [--seed N] [--json FILE] "
       "[--metrics]\n",
       Argv0, Argv0, Argv0);
@@ -162,8 +172,22 @@ obs::Json buildReplayReport(const std::string &Name,
   obs::Json Races = obs::Json::object();
   Races.set("raw", std::move(RawArr));
   Races.set("filtered", std::move(FilteredArr));
+  if (!R.Predictions.empty())
+    Races.set("predicted",
+              webracer::predictionsToJson(R.Predictions, R.Hb));
   Doc.set("races", std::move(Races));
   return Doc;
+}
+
+/// One summary line per predictive pass (page and replay modes).
+void printPredictionSummary(
+    const std::vector<detect::PredictionResult> &Predictions) {
+  for (const detect::PredictionResult &P : Predictions)
+    std::printf("%s prediction: %zu candidate(s), %zu observed, "
+                "%zu predicted, %llu dropped edge(s)\n",
+                toString(P.Engine), P.Races.size(), P.observedMatched(),
+                P.predictedCount(),
+                static_cast<unsigned long long>(P.DroppedEdges));
 }
 
 /// Builds a PageSpec from the files on disk under \p Root, mirroring the
@@ -193,6 +217,7 @@ analysis::PageSpec pageSpecFromDisk(const fs::path &Index,
 
 /// Offline mode: deserialize a recorded trace and rerun detection.
 int replayMain(const std::string &TraceFile, bool Raw, bool UseDfs,
+               EngineKind Engine, bool Predict,
                const std::string &JsonFile, bool Metrics) {
   std::ifstream In(TraceFile, std::ios::binary);
   if (!In) {
@@ -209,6 +234,8 @@ int replayMain(const std::string &TraceFile, bool Raw, bool UseDfs,
     return 1;
   }
   detect::ReplayOptions Opts;
+  Opts.Detector.Engine = Engine;
+  Opts.Predict = Predict;
   Opts.UseVectorClocks = !UseDfs;
   detect::ReplayResult R = detect::replayTrace(Log, Opts);
   std::printf("webracer: replaying %s (%zu events)\n", TraceFile.c_str(),
@@ -223,13 +250,15 @@ int replayMain(const std::string &TraceFile, bool Raw, bool UseDfs,
   std::printf("\n%s races: %s\n", Raw ? "raw" : "filtered",
               detect::summaryLine(Races).c_str());
   std::printf("%s", detect::describeRaces(Races, R.Hb).c_str());
+  printPredictionSummary(R.Predictions);
   return Races.empty() ? 0 : 1;
 }
 
 /// Corpus mode: run the synthetic Fortune-100 corpus, optionally in
 /// parallel, and print Table 1-style aggregates plus throughput.
 int corpusMain(size_t Sites, unsigned Jobs, uint64_t Seed,
-               const std::string &JsonFile, bool Metrics) {
+               EngineKind Engine, const std::string &JsonFile,
+               bool Metrics) {
   std::printf("webracer: building corpus (seed %llu)...\n",
               static_cast<unsigned long long>(Seed));
   std::vector<sites::GeneratedSite> Corpus =
@@ -237,6 +266,12 @@ int corpusMain(size_t Sites, unsigned Jobs, uint64_t Seed,
   if (Sites && Sites < Corpus.size())
     Corpus.resize(Sites);
   webracer::SessionOptions Opts;
+  Opts.Detector.Engine = Engine;
+  // Corpus reports always carry the wr_prediction section: the corpus
+  // seeds post-first-race and interval-skip patterns precisely so the
+  // SHB/WCP deltas are measured alongside Table 1/2 (bench/baseline.json
+  // and tools/diff_baseline.py track the headline counters).
+  Opts.Predict = true;
   std::printf("running %zu sites with %u job(s)...\n", Corpus.size(), Jobs);
   auto Start = std::chrono::steady_clock::now();
   sites::CorpusStats Stats = runCorpus(Corpus, Opts, Seed, Jobs);
@@ -271,6 +306,8 @@ int main(int Argc, char **Argv) {
   bool StaticAnalyze = false, CrossCheck = false, CorpusMode = false;
   bool StaticPrecisionMode = false;
   bool Metrics = false;
+  EngineKind Engine = EngineKind::Hb;
+  bool Predict = false;
   std::string RecordFile, ReplayFile, JsonFile;
   uint64_t Sites = 0;
   uint64_t Jobs = 1;
@@ -299,6 +336,16 @@ int main(int Argc, char **Argv) {
       Dfs = false; // The default; accepted for script compatibility.
     } else if (Arg == "--dfs") {
       Dfs = true;
+    } else if (Arg == "--engine" && I + 1 < Argc) {
+      if (!parseEngineKind(Argv[++I], Engine)) {
+        std::fprintf(stderr,
+                     "error: unknown engine '%s' (expected hb, hb-dfs, "
+                     "shb, or wcp)\n",
+                     Argv[I]);
+        return 2;
+      }
+    } else if (Arg == "--predict") {
+      Predict = true;
     } else if (Arg == "--trace") {
       Trace = true;
     } else if (Arg == "--record" && I + 1 < Argc) {
@@ -333,10 +380,11 @@ int main(int Argc, char **Argv) {
   }
 
   if (!ReplayFile.empty())
-    return replayMain(ReplayFile, Raw, Dfs, JsonFile, Metrics);
-  if (CorpusMode)
-    return corpusMain(Sites, static_cast<unsigned>(Jobs), Seed, JsonFile,
+    return replayMain(ReplayFile, Raw, Dfs, Engine, Predict, JsonFile,
                       Metrics);
+  if (CorpusMode)
+    return corpusMain(Sites, static_cast<unsigned>(Jobs), Seed, Engine,
+                      JsonFile, Metrics);
   if (Index.empty())
     return usage(Argv[0]);
 
@@ -441,6 +489,8 @@ int main(int Argc, char **Argv) {
   webracer::SessionOptions Opts;
   Opts.Browser.Seed = Seed;
   Opts.AutoExplore = Explore;
+  Opts.Detector.Engine = Engine;
+  Opts.Predict = Predict;
   Opts.UseVectorClocks = !Dfs;
   Opts.RecordTrace = Trace || !RecordFile.empty();
   webracer::Session S(Opts);
@@ -513,6 +563,7 @@ int main(int Argc, char **Argv) {
               detect::summaryLine(Races).c_str());
   std::printf("%s", detect::describeRaces(Races,
                                           S.browser().hb()).c_str());
+  printPredictionSummary(R.Predictions);
 
   if (Trace && S.trace())
     std::printf("\n-- trace --\n%s", S.trace()->toString().c_str());
