@@ -258,7 +258,7 @@ uint64_t paritySites(size_t Sites, int &Failures) {
     std::string Descriptions[2];
     for (int Vc = 0; Vc < 2; ++Vc) {
       webracer::SessionOptions Opts;
-      Opts.UseVectorClocks = Vc != 0;
+      Opts.Detector.Engine = Vc ? EngineKind::Hb : EngineKind::HbDfs;
       Opts.Browser.Seed = 42;
       webracer::Session S(Opts);
       S.network().addResource(Site.IndexUrl, Site.Html, 10);

@@ -45,6 +45,7 @@ struct FilterCounts {
   size_t NotFormField = 0;   ///< Variable races not on a form field.
   size_t PriorReadGuard = 0; ///< Write guarded by a prior read.
   size_t MultiDispatch = 0;  ///< Event races on multi-dispatch events.
+  size_t Suppressed = 0;     ///< Matched a user suppression (triage).
   size_t Kept = 0;           ///< Races surviving every filter.
 };
 
@@ -74,6 +75,7 @@ inline obs::FilterAttrition toAttrition(const FilterCounts &C) {
   A.NotFormField = C.NotFormField;
   A.PriorReadGuard = C.PriorReadGuard;
   A.MultiDispatch = C.MultiDispatch;
+  A.Suppressed = C.Suppressed;
   A.Kept = C.Kept;
   return A;
 }

@@ -72,7 +72,7 @@ ReplayResult wr::detect::replayTrace(const TraceLog &Log,
   // The observed pass always replays under happens-before; the engine
   // choice only selects the graph strategy (HbDfs) or adds predictive
   // passes below - race output stays byte-identical to the online run.
-  Result.Hb.setUseVectorClocks(Opts.effectiveEngine() != EngineKind::HbDfs);
+  Result.Hb.setUseVectorClocks(Opts.Detector.Engine != EngineKind::HbDfs);
   Result.Hb.reserveOperations(countOperations(Log));
   // The trace's interner resolves the access stream's LocIds; it was
   // either mirrored from the online engine or rebuilt by deserialize.
@@ -138,7 +138,7 @@ ReplayResult wr::detect::replayTrace(const TraceLog &Log,
   S.Crashes = Crashes;
 
   if (Opts.predictEffective()) {
-    for (EngineKind K : enginesToPredict(Opts.effectiveEngine())) {
+    for (EngineKind K : enginesToPredict(Opts.Detector.Engine)) {
       Result.Predictions.push_back(predictRaces(Log, K, Result.RawRaces));
       S.Prediction.push_back(toStatsRow(Result.Predictions.back()));
     }

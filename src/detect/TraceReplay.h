@@ -48,21 +48,13 @@ struct ReplayOptions {
   /// Run the predictive passes even when Detector.Engine is an HB
   /// engine (then both SHB and WCP run, for the side-by-side delta).
   bool Predict = false;
-  /// DEPRECATED: folded into engine selection; kept as a forwarder so
-  /// existing callers keep working. When Detector.Engine is the default
-  /// Hb and this is false, the effective engine is HbDfs.
-  bool UseVectorClocks = true;
-
-  /// Engine selection with the deprecated bool folded in.
-  EngineKind effectiveEngine() const {
-    if (Detector.Engine == EngineKind::Hb && !UseVectorClocks)
-      return EngineKind::HbDfs;
-    return Detector.Engine;
-  }
 
   /// Prediction runs when asked for, or implied by a predictive engine.
+  /// (The partial order itself lives in Detector.Engine; the deprecated
+  /// UseVectorClocks forwarder is gone - set Engine to HbDfs for the
+  /// paper's graph representation.)
   bool predictEffective() const {
-    EngineKind K = effectiveEngine();
+    EngineKind K = Detector.Engine;
     return Predict || K == EngineKind::Shb || K == EngineKind::Wcp;
   }
 };

@@ -330,8 +330,9 @@ private:
   mutable uint64_t SharedClocks = 0;
   mutable uint64_t ClockMerges = 0;
 
-  /// Matches webracer::SessionOptions::UseVectorClocks, so a bare graph
-  /// and a session-built one answer happensBefore() the same way.
+  /// Matches the session default (every engine but HbDfs uses clocks),
+  /// so a bare graph and a session-built one answer happensBefore() the
+  /// same way.
   bool UseVectorClocks = true;
 };
 

@@ -99,7 +99,15 @@ public:
   void clear() {
     Events.clear();
     Interner.clear();
+    Source.clear();
   }
+
+  /// Where this trace came from (a file path for deserialized traces, a
+  /// page URL for live recordings) - provenance the triage layer carries
+  /// into first-witness attributions. In-memory only: the WRT formats do
+  /// not encode it, so serialized traces stay byte-compatible.
+  void setSource(std::string S) { Source = std::move(S); }
+  const std::string &source() const { return Source; }
 
   /// Counts events of one kind.
   size_t count(EventKind Kind) const;
@@ -128,6 +136,7 @@ public:
 private:
   std::vector<TraceEvent> Events;
   LocationInterner Interner;
+  std::string Source;
 };
 
 } // namespace wr

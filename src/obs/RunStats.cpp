@@ -20,6 +20,10 @@ Json FilterAttrition::toJson() const {
   J.set("not_form_field", NotFormField);
   J.set("prior_read_guard", PriorReadGuard);
   J.set("multi_dispatch", MultiDispatch);
+  // Present only when a suppression file dropped something, so reports
+  // produced without suppressions keep the pre-triage byte layout.
+  if (Suppressed)
+    J.set("suppressed", Suppressed);
   J.set("kept", Kept);
   return J;
 }
@@ -167,6 +171,7 @@ void RunStats::exportTo(MetricsRegistry &Registry,
   C("filter.not_form_field", Attrition.NotFormField);
   C("filter.prior_read_guard", Attrition.PriorReadGuard);
   C("filter.multi_dispatch", Attrition.MultiDispatch);
+  C("filter.suppressed", Attrition.Suppressed);
   C("filter.kept", Attrition.Kept);
   for (const PredictionRow &Row : Prediction) {
     std::string Base = Prefix + ".wr_prediction." + Row.Engine;

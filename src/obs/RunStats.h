@@ -58,6 +58,7 @@ struct FilterAttrition {
   uint64_t NotFormField = 0;   ///< Variable races off form fields.
   uint64_t PriorReadGuard = 0; ///< Write guarded by a read (refinement).
   uint64_t MultiDispatch = 0;  ///< Event races on multi-dispatch events.
+  uint64_t Suppressed = 0;     ///< Matched a user suppression (triage).
   uint64_t Kept = 0;           ///< Races surviving every filter.
 
   void merge(const FilterAttrition &O) {
@@ -65,6 +66,7 @@ struct FilterAttrition {
     NotFormField += O.NotFormField;
     PriorReadGuard += O.PriorReadGuard;
     MultiDispatch += O.MultiDispatch;
+    Suppressed += O.Suppressed;
     Kept += O.Kept;
   }
 

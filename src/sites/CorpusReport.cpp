@@ -2,6 +2,9 @@
 
 #include "sites/CorpusReport.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 using namespace wr;
 using namespace wr::sites;
 
@@ -53,6 +56,65 @@ obs::Json wr::sites::buildCorpusReport(const std::string &Name,
   // Static-analyzer cross-check, per guard class (ISSUE 6 precision
   // accounting; diff_baseline.py tracks the headline counters).
   Doc.set("static_precision", Stats.staticTotals().toJson());
+
+  // Triage: corpus-wide dedup of the kept races by structural signature.
+  // Deterministic for any job count - sites are walked in corpus order
+  // and the rank is (occurrences desc, signature text asc).
+  {
+    struct Group {
+      const triage::RaceSignature *Sig = nullptr;
+      std::string Text;
+      uint64_t Occurrences = 0;
+      uint64_t SiteCount = 0;
+      std::string FirstSite;
+    };
+    std::vector<Group> Groups;
+    std::unordered_map<std::string, size_t> Index;
+    for (const SiteRunStats &S : Stats.Sites) {
+      std::vector<size_t> TouchedThisSite;
+      for (const triage::RaceSignature &Sig : S.Signatures) {
+        std::string Text = Sig.text();
+        auto [It, Inserted] = Index.try_emplace(Text, Groups.size());
+        if (Inserted) {
+          Groups.push_back(
+              {&Sig, std::move(Text), 0, 0, S.Name});
+        }
+        Group &G = Groups[It->second];
+        ++G.Occurrences;
+        if (std::find(TouchedThisSite.begin(), TouchedThisSite.end(),
+                      It->second) == TouchedThisSite.end()) {
+          TouchedThisSite.push_back(It->second);
+          ++G.SiteCount;
+        }
+      }
+    }
+    std::stable_sort(Groups.begin(), Groups.end(),
+                     [](const Group &A, const Group &B) {
+                       if (A.Occurrences != B.Occurrences)
+                         return A.Occurrences > B.Occurrences;
+                       return A.Text < B.Text;
+                     });
+    uint64_t Occurrences = 0;
+    obs::Json GroupArr = obs::Json::array();
+    for (const Group &G : Groups) {
+      Occurrences += G.Occurrences;
+      obs::Json Row = obs::Json::object();
+      Row.set("id", G.Sig->id());
+      Row.set("kind", G.Sig->Kind);
+      Row.set("location", G.Sig->Location);
+      Row.set("access", G.Sig->Access);
+      Row.set("context", G.Sig->Context);
+      Row.set("occurrences", G.Occurrences);
+      Row.set("sites", G.SiteCount);
+      Row.set("first_site", G.FirstSite);
+      GroupArr.push(std::move(Row));
+    }
+    obs::Json Triage = obs::Json::object();
+    Triage.set("signatures", static_cast<uint64_t>(Groups.size()));
+    Triage.set("occurrences", Occurrences);
+    Triage.set("groups", std::move(GroupArr));
+    Doc.set("triage", std::move(Triage));
+  }
 
   if (IncludeTiming) {
     obs::Json Timing = obs::Json::object();

@@ -49,6 +49,15 @@ SiteRunStats wr::sites::runSite(const GeneratedSite &Site,
                                           /*Confirmed=*/nullptr,
                                           /*Refuted=*/nullptr);
 
+  // Sign the kept races now, while the session's HB graph is still
+  // alive - the signature is the only race identity that survives the
+  // browser (and is stable across seeds and job counts).
+  Stats.Signatures.reserve(Result.FilteredRaces.size());
+  for (const detect::Race &R : Result.FilteredRaces)
+    Stats.Signatures.push_back(
+        triage::computeSignature(R, S.browser().hb()));
+  Stats.SuppressionHits = std::move(Result.SuppressionHits);
+
   Stats.Stats = std::move(Result.Stats);
   Stats.FilteredRaces = std::move(Result.FilteredRaces);
   return Stats;
@@ -156,5 +165,16 @@ obs::RunStats CorpusStats::aggregate() const {
   obs::RunStats Total;
   for (const SiteRunStats &S : Sites)
     Total.merge(S.Stats);
+  return Total;
+}
+
+std::vector<uint64_t> CorpusStats::suppressionHits() const {
+  std::vector<uint64_t> Total;
+  for (const SiteRunStats &S : Sites) {
+    if (S.SuppressionHits.size() > Total.size())
+      Total.resize(S.SuppressionHits.size(), 0);
+    for (size_t I = 0; I < S.SuppressionHits.size(); ++I)
+      Total[I] += S.SuppressionHits[I];
+  }
   return Total;
 }

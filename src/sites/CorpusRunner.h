@@ -18,6 +18,7 @@
 #include "detect/Report.h"
 #include "obs/RunStats.h"
 #include "sites/Corpus.h"
+#include "triage/Signature.h"
 #include "webracer/Session.h"
 
 #include <string>
@@ -36,6 +37,14 @@ struct SiteRunStats {
   obs::RunStats Stats;
   /// Filtered races kept for harmfulness analysis.
   std::vector<detect::Race> FilteredRaces;
+  /// Structural signature of each kept race, parallel to FilteredRaces
+  /// (computed while the site's browser - and so its HB graph - was
+  /// alive; the corpus report deduplicates on these).
+  std::vector<triage::RaceSignature> Signatures;
+  /// Per-suppression-entry hit counts when the base options carried a
+  /// suppression file (empty otherwise); merged corpus-wide for the
+  /// unmatched-suppression warnings.
+  std::vector<uint64_t> SuppressionHits;
   /// Static-analyzer precision against this site's raw dynamic races,
   /// per guard class (the cross-check, run corpus-wide).
   analysis::StaticPrecision Static;
@@ -65,6 +74,10 @@ struct CorpusStats {
   /// Corpus-order merge of every site's statistics record. Deterministic
   /// for any job count: sites land in corpus-order slots before merging.
   obs::RunStats aggregate() const;
+
+  /// Element-wise sum of the sites' per-suppression-entry hit counts
+  /// (empty when no site carried any).
+  std::vector<uint64_t> suppressionHits() const;
 };
 
 /// Runs one site through a session built from \p Base (a fresh browser

@@ -1,0 +1,285 @@
+//===- triage/Batch.cpp - Deduplicating batch trace ingest --------------------===//
+
+#include "triage/Batch.h"
+
+#include "detect/Report.h"
+#include "obs/Reporter.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+using namespace wr;
+using namespace wr::triage;
+
+bool wr::triage::listTraceFiles(const std::string &Dir,
+                                std::vector<std::string> &Out,
+                                std::string &Error) {
+  Out.clear();
+  std::error_code Ec;
+  std::filesystem::directory_iterator It(Dir, Ec);
+  if (Ec) {
+    Error = strFormat("cannot read trace directory '%s': %s", Dir.c_str(),
+                      Ec.message().c_str());
+    return false;
+  }
+  for (const auto &Entry : It) {
+    if (!Entry.is_regular_file(Ec) || Ec)
+      continue;
+    std::string Path = Entry.path().string();
+    if (Entry.path().extension() == ".wrt")
+      Out.push_back(std::move(Path));
+  }
+  // Directory iteration order is filesystem-dependent; the sorted list is
+  // the canonical input order every job count shares.
+  std::sort(Out.begin(), Out.end());
+  return true;
+}
+
+TraceIngest wr::triage::ingestTraceFile(const std::string &Path,
+                                        const BatchOptions &Opts) {
+  TraceIngest In;
+  In.Path = Path;
+  if (Opts.Suppressions)
+    In.SuppressionHits.resize(Opts.Suppressions->entries().size(), 0);
+
+  std::ifstream File(Path, std::ios::binary);
+  if (!File) {
+    In.Error = "cannot open trace file";
+    return In;
+  }
+  std::ostringstream Buf;
+  Buf << File.rdbuf();
+  TraceLog Log;
+  std::string DecodeError;
+  if (!TraceLog::deserialize(Buf.str(), Log, &DecodeError)) {
+    In.Error = DecodeError;
+    return In;
+  }
+  Log.setSource(Path);
+
+  detect::ReplayResult Result = detect::replayTrace(Log, Opts.Replay);
+  In.Ok = true;
+  In.Stats = std::move(Result.Stats);
+
+  // Sign the kept observed races; suppression drops are counted, never
+  // silent - they land in this trace's FilterAttrition (and so in every
+  // merged aggregate downstream).
+  auto Suppressed = [&](const RaceSignature &Sig) {
+    if (!Opts.Suppressions)
+      return false;
+    int Idx = Opts.Suppressions->matchIndex(Sig);
+    if (Idx < 0)
+      return false;
+    ++In.SuppressionHits[static_cast<size_t>(Idx)];
+    ++In.Suppressed;
+    return true;
+  };
+
+  std::vector<detect::Race> KeptRaces;
+  KeptRaces.reserve(Result.FilteredRaces.size());
+  for (const detect::Race &R : Result.FilteredRaces) {
+    RaceSignature Sig = computeSignature(R, Result.Hb);
+    if (Suppressed(Sig))
+      continue;
+    In.Kept.push_back({std::move(Sig), toString(R.Loc)});
+    KeptRaces.push_back(R);
+  }
+  if (size_t Dropped = Result.FilteredRaces.size() - KeptRaces.size()) {
+    In.Stats.Attrition.Suppressed += Dropped;
+    In.Stats.Attrition.Kept -=
+        std::min<uint64_t>(Dropped, In.Stats.Attrition.Kept);
+    In.Stats.Filtered = detect::tally(KeptRaces);
+  }
+
+  // Predicted-only findings get the same signature/suppression treatment;
+  // their drops stay out of FilterAttrition (they never entered the
+  // filter pipeline's input) and reconcile through the triage section.
+  for (const detect::PredictionResult &P : Result.Predictions) {
+    for (const detect::PredictedRace &PR : P.Races) {
+      if (PR.Verdict != detect::PredictionVerdict::Predicted)
+        continue;
+      RaceSignature Sig = computeSignature(PR.R, Result.Hb);
+      if (Suppressed(Sig))
+        continue;
+      In.Predicted.push_back({std::move(Sig), toString(PR.R.Loc)});
+    }
+  }
+  return In;
+}
+
+BatchResult wr::triage::runBatch(const std::vector<std::string> &Paths,
+                                 const BatchOptions &Opts) {
+  BatchResult R;
+  R.Traces.resize(Paths.size());
+
+  unsigned Jobs = Opts.Jobs;
+  if (Jobs == 0)
+    Jobs = std::max(1u, std::thread::hardware_concurrency());
+  Jobs = static_cast<unsigned>(
+      std::min<size_t>(Jobs, std::max<size_t>(Paths.size(), 1)));
+
+  if (Jobs <= 1) {
+    for (size_t I = 0; I < Paths.size(); ++I)
+      R.Traces[I] = ingestTraceFile(Paths[I], Opts);
+  } else {
+    // CorpusRunner's pool discipline: workers claim input indices through
+    // an atomic counter and write into input-order slots; no shared
+    // aggregate is touched until the sequential merge below.
+    std::atomic<size_t> Next{0};
+    auto Worker = [&] {
+      for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+           I < Paths.size();
+           I = Next.fetch_add(1, std::memory_order_relaxed))
+        R.Traces[I] = ingestTraceFile(Paths[I], Opts);
+    };
+    std::vector<std::thread> Pool;
+    Pool.reserve(Jobs);
+    for (unsigned T = 0; T < Jobs; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // Sequential merge in input order: group assignment, first-witness
+  // provenance, and every counter are independent of completion order.
+  if (Opts.Suppressions)
+    R.SuppressionHits.resize(Opts.Suppressions->entries().size(), 0);
+  std::unordered_map<std::string, size_t> GroupIndex;
+  auto GroupFor = [&](const WitnessRace &W, const std::string &Path) {
+    std::string Key = W.Sig.text();
+    auto It = GroupIndex.find(Key);
+    if (It == GroupIndex.end()) {
+      It = GroupIndex.emplace(std::move(Key), R.Groups.size()).first;
+      SignatureGroup G;
+      G.Sig = W.Sig;
+      G.FirstWitness = Path;
+      G.ExampleLocation = W.Location;
+      R.Groups.push_back(std::move(G));
+    }
+    return It->second;
+  };
+
+  for (const TraceIngest &In : R.Traces) {
+    if (!In.Ok) {
+      ++R.TracesFailed;
+      continue;
+    }
+    ++R.TracesOk;
+    R.Aggregate.merge(In.Stats);
+    R.TotalSuppressed += In.Suppressed;
+    for (size_t I = 0; I < In.SuppressionHits.size(); ++I)
+      R.SuppressionHits[I] += In.SuppressionHits[I];
+
+    std::vector<bool> SeenThisTrace(R.Groups.size(), false);
+    auto Touch = [&](size_t Idx) {
+      if (Idx >= SeenThisTrace.size())
+        SeenThisTrace.resize(Idx + 1, false);
+      if (!SeenThisTrace[Idx]) {
+        SeenThisTrace[Idx] = true;
+        ++R.Groups[Idx].Traces;
+      }
+    };
+    for (const WitnessRace &W : In.Kept) {
+      size_t Idx = GroupFor(W, In.Path);
+      ++R.Groups[Idx].Occurrences;
+      ++R.TotalKept;
+      Touch(Idx);
+    }
+    for (const WitnessRace &W : In.Predicted) {
+      size_t Idx = GroupFor(W, In.Path);
+      ++R.Groups[Idx].PredictedOccurrences;
+      ++R.TotalPredicted;
+      Touch(Idx);
+    }
+  }
+
+  // Rank: most frequent first, signature text as the deterministic
+  // tiebreak. stable_sort keeps first-seen order irrelevant.
+  std::stable_sort(R.Groups.begin(), R.Groups.end(),
+                   [](const SignatureGroup &A, const SignatureGroup &B) {
+                     uint64_t Ta = A.Occurrences + A.PredictedOccurrences;
+                     uint64_t Tb = B.Occurrences + B.PredictedOccurrences;
+                     if (Ta != Tb)
+                       return Ta > Tb;
+                     return A.Sig.text() < B.Sig.text();
+                   });
+
+  if (Opts.Suppressions) {
+    const auto &Entries = Opts.Suppressions->entries();
+    for (size_t I = 0; I < Entries.size(); ++I)
+      if (R.SuppressionHits[I] == 0)
+        R.UnmatchedSuppressions.push_back(Entries[I].Name);
+  }
+  return R;
+}
+
+obs::Json wr::triage::buildBatchReport(const std::string &Name,
+                                       const BatchResult &R) {
+  obs::Json Doc = obs::makeReportEnvelope("batch", Name);
+
+  obs::Json Traces = obs::Json::object();
+  Traces.set("total", static_cast<uint64_t>(R.Traces.size()));
+  Traces.set("ok", R.TracesOk);
+  Traces.set("failed", R.TracesFailed);
+  Doc.set("traces", std::move(Traces));
+
+  if (R.TracesFailed) {
+    obs::Json Errors = obs::Json::array();
+    for (const TraceIngest &In : R.Traces) {
+      if (In.Ok)
+        continue;
+      obs::Json Row = obs::Json::object();
+      Row.set("path", In.Path);
+      Row.set("error", In.Error);
+      Errors.push(std::move(Row));
+    }
+    Doc.set("errors", std::move(Errors));
+  }
+
+  Doc.set("aggregate", R.Aggregate.toJson());
+
+  obs::Json Triage = obs::Json::object();
+  Triage.set("signatures", static_cast<uint64_t>(R.Groups.size()));
+  Triage.set("occurrences", R.TotalKept);
+  if (R.TotalPredicted)
+    Triage.set("predicted_occurrences", R.TotalPredicted);
+  Triage.set("suppressed", R.TotalSuppressed);
+  if (!R.SuppressionHits.empty()) {
+    obs::Json Hits = obs::Json::array();
+    for (uint64_t H : R.SuppressionHits)
+      Hits.push(H);
+    Triage.set("suppression_hits", std::move(Hits));
+  }
+  if (!R.UnmatchedSuppressions.empty()) {
+    obs::Json Unmatched = obs::Json::array();
+    for (const std::string &N : R.UnmatchedSuppressions)
+      Unmatched.push(N);
+    Triage.set("unmatched_suppressions", std::move(Unmatched));
+  }
+
+  obs::Json Groups = obs::Json::array();
+  for (const SignatureGroup &G : R.Groups) {
+    obs::Json Row = obs::Json::object();
+    Row.set("id", G.Sig.id());
+    Row.set("kind", G.Sig.Kind);
+    Row.set("location", G.Sig.Location);
+    Row.set("access", G.Sig.Access);
+    Row.set("context", G.Sig.Context);
+    Row.set("occurrences", G.Occurrences);
+    if (G.PredictedOccurrences)
+      Row.set("predicted_occurrences", G.PredictedOccurrences);
+    Row.set("traces", G.Traces);
+    Row.set("first_witness", G.FirstWitness);
+    Row.set("example", G.ExampleLocation);
+    Groups.push(std::move(Row));
+  }
+  Triage.set("groups", std::move(Groups));
+  Doc.set("triage", std::move(Triage));
+  return Doc;
+}

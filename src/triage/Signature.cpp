@@ -1,0 +1,191 @@
+//===- triage/Signature.cpp - Stable structural race signatures ---------------===//
+
+#include "triage/Signature.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace wr;
+using namespace wr::triage;
+
+std::string wr::triage::normalizeSourcePattern(std::string_view Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  bool InDigits = false;
+  for (char C : Name) {
+    if (C >= '0' && C <= '9') {
+      if (!InDigits)
+        Out += '#';
+      InDigits = true;
+      continue;
+    }
+    InDigits = false;
+    Out += C;
+  }
+  return Out;
+}
+
+namespace {
+
+/// The structural location pattern: variant kind plus the stable key.
+/// Runtime identities (node ids, container ids, document ids, handler
+/// ids) are elided - they are assigned in execution order and differ per
+/// seed - while source-level names survive with digit runs folded.
+std::string locationPattern(const Location &Loc) {
+  if (const auto *Var = std::get_if<JSVarLoc>(&Loc)) {
+    const char *Scope = Var->Container == 0          ? "global"
+                        : isDomContainer(Var->Container) ? "dom"
+                                                         : "obj";
+    return strFormat("var %s.%s", Scope,
+                     normalizeSourcePattern(Var->Name).c_str());
+  }
+  if (const auto *Elem = std::get_if<HtmlElemLoc>(&Loc)) {
+    switch (Elem->Kind) {
+    case ElemKeyKind::ByNode:
+      return "elem node";
+    case ElemKeyKind::ById:
+      return strFormat("elem #%s",
+                       normalizeSourcePattern(Elem->Key).c_str());
+    case ElemKeyKind::ByName:
+      return strFormat("elem name=%s",
+                       normalizeSourcePattern(Elem->Key).c_str());
+    case ElemKeyKind::ByTag:
+      return strFormat("elem <%s>",
+                       normalizeSourcePattern(Elem->Key).c_str());
+    }
+    return "elem ?";
+  }
+  const auto &Handler = std::get<EventHandlerLoc>(Loc);
+  // The handler slot class matters (the on-property slot collides on
+  // overwrite, addEventListener handlers do not); the handler identity
+  // and target node are run-local.
+  return strFormat("handler (%s, %s)", Handler.EventType.c_str(),
+                   Handler.HandlerId == 0 ? "slot" : "listener");
+}
+
+const char *triggerTag(TriggerKind Kind) {
+  switch (Kind) {
+  case TriggerKind::None:
+    return "sync";
+  case TriggerKind::Network:
+    return "net";
+  case TriggerKind::Timer:
+    return "timer";
+  case TriggerKind::User:
+    return "user";
+  }
+  return "?";
+}
+
+/// Causal in-edge rules only: how the operation came to exist and be
+/// schedulable. Order-only rules (parse order, dispatch order, the
+/// DCL/load barriers, generic program order) describe one schedule's
+/// accident of placement and vary with seed jitter, so they are not part
+/// of the structural identity.
+const char *causalTag(HbRule Rule) {
+  switch (Rule) {
+  case HbRule::R2_CreateBeforeExe:
+    return "create-exe";
+  case HbRule::R4_CreateBeforeDefer:
+    return "create-defer";
+  case HbRule::R8_TargetCreated:
+    return "target-created";
+  case HbRule::R10_AjaxSend:
+    return "ajax";
+  case HbRule::R16_SetTimeout:
+    return "timeout";
+  case HbRule::R17_SetInterval:
+    return "interval";
+  case HbRule::RA_DispatchChain:
+    return "dispatch-chain";
+  case HbRule::RA_InlineSplit:
+    return "inline-split";
+  default:
+    return nullptr;
+  }
+}
+
+/// The causal HB-rule context of \p Op: the deduplicated causal tags of
+/// its in-edges, in enum order (deterministic regardless of the order
+/// edges were added in). "-" when none qualify.
+std::string contextOf(OpId Op, const HbGraph &Hb) {
+  bool Seen[NumHbRules] = {};
+  for (OpId Pred : Hb.predecessors(Op)) {
+    HbRule Rule;
+    if (Hb.findDirectEdgeRule(Pred, Op, Rule))
+      Seen[static_cast<size_t>(Rule)] = true;
+  }
+  std::string Out;
+  for (size_t I = 0; I < NumHbRules; ++I) {
+    if (!Seen[I])
+      continue;
+    const char *Tag = causalTag(static_cast<HbRule>(I));
+    if (!Tag)
+      continue;
+    if (!Out.empty())
+      Out += '+';
+    Out += Tag;
+  }
+  return Out.empty() ? "-" : Out;
+}
+
+/// One endpoint's engine-independent shape: read/write, why the access
+/// happened, and what kind of operation (with what trigger) performed it.
+std::string endpointShape(const Access &A, const HbGraph &Hb) {
+  const Operation &Op = Hb.operation(A.Op);
+  return strFormat("%s:%s:%s:%s", A.Kind == AccessKind::Write ? "w" : "r",
+                   wr::toString(A.Origin), wr::toString(Op.Kind),
+                   triggerTag(Op.Trigger));
+}
+
+} // namespace
+
+std::string RaceSignature::text() const {
+  std::string Out;
+  Out.reserve(Kind.size() + Location.size() + Access.size() +
+              Context.size() + 3);
+  Out += Kind;
+  Out += '|';
+  Out += Location;
+  Out += '|';
+  Out += Access;
+  Out += '|';
+  Out += Context;
+  return Out;
+}
+
+uint64_t RaceSignature::hash() const {
+  // FNV-1a, fixed offset/prime: the fingerprint must be identical across
+  // platforms and standard libraries (it lands in reports).
+  uint64_t H = 1469598103934665603ull;
+  for (char C : text()) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string RaceSignature::id() const {
+  return strFormat("sig-%016llx", static_cast<unsigned long long>(hash()));
+}
+
+RaceSignature wr::triage::computeSignature(const detect::Race &R,
+                                           const HbGraph &Hb) {
+  RaceSignature Sig;
+  Sig.Kind = detect::toString(R.Kind);
+  Sig.Location = locationPattern(R.Loc);
+  // Canonical endpoint order: sort the (shape, context) pairs so the
+  // signature does not depend on which endpoint the detector stored in
+  // its slot first (an artifact of OpId numbering and schedule).
+  std::pair<std::string, std::string> A{endpointShape(R.First, Hb),
+                                        contextOf(R.First.Op, Hb)};
+  std::pair<std::string, std::string> B{endpointShape(R.Second, Hb),
+                                        contextOf(R.Second.Op, Hb)};
+  if (B < A)
+    std::swap(A, B);
+  Sig.Access = A.first + " + " + B.first;
+  Sig.Context = A.second + " + " + B.second;
+  return Sig;
+}

@@ -1,0 +1,89 @@
+//===- triage/Signature.h - Stable structural race signatures --*- C++ -*-===//
+//
+// Part of the WebRacer reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stable structural identity of a race report, the unit the triage
+/// engine deduplicates, counts, and suppresses on - the analogue of
+/// Valgrind's canonicalized error contexts. At fleet scale the same
+/// Southwest-form race arrives from millions of traces; everything that
+/// varies across those traces (operation ids, node ids, container ids,
+/// dispatch indices, seed-dependent symbol uniquifiers, WRT1-vs-WRT2
+/// encoding) must cancel out of the signature, and everything structural
+/// (race kind, the shape of the location, how each endpoint accessed it,
+/// the causal happens-before rules that made the endpoints schedulable)
+/// must survive.
+///
+/// A signature has four components, each a short stable string, so
+/// suppression files can wildcard them independently:
+///
+///  * Kind     - the Sec. 2 race taxonomy ("variable", "html",
+///               "function", "event-dispatch").
+///  * Location - the location's structural pattern: variant kind plus its
+///               stable key with runtime ids elided and decimal runs in
+///               source-level names folded to '#' (the corpus's "_p<N>"
+///               uniquifiers, menu item indices, ...).
+///  * Access   - both endpoints' access shape, canonically ordered so the
+///               OpId numbering (and hence which endpoint the detector
+///               stored first) is irrelevant: read/write, access origin,
+///               operation kind, and trigger kind.
+///  * Context  - per endpoint, the *causal* happens-before rules on the
+///               endpoint operation's in-edges (create-before-exe,
+///               setTimeout, dispatch-chain, ...). Order-only rules
+///               (parse order, dispatch order, the load barriers) are
+///               excluded: they encode where an operation landed in one
+///               schedule, not what kind of operation it is, and vary
+///               with network jitter.
+///
+/// text() renders "Kind|Location|Access|Context"; hash()/id() derive a
+/// stable 64-bit FNV-1a fingerprint for compact cross-trace keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEBRACER_TRIAGE_SIGNATURE_H
+#define WEBRACER_TRIAGE_SIGNATURE_H
+
+#include "detect/RaceDetector.h"
+#include "hb/HbGraph.h"
+
+#include <string>
+#include <string_view>
+
+namespace wr::triage {
+
+/// The canonical structural identity of one race report. Equal
+/// signatures identify "the same race" across seeds, traces, trace
+/// encodings, and partial-order engines.
+struct RaceSignature {
+  std::string Kind;     ///< Race taxonomy name.
+  std::string Location; ///< Structural location pattern.
+  std::string Access;   ///< Canonically ordered endpoint shapes.
+  std::string Context;  ///< Causal HB-rule context per endpoint.
+
+  /// The canonical one-line rendering: "Kind|Location|Access|Context".
+  std::string text() const;
+
+  /// Stable FNV-1a fingerprint of text() (no platform-dependent
+  /// std::hash; the same signature hashes identically everywhere).
+  uint64_t hash() const;
+
+  /// The fingerprint as a fixed-width hex id for reports ("sig-...").
+  std::string id() const;
+
+  bool operator==(const RaceSignature &O) const = default;
+};
+
+/// Folds every maximal decimal-digit run in \p Name to '#': the corpus
+/// generators uniquify symbols per site ("dw_p3", "menu_p3_0"), and the
+/// same source pattern must sign identically at every site layout.
+std::string normalizeSourcePattern(std::string_view Name);
+
+/// Computes the signature of \p R. \p Hb must be the graph that owns the
+/// race's operation ids (the browser's online, the replay's offline).
+RaceSignature computeSignature(const detect::Race &R, const HbGraph &Hb);
+
+} // namespace wr::triage
+
+#endif // WEBRACER_TRIAGE_SIGNATURE_H

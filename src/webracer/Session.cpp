@@ -2,6 +2,8 @@
 
 #include "webracer/Session.h"
 
+#include "triage/Suppression.h"
+
 using namespace wr;
 using namespace wr::webracer;
 
@@ -10,7 +12,7 @@ Session::Session(SessionOptions Options) : Opts(Options) {
   // The live detector always runs under observed happens-before; the
   // engine choice selects the graph strategy here and the predictive
   // passes (which need the recorded trace) in run().
-  B->hb().setUseVectorClocks(Opts.effectiveEngine() != EngineKind::HbDfs);
+  B->hb().setUseVectorClocks(Opts.Detector.Engine != EngineKind::HbDfs);
   if (Opts.ExpectedOperations)
     B->hb().reserveOperations(Opts.ExpectedOperations);
   D = std::make_unique<detect::RaceDetector>(B->hb(), B->interner(),
@@ -50,6 +52,12 @@ SessionResult Session::run(const std::string &Url) {
     obs::PhaseTimer Timer(&B->phaseStats(), obs::Phase::Filter);
     Result.FilteredRaces = detect::applyPaperFilters(
         Result.RawRaces, dispatchCounts(), &Attrition);
+    // User suppressions run as the last filter stage: drops land in the
+    // attrition record (never silent) and hit counts go back per entry.
+    if (Opts.Suppressions && !Opts.Suppressions->empty())
+      Result.FilteredRaces = triage::applySuppressions(
+          Result.FilteredRaces, B->hb(), *Opts.Suppressions, &Attrition,
+          &Result.SuppressionHits);
   }
   Result.Crashes = B->crashLog();
   Result.Alerts = B->alerts();
@@ -89,7 +97,7 @@ SessionResult Session::run(const std::string &Url) {
 
   if (Opts.predictEffective() && Trace) {
     obs::PhaseTimer Timer(&B->phaseStats(), obs::Phase::Detect);
-    for (EngineKind K : detect::enginesToPredict(Opts.effectiveEngine())) {
+    for (EngineKind K : detect::enginesToPredict(Opts.Detector.Engine)) {
       Result.Predictions.push_back(
           detect::predictRaces(*Trace, K, Result.RawRaces));
       S.Prediction.push_back(detect::toStatsRow(Result.Predictions.back()));

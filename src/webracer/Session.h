@@ -37,6 +37,10 @@
 #include <string>
 #include <vector>
 
+namespace wr::triage {
+class SuppressionFile;
+} // namespace wr::triage
+
 namespace wr::webracer {
 
 /// Options for a full detection run.
@@ -50,25 +54,20 @@ struct SessionOptions {
   /// run, even when Detector.Engine is an HB engine (then both SHB and
   /// WCP run). Implies trace recording for the session's own use.
   bool Predict = false;
-  /// DEPRECATED: folded into engine selection (Detector.Engine); kept as
-  /// a forwarder so existing callers keep working. When Detector.Engine
-  /// is the default Hb and this is false, the effective engine is HbDfs
-  /// (the paper's graph representation; the `ablation_hb_repr` bench
-  /// shows the O(1) clock lookup dominates it at every graph size).
-  bool UseVectorClocks = true;
-
-  /// Engine selection with the deprecated bool folded in.
-  EngineKind effectiveEngine() const {
-    if (Detector.Engine == EngineKind::Hb && !UseVectorClocks)
-      return EngineKind::HbDfs;
-    return Detector.Engine;
-  }
 
   /// Prediction runs when asked for, or implied by a predictive engine.
+  /// (The partial order itself lives in Detector.Engine; the deprecated
+  /// UseVectorClocks forwarder is gone - set Engine to HbDfs for the
+  /// paper's graph representation.)
   bool predictEffective() const {
-    EngineKind K = effectiveEngine();
+    EngineKind K = Detector.Engine;
     return Predict || K == EngineKind::Shb || K == EngineKind::Wcp;
   }
+  /// Optional suppression file (triage/Suppression.h); matched races are
+  /// dropped from FilteredRaces after the Sec. 5.3 filters, counted in
+  /// Stats.Attrition.Suppressed, and tallied per entry in
+  /// SessionResult::SuppressionHits. Must outlive the session.
+  const triage::SuppressionFile *Suppressions = nullptr;
   /// Record the full instrumentation trace (replayable via
   /// detect::replayTrace; costs memory).
   bool RecordTrace = false;
@@ -91,6 +90,10 @@ struct SessionResult {
   /// Predictive passes' findings, one entry per engine run (empty when
   /// prediction was off). Mirrored into Stats.Prediction.
   std::vector<detect::PredictionResult> Predictions;
+  /// Per-suppression-entry hit counts (parallel to the suppression
+  /// file's entries; empty when no file was supplied). Zero-hit entries
+  /// are the caller's unmatched-suppression warnings.
+  std::vector<uint64_t> SuppressionHits;
   std::vector<std::string> Crashes;
   std::vector<std::string> Alerts;
   std::vector<std::string> ParseErrors;

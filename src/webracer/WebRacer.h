@@ -22,6 +22,9 @@
 ///    with serial and thread-pool corpus drivers (sites/*.h).
 ///  * analysis:: - the ahead-of-time static race analyzer and the
 ///    static-vs-dynamic cross-validation harness (analysis/*.h).
+///  * triage:: - stable race signatures, suppression files, and the
+///    deduplicating batch-ingest mode over trace directories
+///    (triage/*.h).
 ///  * obs:: - the observability layer: metrics registry, phase timers,
 ///    RunStats, and the schema-versioned report builders
 ///    (obs/*.h, webracer/RunReport.h, sites/CorpusReport.h).
@@ -48,6 +51,9 @@
 #include "sites/Corpus.h"
 #include "sites/CorpusReport.h"
 #include "sites/CorpusRunner.h"
+#include "triage/Batch.h"
+#include "triage/Signature.h"
+#include "triage/Suppression.h"
 #include "webracer/Harm.h"
 #include "webracer/RunReport.h"
 #include "webracer/Session.h"

@@ -205,23 +205,25 @@ TEST(EngineSelectionTest, EnginesToPredict) {
             (std::vector<EngineKind>{EngineKind::Wcp}));
 }
 
-TEST(EngineSelectionTest, DeprecatedUseVectorClocksForwards) {
+TEST(EngineSelectionTest, EngineDrivesPredictionAndStrategy) {
+  // Detector.Engine is the single source of truth (the UseVectorClocks
+  // forwarders are gone): predictive engines imply prediction, HB
+  // engines predict only when asked.
   ReplayOptions R;
-  EXPECT_EQ(R.effectiveEngine(), EngineKind::Hb);
+  EXPECT_EQ(R.Detector.Engine, EngineKind::Hb);
   EXPECT_FALSE(R.predictEffective());
-  R.UseVectorClocks = false;
-  EXPECT_EQ(R.effectiveEngine(), EngineKind::HbDfs);
-  // An explicit engine choice wins over the deprecated bool.
+  R.Detector.Engine = EngineKind::HbDfs;
+  EXPECT_FALSE(R.predictEffective());
   R.Detector.Engine = EngineKind::Shb;
-  EXPECT_EQ(R.effectiveEngine(), EngineKind::Shb);
+  EXPECT_TRUE(R.predictEffective());
+  R.Detector.Engine = EngineKind::Hb;
+  R.Predict = true;
   EXPECT_TRUE(R.predictEffective());
 
   webracer::SessionOptions S;
-  EXPECT_EQ(S.effectiveEngine(), EngineKind::Hb);
-  S.UseVectorClocks = false;
-  EXPECT_EQ(S.effectiveEngine(), EngineKind::HbDfs);
+  EXPECT_EQ(S.Detector.Engine, EngineKind::Hb);
+  EXPECT_FALSE(S.predictEffective());
   S.Detector.Engine = EngineKind::Wcp;
-  EXPECT_EQ(S.effectiveEngine(), EngineKind::Wcp);
   EXPECT_TRUE(S.predictEffective());
   S.Detector.Engine = EngineKind::Hb;
   S.Predict = true;

@@ -34,13 +34,12 @@ TEST(SessionTest, EndToEndRun) {
 
 TEST(SessionTest, VectorClockModeFindsSameRaces) {
   SessionOptions Graph;
-  Graph.UseVectorClocks = false; // The paper's DFS representation.
+  Graph.Detector.Engine = EngineKind::HbDfs; // The paper's DFS graph.
   Session SG(Graph);
   registerFig1(SG.network());
   SessionResult RG = SG.run("index.html");
 
-  SessionOptions Vc;
-  Vc.UseVectorClocks = true;
+  SessionOptions Vc; // Default engine: vector-clock happens-before.
   Session SV(Vc);
   registerFig1(SV.network());
   SessionResult RV = SV.run("index.html");
@@ -146,7 +145,7 @@ TEST(SessionTest, HbStrategyDefaultMatchesSessionDefault) {
   // reachability strategy, so code holding a graph outside a session
   // (benches, trace tooling) answers happensBefore() the same way.
   EXPECT_EQ(HbGraph().usesVectorClocks(),
-            SessionOptions().UseVectorClocks);
+            SessionOptions().Detector.Engine != EngineKind::HbDfs);
 }
 
 TEST(SessionTest, ExpectedOperationsHintPreservesResults) {

@@ -291,7 +291,7 @@ TEST(TraceReplayTest, DfsReplayFindsSameRaces) {
   registerFig1(S.network());
   SessionResult Online = S.run("index.html");
   detect::ReplayOptions Opts;
-  Opts.UseVectorClocks = false;
+  Opts.Detector.Engine = EngineKind::HbDfs;
   detect::ReplayResult Offline = detect::replayTrace(*S.trace(), Opts);
   EXPECT_EQ(detect::describeRaces(Offline.RawRaces, Offline.Hb),
             detect::describeRaces(Online.RawRaces, S.browser().hb()));

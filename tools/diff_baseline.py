@@ -60,6 +60,8 @@ HEADLINE_PATHS = [
     ("static_precision", "by_class", "guarded_one_side", "predicted"),
     ("static_precision", "by_class", "guarded_both_sides", "predicted"),
     ("static_precision", "by_class", "guarded_both_sides", "refuted"),
+    ("triage", "signatures"),
+    ("triage", "occurrences"),
 ]
 
 
@@ -104,7 +106,7 @@ def main(argv):
     if drifted:
         print(f"\n{drifted} headline counter(s) drifted from {argv[1]}.")
         print("If intentional, regenerate the baseline in this PR:")
-        print("  ./build/tools/webracer-cli --corpus --json "
+        print("  ./build/tools/webracer-cli corpus --json "
               "bench/baseline.json")
     else:
         print(f"OK: headline counters match {argv[1]}")

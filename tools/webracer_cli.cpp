@@ -1,65 +1,61 @@
 //===- tools/webracer_cli.cpp - WebRacer command-line front end ----------------===//
 //
-// Runs race detection over a page stored on disk:
+// Subcommand interface:
 //
-//   webracer-cli path/to/index.html [options]
-//
-// Every file under the page's directory (or --root DIR) is registered on
-// the simulated network under its path relative to that directory, so
-// <script src="js/app.js"> resolves to <root>/js/app.js.
-//
-// Two additional entry points skip the positional page argument:
-//
-//   webracer-cli --replay trace.bin [--raw] [--engine NAME] [--predict]
-//       replay a recorded trace through the detector and filters offline
-//   webracer-cli --corpus [--sites N] [--jobs N] [--seed N]
+//   webracer-cli page <index.html> [options]
+//       run race detection over a page stored on disk. Every file under
+//       the page's directory (or --root DIR) is registered on the
+//       simulated network under its path relative to that directory, so
+//       <script src="js/app.js"> resolves to <root>/js/app.js.
+//   webracer-cli replay <trace.wrt> [options]
+//       skip the browser: deserialize a recorded trace and run detection
+//       + filters offline over it
+//   webracer-cli corpus [options]
 //       run the synthetic Fortune-100 corpus (optionally in parallel)
+//   webracer-cli cross-check <index.html> [options]
+//       run the static analyzer AND a dynamic session, then print the
+//       precision/recall comparison (--static-only skips the dynamic
+//       run; --precision adds the per-guard-class accounting)
+//   webracer-cli batch --traces DIR [options]
+//       ingest every .wrt trace in DIR, deduplicate races by structural
+//       signature, and emit one ranked report (byte-identical at any
+//       --jobs count)
 //
-// Options:
-//   --root DIR       resource root (default: the page's directory)
-//   --seed N         determinism seed (default 1)
-//   --latency N      fixed resource latency in microseconds
-//                    (default: jitter 500..3000)
-//   --raw            print unfiltered races instead of filtered ones
-//   --no-explore     skip automatic exploration (Sec. 5.2.2)
-//   --engine NAME    partial-order engine: hb (default), hb-dfs, shb, or
-//                    wcp. The observed race output is always computed
-//                    under happens-before; shb/wcp add a predictive pass
-//                    over the recorded execution (implies --predict)
-//   --predict        run the SHB and WCP predictive passes after the
-//                    observed run and report their candidate races and
-//                    wr_prediction stats
-//   --dfs            use the paper's graph-DFS HB representation instead
-//                    of the default vector clocks (same as --engine
-//                    hb-dfs)
-//   --vector-clocks  use the vector-clock HB representation (the default;
-//                    kept for script compatibility)
-//   --trace          dump the full instrumentation trace
-//   --record FILE    record the execution trace and write it to FILE in
-//                    the binary trace format (replay with --replay)
-//   --replay FILE    skip the browser: deserialize FILE and run
-//                    detection + filters offline over the trace
-//   --corpus         run the synthetic Fortune-100 corpus instead of a
-//                    page from disk
-//   --sites N        with --corpus: only the first N sites (default 100)
-//   --jobs N         with --corpus: thread-pool size (default 1; must be
-//                    at least 1)
-//   --json FILE      write the schema-1 JSON report to FILE (page,
-//                    replay, corpus, and cross-check modes; corpus
-//                    reports are byte-identical for any --jobs count)
-//   --metrics        dump the run statistics as a name-sorted metrics
-//                    listing after the report
-//   --static-analyze predict races ahead of time without executing the
-//                    page; prints the predicted races (and, with --trace,
-//                    the static must-HB graph)
-//   --cross-check    run the static analyzer AND a dynamic session, then
-//                    print the precision/recall comparison
-//   --static-precision
-//                    like --cross-check, but report the per-guard-class
-//                    precision accounting: predictions split into
-//                    unguarded / guarded-one-side / guarded-both-sides
-//                    with confirmed/refuted counts and the number of
-//                    false positives the guard analysis explains away
+// Options (per subcommand; unknown options exit 2):
+//   --root DIR          page, cross-check: resource root (default: the
+//                       page's directory)
+//   --seed N            page, corpus, cross-check: determinism seed
+//                       (default 1)
+//   --latency N         page, cross-check: fixed resource latency in
+//                       microseconds (default: jitter 500..3000)
+//   --raw               page, replay: print unfiltered races
+//   --no-explore        page, cross-check: skip automatic exploration
+//   --engine NAME       partial-order engine: hb (default), hb-dfs, shb,
+//                       or wcp. The observed race output is always
+//                       computed under happens-before; shb/wcp add a
+//                       predictive pass (implies --predict)
+//   --predict           page, replay, batch: run the SHB and WCP
+//                       predictive passes after the observed run
+//   --suppressions FILE page, replay, corpus, batch: drop races matching
+//                       the suppression file; drops are counted in the
+//                       filter attrition and unmatched entries warn
+//   --trace             page: dump the full instrumentation trace;
+//                       cross-check --static-only: dump the must-HB graph
+//   --record FILE       page: write the execution trace to FILE (WRT2)
+//   --sites N           corpus: only the first N sites (default 100)
+//   --jobs N            corpus, batch: thread-pool size (default 1; must
+//                       be at least 1)
+//   --traces DIR        batch: the directory of .wrt traces to ingest
+//   --precision         cross-check: per-guard-class precision accounting
+//   --static-only       cross-check: static analysis alone, no dynamic run
+//   --json FILE         write the schema-1 JSON report to FILE
+//   --metrics           dump run statistics as a name-sorted listing
+//
+// The pre-subcommand flag spellings (`webracer-cli index.html --raw`,
+// `--corpus`, `--replay FILE`, `--cross-check`, `--static-analyze`,
+// `--static-precision`) keep working through an alias shim that prints a
+// one-line deprecation note to stderr. The `--dfs` / `--vector-clocks`
+// flags are gone: use `--engine hb-dfs` / `--engine hb`.
 //
 // Count-valued options take strict unsigned decimal integers; anything
 // else (including a bare "-" or trailing junk) is a usage error.
@@ -77,6 +73,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 using namespace wr;
 namespace fs = std::filesystem;
@@ -93,16 +90,20 @@ std::string readFile(const fs::path &Path) {
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <index.html> [--root DIR] [--seed N] [--latency N] "
-      "[--raw] [--no-explore] [--engine hb|hb-dfs|shb|wcp] [--predict] "
-      "[--dfs] [--vector-clocks] [--trace] "
-      "[--record FILE] [--json FILE] [--metrics] [--static-analyze] "
-      "[--cross-check] [--static-precision]\n"
-      "       %s --replay FILE [--raw] [--engine NAME] [--predict] "
-      "[--json FILE] [--metrics]\n"
-      "       %s --corpus [--sites N] [--jobs N] [--seed N] [--json FILE] "
-      "[--metrics]\n",
-      Argv0, Argv0, Argv0);
+      "usage: %s <subcommand> [options]\n"
+      "\n"
+      "subcommands:\n"
+      "  page <index.html>     detect races on a page stored on disk\n"
+      "  replay <trace.wrt>    offline detection over a recorded trace\n"
+      "  corpus                run the synthetic Fortune-100 corpus\n"
+      "  cross-check <index.html>\n"
+      "                        static-vs-dynamic race comparison\n"
+      "  batch --traces DIR    deduplicating ingest of a trace directory\n"
+      "\n"
+      "common options: --engine hb|hb-dfs|shb|wcp, --json FILE,\n"
+      "  --metrics, --suppressions FILE; see the header of this tool or\n"
+      "  README.md for the per-subcommand tables.\n",
+      Argv0);
   return 2;
 }
 
@@ -215,13 +216,246 @@ analysis::PageSpec pageSpecFromDisk(const fs::path &Index,
   return Page;
 }
 
+/// The subcommands of the redesigned interface.
+enum class Mode { Page, Replay, Corpus, CrossCheck, Batch };
+
+const char *modeName(Mode M) {
+  switch (M) {
+  case Mode::Page:
+    return "page";
+  case Mode::Replay:
+    return "replay";
+  case Mode::Corpus:
+    return "corpus";
+  case Mode::CrossCheck:
+    return "cross-check";
+  case Mode::Batch:
+    return "batch";
+  }
+  return "?";
+}
+
+/// Every option of every subcommand (one shared table; the parser
+/// rejects options a subcommand does not accept).
+struct CliOptions {
+  Mode M = Mode::Page;
+  fs::path Index;        ///< page / cross-check positional.
+  std::string TraceFile; ///< replay positional.
+  fs::path Root;
+  uint64_t Seed = 1;
+  uint64_t FixedLatency = 0;
+  bool Raw = false;
+  bool Explore = true;
+  bool Trace = false;
+  bool Predict = false;
+  bool Metrics = false;
+  bool Precision = false;
+  bool StaticOnly = false;
+  EngineKind Engine = EngineKind::Hb;
+  std::string RecordFile, JsonFile, SuppressionsFile, TracesDir;
+  uint64_t Sites = 0;
+  uint64_t Jobs = 1;
+};
+
+/// True when subcommand \p M accepts \p Flag (the shared option table).
+bool modeAccepts(Mode M, const std::string &Flag) {
+  auto In = [&](std::initializer_list<Mode> Modes) {
+    for (Mode Candidate : Modes)
+      if (Candidate == M)
+        return true;
+    return false;
+  };
+  if (Flag == "--root" || Flag == "--latency" || Flag == "--no-explore")
+    return In({Mode::Page, Mode::CrossCheck});
+  if (Flag == "--seed")
+    return In({Mode::Page, Mode::Corpus, Mode::CrossCheck});
+  if (Flag == "--raw")
+    return In({Mode::Page, Mode::Replay});
+  if (Flag == "--engine")
+    return true;
+  if (Flag == "--predict")
+    return In({Mode::Page, Mode::Replay, Mode::Batch});
+  if (Flag == "--suppressions")
+    return In({Mode::Page, Mode::Replay, Mode::Corpus, Mode::Batch});
+  if (Flag == "--trace")
+    return In({Mode::Page, Mode::CrossCheck});
+  if (Flag == "--record")
+    return In({Mode::Page});
+  if (Flag == "--sites")
+    return In({Mode::Corpus});
+  if (Flag == "--jobs")
+    return In({Mode::Corpus, Mode::Batch});
+  if (Flag == "--traces")
+    return In({Mode::Batch});
+  if (Flag == "--precision" || Flag == "--static-only")
+    return In({Mode::CrossCheck});
+  if (Flag == "--json" || Flag == "--metrics")
+    return true;
+  return false;
+}
+
+/// Parses the arguments after the subcommand. Returns 0 on success, else
+/// the exit code (2 for usage errors).
+int parseModeArgs(CliOptions &O, const std::vector<std::string> &Args,
+                  const char *Argv0) {
+  auto NeedsPositional = [&] {
+    return O.M == Mode::Page || O.M == Mode::CrossCheck;
+  };
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    auto Value = [&](const char *Flag) -> const char * {
+      if (I + 1 < Args.size())
+        return Args[++I].c_str();
+      std::fprintf(stderr, "error: %s expects a value\n", Flag);
+      return nullptr;
+    };
+    if (!Arg.empty() && Arg[0] != '-') {
+      if (NeedsPositional() && O.Index.empty()) {
+        O.Index = Arg;
+        if (O.Root.empty())
+          O.Root = O.Index.parent_path();
+        continue;
+      }
+      if (O.M == Mode::Replay && O.TraceFile.empty()) {
+        O.TraceFile = Arg;
+        continue;
+      }
+      std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                   Arg.c_str());
+      return 2;
+    }
+    if (Arg == "--dfs" || Arg == "--vector-clocks") {
+      std::fprintf(stderr,
+                   "error: %s was removed; use --engine hb-dfs (the "
+                   "paper's graph DFS) or --engine hb (vector clocks, "
+                   "the default)\n",
+                   Arg.c_str());
+      return 2;
+    }
+    if (!modeAccepts(O.M, Arg)) {
+      std::fprintf(stderr, "error: unknown option '%s' for '%s %s'\n",
+                   Arg.c_str(), Argv0, modeName(O.M));
+      return 2;
+    }
+    if (Arg == "--root") {
+      const char *V = Value("--root");
+      if (!V)
+        return 2;
+      O.Root = V;
+    } else if (Arg == "--seed") {
+      const char *V = Value("--seed");
+      if (!V || !parseCountArg("--seed", V, O.Seed))
+        return 2;
+    } else if (Arg == "--latency") {
+      const char *V = Value("--latency");
+      if (!V || !parseCountArg("--latency", V, O.FixedLatency))
+        return 2;
+    } else if (Arg == "--raw") {
+      O.Raw = true;
+    } else if (Arg == "--no-explore") {
+      O.Explore = false;
+    } else if (Arg == "--engine") {
+      const char *V = Value("--engine");
+      if (!V)
+        return 2;
+      if (!parseEngineKind(V, O.Engine)) {
+        std::fprintf(stderr,
+                     "error: unknown engine '%s' (expected hb, hb-dfs, "
+                     "shb, or wcp)\n",
+                     V);
+        return 2;
+      }
+    } else if (Arg == "--predict") {
+      O.Predict = true;
+    } else if (Arg == "--suppressions") {
+      const char *V = Value("--suppressions");
+      if (!V)
+        return 2;
+      O.SuppressionsFile = V;
+    } else if (Arg == "--trace") {
+      O.Trace = true;
+    } else if (Arg == "--record") {
+      const char *V = Value("--record");
+      if (!V)
+        return 2;
+      O.RecordFile = V;
+    } else if (Arg == "--sites") {
+      const char *V = Value("--sites");
+      if (!V || !parseCountArg("--sites", V, O.Sites))
+        return 2;
+    } else if (Arg == "--jobs") {
+      const char *V = Value("--jobs");
+      if (!V || !parseCountArg("--jobs", V, O.Jobs))
+        return 2;
+      if (O.Jobs == 0) {
+        std::fprintf(stderr, "error: --jobs must be at least 1\n");
+        return 2;
+      }
+    } else if (Arg == "--traces") {
+      const char *V = Value("--traces");
+      if (!V)
+        return 2;
+      O.TracesDir = V;
+    } else if (Arg == "--precision") {
+      O.Precision = true;
+    } else if (Arg == "--static-only") {
+      O.StaticOnly = true;
+    } else if (Arg == "--json") {
+      const char *V = Value("--json");
+      if (!V)
+        return 2;
+      O.JsonFile = V;
+    } else if (Arg == "--metrics") {
+      O.Metrics = true;
+    }
+  }
+  if (NeedsPositional() && O.Index.empty()) {
+    std::fprintf(stderr, "error: '%s' expects a page argument\n",
+                 modeName(O.M));
+    return 2;
+  }
+  if (O.M == Mode::Replay && O.TraceFile.empty()) {
+    std::fprintf(stderr, "error: 'replay' expects a trace-file argument\n");
+    return 2;
+  }
+  if (O.M == Mode::Batch && O.TracesDir.empty()) {
+    std::fprintf(stderr, "error: 'batch' requires --traces DIR\n");
+    return 2;
+  }
+  return 0;
+}
+
+/// Loads --suppressions when given. Returns false (exit 1) on a parse
+/// error; \p Loaded says whether \p File holds anything.
+bool loadSuppressions(const std::string &Path, triage::SuppressionFile &File,
+                      bool &Loaded) {
+  Loaded = false;
+  if (Path.empty())
+    return true;
+  std::string Error;
+  if (!triage::SuppressionFile::load(Path, File, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return false;
+  }
+  Loaded = true;
+  return true;
+}
+
+/// Warns (stderr) about suppression entries that matched nothing, so
+/// stale suppressions are noticed rather than rotting silently.
+void warnUnmatchedSuppressions(const triage::SuppressionFile &File,
+                               const std::vector<uint64_t> &Hits) {
+  for (size_t I = 0; I < File.entries().size(); ++I)
+    if (I >= Hits.size() || Hits[I] == 0)
+      std::fprintf(stderr, "warning: suppression '%s' matched nothing\n",
+                   File.entries()[I].Name.c_str());
+}
+
 /// Offline mode: deserialize a recorded trace and rerun detection.
-int replayMain(const std::string &TraceFile, bool Raw, bool UseDfs,
-               EngineKind Engine, bool Predict,
-               const std::string &JsonFile, bool Metrics) {
-  std::ifstream In(TraceFile, std::ios::binary);
+int replayMain(const CliOptions &O) {
+  std::ifstream In(O.TraceFile, std::ios::binary);
   if (!In) {
-    std::fprintf(stderr, "error: cannot read %s\n", TraceFile.c_str());
+    std::fprintf(stderr, "error: cannot read %s\n", O.TraceFile.c_str());
     return 1;
   }
   std::ostringstream Buffer;
@@ -229,25 +463,42 @@ int replayMain(const std::string &TraceFile, bool Raw, bool UseDfs,
   TraceLog Log;
   std::string Error;
   if (!TraceLog::deserialize(Buffer.str(), Log, &Error)) {
-    std::fprintf(stderr, "error: %s: %s\n", TraceFile.c_str(),
+    std::fprintf(stderr, "error: %s: %s\n", O.TraceFile.c_str(),
                  Error.c_str());
     return 1;
   }
-  detect::ReplayOptions Opts;
-  Opts.Detector.Engine = Engine;
-  Opts.Predict = Predict;
-  Opts.UseVectorClocks = !UseDfs;
-  detect::ReplayResult R = detect::replayTrace(Log, Opts);
-  std::printf("webracer: replaying %s (%zu events)\n", TraceFile.c_str(),
-              Log.size());
-  obs::Json Doc = buildReplayReport(TraceFile, R);
-  printReportText(withoutMember(Doc, "races"));
-  if (!JsonFile.empty() && !writeReportFile(JsonFile, Doc))
+  Log.setSource(O.TraceFile);
+  triage::SuppressionFile Suppressions;
+  bool HaveSuppressions = false;
+  if (!loadSuppressions(O.SuppressionsFile, Suppressions, HaveSuppressions))
     return 1;
-  if (Metrics)
+  detect::ReplayOptions Opts;
+  Opts.Detector.Engine = O.Engine;
+  Opts.Predict = O.Predict;
+  detect::ReplayResult R = detect::replayTrace(Log, Opts);
+  if (HaveSuppressions) {
+    detect::FilterCounts Counts;
+    Counts.Kept = static_cast<size_t>(R.Stats.Attrition.Kept);
+    std::vector<uint64_t> Hits;
+    R.FilteredRaces = triage::applySuppressions(R.FilteredRaces, R.Hb,
+                                                Suppressions, &Counts,
+                                                &Hits);
+    R.Stats.Attrition.Suppressed += Counts.Suppressed;
+    R.Stats.Attrition.Kept = Counts.Kept;
+    R.Stats.Filtered = detect::tally(R.FilteredRaces);
+    warnUnmatchedSuppressions(Suppressions, Hits);
+  }
+  std::printf("webracer: replaying %s (%zu events)\n", O.TraceFile.c_str(),
+              Log.size());
+  obs::Json Doc = buildReplayReport(O.TraceFile, R);
+  printReportText(withoutMember(Doc, "races"));
+  if (!O.JsonFile.empty() && !writeReportFile(O.JsonFile, Doc))
+    return 1;
+  if (O.Metrics)
     printMetrics(R.Stats);
-  const std::vector<detect::Race> &Races = Raw ? R.RawRaces : R.FilteredRaces;
-  std::printf("\n%s races: %s\n", Raw ? "raw" : "filtered",
+  const std::vector<detect::Race> &Races =
+      O.Raw ? R.RawRaces : R.FilteredRaces;
+  std::printf("\n%s races: %s\n", O.Raw ? "raw" : "filtered",
               detect::summaryLine(Races).c_str());
   std::printf("%s", detect::describeRaces(Races, R.Hb).c_str());
   printPredictionSummary(R.Predictions);
@@ -256,154 +507,113 @@ int replayMain(const std::string &TraceFile, bool Raw, bool UseDfs,
 
 /// Corpus mode: run the synthetic Fortune-100 corpus, optionally in
 /// parallel, and print Table 1-style aggregates plus throughput.
-int corpusMain(size_t Sites, unsigned Jobs, uint64_t Seed,
-               EngineKind Engine, const std::string &JsonFile,
-               bool Metrics) {
+int corpusMain(const CliOptions &O) {
+  triage::SuppressionFile Suppressions;
+  bool HaveSuppressions = false;
+  if (!loadSuppressions(O.SuppressionsFile, Suppressions, HaveSuppressions))
+    return 1;
   std::printf("webracer: building corpus (seed %llu)...\n",
-              static_cast<unsigned long long>(Seed));
+              static_cast<unsigned long long>(O.Seed));
   std::vector<sites::GeneratedSite> Corpus =
-      sites::buildFortune100Corpus(Seed);
-  if (Sites && Sites < Corpus.size())
-    Corpus.resize(Sites);
+      sites::buildFortune100Corpus(O.Seed);
+  if (O.Sites && O.Sites < Corpus.size())
+    Corpus.resize(O.Sites);
   webracer::SessionOptions Opts;
-  Opts.Detector.Engine = Engine;
+  Opts.Detector.Engine = O.Engine;
+  if (HaveSuppressions)
+    Opts.Suppressions = &Suppressions;
   // Corpus reports always carry the wr_prediction section: the corpus
   // seeds post-first-race and interval-skip patterns precisely so the
   // SHB/WCP deltas are measured alongside Table 1/2 (bench/baseline.json
   // and tools/diff_baseline.py track the headline counters).
   Opts.Predict = true;
+  unsigned Jobs = static_cast<unsigned>(O.Jobs);
   std::printf("running %zu sites with %u job(s)...\n", Corpus.size(), Jobs);
   auto Start = std::chrono::steady_clock::now();
-  sites::CorpusStats Stats = runCorpus(Corpus, Opts, Seed, Jobs);
+  sites::CorpusStats Stats = runCorpus(Corpus, Opts, O.Seed, Jobs);
   double Secs = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - Start)
                     .count();
   std::printf("\n%zu sites in %.2fs (%.1f sites/sec)\n", Stats.Sites.size(),
               Secs, Secs > 0 ? static_cast<double>(Stats.Sites.size()) / Secs
                              : 0.0);
+  if (HaveSuppressions)
+    warnUnmatchedSuppressions(Suppressions, Stats.suppressionHits());
   // The --json document excludes timing so it is byte-identical for any
   // --jobs count; per-site rows are elided from the terminal rendering.
   obs::Json Doc = sites::buildCorpusReport("fortune100", Stats);
   printReportText(withoutMember(Doc, "sites"));
-  if (!JsonFile.empty() && !writeReportFile(JsonFile, Doc))
+  if (!O.JsonFile.empty() && !writeReportFile(O.JsonFile, Doc))
     return 1;
-  if (Metrics)
+  if (O.Metrics)
     printMetrics(Stats.aggregate());
   return 0;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  if (Argc < 2)
-    return usage(Argv[0]);
-
-  fs::path Index;
-  fs::path Root;
-  uint64_t Seed = 1;
-  uint64_t FixedLatency = 0;
-  bool Raw = false, Explore = true, Dfs = false, Trace = false;
-  bool StaticAnalyze = false, CrossCheck = false, CorpusMode = false;
-  bool StaticPrecisionMode = false;
-  bool Metrics = false;
-  EngineKind Engine = EngineKind::Hb;
-  bool Predict = false;
-  std::string RecordFile, ReplayFile, JsonFile;
-  uint64_t Sites = 0;
-  uint64_t Jobs = 1;
-
-  int I = 1;
-  if (Argv[1][0] != '-') {
-    Index = Argv[1];
-    Root = Index.parent_path();
-    I = 2;
-  }
-  for (; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--root" && I + 1 < Argc) {
-      Root = Argv[++I];
-    } else if (Arg == "--seed" && I + 1 < Argc) {
-      if (!parseCountArg("--seed", Argv[++I], Seed))
-        return 2;
-    } else if (Arg == "--latency" && I + 1 < Argc) {
-      if (!parseCountArg("--latency", Argv[++I], FixedLatency))
-        return 2;
-    } else if (Arg == "--raw") {
-      Raw = true;
-    } else if (Arg == "--no-explore") {
-      Explore = false;
-    } else if (Arg == "--vector-clocks") {
-      Dfs = false; // The default; accepted for script compatibility.
-    } else if (Arg == "--dfs") {
-      Dfs = true;
-    } else if (Arg == "--engine" && I + 1 < Argc) {
-      if (!parseEngineKind(Argv[++I], Engine)) {
-        std::fprintf(stderr,
-                     "error: unknown engine '%s' (expected hb, hb-dfs, "
-                     "shb, or wcp)\n",
-                     Argv[I]);
-        return 2;
-      }
-    } else if (Arg == "--predict") {
-      Predict = true;
-    } else if (Arg == "--trace") {
-      Trace = true;
-    } else if (Arg == "--record" && I + 1 < Argc) {
-      RecordFile = Argv[++I];
-    } else if (Arg == "--replay" && I + 1 < Argc) {
-      ReplayFile = Argv[++I];
-    } else if (Arg == "--corpus") {
-      CorpusMode = true;
-    } else if (Arg == "--sites" && I + 1 < Argc) {
-      if (!parseCountArg("--sites", Argv[++I], Sites))
-        return 2;
-    } else if (Arg == "--jobs" && I + 1 < Argc) {
-      if (!parseCountArg("--jobs", Argv[++I], Jobs))
-        return 2;
-      if (Jobs == 0) {
-        std::fprintf(stderr, "error: --jobs must be at least 1\n");
-        return 2;
-      }
-    } else if (Arg == "--json" && I + 1 < Argc) {
-      JsonFile = Argv[++I];
-    } else if (Arg == "--metrics") {
-      Metrics = true;
-    } else if (Arg == "--static-analyze") {
-      StaticAnalyze = true;
-    } else if (Arg == "--cross-check") {
-      CrossCheck = true;
-    } else if (Arg == "--static-precision") {
-      StaticPrecisionMode = true;
-    } else {
-      return usage(Argv[0]);
-    }
-  }
-
-  if (!ReplayFile.empty())
-    return replayMain(ReplayFile, Raw, Dfs, Engine, Predict, JsonFile,
-                      Metrics);
-  if (CorpusMode)
-    return corpusMain(Sites, static_cast<unsigned>(Jobs), Seed, Engine,
-                      JsonFile, Metrics);
-  if (Index.empty())
-    return usage(Argv[0]);
-
-  std::error_code Ec;
-  if (!fs::exists(Index, Ec)) {
-    std::fprintf(stderr, "error: cannot read %s\n",
-                 Index.string().c_str());
+/// Batch mode: deduplicating ingest of a directory of recorded traces.
+int batchMain(const CliOptions &O) {
+  triage::SuppressionFile Suppressions;
+  bool HaveSuppressions = false;
+  if (!loadSuppressions(O.SuppressionsFile, Suppressions, HaveSuppressions))
+    return 1;
+  std::vector<std::string> Paths;
+  std::string Error;
+  if (!triage::listTraceFiles(O.TracesDir, Paths, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
+  if (Paths.empty()) {
+    std::fprintf(stderr, "error: no .wrt traces in %s\n",
+                 O.TracesDir.c_str());
+    return 1;
+  }
+  triage::BatchOptions Opts;
+  Opts.Jobs = static_cast<unsigned>(O.Jobs);
+  Opts.Replay.Detector.Engine = O.Engine;
+  Opts.Replay.Predict = O.Predict;
+  if (HaveSuppressions)
+    Opts.Suppressions = &Suppressions;
+  std::printf("webracer: ingesting %zu trace(s) from %s with %llu "
+              "job(s)...\n",
+              Paths.size(), O.TracesDir.c_str(),
+              static_cast<unsigned long long>(O.Jobs));
+  triage::BatchResult R = triage::runBatch(Paths, Opts);
+  for (const triage::TraceIngest &In : R.Traces)
+    if (!In.Ok)
+      std::fprintf(stderr, "error: %s: %s\n", In.Path.c_str(),
+                   In.Error.c_str());
+  if (HaveSuppressions)
+    warnUnmatchedSuppressions(Suppressions, R.SuppressionHits);
+  obs::Json Doc = triage::buildBatchReport(O.TracesDir, R);
+  printReportText(Doc);
+  if (!O.JsonFile.empty() && !writeReportFile(O.JsonFile, Doc))
+    return 1;
+  if (O.Metrics)
+    printMetrics(R.Aggregate);
+  return R.TracesFailed ? 1 : 0;
+}
 
-  if (StaticAnalyze) {
-    analysis::PageSpec Page = pageSpecFromDisk(Index, Root, FixedLatency);
+/// Cross-check mode: static analysis alone (--static-only), the
+/// static-vs-dynamic comparison, or the per-guard-class precision
+/// accounting (--precision).
+int crossCheckMain(const CliOptions &O) {
+  std::error_code Ec;
+  if (!fs::exists(O.Index, Ec)) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 O.Index.string().c_str());
+    return 1;
+  }
+  analysis::PageSpec Page =
+      pageSpecFromDisk(O.Index, O.Root, O.FixedLatency);
+
+  if (O.StaticOnly) {
     analysis::StaticAnalysis A =
         analysis::analyzePage(Page.Html, Page.resolver());
     std::printf("webracer: static analysis of %s (%zu resources)\n",
                 Page.EntryUrl.c_str(), Page.Resources.size());
     std::printf("effect sources: %zu, must-hb edges: %zu\n",
                 A.Graph.sources().size(), A.Graph.numEdges());
-    if (Trace)
+    if (O.Trace)
       std::printf("\n-- static must-hb graph --\n%s\n",
                   A.Graph.toString().c_str());
     std::printf("\npredicted races: %zu\n", A.Races.size());
@@ -414,18 +624,20 @@ int main(int Argc, char **Argv) {
     return A.Races.empty() ? 0 : 1;
   }
 
-  if (StaticPrecisionMode) {
-    analysis::PageSpec Page = pageSpecFromDisk(Index, Root, FixedLatency);
-    analysis::CrossCheckOptions CkOpts;
-    CkOpts.Session.Browser.Seed = Seed;
-    CkOpts.Session.AutoExplore = Explore;
-    CkOpts.Session.UseVectorClocks = !Dfs;
-    CkOpts.UseFilteredRaces = false;
-    analysis::CrossCheckResult R = analysis::crossCheck(Page, CkOpts);
+  analysis::CrossCheckOptions CkOpts;
+  CkOpts.Session.Browser.Seed = O.Seed;
+  CkOpts.Session.AutoExplore = O.Explore;
+  CkOpts.Session.Detector.Engine = O.Engine;
+  // Measure against everything the dynamic semantics produced; the
+  // Sec. 5.3 filters are reporting refinements, not ground truth.
+  CkOpts.UseFilteredRaces = false;
+  analysis::CrossCheckResult R = analysis::crossCheck(Page, CkOpts);
+
+  if (O.Precision) {
     std::printf("webracer: static precision of %s (%zu resources, seed "
                 "%llu)\n\n",
                 Page.EntryUrl.c_str(), Page.Resources.size(),
-                static_cast<unsigned long long>(Seed));
+                static_cast<unsigned long long>(O.Seed));
     const analysis::StaticPrecision &P = R.Precision;
     std::printf("%-20s %9s %9s %7s\n", "guard class", "predicted",
                 "confirmed", "refuted");
@@ -455,66 +667,65 @@ int main(int Argc, char **Argv) {
       std::printf("  [confirmed] %s\n", analysis::toString(Pr).c_str());
     for (const analysis::PredictedRace &Pr : R.Refuted)
       std::printf("  [refuted]   %s\n", analysis::toString(Pr).c_str());
-    obs::Json Doc = analysis::buildCrossCheckReport({R});
-    if (!JsonFile.empty() && !writeReportFile(JsonFile, Doc))
-      return 1;
-    if (Metrics)
-      printMetrics(R.Dynamic.Stats);
-    return R.missedCount() == 0 ? 0 : 1;
-  }
-
-  if (CrossCheck) {
-    analysis::PageSpec Page = pageSpecFromDisk(Index, Root, FixedLatency);
-    analysis::CrossCheckOptions CkOpts;
-    CkOpts.Session.Browser.Seed = Seed;
-    CkOpts.Session.AutoExplore = Explore;
-    CkOpts.Session.UseVectorClocks = !Dfs;
-    // Measure against everything the dynamic semantics produced; the
-    // Sec. 5.3 filters are reporting refinements, not ground truth.
-    CkOpts.UseFilteredRaces = false;
-    analysis::CrossCheckResult R = analysis::crossCheck(Page, CkOpts);
+  } else {
     std::printf("webracer: cross-check of %s (%zu resources, seed "
                 "%llu)\n\n",
                 Page.EntryUrl.c_str(), Page.Resources.size(),
-                static_cast<unsigned long long>(Seed));
+                static_cast<unsigned long long>(O.Seed));
     std::printf("%s", analysis::formatReport(R).c_str());
-    obs::Json Doc = analysis::buildCrossCheckReport({R});
-    if (!JsonFile.empty() && !writeReportFile(JsonFile, Doc))
-      return 1;
-    if (Metrics)
-      printMetrics(R.Dynamic.Stats);
-    return R.missedCount() == 0 ? 0 : 1;
   }
+  obs::Json Doc = analysis::buildCrossCheckReport({R});
+  if (!O.JsonFile.empty() && !writeReportFile(O.JsonFile, Doc))
+    return 1;
+  if (O.Metrics)
+    printMetrics(R.Dynamic.Stats);
+  return R.missedCount() == 0 ? 0 : 1;
+}
+
+/// Page mode: run detection over a page stored on disk.
+int pageMain(const CliOptions &O) {
+  std::error_code Ec;
+  if (!fs::exists(O.Index, Ec)) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 O.Index.string().c_str());
+    return 1;
+  }
+  triage::SuppressionFile Suppressions;
+  bool HaveSuppressions = false;
+  if (!loadSuppressions(O.SuppressionsFile, Suppressions, HaveSuppressions))
+    return 1;
 
   webracer::SessionOptions Opts;
-  Opts.Browser.Seed = Seed;
-  Opts.AutoExplore = Explore;
-  Opts.Detector.Engine = Engine;
-  Opts.Predict = Predict;
-  Opts.UseVectorClocks = !Dfs;
-  Opts.RecordTrace = Trace || !RecordFile.empty();
+  Opts.Browser.Seed = O.Seed;
+  Opts.AutoExplore = O.Explore;
+  Opts.Detector.Engine = O.Engine;
+  Opts.Predict = O.Predict;
+  if (HaveSuppressions)
+    Opts.Suppressions = &Suppressions;
+  Opts.RecordTrace = O.Trace || !O.RecordFile.empty();
   webracer::Session S(Opts);
 
   // Register the tree under the resource root.
   size_t Registered = 0;
-  if (fs::is_directory(Root, Ec)) {
-    for (const auto &Entry : fs::recursive_directory_iterator(Root, Ec)) {
+  if (fs::is_directory(O.Root, Ec)) {
+    for (const auto &Entry :
+         fs::recursive_directory_iterator(O.Root, Ec)) {
       if (!Entry.is_regular_file())
         continue;
       std::string Url =
-          fs::relative(Entry.path(), Root, Ec).generic_string();
+          fs::relative(Entry.path(), O.Root, Ec).generic_string();
       std::string Body = readFile(Entry.path());
-      if (FixedLatency)
-        S.network().addResource(Url, Body, FixedLatency);
+      if (O.FixedLatency)
+        S.network().addResource(Url, Body, O.FixedLatency);
       else
         S.network().addResourceWithJitter(Url, Body, 500, 3000);
       ++Registered;
     }
   }
   std::string IndexUrl =
-      fs::relative(Index, Root, Ec).generic_string();
+      fs::relative(O.Index, O.Root, Ec).generic_string();
   if (!S.network().hasResource(IndexUrl)) {
-    S.network().addResource(IndexUrl, readFile(Index), 10);
+    S.network().addResource(IndexUrl, readFile(O.Index), 10);
     ++Registered;
   } else {
     // Make the page itself arrive promptly.
@@ -523,8 +734,10 @@ int main(int Argc, char **Argv) {
 
   std::printf("webracer: loading %s (%zu resources, seed %llu)\n",
               IndexUrl.c_str(), Registered,
-              static_cast<unsigned long long>(Seed));
+              static_cast<unsigned long long>(O.Seed));
   webracer::SessionResult R = S.run(IndexUrl);
+  if (HaveSuppressions)
+    warnUnmatchedSuppressions(Suppressions, R.SuppressionHits);
 
   obs::Json Doc = webracer::buildRunReport(IndexUrl, R, S.browser().hb(),
                                            /*IncludeTiming=*/true);
@@ -540,32 +753,158 @@ int main(int Argc, char **Argv) {
       std::printf("  %s\n", C.c_str());
   }
 
-  if (!RecordFile.empty() && S.trace()) {
-    std::ofstream Out(RecordFile, std::ios::binary | std::ios::trunc);
+  if (!O.RecordFile.empty() && S.trace()) {
+    std::ofstream Out(O.RecordFile, std::ios::binary | std::ios::trunc);
     std::string Bytes = S.trace()->serialize();
     Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
     if (!Out) {
-      std::fprintf(stderr, "error: cannot write %s\n", RecordFile.c_str());
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   O.RecordFile.c_str());
       return 1;
     }
     std::printf("trace: %zu events, %zu bytes -> %s\n",
-                S.trace()->size(), Bytes.size(), RecordFile.c_str());
+                S.trace()->size(), Bytes.size(), O.RecordFile.c_str());
   }
 
-  if (!JsonFile.empty() && !writeReportFile(JsonFile, Doc))
+  if (!O.JsonFile.empty() && !writeReportFile(O.JsonFile, Doc))
     return 1;
-  if (Metrics)
+  if (O.Metrics)
     printMetrics(R.Stats);
 
   const std::vector<detect::Race> &Races =
-      Raw ? R.RawRaces : R.FilteredRaces;
-  std::printf("\n%s races: %s\n", Raw ? "raw" : "filtered",
+      O.Raw ? R.RawRaces : R.FilteredRaces;
+  std::printf("\n%s races: %s\n", O.Raw ? "raw" : "filtered",
               detect::summaryLine(Races).c_str());
   std::printf("%s", detect::describeRaces(Races,
                                           S.browser().hb()).c_str());
   printPredictionSummary(R.Predictions);
 
-  if (Trace && S.trace())
+  if (O.Trace && S.trace())
     std::printf("\n-- trace --\n%s", S.trace()->toString().c_str());
   return Races.empty() ? 0 : 1;
+}
+
+/// Maps a pre-subcommand invocation onto the new interface: finds the
+/// mode-selecting flag (or positional page), strips it, and returns the
+/// remaining arguments for the shared parser. Prints the one-line
+/// deprecation note naming the subcommand to migrate to.
+bool legacyShim(int Argc, char **Argv, CliOptions &O,
+                std::vector<std::string> &Args) {
+  O.M = Mode::Page;
+  bool HaveMode = false;
+  bool Precision = false, StaticOnly = false;
+  std::vector<std::string> Rest;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--corpus") {
+      O.M = Mode::Corpus;
+      HaveMode = true;
+    } else if (Arg == "--replay") {
+      O.M = Mode::Replay;
+      HaveMode = true;
+      if (I + 1 < Argc)
+        Rest.push_back(Argv[++I]);
+    } else if (Arg == "--cross-check") {
+      O.M = Mode::CrossCheck;
+      HaveMode = true;
+    } else if (Arg == "--static-analyze") {
+      O.M = Mode::CrossCheck;
+      StaticOnly = true;
+      HaveMode = true;
+    } else if (Arg == "--static-precision") {
+      O.M = Mode::CrossCheck;
+      Precision = true;
+      HaveMode = true;
+    } else {
+      if (I == 1 && !Arg.empty() && Arg[0] != '-' && !HaveMode) {
+        // Old positional page argument.
+        HaveMode = true;
+      }
+      Rest.push_back(std::move(Arg));
+    }
+  }
+  if (!HaveMode)
+    return false;
+  if (StaticOnly)
+    Rest.push_back("--static-only");
+  if (Precision)
+    Rest.push_back("--precision");
+  std::fprintf(stderr,
+               "note: flag-style invocation is deprecated; use "
+               "'%s %s ...'\n",
+               Argv[0], modeName(O.M));
+  Args = std::move(Rest);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+
+  CliOptions O;
+  std::vector<std::string> Args;
+  std::string First = Argv[1];
+  if (First == "--help" || First == "-h") {
+    usage(Argv[0]);
+    return 0;
+  }
+  if (First == "page") {
+    O.M = Mode::Page;
+  } else if (First == "replay") {
+    O.M = Mode::Replay;
+  } else if (First == "corpus") {
+    O.M = Mode::Corpus;
+  } else if (First == "cross-check") {
+    O.M = Mode::CrossCheck;
+  } else if (First == "batch") {
+    O.M = Mode::Batch;
+  } else {
+    // Not a subcommand: accept the pre-subcommand flag spellings (and
+    // the bare positional page of the original interface, recognized by
+    // the page actually existing on disk) with a deprecation note;
+    // everything else is a usage error.
+    std::error_code Ec;
+    if (!First.empty() && First[0] != '-' && !fs::exists(First, Ec)) {
+      std::fprintf(stderr, "error: unknown subcommand '%s'\n",
+                   First.c_str());
+      return usage(Argv[0]);
+    }
+    if (!legacyShim(Argc, Argv, O, Args))
+      return usage(Argv[0]);
+    if (int Rc = parseModeArgs(O, Args, Argv[0]))
+      return Rc;
+    switch (O.M) {
+    case Mode::Page:
+      return pageMain(O);
+    case Mode::Replay:
+      return replayMain(O);
+    case Mode::Corpus:
+      return corpusMain(O);
+    case Mode::CrossCheck:
+      return crossCheckMain(O);
+    case Mode::Batch:
+      return batchMain(O);
+    }
+    return 2;
+  }
+
+  for (int I = 2; I < Argc; ++I)
+    Args.push_back(Argv[I]);
+  if (int Rc = parseModeArgs(O, Args, Argv[0]))
+    return Rc;
+  switch (O.M) {
+  case Mode::Page:
+    return pageMain(O);
+  case Mode::Replay:
+    return replayMain(O);
+  case Mode::Corpus:
+    return corpusMain(O);
+  case Mode::CrossCheck:
+    return crossCheckMain(O);
+  case Mode::Batch:
+    return batchMain(O);
+  }
+  return 2;
 }
