@@ -26,8 +26,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "detect/RaceDetector.h"
 #include "detect/Report.h"
 #include "hb/HbGraph.h"
+#include "mem/LocationInterner.h"
 #include "obs/Json.h"
 #include "obs/Reporter.h"
 #include "sites/Corpus.h"
@@ -135,7 +137,10 @@ struct FullCopyClockIndex {
     uint64_t Total = 0;
     for (const std::vector<uint32_t> &C : Clocks)
       Total += sizeof(std::vector<uint32_t>) + C.size() * sizeof(uint32_t);
-    return Total + Where.size() * sizeof(Entry);
+    // Both sides of the reduction gate count their chain-tail table
+    // (HbGraph::clockBytes() includes it too).
+    return Total + Where.size() * sizeof(Entry) +
+           ChainTails.size() * sizeof(OpId);
   }
 
   uint32_t watermark(OpId Op, uint32_t Chain) const {
@@ -246,19 +251,152 @@ SizeRow runSize(size_t N, int Reps, int &Failures) {
   return Row;
 }
 
-/// Race-output byte-identity: the same pages under DfsMemo and
-/// VectorClock must describe the identical raw and filtered races.
-uint64_t paritySites(size_t Sites, int &Failures) {
+/// One size point of the detector access-path benchmark: the adaptive
+/// epoch representation vs the ForceReadVectors debug pin over an
+/// identical synthetic access stream on the same DAG.
+struct DetectorRow {
+  size_t Ops = 0;
+  uint64_t Accesses = 0;
+  uint64_t Races = 0;
+  double AdaptiveMs = 0;
+  double ForcedMs = 0;
+  uint64_t AdaptiveBytes = 0;
+  uint64_t ForcedBytes = 0;
+  uint64_t Inflations = 0;
+  uint64_t Deflations = 0;
+  double EpochReadRate = 0;
+};
+
+/// Streams a web-shaped access workload (a small location pool, 70%
+/// reads, ops in id order) through the detector twice - adaptive epochs
+/// vs ForceReadVectors - on the same DAG, timing the access path and
+/// gating: identical race output, zero generic oracle queries, every
+/// read on the epoch path, and no access-path time regression (1.5x
+/// headroom for CI timer noise on sub-ms slices).
+DetectorRow runDetectorSize(size_t N, int Reps, int &Failures) {
+  DetectorRow Row;
+  Row.Ops = N;
+
+  // Pre-generate the access stream so both variants replay the exact
+  // same sequence and the generator's cost stays out of the timing.
+  HbGraph G;
+  G.reserveOperations(N);
+  Rng R(99);
+  buildWebDag(G, N, R);
+  LocationInterner Interner;
+  size_t Pool = std::max<size_t>(N / 50, 8);
+  std::vector<LocId> LocPool;
+  LocPool.reserve(Pool);
+  for (size_t I = 0; I < Pool; ++I)
+    LocPool.push_back(
+        Interner.internVar(0, "v" + std::to_string(I)));
+  Rng AR(2012);
+  std::vector<Access> Stream;
+  Stream.reserve(N * 2);
+  for (OpId Op = 1; Op <= N; ++Op) {
+    for (int K = 0; K < 2; ++K) {
+      Access A;
+      A.Op = Op;
+      A.Loc = LocPool[static_cast<size_t>(AR.nextBelow(Pool))];
+      A.Kind = AR.nextDouble() < 0.7 ? AccessKind::Read : AccessKind::Write;
+      Stream.push_back(A);
+    }
+  }
+  Row.Accesses = Stream.size();
+
+  double Best[2] = {1e30, 1e30};
+  uint64_t RaceCount[2] = {0, 0};
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    for (int Forced = 0; Forced < 2; ++Forced) {
+      detect::DetectorOptions Opts;
+      Opts.ForceReadVectors = Forced != 0;
+      detect::RaceDetector D(G, Interner, Opts);
+      auto Start = std::chrono::steady_clock::now();
+      for (const Access &A : Stream)
+        D.onMemoryAccess(A);
+      Best[Forced] = std::min(Best[Forced], secondsSince(Start));
+      if (Rep != 0)
+        continue;
+      RaceCount[Forced] = D.races().size();
+      if (Forced) {
+        Row.ForcedBytes = D.detectorBytes();
+        continue;
+      }
+      Row.Races = D.races().size();
+      Row.AdaptiveBytes = D.detectorBytes();
+      Row.Inflations = D.readInflations();
+      Row.Deflations = D.readDeflations();
+      Row.EpochReadRate =
+          D.readsSeen()
+              ? static_cast<double>(D.epochReads()) /
+                    static_cast<double>(D.readsSeen())
+              : 1.0;
+      if (D.chcQueries() != 0) {
+        std::printf("FAIL: %llu generic oracle queries under the epoch "
+                    "oracle at %zu ops\n",
+                    static_cast<unsigned long long>(D.chcQueries()), N);
+        ++Failures;
+      }
+      if (Row.EpochReadRate < 0.9) {
+        std::printf("FAIL: epoch read rate %.3f < 0.9 at %zu ops\n",
+                    Row.EpochReadRate, N);
+        ++Failures;
+      }
+    }
+  }
+  Row.AdaptiveMs = Best[0] * 1e3;
+  Row.ForcedMs = Best[1] * 1e3;
+  if (RaceCount[0] != RaceCount[1]) {
+    std::printf("FAIL: adaptive (%llu) and forced-vector (%llu) race "
+                "counts differ at %zu ops\n",
+                static_cast<unsigned long long>(RaceCount[0]),
+                static_cast<unsigned long long>(RaceCount[1]), N);
+    ++Failures;
+  }
+  // The adaptive representation can only shed storage relative to the
+  // always-inflated pin.
+  if (Row.AdaptiveBytes > Row.ForcedBytes) {
+    std::printf("FAIL: adaptive detector bytes %llu exceed forced-vector "
+                "bytes %llu at %zu ops\n",
+                static_cast<unsigned long long>(Row.AdaptiveBytes),
+                static_cast<unsigned long long>(Row.ForcedBytes), N);
+    ++Failures;
+  }
+  if (Row.AdaptiveMs > Row.ForcedMs * 1.5) {
+    std::printf("FAIL: adaptive access path %.2fms regressed past "
+                "forced-vector %.2fms at %zu ops\n",
+                Row.AdaptiveMs, Row.ForcedMs, N);
+    ++Failures;
+  }
+  return Row;
+}
+
+/// Aggregated wr_epochs figures of the parity sweep's default-engine runs.
+struct ParityStats {
+  uint64_t Races = 0;
+  uint64_t Reads = 0;
+  uint64_t EpochReads = 0;
+  uint64_t TrackedLocations = 0;
+  uint64_t ReadVectorLocations = 0;
+  uint64_t ChcQueries = 0;
+};
+
+/// Race-output byte-identity: the same pages under DfsMemo, VectorClock,
+/// and VectorClock + ForceReadVectors must describe the identical raw and
+/// filtered races and report the same filter attrition.
+ParityStats paritySites(size_t Sites, int &Failures) {
   std::vector<sites::GeneratedSite> Corpus =
       sites::buildFortune100Corpus(2012);
   if (Corpus.size() > Sites)
     Corpus.resize(Sites);
-  uint64_t Races = 0;
+  ParityStats Stats;
   for (const sites::GeneratedSite &Site : Corpus) {
-    std::string Descriptions[2];
-    for (int Vc = 0; Vc < 2; ++Vc) {
+    std::string Descriptions[3];
+    for (int Variant = 0; Variant < 3; ++Variant) {
       webracer::SessionOptions Opts;
-      Opts.Detector.Engine = Vc ? EngineKind::Hb : EngineKind::HbDfs;
+      Opts.Detector.Engine =
+          Variant == 0 ? EngineKind::HbDfs : EngineKind::Hb;
+      Opts.Detector.ForceReadVectors = Variant == 2;
       Opts.Browser.Seed = 42;
       webracer::Session S(Opts);
       S.network().addResource(Site.IndexUrl, Site.Html, 10);
@@ -266,19 +404,37 @@ uint64_t paritySites(size_t Sites, int &Failures) {
         S.network().addResourceWithJitter(R.Url, R.Body, R.MinLatencyUs,
                                           R.MaxLatencyUs);
       webracer::SessionResult Result = S.run(Site.IndexUrl);
-      Descriptions[Vc] =
+      const obs::FilterAttrition &At = Result.Stats.Attrition;
+      Descriptions[Variant] =
           detect::describeRaces(Result.RawRaces, S.browser().hb()) + "\n" +
-          detect::describeRaces(Result.FilteredRaces, S.browser().hb());
-      if (Vc)
-        Races += Result.RawRaces.size();
+          detect::describeRaces(Result.FilteredRaces, S.browser().hb()) +
+          "\nattrition " + std::to_string(At.Input) + " " +
+          std::to_string(At.NotFormField) + " " +
+          std::to_string(At.PriorReadGuard) + " " +
+          std::to_string(At.MultiDispatch) + " " +
+          std::to_string(At.Kept);
+      if (Variant != 1)
+        continue;
+      Stats.Races += Result.RawRaces.size();
+      Stats.Reads += Result.Stats.ReadsSeen;
+      Stats.EpochReads += Result.Stats.EpochReads;
+      Stats.TrackedLocations += Result.Stats.TrackedLocations;
+      Stats.ReadVectorLocations += Result.Stats.ReadVectorLocations;
+      Stats.ChcQueries += Result.Stats.ChcQueries;
     }
     if (Descriptions[0] != Descriptions[1]) {
       std::printf("FAIL: race output differs between strategies on %s\n",
                   Site.Name.c_str());
       ++Failures;
     }
+    if (Descriptions[1] != Descriptions[2]) {
+      std::printf("FAIL: race output differs between adaptive and forced "
+                  "read vectors on %s\n",
+                  Site.Name.c_str());
+      ++Failures;
+    }
   }
-  return Races;
+  return Stats;
 }
 
 } // namespace
@@ -329,12 +485,64 @@ int main(int Argc, char **Argv) {
     Rows.push_back(Row);
   }
 
+  std::printf("\n== detector access path: adaptive epochs vs forced read "
+              "vectors ==\n");
+  std::printf("\n%7s | %9s | %8s | %8s | %10s | %10s | %9s\n", "ops",
+              "accesses", "adpt ms", "frcd ms", "adpt bytes", "frcd bytes",
+              "rd rate");
+  std::printf("--------+-----------+----------+----------+------------+----"
+              "--------+----------\n");
+  std::vector<DetectorRow> DetRows;
+  for (size_t N : Sizes) {
+    DetectorRow Row = runDetectorSize(N, 3, Failures);
+    std::printf("%7zu | %9llu | %8.2f | %8.2f | %10llu | %10llu | %8.3f\n",
+                Row.Ops, static_cast<unsigned long long>(Row.Accesses),
+                Row.AdaptiveMs, Row.ForcedMs,
+                static_cast<unsigned long long>(Row.AdaptiveBytes),
+                static_cast<unsigned long long>(Row.ForcedBytes),
+                Row.EpochReadRate);
+    DetRows.push_back(Row);
+  }
+
   size_t ParityCount = Quick ? 12 : 25;
-  std::printf("\nchecking race-output parity on %zu corpus sites...\n",
+  std::printf("\nchecking race-output parity on %zu corpus sites "
+              "(dfs / vc / vc+forced-vectors)...\n",
               ParityCount);
-  uint64_t ParityRaces = paritySites(ParityCount, Failures);
+  ParityStats Parity = paritySites(ParityCount, Failures);
   std::printf("raw races compared: %llu\n",
-              static_cast<unsigned long long>(ParityRaces));
+              static_cast<unsigned long long>(Parity.Races));
+  // Corpus gates for the adaptive representation: the common case must
+  // stay O(1) per location (few locations ever inflate), reads must stay
+  // on the epoch path, and nothing may escalate to a generic query.
+  double InflatedPct =
+      Parity.TrackedLocations
+          ? 100.0 * static_cast<double>(Parity.ReadVectorLocations) /
+                static_cast<double>(Parity.TrackedLocations)
+          : 0.0;
+  double CorpusReadRate =
+      Parity.Reads ? static_cast<double>(Parity.EpochReads) /
+                         static_cast<double>(Parity.Reads)
+                   : 1.0;
+  std::printf("corpus: %.1f%% locations inflated, %.3f epoch read rate, "
+              "%llu chc queries\n",
+              InflatedPct, CorpusReadRate,
+              static_cast<unsigned long long>(Parity.ChcQueries));
+  if (InflatedPct >= 10.0) {
+    std::printf("FAIL: %.1f%% of corpus locations inflated a read vector "
+                "(gate: < 10%%)\n",
+                InflatedPct);
+    ++Failures;
+  }
+  if (CorpusReadRate < 0.9) {
+    std::printf("FAIL: corpus epoch read rate %.3f < 0.9\n", CorpusReadRate);
+    ++Failures;
+  }
+  if (Parity.ChcQueries != 0) {
+    std::printf("FAIL: %llu corpus CHC questions escalated to generic "
+                "oracle queries under the epoch oracle\n",
+                static_cast<unsigned long long>(Parity.ChcQueries));
+    ++Failures;
+  }
 
   obs::Json Doc = obs::makeReportEnvelope("hb_scaling", "webdag");
   Doc.set("quick", Quick);
@@ -353,16 +561,40 @@ int main(int Argc, char **Argv) {
     RowsJson.push(std::move(R));
   }
   Doc.set("sizes", std::move(RowsJson));
-  obs::Json Parity = obs::Json::object();
-  Parity.set("sites", static_cast<uint64_t>(ParityCount));
-  Parity.set("raw_races", ParityRaces);
-  Doc.set("parity", std::move(Parity));
+  obs::Json DetJson = obs::Json::array();
+  for (const DetectorRow &Row : DetRows) {
+    obs::Json R = obs::Json::object();
+    R.set("ops", static_cast<uint64_t>(Row.Ops));
+    R.set("accesses", Row.Accesses);
+    R.set("races", Row.Races);
+    R.set("adaptive_bytes", Row.AdaptiveBytes);
+    R.set("forced_bytes", Row.ForcedBytes);
+    R.set("read_inflations", Row.Inflations);
+    R.set("read_deflations", Row.Deflations);
+    R.set("epoch_read_rate", Row.EpochReadRate);
+    DetJson.push(std::move(R));
+  }
+  Doc.set("detector", std::move(DetJson));
+  obs::Json ParityJson = obs::Json::object();
+  ParityJson.set("sites", static_cast<uint64_t>(ParityCount));
+  ParityJson.set("raw_races", Parity.Races);
+  ParityJson.set("reads", Parity.Reads);
+  ParityJson.set("epoch_reads", Parity.EpochReads);
+  ParityJson.set("tracked_locations", Parity.TrackedLocations);
+  ParityJson.set("read_vector_locations", Parity.ReadVectorLocations);
+  Doc.set("parity", std::move(ParityJson));
   obs::Json Timing = obs::Json::object();
   for (const SizeRow &Row : Rows) {
     obs::Json T = obs::Json::object();
     T.set("build_ms", Row.BuildMs);
     T.set("full_copy_build_ms", Row.FullCopyBuildMs);
     Timing.set(std::to_string(Row.Ops), std::move(T));
+  }
+  for (const DetectorRow &Row : DetRows) {
+    obs::Json T = obs::Json::object();
+    T.set("adaptive_ms", Row.AdaptiveMs);
+    T.set("forced_ms", Row.ForcedMs);
+    Timing.set("detector_" + std::to_string(Row.Ops), std::move(T));
   }
   Doc.set("timing", std::move(Timing));
 
@@ -382,7 +614,8 @@ int main(int Argc, char **Argv) {
     std::printf("\nFAIL: %d gate(s) broken\n", Failures);
     return 1;
   }
-  std::printf("\nOK: >=60%% clock-memory reduction, no build-time "
-              "regression, byte-identical races\n");
+  std::printf("\nOK: >=60%% clock-memory reduction, no build or access "
+              "path regression, O(1)-common-case read state, "
+              "byte-identical races\n");
   return 0;
 }

@@ -20,20 +20,27 @@
 ///    misses and what FullHistory costs.
 ///
 /// Accesses arrive keyed by interned LocId (mem/LocationInterner.h), so
-/// all per-location state lives in one dense vector indexed by id - a
-/// single LocState slot struct replaces the four string-keyed hash maps
-/// the detector used to probe per access. On top of the dense table sits
-/// a FastTrack-inspired epoch fast path: each slot caches the verdict of
-/// its last CHC question per current operation ("same epoch" checks), a
-/// global pair cache memoizes (prior op, current op) verdicts across
-/// locations, and a location whose one-per-location race is already
-/// reported skips ordering questions entirely (their answers cannot
-/// change any output). Only cache misses escalate to the HB graph
-/// oracle (vector clocks or DFS); the soundness of caching rests on the
-/// graph's documented edge monotonicity - once both operations exist,
-/// their ordering verdict is immutable. Race output is byte-identical to
-/// the uncached detector; only chc_queries drops and epoch_hits counts
-/// the avoided work.
+/// all per-location state lives in one dense vector indexed by id. Per
+/// location the detector keeps the adaptive VerifiedFT-v2-style epoch
+/// representation (see DESIGN.md "Adaptive epochs"): each slot stores the
+/// operation's (chain, position) clock epoch, so against an epoch-capable
+/// oracle (the vector-clock HbGraph) every CHC question is one O(1)
+/// clock probe - no pair-cache entry, no generic oracle call - and the
+/// active-read state is a single read epoch in the common case, inflated
+/// to a compact sorted read vector only when a concurrent read arrives
+/// and deflated back to the epoch form by a dominating write. The former
+/// per-location std::unordered_set<OpId> reader set is a sorted InlineVec
+/// (exact same membership, deterministic iteration, no heap in the
+/// common case), so per-tracked-location memory is O(1) unless a
+/// location actually sees concurrent readers.
+///
+/// Oracles that cannot answer epoch probes (the DFS graph strategy and
+/// the predictive SHB/WCP engines) keep the legacy escalation path: the
+/// per-slot epoch verdict cache, the global (prior, current) pair cache
+/// when verdicts are immutable, and a generic oracle query otherwise.
+/// Race output is byte-identical across all of these paths; only the
+/// counters show which path answered (epoch_hits vs chc_queries, plus
+/// the wr_epochs group).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,11 +53,11 @@
 #include "mem/Location.h"
 #include "mem/LocationInterner.h"
 #include "obs/PhaseTimer.h"
+#include "support/InlineVec.h"
 
 #include <memory>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace wr::detect {
@@ -86,6 +93,12 @@ struct DetectorOptions {
   /// the predictive engine used when replaying or predicting over a
   /// recorded trace (detect/Prediction.h).
   EngineKind Engine = EngineKind::Hb;
+  /// Debug option: inflate every location's read state to the vector
+  /// form on its first read and never deflate. Race output and filter
+  /// attrition must be byte-identical to the adaptive default (gated by
+  /// bench/hb_scaling's parity sweep); only the wr_epochs counters and
+  /// detector bytes differ.
+  bool ForceReadVectors = false;
 };
 
 /// Classifies a racing access pair into the paper's Section 2 taxonomy
@@ -119,20 +132,49 @@ public:
   /// Races of one kind.
   size_t countByKind(RaceKind Kind) const;
 
-  /// Number of CHC queries that reached the HB oracle (overhead
-  /// accounting; epoch/cache hits never get here).
+  /// Number of CHC questions that escalated to a generic oracle
+  /// concurrent() call (overhead accounting). Under an epoch-capable
+  /// oracle this is 0: every question is answered by an O(1) epoch probe
+  /// and counts as an epoch hit instead.
   uint64_t chcQueries() const { return ChcQueries; }
 
-  /// CHC questions answered by the epoch fast path without consulting
-  /// the HB graph: ⊥-slot answers, same-operation checks, per-slot
-  /// same-epoch verdicts, pair-cache hits, and reported-location skips.
-  /// Every question posed by the access stream lands in exactly one of
-  /// epochHits() or chcQueries(), so hits / (hits + queries) is the
-  /// fast-path hit rate.
+  /// CHC questions answered on the O(1) fast path without a generic
+  /// oracle call: ⊥-slot answers, same-operation checks, muted
+  /// locations, per-slot cached verdicts, pair-cache hits, single-probe
+  /// epoch verdicts, and deflation-covered read checks. Every question
+  /// posed by the access stream lands in exactly one of epochHits() or
+  /// chcQueries(), so hits / (hits + queries) is the fast-path hit rate.
   uint64_t epochHits() const { return EpochHits; }
 
   /// Number of instrumented accesses processed.
   uint64_t accessesSeen() const { return AccessesSeen; }
+
+  /// Read accesses among accessesSeen().
+  uint64_t readsSeen() const { return ReadsSeen; }
+
+  /// Read accesses whose CHC question (vs the last write) was answered
+  /// on the fast path; the epoch-path read rate is
+  /// epochReads() / readsSeen(), gated >= 90% by bench/hb_scaling.
+  uint64_t epochReads() const { return EpochReads; }
+
+  /// Epoch -> vector transitions of the per-location read state (a read
+  /// concurrent with the stored read epoch arrived).
+  uint64_t readInflations() const { return ReadInflations; }
+
+  /// Vector -> empty collapses of an inflated read state (a write
+  /// dominated every stored read epoch).
+  uint64_t readDeflations() const { return ReadDeflations; }
+
+  /// Locations whose read state ever inflated to the vector form; the
+  /// O(1)-common-case memory claim is this staying a small fraction of
+  /// trackedLocations() (bench/hb_scaling gates < 10% on the corpus).
+  size_t readVectorLocations() const;
+
+  /// Structural bytes the detector currently holds: the dense per-location
+  /// table plus all reader/read-vector/history heap storage and the pair
+  /// cache (estimated node cost). Access Detail strings are excluded -
+  /// this measures the representation, not the payload.
+  uint64_t detectorBytes() const;
 
   /// Attaches a phase accumulator; access processing then bills its wall
   /// time to obs::Phase::Detect. Null (the default) disables timing.
@@ -147,6 +189,9 @@ public:
 private:
   struct Slot {
     OpId Op = InvalidOpId;
+    /// The op's clock epoch, recorded at store time when the oracle
+    /// supports epoch queries (Pos == 0 otherwise).
+    ClockEpoch E;
     Access A;
     /// For writes: had the writing op read this location first?
     bool HadPriorRead = false;
@@ -156,27 +201,67 @@ private:
     bool Concurrent = false;
   };
 
-  /// All per-location detector state, one vector element per LocId
-  /// (replaces the former LastRead/LastWrite/History/ReportedLocations/
-  /// ReadsByOp hash probes).
+  /// One entry of the active-read state: a reading op and its epoch.
+  struct ReadEntry {
+    OpId Op = InvalidOpId;
+    ClockEpoch E;
+  };
+
+  /// Shape of the active-read state (the VerifiedFT-v2 adaptive
+  /// representation). Maintained only under an epoch-capable oracle in
+  /// single-slot mode; race checks never read it - it drives the
+  /// deflation fast path and the memory accounting.
+  enum class ReadRep : uint8_t {
+    Empty,  ///< No undominated read (initial, or after deflation).
+    Epoch,  ///< One read epoch (ReadVec holds exactly one entry).
+    Vector, ///< Concurrent reads: sorted epoch vector (inflated).
+  };
+
+  /// All per-location detector state, one vector element per LocId.
   struct LocState {
     Slot LastRead;
     Slot LastWrite;
+    /// Active-read state: the entries whose epochs are not yet dominated
+    /// by a write, sorted by OpId. Inline room for two - inflation
+    /// itself needs no heap until a third concurrent reader shows up.
+    InlineVec<ReadEntry, 2> ReadVec;
+    /// Operations that read this location, sorted (form-filter
+    /// refinement metadata; exact, because inline dispatch nests
+    /// operations - see DESIGN.md "Adaptive epochs" for why this set
+    /// never deflates).
+    InlineVec<OpId, 2> Readers;
+    ReadRep Rep = ReadRep::Empty;
     bool Touched = false;  ///< Any access seen (tracked-locations count).
     bool Reported = false; ///< One-per-location race already emitted.
-    /// Operations that read this location (form-filter refinement
-    /// metadata; exact, because inline dispatch nests operations).
-    std::unordered_set<OpId> ReaderOps;
-    /// FullHistory mode keeps every access.
-    std::vector<Slot> History;
+    /// Read state ever reached the vector form (readVectorLocations()).
+    bool EverInflated = false;
+    /// Rep == Empty because a write dominated every active read, and
+    /// every write stored since was ordered after that write - so all
+    /// reads are ordered before LastWrite and a write ordered after
+    /// LastWrite needs no read probe at all.
+    bool ReadsCovered = false;
+    /// FullHistory mode keeps every access (allocated on first use so
+    /// single-slot locations pay one pointer).
+    std::unique_ptr<std::vector<Slot>> History;
   };
 
   LocState &state(LocId Id);
-  /// CHC with the per-slot epoch cache (single-slot mode).
+  /// CHC between a stored prior slot and the current operation: one
+  /// epoch probe under an epoch-capable oracle, else the legacy
+  /// pair-cache/oracle path.
+  bool priorConcurrent(const Slot &S, OpId Current);
+  /// priorConcurrent with the per-slot verdict cache (single-slot mode).
   bool slotConcurrent(Slot &S, OpId Current);
   /// CHC with the global pair cache; escalates to the HB oracle on miss.
   bool pairConcurrent(OpId Prior, OpId Current);
   void report(LocState &St, const Slot &Prior, const Access &Current);
+  /// Read-side maintenance of the adaptive read state (slide / inflate).
+  void noteRead(LocState &St, const Access &A);
+  /// Write-side maintenance: deflate when the write dominates every
+  /// active read epoch; propagate the ReadsCovered invariant.
+  void noteWrite(LocState &St, const Access &A, bool OrderedAfterLastWrite);
+  /// True iff \p Op is in the sorted reader set.
+  static bool isReader(const LocState &St, OpId Op);
 
   std::unique_ptr<HbEngine> OwnedHb; ///< Backs the HbGraph constructor.
   const PartialOrderEngine *Oracle;
@@ -185,16 +270,26 @@ private:
 
   std::vector<LocState> Locs;
   size_t Tracked = 0;
-  /// Memoized CHC verdicts keyed (Prior << 32) | Current. Sound because
-  /// HB edges only ever point at the operation being created (see
-  /// HbGraph), so a verdict between two existing operations never
-  /// changes.
+  /// Memoized CHC verdicts keyed (Prior << 32) | Current, used only when
+  /// the oracle cannot answer epoch probes. Sound because HB edges only
+  /// ever point at the operation being created (see HbGraph), so a
+  /// verdict between two existing operations never changes.
   std::unordered_map<uint64_t, bool> PairCache;
+
+  /// The current access's operation and epoch, fetched once per op under
+  /// an epoch-capable oracle (ops stream their accesses contiguously
+  /// except across inline-dispatch splits, which re-fetch).
+  OpId CurOp = InvalidOpId;
+  ClockEpoch CurEpoch;
 
   std::vector<Race> Races;
   uint64_t ChcQueries = 0;
   uint64_t EpochHits = 0;
   uint64_t AccessesSeen = 0;
+  uint64_t ReadsSeen = 0;
+  uint64_t EpochReads = 0;
+  uint64_t ReadInflations = 0;
+  uint64_t ReadDeflations = 0;
   obs::PhaseStats *Phases = nullptr;
 };
 

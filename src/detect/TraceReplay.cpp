@@ -132,6 +132,12 @@ ReplayResult wr::detect::replayTrace(const TraceLog &Log,
                      ? S.AccessesSeen - S.InternedLocations
                      : 0;
   S.EpochHits = Detector.epochHits();
+  S.ReadsSeen = Detector.readsSeen();
+  S.EpochReads = Detector.epochReads();
+  S.ReadInflations = Detector.readInflations();
+  S.ReadDeflations = Detector.readDeflations();
+  S.ReadVectorLocations = Detector.readVectorLocations();
+  S.DetectorBytes = Detector.detectorBytes();
   S.Raw = tally(Result.RawRaces);
   S.Filtered = tally(Result.FilteredRaces);
   S.Attrition = toAttrition(Attrition);

@@ -49,10 +49,8 @@ struct ReplayOptions {
   /// engine (then both SHB and WCP run, for the side-by-side delta).
   bool Predict = false;
 
-  /// Prediction runs when asked for, or implied by a predictive engine.
-  /// (The partial order itself lives in Detector.Engine; the deprecated
-  /// UseVectorClocks forwarder is gone - set Engine to HbDfs for the
-  /// paper's graph representation.)
+  /// Prediction runs when asked for, or implied by a predictive engine
+  /// (the partial order itself lives in Detector.Engine).
   bool predictEffective() const {
     EngineKind K = Detector.Engine;
     return Predict || K == EngineKind::Shb || K == EngineKind::Wcp;

@@ -2,6 +2,8 @@
 
 #include "hb/HbGraph.h"
 
+#include "support/Watermarks.h"
+
 #include <algorithm>
 
 using namespace wr;
@@ -190,6 +192,45 @@ void HbGraph::buildClock(OpId Op) const {
   // already dominated by it. Sharing is sound because the builder only
   // adds edges to the newest operation: a finalized slab can never gain
   // entries later, so an alias can never observe a mutation.
+  // Does predecessor \p PR's effective clock stay pointwise within the
+  // aliased clock (base slab R.Offset / R.Len), ignoring the picked
+  // chain's column? A rep's effective clock is its base slab with the
+  // delta slot overriding (and always >=) the base entry at DeltaChain,
+  // so the check splits into the delta slot plus a wide pointwise compare
+  // of the contiguous base slabs (support/Watermarks.h, two watermarks
+  // per uint64 step) with the two special columns carved out. The picked
+  // chain needs no check: no watermark can exceed its tail's position,
+  // which PickedPos exceeds by one.
+  auto aliasDominates = [&](const ClockRep &PR, const ClockRep &R) {
+    if (PR.DeltaChain != PickedChain) {
+      uint32_t Ours =
+          PR.DeltaChain < R.Len ? ClockPool[R.Offset + PR.DeltaChain] : 0;
+      if (PR.DeltaPos > Ours)
+        return false;
+    }
+    // Base-slab columns [Begin, End): pointwise <= the aliased slab where
+    // both cover the chain, zero where only PR does.
+    auto baseDominated = [&](uint32_t Begin, uint32_t End) {
+      if (Begin >= End)
+        return true;
+      const uint32_t *Theirs = ClockPool.data() + PR.Offset;
+      uint32_t Mid = std::min(End, R.Len);
+      if (Begin < Mid &&
+          !support::watermarksDominated(
+              Theirs + Begin, ClockPool.data() + R.Offset + Begin,
+              Mid - Begin))
+        return false;
+      uint32_t ZBegin = std::max(Begin, Mid);
+      return ZBegin >= End ||
+             support::watermarksAllZero(Theirs + ZBegin, End - ZBegin);
+    };
+    uint32_t S1 = std::min(PR.DeltaChain, PickedChain);
+    uint32_t S2 = std::max(PR.DeltaChain, PickedChain);
+    return baseDominated(0, std::min(S1, PR.Len)) &&
+           baseDominated(std::min(S1 + 1, PR.Len), std::min(S2, PR.Len)) &&
+           baseDominated(std::min(S2 + 1, PR.Len), PR.Len);
+  };
+
   bool CanAlias = Base != nullptr || Preds.empty();
   if (Base != nullptr) {
     R.Offset = Base->Offset;
@@ -198,20 +239,10 @@ void HbGraph::buildClock(OpId Op) const {
       const ClockRep &PR = ClockReps[P - 1];
       if (&PR == Base)
         continue;
-      // Check every chain in PR's support against the aliased clock. The
-      // picked chain needs no check: no watermark can exceed its tail's
-      // position, which PickedPos exceeds by one.
-      uint32_t PLen = clockLenAt(P - 1);
-      for (uint32_t C = 0; C < PLen && CanAlias; ++C) {
-        uint32_t Theirs = clockEntryAt(P - 1, C);
-        if (Theirs == 0 || C == PickedChain)
-          continue;
-        uint32_t Ours = C < R.Len ? ClockPool[R.Offset + C] : 0;
-        if (Theirs > Ours)
-          CanAlias = false;
-      }
-      if (!CanAlias)
+      if (!aliasDominates(PR, R)) {
+        CanAlias = false;
         break;
+      }
     }
   }
 
@@ -219,7 +250,9 @@ void HbGraph::buildClock(OpId Op) const {
     ++SharedClocks;
   } else {
     // Materialize the merge: max over every predecessor's effective
-    // clock, written as a fresh slab at the end of the arena.
+    // clock, written as a fresh slab at the end of the arena. The fresh
+    // slab is disjoint from every finalized slab, so the wide join's
+    // no-overlap requirement holds.
     ++ClockMerges;
     uint32_t Len = 0;
     for (OpId P : Preds)
@@ -227,12 +260,14 @@ void HbGraph::buildClock(OpId Op) const {
     uint32_t Offset = static_cast<uint32_t>(ClockPool.size());
     ClockPool.resize(ClockPool.size() + Len, 0);
     for (OpId P : Preds) {
-      uint32_t PLen = clockLenAt(P - 1);
-      for (uint32_t C = 0; C < PLen; ++C) {
-        uint32_t V = clockEntryAt(P - 1, C);
-        if (V > ClockPool[Offset + C])
-          ClockPool[Offset + C] = V;
-      }
+      const ClockRep &PR = ClockReps[P - 1];
+      support::watermarksJoinMax(ClockPool.data() + Offset,
+                                 ClockPool.data() + PR.Offset, PR.Len);
+      // The delta slot always dominates its own base entry, so a max
+      // lands the override.
+      uint32_t &Slot = ClockPool[Offset + PR.DeltaChain];
+      if (PR.DeltaPos > Slot)
+        Slot = PR.DeltaPos;
     }
     R.Offset = Offset;
     R.Len = Len;
@@ -284,7 +319,8 @@ uint64_t HbGraph::fullCopyClockBytes() const {
     Words += clockLenAt(I);
   return Words * sizeof(uint32_t) +
          ClockReps.size() *
-             (sizeof(std::vector<uint32_t>) + 2 * sizeof(uint32_t));
+             (sizeof(std::vector<uint32_t>) + 2 * sizeof(uint32_t)) +
+         ChainTails.size() * sizeof(OpId);
 }
 
 bool HbGraph::findDirectEdgeRule(OpId From, OpId To, HbRule &RuleOut) const {

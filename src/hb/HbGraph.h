@@ -101,6 +101,18 @@ const char *toString(Ordering O);
 inline constexpr size_t NumHbRules =
     static_cast<size_t>(HbRule::RProgram) + 1;
 
+/// The vector-clock index's compact name for one operation: its chain and
+/// 1-based position within that chain. This is the FastTrack/VerifiedFT
+/// "epoch" the race detector stores per location slot: the op holding
+/// epoch (c, p) happens-before B iff B's watermark for chain c is >= p -
+/// one clock probe, no pair-cache entry. Pos 0 never names a real
+/// operation (positions are 1-based), so a default ClockEpoch is the
+/// "no epoch recorded" sentinel.
+struct ClockEpoch {
+  uint32_t Chain = 0;
+  uint32_t Pos = 0;
+};
+
 /// The happens-before DAG. Operations are created through `addOperation`
 /// and edges through `addEdge`; the builder contract is that every edge
 /// points from a lower OpId to a higher OpId (asserted), i.e., edges are
@@ -236,17 +248,46 @@ public:
   /// before \p Op. Builds the index up to \p Op if needed.
   uint32_t clockWatermark(OpId Op, uint32_t Chain) const;
 
+  /// The (chain, position) epoch of \p Op, building the index up to
+  /// \p Op if needed. epochOf(A) together with epochOrdered() answers
+  /// exactly the same question as reachesVectorClock(A, B).
+  ClockEpoch epochOf(OpId Op) const {
+    assert(Op != InvalidOpId && Op <= Ops.size() && "invalid OpId");
+    ensureClocks(Op);
+    const ClockRep &R = ClockReps[Op - 1];
+    return {R.DeltaChain, R.DeltaPos};
+  }
+
+  /// True iff the operation holding epoch (\p Chain, \p Pos) happens-
+  /// before \p Op: one clockEntryAt probe, no pair-cache entry. Correct
+  /// for any id relation between the epoch's owner and \p Op - chain
+  /// positions grow with operation id along a chain, so the watermark of
+  /// an older op can never reach a newer op's position.
+  bool epochOrdered(uint32_t Chain, uint32_t Pos, OpId Op) const {
+    assert(Op != InvalidOpId && Op <= Ops.size() && "invalid OpId");
+    assert(Pos != 0 && "epoch positions are 1-based");
+    ensureClocks(Op);
+    return clockEntryAt(Op - 1, Chain) >= Pos;
+  }
+  bool epochOrdered(ClockEpoch E, OpId Op) const {
+    return epochOrdered(E.Chain, E.Pos, Op);
+  }
+
   /// Bytes the vector-clock index currently holds: the shared watermark
-  /// arena plus the fixed per-operation clock records.
+  /// arena, the fixed per-operation clock records, and the per-chain tail
+  /// table (so the memory gates in bench/hb_scaling measure the honest
+  /// total, not just the slabs).
   uint64_t clockBytes() const {
     return ClockPool.size() * sizeof(uint32_t) +
-           ClockReps.size() * sizeof(ClockRep);
+           ClockReps.size() * sizeof(ClockRep) +
+           ChainTails.size() * sizeof(OpId);
   }
 
   /// Bytes the same index would hold if every operation materialized its
   /// own full watermark vector (one std::vector<uint32_t> plus a chain
-  /// assignment per op) - the pre-arena representation; the baseline of
-  /// bench/hb_scaling's memory-reduction gate.
+  /// assignment per op, and the same chain-tail table) - the pre-arena
+  /// representation; the baseline of bench/hb_scaling's memory-reduction
+  /// gate.
   uint64_t fullCopyClockBytes() const;
 
   /// Operations whose clock aliases their predecessor's slab (or needed

@@ -74,6 +74,30 @@ public:
   /// engines grow clocks as accesses stream by and must return false.
   virtual bool cacheableVerdicts() const { return true; }
 
+  /// True when this engine can name operations by (chain, position)
+  /// epochs and answer epoch-ordering probes with one O(1) clock lookup
+  /// (the vector-clock HbGraph strategy). The detector then stores one
+  /// epoch per location slot and answers every ordering question through
+  /// epochOrdered() - no pair-cache entry, no generic concurrent() call.
+  virtual bool supportsEpochQueries() const { return false; }
+
+  /// The epoch of \p Op. Only meaningful when supportsEpochQueries();
+  /// the default returns the Pos == 0 "no epoch" sentinel.
+  virtual ClockEpoch epochOf(OpId Op) const {
+    (void)Op;
+    return {};
+  }
+
+  /// True iff the operation holding epoch (\p Chain, \p Pos) precedes
+  /// \p Op in this engine's order. Only meaningful when
+  /// supportsEpochQueries().
+  virtual bool epochOrdered(uint32_t Chain, uint32_t Pos, OpId Op) const {
+    (void)Chain;
+    (void)Pos;
+    (void)Op;
+    return false;
+  }
+
   /// Trace-stream hooks (defaults: no-op). Drivers feed every replayed
   /// event through these in trace order.
   virtual void onOperationCreated(OpId Op, const Operation &Meta) {
@@ -110,6 +134,19 @@ public:
 
   Ordering ordering(OpId A, OpId B) const override {
     return Hb.ordering(A, B);
+  }
+
+  /// Epoch queries are available exactly when the graph answers
+  /// happensBefore() from its clock index (checked per call: tests and
+  /// benches flip the strategy on a live graph).
+  bool supportsEpochQueries() const override {
+    return Hb.usesVectorClocks();
+  }
+
+  ClockEpoch epochOf(OpId Op) const override { return Hb.epochOf(Op); }
+
+  bool epochOrdered(uint32_t Chain, uint32_t Pos, OpId Op) const override {
+    return Hb.epochOrdered(Chain, Pos, Op);
   }
 
   const HbGraph &graph() const { return Hb; }

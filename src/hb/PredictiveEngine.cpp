@@ -2,6 +2,8 @@
 
 #include "hb/PredictiveEngine.h"
 
+#include "support/Watermarks.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -31,10 +33,11 @@ void PredictiveEngine::onHbEdge(OpId From, OpId To, HbRule Rule) {
 
 void PredictiveEngine::joinInto(std::vector<uint32_t> &Dst,
                                 const std::vector<uint32_t> &Src) {
+  if (&Dst == &Src)
+    return; // Self-join is a no-op (and would violate no-overlap).
   if (Src.size() > Dst.size())
     Dst.resize(Src.size(), 0);
-  for (size_t I = 0; I < Src.size(); ++I)
-    Dst[I] = std::max(Dst[I], Src[I]);
+  support::watermarksJoinMax(Dst.data(), Src.data(), Src.size());
 }
 
 void PredictiveEngine::finalizeThrough(OpId Op) const {

@@ -65,6 +65,12 @@ void RunStats::merge(const RunStats &O) {
   InternedLocations += O.InternedLocations;
   InternHits += O.InternHits;
   EpochHits += O.EpochHits;
+  ReadsSeen += O.ReadsSeen;
+  EpochReads += O.EpochReads;
+  ReadInflations += O.ReadInflations;
+  ReadDeflations += O.ReadDeflations;
+  ReadVectorLocations += O.ReadVectorLocations;
+  DetectorBytes += O.DetectorBytes;
   Raw.merge(O.Raw);
   Filtered.merge(O.Filtered);
   Attrition.merge(O.Attrition);
@@ -111,6 +117,14 @@ Json RunStats::toJson() const {
   J.set("interned_locations", InternedLocations);
   J.set("intern_hits", InternHits);
   J.set("epoch_hits", EpochHits);
+  Json Epochs = Json::object();
+  Epochs.set("reads", ReadsSeen);
+  Epochs.set("epoch_reads", EpochReads);
+  Epochs.set("read_inflations", ReadInflations);
+  Epochs.set("read_deflations", ReadDeflations);
+  Epochs.set("read_vector_locations", ReadVectorLocations);
+  Epochs.set("detector_bytes", DetectorBytes);
+  J.set("wr_epochs", std::move(Epochs));
   J.set("races_raw", Raw.toJson());
   J.set("races_filtered", Filtered.toJson());
   J.set("filter_attrition", Attrition.toJson());
@@ -157,6 +171,12 @@ void RunStats::exportTo(MetricsRegistry &Registry,
   C("interned_locations", InternedLocations);
   C("intern_hits", InternHits);
   C("epoch_hits", EpochHits);
+  C("wr_epochs.reads", ReadsSeen);
+  C("wr_epochs.epoch_reads", EpochReads);
+  C("wr_epochs.read_inflations", ReadInflations);
+  C("wr_epochs.read_deflations", ReadDeflations);
+  C("wr_epochs.read_vector_locations", ReadVectorLocations);
+  C("wr_epochs.detector_bytes", DetectorBytes);
   C("races_raw.total", Raw.total());
   C("races_raw.variable", Raw.Variable);
   C("races_raw.html", Raw.Html);

@@ -130,6 +130,13 @@ struct RunStats {
   uint64_t InternedLocations = 0; ///< Distinct locations in the interner.
   uint64_t InternHits = 0;        ///< Intern lookups that found an id.
   uint64_t EpochHits = 0;         ///< HB questions answered without a CHC query.
+  // Adaptive read-epoch representation (the "wr_epochs" report group).
+  uint64_t ReadsSeen = 0;           ///< Read accesses among AccessesSeen.
+  uint64_t EpochReads = 0;          ///< Reads whose CHC check stayed O(1).
+  uint64_t ReadInflations = 0;      ///< Read-state epoch -> vector inflations.
+  uint64_t ReadDeflations = 0;      ///< Read-state vector -> empty deflations.
+  uint64_t ReadVectorLocations = 0; ///< Locations whose read state ever inflated.
+  uint64_t DetectorBytes = 0;       ///< Structural bytes of detector state.
   RaceCounts Raw;
   RaceCounts Filtered;
   FilterAttrition Attrition;

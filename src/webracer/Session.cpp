@@ -83,6 +83,12 @@ SessionResult Session::run(const std::string &Url) {
   S.InternedLocations = B->interner().size();
   S.InternHits = B->interner().hits();
   S.EpochHits = D->epochHits();
+  S.ReadsSeen = D->readsSeen();
+  S.EpochReads = D->epochReads();
+  S.ReadInflations = D->readInflations();
+  S.ReadDeflations = D->readDeflations();
+  S.ReadVectorLocations = D->readVectorLocations();
+  S.DetectorBytes = D->detectorBytes();
   S.Raw = detect::tally(Result.RawRaces);
   S.Filtered = detect::tally(Result.FilteredRaces);
   S.Attrition = detect::toAttrition(Attrition);

@@ -55,10 +55,8 @@ struct SessionOptions {
   /// WCP run). Implies trace recording for the session's own use.
   bool Predict = false;
 
-  /// Prediction runs when asked for, or implied by a predictive engine.
-  /// (The partial order itself lives in Detector.Engine; the deprecated
-  /// UseVectorClocks forwarder is gone - set Engine to HbDfs for the
-  /// paper's graph representation.)
+  /// Prediction runs when asked for, or implied by a predictive engine
+  /// (the partial order itself lives in Detector.Engine).
   bool predictEffective() const {
     EngineKind K = Detector.Engine;
     return Predict || K == EngineKind::Shb || K == EngineKind::Wcp;

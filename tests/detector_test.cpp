@@ -283,12 +283,31 @@ TEST_F(DetectorTest, CountByKind) {
 
 TEST_F(DetectorTest, ChcQueriesCounted) {
   OpId A = op(), B = op();
+  Hb.setUseVectorClocks(false); // Legacy path: no epoch probes.
   RaceDetector D(Hb, Interner);
   D.onMemoryAccess(write(A, "x"));
   EXPECT_EQ(D.chcQueries(), 0u); // ⊥ slot: no query needed... but the
   // map lookup finds nothing, so no CHC call either.
   D.onMemoryAccess(read(B, "x"));
   EXPECT_EQ(D.chcQueries(), 1u);
+}
+
+TEST_F(DetectorTest, EpochOracleAnswersWithoutGenericQueries) {
+  // Under the vector-clock strategy every CHC question is one O(1)
+  // epoch probe: chcQueries stays 0, every question lands in epochHits,
+  // and every read resolves on the epoch path.
+  OpId A = op(), B = op(), C = op();
+  edge(A, C);
+  RaceDetector D(Hb, Interner);
+  D.onMemoryAccess(write(A, "x"));
+  D.onMemoryAccess(read(C, "x")); // Ordered: no race.
+  D.onMemoryAccess(read(B, "x")); // Concurrent with the write: race.
+  EXPECT_EQ(D.chcQueries(), 0u);
+  EXPECT_GT(D.epochHits(), 0u);
+  EXPECT_EQ(D.readsSeen(), 2u);
+  EXPECT_EQ(D.epochReads(), 2u);
+  ASSERT_EQ(D.races().size(), 1u);
+  EXPECT_EQ(D.races()[0].Second.Op, B);
 }
 
 TEST_F(DetectorTest, TrackedLocationsIsUnionOfSlots) {
@@ -321,6 +340,7 @@ TEST_F(DetectorTest, TrackedLocationsFullHistoryMode) {
 
 TEST_F(DetectorTest, PairCacheAnswersRepeatedPairsAcrossLocations) {
   OpId A = op(), B = op();
+  Hb.setUseVectorClocks(false); // Pair cache only backs the legacy path.
   DetectorOptions Opts;
   Opts.OnePerLocation = false;
   RaceDetector D(Hb, Interner, Opts);
@@ -356,6 +376,7 @@ TEST_F(DetectorTest, ReportedLocationSkipsOracleEntirely) {
 TEST_F(DetectorTest, SlotEpochCacheAnswersSameOpRecheck) {
   OpId A = op(), B = op();
   edge(A, B); // Ordered: the verdict is "not concurrent".
+  Hb.setUseVectorClocks(false); // Distinguish the slot cache from epochs.
   DetectorOptions Opts;
   Opts.OnePerLocation = false;
   RaceDetector D(Hb, Interner, Opts);
@@ -368,6 +389,143 @@ TEST_F(DetectorTest, SlotEpochCacheAnswersSameOpRecheck) {
   EXPECT_EQ(D.chcQueries(), Queries);
   EXPECT_GT(D.epochHits(), 0u);
   EXPECT_TRUE(D.races().empty());
+}
+
+TEST_F(DetectorTest, SameEpochReReadStaysEpochRepresentation) {
+  // Re-reads by the same operation and reads by an ordered successor
+  // keep the single-epoch read state (the FastTrack common case): the
+  // epoch slides forward, it never inflates.
+  OpId A = op(), B = op();
+  edge(A, B);
+  RaceDetector D(Hb, Interner);
+  D.onMemoryAccess(read(A, "x"));
+  D.onMemoryAccess(read(A, "x")); // Same epoch: no probe, no change.
+  D.onMemoryAccess(read(B, "x")); // Ordered after A: the epoch slides.
+  EXPECT_EQ(D.readInflations(), 0u);
+  EXPECT_EQ(D.readVectorLocations(), 0u);
+  EXPECT_TRUE(D.races().empty());
+}
+
+TEST_F(DetectorTest, ConcurrentReadInflatesAndDominatingWriteDeflates) {
+  OpId A = op(), B = op(), C = op(), E = op();
+  edge(A, C);
+  edge(B, C);
+  edge(C, E);
+  RaceDetector D(Hb, Interner);
+  D.onMemoryAccess(read(A, "x"));
+  EXPECT_EQ(D.readInflations(), 0u); // First read: epoch form.
+  D.onMemoryAccess(read(B, "x"));    // Concurrent with A: inflate.
+  EXPECT_EQ(D.readInflations(), 1u);
+  EXPECT_EQ(D.readVectorLocations(), 1u);
+  // C is ordered after both readers: its write dominates every read
+  // epoch and collapses the vector back to the empty state.
+  D.onMemoryAccess(write(C, "x"));
+  EXPECT_EQ(D.readDeflations(), 1u);
+  EXPECT_TRUE(D.races().empty());
+  // The location stays counted as ever-inflated (memory accounting),
+  // but the live state is back to O(1); a later ordered read re-enters
+  // the epoch form without a new inflation.
+  D.onMemoryAccess(read(E, "x"));
+  EXPECT_EQ(D.readInflations(), 1u);
+  EXPECT_EQ(D.readVectorLocations(), 1u);
+}
+
+TEST_F(DetectorTest, WriteAfterConcurrentReadsStillRacesWhenUnordered) {
+  // Deflation must never hide a race: a write concurrent with one of
+  // the active readers reports before any state collapses.
+  OpId A = op(), B = op(), C = op();
+  edge(A, C); // C is after A but concurrent with B.
+  RaceDetector D(Hb, Interner);
+  D.onMemoryAccess(read(A, "x"));
+  D.onMemoryAccess(read(B, "x"));
+  EXPECT_EQ(D.readInflations(), 1u);
+  D.onMemoryAccess(write(C, "x"));
+  ASSERT_EQ(D.races().size(), 1u);
+  EXPECT_EQ(D.races()[0].First.Op, B); // LastRead held B.
+  EXPECT_EQ(D.chcQueries(), 0u);       // All answered by epoch probes.
+}
+
+TEST_F(DetectorTest, DeflationShortcutSkipsReadCheckSoundly) {
+  // After a write dominates all reads, a later write ordered after that
+  // write needs no read probe (reads HB LastWrite HB new write); one
+  // that is NOT ordered after it must still be checked and race.
+  OpId A = op(), B = op(), C = op(), E = op();
+  edge(A, B);
+  edge(B, E);
+  DetectorOptions Opts;
+  Opts.OnePerLocation = false;
+  RaceDetector D(Hb, Interner, Opts);
+  D.onMemoryAccess(read(A, "x"));
+  D.onMemoryAccess(write(B, "x")); // Dominates the read: covered.
+  D.onMemoryAccess(write(E, "x")); // Ordered after B: shortcut, no race.
+  EXPECT_TRUE(D.races().empty());
+  // C is concurrent with everything: both slot checks race.
+  D.onMemoryAccess(write(C, "x"));
+  EXPECT_EQ(D.races().size(), 1u); // vs LastWrite E (write-write).
+  EXPECT_EQ(D.chcQueries(), 0u);
+}
+
+TEST_F(DetectorTest, InlineDispatchNestedReadDoesNotInflate) {
+  // Inline event dispatch nests operations, so a location's reads can
+  // arrive in descending op order; a read ordered before the stored
+  // (newer) read epoch is subsumed, not a reason to inflate.
+  OpId A = op(), B = op();
+  edge(A, B);
+  RaceDetector D(Hb, Interner);
+  D.onMemoryAccess(read(B, "x")); // The nested (newer) op reads first.
+  D.onMemoryAccess(read(A, "x")); // Its caller reads after returning? No:
+  // replay order, A's read streams later but A happens-before B.
+  EXPECT_EQ(D.readInflations(), 0u);
+  EXPECT_TRUE(D.races().empty());
+}
+
+TEST_F(DetectorTest, ForceReadVectorsKeepsRaceOutputIdentical) {
+  // The debug option pins every read state in the vector form; races
+  // and attrition metadata must not move.
+  for (bool Force : {false, true}) {
+    HbGraph G;
+    LocationInterner I;
+    OpId A = G.addOperation(Operation());
+    OpId B = G.addOperation(Operation());
+    OpId C = G.addOperation(Operation());
+    G.addEdge(A, C, HbRule::RProgram);
+    DetectorOptions Opts;
+    Opts.ForceReadVectors = Force;
+    RaceDetector D(G, I, Opts);
+    auto Acc = [&](AccessKind K, OpId Op, const char *Name) {
+      Access X;
+      X.Kind = K;
+      X.Op = Op;
+      X.Loc = I.internVar(0, Name);
+      D.onMemoryAccess(X);
+    };
+    Acc(AccessKind::Read, A, "x");
+    Acc(AccessKind::Read, C, "x");
+    Acc(AccessKind::Write, C, "x");
+    Acc(AccessKind::Write, B, "x");
+    ASSERT_EQ(D.races().size(), 1u) << "Force=" << Force;
+    EXPECT_EQ(D.races()[0].First.Op, C);
+    EXPECT_EQ(D.races()[0].Second.Op, B);
+    EXPECT_TRUE(D.races()[0].WriteHadPriorReadInOp);
+    if (Force) {
+      EXPECT_GT(D.readInflations(), 0u);
+      EXPECT_EQ(D.readDeflations(), 0u); // Never deflates when forced.
+    } else {
+      EXPECT_EQ(D.readInflations(), 0u); // All reads stayed epochs.
+    }
+  }
+}
+
+TEST_F(DetectorTest, DetectorBytesCountsInflatedStorage) {
+  RaceDetector D(Hb, Interner);
+  uint64_t Empty = D.detectorBytes();
+  // Five mutually concurrent readers: the read vector and reader set
+  // outgrow their inline slots, and the heap spill must show up in the
+  // byte accounting.
+  for (int I = 0; I < 5; ++I)
+    D.onMemoryAccess(read(op(), "x"));
+  EXPECT_GT(D.readInflations(), 0u);
+  EXPECT_GT(D.detectorBytes(), Empty);
 }
 
 TEST_F(DetectorTest, DiamondOrderingSuppressesRace) {

@@ -171,6 +171,12 @@ RunStats sampleStats(uint64_t Scale) {
   S.InternedLocations = 6 * Scale;
   S.InternHits = 8 * Scale;
   S.EpochHits = 9 * Scale;
+  S.ReadsSeen = 12 * Scale;
+  S.EpochReads = 13 * Scale;
+  S.ReadInflations = 14 * Scale;
+  S.ReadDeflations = 15 * Scale;
+  S.ReadVectorLocations = 16 * Scale;
+  S.DetectorBytes = 17 * Scale;
   S.Raw.Variable = Scale;
   S.Filtered.Html = Scale;
   S.Attrition.Input = Scale;
@@ -191,6 +197,12 @@ TEST(RunStatsTest, MergeSumsEveryField) {
   EXPECT_EQ(A.InternedLocations, 18u);
   EXPECT_EQ(A.InternHits, 24u);
   EXPECT_EQ(A.EpochHits, 27u);
+  EXPECT_EQ(A.ReadsSeen, 36u);
+  EXPECT_EQ(A.EpochReads, 39u);
+  EXPECT_EQ(A.ReadInflations, 42u);
+  EXPECT_EQ(A.ReadDeflations, 45u);
+  EXPECT_EQ(A.ReadVectorLocations, 48u);
+  EXPECT_EQ(A.DetectorBytes, 51u);
   EXPECT_EQ(A.Raw.Variable, 3u);
   EXPECT_EQ(A.Filtered.Html, 3u);
   EXPECT_EQ(A.Attrition.Input, 3u);

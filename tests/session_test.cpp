@@ -26,7 +26,12 @@ TEST(SessionTest, EndToEndRun) {
   EXPECT_EQ(R.RawRaces.size(), 1u);
   EXPECT_GT(R.Stats.Operations, 10u);
   EXPECT_GT(R.Stats.HbEdges, 10u);
-  EXPECT_GT(R.Stats.ChcQueries, 0u);
+  // The default engine answers epoch probes, so no CHC question ever
+  // escalates to a generic oracle query.
+  EXPECT_EQ(R.Stats.ChcQueries, 0u);
+  EXPECT_GT(R.Stats.EpochHits, 0u);
+  EXPECT_GT(R.Stats.ReadsSeen, 0u);
+  EXPECT_EQ(R.Stats.EpochReads, R.Stats.ReadsSeen);
   ASSERT_EQ(R.Alerts.size(), 1u);
   EXPECT_TRUE(R.Crashes.empty());
   EXPECT_TRUE(R.ParseErrors.empty());

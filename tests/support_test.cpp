@@ -4,6 +4,7 @@
 #include "support/InlineVec.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
+#include "support/Watermarks.h"
 
 #include <gtest/gtest.h>
 
@@ -264,4 +265,73 @@ TEST(InlineVecTest, ClearKeepsCapacity) {
   V.reserve(Cap + 100);
   EXPECT_GE(V.capacity(), Cap + 100);
   EXPECT_TRUE(V.empty());
+}
+
+TEST(WatermarksTest, DominatedBasics) {
+  using wr::support::watermarksDominated;
+  uint32_t A[] = {1, 2, 3, 4, 5};
+  uint32_t B[] = {1, 2, 3, 4, 5};
+  EXPECT_TRUE(watermarksDominated(A, B, 5)); // Equal arrays dominate.
+  B[4] = 6;
+  EXPECT_TRUE(watermarksDominated(A, B, 5));
+  EXPECT_FALSE(watermarksDominated(B, A, 5)); // Tail entry decides.
+  B[4] = 5;
+  B[0] = 0;
+  EXPECT_FALSE(watermarksDominated(A, B, 5)); // Wide-word low half.
+  B[0] = 1;
+  B[1] = 0;
+  EXPECT_FALSE(watermarksDominated(A, B, 5)); // Wide-word high half.
+  EXPECT_TRUE(watermarksDominated(A, A, 0));  // Empty range.
+}
+
+TEST(WatermarksTest, DominatedMatchesScalarReference) {
+  // Randomized cross-check over every length 0..9 and unaligned offsets
+  // (the helpers take raw pointers into slab arenas, so odd starting
+  // offsets must behave identically to aligned ones).
+  wr::Rng Rng(7);
+  std::vector<uint32_t> A(16), B(16);
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    for (size_t I = 0; I < A.size(); ++I) {
+      A[I] = static_cast<uint32_t>(Rng.next()) % 4;
+      B[I] = static_cast<uint32_t>(Rng.next()) % 4;
+    }
+    size_t Off = Rng.next() % 3;
+    size_t Len = Rng.next() % 10;
+    bool Ref = true;
+    for (size_t I = 0; I < Len; ++I)
+      Ref = Ref && A[Off + I] <= B[Off + I];
+    EXPECT_EQ(wr::support::watermarksDominated(A.data() + Off,
+                                               B.data() + Off, Len),
+              Ref);
+  }
+}
+
+TEST(WatermarksTest, JoinMaxMatchesScalarReference) {
+  wr::Rng Rng(11);
+  std::vector<uint32_t> Dst(16), Src(16), Ref(16);
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    for (size_t I = 0; I < Dst.size(); ++I) {
+      Dst[I] = static_cast<uint32_t>(Rng.next()) % 5;
+      Src[I] = static_cast<uint32_t>(Rng.next()) % 5;
+    }
+    Ref = Dst;
+    size_t Off = Rng.next() % 3;
+    size_t Len = Rng.next() % 10;
+    for (size_t I = 0; I < Len; ++I)
+      Ref[Off + I] = std::max(Ref[Off + I], Src[Off + I]);
+    wr::support::watermarksJoinMax(Dst.data() + Off, Src.data() + Off, Len);
+    EXPECT_EQ(Dst, Ref);
+  }
+}
+
+TEST(WatermarksTest, AllZero) {
+  uint32_t A[] = {0, 0, 0, 0, 0};
+  EXPECT_TRUE(wr::support::watermarksAllZero(A, 5));
+  EXPECT_TRUE(wr::support::watermarksAllZero(A, 0));
+  A[4] = 1; // Scalar tail.
+  EXPECT_FALSE(wr::support::watermarksAllZero(A, 5));
+  EXPECT_TRUE(wr::support::watermarksAllZero(A, 4));
+  A[4] = 0;
+  A[1] = 1; // Wide-word high half.
+  EXPECT_FALSE(wr::support::watermarksAllZero(A, 5));
 }

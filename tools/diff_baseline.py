@@ -34,6 +34,12 @@ HEADLINE_PATHS = [
     ("aggregate", "interned_locations"),
     ("aggregate", "intern_hits"),
     ("aggregate", "epoch_hits"),
+    ("aggregate", "wr_epochs", "reads"),
+    ("aggregate", "wr_epochs", "epoch_reads"),
+    ("aggregate", "wr_epochs", "read_inflations"),
+    ("aggregate", "wr_epochs", "read_deflations"),
+    ("aggregate", "wr_epochs", "read_vector_locations"),
+    ("aggregate", "wr_epochs", "detector_bytes"),
     ("aggregate", "phases", "detect", "virtual_us"),
     ("aggregate", "phases", "detect", "entries"),
     ("aggregate", "wr_prediction", "shb", "candidates"),
