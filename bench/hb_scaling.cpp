@@ -35,6 +35,7 @@
 #include "sites/Corpus.h"
 #include "sites/CorpusRunner.h"
 #include "support/Rng.h"
+#include "support/Watermarks.h"
 #include "webracer/Session.h"
 
 #include <chrono>
@@ -371,6 +372,75 @@ DetectorRow runDetectorSize(size_t N, int Reps, int &Failures) {
   return Row;
 }
 
+/// One row of the watermark-kernel micro-table: throughput of the three
+/// support/Watermarks.h primitives at one clock width, under whichever
+/// tier (avx2 / neon / swar) this build compiled in.
+struct KernelRow {
+  size_t Width = 0; // Watermarks per clock.
+  double JoinBytesPerNs = 0;
+  double DominatedBytesPerNs = 0;
+  double AllZeroBytesPerNs = 0;
+};
+
+/// Times one primitive over \p Iters passes of a \p Width-entry array and
+/// returns bytes processed per nanosecond (min-of-3 to shed scheduler
+/// noise). The workload alternates two source patterns so the branchy
+/// SWAR fast paths (equal words, zero words) cannot short-circuit every
+/// iteration.
+template <typename Fn>
+double kernelBytesPerNs(size_t Width, size_t Iters, Fn &&Body) {
+  double Best = 1e30;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    uint64_t Guard = 0;
+    for (size_t I = 0; I < Iters; ++I)
+      Guard += Body(I);
+    double Secs = secondsSince(Start);
+    // Keep the accumulated result observable so the loop cannot be
+    // discarded as dead code.
+    if (Guard == UINT64_MAX)
+      std::printf("unreachable\n");
+    Best = std::min(Best, Secs);
+  }
+  double Bytes =
+      static_cast<double>(Width * sizeof(uint32_t)) * static_cast<double>(Iters);
+  return Best > 0 ? Bytes / (Best * 1e9) : 0;
+}
+
+/// Builds the micro-table: for each clock width, measured bytes/ns of
+/// join, dominated, and all-zero over randomized watermark arrays.
+std::vector<KernelRow> runKernelTable() {
+  std::vector<KernelRow> Rows;
+  Rng R(77);
+  for (size_t Width : {8u, 32u, 128u, 512u}) {
+    std::vector<uint32_t> A(Width), B(Width), Dst(Width);
+    for (size_t I = 0; I < Width; ++I) {
+      A[I] = static_cast<uint32_t>(R.next()) % 1000;
+      B[I] = static_cast<uint32_t>(R.next()) % 1000;
+    }
+    size_t Iters = 4u * 1024u * 1024u / Width; // ~4M watermarks per kernel.
+    KernelRow Row;
+    Row.Width = Width;
+    Row.JoinBytesPerNs = kernelBytesPerNs(Width, Iters, [&](size_t I) {
+      // Alternate sources so Dst keeps changing and the skip paths fire
+      // on only half the passes.
+      support::watermarksJoinMax(Dst.data(),
+                                 (I & 1 ? B : A).data(), Width);
+      return static_cast<uint64_t>(Dst[0]);
+    });
+    Row.DominatedBytesPerNs = kernelBytesPerNs(Width, Iters, [&](size_t I) {
+      return static_cast<uint64_t>(support::watermarksDominated(
+          (I & 1 ? A : B).data(), Dst.data(), Width));
+    });
+    Row.AllZeroBytesPerNs = kernelBytesPerNs(Width, Iters, [&](size_t I) {
+      return static_cast<uint64_t>(
+          support::watermarksAllZero((I & 1 ? A : Dst).data(), Width));
+    });
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
 /// Aggregated wr_epochs figures of the parity sweep's default-engine runs.
 struct ParityStats {
   uint64_t Races = 0;
@@ -504,6 +574,17 @@ int main(int Argc, char **Argv) {
     DetRows.push_back(Row);
   }
 
+  std::printf("\n== watermark kernels (%s tier): bytes/ns ==\n",
+              support::watermarksIsa());
+  std::printf("\n%7s | %9s | %9s | %9s\n", "width", "join", "dominated",
+              "allzero");
+  std::printf("--------+-----------+-----------+----------\n");
+  std::vector<KernelRow> KernelRows = runKernelTable();
+  for (const KernelRow &Row : KernelRows)
+    std::printf("%7zu | %9.2f | %9.2f | %9.2f\n", Row.Width,
+                Row.JoinBytesPerNs, Row.DominatedBytesPerNs,
+                Row.AllZeroBytesPerNs);
+
   size_t ParityCount = Quick ? 12 : 25;
   std::printf("\nchecking race-output parity on %zu corpus sites "
               "(dfs / vc / vc+forced-vectors)...\n",
@@ -584,6 +665,20 @@ int main(int Argc, char **Argv) {
   ParityJson.set("read_vector_locations", Parity.ReadVectorLocations);
   Doc.set("parity", std::move(ParityJson));
   obs::Json Timing = obs::Json::object();
+  // Kernel throughput is wall-clock, so it lands in the timing section
+  // (excluded from byte-stability comparisons) tagged with the tier.
+  {
+    obs::Json Kernels = obs::Json::object();
+    Kernels.set("isa", std::string(support::watermarksIsa()));
+    for (const KernelRow &Row : KernelRows) {
+      obs::Json K = obs::Json::object();
+      K.set("join_bytes_per_ns", Row.JoinBytesPerNs);
+      K.set("dominated_bytes_per_ns", Row.DominatedBytesPerNs);
+      K.set("allzero_bytes_per_ns", Row.AllZeroBytesPerNs);
+      Kernels.set("width_" + std::to_string(Row.Width), std::move(K));
+    }
+    Timing.set("watermark_kernels", std::move(Kernels));
+  }
   for (const SizeRow &Row : Rows) {
     obs::Json T = obs::Json::object();
     T.set("build_ms", Row.BuildMs);

@@ -150,6 +150,10 @@ void RaceDetector::report(LocState &St, const Slot &Prior,
     R.WriteHadPriorReadInOp = true;
   if (Current.Kind == AccessKind::Write && isReader(St, Current.Op))
     R.WriteHadPriorReadInOp = true;
+  // Heat feedback: a racing location is exactly the region the adaptive
+  // strategy must keep watching.
+  if (Sampler)
+    Sampler->noteRace(Current.Loc);
   Races.push_back(std::move(R));
 }
 
@@ -167,6 +171,8 @@ void RaceDetector::noteRead(LocState &St, const Access &A) {
       St.Rep = ReadRep::Vector;
       St.EverInflated = true;
       ++ReadInflations;
+      if (Sampler)
+        Sampler->noteInflation(A.Loc);
     } else {
       St.Rep = ReadRep::Epoch;
     }
@@ -189,6 +195,11 @@ void RaceDetector::noteRead(LocState &St, const Access &A) {
     St.Rep = ReadRep::Vector;
     St.EverInflated = true;
     ++ReadInflations;
+    // Heat feedback: concurrent readers mean concurrent operations are
+    // active here - the PR 9 adaptive-epoch state doubling as the
+    // sampling layer's cold/hot signal.
+    if (Sampler)
+      Sampler->noteInflation(A.Loc);
     return;
   }
   case ReadRep::Vector:
@@ -223,6 +234,28 @@ void RaceDetector::noteWrite(LocState &St, const Access &A,
   St.ReadsCovered = true;
 }
 
+obs::SamplingStats RaceDetector::samplingStats() const {
+  obs::SamplingStats S;
+  if (!Sampler)
+    return S; // Disabled: empty strategy, omitted from reports.
+  S.Strategy = sample::toString(Opts.Sampling.Strategy);
+  S.RatePpm = static_cast<uint64_t>(Opts.Sampling.Rate * 1e6 + 0.5);
+  const sample::SamplerCounters &C = Sampler->counters();
+  S.SeenReads = C.SeenReads;
+  S.SeenWrites = C.SeenWrites;
+  S.SampledReads = C.SampledReads;
+  S.SampledWrites = C.SampledWrites;
+  S.DroppedReads = C.DroppedReads;
+  S.DroppedWrites = C.DroppedWrites;
+  S.LocationPass = C.LocationPass;
+  S.PairPass = C.PairPass;
+  S.ColdPass = C.ColdPass;
+  S.HotPass = C.HotPass;
+  S.RngPass = C.RngPass;
+  S.HotLocations = C.HotLocations;
+  return S;
+}
+
 size_t RaceDetector::readVectorLocations() const {
   size_t N = 0;
   for (const LocState &St : Locs)
@@ -246,8 +279,35 @@ uint64_t RaceDetector::detectorBytes() const {
   return Bytes;
 }
 
+bool RaceDetector::sampleAccess(const Access &A, bool UseEpochs) {
+  // The per-pair strategy keys on clock epochs, so the current op's
+  // epoch must be fetched before the decision; the other strategies
+  // leave the fetch to the processing path (a dropped access then never
+  // touches the clock index at all - the access-path saving).
+  ClockEpoch PairCur;
+  if (UseEpochs && Opts.Sampling.Strategy == sample::SamplingStrategy::PerPair) {
+    if (A.Op != CurOp) {
+      CurOp = A.Op;
+      CurEpoch = Oracle->epochOf(A.Op);
+    }
+    PairCur = CurEpoch;
+  }
+  OpId PriorOp = InvalidOpId;
+  ClockEpoch PriorE;
+  if (A.Loc < Locs.size()) {
+    PriorOp = Locs[A.Loc].LastWrite.Op;
+    PriorE = Locs[A.Loc].LastWrite.E;
+  }
+  return Sampler->shouldSample(A, PriorOp, PriorE, PairCur);
+}
+
 void RaceDetector::onMemoryAccess(const Access &A) {
   obs::PhaseTimer Timer(Phases, obs::Phase::Detect);
+  // The sampling gate runs before any per-access work: a dropped access
+  // is invisible to the detector (no counters, no slot state, no epoch
+  // fetch) and is tallied by the sampler so attrition is never silent.
+  if (Sampler && !sampleAccess(A, Oracle->supportsEpochQueries()))
+    return;
   ++AccessesSeen;
   if (A.Kind == AccessKind::Read)
     ++ReadsSeen;

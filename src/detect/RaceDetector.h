@@ -53,6 +53,8 @@
 #include "mem/Location.h"
 #include "mem/LocationInterner.h"
 #include "obs/PhaseTimer.h"
+#include "obs/RunStats.h"
+#include "sample/Sampling.h"
 #include "support/InlineVec.h"
 
 #include <memory>
@@ -99,6 +101,13 @@ struct DetectorOptions {
   /// bench/hb_scaling's parity sweep); only the wr_epochs counters and
   /// detector bytes differ.
   bool ForceReadVectors = false;
+  /// The production-overhead sampling layer (sample/Sampling.h). At the
+  /// default rate 1.0 no sampler is constructed and every access reaches
+  /// the detector - output is byte-identical to a build without the
+  /// layer. Below 1.0 the detector consults the sampler before any
+  /// per-access work; dropped accesses cost one strategy decision and
+  /// are counted in the wr_sampling report group.
+  sample::SamplingOptions Sampling;
 };
 
 /// Classifies a racing access pair into the paper's Section 2 taxonomy
@@ -117,7 +126,9 @@ public:
   RaceDetector(const HbGraph &Hb, const LocationInterner &Interner,
                DetectorOptions Opts = DetectorOptions())
       : OwnedHb(std::make_unique<HbEngine>(Hb)), Oracle(OwnedHb.get()),
-        Interner(Interner), Opts(Opts) {}
+        Interner(Interner), Opts(Opts) {
+    initSampler();
+  }
 
   /// Runs over an externally owned engine (which must outlive the
   /// detector). Caches are enabled only when the engine's verdicts are
@@ -125,7 +136,9 @@ public:
   RaceDetector(const PartialOrderEngine &Engine,
                const LocationInterner &Interner,
                DetectorOptions Opts = DetectorOptions())
-      : Oracle(&Engine), Interner(Interner), Opts(Opts) {}
+      : Oracle(&Engine), Interner(Interner), Opts(Opts) {
+    initSampler();
+  }
 
   const std::vector<Race> &races() const { return Races; }
 
@@ -146,8 +159,18 @@ public:
   /// chcQueries(), so hits / (hits + queries) is the fast-path hit rate.
   uint64_t epochHits() const { return EpochHits; }
 
-  /// Number of instrumented accesses processed.
+  /// Number of instrumented accesses processed (accesses the sampling
+  /// layer dropped are excluded - they count in samplingStats() only).
   uint64_t accessesSeen() const { return AccessesSeen; }
+
+  /// The sampling layer, or null when Sampling.Rate is 1.0.
+  const sample::AccessSampler *sampler() const { return Sampler.get(); }
+
+  /// The wr_sampling report group: strategy, rate, and every seen /
+  /// sampled / dropped count. Disabled (empty strategy, omitted from
+  /// reports) when no sampler exists, so unsampled runs keep the
+  /// pre-sampling byte layout.
+  obs::SamplingStats samplingStats() const;
 
   /// Read accesses among accessesSeen().
   uint64_t readsSeen() const { return ReadsSeen; }
@@ -245,6 +268,14 @@ private:
     std::unique_ptr<std::vector<Slot>> History;
   };
 
+  void initSampler() {
+    if (Opts.Sampling.enabled())
+      Sampler = std::make_unique<sample::AccessSampler>(Opts.Sampling);
+  }
+  /// True when the sampling layer admits \p A (always, without a
+  /// sampler). Fetches the current op's epoch first when the per-pair
+  /// strategy needs epoch keys.
+  bool sampleAccess(const Access &A, bool UseEpochs);
   LocState &state(LocId Id);
   /// CHC between a stored prior slot and the current operation: one
   /// epoch probe under an epoch-capable oracle, else the legacy
@@ -267,6 +298,8 @@ private:
   const PartialOrderEngine *Oracle;
   const LocationInterner &Interner;
   DetectorOptions Opts;
+  /// Non-null iff Opts.Sampling.enabled(): the per-access gate.
+  std::unique_ptr<sample::AccessSampler> Sampler;
 
   std::vector<LocState> Locs;
   size_t Tracked = 0;

@@ -138,6 +138,7 @@ ReplayResult wr::detect::replayTrace(const TraceLog &Log,
   S.ReadDeflations = Detector.readDeflations();
   S.ReadVectorLocations = Detector.readVectorLocations();
   S.DetectorBytes = Detector.detectorBytes();
+  S.Sampling = Detector.samplingStats();
   S.Raw = tally(Result.RawRaces);
   S.Filtered = tally(Result.FilteredRaces);
   S.Attrition = toAttrition(Attrition);

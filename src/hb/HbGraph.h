@@ -111,6 +111,14 @@ inline constexpr size_t NumHbRules =
 struct ClockEpoch {
   uint32_t Chain = 0;
   uint32_t Pos = 0;
+
+  /// The epoch as one word ((Chain << 32) | Pos). The sampling layer's
+  /// per-pair strategy keys its hash on this instead of raw OpIds:
+  /// chain assignment is deterministic for a fixed seed, so pair keys
+  /// survive OpId renumbering between a recording and its replay.
+  uint64_t packed() const {
+    return (static_cast<uint64_t>(Chain) << 32) | Pos;
+  }
 };
 
 /// The happens-before DAG. Operations are created through `addOperation`

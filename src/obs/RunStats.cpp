@@ -28,6 +28,36 @@ Json FilterAttrition::toJson() const {
   return J;
 }
 
+Json SamplingStats::toJson() const {
+  Json J = Json::object();
+  J.set("strategy", Strategy);
+  J.set("rate_ppm", RatePpm);
+  Json Seen = Json::object();
+  Seen.set("reads", SeenReads);
+  Seen.set("writes", SeenWrites);
+  Seen.set("total", SeenReads + SeenWrites);
+  J.set("seen", std::move(Seen));
+  Json Sampled = Json::object();
+  Sampled.set("reads", SampledReads);
+  Sampled.set("writes", SampledWrites);
+  Sampled.set("total", SampledReads + SampledWrites);
+  J.set("sampled", std::move(Sampled));
+  Json Dropped = Json::object();
+  Dropped.set("reads", DroppedReads);
+  Dropped.set("writes", DroppedWrites);
+  Dropped.set("total", DroppedReads + DroppedWrites);
+  J.set("dropped", std::move(Dropped));
+  Json Passes = Json::object();
+  Passes.set("location", LocationPass);
+  Passes.set("pair", PairPass);
+  Passes.set("cold", ColdPass);
+  Passes.set("hot", HotPass);
+  Passes.set("rng", RngPass);
+  J.set("passes", std::move(Passes));
+  J.set("hot_locations", HotLocations);
+  return J;
+}
+
 Json PredictionRow::toJson() const {
   Json J = Json::object();
   J.set("pairs_checked", PairsChecked);
@@ -71,6 +101,7 @@ void RunStats::merge(const RunStats &O) {
   ReadDeflations += O.ReadDeflations;
   ReadVectorLocations += O.ReadVectorLocations;
   DetectorBytes += O.DetectorBytes;
+  Sampling.merge(O.Sampling);
   Raw.merge(O.Raw);
   Filtered.merge(O.Filtered);
   Attrition.merge(O.Attrition);
@@ -125,6 +156,11 @@ Json RunStats::toJson() const {
   Epochs.set("read_vector_locations", ReadVectorLocations);
   Epochs.set("detector_bytes", DetectorBytes);
   J.set("wr_epochs", std::move(Epochs));
+  // Present only when the sampling layer ran, so unsampled reports stay
+  // byte-identical to the pre-sampling schema (the rate-1.0 identity
+  // gate in bench/sampling_recall and tests/report_schema_test).
+  if (Sampling.enabled())
+    J.set("wr_sampling", Sampling.toJson());
   J.set("races_raw", Raw.toJson());
   J.set("races_filtered", Filtered.toJson());
   J.set("filter_attrition", Attrition.toJson());
@@ -177,6 +213,21 @@ void RunStats::exportTo(MetricsRegistry &Registry,
   C("wr_epochs.read_deflations", ReadDeflations);
   C("wr_epochs.read_vector_locations", ReadVectorLocations);
   C("wr_epochs.detector_bytes", DetectorBytes);
+  if (Sampling.enabled()) {
+    C("wr_sampling.rate_ppm", Sampling.RatePpm);
+    C("wr_sampling.seen.reads", Sampling.SeenReads);
+    C("wr_sampling.seen.writes", Sampling.SeenWrites);
+    C("wr_sampling.sampled.reads", Sampling.SampledReads);
+    C("wr_sampling.sampled.writes", Sampling.SampledWrites);
+    C("wr_sampling.dropped.reads", Sampling.DroppedReads);
+    C("wr_sampling.dropped.writes", Sampling.DroppedWrites);
+    C("wr_sampling.passes.location", Sampling.LocationPass);
+    C("wr_sampling.passes.pair", Sampling.PairPass);
+    C("wr_sampling.passes.cold", Sampling.ColdPass);
+    C("wr_sampling.passes.hot", Sampling.HotPass);
+    C("wr_sampling.passes.rng", Sampling.RngPass);
+    C("wr_sampling.hot_locations", Sampling.HotLocations);
+  }
   C("races_raw.total", Raw.total());
   C("races_raw.variable", Raw.Variable);
   C("races_raw.html", Raw.Html);

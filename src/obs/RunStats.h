@@ -75,6 +75,58 @@ struct FilterAttrition {
   Json toJson() const;
 };
 
+/// What the sampling layer admitted and dropped (the wr_sampling report
+/// group; see sample/Sampling.h). Strategy holds the CLI spelling; an
+/// empty strategy means the layer was off, and toJson() then renders
+/// nothing so unsampled reports keep the pre-sampling byte layout.
+/// Invariants the sampler maintains (and bench/sampling_recall gates):
+/// seen == sampled + dropped per kind, and the pass-reason counters sum
+/// to the sampled total.
+struct SamplingStats {
+  std::string Strategy; ///< CLI spelling; empty == sampling off.
+  uint64_t RatePpm = 0; ///< Sampling rate in parts-per-million.
+  uint64_t SeenReads = 0;
+  uint64_t SeenWrites = 0;
+  uint64_t SampledReads = 0;
+  uint64_t SampledWrites = 0;
+  uint64_t DroppedReads = 0;
+  uint64_t DroppedWrites = 0;
+  // Pass reasons (which rule admitted a sampled access).
+  uint64_t LocationPass = 0;
+  uint64_t PairPass = 0;
+  uint64_t ColdPass = 0;
+  uint64_t HotPass = 0;
+  uint64_t RngPass = 0;
+  uint64_t HotLocations = 0;
+
+  bool enabled() const { return !Strategy.empty(); }
+
+  void merge(const SamplingStats &O) {
+    // Corpus sites share one configuration; adopt it from the first
+    // enabled record and sum the counters.
+    if (Strategy.empty()) {
+      Strategy = O.Strategy;
+      RatePpm = O.RatePpm;
+    }
+    SeenReads += O.SeenReads;
+    SeenWrites += O.SeenWrites;
+    SampledReads += O.SampledReads;
+    SampledWrites += O.SampledWrites;
+    DroppedReads += O.DroppedReads;
+    DroppedWrites += O.DroppedWrites;
+    LocationPass += O.LocationPass;
+    PairPass += O.PairPass;
+    ColdPass += O.ColdPass;
+    HotPass += O.HotPass;
+    RngPass += O.RngPass;
+    HotLocations += O.HotLocations;
+  }
+
+  bool operator==(const SamplingStats &O) const = default;
+
+  Json toJson() const;
+};
+
 /// A (name, count) pair; used for per-HB-rule edge counts so obs stays
 /// independent of the hb layer's enum.
 struct NamedCount {
@@ -137,6 +189,9 @@ struct RunStats {
   uint64_t ReadDeflations = 0;      ///< Read-state vector -> empty deflations.
   uint64_t ReadVectorLocations = 0; ///< Locations whose read state ever inflated.
   uint64_t DetectorBytes = 0;       ///< Structural bytes of detector state.
+  /// The sampling layer's attrition record (the "wr_sampling" report
+  /// group; omitted from toJson() when sampling was off).
+  SamplingStats Sampling;
   RaceCounts Raw;
   RaceCounts Filtered;
   FilterAttrition Attrition;

@@ -15,6 +15,12 @@ SiteRunStats wr::sites::runSite(const GeneratedSite &Site,
                                 uint64_t SiteSeed) {
   webracer::SessionOptions Opts = Base;
   Opts.Browser.Seed = SiteSeed;
+  // Give each site its own sampling stream, keyed off the pre-drawn site
+  // seed: seeds are drawn in corpus order before any site runs, so the
+  // drop pattern (and hence every report byte) is identical at any
+  // --jobs count.
+  if (Opts.Detector.Sampling.enabled())
+    Opts.Detector.Sampling.Seed ^= SiteSeed;
   // Corpus pages run a few hundred operations; pre-size the HB tables so
   // every site skips the doubling-growth phase of addOperation.
   if (Opts.ExpectedOperations == 0)

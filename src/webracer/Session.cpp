@@ -89,6 +89,7 @@ SessionResult Session::run(const std::string &Url) {
   S.ReadDeflations = D->readDeflations();
   S.ReadVectorLocations = D->readVectorLocations();
   S.DetectorBytes = D->detectorBytes();
+  S.Sampling = D->samplingStats();
   S.Raw = detect::tally(Result.RawRaces);
   S.Filtered = detect::tally(Result.FilteredRaces);
   S.Attrition = detect::toAttrition(Attrition);

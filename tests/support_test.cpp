@@ -335,3 +335,42 @@ TEST(WatermarksTest, AllZero) {
   A[1] = 1; // Wide-word high half.
   EXPECT_FALSE(wr::support::watermarksAllZero(A, 5));
 }
+
+TEST(WatermarksTest, VectorTierMatchesSwarReference) {
+  // Lane-for-lane parity between the public entry points (AVX2, NEON, or
+  // SWAR depending on the build) and the always-compiled SWAR reference,
+  // over lengths past several vector widths, unaligned offsets, and
+  // values up to UINT32_MAX - the epu32 max/compare path is unsigned, so
+  // high-bit watermarks must not flip comparisons.
+  wr::Rng Rng(23);
+  std::vector<uint32_t> A(48), B(48), Dst(48), RefDst(48);
+  for (int Iter = 0; Iter < 800; ++Iter) {
+    bool Extreme = Iter % 3 == 0; // Exercise the 2^31.. range often.
+    for (size_t I = 0; I < A.size(); ++I) {
+      A[I] = Extreme ? static_cast<uint32_t>(Rng.next())
+                     : static_cast<uint32_t>(Rng.next()) % 6;
+      B[I] = Extreme ? static_cast<uint32_t>(Rng.next())
+                     : static_cast<uint32_t>(Rng.next()) % 6;
+    }
+    // Equal runs hit the dominated/join fast paths; zero runs hit allzero.
+    if (Iter % 5 == 0)
+      std::copy(A.begin(), A.begin() + 20, B.begin());
+    if (Iter % 7 == 0)
+      std::fill(A.begin(), A.begin() + 24, 0u);
+    size_t Off = Rng.next() % 5;
+    size_t Len = Rng.next() % 41;
+    EXPECT_EQ(wr::support::watermarksDominated(A.data() + Off,
+                                               B.data() + Off, Len),
+              wr::support::detail::watermarksDominatedSwar(
+                  A.data() + Off, B.data() + Off, Len));
+    EXPECT_EQ(wr::support::watermarksAllZero(A.data() + Off, Len),
+              wr::support::detail::watermarksAllZeroSwar(A.data() + Off,
+                                                         Len));
+    for (size_t I = 0; I < B.size(); ++I)
+      Dst[I] = RefDst[I] = B[I];
+    wr::support::watermarksJoinMax(Dst.data() + Off, A.data() + Off, Len);
+    wr::support::detail::watermarksJoinMaxSwar(RefDst.data() + Off,
+                                               A.data() + Off, Len);
+    EXPECT_EQ(Dst, RefDst);
+  }
+}

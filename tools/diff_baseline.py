@@ -8,7 +8,8 @@ operations / HB edges / CHC queries, vector-clock chain and clock-arena
 counters (clock_bytes / clock_merges / shared_clocks), intern and epoch
 fast-path hit counters, detect-phase virtual time, the SHB/WCP
 predictive-pass headline counters (wr_prediction candidates /
-observed_matched / predicted totals and WCP's dropped edges), raw and
+observed_matched / predicted totals and WCP's dropped edges), the
+wr_sampling attrition group when the run sampled, raw and
 filtered race totals per kind, filter attrition, and the
 static-analysis precision tallies with their per-guard-class breakdown)
 and prints one line per drifted counter. The
@@ -40,6 +41,16 @@ HEADLINE_PATHS = [
     ("aggregate", "wr_epochs", "read_deflations"),
     ("aggregate", "wr_epochs", "read_vector_locations"),
     ("aggregate", "wr_epochs", "detector_bytes"),
+    # wr_sampling is present only when the run sampled (rate < 1); the
+    # unsampled CI corpus run has it absent on both sides, which compares
+    # equal (None == None) and stays silent.
+    ("aggregate", "wr_sampling", "rate_ppm"),
+    ("aggregate", "wr_sampling", "seen", "total"),
+    ("aggregate", "wr_sampling", "sampled", "total"),
+    ("aggregate", "wr_sampling", "dropped", "total"),
+    ("aggregate", "wr_sampling", "passes", "cold"),
+    ("aggregate", "wr_sampling", "passes", "hot"),
+    ("aggregate", "wr_sampling", "hot_locations"),
     ("aggregate", "phases", "detect", "virtual_us"),
     ("aggregate", "phases", "detect", "entries"),
     ("aggregate", "wr_prediction", "shb", "candidates"),

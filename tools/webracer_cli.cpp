@@ -39,6 +39,14 @@
 //   --suppressions FILE page, replay, corpus, batch: drop races matching
 //                       the suppression file; drops are counted in the
 //                       filter attrition and unmatched entries warn
+//   --sample-rate X     page, replay, corpus, batch: fraction of the
+//                       access stream the detector sees, in [0, 1]
+//                       (default 1 = full instrumentation; below 1 the
+//                       report grows a wr_sampling attrition group)
+//   --sample-strategy NAME
+//                       page, replay, corpus, batch: per-location,
+//                       per-pair, or adaptive (the default; cold-region
+//                       biasing with inflation/race heat)
 //   --trace             page: dump the full instrumentation trace;
 //                       cross-check --static-only: dump the must-HB graph
 //   --record FILE       page: write the execution trace to FILE (WRT2)
@@ -62,11 +70,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "sample/Sampling.h"
 #include "support/StringUtils.h"
 #include "webracer/WebRacer.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -101,8 +112,10 @@ int usage(const char *Argv0) {
       "  batch --traces DIR    deduplicating ingest of a trace directory\n"
       "\n"
       "common options: --engine hb|hb-dfs|shb|wcp, --json FILE,\n"
-      "  --metrics, --suppressions FILE; see the header of this tool or\n"
-      "  README.md for the per-subcommand tables.\n",
+      "  --metrics, --suppressions FILE, --sample-rate X,\n"
+      "  --sample-strategy per-location|per-pair|adaptive; see the\n"
+      "  header of this tool or README.md for the per-subcommand "
+      "tables.\n",
       Argv0);
   return 2;
 }
@@ -115,6 +128,22 @@ bool parseCountArg(const char *Flag, const char *Value, uint64_t &Out) {
   std::fprintf(stderr, "error: %s expects an unsigned integer, got '%s'\n",
                Flag, Value);
   return false;
+}
+
+/// Strict parse for --sample-rate: a decimal number within [0, 1];
+/// anything else (trailing junk, NaN, out of range) is a usage error.
+bool parseRateArg(const char *Flag, const char *Value, double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Value, &End);
+  if (End == Value || *End != '\0' || errno != 0 || !(V >= 0.0 && V <= 1.0)) {
+    std::fprintf(stderr,
+                 "error: %s expects a number within [0, 1], got '%s'\n",
+                 Flag, Value);
+    return false;
+  }
+  Out = V;
+  return true;
 }
 
 /// Serializes \p Doc with the stable JSON backend and writes it to
@@ -252,9 +281,23 @@ struct CliOptions {
   bool Precision = false;
   bool StaticOnly = false;
   EngineKind Engine = EngineKind::Hb;
+  double SampleRate = 1.0;
+  sample::SamplingStrategy SampleStrategy =
+      sample::SamplingStrategy::Adaptive;
   std::string RecordFile, JsonFile, SuppressionsFile, TracesDir;
   uint64_t Sites = 0;
   uint64_t Jobs = 1;
+
+  /// The sampling configuration the parsed flags describe; \p Seed keys
+  /// the sampler's private stream (the run's --seed where the
+  /// subcommand has one).
+  sample::SamplingOptions samplingOptions(uint64_t Seed) const {
+    sample::SamplingOptions S;
+    S.Strategy = SampleStrategy;
+    S.Rate = SampleRate;
+    S.Seed = Seed;
+    return S;
+  }
 };
 
 /// True when subcommand \p M accepts \p Flag (the shared option table).
@@ -276,6 +319,8 @@ bool modeAccepts(Mode M, const std::string &Flag) {
   if (Flag == "--predict")
     return In({Mode::Page, Mode::Replay, Mode::Batch});
   if (Flag == "--suppressions")
+    return In({Mode::Page, Mode::Replay, Mode::Corpus, Mode::Batch});
+  if (Flag == "--sample-rate" || Flag == "--sample-strategy")
     return In({Mode::Page, Mode::Replay, Mode::Corpus, Mode::Batch});
   if (Flag == "--trace")
     return In({Mode::Page, Mode::CrossCheck});
@@ -314,6 +359,9 @@ int parseModeArgs(CliOptions &O, const std::vector<std::string> &Args,
         O.Index = Arg;
         if (O.Root.empty())
           O.Root = O.Index.parent_path();
+        // A bare filename has no parent component; serve its directory.
+        if (O.Root.empty())
+          O.Root = ".";
         continue;
       }
       if (O.M == Mode::Replay && O.TraceFile.empty()) {
@@ -372,6 +420,21 @@ int parseModeArgs(CliOptions &O, const std::vector<std::string> &Args,
       if (!V)
         return 2;
       O.SuppressionsFile = V;
+    } else if (Arg == "--sample-rate") {
+      const char *V = Value("--sample-rate");
+      if (!V || !parseRateArg("--sample-rate", V, O.SampleRate))
+        return 2;
+    } else if (Arg == "--sample-strategy") {
+      const char *V = Value("--sample-strategy");
+      if (!V)
+        return 2;
+      if (!sample::parseSamplingStrategy(V, O.SampleStrategy)) {
+        std::fprintf(stderr,
+                     "error: unknown sampling strategy '%s' (expected "
+                     "per-location, per-pair, or adaptive)\n",
+                     V);
+        return 2;
+      }
     } else if (Arg == "--trace") {
       O.Trace = true;
     } else if (Arg == "--record") {
@@ -474,6 +537,9 @@ int replayMain(const CliOptions &O) {
     return 1;
   detect::ReplayOptions Opts;
   Opts.Detector.Engine = O.Engine;
+  // Replay has no --seed; the default stream keeps repeated replays of
+  // the same trace byte-identical.
+  Opts.Detector.Sampling = O.samplingOptions(/*Seed=*/1);
   Opts.Predict = O.Predict;
   detect::ReplayResult R = detect::replayTrace(Log, Opts);
   if (HaveSuppressions) {
@@ -520,6 +586,9 @@ int corpusMain(const CliOptions &O) {
     Corpus.resize(O.Sites);
   webracer::SessionOptions Opts;
   Opts.Detector.Engine = O.Engine;
+  // runSite mixes each site's pre-drawn seed into this base, so the
+  // per-site streams are independent yet --jobs invariant.
+  Opts.Detector.Sampling = O.samplingOptions(O.Seed);
   if (HaveSuppressions)
     Opts.Suppressions = &Suppressions;
   // Corpus reports always carry the wr_prediction section: the corpus
@@ -570,6 +639,7 @@ int batchMain(const CliOptions &O) {
   triage::BatchOptions Opts;
   Opts.Jobs = static_cast<unsigned>(O.Jobs);
   Opts.Replay.Detector.Engine = O.Engine;
+  Opts.Replay.Detector.Sampling = O.samplingOptions(/*Seed=*/1);
   Opts.Replay.Predict = O.Predict;
   if (HaveSuppressions)
     Opts.Suppressions = &Suppressions;
@@ -699,6 +769,7 @@ int pageMain(const CliOptions &O) {
   Opts.Browser.Seed = O.Seed;
   Opts.AutoExplore = O.Explore;
   Opts.Detector.Engine = O.Engine;
+  Opts.Detector.Sampling = O.samplingOptions(O.Seed);
   Opts.Predict = O.Predict;
   if (HaveSuppressions)
     Opts.Suppressions = &Suppressions;
